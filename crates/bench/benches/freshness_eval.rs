@@ -1,0 +1,21 @@
+//! Throughput of the analytic freshness evaluator: one `Σ pᵢ·F̄(λᵢ, fᵢ)`
+//! pass over a large mirror (the inner loop of every experiment sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use freshen_core::freshness::perceived_freshness;
+use freshen_workload::scenario::Scenario;
+
+fn bench_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("freshness_eval");
+    for n in [10_000usize, 100_000, 1_000_000] {
+        let problem = Scenario::table3_scaled(n, 7).problem().unwrap();
+        let freqs: Vec<f64> = (0..n).map(|i| 0.5 + (i % 5) as f64 * 0.1).collect();
+        group.bench_with_input(BenchmarkId::new("perceived_freshness", n), &n, |b, _| {
+            b.iter(|| perceived_freshness(problem.access_probs(), problem.change_rates(), &freqs));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval);
+criterion_main!(benches);

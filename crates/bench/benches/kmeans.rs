@@ -1,0 +1,26 @@
+//! Per-iteration cost of the k-Means refinement (§4.1.3): the Figure 9
+//! trade-off is iterations × (N·k) distance evaluations against more
+//! partitions in the reduced solve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use freshen_heuristics::kmeans;
+use freshen_heuristics::partition::{PartitionCriterion, Partitioning};
+use freshen_workload::scenario::Scenario;
+
+fn bench_kmeans(c: &mut Criterion) {
+    let problem = Scenario::table3_scaled(100_000, 7).problem().unwrap();
+    let mut group = c.benchmark_group("kmeans_100k");
+    group.sample_size(10);
+    for k in [25usize, 50, 100] {
+        let initial =
+            Partitioning::by_criterion(&problem, PartitionCriterion::PerceivedFreshness, k, 1.0)
+                .unwrap();
+        group.bench_with_input(BenchmarkId::new("one_iteration", k), &initial, |b, init| {
+            b.iter(|| kmeans::refine(&problem, init, 1).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kmeans);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Cost of building the sorted partitions for each criterion (§3.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use freshen_heuristics::partition::{PartitionCriterion, Partitioning};
+use freshen_workload::scenario::Scenario;
+
+fn bench_partitioning(c: &mut Criterion) {
+    let problem = Scenario::table3_scaled(100_000, 7).problem().unwrap();
+    let mut group = c.benchmark_group("partitioning_100k");
+    group.sample_size(20);
+    for criterion in PartitionCriterion::CORE {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(criterion.name()),
+            &criterion,
+            |b, &crit| {
+                b.iter(|| Partitioning::by_criterion(&problem, crit, 100, 1.0).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioning);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Event throughput of the discrete-event simulator (Figure 4's engine):
+//! a full update/sync/access run over a 500-object mirror.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use freshen_sim::{SimConfig, Simulation};
+use freshen_solver::solve_perceived_freshness;
+use freshen_workload::scenario::{Alignment, Scenario};
+
+fn bench_simulator(c: &mut Criterion) {
+    let problem = Scenario::table2(1.0, Alignment::ShuffledChange, 7)
+        .problem()
+        .unwrap();
+    let freqs = solve_perceived_freshness(&problem).unwrap().frequencies;
+    let mut group = c.benchmark_group("simulator_500_objects");
+    group.sample_size(10);
+    for periods in [5.0f64, 20.0] {
+        let config = SimConfig {
+            periods,
+            warmup_periods: 1.0,
+            accesses_per_period: 1000.0,
+            seed: 7,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("run_periods", periods as u64),
+            &config,
+            |b, cfg| {
+                let sim = Simulation::new(&problem, &freqs, *cfg).unwrap();
+                b.iter(|| sim.run());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

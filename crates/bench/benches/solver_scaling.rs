@@ -1,0 +1,60 @@
+//! Scaling ablation of §3: exact Lagrange solver vs generic projected-
+//! gradient NLP vs the heuristic pipeline, across problem sizes.
+//!
+//! The paper's claim: generic NLP is unusable at scale, while partitioned
+//! heuristics keep the reduced solve size constant. The exact Lagrange
+//! solver (our addition) sits in between — linear per multiplier probe.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use freshen_heuristics::multistage::solve_multistage;
+use freshen_heuristics::partition::PartitionCriterion;
+use freshen_heuristics::{HeuristicConfig, HeuristicScheduler};
+use freshen_solver::{LagrangeSolver, ProjectedGradientSolver};
+use freshen_workload::scenario::Scenario;
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_scaling");
+    group.sample_size(10);
+    for n in [100usize, 1_000, 10_000] {
+        let problem = Scenario::table3_scaled(n, 7).problem().unwrap();
+
+        group.bench_with_input(BenchmarkId::new("lagrange_exact", n), &problem, |b, p| {
+            let solver = LagrangeSolver::default();
+            b.iter(|| solver.solve(p).unwrap());
+        });
+
+        // Cap iterations so the generic solver finishes; its quality at
+        // this budget is part of the story.
+        group.bench_with_input(
+            BenchmarkId::new("projected_gradient_100it", n),
+            &problem,
+            |b, p| {
+                let solver = ProjectedGradientSolver {
+                    max_iters: 100,
+                    ..Default::default()
+                };
+                b.iter(|| solver.solve(p).unwrap());
+            },
+        );
+
+        group.bench_with_input(BenchmarkId::new("heuristic_k50", n), &problem, |b, p| {
+            let scheduler = HeuristicScheduler::new(HeuristicConfig {
+                num_partitions: 50,
+                ..Default::default()
+            })
+            .unwrap();
+            b.iter(|| scheduler.solve(p).unwrap());
+        });
+
+        // The paper's rejected §3.2 alternative: k exact sub-solves.
+        group.bench_with_input(BenchmarkId::new("multistage_k50", n), &problem, |b, p| {
+            b.iter(|| {
+                solve_multistage(p, PartitionCriterion::PerceivedFreshness, 50, 1.0).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! **Figure 1** — the relationship among sync frequency `f`, change rate
+//! `λ`, and access probability `p`: the solution locus
+//! `p·∂F̄(f, λ)/∂f = μ` for three access probabilities at a fixed water
+//! level `μ`.
+//!
+//! The paper's reading: for any given change rate, an element earns more
+//! bandwidth as its access probability grows (the p = 0.4 curve sits above
+//! p = 0.2 above p = 0.1), and a volatile element that earns *nothing* at
+//! low interest demands substantial bandwidth once its interest doubles.
+
+use freshen_bench::{header, row};
+use freshen_solver::LagrangeSolver;
+
+fn main() {
+    // Water level chosen so the p=0.1 curve cuts off within the plotted
+    // λ range (λ where p/λ = μ ⇒ cutoff at λ = p/μ = 5 for p = 0.1).
+    let mu = 0.02;
+    let solver = LagrangeSolver::default();
+    let ps = [0.1, 0.2, 0.4];
+
+    println!("# Figure 1: solution locus f(lambda) at mu = {mu}");
+    header(&["lambda", "f_p0.1", "f_p0.2", "f_p0.4"]);
+    let mut lam = 0.25;
+    while lam <= 10.0 + 1e-9 {
+        let cells: Vec<f64> = ps
+            .iter()
+            .map(|&p| solver.element_frequency(p, lam, 1.0, mu))
+            .collect();
+        row(&format!("{lam:.2}"), &cells);
+        lam += 0.25;
+    }
+    println!("# note: a curve hitting 0 marks the starvation threshold λ = p/μ");
+}

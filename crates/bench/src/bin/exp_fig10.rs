@@ -1,0 +1,86 @@
+//! **Figure 10 (a/b)** — optimal distribution of sync *frequency* vs sync
+//! *bandwidth* across 500 objects when sizes are uniform vs Pareto(1.1)
+//! (access uniform, change rate aligned descending by object id, size
+//! aligned with change — object 0 changes fastest and is largest).
+//!
+//! Paper findings reproduced here:
+//! * all sync resources go to the objects with the *lowest* change rates
+//!   (the tail of the object axis) — hopeless volatiles are starved;
+//! * under Pareto sizes, small objects take *more syncs* for *less
+//!   bandwidth*: the total sync count is much larger for the same budget;
+//! * §5.3's headline: the schedule computed while *ignoring* sizes
+//!   (uniform assumption), replayed in the sized world, wastes bandwidth
+//!   on large objects — perceived freshness 0.312 vs 0.586 in the paper.
+
+use freshen_bench::{header, row};
+use freshen_solver::LagrangeSolver;
+use freshen_workload::scenario::{Alignment, Scenario, SizeAlignment, SizeDist};
+
+fn main() {
+    let n = 500;
+    let base = Scenario::builder()
+        .num_objects(n)
+        .updates_per_period(1000.0)
+        .syncs_per_period(250.0)
+        .zipf_theta(0.0) // uniform access
+        .update_std_dev(1.0)
+        .alignment(Alignment::Aligned) // object 0: highest change rate
+        .seed(42);
+
+    let uniform = base
+        .clone()
+        .build()
+        .expect("uniform-size scenario builds")
+        .problem()
+        .expect("uniform problem");
+    let pareto = base
+        .size_dist(SizeDist::Pareto { shape: 1.1 })
+        .size_alignment(SizeAlignment::AlignedWithChange) // object 0 largest
+        .build()
+        .expect("pareto scenario builds")
+        .problem()
+        .expect("pareto problem");
+
+    let solver = LagrangeSolver::default();
+    let sol_uniform = solver.solve(&uniform).expect("uniform solve");
+    let sol_pareto = solver.solve(&pareto).expect("pareto solve");
+
+    println!("# Figure 10: per-object sync frequency and bandwidth (N = {n})");
+    header(&[
+        "object",
+        "freq_uniform",
+        "freq_pareto",
+        "bw_uniform",
+        "bw_pareto",
+        "size_pareto",
+    ]);
+    for i in 0..n {
+        let fu = sol_uniform.frequencies[i];
+        let fp = sol_pareto.frequencies[i];
+        let s = pareto.sizes()[i];
+        row(&i.to_string(), &[fu, fp, fu * 1.0, fp * s, s]);
+    }
+
+    let total_syncs_uniform: f64 = sol_uniform.frequencies.iter().sum();
+    let total_syncs_pareto: f64 = sol_pareto.frequencies.iter().sum();
+    println!("# total syncs: uniform {total_syncs_uniform:.1}, pareto {total_syncs_pareto:.1} (same bandwidth)");
+
+    // §5.3 headline: size-blind schedule replayed in the sized world.
+    let blind = solver
+        .solve(&pareto.with_uniform_sizes())
+        .expect("size-blind solve");
+    let used = pareto.bandwidth_used(&blind.frequencies);
+    // As planned (the paper's comparison): cut if over budget, waste the
+    // leftover if under.
+    let cut = (pareto.bandwidth() / used).min(1.0);
+    let planned: Vec<f64> = blind.frequencies.iter().map(|f| f * cut).collect();
+    let planned_pf = pareto.perceived_freshness(&planned);
+    // Generous variant: rescale the blind plan to exhaust the budget.
+    let scale = pareto.bandwidth() / used;
+    let rescaled: Vec<f64> = blind.frequencies.iter().map(|f| f * scale).collect();
+    let rescaled_pf = pareto.perceived_freshness(&rescaled);
+    println!(
+        "# perceived freshness on Pareto-sized world: size-aware {:.3} vs size-blind {:.3} as planned / {:.3} rescaled (paper: 0.586 vs 0.312)",
+        sol_pareto.perceived_freshness, planned_pf, rescaled_pf
+    );
+}

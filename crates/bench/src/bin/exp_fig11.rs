@@ -1,0 +1,54 @@
+//! **Figure 11** — Fixed Bandwidth Allocation (FBA) vs Fixed Frequency
+//! Allocation (FFA) under PF/s-partitioning with variable object sizes
+//! (sizes Pareto(1.1), change rate and size reversed — big objects rarely
+//! change — access shuffled).
+//!
+//! Paper shape: FBA reaches a better solution with fewer partitions and
+//! never loses to FFA — "Objects should be given a fixed bandwidth
+//! allotment."
+
+use freshen_bench::{header, heuristic_pf, parallel_map, row};
+use freshen_heuristics::{AllocationPolicy, HeuristicConfig, PartitionCriterion};
+use freshen_workload::scenario::{Alignment, Scenario, SizeAlignment, SizeDist};
+
+fn main() {
+    let n = 500;
+    let problem = Scenario::builder()
+        .num_objects(n)
+        .updates_per_period(1000.0)
+        .syncs_per_period(250.0)
+        .zipf_theta(1.0)
+        .update_std_dev(1.0)
+        .alignment(Alignment::ShuffledChange) // access shuffled
+        .size_dist(SizeDist::Pareto { shape: 1.1 })
+        .size_alignment(SizeAlignment::ReverseOfChange) // big objects stable
+        .seed(42)
+        .build()
+        .expect("fig11 scenario builds")
+        .problem()
+        .expect("fig11 problem");
+
+    let ks: Vec<usize> = vec![5, 10, 25, 50, 75, 100, 150, 200, 250];
+    println!("# Figure 11: FBA vs FFA under PF/s-partitioning (N = {n}, Pareto sizes)");
+    header(&["num_partitions", "FIXED_BANDWIDTH_FBA", "FIXED_FREQUENCY_FFA"]);
+    let results = parallel_map(&ks, |&k| {
+        let pf_for = |allocation| {
+            heuristic_pf(
+                &problem,
+                HeuristicConfig {
+                    criterion: PartitionCriterion::PerceivedFreshnessPerSize,
+                    num_partitions: k,
+                    allocation,
+                    ..Default::default()
+                },
+            )
+        };
+        (
+            pf_for(AllocationPolicy::FixedBandwidth),
+            pf_for(AllocationPolicy::FixedFrequency),
+        )
+    });
+    for (&k, (fba, ffa)) in ks.iter().zip(results) {
+        row(&k.to_string(), &[fba, ffa]);
+    }
+}

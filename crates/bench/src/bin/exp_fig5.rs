@@ -1,0 +1,66 @@
+//! **Figure 5 (a/b/c)** — perceived freshness vs number of partitions for
+//! the four partitioning techniques plus the exact optimum (`best_case`),
+//! under the three alignments (Table 2 setup, θ = 0.8).
+//!
+//! Paper shape: every technique climbs toward `best_case` as partitions
+//! grow; under shuffled-change, PF-, P-, and P/λ-partitioning converge much
+//! faster than λ-partitioning; under aligned/reverse the four are nearly
+//! indistinguishable (the sort orders coincide).
+
+use freshen_bench::{header, heuristic_pf, parallel_map, row, PARTITIONS_SMALL};
+use freshen_heuristics::{HeuristicConfig, PartitionCriterion};
+use freshen_solver::solve_perceived_freshness;
+use freshen_workload::scenario::{Alignment, Scenario};
+
+fn main() {
+    let theta = 0.8;
+    let seed = 42;
+    let criteria = [
+        PartitionCriterion::PerceivedFreshness,
+        PartitionCriterion::AccessProb,
+        PartitionCriterion::ChangeRate,
+        PartitionCriterion::AccessOverChange,
+    ];
+    for (name, alignment) in [
+        ("shuffle-change", Alignment::ShuffledChange),
+        ("aligned", Alignment::Aligned),
+        ("reverse", Alignment::Reverse),
+    ] {
+        let problem = Scenario::table2(theta, alignment, seed)
+            .problem()
+            .expect("table2 scenario builds");
+        let best = solve_perceived_freshness(&problem)
+            .expect("optimal solve")
+            .perceived_freshness;
+        println!("# Figure 5 ({name}): PF vs num partitions, theta = {theta}");
+        header(&[
+            "num_partitions",
+            "PF_PARTITIONING",
+            "P_PARTITIONING",
+            "LAMBDA_PARTITIONING",
+            "P_OVER_LAMBDA_PARTITIONING",
+            "best_case",
+        ]);
+        let results = parallel_map(&PARTITIONS_SMALL, |&k| {
+            let cells: Vec<f64> = criteria
+                .iter()
+                .map(|&criterion| {
+                    heuristic_pf(
+                        &problem,
+                        HeuristicConfig {
+                            criterion,
+                            num_partitions: k,
+                            ..Default::default()
+                        },
+                    )
+                })
+                .collect();
+            (k, cells)
+        });
+        for (k, mut cells) in results {
+            cells.push(best);
+            row(&k.to_string(), &cells);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,52 @@
+//! **Figure 6** — sensitivity of the partitioning techniques to Zipf skew
+//! θ under shuffled-change alignment (Table 2 setup, 50 partitions).
+//!
+//! Paper shape: perceived freshness rises with θ for every technique (at
+//! high skew a few hot elements soak up the bandwidth and are easy to keep
+//! fresh), but λ-partitioning cannot reach the level of the other three
+//! because it ignores the dominant signal — access probability.
+
+use freshen_bench::{header, heuristic_pf, parallel_map, row, THETA_GRID};
+use freshen_heuristics::{HeuristicConfig, PartitionCriterion};
+use freshen_workload::scenario::{Alignment, Scenario};
+
+fn main() {
+    let k = 50;
+    let seed = 42;
+    let criteria = [
+        PartitionCriterion::PerceivedFreshness,
+        PartitionCriterion::AccessProb,
+        PartitionCriterion::ChangeRate,
+        PartitionCriterion::AccessOverChange,
+    ];
+    println!("# Figure 6: PF vs theta per partitioning technique (shuffle-change, k = {k})");
+    header(&[
+        "theta",
+        "PF_PARTITIONING",
+        "P_PARTITIONING",
+        "LAMBDA_PARTITIONING",
+        "P_OVER_LAMBDA_PARTITIONING",
+    ]);
+    let results = parallel_map(&THETA_GRID, |&theta| {
+        let problem = Scenario::table2(theta, Alignment::ShuffledChange, seed)
+            .problem()
+            .expect("table2 scenario builds");
+        let cells: Vec<f64> = criteria
+            .iter()
+            .map(|&criterion| {
+                heuristic_pf(
+                    &problem,
+                    HeuristicConfig {
+                        criterion,
+                        num_partitions: k,
+                        ..Default::default()
+                    },
+                )
+            })
+            .collect();
+        (theta, cells)
+    });
+    for (theta, cells) in results {
+        row(&format!("{theta:.1}"), &cells);
+    }
+}

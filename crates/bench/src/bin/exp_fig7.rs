@@ -1,0 +1,55 @@
+//! **Figure 7** — the big case (Table 3 setup: 500 000 objects, 1 000 000
+//! updates/period, 250 000 syncs/period, θ = 1.0, σ = 2.0): perceived
+//! freshness vs number of partitions (20–200) for the four techniques.
+//!
+//! The exact optimum is deliberately not computed — the point of the
+//! figure is that it *cannot* be at this scale — but the curves' shapes
+//! match the small case: PF-partitioning is the clear winner and solutions
+//! beyond ~100 partitions barely improve.
+//!
+//! Honour `FRESHEN_N` to scale the mirror down for smoke tests.
+
+use freshen_bench::{big_case_n, header, heuristic_pf, parallel_map, row, PARTITIONS_BIG};
+use freshen_heuristics::{HeuristicConfig, PartitionCriterion};
+use freshen_workload::scenario::Scenario;
+
+fn main() {
+    let n = big_case_n();
+    let problem = Scenario::table3_scaled(n, 42)
+        .problem()
+        .expect("table3 scenario builds");
+    let criteria = [
+        PartitionCriterion::PerceivedFreshness,
+        PartitionCriterion::AccessProb,
+        PartitionCriterion::ChangeRate,
+        PartitionCriterion::AccessOverChange,
+    ];
+    println!("# Figure 7: big case (N = {n}), PF vs num partitions");
+    header(&[
+        "num_partitions",
+        "PF_PARTITIONING",
+        "P_PARTITIONING",
+        "LAMBDA_PARTITIONING",
+        "P_OVER_LAMBDA_PARTITIONING",
+    ]);
+    let grid: Vec<(usize, PartitionCriterion)> = PARTITIONS_BIG
+        .iter()
+        .flat_map(|&k| criteria.iter().map(move |&c| (k, c)))
+        .collect();
+    let results = parallel_map(&grid, |&(k, criterion)| {
+        heuristic_pf(
+            &problem,
+            HeuristicConfig {
+                criterion,
+                num_partitions: k,
+                ..Default::default()
+            },
+        )
+    });
+    for (i, &k) in PARTITIONS_BIG.iter().enumerate() {
+        let cells: Vec<f64> = (0..criteria.len())
+            .map(|j| results[i * criteria.len() + j])
+            .collect();
+        row(&k.to_string(), &cells);
+    }
+}

@@ -1,0 +1,50 @@
+//! **Figure 8** — improvement in perceived freshness from k-Means
+//! re-clustering of the PF-partitions (big case, Table 3 setup): PF vs
+//! number of partitions for iteration budgets {0, 1, 3, 5, 10}.
+//!
+//! Paper shape: "with very few iterations, significant gains are seen" —
+//! the 1-, 3-, 5-iteration curves lift visibly above the 0-iteration
+//! (plain sorted partitioning) line, especially at small partition counts.
+//!
+//! Honour `FRESHEN_N` to scale the mirror down for smoke tests.
+
+use freshen_bench::{big_case_n, header, heuristic_pf, parallel_map, row, KMEANS_ITERS, PARTITIONS_BIG};
+use freshen_heuristics::{HeuristicConfig, PartitionCriterion};
+use freshen_workload::scenario::Scenario;
+
+fn main() {
+    let n = big_case_n();
+    let problem = Scenario::table3_scaled(n, 42)
+        .problem()
+        .expect("table3 scenario builds");
+    println!("# Figure 8: PF after k-means refinement (big case, N = {n})");
+    header(&[
+        "num_partitions",
+        "iters_0",
+        "iters_1",
+        "iters_3",
+        "iters_5",
+        "iters_10",
+    ]);
+    let grid: Vec<(usize, usize)> = PARTITIONS_BIG
+        .iter()
+        .flat_map(|&k| KMEANS_ITERS.iter().map(move |&it| (k, it)))
+        .collect();
+    let results = parallel_map(&grid, |&(k, iters)| {
+        heuristic_pf(
+            &problem,
+            HeuristicConfig {
+                criterion: PartitionCriterion::PerceivedFreshness,
+                num_partitions: k,
+                kmeans_iterations: iters,
+                ..Default::default()
+            },
+        )
+    });
+    for (i, &k) in PARTITIONS_BIG.iter().enumerate() {
+        let cells: Vec<f64> = (0..KMEANS_ITERS.len())
+            .map(|j| results[i * KMEANS_ITERS.len() + j])
+            .collect();
+        row(&k.to_string(), &cells);
+    }
+}

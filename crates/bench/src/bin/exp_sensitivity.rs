@@ -1,0 +1,75 @@
+//! **Sensitivity study** — the paper (§2.2.2) defers its parameter
+//! sensitivity analysis to the companion technical report [2]; this binary
+//! reconstructs it for the two knobs that matter:
+//!
+//! * `UpdateStdDev` (σ of the change-rate Gamma): more heterogeneous
+//!   volatility widens the PF-vs-GF gap, because a profile-aware scheduler
+//!   can exploit the spread;
+//! * the **bandwidth ratio** `B / U` (syncs per update): both techniques
+//!   converge to 1 as bandwidth saturates, and the PF advantage peaks in
+//!   the starved middle regime.
+
+use freshen_bench::{header, parallel_map, row};
+use freshen_solver::{solve_general_freshness, solve_perceived_freshness};
+use freshen_workload::scenario::{Alignment, Scenario};
+
+fn main() {
+    let seed = 42;
+
+    println!("# Sensitivity (a): update std-dev sweep (theta = 1.0, shuffled)");
+    header(&["update_std_dev", "PF_TECHNIQUE", "GF_TECHNIQUE"]);
+    let sigmas = [0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0];
+    let rows = parallel_map(&sigmas, |&sigma| {
+        let problem = Scenario::builder()
+            .num_objects(500)
+            .updates_per_period(1000.0)
+            .syncs_per_period(250.0)
+            .zipf_theta(1.0)
+            .update_std_dev(sigma)
+            .alignment(Alignment::ShuffledChange)
+            .seed(seed)
+            .build()
+            .expect("scenario builds")
+            .problem()
+            .expect("problem materializes");
+        let pf = solve_perceived_freshness(&problem)
+            .expect("PF solve")
+            .perceived_freshness;
+        let gf = solve_general_freshness(&problem)
+            .expect("GF solve")
+            .perceived_freshness;
+        (sigma, pf, gf)
+    });
+    for (sigma, pf, gf) in rows {
+        row(&format!("{sigma:.2}"), &[pf, gf]);
+    }
+
+    println!();
+    println!("# Sensitivity (b): bandwidth-ratio sweep (theta = 1.0, shuffled, sigma = 1)");
+    header(&["syncs_per_update", "PF_TECHNIQUE", "GF_TECHNIQUE"]);
+    let ratios = [0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0];
+    let rows = parallel_map(&ratios, |&ratio| {
+        let problem = Scenario::builder()
+            .num_objects(500)
+            .updates_per_period(1000.0)
+            .syncs_per_period(1000.0 * ratio)
+            .zipf_theta(1.0)
+            .update_std_dev(1.0)
+            .alignment(Alignment::ShuffledChange)
+            .seed(seed)
+            .build()
+            .expect("scenario builds")
+            .problem()
+            .expect("problem materializes");
+        let pf = solve_perceived_freshness(&problem)
+            .expect("PF solve")
+            .perceived_freshness;
+        let gf = solve_general_freshness(&problem)
+            .expect("GF solve")
+            .perceived_freshness;
+        (ratio, pf, gf)
+    });
+    for (ratio, pf, gf) in rows {
+        row(&format!("{ratio:.2}"), &[pf, gf]);
+    }
+}

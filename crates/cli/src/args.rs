@@ -1,0 +1,150 @@
+//! Minimal `--key value` argument parsing with typed accessors.
+
+use std::collections::BTreeMap;
+
+/// Parsed `--key value` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedArgs {
+    values: BTreeMap<String, String>,
+}
+
+impl ParsedArgs {
+    /// Parse a flat `--key value --key2 value2 …` list. Flags without
+    /// values and positional arguments are rejected — every option of this
+    /// CLI takes a value, so anything else is a typo worth surfacing.
+    pub fn parse(argv: &[String]) -> Result<ParsedArgs, String> {
+        let mut values = BTreeMap::new();
+        let mut iter = argv.iter();
+        while let Some(arg) = iter.next() {
+            let key = arg
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected an option starting with `--`, got `{arg}`"))?;
+            if key.is_empty() {
+                return Err("empty option name `--`".into());
+            }
+            let value = iter
+                .next()
+                .ok_or_else(|| format!("option `--{key}` is missing its value"))?;
+            if values.insert(key.to_string(), value.clone()).is_some() {
+                return Err(format!("option `--{key}` given twice"));
+            }
+        }
+        Ok(ParsedArgs { values })
+    }
+
+    /// Raw string value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Required string value.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key)
+            .ok_or_else(|| format!("missing required option `--{key}`"))
+    }
+
+    /// Required parsed value.
+    pub fn require_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
+        let raw = self.require(key)?;
+        raw.parse()
+            .map_err(|_| format!("option `--{key}`: cannot parse `{raw}`"))
+    }
+
+    /// Optional parsed value with a default.
+    pub fn parsed_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("option `--{key}`: cannot parse `{raw}`")),
+        }
+    }
+
+    /// All keys seen (for unknown-option checks).
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.values.keys().map(String::as_str)
+    }
+
+    /// Reject any option not in `allowed` — catches typos loudly instead
+    /// of silently ignoring them.
+    pub fn expect_only(&self, allowed: &[&str]) -> Result<(), String> {
+        for key in self.keys() {
+            if !allowed.contains(&key) {
+                return Err(format!(
+                    "unknown option `--{key}` (allowed: {})",
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<ParsedArgs, String> {
+        ParsedArgs::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_pairs() {
+        let p = parse(&["--objects", "500", "--theta", "1.2"]).unwrap();
+        assert_eq!(p.get("objects"), Some("500"));
+        assert_eq!(p.require_parsed::<f64>("theta").unwrap(), 1.2);
+    }
+
+    #[test]
+    fn rejects_positional() {
+        assert!(parse(&["objects"]).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        let err = parse(&["--objects"]).unwrap_err();
+        assert!(err.contains("missing its value"));
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let err = parse(&["--a", "1", "--a", "2"]).unwrap_err();
+        assert!(err.contains("twice"));
+    }
+
+    #[test]
+    fn rejects_empty_option() {
+        assert!(parse(&["--", "x"]).is_err());
+    }
+
+    #[test]
+    fn required_missing_reports_key() {
+        let p = parse(&[]).unwrap();
+        let err = p.require("input").unwrap_err();
+        assert!(err.contains("--input"));
+    }
+
+    #[test]
+    fn parse_error_reports_value() {
+        let p = parse(&["--n", "abc"]).unwrap();
+        let err = p.require_parsed::<usize>("n").unwrap_err();
+        assert!(err.contains("abc"));
+    }
+
+    #[test]
+    fn default_used_when_absent() {
+        let p = parse(&[]).unwrap();
+        assert_eq!(p.parsed_or("seed", 7u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn expect_only_catches_typos() {
+        let p = parse(&["--partitons", "5"]).unwrap();
+        let err = p.expect_only(&["partitions"]).unwrap_err();
+        assert!(err.contains("partitons"));
+    }
+}

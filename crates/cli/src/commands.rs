@@ -1,0 +1,474 @@
+//! The five subcommands: scenario, solve, heuristic, simulate, timetable.
+
+use std::io::Write;
+
+use freshen_core::policy::SyncPolicy;
+use freshen_core::problem::{Problem, Solution};
+use freshen_core::schedule::FixedOrderSchedule;
+use freshen_heuristics::{
+    AllocationPolicy, HeuristicConfig, HeuristicScheduler, PartitionCriterion,
+};
+use freshen_sim::{SimConfig, Simulation};
+use freshen_solver::LagrangeSolver;
+use freshen_workload::scenario::{Alignment, Scenario, SizeAlignment, SizeDist};
+
+fn read_problem(path: &str) -> Result<Problem, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read problem file `{path}`: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse problem `{path}`: {e}"))
+}
+
+fn read_schedule(path: &str, expected_len: usize) -> Result<Vec<f64>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read schedule file `{path}`: {e}"))?;
+    let sol: Solution =
+        serde_json::from_str(&text).map_err(|e| format!("cannot parse schedule `{path}`: {e}"))?;
+    if sol.frequencies.len() != expected_len {
+        return Err(format!(
+            "schedule covers {} elements but the problem has {expected_len}",
+            sol.frequencies.len()
+        ));
+    }
+    Ok(sol.frequencies)
+}
+
+fn parse_policy(raw: Option<&str>) -> Result<SyncPolicy, String> {
+    match raw {
+        None | Some("fixed") => Ok(SyncPolicy::FixedOrder),
+        Some("poisson") => Ok(SyncPolicy::Poisson),
+        Some(other) => Err(format!("unknown policy `{other}` (fixed|poisson)")),
+    }
+}
+
+fn write_json<T: serde::Serialize>(value: &T, out: &mut dyn Write) -> Result<(), String> {
+    let text = serde_json::to_string_pretty(value).map_err(|e| e.to_string())?;
+    writeln!(out, "{text}").map_err(|e| e.to_string())
+}
+
+/// `freshen scenario` — generate a synthetic problem as JSON.
+pub fn cmd_scenario(args: &crate::ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
+    args.expect_only(&[
+        "objects",
+        "updates",
+        "syncs",
+        "theta",
+        "alignment",
+        "std-dev",
+        "pareto-sizes",
+        "size-alignment",
+        "seed",
+    ])?;
+    let mut builder = Scenario::builder()
+        .num_objects(args.require_parsed("objects")?)
+        .updates_per_period(args.require_parsed("updates")?)
+        .syncs_per_period(args.require_parsed("syncs")?)
+        .zipf_theta(args.parsed_or("theta", 0.0)?)
+        .update_std_dev(args.parsed_or("std-dev", 1.0)?)
+        .seed(args.parsed_or("seed", 0u64)?);
+    builder = builder.alignment(match args.get("alignment") {
+        None | Some("shuffled") => Alignment::ShuffledChange,
+        Some("aligned") => Alignment::Aligned,
+        Some("reverse") => Alignment::Reverse,
+        Some(other) => return Err(format!("unknown alignment `{other}`")),
+    });
+    if let Some(shape) = args.get("pareto-sizes") {
+        let shape: f64 = shape
+            .parse()
+            .map_err(|_| format!("--pareto-sizes: cannot parse `{shape}`"))?;
+        builder = builder.size_dist(SizeDist::Pareto { shape });
+        builder = builder.size_alignment(match args.get("size-alignment") {
+            None | Some("aligned") => SizeAlignment::AlignedWithChange,
+            Some("reverse") => SizeAlignment::ReverseOfChange,
+            Some("shuffled") => SizeAlignment::Shuffled,
+            Some(other) => return Err(format!("unknown size-alignment `{other}`")),
+        });
+    } else if args.get("size-alignment").is_some() {
+        return Err("--size-alignment requires --pareto-sizes".into());
+    }
+    let problem = builder
+        .build()
+        .map_err(|e| e.to_string())?
+        .problem()
+        .map_err(|e| e.to_string())?;
+    write_json(&problem, out)
+}
+
+/// `freshen solve` — exact Lagrange solve.
+pub fn cmd_solve(args: &crate::ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
+    args.expect_only(&["input", "policy"])?;
+    let problem = read_problem(args.require("input")?)?;
+    let solver = LagrangeSolver {
+        policy: parse_policy(args.get("policy"))?,
+        ..Default::default()
+    };
+    let solution = solver.solve(&problem).map_err(|e| e.to_string())?;
+    write_json(&solution, out)
+}
+
+/// `freshen heuristic` — the scalable pipeline.
+pub fn cmd_heuristic(args: &crate::ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
+    args.expect_only(&["input", "partitions", "kmeans", "criterion", "allocation"])?;
+    let problem = read_problem(args.require("input")?)?;
+    let criterion = match args.get("criterion") {
+        None | Some("pf") => PartitionCriterion::PerceivedFreshness,
+        Some("p") => PartitionCriterion::AccessProb,
+        Some("lambda") => PartitionCriterion::ChangeRate,
+        Some("p-over-lambda") => PartitionCriterion::AccessOverChange,
+        Some("pf-size") => PartitionCriterion::PerceivedFreshnessPerSize,
+        Some("size") => PartitionCriterion::Size,
+        Some(other) => return Err(format!("unknown criterion `{other}`")),
+    };
+    let allocation = match args.get("allocation") {
+        None | Some("fba") => AllocationPolicy::FixedBandwidth,
+        Some("ffa") => AllocationPolicy::FixedFrequency,
+        Some(other) => return Err(format!("unknown allocation `{other}` (fba|ffa)")),
+    };
+    let config = HeuristicConfig {
+        criterion,
+        num_partitions: args.require_parsed("partitions")?,
+        kmeans_iterations: args.parsed_or("kmeans", 0usize)?,
+        allocation,
+        reference_frequency: 1.0,
+    };
+    let result = HeuristicScheduler::new(config)
+        .map_err(|e| e.to_string())?
+        .solve(&problem)
+        .map_err(|e| e.to_string())?;
+    write_json(&result.solution, out)
+}
+
+/// `freshen simulate` — run the discrete-event simulator.
+pub fn cmd_simulate(args: &crate::ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
+    args.expect_only(&[
+        "input", "schedule", "periods", "warmup", "accesses", "seed", "policy",
+    ])?;
+    let problem = read_problem(args.require("input")?)?;
+    let freqs = read_schedule(args.require("schedule")?, problem.len())?;
+    let config = SimConfig {
+        periods: args.parsed_or("periods", 50.0)?,
+        warmup_periods: args.parsed_or("warmup", 2.0)?,
+        accesses_per_period: args.parsed_or("accesses", 1000.0)?,
+        seed: args.parsed_or("seed", 0u64)?,
+    };
+    let report = Simulation::new(&problem, &freqs, config)
+        .map_err(|e| e.to_string())?
+        .with_sync_policy(parse_policy(args.get("policy"))?)
+        .run();
+    // The per-element vectors dwarf the summary; print the summary only.
+    #[derive(serde::Serialize)]
+    struct Summary {
+        analytic_pf: f64,
+        time_averaged_pf: f64,
+        access_pf: Option<f64>,
+        updates: u64,
+        syncs: u64,
+        accesses: u64,
+    }
+    write_json(
+        &Summary {
+            analytic_pf: report.analytic_pf,
+            time_averaged_pf: report.time_averaged_pf,
+            access_pf: report.access_pf,
+            updates: report.updates,
+            syncs: report.syncs,
+            accesses: report.accesses,
+        },
+        out,
+    )
+}
+
+/// `freshen estimate` — learn a problem from access/poll logs (§7 loop):
+/// ship your request log and poll log, get a ready-to-solve problem JSON.
+pub fn cmd_estimate(args: &crate::ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
+    args.expect_only(&[
+        "elements",
+        "bandwidth",
+        "accesses",
+        "polls",
+        "smoothing",
+        "fallback-rate",
+    ])?;
+    let n: usize = args.require_parsed("elements")?;
+    let bandwidth: f64 = args.require_parsed("bandwidth")?;
+    let access_path = args.require("accesses")?;
+    let access_text = std::fs::read_to_string(access_path)
+        .map_err(|e| format!("cannot read access log `{access_path}`: {e}"))?;
+    let accesses =
+        freshen_workload::trace::parse_access_log(&access_text).map_err(|e| e.to_string())?;
+    let polls = match args.get("polls") {
+        None => Vec::new(),
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read poll log `{path}`: {e}"))?;
+            freshen_workload::trace::parse_poll_log(&text).map_err(|e| e.to_string())?
+        }
+    };
+    let smoothing: f64 = args.parsed_or("smoothing", 0.5)?;
+    let fallback: f64 = args.parsed_or("fallback-rate", 1.0)?;
+    let learned =
+        freshen_workload::trace::learn_from_logs(n, &accesses, &polls, smoothing, fallback)
+            .map_err(|e| e.to_string())?;
+    let problem = Problem::builder()
+        .change_rates(learned.change_rates)
+        .access_probs(learned.access_probs)
+        .bandwidth(bandwidth)
+        .build()
+        .map_err(|e| e.to_string())?;
+    write_json(&problem, out)
+}
+
+/// `freshen timetable` — expand a schedule into concrete sync instants.
+pub fn cmd_timetable(args: &crate::ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
+    args.expect_only(&["input", "schedule", "horizon"])?;
+    let problem = read_problem(args.require("input")?)?;
+    let freqs = read_schedule(args.require("schedule")?, problem.len())?;
+    let horizon: f64 = args.require_parsed("horizon")?;
+    if !horizon.is_finite() || horizon <= 0.0 {
+        return Err("--horizon must be positive".into());
+    }
+    let schedule = FixedOrderSchedule::build(&freqs, horizon);
+    writeln!(out, "time,element").map_err(|e| e.to_string())?;
+    for op in schedule.ops() {
+        writeln!(out, "{:.6},{}", op.time, op.element).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ParsedArgs;
+
+    fn parsed(args: &[&str]) -> ParsedArgs {
+        ParsedArgs::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn tmpdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("freshen-cmd-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn scenario_emits_valid_problem_json() {
+        let mut buf = Vec::new();
+        cmd_scenario(
+            &parsed(&["--objects", "10", "--updates", "20", "--syncs", "5"]),
+            &mut buf,
+        )
+        .unwrap();
+        let p: Problem = serde_json::from_slice(&buf).unwrap();
+        assert_eq!(p.len(), 10);
+        assert_eq!(p.bandwidth(), 5.0);
+    }
+
+    #[test]
+    fn scenario_with_pareto_sizes() {
+        let mut buf = Vec::new();
+        cmd_scenario(
+            &parsed(&[
+                "--objects", "50", "--updates", "100", "--syncs", "25",
+                "--pareto-sizes", "1.5", "--size-alignment", "reverse",
+            ]),
+            &mut buf,
+        )
+        .unwrap();
+        let p: Problem = serde_json::from_slice(&buf).unwrap();
+        assert!(!p.has_uniform_sizes());
+    }
+
+    #[test]
+    fn scenario_rejects_typo_option() {
+        let mut buf = Vec::new();
+        let err = cmd_scenario(
+            &parsed(&["--object", "10", "--updates", "20", "--syncs", "5"]),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(err.contains("--object"));
+    }
+
+    #[test]
+    fn scenario_size_alignment_requires_sizes() {
+        let mut buf = Vec::new();
+        let err = cmd_scenario(
+            &parsed(&[
+                "--objects", "10", "--updates", "20", "--syncs", "5",
+                "--size-alignment", "reverse",
+            ]),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(err.contains("--pareto-sizes"));
+    }
+
+    #[test]
+    fn solve_roundtrip_and_policy_flag() {
+        let dir = tmpdir();
+        let path = dir.join("p1.json");
+        let mut buf = Vec::new();
+        cmd_scenario(
+            &parsed(&["--objects", "8", "--updates", "16", "--syncs", "4"]),
+            &mut buf,
+        )
+        .unwrap();
+        std::fs::write(&path, &buf).unwrap();
+
+        let mut fixed = Vec::new();
+        cmd_solve(&parsed(&["--input", path.to_str().unwrap()]), &mut fixed).unwrap();
+        let fixed: Solution = serde_json::from_slice(&fixed).unwrap();
+
+        let mut poisson = Vec::new();
+        cmd_solve(
+            &parsed(&["--input", path.to_str().unwrap(), "--policy", "poisson"]),
+            &mut poisson,
+        )
+        .unwrap();
+        let poisson: Solution = serde_json::from_slice(&poisson).unwrap();
+        assert!(fixed.perceived_freshness > poisson.perceived_freshness);
+    }
+
+    #[test]
+    fn solve_reports_missing_file() {
+        let mut buf = Vec::new();
+        let err = cmd_solve(&parsed(&["--input", "/nonexistent.json"]), &mut buf).unwrap_err();
+        assert!(err.contains("cannot read"));
+    }
+
+    #[test]
+    fn simulate_rejects_mismatched_schedule() {
+        let dir = tmpdir();
+        let p1 = dir.join("p_a.json");
+        let p2 = dir.join("p_b.json");
+        let mut buf = Vec::new();
+        cmd_scenario(
+            &parsed(&["--objects", "8", "--updates", "16", "--syncs", "4"]),
+            &mut buf,
+        )
+        .unwrap();
+        std::fs::write(&p1, &buf).unwrap();
+        buf.clear();
+        cmd_scenario(
+            &parsed(&["--objects", "9", "--updates", "16", "--syncs", "4"]),
+            &mut buf,
+        )
+        .unwrap();
+        std::fs::write(&p2, &buf).unwrap();
+        // Schedule solved for the 8-element problem...
+        buf.clear();
+        cmd_solve(&parsed(&["--input", p1.to_str().unwrap()]), &mut buf).unwrap();
+        let sched = dir.join("s_a.json");
+        std::fs::write(&sched, &buf).unwrap();
+        // ... rejected against the 9-element problem.
+        buf.clear();
+        let err = cmd_simulate(
+            &parsed(&[
+                "--input", p2.to_str().unwrap(),
+                "--schedule", sched.to_str().unwrap(),
+            ]),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(err.contains("covers 8 elements"));
+    }
+
+    #[test]
+    fn timetable_requires_positive_horizon() {
+        let dir = tmpdir();
+        let p = dir.join("p_h.json");
+        let mut buf = Vec::new();
+        cmd_scenario(
+            &parsed(&["--objects", "4", "--updates", "8", "--syncs", "2"]),
+            &mut buf,
+        )
+        .unwrap();
+        std::fs::write(&p, &buf).unwrap();
+        buf.clear();
+        cmd_solve(&parsed(&["--input", p.to_str().unwrap()]), &mut buf).unwrap();
+        let s = dir.join("s_h.json");
+        std::fs::write(&s, &buf).unwrap();
+        buf.clear();
+        let err = cmd_timetable(
+            &parsed(&[
+                "--input", p.to_str().unwrap(),
+                "--schedule", s.to_str().unwrap(),
+                "--horizon", "0",
+            ]),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(err.contains("horizon"));
+    }
+
+    #[test]
+    fn estimate_learns_problem_from_logs() {
+        let dir = tmpdir();
+        let access = dir.join("access.csv");
+        std::fs::write(&access, "time,element\n0.1,0\n0.2,0\n0.3,0\n0.4,1\n").unwrap();
+        let polls = dir.join("polls.csv");
+        std::fs::write(&polls, "time,element,changed\n1.0,0,1\n2.0,0,0\n1.0,1,1\n2.0,1,1\n")
+            .unwrap();
+        let mut buf = Vec::new();
+        cmd_estimate(
+            &parsed(&[
+                "--elements", "3",
+                "--bandwidth", "2.0",
+                "--accesses", access.to_str().unwrap(),
+                "--polls", polls.to_str().unwrap(),
+            ]),
+            &mut buf,
+        )
+        .unwrap();
+        let p: Problem = serde_json::from_slice(&buf).unwrap();
+        assert_eq!(p.len(), 3);
+        // Element 0 is hottest; element 2 keeps a smoothed positive prob.
+        assert!(p.access_probs()[0] > p.access_probs()[1]);
+        assert!(p.access_probs()[2] > 0.0);
+        // Element 1 changed on every poll ⇒ higher estimated rate than 0.
+        assert!(p.change_rates()[1] > p.change_rates()[0]);
+        // Never-polled element 2 got the default fallback rate.
+        assert!((p.change_rates()[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimate_rejects_bad_log() {
+        let dir = tmpdir();
+        let access = dir.join("bad_access.csv");
+        std::fs::write(&access, "not,a,log\n").unwrap();
+        let mut buf = Vec::new();
+        let err = cmd_estimate(
+            &parsed(&[
+                "--elements", "2",
+                "--bandwidth", "1.0",
+                "--accesses", access.to_str().unwrap(),
+            ]),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn heuristic_unknown_criterion_rejected() {
+        let dir = tmpdir();
+        let p = dir.join("p_c.json");
+        let mut buf = Vec::new();
+        cmd_scenario(
+            &parsed(&["--objects", "4", "--updates", "8", "--syncs", "2"]),
+            &mut buf,
+        )
+        .unwrap();
+        std::fs::write(&p, &buf).unwrap();
+        buf.clear();
+        let err = cmd_heuristic(
+            &parsed(&[
+                "--input", p.to_str().unwrap(),
+                "--partitions", "2",
+                "--criterion", "magic",
+            ]),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(err.contains("magic"));
+    }
+}

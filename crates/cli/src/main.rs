@@ -1,0 +1,16 @@
+//! `freshen` — the command-line entry point. All logic lives in the
+//! library so it can be tested; this binary only wires stdin/stdout and
+//! the exit code.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match freshen_cli::run(&args, &mut std::io::stdout()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

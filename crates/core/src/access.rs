@@ -1,0 +1,199 @@
+//! Access sets and the empirical perceived-freshness score.
+//!
+//! Paper Definitions 3–4: the perceived freshness of a set of accesses `A`
+//! is the fraction of accesses that saw an up-to-date copy — "keeping score
+//! at each access". This module provides the access-log types used by the
+//! monitoring-mode freshness evaluator in `freshen-sim`, plus the scoring
+//! arithmetic itself, which is independent of any simulator.
+
+use serde::{Deserialize, Serialize};
+
+/// One recorded access to the mirror.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Access {
+    /// Simulation/wall time of the access.
+    pub time: f64,
+    /// Which element was accessed.
+    pub element: usize,
+    /// Whether the local copy was up-to-date at access time.
+    pub fresh: bool,
+}
+
+/// A running tally of accesses and how many saw fresh copies — the
+/// "score-keeping" user of §2. Cheap to merge, so per-thread scores can be
+/// combined.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FreshnessScore {
+    /// Total accesses observed.
+    pub total: u64,
+    /// Accesses that saw an up-to-date copy.
+    pub fresh: u64,
+}
+
+impl FreshnessScore {
+    /// Empty score.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one access.
+    pub fn record(&mut self, fresh: bool) {
+        self.total += 1;
+        if fresh {
+            self.fresh += 1;
+        }
+    }
+
+    /// Record a full access log.
+    pub fn record_all<'a>(&mut self, accesses: impl IntoIterator<Item = &'a Access>) {
+        for a in accesses {
+            self.record(a.fresh);
+        }
+    }
+
+    /// Empirical perceived freshness: `fresh / total` (Definition 3).
+    /// Returns `None` before the first access (the metric is undefined on
+    /// an empty access set).
+    pub fn perceived_freshness(&self) -> Option<f64> {
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.fresh as f64 / self.total as f64)
+        }
+    }
+
+    /// Merge another score into this one.
+    pub fn merge(&mut self, other: &FreshnessScore) {
+        self.total += other.total;
+        self.fresh += other.fresh;
+    }
+}
+
+/// Per-element breakdown of the empirical score; useful for diagnosing
+/// *which* objects users experience as stale.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerElementScore {
+    scores: Vec<FreshnessScore>,
+}
+
+impl PerElementScore {
+    /// Create a breakdown for `n` elements.
+    pub fn new(n: usize) -> Self {
+        PerElementScore {
+            scores: vec![FreshnessScore::default(); n],
+        }
+    }
+
+    /// Number of elements tracked.
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// True when tracking zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+
+    /// Record one access.
+    ///
+    /// # Panics
+    /// Panics when `element` is out of range.
+    pub fn record(&mut self, element: usize, fresh: bool) {
+        self.scores[element].record(fresh);
+    }
+
+    /// Score for one element.
+    pub fn element(&self, i: usize) -> FreshnessScore {
+        self.scores[i]
+    }
+
+    /// Overall score (sum over elements).
+    pub fn overall(&self) -> FreshnessScore {
+        let mut total = FreshnessScore::default();
+        for s in &self.scores {
+            total.merge(s);
+        }
+        total
+    }
+
+    /// Elements that were accessed at least once but *never* fresh — the
+    /// worst user experience.
+    pub fn always_stale_elements(&self) -> Vec<usize> {
+        self.scores
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.total > 0 && s.fresh == 0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_score_is_undefined() {
+        assert_eq!(FreshnessScore::new().perceived_freshness(), None);
+    }
+
+    #[test]
+    fn score_fraction() {
+        let mut s = FreshnessScore::new();
+        s.record(true);
+        s.record(true);
+        s.record(false);
+        s.record(true);
+        assert_eq!(s.perceived_freshness(), Some(0.75));
+    }
+
+    #[test]
+    fn record_all_from_log() {
+        let log = vec![
+            Access { time: 0.1, element: 0, fresh: true },
+            Access { time: 0.2, element: 1, fresh: false },
+        ];
+        let mut s = FreshnessScore::new();
+        s.record_all(&log);
+        assert_eq!(s.total, 2);
+        assert_eq!(s.fresh, 1);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = FreshnessScore { total: 10, fresh: 7 };
+        let b = FreshnessScore { total: 5, fresh: 5 };
+        a.merge(&b);
+        assert_eq!(a, FreshnessScore { total: 15, fresh: 12 });
+    }
+
+    #[test]
+    fn per_element_overall_matches_sum() {
+        let mut pe = PerElementScore::new(3);
+        pe.record(0, true);
+        pe.record(0, false);
+        pe.record(2, true);
+        let overall = pe.overall();
+        assert_eq!(overall.total, 3);
+        assert_eq!(overall.fresh, 2);
+        assert_eq!(pe.element(1).total, 0);
+    }
+
+    #[test]
+    fn always_stale_detection() {
+        let mut pe = PerElementScore::new(4);
+        pe.record(0, true);
+        pe.record(1, false);
+        pe.record(1, false);
+        pe.record(3, false);
+        pe.record(3, true);
+        assert_eq!(pe.always_stale_elements(), vec![1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn per_element_oob_panics() {
+        let mut pe = PerElementScore::new(1);
+        pe.record(1, true);
+    }
+}

@@ -1,0 +1,141 @@
+//! Error types shared across the freshening model.
+
+use std::fmt;
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Errors raised while constructing or validating freshening problems.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A vector input (rates, probabilities, sizes, frequencies) had the
+    /// wrong length relative to the number of elements.
+    LengthMismatch {
+        /// What the vector holds (for the message).
+        what: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// A numeric input was not finite or violated a sign constraint.
+    InvalidValue {
+        /// What the value is (for the message).
+        what: &'static str,
+        /// Index of the offending entry, if it came from a vector.
+        index: Option<usize>,
+        /// The offending value.
+        value: f64,
+    },
+    /// Access probabilities must sum to 1 (within tolerance).
+    ProbabilityNotNormalized {
+        /// The observed sum.
+        sum: f64,
+    },
+    /// The problem had no elements.
+    Empty,
+    /// A solver failed to converge within its iteration budget.
+    NoConvergence {
+        /// Which solver or routine gave up.
+        routine: &'static str,
+        /// Iterations spent before giving up.
+        iterations: usize,
+        /// Residual when giving up.
+        residual: f64,
+    },
+    /// A requested configuration is inconsistent (e.g. zero partitions).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::LengthMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "{what}: expected length {expected}, got {actual}"
+            ),
+            CoreError::InvalidValue { what, index, value } => match index {
+                Some(i) => write!(f, "{what}[{i}] has invalid value {value}"),
+                None => write!(f, "{what} has invalid value {value}"),
+            },
+            CoreError::ProbabilityNotNormalized { sum } => write!(
+                f,
+                "access probabilities must sum to 1, got {sum}"
+            ),
+            CoreError::Empty => write!(f, "problem has no elements"),
+            CoreError::NoConvergence {
+                routine,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "{routine} failed to converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_length_mismatch() {
+        let e = CoreError::LengthMismatch {
+            what: "access_probs",
+            expected: 5,
+            actual: 3,
+        };
+        assert_eq!(e.to_string(), "access_probs: expected length 5, got 3");
+    }
+
+    #[test]
+    fn display_invalid_value_with_index() {
+        let e = CoreError::InvalidValue {
+            what: "change_rates",
+            index: Some(2),
+            value: -1.0,
+        };
+        assert_eq!(e.to_string(), "change_rates[2] has invalid value -1");
+    }
+
+    #[test]
+    fn display_invalid_value_without_index() {
+        let e = CoreError::InvalidValue {
+            what: "bandwidth",
+            index: None,
+            value: f64::NAN,
+        };
+        assert!(e.to_string().contains("bandwidth"));
+    }
+
+    #[test]
+    fn display_not_normalized() {
+        let e = CoreError::ProbabilityNotNormalized { sum: 0.5 };
+        assert!(e.to_string().contains("0.5"));
+    }
+
+    #[test]
+    fn display_no_convergence() {
+        let e = CoreError::NoConvergence {
+            routine: "lagrange-bisection",
+            iterations: 200,
+            residual: 1e-3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("lagrange-bisection") && s.contains("200"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&CoreError::Empty);
+    }
+}

@@ -1,0 +1,295 @@
+//! Estimating change frequencies from observed poll history.
+//!
+//! The paper assumes "it is possible to obtain the number of updates to an
+//! element over some time period", citing Cho & Garcia-Molina's estimation
+//! work (its ref [4]) for how a poller can estimate a Poisson change rate
+//! from *incomplete* observations: each poll only reveals **whether** the
+//! element changed since the previous poll, not how many times.
+//!
+//! Implemented estimators, for an element polled `n` times at regular
+//! interval `I` with `x` polls detecting a change:
+//!
+//! * **naive**: `λ̂ = x / (n·I)` — biased low, because multiple changes
+//!   within one interval are counted once;
+//! * **ratio (MLE)**: `λ̂ = −ln(1 − x/n) / I` — the maximum-likelihood
+//!   estimator, undefined when `x = n`;
+//! * **bias-reduced** (Cho & Garcia-Molina's recommended estimator):
+//!   `λ̂ = −ln((n − x + 0.5) / (n + 0.5)) / I` — well-defined for all
+//!   `0 ≤ x ≤ n` and far less biased for frequently changing elements;
+//! * **complete-history MLE** for sources that expose change timestamps:
+//!   `λ̂ = (#updates) / T`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{CoreError, Result};
+
+/// Poll history for one element: `n` polls at fixed interval `interval`,
+/// `x` of which detected a change.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PollHistory {
+    /// Number of polls performed.
+    pub polls: u64,
+    /// Number of polls that detected a change since the previous poll.
+    pub changes_detected: u64,
+    /// Interval between polls, in periods.
+    pub interval: f64,
+}
+
+impl PollHistory {
+    /// Create a validated poll history.
+    pub fn new(polls: u64, changes_detected: u64, interval: f64) -> Result<Self> {
+        if polls == 0 {
+            return Err(CoreError::InvalidConfig("poll history needs at least one poll".into()));
+        }
+        if changes_detected > polls {
+            return Err(CoreError::InvalidConfig(format!(
+                "detected {changes_detected} changes in only {polls} polls"
+            )));
+        }
+        if !interval.is_finite() || interval <= 0.0 {
+            return Err(CoreError::InvalidValue {
+                what: "poll interval",
+                index: None,
+                value: interval,
+            });
+        }
+        Ok(PollHistory {
+            polls,
+            changes_detected,
+            interval,
+        })
+    }
+
+    /// Fraction of polls that detected a change.
+    pub fn detection_ratio(&self) -> f64 {
+        self.changes_detected as f64 / self.polls as f64
+    }
+
+    /// Naive estimator `x / (n·I)` — biased low when changes are frequent.
+    pub fn estimate_naive(&self) -> f64 {
+        self.changes_detected as f64 / (self.polls as f64 * self.interval)
+    }
+
+    /// Maximum-likelihood estimator `−ln(1 − x/n) / I`.
+    ///
+    /// Returns `None` when every poll detected a change (`x = n`), where
+    /// the MLE diverges.
+    pub fn estimate_mle(&self) -> Option<f64> {
+        if self.changes_detected == self.polls {
+            return None;
+        }
+        let r = self.detection_ratio();
+        Some(-(1.0 - r).ln() / self.interval)
+    }
+
+    /// Cho & Garcia-Molina's bias-reduced estimator
+    /// `−ln((n − x + 0.5)/(n + 0.5)) / I` — defined for all `x ≤ n` and the
+    /// one the paper's pipeline would consume.
+    pub fn estimate_bias_reduced(&self) -> f64 {
+        let n = self.polls as f64;
+        let x = self.changes_detected as f64;
+        -(((n - x + 0.5) / (n + 0.5)).ln()) / self.interval
+    }
+}
+
+/// Complete-history estimator for sources that expose change timestamps:
+/// the Poisson MLE `λ̂ = count / horizon`.
+pub fn estimate_from_timestamps(change_times: &[f64], horizon: f64) -> Result<f64> {
+    if !horizon.is_finite() || horizon <= 0.0 {
+        return Err(CoreError::InvalidValue {
+            what: "horizon",
+            index: None,
+            value: horizon,
+        });
+    }
+    for (i, &t) in change_times.iter().enumerate() {
+        if !t.is_finite() || t < 0.0 || t > horizon {
+            return Err(CoreError::InvalidValue {
+                what: "change time",
+                index: Some(i),
+                value: t,
+            });
+        }
+    }
+    Ok(change_times.len() as f64 / horizon)
+}
+
+/// A batch estimator that accumulates poll outcomes per element and emits
+/// the change-rate vector the scheduler consumes. This is the mirror-side
+/// component the paper describes: "frequency estimates would be
+/// periodically communicated to the mirror".
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChangeRateEstimator {
+    polls: Vec<u64>,
+    detections: Vec<u64>,
+    interval: f64,
+}
+
+impl ChangeRateEstimator {
+    /// Create an estimator over `n` elements polled at `interval`.
+    pub fn new(n: usize, interval: f64) -> Result<Self> {
+        if n == 0 {
+            return Err(CoreError::Empty);
+        }
+        if !interval.is_finite() || interval <= 0.0 {
+            return Err(CoreError::InvalidValue {
+                what: "poll interval",
+                index: None,
+                value: interval,
+            });
+        }
+        Ok(ChangeRateEstimator {
+            polls: vec![0; n],
+            detections: vec![0; n],
+            interval,
+        })
+    }
+
+    /// Record the outcome of polling `element`: did it change since the
+    /// previous poll?
+    ///
+    /// # Panics
+    /// Panics when `element` is out of range.
+    pub fn record_poll(&mut self, element: usize, changed: bool) {
+        self.polls[element] += 1;
+        if changed {
+            self.detections[element] += 1;
+        }
+    }
+
+    /// Number of elements tracked.
+    pub fn len(&self) -> usize {
+        self.polls.len()
+    }
+
+    /// True when tracking zero elements (unreachable via `new`).
+    pub fn is_empty(&self) -> bool {
+        self.polls.is_empty()
+    }
+
+    /// Bias-reduced rate estimates for all elements. Elements never polled
+    /// get `fallback` (e.g. the fleet-wide mean rate) rather than a bogus 0.
+    pub fn rates(&self, fallback: f64) -> Vec<f64> {
+        self.polls
+            .iter()
+            .zip(&self.detections)
+            .map(|(&n, &x)| {
+                if n == 0 {
+                    fallback
+                } else {
+                    PollHistory {
+                        polls: n,
+                        changes_detected: x,
+                        interval: self.interval,
+                    }
+                    .estimate_bias_reduced()
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn history_validation() {
+        assert!(PollHistory::new(0, 0, 1.0).is_err());
+        assert!(PollHistory::new(5, 6, 1.0).is_err());
+        assert!(PollHistory::new(5, 5, 0.0).is_err());
+        assert!(PollHistory::new(5, 5, f64::NAN).is_err());
+        assert!(PollHistory::new(5, 5, 1.0).is_ok());
+    }
+
+    #[test]
+    fn naive_underestimates_fast_changers() {
+        // True rate 4 changes/interval: nearly every poll sees a change, so
+        // the naive estimate saturates near 1/I while the truth is 4/I.
+        let h = PollHistory::new(100, 99, 1.0).unwrap();
+        assert!(h.estimate_naive() < 1.0);
+        assert!(h.estimate_bias_reduced() > 3.0);
+    }
+
+    #[test]
+    fn mle_matches_known_value() {
+        // x/n = 1 - e^{-λI}; with λ=1, I=1: ratio = 1 - 1/e ≈ 0.632.
+        let n = 1000u64;
+        let x = ((1.0 - (-1.0f64).exp()) * n as f64).round() as u64;
+        let h = PollHistory::new(n, x, 1.0).unwrap();
+        let est = h.estimate_mle().unwrap();
+        assert!((est - 1.0).abs() < 0.01, "estimated {est}");
+    }
+
+    #[test]
+    fn mle_diverges_when_all_polls_changed() {
+        let h = PollHistory::new(10, 10, 1.0).unwrap();
+        assert!(h.estimate_mle().is_none());
+        // ... but the bias-reduced estimator still returns a finite value.
+        assert!(h.estimate_bias_reduced().is_finite());
+    }
+
+    #[test]
+    fn bias_reduced_close_to_mle_for_moderate_ratios() {
+        let h = PollHistory::new(10_000, 4_000, 1.0).unwrap();
+        let mle = h.estimate_mle().unwrap();
+        let br = h.estimate_bias_reduced();
+        assert!((mle - br).abs() < 1e-3, "mle={mle} br={br}");
+    }
+
+    #[test]
+    fn zero_detections_zero_rateish() {
+        let h = PollHistory::new(100, 0, 1.0).unwrap();
+        assert_eq!(h.estimate_naive(), 0.0);
+        // With x = 0 the bias-reduced estimator is exactly 0 too:
+        // −ln((n+0.5)/(n+0.5)) = 0.
+        let br = h.estimate_bias_reduced();
+        assert!(br.abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_scales_estimates() {
+        let h1 = PollHistory::new(100, 50, 1.0).unwrap();
+        let h2 = PollHistory::new(100, 50, 2.0).unwrap();
+        assert!((h1.estimate_bias_reduced() / h2.estimate_bias_reduced() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timestamps_mle() {
+        let rate = estimate_from_timestamps(&[0.1, 0.5, 0.9, 1.7], 2.0).unwrap();
+        assert_eq!(rate, 2.0);
+        assert_eq!(estimate_from_timestamps(&[], 4.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn timestamps_validation() {
+        assert!(estimate_from_timestamps(&[0.5], 0.0).is_err());
+        assert!(estimate_from_timestamps(&[-0.1], 1.0).is_err());
+        assert!(estimate_from_timestamps(&[2.0], 1.0).is_err());
+    }
+
+    #[test]
+    fn batch_estimator_roundtrip() {
+        let mut e = ChangeRateEstimator::new(2, 1.0).unwrap();
+        // Element 0 changes every poll (fast); element 1 rarely.
+        for i in 0..100 {
+            e.record_poll(0, i % 2 == 0);
+            e.record_poll(1, i == 0);
+        }
+        let rates = e.rates(99.0);
+        assert!(rates[0] > rates[1]);
+        assert!(rates[1] > 0.0);
+    }
+
+    #[test]
+    fn batch_estimator_fallback_for_unpolled() {
+        let e = ChangeRateEstimator::new(3, 1.0).unwrap();
+        assert_eq!(e.rates(7.0), vec![7.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn batch_estimator_validation() {
+        assert!(ChangeRateEstimator::new(0, 1.0).is_err());
+        assert!(ChangeRateEstimator::new(3, -1.0).is_err());
+    }
+}

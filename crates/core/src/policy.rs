@@ -1,0 +1,229 @@
+//! Synchronization-order policies and their freshness laws.
+//!
+//! The paper adopts the **Fixed Order** policy throughout, citing Cho &
+//! Garcia-Molina's result that it beats randomized alternatives. This
+//! module makes that choice explicit and testable by also implementing the
+//! **Poisson** (memoryless random) policy:
+//!
+//! | Policy | Sync instants | Time-averaged freshness |
+//! |---|---|---|
+//! | [`SyncPolicy::FixedOrder`] | evenly spaced, interval `1/f` | `(f/λ)(1 − e^{−λ/f})` |
+//! | [`SyncPolicy::Poisson`]    | Poisson process at rate `f`   | `f / (λ + f)` |
+//!
+//! For every `r = λ/f > 0`, `(1 − e^{−r})/r > 1/(1 + r)`, so Fixed Order
+//! strictly dominates — regular spacing wastes no interval being either
+//! too early or too late. The ablation binary `exp_policy` and the
+//! simulator's [`freshen-sim`](https://docs.rs) Poisson mode quantify the
+//! gap end to end.
+
+use serde::{Deserialize, Serialize};
+
+use crate::freshness::{
+    freshness_gradient, freshness_second_derivative, steady_state_freshness,
+};
+
+/// How refreshes of one element are placed in time, given its frequency.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SyncPolicy {
+    /// Refresh at fixed, evenly spaced intervals (the paper's policy).
+    #[default]
+    FixedOrder,
+    /// Refresh at exponentially distributed intervals (memoryless).
+    Poisson,
+}
+
+impl SyncPolicy {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SyncPolicy::FixedOrder => "fixed-order",
+            SyncPolicy::Poisson => "poisson",
+        }
+    }
+
+    /// Time-averaged freshness of an element with change rate `lambda`
+    /// refreshed at frequency `f` under this policy.
+    #[inline]
+    pub fn freshness(&self, lambda: f64, f: f64) -> f64 {
+        match self {
+            SyncPolicy::FixedOrder => steady_state_freshness(lambda, f),
+            SyncPolicy::Poisson => {
+                debug_assert!(lambda >= 0.0 && f >= 0.0);
+                if lambda <= 0.0 {
+                    1.0
+                } else if f <= 0.0 {
+                    0.0
+                } else {
+                    f / (lambda + f)
+                }
+            }
+        }
+    }
+
+    /// Marginal freshness `∂F̄/∂f` under this policy.
+    #[inline]
+    pub fn gradient(&self, lambda: f64, f: f64) -> f64 {
+        match self {
+            SyncPolicy::FixedOrder => freshness_gradient(lambda, f),
+            SyncPolicy::Poisson => {
+                debug_assert!(lambda > 0.0 && f >= 0.0);
+                let d = lambda + f;
+                lambda / (d * d)
+            }
+        }
+    }
+
+    /// Second derivative `∂²F̄/∂f²` (non-positive: both policies' freshness
+    /// laws are concave in `f`, so the optimization stays convex).
+    #[inline]
+    pub fn second_derivative(&self, lambda: f64, f: f64) -> f64 {
+        match self {
+            SyncPolicy::FixedOrder => freshness_second_derivative(lambda, f),
+            SyncPolicy::Poisson => {
+                debug_assert!(lambda > 0.0 && f >= 0.0);
+                let d = lambda + f;
+                -2.0 * lambda / (d * d * d)
+            }
+        }
+    }
+
+    /// Time-averaged age under this policy.
+    ///
+    /// Fixed Order: see [`crate::freshness::steady_state_age`]. Poisson
+    /// (memoryless syncing at rate `f`): conditioning on the exponential
+    /// time-since-last-sync gives the closed form `Ā = λ / (f·(f + λ))`.
+    #[inline]
+    pub fn age(&self, lambda: f64, f: f64) -> f64 {
+        match self {
+            SyncPolicy::FixedOrder => crate::freshness::steady_state_age(lambda, f),
+            SyncPolicy::Poisson => {
+                debug_assert!(lambda >= 0.0 && f >= 0.0);
+                if lambda <= 0.0 {
+                    0.0
+                } else if f <= 0.0 {
+                    f64::INFINITY
+                } else {
+                    lambda / (f * (f + lambda))
+                }
+            }
+        }
+    }
+
+    /// Perceived freshness `Σ wᵢ·F̄(λᵢ, fᵢ)` under this policy.
+    pub fn perceived_freshness(&self, weights: &[f64], lambdas: &[f64], freqs: &[f64]) -> f64 {
+        assert_eq!(weights.len(), lambdas.len(), "weights/lambdas length mismatch");
+        assert_eq!(weights.len(), freqs.len(), "weights/freqs length mismatch");
+        weights
+            .iter()
+            .zip(lambdas)
+            .zip(freqs)
+            .filter(|((&w, _), _)| w != 0.0)
+            .map(|((&w, &l), &f)| w * self.freshness(l, f))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_freshness_closed_form() {
+        assert_eq!(SyncPolicy::Poisson.freshness(2.0, 2.0), 0.5);
+        assert_eq!(SyncPolicy::Poisson.freshness(1.0, 3.0), 0.75);
+        assert_eq!(SyncPolicy::Poisson.freshness(1.0, 0.0), 0.0);
+        assert_eq!(SyncPolicy::Poisson.freshness(0.0, 5.0), 1.0);
+    }
+
+    #[test]
+    fn fixed_order_dominates_poisson_everywhere() {
+        // (1 − e^{−r})/r > 1/(1+r) for all r > 0.
+        for lam in [0.1, 1.0, 5.0, 50.0] {
+            for f in [0.01, 0.5, 1.0, 10.0, 100.0] {
+                let fo = SyncPolicy::FixedOrder.freshness(lam, f);
+                let po = SyncPolicy::Poisson.freshness(lam, f);
+                assert!(
+                    fo > po,
+                    "fixed-order must dominate: λ={lam} f={f}: {fo} vs {po}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn policies_agree_at_extremes() {
+        for policy in [SyncPolicy::FixedOrder, SyncPolicy::Poisson] {
+            assert_eq!(policy.freshness(3.0, 0.0), 0.0, "{:?}", policy);
+            assert!(policy.freshness(3.0, 1e9) > 1.0 - 1e-6);
+            assert_eq!(policy.freshness(0.0, 1.0), 1.0);
+        }
+    }
+
+    #[test]
+    fn poisson_gradient_matches_finite_difference() {
+        let lam = 2.5;
+        for f in [0.1, 1.0, 4.0] {
+            let h = 1e-6;
+            let num = (SyncPolicy::Poisson.freshness(lam, f + h)
+                - SyncPolicy::Poisson.freshness(lam, f - h))
+                / (2.0 * h);
+            let ana = SyncPolicy::Poisson.gradient(lam, f);
+            assert!((num - ana).abs() < 1e-6, "f={f}: {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn poisson_second_derivative_matches_finite_difference() {
+        let lam = 1.5;
+        for f in [0.2, 1.0, 3.0] {
+            let h = 1e-5;
+            let num = (SyncPolicy::Poisson.gradient(lam, f + h)
+                - SyncPolicy::Poisson.gradient(lam, f - h))
+                / (2.0 * h);
+            let ana = SyncPolicy::Poisson.second_derivative(lam, f);
+            assert!((num - ana).abs() < 1e-5, "f={f}: {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn both_policies_concave() {
+        for policy in [SyncPolicy::FixedOrder, SyncPolicy::Poisson] {
+            for f in [0.1, 1.0, 10.0] {
+                assert!(policy.second_derivative(2.0, f) < 0.0, "{:?} f={f}", policy);
+            }
+        }
+    }
+
+    #[test]
+    fn perceived_freshness_weighted_sum() {
+        let pf = SyncPolicy::Poisson.perceived_freshness(&[0.5, 0.5], &[1.0, 1.0], &[1.0, 3.0]);
+        assert!((pf - 0.5 * (0.5 + 0.75)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poisson_age_closed_form() {
+        // λ = f = 2: Ā = 2/(2·4) = 0.25.
+        assert!((SyncPolicy::Poisson.age(2.0, 2.0) - 0.25).abs() < 1e-12);
+        assert_eq!(SyncPolicy::Poisson.age(0.0, 1.0), 0.0);
+        assert_eq!(SyncPolicy::Poisson.age(1.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn fixed_order_age_beats_poisson_age() {
+        // Lower age is better; regular spacing wins here too.
+        for lam in [0.5, 2.0, 10.0] {
+            for f in [0.5, 1.0, 5.0] {
+                assert!(
+                    SyncPolicy::FixedOrder.age(lam, f) < SyncPolicy::Poisson.age(lam, f),
+                    "λ={lam} f={f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_is_fixed_order() {
+        assert_eq!(SyncPolicy::default(), SyncPolicy::FixedOrder);
+        assert_eq!(SyncPolicy::default().name(), "fixed-order");
+    }
+}

@@ -1,0 +1,624 @@
+//! The bandwidth-allocation problem: elements, budgets, and solutions.
+//!
+//! The paper's **Core Problem** (§2.1): given change frequencies `λᵢ` and
+//! access probabilities `pᵢ`, find sync frequencies `fᵢ ≥ 0` maximizing
+//! `Σ pᵢ·F̄(fᵢ, λᵢ)` subject to `Σ fᵢ = B`.
+//!
+//! The **Extended Problem** (§5.1) adds object sizes `sᵢ` and replaces the
+//! constraint with `Σ sᵢ·fᵢ ≤ B` — one refresh of a 3-unit object costs 3
+//! units of bandwidth.
+//!
+//! [`Problem`] carries both forms (the core problem is the extended problem
+//! with all sizes 1). Solvers live in `freshen-solver`; heuristics in
+//! `freshen-heuristics`; both consume and produce the types defined here.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{CoreError, Result};
+use crate::freshness::{general_freshness, perceived_freshness};
+use crate::policy::SyncPolicy;
+
+/// Tolerance used when checking that access probabilities sum to one.
+pub const PROB_SUM_TOL: f64 = 1e-6;
+
+/// One mirrored object, as the scheduler sees it.
+///
+/// This is a convenience view; [`Problem`] stores the same data in
+/// structure-of-arrays form for cache-friendly bulk math.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Element {
+    /// Index of the element within the problem.
+    pub id: usize,
+    /// Poisson change frequency at the source (changes per period).
+    pub change_rate: f64,
+    /// Aggregate access probability from the master profile.
+    pub access_prob: f64,
+    /// Object size in bandwidth units (1.0 in the fixed-size core problem).
+    pub size: f64,
+}
+
+/// An instance of the (core or extended) freshening problem.
+///
+/// Invariants enforced at construction:
+/// * all vectors have the same non-zero length;
+/// * `λᵢ ≥ 0`, `pᵢ ≥ 0`, `sᵢ > 0`, all finite;
+/// * `Σ pᵢ = 1 ± 1e-6` (use [`ProblemBuilder::access_weights`] to have the
+///   builder normalize raw weights for you);
+/// * bandwidth `B > 0` and finite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Problem {
+    change_rates: Vec<f64>,
+    access_probs: Vec<f64>,
+    sizes: Vec<f64>,
+    bandwidth: f64,
+    uniform_sizes: bool,
+}
+
+impl Problem {
+    /// Start building a problem.
+    pub fn builder() -> ProblemBuilder {
+        ProblemBuilder::default()
+    }
+
+    /// Number of elements `N`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.change_rates.len()
+    }
+
+    /// True when the problem has no elements (never constructible through
+    /// the builder, but kept for API completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.change_rates.is_empty()
+    }
+
+    /// Change frequencies `λᵢ` (per period).
+    #[inline]
+    pub fn change_rates(&self) -> &[f64] {
+        &self.change_rates
+    }
+
+    /// Access probabilities `pᵢ` (sum to 1).
+    #[inline]
+    pub fn access_probs(&self) -> &[f64] {
+        &self.access_probs
+    }
+
+    /// Object sizes `sᵢ` in bandwidth units.
+    #[inline]
+    pub fn sizes(&self) -> &[f64] {
+        &self.sizes
+    }
+
+    /// Total sync bandwidth `B` per period: refresh *count* when sizes are
+    /// uniform at 1, byte-bandwidth otherwise.
+    #[inline]
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// True when every size equals 1.0 — i.e. this is the paper's Core
+    /// Problem and bandwidth is simply a refresh count.
+    #[inline]
+    pub fn has_uniform_sizes(&self) -> bool {
+        self.uniform_sizes
+    }
+
+    /// Element view at index `i`.
+    ///
+    /// # Panics
+    /// Panics when `i >= len()`.
+    pub fn element(&self, i: usize) -> Element {
+        Element {
+            id: i,
+            change_rate: self.change_rates[i],
+            access_prob: self.access_probs[i],
+            size: self.sizes[i],
+        }
+    }
+
+    /// Iterate over element views.
+    pub fn elements(&self) -> impl Iterator<Item = Element> + '_ {
+        (0..self.len()).map(move |i| self.element(i))
+    }
+
+    /// Bandwidth consumed by an allocation: `Σ sᵢ·fᵢ`.
+    pub fn bandwidth_used(&self, freqs: &[f64]) -> f64 {
+        assert_eq!(freqs.len(), self.len(), "freqs length mismatch");
+        self.sizes.iter().zip(freqs).map(|(&s, &f)| s * f).sum()
+    }
+
+    /// Check an allocation for feasibility: non-negative, finite, and within
+    /// the bandwidth budget (to relative tolerance `tol`).
+    pub fn is_feasible(&self, freqs: &[f64], tol: f64) -> bool {
+        freqs.len() == self.len()
+            && freqs.iter().all(|f| f.is_finite() && *f >= 0.0)
+            && self.bandwidth_used(freqs) <= self.bandwidth * (1.0 + tol)
+    }
+
+    /// Perceived freshness of an allocation against this problem's profile
+    /// (Fixed-Order policy, the paper's default).
+    pub fn perceived_freshness(&self, freqs: &[f64]) -> f64 {
+        perceived_freshness(&self.access_probs, &self.change_rates, freqs)
+    }
+
+    /// Perceived freshness under an explicit synchronization policy.
+    pub fn perceived_freshness_with(&self, policy: SyncPolicy, freqs: &[f64]) -> f64 {
+        policy.perceived_freshness(&self.access_probs, &self.change_rates, freqs)
+    }
+
+    /// Interest-blind average freshness of an allocation (Definition 2).
+    pub fn general_freshness(&self, freqs: &[f64]) -> f64 {
+        general_freshness(&self.change_rates, freqs)
+    }
+
+    /// A copy of this problem with uniform access probabilities — the
+    /// objective optimized by the paper's **GF technique** (Cho &
+    /// Garcia-Molina's interest-blind scheduler).
+    pub fn with_uniform_interest(&self) -> Problem {
+        let n = self.len();
+        Problem {
+            change_rates: self.change_rates.clone(),
+            access_probs: vec![1.0 / n as f64; n],
+            sizes: self.sizes.clone(),
+            bandwidth: self.bandwidth,
+            uniform_sizes: self.uniform_sizes,
+        }
+    }
+
+    /// A copy of this problem with every size reset to 1 (the core-problem
+    /// view of an extended problem). Used for the paper's Figure 10
+    /// comparison of size-aware vs size-blind schedules.
+    pub fn with_uniform_sizes(&self) -> Problem {
+        Problem {
+            change_rates: self.change_rates.clone(),
+            access_probs: self.access_probs.clone(),
+            sizes: vec![1.0; self.len()],
+            bandwidth: self.bandwidth,
+            uniform_sizes: true,
+        }
+    }
+
+    /// Restrict the problem to a subset of element indices, renormalizing
+    /// access probabilities over the subset. Used by mirror-content
+    /// selection (§7 future work) and by partition-local subproblems.
+    ///
+    /// Returns an error when `indices` is empty, out of bounds, or selects
+    /// elements whose total access probability is zero.
+    pub fn restrict_to(&self, indices: &[usize], bandwidth: f64) -> Result<Problem> {
+        if indices.is_empty() {
+            return Err(CoreError::Empty);
+        }
+        let mut lam = Vec::with_capacity(indices.len());
+        let mut p = Vec::with_capacity(indices.len());
+        let mut s = Vec::with_capacity(indices.len());
+        for &i in indices {
+            if i >= self.len() {
+                return Err(CoreError::InvalidValue {
+                    what: "restrict_to index",
+                    index: Some(i),
+                    value: i as f64,
+                });
+            }
+            lam.push(self.change_rates[i]);
+            p.push(self.access_probs[i]);
+            s.push(self.sizes[i]);
+        }
+        let total: f64 = p.iter().sum();
+        if total <= 0.0 {
+            return Err(CoreError::ProbabilityNotNormalized { sum: total });
+        }
+        for w in &mut p {
+            *w /= total;
+        }
+        Problem::builder()
+            .change_rates(lam)
+            .access_probs(p)
+            .sizes(s)
+            .bandwidth(bandwidth)
+            .build()
+    }
+}
+
+/// Builder for [`Problem`]; validates every invariant on [`build`].
+///
+/// [`build`]: ProblemBuilder::build
+#[derive(Debug, Default, Clone)]
+pub struct ProblemBuilder {
+    change_rates: Vec<f64>,
+    access_probs: Vec<f64>,
+    sizes: Option<Vec<f64>>,
+    bandwidth: f64,
+    normalize: bool,
+}
+
+impl ProblemBuilder {
+    /// Set the per-element change frequencies `λᵢ`.
+    pub fn change_rates(mut self, rates: Vec<f64>) -> Self {
+        self.change_rates = rates;
+        self
+    }
+
+    /// Set access probabilities `pᵢ`; must sum to 1.
+    pub fn access_probs(mut self, probs: Vec<f64>) -> Self {
+        self.access_probs = probs;
+        self.normalize = false;
+        self
+    }
+
+    /// Set raw (unnormalized) access weights; the builder divides by their
+    /// sum. Convenient when the profile is a frequency count.
+    pub fn access_weights(mut self, weights: Vec<f64>) -> Self {
+        self.access_probs = weights;
+        self.normalize = true;
+        self
+    }
+
+    /// Set object sizes; omit for the fixed-size core problem (all 1.0).
+    pub fn sizes(mut self, sizes: Vec<f64>) -> Self {
+        self.sizes = Some(sizes);
+        self
+    }
+
+    /// Set the bandwidth budget `B` per period.
+    pub fn bandwidth(mut self, b: f64) -> Self {
+        self.bandwidth = b;
+        self
+    }
+
+    /// Validate and construct the [`Problem`].
+    pub fn build(self) -> Result<Problem> {
+        let n = self.change_rates.len();
+        if n == 0 {
+            return Err(CoreError::Empty);
+        }
+        if self.access_probs.len() != n {
+            return Err(CoreError::LengthMismatch {
+                what: "access_probs",
+                expected: n,
+                actual: self.access_probs.len(),
+            });
+        }
+        let sizes = self.sizes.unwrap_or_else(|| vec![1.0; n]);
+        if sizes.len() != n {
+            return Err(CoreError::LengthMismatch {
+                what: "sizes",
+                expected: n,
+                actual: sizes.len(),
+            });
+        }
+        for (i, &l) in self.change_rates.iter().enumerate() {
+            if !l.is_finite() || l < 0.0 {
+                return Err(CoreError::InvalidValue {
+                    what: "change_rates",
+                    index: Some(i),
+                    value: l,
+                });
+            }
+        }
+        let mut probs = self.access_probs;
+        for (i, &p) in probs.iter().enumerate() {
+            if !p.is_finite() || p < 0.0 {
+                return Err(CoreError::InvalidValue {
+                    what: "access_probs",
+                    index: Some(i),
+                    value: p,
+                });
+            }
+        }
+        let sum: f64 = probs.iter().sum();
+        if self.normalize {
+            if sum <= 0.0 {
+                return Err(CoreError::ProbabilityNotNormalized { sum });
+            }
+            for p in &mut probs {
+                *p /= sum;
+            }
+        } else if (sum - 1.0).abs() > PROB_SUM_TOL {
+            return Err(CoreError::ProbabilityNotNormalized { sum });
+        }
+        let mut uniform_sizes = true;
+        for (i, &s) in sizes.iter().enumerate() {
+            if !s.is_finite() || s <= 0.0 {
+                return Err(CoreError::InvalidValue {
+                    what: "sizes",
+                    index: Some(i),
+                    value: s,
+                });
+            }
+            if s != 1.0 {
+                uniform_sizes = false;
+            }
+        }
+        if !self.bandwidth.is_finite() || self.bandwidth <= 0.0 {
+            return Err(CoreError::InvalidValue {
+                what: "bandwidth",
+                index: None,
+                value: self.bandwidth,
+            });
+        }
+        Ok(Problem {
+            change_rates: self.change_rates,
+            access_probs: probs,
+            sizes,
+            bandwidth: self.bandwidth,
+            uniform_sizes,
+        })
+    }
+}
+
+/// The output of a solver or heuristic: an allocation plus bookkeeping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Solution {
+    /// Per-element sync frequencies `fᵢ` (per period).
+    pub frequencies: Vec<f64>,
+    /// Perceived freshness achieved, `Σ pᵢ F̄(λᵢ, fᵢ)`.
+    pub perceived_freshness: f64,
+    /// Interest-blind average freshness achieved.
+    pub general_freshness: f64,
+    /// Bandwidth consumed, `Σ sᵢ fᵢ`.
+    pub bandwidth_used: f64,
+    /// The Lagrange multiplier `μ` at the solution, when the producing
+    /// algorithm computes one (exact solvers do; heuristics report the
+    /// multiplier of their reduced problem).
+    pub multiplier: Option<f64>,
+    /// Iterations the producing algorithm spent.
+    pub iterations: usize,
+}
+
+impl Solution {
+    /// Score an allocation against a problem, producing a [`Solution`]
+    /// record with metrics filled in (Fixed-Order policy).
+    pub fn evaluate(problem: &Problem, frequencies: Vec<f64>) -> Solution {
+        Self::evaluate_with_policy(problem, frequencies, SyncPolicy::FixedOrder)
+    }
+
+    /// Score an allocation under an explicit synchronization policy.
+    pub fn evaluate_with_policy(
+        problem: &Problem,
+        frequencies: Vec<f64>,
+        policy: SyncPolicy,
+    ) -> Solution {
+        assert_eq!(frequencies.len(), problem.len(), "frequencies length mismatch");
+        let pf = problem.perceived_freshness_with(policy, &frequencies);
+        let gf = {
+            let n = problem.len() as f64;
+            let uniform = vec![1.0 / n; problem.len()];
+            policy.perceived_freshness(&uniform, problem.change_rates(), &frequencies)
+        };
+        let used = problem.bandwidth_used(&frequencies);
+        Solution {
+            frequencies,
+            perceived_freshness: pf,
+            general_freshness: gf,
+            bandwidth_used: used,
+            multiplier: None,
+            iterations: 0,
+        }
+    }
+
+    /// Number of elements receiving zero bandwidth ("starved" objects —
+    /// the paper's §7 observes many objects legitimately get none).
+    pub fn starved_count(&self) -> usize {
+        self.frequencies.iter().filter(|f| **f <= 0.0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Problem {
+        Problem::builder()
+            .change_rates(vec![1.0, 2.0, 3.0, 4.0, 5.0])
+            .access_probs(vec![0.2; 5])
+            .bandwidth(5.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_happy_path() {
+        let p = toy();
+        assert_eq!(p.len(), 5);
+        assert!(p.has_uniform_sizes());
+        assert_eq!(p.bandwidth(), 5.0);
+    }
+
+    #[test]
+    fn builder_rejects_empty() {
+        let err = Problem::builder().bandwidth(1.0).build().unwrap_err();
+        assert_eq!(err, CoreError::Empty);
+    }
+
+    #[test]
+    fn builder_rejects_length_mismatch() {
+        let err = Problem::builder()
+            .change_rates(vec![1.0, 2.0])
+            .access_probs(vec![1.0])
+            .bandwidth(1.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::LengthMismatch { what: "access_probs", .. }));
+    }
+
+    #[test]
+    fn builder_rejects_negative_rate() {
+        let err = Problem::builder()
+            .change_rates(vec![1.0, -2.0])
+            .access_probs(vec![0.5, 0.5])
+            .bandwidth(1.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidValue { what: "change_rates", index: Some(1), .. }));
+    }
+
+    #[test]
+    fn builder_rejects_unnormalized_probs() {
+        let err = Problem::builder()
+            .change_rates(vec![1.0, 2.0])
+            .access_probs(vec![0.5, 0.6])
+            .bandwidth(1.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::ProbabilityNotNormalized { .. }));
+    }
+
+    #[test]
+    fn builder_normalizes_weights() {
+        let p = Problem::builder()
+            .change_rates(vec![1.0, 2.0, 3.0])
+            .access_weights(vec![10.0, 20.0, 30.0])
+            .bandwidth(2.0)
+            .build()
+            .unwrap();
+        let probs = p.access_probs();
+        assert!((probs[0] - 1.0 / 6.0).abs() < 1e-12);
+        assert!((probs[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_rejects_zero_weight_sum() {
+        let err = Problem::builder()
+            .change_rates(vec![1.0])
+            .access_weights(vec![0.0])
+            .bandwidth(1.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::ProbabilityNotNormalized { .. }));
+    }
+
+    #[test]
+    fn builder_rejects_zero_size() {
+        let err = Problem::builder()
+            .change_rates(vec![1.0])
+            .access_probs(vec![1.0])
+            .sizes(vec![0.0])
+            .bandwidth(1.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidValue { what: "sizes", .. }));
+    }
+
+    #[test]
+    fn builder_rejects_bad_bandwidth() {
+        for b in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = Problem::builder()
+                .change_rates(vec![1.0])
+                .access_probs(vec![1.0])
+                .bandwidth(b)
+                .build()
+                .unwrap_err();
+            assert!(matches!(err, CoreError::InvalidValue { what: "bandwidth", .. }));
+        }
+    }
+
+    #[test]
+    fn uniform_size_detection() {
+        let p = Problem::builder()
+            .change_rates(vec![1.0, 1.0])
+            .access_probs(vec![0.5, 0.5])
+            .sizes(vec![1.0, 2.0])
+            .bandwidth(1.0)
+            .build()
+            .unwrap();
+        assert!(!p.has_uniform_sizes());
+        assert!(p.with_uniform_sizes().has_uniform_sizes());
+    }
+
+    #[test]
+    fn bandwidth_used_weights_by_size() {
+        let p = Problem::builder()
+            .change_rates(vec![1.0, 1.0])
+            .access_probs(vec![0.5, 0.5])
+            .sizes(vec![1.0, 3.0])
+            .bandwidth(10.0)
+            .build()
+            .unwrap();
+        assert_eq!(p.bandwidth_used(&[2.0, 2.0]), 8.0);
+    }
+
+    #[test]
+    fn feasibility_checks() {
+        let p = toy();
+        assert!(p.is_feasible(&[1.0; 5], 1e-9));
+        assert!(!p.is_feasible(&[2.0; 5], 1e-9)); // over budget
+        assert!(!p.is_feasible(&[1.0; 4], 1e-9)); // wrong length
+        assert!(!p.is_feasible(&[1.0, 1.0, 1.0, 1.0, -0.1], 1e-9)); // negative
+    }
+
+    #[test]
+    fn uniform_interest_flattens_profile() {
+        let p = Problem::builder()
+            .change_rates(vec![1.0, 2.0])
+            .access_probs(vec![0.9, 0.1])
+            .bandwidth(1.0)
+            .build()
+            .unwrap();
+        let u = p.with_uniform_interest();
+        assert_eq!(u.access_probs(), &[0.5, 0.5]);
+        // change rates and bandwidth preserved
+        assert_eq!(u.change_rates(), p.change_rates());
+        assert_eq!(u.bandwidth(), p.bandwidth());
+    }
+
+    #[test]
+    fn element_views() {
+        let p = toy();
+        let e = p.element(2);
+        assert_eq!(e.id, 2);
+        assert_eq!(e.change_rate, 3.0);
+        assert_eq!(e.size, 1.0);
+        assert_eq!(p.elements().count(), 5);
+    }
+
+    #[test]
+    fn restrict_to_renormalizes() {
+        let p = Problem::builder()
+            .change_rates(vec![1.0, 2.0, 3.0])
+            .access_probs(vec![0.2, 0.3, 0.5])
+            .bandwidth(3.0)
+            .build()
+            .unwrap();
+        let sub = p.restrict_to(&[1, 2], 2.0).unwrap();
+        assert_eq!(sub.len(), 2);
+        assert!((sub.access_probs()[0] - 0.375).abs() < 1e-12);
+        assert!((sub.access_probs()[1] - 0.625).abs() < 1e-12);
+        assert_eq!(sub.bandwidth(), 2.0);
+    }
+
+    #[test]
+    fn restrict_to_rejects_empty_and_oob() {
+        let p = toy();
+        assert!(p.restrict_to(&[], 1.0).is_err());
+        assert!(p.restrict_to(&[99], 1.0).is_err());
+    }
+
+    #[test]
+    fn solution_evaluate_fills_metrics() {
+        let p = toy();
+        let s = Solution::evaluate(&p, vec![1.0; 5]);
+        assert!((s.bandwidth_used - 5.0).abs() < 1e-12);
+        assert!(s.perceived_freshness > 0.0 && s.perceived_freshness < 1.0);
+        assert!(s.general_freshness > 0.0 && s.general_freshness < 1.0);
+        // Uniform profile: PF equals GF.
+        assert!((s.perceived_freshness - s.general_freshness).abs() < 1e-12);
+        assert_eq!(s.starved_count(), 0);
+    }
+
+    #[test]
+    fn starved_count_counts_zeros() {
+        let p = toy();
+        let s = Solution::evaluate(&p, vec![0.0, 2.0, 3.0, 0.0, 0.0]);
+        assert_eq!(s.starved_count(), 3);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = toy();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Problem = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,396 @@
+//! User profiles and their aggregation into the master profile.
+//!
+//! The paper (§2): each user submits a *profile* — "a declarative
+//! specification of the relative importance of each copy in the mirror",
+//! modeled as a distribution of access frequencies. The mirror aggregates
+//! all user profiles into one **master profile**, a combined frequency
+//! distribution; scaled by total accesses it becomes the access probability
+//! vector `p` the scheduler consumes.
+//!
+//! Two refinements the paper calls out are implemented here:
+//! * individual profiles can be **weighted** before aggregation "so as to
+//!   give higher priority to more important users (e.g., generals or higher
+//!   paying customers)";
+//! * a profile can be **learned from the request log** ("a simple learning
+//!   algorithm that monitors the system request log", §7) — see
+//!   [`ProfileEstimator`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{CoreError, Result};
+
+/// A single user's interest profile over the `N` mirrored elements,
+/// expressed as non-negative access frequencies (accesses per period).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserProfile {
+    /// Access frequency per element; length must equal the mirror size.
+    frequencies: Vec<f64>,
+}
+
+impl UserProfile {
+    /// Build a profile from raw access frequencies.
+    ///
+    /// Frequencies must be finite and non-negative, with at least one
+    /// strictly positive entry.
+    pub fn new(frequencies: Vec<f64>) -> Result<Self> {
+        if frequencies.is_empty() {
+            return Err(CoreError::Empty);
+        }
+        let mut any_positive = false;
+        for (i, &v) in frequencies.iter().enumerate() {
+            if !v.is_finite() || v < 0.0 {
+                return Err(CoreError::InvalidValue {
+                    what: "profile frequencies",
+                    index: Some(i),
+                    value: v,
+                });
+            }
+            if v > 0.0 {
+                any_positive = true;
+            }
+        }
+        if !any_positive {
+            return Err(CoreError::ProbabilityNotNormalized { sum: 0.0 });
+        }
+        Ok(UserProfile { frequencies })
+    }
+
+    /// A profile that accesses exactly one element.
+    pub fn single_interest(n: usize, element: usize) -> Result<Self> {
+        if element >= n {
+            return Err(CoreError::InvalidValue {
+                what: "single_interest element",
+                index: Some(element),
+                value: element as f64,
+            });
+        }
+        let mut f = vec![0.0; n];
+        f[element] = 1.0;
+        UserProfile::new(f)
+    }
+
+    /// Number of elements this profile covers.
+    pub fn len(&self) -> usize {
+        self.frequencies.len()
+    }
+
+    /// True when the profile covers zero elements (unreachable via `new`).
+    pub fn is_empty(&self) -> bool {
+        self.frequencies.is_empty()
+    }
+
+    /// Raw access frequencies.
+    pub fn frequencies(&self) -> &[f64] {
+        &self.frequencies
+    }
+
+    /// Total accesses per period this user generates.
+    pub fn total_rate(&self) -> f64 {
+        self.frequencies.iter().sum()
+    }
+
+    /// This user's access *probabilities* (frequencies normalized to 1).
+    pub fn probabilities(&self) -> Vec<f64> {
+        let total = self.total_rate();
+        self.frequencies.iter().map(|f| f / total).collect()
+    }
+}
+
+/// The aggregated master profile — "a combined frequency distribution for
+/// all users" (§2). Feed [`MasterProfile::access_probs`] into
+/// [`crate::problem::ProblemBuilder::access_probs`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MasterProfile {
+    combined: Vec<f64>,
+    users: usize,
+}
+
+impl MasterProfile {
+    /// Aggregate user profiles with equal priority.
+    pub fn aggregate(profiles: &[UserProfile]) -> Result<Self> {
+        Self::aggregate_weighted(profiles, &vec![1.0; profiles.len()])
+    }
+
+    /// Aggregate user profiles with per-user priority weights (§2: "so as
+    /// to give higher priority to more important users").
+    ///
+    /// Each user's frequency vector is multiplied by their weight and the
+    /// results are summed. Weights must be finite and non-negative with a
+    /// positive sum; profile lengths must agree.
+    pub fn aggregate_weighted(profiles: &[UserProfile], weights: &[f64]) -> Result<Self> {
+        if profiles.is_empty() {
+            return Err(CoreError::Empty);
+        }
+        if weights.len() != profiles.len() {
+            return Err(CoreError::LengthMismatch {
+                what: "profile weights",
+                expected: profiles.len(),
+                actual: weights.len(),
+            });
+        }
+        let n = profiles[0].len();
+        let mut combined = vec![0.0; n];
+        let mut weight_sum = 0.0;
+        for (u, (profile, &w)) in profiles.iter().zip(weights).enumerate() {
+            if profile.len() != n {
+                return Err(CoreError::LengthMismatch {
+                    what: "profile length",
+                    expected: n,
+                    actual: profile.len(),
+                });
+            }
+            if !w.is_finite() || w < 0.0 {
+                return Err(CoreError::InvalidValue {
+                    what: "profile weight",
+                    index: Some(u),
+                    value: w,
+                });
+            }
+            weight_sum += w;
+            for (c, &f) in combined.iter_mut().zip(profile.frequencies()) {
+                *c += w * f;
+            }
+        }
+        if weight_sum <= 0.0 || combined.iter().sum::<f64>() <= 0.0 {
+            return Err(CoreError::ProbabilityNotNormalized { sum: 0.0 });
+        }
+        Ok(MasterProfile {
+            combined,
+            users: profiles.len(),
+        })
+    }
+
+    /// Number of mirrored elements the profile covers.
+    pub fn len(&self) -> usize {
+        self.combined.len()
+    }
+
+    /// True when the profile covers zero elements (unreachable normally).
+    pub fn is_empty(&self) -> bool {
+        self.combined.is_empty()
+    }
+
+    /// How many user profiles were aggregated.
+    pub fn user_count(&self) -> usize {
+        self.users
+    }
+
+    /// Combined access frequencies (weighted sums).
+    pub fn combined_frequencies(&self) -> &[f64] {
+        &self.combined
+    }
+
+    /// The access probability vector `p` (`Σ pᵢ = 1`).
+    pub fn access_probs(&self) -> Vec<f64> {
+        let total: f64 = self.combined.iter().sum();
+        self.combined.iter().map(|f| f / total).collect()
+    }
+}
+
+/// Online profile learner: observes element accesses (e.g. from the mirror's
+/// request log) and maintains an exponentially decayed frequency estimate.
+///
+/// This implements the paper's §7 remark that access patterns can come "from
+/// a simple learning algorithm that monitors the system request log". With
+/// `decay = 1.0` the estimator degenerates to plain counting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProfileEstimator {
+    counts: Vec<f64>,
+    decay: f64,
+    observations: u64,
+}
+
+impl ProfileEstimator {
+    /// Create an estimator over `n` elements with per-observation decay
+    /// factor `decay ∈ (0, 1]` applied to all counts before each increment.
+    pub fn new(n: usize, decay: f64) -> Result<Self> {
+        if n == 0 {
+            return Err(CoreError::Empty);
+        }
+        if !decay.is_finite() || decay <= 0.0 || decay > 1.0 {
+            return Err(CoreError::InvalidValue {
+                what: "decay",
+                index: None,
+                value: decay,
+            });
+        }
+        Ok(ProfileEstimator {
+            counts: vec![0.0; n],
+            decay,
+            observations: 0,
+        })
+    }
+
+    /// Record one access to `element`.
+    ///
+    /// # Panics
+    /// Panics when `element` is out of range.
+    pub fn observe(&mut self, element: usize) {
+        assert!(element < self.counts.len(), "element out of range");
+        if self.decay < 1.0 {
+            for c in &mut self.counts {
+                *c *= self.decay;
+            }
+        }
+        self.counts[element] += 1.0;
+        self.observations += 1;
+    }
+
+    /// Record a batch of accesses (indices into the mirror).
+    pub fn observe_all(&mut self, elements: &[usize]) {
+        for &e in elements {
+            self.observe(e);
+        }
+    }
+
+    /// Number of accesses observed so far.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Current estimate as a master-profile-compatible probability vector,
+    /// or `None` before any observation.
+    pub fn access_probs(&self) -> Option<Vec<f64>> {
+        let total: f64 = self.counts.iter().sum();
+        if total <= 0.0 {
+            return None;
+        }
+        Some(self.counts.iter().map(|c| c / total).collect())
+    }
+
+    /// Current estimate smoothed with a uniform prior: each element gets
+    /// pseudo-count `alpha`. Guarantees strictly positive probabilities,
+    /// which keeps never-yet-accessed objects from being starved forever
+    /// purely due to a cold log.
+    pub fn access_probs_smoothed(&self, alpha: f64) -> Vec<f64> {
+        assert!(alpha > 0.0, "alpha must be positive");
+        let total: f64 = self.counts.iter().sum::<f64>() + alpha * self.counts.len() as f64;
+        self.counts.iter().map(|c| (c + alpha) / total).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_profile_validation() {
+        assert!(UserProfile::new(vec![]).is_err());
+        assert!(UserProfile::new(vec![0.0, 0.0]).is_err());
+        assert!(UserProfile::new(vec![1.0, -1.0]).is_err());
+        assert!(UserProfile::new(vec![1.0, f64::NAN]).is_err());
+        assert!(UserProfile::new(vec![1.0, 0.0]).is_ok());
+    }
+
+    #[test]
+    fn user_profile_probabilities_normalize() {
+        let u = UserProfile::new(vec![1.0, 3.0]).unwrap();
+        assert_eq!(u.probabilities(), vec![0.25, 0.75]);
+        assert_eq!(u.total_rate(), 4.0);
+    }
+
+    #[test]
+    fn single_interest_profile() {
+        let u = UserProfile::single_interest(3, 1).unwrap();
+        assert_eq!(u.frequencies(), &[0.0, 1.0, 0.0]);
+        assert!(UserProfile::single_interest(3, 3).is_err());
+    }
+
+    #[test]
+    fn aggregate_equal_weights_sums_frequencies() {
+        let a = UserProfile::new(vec![2.0, 0.0]).unwrap();
+        let b = UserProfile::new(vec![0.0, 2.0]).unwrap();
+        let m = MasterProfile::aggregate(&[a, b]).unwrap();
+        assert_eq!(m.combined_frequencies(), &[2.0, 2.0]);
+        assert_eq!(m.access_probs(), vec![0.5, 0.5]);
+        assert_eq!(m.user_count(), 2);
+    }
+
+    #[test]
+    fn aggregate_weighted_prioritizes_users() {
+        // The "general" outweighs the private 3:1.
+        let general = UserProfile::new(vec![1.0, 0.0]).unwrap();
+        let private = UserProfile::new(vec![0.0, 1.0]).unwrap();
+        let m = MasterProfile::aggregate_weighted(&[general, private], &[3.0, 1.0]).unwrap();
+        assert_eq!(m.access_probs(), vec![0.75, 0.25]);
+    }
+
+    #[test]
+    fn aggregate_rejects_mismatched_lengths() {
+        let a = UserProfile::new(vec![1.0, 1.0]).unwrap();
+        let b = UserProfile::new(vec![1.0]).unwrap();
+        assert!(MasterProfile::aggregate(&[a, b]).is_err());
+    }
+
+    #[test]
+    fn aggregate_rejects_bad_weights() {
+        let a = UserProfile::new(vec![1.0]).unwrap();
+        let b = UserProfile::new(vec![1.0]).unwrap();
+        assert!(MasterProfile::aggregate_weighted(&[a.clone(), b.clone()], &[1.0]).is_err());
+        assert!(MasterProfile::aggregate_weighted(&[a.clone(), b.clone()], &[-1.0, 1.0]).is_err());
+        assert!(MasterProfile::aggregate_weighted(&[a, b], &[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn aggregate_rejects_empty() {
+        assert!(MasterProfile::aggregate(&[]).is_err());
+    }
+
+    #[test]
+    fn zero_weight_user_is_ignored() {
+        let a = UserProfile::new(vec![1.0, 0.0]).unwrap();
+        let b = UserProfile::new(vec![0.0, 1.0]).unwrap();
+        let m = MasterProfile::aggregate_weighted(&[a, b], &[1.0, 0.0]).unwrap();
+        assert_eq!(m.access_probs(), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn estimator_counts_without_decay() {
+        let mut e = ProfileEstimator::new(3, 1.0).unwrap();
+        assert!(e.access_probs().is_none());
+        e.observe_all(&[0, 0, 0, 1]);
+        assert_eq!(e.observations(), 4);
+        let p = e.access_probs().unwrap();
+        assert_eq!(p, vec![0.75, 0.25, 0.0]);
+    }
+
+    #[test]
+    fn estimator_decay_forgets_old_interest() {
+        let mut e = ProfileEstimator::new(2, 0.5).unwrap();
+        // Old interest in element 0 ...
+        for _ in 0..10 {
+            e.observe(0);
+        }
+        // ... superseded by recent interest in element 1.
+        for _ in 0..10 {
+            e.observe(1);
+        }
+        let p = e.access_probs().unwrap();
+        assert!(p[1] > 0.99, "recent interest dominates: {p:?}");
+    }
+
+    #[test]
+    fn estimator_smoothing_keeps_all_positive() {
+        let mut e = ProfileEstimator::new(4, 1.0).unwrap();
+        e.observe(2);
+        let p = e.access_probs_smoothed(0.1);
+        assert!(p.iter().all(|&x| x > 0.0));
+        let sum: f64 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[0]);
+    }
+
+    #[test]
+    fn estimator_rejects_bad_config() {
+        assert!(ProfileEstimator::new(0, 1.0).is_err());
+        assert!(ProfileEstimator::new(2, 0.0).is_err());
+        assert!(ProfileEstimator::new(2, 1.5).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "element out of range")]
+    fn estimator_observe_oob_panics() {
+        let mut e = ProfileEstimator::new(2, 1.0).unwrap();
+        e.observe(2);
+    }
+}

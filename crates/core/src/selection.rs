@@ -1,0 +1,242 @@
+//! Mirror-content selection under a space budget (paper §7, future work).
+//!
+//! The paper closes by observing that many objects receive *no* refresh
+//! bandwidth at the optimum, "get arbitrarily out of date and therefore
+//! become much less valuable", and suggests profiles "could influence which
+//! objects we include in the mirror when the mirror is smaller than the
+//! database". This module implements that extension.
+//!
+//! Model: the mirror can hold only a subset `S` of the database, subject to
+//! `Σ_{i∈S} sᵢ ≤ capacity`. An access to an object *not* in the mirror
+//! never sees a fresh copy (it must be forwarded or fails), so the
+//! achievable perceived freshness is `Σ_{i∈S} pᵢ·F̄(λᵢ, fᵢ)` with the
+//! refresh budget spent only on mirrored objects.
+//!
+//! [`select_greedy`] ranks objects by *freshness density* — expected
+//! perceived-freshness contribution per unit of space at a reference
+//! refresh rate — and fills the capacity greedily (the classic knapsack
+//! density heuristic). [`select_with_solver`] then iterates: select, let
+//! the caller's solver allocate bandwidth over the selected subset, re-rank
+//! by *realized* contribution, and re-select until the chosen set is stable
+//! (or `max_rounds` is hit).
+
+use crate::freshness::steady_state_freshness;
+use crate::problem::Problem;
+
+/// The outcome of a selection round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionResult {
+    /// Indices of objects to keep in the mirror, sorted ascending.
+    pub selected: Vec<usize>,
+    /// Space used, `Σ sᵢ` over the selection.
+    pub space_used: f64,
+    /// Rounds of select/solve iteration performed (1 for plain greedy).
+    pub rounds: usize,
+}
+
+/// Greedy density selection: rank by `pᵢ·F̄(λᵢ, f₀/sᵢ) / sᵢ` where the
+/// reference per-object refresh rate `f₀ = bandwidth / capacity` spreads
+/// the sync budget over the space budget, then take objects in rank order
+/// while they fit.
+///
+/// # Panics
+/// Panics when `capacity` is not positive.
+pub fn select_greedy(problem: &Problem, capacity: f64) -> SelectionResult {
+    assert!(capacity > 0.0, "capacity must be positive");
+    let f0 = (problem.bandwidth() / capacity).max(1e-12);
+    let scores: Vec<f64> = problem
+        .elements()
+        .map(|e| {
+            e.access_prob * steady_state_freshness(e.change_rate, f0 / e.size) / e.size
+        })
+        .collect();
+    select_by_scores(problem, capacity, &scores, 1)
+}
+
+/// Iterated selection with a caller-supplied bandwidth allocator.
+///
+/// `solve` receives the subproblem restricted to the current selection
+/// (access probabilities renormalized, full refresh bandwidth) and must
+/// return per-element refresh frequencies for that subproblem. Objects are
+/// then re-ranked by realized contribution `pᵢ·F̄(λᵢ, fᵢ)/sᵢ` (unselected
+/// objects keep their greedy score) and re-selected. Stops when the
+/// selection is stable or after `max_rounds`.
+///
+/// # Panics
+/// Panics when `capacity` is not positive or `max_rounds` is zero.
+pub fn select_with_solver(
+    problem: &Problem,
+    capacity: f64,
+    max_rounds: usize,
+    mut solve: impl FnMut(&Problem) -> Vec<f64>,
+) -> SelectionResult {
+    assert!(capacity > 0.0, "capacity must be positive");
+    assert!(max_rounds > 0, "max_rounds must be at least 1");
+    let mut result = select_greedy(problem, capacity);
+    let f0 = (problem.bandwidth() / capacity).max(1e-12);
+    let mut scores: Vec<f64> = problem
+        .elements()
+        .map(|e| e.access_prob * steady_state_freshness(e.change_rate, f0 / e.size) / e.size)
+        .collect();
+
+    for round in 2..=max_rounds {
+        let sub = match problem.restrict_to(&result.selected, problem.bandwidth()) {
+            Ok(s) => s,
+            Err(_) => break, // selection has zero aggregate interest; stop
+        };
+        let freqs = solve(&sub);
+        assert_eq!(
+            freqs.len(),
+            result.selected.len(),
+            "solver returned wrong number of frequencies"
+        );
+        for (k, &i) in result.selected.iter().enumerate() {
+            let e = problem.element(i);
+            scores[i] =
+                e.access_prob * steady_state_freshness(e.change_rate, freqs[k]) / e.size;
+        }
+        let next = select_by_scores(problem, capacity, &scores, round);
+        if next.selected == result.selected {
+            return SelectionResult { rounds: round, ..result };
+        }
+        result = next;
+    }
+    result
+}
+
+fn select_by_scores(
+    problem: &Problem,
+    capacity: f64,
+    scores: &[f64],
+    rounds: usize,
+) -> SelectionResult {
+    let mut order: Vec<usize> = (0..problem.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let sizes = problem.sizes();
+    let mut selected = Vec::new();
+    let mut used = 0.0;
+    for i in order {
+        if used + sizes[i] <= capacity {
+            selected.push(i);
+            used += sizes[i];
+        }
+    }
+    selected.sort_unstable();
+    SelectionResult {
+        selected,
+        space_used: used,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skewed_problem() -> Problem {
+        // Element 0: hot & slow-changing (prime candidate).
+        // Element 1: hot & fast-changing.
+        // Element 2: cold & slow-changing.
+        // Element 3: cold & fast-changing (worst candidate).
+        Problem::builder()
+            .change_rates(vec![0.5, 8.0, 0.5, 8.0])
+            .access_probs(vec![0.45, 0.45, 0.05, 0.05])
+            .bandwidth(4.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn greedy_fills_capacity_with_hot_objects() {
+        let p = skewed_problem();
+        let sel = select_greedy(&p, 2.0);
+        assert_eq!(sel.selected, vec![0, 1], "keeps the two hot objects");
+        assert_eq!(sel.space_used, 2.0);
+        assert_eq!(sel.rounds, 1);
+    }
+
+    #[test]
+    fn greedy_respects_capacity_exactly() {
+        let p = skewed_problem();
+        let sel = select_greedy(&p, 3.0);
+        assert_eq!(sel.selected.len(), 3);
+        assert!(sel.space_used <= 3.0);
+    }
+
+    #[test]
+    fn greedy_full_capacity_selects_everything() {
+        let p = skewed_problem();
+        let sel = select_greedy(&p, 100.0);
+        assert_eq!(sel.selected, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn greedy_accounts_for_size_density() {
+        // Equal interest/volatility, but element 1 is 10x larger: density
+        // favors the small object when only it fits.
+        let p = Problem::builder()
+            .change_rates(vec![1.0, 1.0])
+            .access_probs(vec![0.5, 0.5])
+            .sizes(vec![1.0, 10.0])
+            .bandwidth(2.0)
+            .build()
+            .unwrap();
+        let sel = select_greedy(&p, 5.0);
+        assert_eq!(sel.selected, vec![0]);
+    }
+
+    #[test]
+    fn iterated_selection_converges_and_is_feasible() {
+        let p = skewed_problem();
+        // A crude "solver": spread bandwidth evenly over the subset.
+        let sel = select_with_solver(&p, 2.0, 5, |sub| {
+            vec![sub.bandwidth() / sub.len() as f64; sub.len()]
+        });
+        assert!(sel.space_used <= 2.0);
+        assert!(!sel.selected.is_empty());
+        assert!(sel.rounds >= 2, "at least one refinement round runs");
+    }
+
+    #[test]
+    fn iterated_selection_can_drop_unrefreshable_hot_object() {
+        // Element 1 is hot but so volatile that, with a realistic allocator
+        // that refuses to waste bandwidth on it, its realized contribution
+        // collapses and a cooler-but-keepable object wins its slot.
+        let p = Problem::builder()
+            .change_rates(vec![0.5, 500.0, 0.6, 8.0])
+            .access_probs(vec![0.4, 0.35, 0.2, 0.05])
+            .bandwidth(2.0)
+            .build()
+            .unwrap();
+        let sel = select_with_solver(&p, 2.0, 5, |sub| {
+            // Allocator that starves anything changing faster than 100/period.
+            let mut f = vec![0.0; sub.len()];
+            let keep: Vec<usize> = (0..sub.len())
+                .filter(|&i| sub.change_rates()[i] < 100.0)
+                .collect();
+            if !keep.is_empty() {
+                let share = sub.bandwidth() / keep.len() as f64;
+                for i in keep {
+                    f[i] = share;
+                }
+            }
+            f
+        });
+        assert!(
+            sel.selected.contains(&0) && sel.selected.contains(&2),
+            "volatile hot object displaced by keepable ones: {:?}",
+            sel.selected
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn rejects_bad_capacity() {
+        select_greedy(&skewed_problem(), 0.0);
+    }
+}

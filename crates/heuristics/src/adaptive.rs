@@ -1,0 +1,275 @@
+//! Adaptive rescheduling: decide *when* to re-solve and do it cheaply.
+//!
+//! The paper's §3 motivation for the heuristics is that "for large
+//! real-world problems for which the contents of the mirror or the user
+//! interests might change, we would need to periodically solve the Core
+//! Problem". This module packages that loop:
+//!
+//! * [`DriftMonitor`] quantifies how far the current `(p, λ)` estimates
+//!   have drifted from the ones the active schedule was computed for,
+//!   using a symmetrized KL divergence on the normalized vectors, and
+//!   recommends a re-solve when the drift crosses a threshold;
+//! * [`AdaptiveScheduler`] owns the active schedule and re-solves on
+//!   demand — warm-starting the exact solver from the previous Lagrange
+//!   multiplier ([`LagrangeSolver::solve_warm`]), which roughly halves the
+//!   outer iterations for small drifts.
+
+use freshen_core::error::{CoreError, Result};
+use freshen_core::problem::{Problem, Solution};
+use freshen_solver::LagrangeSolver;
+
+/// Symmetrized KL divergence (Jeffreys divergence) between two positive
+/// vectors, each normalized to sum to 1 first. Zero entries are smoothed
+/// with a tiny ε so elements appearing/disappearing stay finite.
+///
+/// # Panics
+/// Panics when lengths differ or either vector has a non-positive sum.
+pub fn jeffreys_divergence(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "divergence length mismatch");
+    const EPS: f64 = 1e-12;
+    let sa: f64 = a.iter().sum();
+    let sb: f64 = b.iter().sum();
+    assert!(sa > 0.0 && sb > 0.0, "divergence needs positive mass");
+    let mut d = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        let p = (x / sa).max(EPS);
+        let q = (y / sb).max(EPS);
+        d += (p - q) * (p / q).ln();
+    }
+    d
+}
+
+/// Drift detector comparing live `(p, λ)` estimates against the snapshot
+/// the active schedule was computed from.
+#[derive(Debug, Clone)]
+pub struct DriftMonitor {
+    baseline_probs: Vec<f64>,
+    baseline_rates: Vec<f64>,
+    threshold: f64,
+}
+
+impl DriftMonitor {
+    /// Create a monitor with a Jeffreys-divergence `threshold` (a typical
+    /// operating point is 0.01–0.1: ~0.02 corresponds to a few percent of
+    /// interest mass moving between objects).
+    pub fn new(problem: &Problem, threshold: f64) -> Result<Self> {
+        if !threshold.is_finite() || threshold <= 0.0 {
+            return Err(CoreError::InvalidValue {
+                what: "drift threshold",
+                index: None,
+                value: threshold,
+            });
+        }
+        Ok(DriftMonitor {
+            baseline_probs: problem.access_probs().to_vec(),
+            baseline_rates: problem.change_rates().to_vec(),
+            threshold,
+        })
+    }
+
+    /// Total drift of `current` against the baseline: the sum of the
+    /// profile divergence and the change-rate divergence.
+    ///
+    /// # Panics
+    /// Panics when `current` has a different element count.
+    pub fn drift(&self, current: &Problem) -> f64 {
+        jeffreys_divergence(self.baseline_probs.as_slice(), current.access_probs())
+            + jeffreys_divergence(self.baseline_rates.as_slice(), current.change_rates())
+    }
+
+    /// Should the schedule be recomputed for `current`?
+    pub fn needs_resolve(&self, current: &Problem) -> bool {
+        self.drift(current) > self.threshold
+    }
+
+    /// Re-baseline after a re-solve.
+    pub fn rebaseline(&mut self, problem: &Problem) {
+        self.baseline_probs.clear();
+        self.baseline_probs.extend_from_slice(problem.access_probs());
+        self.baseline_rates.clear();
+        self.baseline_rates.extend_from_slice(problem.change_rates());
+    }
+}
+
+/// A stateful scheduler that re-solves only when drift warrants it,
+/// warm-starting from the previous multiplier.
+#[derive(Debug)]
+pub struct AdaptiveScheduler {
+    solver: LagrangeSolver,
+    monitor: DriftMonitor,
+    current: Solution,
+    resolves: usize,
+    skips: usize,
+}
+
+impl AdaptiveScheduler {
+    /// Solve the initial problem and arm the drift monitor.
+    pub fn new(problem: &Problem, drift_threshold: f64) -> Result<Self> {
+        let solver = LagrangeSolver::default();
+        let current = solver.solve(problem)?;
+        Ok(AdaptiveScheduler {
+            solver,
+            monitor: DriftMonitor::new(problem, drift_threshold)?,
+            current,
+            resolves: 1,
+            skips: 0,
+        })
+    }
+
+    /// The active schedule.
+    pub fn schedule(&self) -> &Solution {
+        &self.current
+    }
+
+    /// Exact solves performed so far (including the initial one).
+    pub fn resolves(&self) -> usize {
+        self.resolves
+    }
+
+    /// Updates that were absorbed without re-solving.
+    pub fn skips(&self) -> usize {
+        self.skips
+    }
+
+    /// Feed the latest estimates. Re-solves (warm-started) when the drift
+    /// monitor fires; otherwise keeps the active schedule. Returns whether
+    /// a re-solve happened.
+    ///
+    /// The element count must stay fixed (the paper's model: "copies are
+    /// not added or deleted at the mirror").
+    pub fn observe(&mut self, problem: &Problem) -> Result<bool> {
+        if problem.len() != self.current.frequencies.len() {
+            return Err(CoreError::LengthMismatch {
+                what: "adaptive problem size",
+                expected: self.current.frequencies.len(),
+                actual: problem.len(),
+            });
+        }
+        if !self.monitor.needs_resolve(problem) {
+            self.skips += 1;
+            return Ok(false);
+        }
+        let hint = self.current.multiplier.unwrap_or(0.0);
+        self.current = if hint > 0.0 {
+            self.solver.solve_warm(problem, hint)?
+        } else {
+            self.solver.solve(problem)?
+        };
+        self.monitor.rebaseline(problem);
+        self.resolves += 1;
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freshen_workload::scenario::{Alignment, Scenario};
+
+    fn base_problem() -> Problem {
+        Scenario::table2(1.0, Alignment::ShuffledChange, 42)
+            .problem()
+            .unwrap()
+    }
+
+    fn perturbed(problem: &Problem, factor: f64) -> Problem {
+        // Tilt the profile: even elements gain, odd elements lose.
+        let probs: Vec<f64> = problem
+            .access_probs()
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| if i % 2 == 0 { p * factor } else { p / factor })
+            .collect();
+        Problem::builder()
+            .change_rates(problem.change_rates().to_vec())
+            .access_weights(probs)
+            .bandwidth(problem.bandwidth())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn divergence_zero_iff_identical() {
+        let a = [0.2, 0.3, 0.5];
+        assert_eq!(jeffreys_divergence(&a, &a), 0.0);
+        let b = [0.5, 0.3, 0.2];
+        assert!(jeffreys_divergence(&a, &b) > 0.0);
+    }
+
+    #[test]
+    fn divergence_symmetric_and_scale_invariant() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [3.0, 2.0, 1.0];
+        let scaled: Vec<f64> = a.iter().map(|x| x * 7.0).collect();
+        assert!((jeffreys_divergence(&a, &b) - jeffreys_divergence(&b, &a)).abs() < 1e-12);
+        assert!(jeffreys_divergence(&a, &scaled) < 1e-12);
+    }
+
+    #[test]
+    fn divergence_grows_with_perturbation() {
+        let p = base_problem();
+        let small = perturbed(&p, 1.05);
+        let large = perturbed(&p, 1.5);
+        let monitor = DriftMonitor::new(&p, 0.01).unwrap();
+        assert!(monitor.drift(&small) < monitor.drift(&large));
+    }
+
+    #[test]
+    fn monitor_ignores_noise_fires_on_drift() {
+        let p = base_problem();
+        let monitor = DriftMonitor::new(&p, 0.02).unwrap();
+        assert!(!monitor.needs_resolve(&p), "no drift, no fire");
+        assert!(!monitor.needs_resolve(&perturbed(&p, 1.01)), "1% tilt is noise");
+        assert!(monitor.needs_resolve(&perturbed(&p, 2.0)), "2x tilt must fire");
+    }
+
+    #[test]
+    fn monitor_validates_threshold() {
+        let p = base_problem();
+        assert!(DriftMonitor::new(&p, 0.0).is_err());
+        assert!(DriftMonitor::new(&p, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn adaptive_skips_noise_and_tracks_drift() {
+        let p = base_problem();
+        let mut sched = AdaptiveScheduler::new(&p, 0.02).unwrap();
+        assert_eq!(sched.resolves(), 1);
+
+        // Noise: no re-solve, schedule unchanged.
+        let noisy = perturbed(&p, 1.005);
+        assert!(!sched.observe(&noisy).unwrap());
+        assert_eq!(sched.skips(), 1);
+
+        // Real drift: re-solve fires and the new schedule is optimal for
+        // the drifted problem.
+        let drifted = perturbed(&p, 2.0);
+        assert!(sched.observe(&drifted).unwrap());
+        assert_eq!(sched.resolves(), 2);
+        let direct = LagrangeSolver::default().solve(&drifted).unwrap();
+        for (a, b) in sched.schedule().frequencies.iter().zip(&direct.frequencies) {
+            assert!((a - b).abs() < 1e-6, "warm re-solve equals cold solve");
+        }
+
+        // After re-baselining, the same drifted problem reads as no-drift.
+        assert!(!sched.observe(&drifted).unwrap());
+    }
+
+    #[test]
+    fn adaptive_rejects_size_change() {
+        let p = base_problem();
+        let mut sched = AdaptiveScheduler::new(&p, 0.02).unwrap();
+        let smaller = Scenario::table2(1.0, Alignment::ShuffledChange, 1)
+            .problem()
+            .unwrap()
+            .restrict_to(&(0..100).collect::<Vec<_>>(), 50.0)
+            .unwrap();
+        assert!(sched.observe(&smaller).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn divergence_length_mismatch_panics() {
+        jeffreys_divergence(&[1.0], &[0.5, 0.5]);
+    }
+}

@@ -1,0 +1,41 @@
+//! # freshen-heuristics
+//!
+//! The paper's scalable approximation pipeline (§3–§5). Solving the Core
+//! Problem exactly over millions of elements is impractical when the
+//! schedule must be recomputed as profiles and change rates drift, so the
+//! heuristics shrink the optimization:
+//!
+//! 1. **Partition** ([`partition`]): sort the elements by a criterion —
+//!    access probability `P`, change rate `λ`, the ratio `P/λ`, the
+//!    perceived-freshness score `PF` at a reference frequency, or its
+//!    size-aware variant `PF/s` — and cut the order into `k` contiguous
+//!    runs.
+//! 2. **Refine** ([`kmeans`], optional): improve the partitions with a few
+//!    iterations of k-Means clustering in normalized `(p, λ)` (or
+//!    `(p, λ, s)`) space — the paper's §4.1.3 "additional improvement",
+//!    which turned out to be its most surprising win.
+//! 3. **Reduce** ([`reduce`]): replace each partition by a representative
+//!    element (mean `p`, mean `λ`, mean `s`) weighted by its multiplicity,
+//!    producing a `k`-element problem (the paper's *Transformed Problem*).
+//! 4. **Solve** the reduced problem exactly with
+//!    `freshen_solver::LagrangeSolver` (`k ≪ N`, so this is cheap).
+//! 5. **Allocate** ([`allocate`]): spread each partition's bandwidth back
+//!    over its members — equal *frequency* (FFA) or equal *bandwidth*
+//!    (FBA); with variable object sizes FBA dominates (§5.3, Figure 11).
+//!
+//! [`pipeline::HeuristicScheduler`] wires the five steps together.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod adaptive;
+pub mod allocate;
+pub mod kmeans;
+pub mod multistage;
+pub mod partition;
+pub mod pipeline;
+pub mod reduce;
+
+pub use allocate::AllocationPolicy;
+pub use partition::{PartitionCriterion, Partitioning};
+pub use pipeline::{HeuristicConfig, HeuristicScheduler, HeuristicSolution};

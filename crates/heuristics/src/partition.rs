@@ -1,0 +1,382 @@
+//! Sorting-based partitioning of the element set (paper §3.1, §5.2).
+//!
+//! "All elements are sorted. Then N/k successive elements are assigned to a
+//! partition." The quality of the downstream approximation depends on the
+//! sorting criterion; the paper defines four for the core problem and two
+//! more once object sizes enter:
+//!
+//! | Criterion | Sort key | Paper name |
+//! |---|---|---|
+//! | [`PartitionCriterion::AccessProb`] | `pᵢ` | P-Partitioning |
+//! | [`PartitionCriterion::ChangeRate`] | `λᵢ` | λ-Partitioning |
+//! | [`PartitionCriterion::AccessOverChange`] | `pᵢ/λᵢ` | P/λ-Partitioning |
+//! | [`PartitionCriterion::PerceivedFreshness`] | `pᵢ·F̄(λᵢ, f₀)` | PF-Partitioning |
+//! | [`PartitionCriterion::PerceivedFreshnessPerSize`] | `pᵢ·F̄(λᵢ, f₀/sᵢ)` | PF/s-Partitioning (§5.2) |
+//! | [`PartitionCriterion::Size`] | `sᵢ` | Size-Partitioning (§5.3) |
+//!
+//! The reference frequency `f₀` defaults to 1.0; the paper notes "the exact
+//! synchronization frequency used in our calculations is not important".
+
+use serde::{Deserialize, Serialize};
+
+use freshen_core::error::{CoreError, Result};
+use freshen_core::freshness::steady_state_freshness;
+use freshen_core::problem::Problem;
+
+/// Sorting criterion for contiguous-run partitioning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartitionCriterion {
+    /// Sort by access probability (`P`-Partitioning).
+    AccessProb,
+    /// Sort by change frequency (`λ`-Partitioning) — "included for
+    /// completeness"; the paper shows it trails the others.
+    ChangeRate,
+    /// Sort by `p/λ` (`P/λ`-Partitioning): bandwidth should rise with `p`
+    /// and fall with `λ`, so the ratio groups similarly-deserving elements.
+    AccessOverChange,
+    /// Sort by perceived-freshness contribution at a fixed reference
+    /// frequency (`PF`-Partitioning) — the paper's winner.
+    PerceivedFreshness,
+    /// Size-aware `PF`-Partitioning: the reference bandwidth is divided by
+    /// the object's size before computing the score (§5.2).
+    PerceivedFreshnessPerSize,
+    /// Sort by object size (§5.3; like `λ`-Partitioning, a completeness
+    /// baseline that ignores the `p`/`λ` interaction).
+    Size,
+}
+
+impl PartitionCriterion {
+    /// All criteria applicable to fixed-size (core) problems.
+    pub const CORE: [PartitionCriterion; 4] = [
+        PartitionCriterion::AccessProb,
+        PartitionCriterion::ChangeRate,
+        PartitionCriterion::AccessOverChange,
+        PartitionCriterion::PerceivedFreshness,
+    ];
+
+    /// Short display name matching the paper's plots.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PartitionCriterion::AccessProb => "P_PARTITIONING",
+            PartitionCriterion::ChangeRate => "LAMBDA_PARTITIONING",
+            PartitionCriterion::AccessOverChange => "P_OVER_LAMBDA_PARTITIONING",
+            PartitionCriterion::PerceivedFreshness => "PF_PARTITIONING",
+            PartitionCriterion::PerceivedFreshnessPerSize => "PF_SIZE_PARTITIONING",
+            PartitionCriterion::Size => "SIZE_PARTITIONING",
+        }
+    }
+
+    /// The sort key for element `i` of `problem`.
+    pub fn key(&self, problem: &Problem, i: usize, reference_frequency: f64) -> f64 {
+        let p = problem.access_probs()[i];
+        let lam = problem.change_rates()[i];
+        let s = problem.sizes()[i];
+        match self {
+            PartitionCriterion::AccessProb => p,
+            PartitionCriterion::ChangeRate => lam,
+            PartitionCriterion::AccessOverChange => p / lam.max(1e-300),
+            PartitionCriterion::PerceivedFreshness => {
+                p * steady_state_freshness(lam, reference_frequency)
+            }
+            PartitionCriterion::PerceivedFreshnessPerSize => {
+                p * steady_state_freshness(lam, reference_frequency / s)
+            }
+            PartitionCriterion::Size => s,
+        }
+    }
+}
+
+/// A partitioning of the element set into `k` groups.
+///
+/// Stored as an assignment vector (`element → partition id`); groups may be
+/// non-contiguous after k-Means refinement and may become empty (empty
+/// groups are skipped by the reduction step).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partitioning {
+    assignment: Vec<usize>,
+    k: usize,
+}
+
+impl Partitioning {
+    /// Partition by sorting on `criterion` and cutting into `k` contiguous
+    /// runs of (near-)equal length. `k` is clamped to `N`.
+    ///
+    /// Elements are sorted *descending* by key; ties keep index order so
+    /// the result is deterministic.
+    pub fn by_criterion(
+        problem: &Problem,
+        criterion: PartitionCriterion,
+        k: usize,
+        reference_frequency: f64,
+    ) -> Result<Partitioning> {
+        if k == 0 {
+            return Err(CoreError::InvalidConfig("need at least one partition".into()));
+        }
+        if !reference_frequency.is_finite() || reference_frequency <= 0.0 {
+            return Err(CoreError::InvalidValue {
+                what: "reference_frequency",
+                index: None,
+                value: reference_frequency,
+            });
+        }
+        let n = problem.len();
+        let k = k.min(n);
+        let mut order: Vec<usize> = (0..n).collect();
+        let keys: Vec<f64> = (0..n)
+            .map(|i| criterion.key(problem, i, reference_frequency))
+            .collect();
+        order.sort_by(|&a, &b| {
+            keys[b]
+                .partial_cmp(&keys[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut assignment = vec![0usize; n];
+        // ceil(n/k)-sized runs: the last partitions may be smaller, which
+        // the paper notes is negligible for n ≫ k.
+        let run = n.div_ceil(k);
+        for (pos, &elem) in order.iter().enumerate() {
+            assignment[elem] = (pos / run).min(k - 1);
+        }
+        Ok(Partitioning { assignment, k })
+    }
+
+    /// Build directly from an assignment vector (used by k-Means).
+    ///
+    /// Returns an error when any id is `≥ k` or the vector is empty.
+    pub fn from_assignment(assignment: Vec<usize>, k: usize) -> Result<Partitioning> {
+        if assignment.is_empty() {
+            return Err(CoreError::Empty);
+        }
+        if k == 0 {
+            return Err(CoreError::InvalidConfig("need at least one partition".into()));
+        }
+        if let Some((i, &g)) = assignment.iter().enumerate().find(|(_, &g)| g >= k) {
+            return Err(CoreError::InvalidValue {
+                what: "partition assignment",
+                index: Some(i),
+                value: g as f64,
+            });
+        }
+        Ok(Partitioning { assignment, k })
+    }
+
+    /// A single partition holding everything (k = 1).
+    pub fn single(n: usize) -> Partitioning {
+        Partitioning {
+            assignment: vec![0; n],
+            k: 1,
+        }
+    }
+
+    /// Number of partitions (including possibly empty ones).
+    pub fn num_partitions(&self) -> usize {
+        self.k
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// True when covering zero elements (unreachable via constructors).
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+
+    /// The partition id of element `i`.
+    pub fn partition_of(&self, i: usize) -> usize {
+        self.assignment[i]
+    }
+
+    /// The raw assignment vector.
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// Member lists per partition (index = partition id).
+    pub fn members(&self) -> Vec<Vec<usize>> {
+        let mut m = vec![Vec::new(); self.k];
+        for (i, &g) in self.assignment.iter().enumerate() {
+            m[g].push(i);
+        }
+        m
+    }
+
+    /// Member counts per partition.
+    pub fn counts(&self) -> Vec<usize> {
+        let mut c = vec![0usize; self.k];
+        for &g in &self.assignment {
+            c[g] += 1;
+        }
+        c
+    }
+
+    /// Number of non-empty partitions.
+    pub fn non_empty(&self) -> usize {
+        self.counts().iter().filter(|&&c| c > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Problem {
+        Problem::builder()
+            .change_rates(vec![5.0, 4.0, 3.0, 2.0, 1.0, 0.5])
+            .access_probs(vec![0.05, 0.05, 0.1, 0.2, 0.25, 0.35])
+            .bandwidth(3.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn p_partitioning_groups_by_interest() {
+        let p = toy();
+        let part = Partitioning::by_criterion(&p, PartitionCriterion::AccessProb, 3, 1.0).unwrap();
+        // Descending p: elements 5,4,3 | 2,0,1 → partition of hottest is 0.
+        assert_eq!(part.partition_of(5), 0);
+        assert_eq!(part.partition_of(4), 0);
+        assert_eq!(part.partition_of(0), 2);
+        assert_eq!(part.counts(), vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn lambda_partitioning_groups_by_change() {
+        let p = toy();
+        let part = Partitioning::by_criterion(&p, PartitionCriterion::ChangeRate, 2, 1.0).unwrap();
+        // Descending λ: 0,1,2 | 3,4,5.
+        assert_eq!(part.partition_of(0), 0);
+        assert_eq!(part.partition_of(2), 0);
+        assert_eq!(part.partition_of(3), 1);
+        assert_eq!(part.partition_of(5), 1);
+    }
+
+    #[test]
+    fn ratio_partitioning_orders_by_p_over_lambda() {
+        let p = toy();
+        let part =
+            Partitioning::by_criterion(&p, PartitionCriterion::AccessOverChange, 6, 1.0).unwrap();
+        // p/λ strictly increases with index here, so descending order is
+        // reversed index order: element 5 first.
+        assert_eq!(part.partition_of(5), 0);
+        assert_eq!(part.partition_of(0), 5);
+    }
+
+    #[test]
+    fn pf_key_combines_interest_and_volatility() {
+        let p = toy();
+        let c = PartitionCriterion::PerceivedFreshness;
+        // Same p, different λ: slower changer scores higher.
+        let problem = Problem::builder()
+            .change_rates(vec![0.5, 8.0])
+            .access_probs(vec![0.5, 0.5])
+            .bandwidth(1.0)
+            .build()
+            .unwrap();
+        assert!(c.key(&problem, 0, 1.0) > c.key(&problem, 1, 1.0));
+        // Same λ, different p: hotter scores higher.
+        assert!(c.key(&p, 5, 1.0) > c.key(&p, 4, 1.0) || p.access_probs()[5] < p.access_probs()[4]);
+    }
+
+    #[test]
+    fn pf_size_key_penalizes_large_objects() {
+        let problem = Problem::builder()
+            .change_rates(vec![2.0, 2.0])
+            .access_probs(vec![0.5, 0.5])
+            .sizes(vec![1.0, 8.0])
+            .bandwidth(1.0)
+            .build()
+            .unwrap();
+        let c = PartitionCriterion::PerceivedFreshnessPerSize;
+        assert!(
+            c.key(&problem, 0, 1.0) > c.key(&problem, 1, 1.0),
+            "a big object achieves less freshness per reference bandwidth"
+        );
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let p = toy();
+        let part =
+            Partitioning::by_criterion(&p, PartitionCriterion::AccessProb, 100, 1.0).unwrap();
+        assert_eq!(part.num_partitions(), 6);
+        assert!(part.counts().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn uneven_division_puts_remainder_last() {
+        let p = toy();
+        let part = Partitioning::by_criterion(&p, PartitionCriterion::AccessProb, 4, 1.0).unwrap();
+        // 6 elements into 4 partitions with ceil(6/4)=2 runs: 2,2,2,0.
+        let counts = part.counts();
+        assert_eq!(counts.iter().sum::<usize>(), 6);
+        assert_eq!(part.num_partitions(), 4);
+        assert!(part.non_empty() <= 4);
+    }
+
+    #[test]
+    fn single_partition_covers_everything() {
+        let part = Partitioning::single(5);
+        assert_eq!(part.num_partitions(), 1);
+        assert_eq!(part.counts(), vec![5]);
+    }
+
+    #[test]
+    fn members_inverse_of_assignment() {
+        let p = toy();
+        let part = Partitioning::by_criterion(&p, PartitionCriterion::ChangeRate, 3, 1.0).unwrap();
+        let members = part.members();
+        for (g, group) in members.iter().enumerate() {
+            for &i in group {
+                assert_eq!(part.partition_of(i), g);
+            }
+        }
+        let total: usize = members.iter().map(|m| m.len()).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn from_assignment_validates() {
+        assert!(Partitioning::from_assignment(vec![], 1).is_err());
+        assert!(Partitioning::from_assignment(vec![0, 2], 2).is_err());
+        assert!(Partitioning::from_assignment(vec![0, 1], 0).is_err());
+        let p = Partitioning::from_assignment(vec![0, 1, 1], 3).unwrap();
+        assert_eq!(p.non_empty(), 2);
+    }
+
+    #[test]
+    fn zero_partitions_rejected() {
+        let p = toy();
+        assert!(Partitioning::by_criterion(&p, PartitionCriterion::AccessProb, 0, 1.0).is_err());
+    }
+
+    #[test]
+    fn bad_reference_frequency_rejected() {
+        let p = toy();
+        for f0 in [0.0, -1.0, f64::NAN] {
+            assert!(
+                Partitioning::by_criterion(&p, PartitionCriterion::PerceivedFreshness, 2, f0)
+                    .is_err()
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_ties() {
+        let problem = Problem::builder()
+            .change_rates(vec![1.0; 4])
+            .access_probs(vec![0.25; 4])
+            .bandwidth(1.0)
+            .build()
+            .unwrap();
+        let a = Partitioning::by_criterion(&problem, PartitionCriterion::AccessProb, 2, 1.0)
+            .unwrap();
+        let b = Partitioning::by_criterion(&problem, PartitionCriterion::AccessProb, 2, 1.0)
+            .unwrap();
+        assert_eq!(a, b);
+        // Ties broken by index: first two elements in partition 0.
+        assert_eq!(a.assignment(), &[0, 0, 1, 1]);
+    }
+}

@@ -1,0 +1,152 @@
+//! The simulation event model: a time-ordered queue of typed events.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens at a simulation instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The source copy of the element changes.
+    Update,
+    /// The mirror polls the element (a scheduled refresh).
+    Sync,
+    /// A user reads the element from the mirror.
+    Access,
+}
+
+/// A scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Simulation time (periods).
+    pub time: f64,
+    /// Event type.
+    pub kind: EventKind,
+    /// Target element.
+    pub element: usize,
+}
+
+/// Min-heap event queue with deterministic tie-breaking.
+///
+/// Ties in time are broken by insertion sequence, so a simulation's event
+/// order is a pure function of the pushed events — replaying a seed yields
+/// byte-identical traces.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Entry>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    event: Event,
+    seq: u64,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.event.time == other.event.time && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for min-heap; tie-break on sequence (FIFO).
+        other
+            .event
+            .time
+            .partial_cmp(&self.event.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule an event.
+    ///
+    /// # Panics
+    /// Panics on a non-finite time.
+    pub fn push(&mut self, event: Event) {
+        assert!(event.time.is_finite(), "event time must be finite");
+        self.heap.push(Entry {
+            event,
+            seq: self.seq,
+        });
+        self.seq += 1;
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop().map(|e| e.event)
+    }
+
+    /// Peek at the earliest event's time.
+    pub fn next_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.event.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Event { time: 3.0, kind: EventKind::Update, element: 0 });
+        q.push(Event { time: 1.0, kind: EventKind::Sync, element: 1 });
+        q.push(Event { time: 2.0, kind: EventKind::Access, element: 2 });
+        assert_eq!(q.pop().unwrap().time, 1.0);
+        assert_eq!(q.pop().unwrap().time, 2.0);
+        assert_eq!(q.pop().unwrap().time, 3.0);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        q.push(Event { time: 1.0, kind: EventKind::Update, element: 10 });
+        q.push(Event { time: 1.0, kind: EventKind::Sync, element: 20 });
+        q.push(Event { time: 1.0, kind: EventKind::Access, element: 30 });
+        assert_eq!(q.pop().unwrap().element, 10);
+        assert_eq!(q.pop().unwrap().element, 20);
+        assert_eq!(q.pop().unwrap().element, 30);
+    }
+
+    #[test]
+    fn next_time_peeks() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.next_time(), None);
+        q.push(Event { time: 5.0, kind: EventKind::Update, element: 0 });
+        assert_eq!(q.next_time(), Some(5.0));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_time() {
+        let mut q = EventQueue::new();
+        q.push(Event { time: f64::NAN, kind: EventKind::Update, element: 0 });
+    }
+}

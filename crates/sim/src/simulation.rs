@@ -1,0 +1,775 @@
+//! The simulation driver: wires generators, schedule, state, and evaluator
+//! into one deterministic event loop.
+
+use serde::{Deserialize, Serialize};
+
+use freshen_core::error::{CoreError, Result};
+use freshen_core::policy::SyncPolicy;
+use freshen_core::problem::Problem;
+use freshen_core::schedule::ScheduleStream;
+
+use crate::evaluator::FreshnessEvaluator;
+use crate::generators::{AccessGenerator, UpdateGenerator};
+use crate::state::{Mirror, Source};
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Measured simulation length, in periods.
+    pub periods: f64,
+    /// Warm-up length, in periods, excluded from all metrics (lets the
+    /// all-fresh initial state decay to steady state).
+    pub warmup_periods: f64,
+    /// Total user requests per period (drives the access-scored metric's
+    /// sample count).
+    pub accesses_per_period: f64,
+    /// Seed; the whole simulation is a pure function of problem,
+    /// frequencies, config, and this value.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            periods: 20.0,
+            warmup_periods: 2.0,
+            accesses_per_period: 1000.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Everything measured by one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Closed-form expectation `Σ pᵢ·F̄(λᵢ, fᵢ)` (the analytic evaluator
+    /// mode).
+    pub analytic_pf: f64,
+    /// Time-integrated perceived freshness over the measured window.
+    pub time_averaged_pf: f64,
+    /// Access-scored perceived freshness (Definition 3); `None` when no
+    /// access landed in the measured window.
+    pub access_pf: Option<f64>,
+    /// Updates applied during the whole run (including warm-up).
+    pub updates: u64,
+    /// Sync operations performed.
+    pub syncs: u64,
+    /// Accesses scored (measured window only).
+    pub accesses: u64,
+    /// Per-element polls performed (for change-rate estimation studies).
+    pub polls: Vec<u64>,
+    /// Per-element polls that found changed content.
+    pub polls_changed: Vec<u64>,
+    /// Per-element accesses in the measured window (the raw material for
+    /// profile learning from the request log, §7).
+    pub access_counts: Vec<u64>,
+    /// Fraction of the run the mirror–source link spent transferring
+    /// (`None` when transfers are modeled as instantaneous).
+    pub link_utilization: Option<f64>,
+    /// Closed-form perceived age `Σ pᵢ·Ā(λᵢ, fᵢ)` under the configured
+    /// policy (infinite when a weighted element gets zero bandwidth).
+    pub analytic_age: f64,
+    /// Time-integrated perceived age over the measured window.
+    pub time_averaged_age: f64,
+}
+
+/// A configured simulation, ready to [`run`](Simulation::run).
+#[derive(Debug)]
+pub struct Simulation {
+    problem: Problem,
+    frequencies: Vec<f64>,
+    config: SimConfig,
+    sync_policy: SyncPolicy,
+    link_capacity: Option<f64>,
+}
+
+/// A pending link transfer event (FIFO single-link model).
+#[derive(Debug, PartialEq)]
+enum LinkEvent {
+    /// Transfer begins: snapshot the source content.
+    Start { element: usize },
+    /// Transfer ends: install the snapshot at the mirror.
+    Complete { element: usize, snapshot: u64 },
+}
+
+#[derive(Debug, PartialEq)]
+struct TimedLinkEvent {
+    time: f64,
+    seq: u64,
+    event: LinkEvent,
+}
+impl Eq for TimedLinkEvent {}
+impl Ord for TimedLinkEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for TimedLinkEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The sync-request stream under either policy.
+///
+/// Boxed: a single stream lives per simulation run, and boxing keeps the
+/// variant sizes (and the enum) small.
+enum SyncStream {
+    /// Evenly spaced per-element refreshes (the paper's Fixed Order).
+    Fixed(Box<ScheduleStream>),
+    /// Memoryless refreshes at the same rates (the ablation policy).
+    Poisson(Box<UpdateGenerator>),
+}
+
+impl SyncStream {
+    fn next_event(&mut self, horizon: f64) -> Option<(f64, usize)> {
+        match self {
+            SyncStream::Fixed(s) => s.next().map(|op| (op.time, op.element)),
+            SyncStream::Poisson(g) => g.next_event(horizon),
+        }
+    }
+}
+
+impl Simulation {
+    /// Validate inputs and build a simulation.
+    pub fn new(problem: &Problem, frequencies: &[f64], config: SimConfig) -> Result<Self> {
+        if frequencies.len() != problem.len() {
+            return Err(CoreError::LengthMismatch {
+                what: "frequencies",
+                expected: problem.len(),
+                actual: frequencies.len(),
+            });
+        }
+        for (i, &f) in frequencies.iter().enumerate() {
+            if !f.is_finite() || f < 0.0 {
+                return Err(CoreError::InvalidValue {
+                    what: "frequencies",
+                    index: Some(i),
+                    value: f,
+                });
+            }
+        }
+        for (what, v) in [
+            ("periods", config.periods),
+            ("accesses_per_period", config.accesses_per_period),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(CoreError::InvalidValue {
+                    what,
+                    index: None,
+                    value: v,
+                });
+            }
+        }
+        if !config.warmup_periods.is_finite() || config.warmup_periods < 0.0 {
+            return Err(CoreError::InvalidValue {
+                what: "warmup_periods",
+                index: None,
+                value: config.warmup_periods,
+            });
+        }
+        Ok(Simulation {
+            problem: problem.clone(),
+            frequencies: frequencies.to_vec(),
+            config,
+            sync_policy: SyncPolicy::FixedOrder,
+            link_capacity: None,
+        })
+    }
+
+    /// Model the mirror–source link explicitly: transfers are serialized
+    /// FIFO through a single link of `capacity` size-units per period, a
+    /// refresh of object `i` occupies it for `sizeᵢ/capacity` periods, and
+    /// the content *read at transfer start* is what arrives at completion
+    /// (so it can already be stale on arrival).
+    ///
+    /// Without this, refreshes are instantaneous — the paper's
+    /// abstraction, which this mode exists to stress-test: a schedule
+    /// whose planned load `Σ sᵢfᵢ` fits well inside `capacity` behaves
+    /// almost identically, while an overloaded link queues transfers and
+    /// freshness collapses.
+    ///
+    /// # Panics
+    /// Panics when `capacity` is not positive and finite.
+    pub fn with_link_capacity(mut self, capacity: f64) -> Self {
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "link capacity must be positive"
+        );
+        self.link_capacity = Some(capacity);
+        self
+    }
+
+    /// Use a different synchronization policy (default: Fixed Order).
+    ///
+    /// Under [`SyncPolicy::Poisson`] the same per-element frequencies
+    /// drive a memoryless refresh process instead of an even timetable —
+    /// the ablation showing *why* the paper adopts Fixed Order.
+    pub fn with_sync_policy(mut self, policy: SyncPolicy) -> Self {
+        self.sync_policy = policy;
+        self
+    }
+
+    /// Execute the event loop and report the measurements.
+    pub fn run(&self) -> SimReport {
+        let n = self.problem.len();
+        let horizon = self.config.warmup_periods + self.config.periods;
+
+        let mut source = Source::new(n);
+        let mut mirror = Mirror::new(n);
+        let mut evaluator = FreshnessEvaluator::new(self.problem.access_probs());
+
+        // Independent streams with decorrelated seeds.
+        let mut updates =
+            UpdateGenerator::new(self.problem.change_rates(), self.config.seed ^ 0x5eed_0001);
+        let mut accesses = AccessGenerator::new(
+            self.problem.access_probs(),
+            self.config.accesses_per_period,
+            self.config.seed ^ 0x5eed_0002,
+        );
+        let mut syncs = match self.sync_policy {
+            SyncPolicy::FixedOrder => {
+                SyncStream::Fixed(Box::new(ScheduleStream::new(&self.frequencies, horizon)))
+            }
+            SyncPolicy::Poisson => SyncStream::Poisson(Box::new(UpdateGenerator::new(
+                &self.frequencies,
+                self.config.seed ^ 0x5eed_0003,
+            ))),
+        };
+
+        let mut polls = vec![0u64; n];
+        let mut polls_changed = vec![0u64; n];
+        let mut access_counts = vec![0u64; n];
+        let mut measured_accesses = 0u64;
+        let mut measuring = self.config.warmup_periods == 0.0;
+        if measuring {
+            evaluator.start_measurement(0.0);
+        }
+
+        // Link-transfer model state (None ⇒ instantaneous refreshes).
+        let mut link_events: std::collections::BinaryHeap<TimedLinkEvent> =
+            std::collections::BinaryHeap::new();
+        let mut link_seq = 0u64;
+        let mut link_free_at = 0.0f64;
+        let mut link_busy_time = 0.0f64;
+
+        // Pull-merge the event streams in time order.
+        let mut next_update = updates.next_event(horizon);
+        let mut next_access = accesses.next_event(horizon);
+        let mut next_sync = syncs.next_event(horizon);
+
+        loop {
+            // Earliest pending event across the streams.
+            let tu = next_update.map(|(t, _)| t).unwrap_or(f64::INFINITY);
+            let ta = next_access.map(|(t, _)| t).unwrap_or(f64::INFINITY);
+            let ts = next_sync.map(|(t, _)| t).unwrap_or(f64::INFINITY);
+            let tl = link_events.peek().map(|e| e.time).unwrap_or(f64::INFINITY);
+            let t = tu.min(ta).min(ts).min(tl);
+            if !t.is_finite() || t >= horizon {
+                break;
+            }
+            if !measuring && t >= self.config.warmup_periods {
+                evaluator.start_measurement(self.config.warmup_periods);
+                measuring = true;
+            }
+            if tu <= ta && tu <= ts && tu <= tl {
+                let (time, element) = next_update.expect("tu finite implies update pending");
+                source.update(element);
+                evaluator.on_update(time, element);
+                next_update = updates.next_event(horizon);
+            } else if tl <= ts && tl <= ta {
+                let TimedLinkEvent { time, event, .. } =
+                    link_events.pop().expect("tl finite implies link event pending");
+                match event {
+                    LinkEvent::Start { element } => {
+                        // Content is read at transfer start; it arrives
+                        // (and may already be stale) at completion.
+                        let capacity = self.link_capacity.expect("link events imply a link");
+                        let duration = self.problem.sizes()[element] / capacity;
+                        link_events.push(TimedLinkEvent {
+                            time: time + duration,
+                            seq: link_seq,
+                            event: LinkEvent::Complete {
+                                element,
+                                snapshot: source.version(element),
+                            },
+                        });
+                        link_seq += 1;
+                    }
+                    LinkEvent::Complete { element, snapshot } => {
+                        let changed = mirror.apply_version(element, snapshot);
+                        polls[element] += 1;
+                        if changed {
+                            polls_changed[element] += 1;
+                        }
+                        let up_to_date = snapshot == source.version(element);
+                        evaluator.on_sync_applied(time, element, up_to_date);
+                    }
+                }
+            } else if ts <= ta {
+                let (time, element) = next_sync.expect("ts finite implies sync pending");
+                match self.link_capacity {
+                    None => {
+                        // Instantaneous refresh (the paper's abstraction).
+                        let changed = mirror.sync(element, &source);
+                        polls[element] += 1;
+                        if changed {
+                            polls_changed[element] += 1;
+                        }
+                        evaluator.on_sync(time, element);
+                    }
+                    Some(capacity) => {
+                        // Enqueue the transfer on the FIFO link.
+                        let start = time.max(link_free_at);
+                        let duration = self.problem.sizes()[element] / capacity;
+                        link_free_at = start + duration;
+                        // Busy-time accounting clips at the horizon so a
+                        // backlogged queue cannot report utilization > 1.
+                        link_busy_time += link_free_at.min(horizon) - start.min(horizon);
+                        link_events.push(TimedLinkEvent {
+                            time: start,
+                            seq: link_seq,
+                            event: LinkEvent::Start { element },
+                        });
+                        link_seq += 1;
+                    }
+                }
+                next_sync = syncs.next_event(horizon);
+            } else {
+                let (time, element) = next_access.expect("ta finite implies access pending");
+                evaluator.on_access(time, element);
+                if evaluator.is_measuring() {
+                    measured_accesses += 1;
+                    access_counts[element] += 1;
+                }
+                next_access = accesses.next_event(horizon);
+            }
+        }
+        if !measuring {
+            evaluator.start_measurement(self.config.warmup_periods.min(horizon));
+        }
+        evaluator.finish(horizon);
+
+        SimReport {
+            analytic_pf: self
+                .problem
+                .perceived_freshness_with(self.sync_policy, &self.frequencies),
+            time_averaged_pf: evaluator.time_averaged_pf().unwrap_or(0.0),
+            access_pf: evaluator.access_pf(),
+            updates: source.total_updates(),
+            syncs: mirror.total_syncs(),
+            accesses: measured_accesses,
+            polls,
+            polls_changed,
+            access_counts,
+            link_utilization: self.link_capacity.map(|_| link_busy_time / horizon),
+            analytic_age: self
+                .problem
+                .access_probs()
+                .iter()
+                .zip(self.problem.change_rates())
+                .zip(&self.frequencies)
+                .map(|((&w, &l), &f)| if w == 0.0 { 0.0 } else { w * self.sync_policy.age(l, f) })
+                .sum(),
+            time_averaged_age: evaluator.time_averaged_age().unwrap_or(0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_problem() -> Problem {
+        Problem::builder()
+            .change_rates(vec![1.0, 2.0, 4.0, 0.5])
+            .access_probs(vec![0.4, 0.3, 0.2, 0.1])
+            .bandwidth(4.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn simulation_matches_analytic_pf() {
+        let p = toy_problem();
+        let freqs = vec![1.5, 1.5, 0.5, 0.5];
+        let config = SimConfig {
+            periods: 400.0,
+            warmup_periods: 5.0,
+            accesses_per_period: 200.0,
+            seed: 1,
+        };
+        let report = Simulation::new(&p, &freqs, config).unwrap().run();
+        assert!(
+            (report.time_averaged_pf - report.analytic_pf).abs() < 0.02,
+            "time-avg {} vs analytic {}",
+            report.time_averaged_pf,
+            report.analytic_pf
+        );
+        let access = report.access_pf.unwrap();
+        assert!(
+            (access - report.analytic_pf).abs() < 0.02,
+            "access {} vs analytic {}",
+            access,
+            report.analytic_pf
+        );
+    }
+
+    #[test]
+    fn two_monitoring_modes_agree() {
+        let p = toy_problem();
+        let freqs = vec![1.0; 4];
+        let config = SimConfig {
+            periods: 300.0,
+            warmup_periods: 3.0,
+            accesses_per_period: 500.0,
+            seed: 9,
+        };
+        let report = Simulation::new(&p, &freqs, config).unwrap().run();
+        assert!(
+            (report.time_averaged_pf - report.access_pf.unwrap()).abs() < 0.02,
+            "monitoring modes must agree"
+        );
+    }
+
+    #[test]
+    fn zero_frequencies_drive_pf_to_zero() {
+        let p = toy_problem();
+        let config = SimConfig {
+            periods: 100.0,
+            warmup_periods: 20.0,
+            accesses_per_period: 100.0,
+            seed: 2,
+        };
+        let report = Simulation::new(&p, &[0.0; 4], config).unwrap().run();
+        assert_eq!(report.syncs, 0);
+        assert!(
+            report.time_averaged_pf < 0.01,
+            "never-refreshed mirror decays to stale: {}",
+            report.time_averaged_pf
+        );
+    }
+
+    #[test]
+    fn huge_frequencies_keep_everything_fresh() {
+        let p = toy_problem();
+        let config = SimConfig {
+            periods: 50.0,
+            warmup_periods: 1.0,
+            accesses_per_period: 100.0,
+            seed: 3,
+        };
+        let report = Simulation::new(&p, &[200.0; 4], config).unwrap().run();
+        assert!(report.time_averaged_pf > 0.97, "{}", report.time_averaged_pf);
+        assert!(report.access_pf.unwrap() > 0.95);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let p = toy_problem();
+        let freqs = vec![1.0, 2.0, 0.5, 0.5];
+        let config = SimConfig {
+            periods: 30.0,
+            warmup_periods: 1.0,
+            accesses_per_period: 50.0,
+            seed: 77,
+        };
+        let a = Simulation::new(&p, &freqs, config).unwrap().run();
+        let b = Simulation::new(&p, &freqs, config).unwrap().run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn event_counts_match_rates() {
+        let p = toy_problem();
+        let freqs = vec![2.0, 1.0, 1.0, 0.0];
+        let config = SimConfig {
+            periods: 200.0,
+            warmup_periods: 0.0,
+            accesses_per_period: 50.0,
+            seed: 4,
+        };
+        let report = Simulation::new(&p, &freqs, config).unwrap().run();
+        // Updates: Σλ = 7.5/period over 200 periods.
+        let update_rate = report.updates as f64 / 200.0;
+        assert!((update_rate - 7.5).abs() < 0.5, "update rate {update_rate}");
+        // Syncs: Σf = 4/period.
+        let sync_rate = report.syncs as f64 / 200.0;
+        assert!((sync_rate - 4.0).abs() < 0.1, "sync rate {sync_rate}");
+        assert_eq!(report.polls[3], 0);
+        // Accesses ≈ 50/period.
+        let access_rate = report.accesses as f64 / 200.0;
+        assert!((access_rate - 50.0).abs() < 2.0, "access rate {access_rate}");
+    }
+
+    #[test]
+    fn poll_change_ratio_supports_estimation() {
+        // Element polled at frequency f with change rate λ: the fraction
+        // of polls detecting a change tends to 1 − e^{−λ/f}.
+        let p = Problem::builder()
+            .change_rates(vec![2.0])
+            .access_probs(vec![1.0])
+            .bandwidth(2.0)
+            .build()
+            .unwrap();
+        let config = SimConfig {
+            periods: 2000.0,
+            warmup_periods: 0.0,
+            accesses_per_period: 1.0,
+            seed: 5,
+        };
+        let report = Simulation::new(&p, &[2.0], config).unwrap().run();
+        let ratio = report.polls_changed[0] as f64 / report.polls[0] as f64;
+        let expected = 1.0 - (-1.0f64).exp();
+        assert!((ratio - expected).abs() < 0.03, "ratio {ratio} vs {expected}");
+    }
+
+    #[test]
+    fn validation_rejects_bad_inputs() {
+        let p = toy_problem();
+        assert!(Simulation::new(&p, &[1.0; 3], SimConfig::default()).is_err());
+        assert!(Simulation::new(&p, &[-1.0, 0.0, 0.0, 0.0], SimConfig::default()).is_err());
+        let bad = SimConfig {
+            periods: 0.0,
+            ..Default::default()
+        };
+        assert!(Simulation::new(&p, &[1.0; 4], bad).is_err());
+        let bad = SimConfig {
+            warmup_periods: -1.0,
+            ..Default::default()
+        };
+        assert!(Simulation::new(&p, &[1.0; 4], bad).is_err());
+    }
+
+    #[test]
+    fn simulated_age_matches_analytic_both_policies() {
+        let p = toy_problem();
+        let freqs = vec![1.5, 1.5, 0.5, 0.5];
+        let config = SimConfig {
+            periods: 600.0,
+            warmup_periods: 10.0,
+            accesses_per_period: 10.0,
+            seed: 41,
+        };
+        for policy in [SyncPolicy::FixedOrder, SyncPolicy::Poisson] {
+            let report = Simulation::new(&p, &freqs, config)
+                .unwrap()
+                .with_sync_policy(policy)
+                .run();
+            assert!(
+                (report.time_averaged_age - report.analytic_age).abs()
+                    < report.analytic_age * 0.1,
+                "{policy:?}: simulated age {} vs analytic {}",
+                report.time_averaged_age,
+                report.analytic_age
+            );
+        }
+    }
+
+    #[test]
+    fn age_and_freshness_move_oppositely_with_bandwidth() {
+        let p = toy_problem();
+        let config = SimConfig {
+            periods: 200.0,
+            warmup_periods: 10.0,
+            accesses_per_period: 10.0,
+            seed: 42,
+        };
+        let slow = Simulation::new(&p, &[0.5; 4], config).unwrap().run();
+        let fast = Simulation::new(&p, &[4.0; 4], config).unwrap().run();
+        assert!(fast.time_averaged_pf > slow.time_averaged_pf);
+        assert!(fast.time_averaged_age < slow.time_averaged_age);
+    }
+
+    #[test]
+    fn fast_link_matches_instantaneous_model() {
+        // With a link far faster than the sync load, transfer delays are
+        // negligible and the two models agree.
+        let p = toy_problem();
+        let freqs = vec![1.0; 4];
+        let config = SimConfig {
+            periods: 200.0,
+            warmup_periods: 5.0,
+            accesses_per_period: 200.0,
+            seed: 31,
+        };
+        let instant = Simulation::new(&p, &freqs, config).unwrap().run();
+        let fast_link = Simulation::new(&p, &freqs, config)
+            .unwrap()
+            .with_link_capacity(1000.0) // planned load: Σs·f = 4/period
+            .run();
+        assert!(
+            (instant.time_averaged_pf - fast_link.time_averaged_pf).abs() < 0.02,
+            "instant {} vs fast link {}",
+            instant.time_averaged_pf,
+            fast_link.time_averaged_pf
+        );
+        let util = fast_link.link_utilization.unwrap();
+        assert!(util < 0.01, "fast link barely utilized: {util}");
+        assert_eq!(instant.link_utilization, None);
+    }
+
+    #[test]
+    fn saturated_link_degrades_freshness() {
+        // Planned load Σs·f = 4/period against capacity 2/period: the FIFO
+        // queue grows without bound and copies rot waiting.
+        let p = toy_problem();
+        let freqs = vec![1.0; 4];
+        let config = SimConfig {
+            periods: 100.0,
+            warmup_periods: 5.0,
+            accesses_per_period: 100.0,
+            seed: 32,
+        };
+        let healthy = Simulation::new(&p, &freqs, config)
+            .unwrap()
+            .with_link_capacity(40.0)
+            .run();
+        let saturated = Simulation::new(&p, &freqs, config)
+            .unwrap()
+            .with_link_capacity(2.0)
+            .run();
+        assert!(
+            saturated.time_averaged_pf < healthy.time_averaged_pf - 0.05,
+            "saturation must hurt: {} vs {}",
+            saturated.time_averaged_pf,
+            healthy.time_averaged_pf
+        );
+        assert!(
+            saturated.link_utilization.unwrap() > 0.95,
+            "saturated link is busy nearly always"
+        );
+    }
+
+    #[test]
+    fn adequate_link_validates_papers_abstraction() {
+        // The paper plans with Σ sᵢfᵢ = B and assumes instantaneous
+        // refreshes. That abstraction is sound when the per-transfer time
+        // is small relative to both the refresh intervals (little
+        // queueing) and the change intervals (content doesn't rot in
+        // flight): at capacity 40 each transfer takes 0.025 periods
+        // against λ ≤ 4, and the measured PF tracks the plan.
+        let p = toy_problem();
+        let freqs = vec![1.0; 4]; // planned load 4/period
+        let config = SimConfig {
+            periods: 200.0,
+            warmup_periods: 10.0,
+            accesses_per_period: 200.0,
+            seed: 33,
+        };
+        let report = Simulation::new(&p, &freqs, config)
+            .unwrap()
+            .with_link_capacity(40.0)
+            .run();
+        assert!(
+            (report.time_averaged_pf - report.analytic_pf).abs() < 0.05,
+            "with ample capacity the plan holds: measured {} vs planned {}",
+            report.time_averaged_pf,
+            report.analytic_pf
+        );
+        // And the latency penalty is visible at 2x headroom: in-flight
+        // staleness makes measured PF fall short of the plan.
+        let tight = Simulation::new(&p, &freqs, config)
+            .unwrap()
+            .with_link_capacity(8.0)
+            .run();
+        assert!(
+            tight.time_averaged_pf < tight.analytic_pf - 0.02,
+            "transfer latency must show up: measured {} vs planned {}",
+            tight.time_averaged_pf,
+            tight.analytic_pf
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "link capacity must be positive")]
+    fn link_capacity_validated() {
+        let p = toy_problem();
+        let _ = Simulation::new(&p, &[1.0; 4], SimConfig::default())
+            .unwrap()
+            .with_link_capacity(0.0);
+    }
+
+    #[test]
+    fn poisson_policy_matches_its_own_analytic_law() {
+        // Under memoryless syncing the simulator must track f/(λ+f), not
+        // the Fixed-Order law — a strong cross-check that both the event
+        // engine and the closed forms are right.
+        let p = toy_problem();
+        let freqs = vec![1.5, 1.5, 0.5, 0.5];
+        let config = SimConfig {
+            periods: 400.0,
+            warmup_periods: 5.0,
+            accesses_per_period: 200.0,
+            seed: 21,
+        };
+        let report = Simulation::new(&p, &freqs, config)
+            .unwrap()
+            .with_sync_policy(SyncPolicy::Poisson)
+            .run();
+        let expected = p.perceived_freshness_with(SyncPolicy::Poisson, &freqs);
+        assert!((report.analytic_pf - expected).abs() < 1e-12);
+        assert!(
+            (report.time_averaged_pf - expected).abs() < 0.02,
+            "poisson sim {} vs analytic {}",
+            report.time_averaged_pf,
+            expected
+        );
+    }
+
+    #[test]
+    fn fixed_order_beats_poisson_in_simulation() {
+        // The claim the paper inherits from Cho & Garcia-Molina: at equal
+        // frequencies, evenly spaced refreshes yield strictly better
+        // freshness than memoryless ones.
+        let p = toy_problem();
+        let freqs = vec![1.0; 4];
+        let config = SimConfig {
+            periods: 300.0,
+            warmup_periods: 5.0,
+            accesses_per_period: 100.0,
+            seed: 22,
+        };
+        let fixed = Simulation::new(&p, &freqs, config).unwrap().run();
+        let poisson = Simulation::new(&p, &freqs, config)
+            .unwrap()
+            .with_sync_policy(SyncPolicy::Poisson)
+            .run();
+        assert!(
+            fixed.time_averaged_pf > poisson.time_averaged_pf + 0.02,
+            "fixed-order {} must beat poisson {}",
+            fixed.time_averaged_pf,
+            poisson.time_averaged_pf
+        );
+    }
+
+    #[test]
+    fn hot_stale_object_tanks_perceived_freshness() {
+        // 90% of interest on a volatile object that never gets refreshed:
+        // users see staleness even though 3 of 4 copies stay fresh.
+        let p = Problem::builder()
+            .change_rates(vec![5.0, 0.01, 0.01, 0.01])
+            .access_probs(vec![0.9, 0.04, 0.03, 0.03])
+            .bandwidth(3.0)
+            .build()
+            .unwrap();
+        let config = SimConfig {
+            periods: 100.0,
+            warmup_periods: 10.0,
+            accesses_per_period: 200.0,
+            seed: 6,
+        };
+        let report = Simulation::new(&p, &[0.0, 1.0, 1.0, 1.0], config)
+            .unwrap()
+            .run();
+        assert!(
+            report.time_averaged_pf < 0.2,
+            "perceived freshness collapses: {}",
+            report.time_averaged_pf
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! Source and mirror state: versioned copies.
+//!
+//! Versions are monotone counters: the source bumps an element's version on
+//! every update; the mirror records the version it copied at its last sync.
+//! An element is *fresh* at the mirror exactly when the two match
+//! (Definition 1 of the paper — freshness is binary).
+
+use serde::{Deserialize, Serialize};
+
+/// The authoritative data source.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Source {
+    versions: Vec<u64>,
+    total_updates: u64,
+}
+
+impl Source {
+    /// A source with `n` elements, all at version 0.
+    pub fn new(n: usize) -> Self {
+        Source {
+            versions: vec![0; n],
+            total_updates: 0,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// True for a zero-element source.
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+
+    /// Apply one update to `element` (bumps its version).
+    ///
+    /// # Panics
+    /// Panics when `element` is out of range.
+    pub fn update(&mut self, element: usize) {
+        self.versions[element] += 1;
+        self.total_updates += 1;
+    }
+
+    /// The element's current version.
+    pub fn version(&self, element: usize) -> u64 {
+        self.versions[element]
+    }
+
+    /// Total updates applied so far.
+    pub fn total_updates(&self) -> u64 {
+        self.total_updates
+    }
+}
+
+/// The mirror: local copies identified by the source version they reflect.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mirror {
+    synced_versions: Vec<u64>,
+    total_syncs: u64,
+}
+
+impl Mirror {
+    /// A mirror of `n` elements, initially in sync with a fresh source
+    /// (both at version 0).
+    pub fn new(n: usize) -> Self {
+        Mirror {
+            synced_versions: vec![0; n],
+            total_syncs: 0,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.synced_versions.len()
+    }
+
+    /// True for a zero-element mirror.
+    pub fn is_empty(&self) -> bool {
+        self.synced_versions.is_empty()
+    }
+
+    /// Poll the source for `element`: copy its current version.
+    /// Returns `true` when the local copy actually changed (the poll found
+    /// new content) — the signal a change-rate estimator consumes.
+    ///
+    /// # Panics
+    /// Panics when `element` is out of range or mirrors a different source
+    /// size.
+    pub fn sync(&mut self, element: usize, source: &Source) -> bool {
+        assert_eq!(self.len(), source.len(), "mirror/source size mismatch");
+        self.total_syncs += 1;
+        let new = source.version(element);
+        let changed = self.synced_versions[element] != new;
+        self.synced_versions[element] = new;
+        changed
+    }
+
+    /// Install a specific version snapshot for `element` — used by the
+    /// link-transfer model, where the content read at transfer *start* is
+    /// what arrives at transfer *completion* (and may already be stale by
+    /// then). Returns `true` when the local copy actually changed.
+    ///
+    /// # Panics
+    /// Panics when `element` is out of range.
+    pub fn apply_version(&mut self, element: usize, version: u64) -> bool {
+        self.total_syncs += 1;
+        let changed = self.synced_versions[element] != version;
+        self.synced_versions[element] = version;
+        changed
+    }
+
+    /// Is the local copy up to date (Definition 1)?
+    pub fn is_fresh(&self, element: usize, source: &Source) -> bool {
+        self.synced_versions[element] == source.version(element)
+    }
+
+    /// Fraction of copies currently fresh (Definition 2 at an instant).
+    pub fn database_freshness(&self, source: &Source) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let fresh = (0..self.len())
+            .filter(|&i| self.is_fresh(i, source))
+            .count();
+        fresh as f64 / self.len() as f64
+    }
+
+    /// Total sync operations performed.
+    pub fn total_syncs(&self) -> u64 {
+        self.total_syncs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_fresh() {
+        let s = Source::new(3);
+        let m = Mirror::new(3);
+        assert!((0..3).all(|i| m.is_fresh(i, &s)));
+        assert_eq!(m.database_freshness(&s), 1.0);
+    }
+
+    #[test]
+    fn update_stales_copy() {
+        let mut s = Source::new(2);
+        let m = Mirror::new(2);
+        s.update(0);
+        assert!(!m.is_fresh(0, &s));
+        assert!(m.is_fresh(1, &s));
+        assert_eq!(m.database_freshness(&s), 0.5);
+    }
+
+    #[test]
+    fn sync_restores_freshness_and_reports_change() {
+        let mut s = Source::new(1);
+        let mut m = Mirror::new(1);
+        s.update(0);
+        assert!(m.sync(0, &s), "poll detects the change");
+        assert!(m.is_fresh(0, &s));
+        assert!(!m.sync(0, &s), "second poll finds nothing new");
+    }
+
+    #[test]
+    fn multiple_updates_between_syncs_count_once() {
+        let mut s = Source::new(1);
+        let mut m = Mirror::new(1);
+        s.update(0);
+        s.update(0);
+        s.update(0);
+        assert!(m.sync(0, &s));
+        assert!(m.is_fresh(0, &s));
+        assert_eq!(s.total_updates(), 3);
+        assert_eq!(m.total_syncs(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn size_mismatch_panics() {
+        let s = Source::new(2);
+        let mut m = Mirror::new(3);
+        m.sync(0, &s);
+    }
+}

@@ -1,0 +1,324 @@
+//! Request/poll trace records: the raw material for learning profiles and
+//! change rates from production logs (paper §7: profiles can come "from a
+//! simple learning algorithm that monitors the system request log"; §2:
+//! change-frequency estimates come from observed polls).
+//!
+//! Two line-oriented CSV formats, chosen to be trivially producible by any
+//! log shipper:
+//!
+//! * **access log** — `time,element` per user request;
+//! * **poll log** — `time,element,changed` per refresh poll (`changed` is
+//!   `0`/`1` or `false`/`true`), recording whether the poll found new
+//!   content.
+//!
+//! Lines starting with `#` and a leading `time,element[,changed]` header
+//! are skipped, so the files round-trip through the writers here.
+
+use std::fmt::Write as _;
+
+use freshen_core::error::{CoreError, Result};
+use freshen_core::estimate::ChangeRateEstimator;
+use freshen_core::profile::ProfileEstimator;
+
+/// One user request against the mirror.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccessRecord {
+    /// Event time (periods).
+    pub time: f64,
+    /// Accessed element.
+    pub element: usize,
+}
+
+/// One refresh poll and whether it detected a change.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PollRecord {
+    /// Event time (periods).
+    pub time: f64,
+    /// Polled element.
+    pub element: usize,
+    /// Did the poll find new content?
+    pub changed: bool,
+}
+
+fn is_skippable(line: &str, header: &str) -> bool {
+    let trimmed = line.trim();
+    trimmed.is_empty() || trimmed.starts_with('#') || trimmed.eq_ignore_ascii_case(header)
+}
+
+fn parse_err(what: &'static str, line_no: usize, line: &str) -> CoreError {
+    CoreError::InvalidConfig(format!("{what} at line {line_no}: `{line}`"))
+}
+
+/// Parse an access log (`time,element` lines).
+pub fn parse_access_log(text: &str) -> Result<Vec<AccessRecord>> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if is_skippable(line, "time,element") {
+            continue;
+        }
+        let mut parts = line.trim().split(',');
+        let time: f64 = parts
+            .next()
+            .and_then(|v| v.trim().parse().ok())
+            .ok_or_else(|| parse_err("bad access time", idx + 1, line))?;
+        let element: usize = parts
+            .next()
+            .and_then(|v| v.trim().parse().ok())
+            .ok_or_else(|| parse_err("bad access element", idx + 1, line))?;
+        if parts.next().is_some() {
+            return Err(parse_err("trailing fields in access record", idx + 1, line));
+        }
+        if !time.is_finite() || time < 0.0 {
+            return Err(parse_err("negative or non-finite access time", idx + 1, line));
+        }
+        out.push(AccessRecord { time, element });
+    }
+    Ok(out)
+}
+
+/// Parse a poll log (`time,element,changed` lines).
+pub fn parse_poll_log(text: &str) -> Result<Vec<PollRecord>> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if is_skippable(line, "time,element,changed") {
+            continue;
+        }
+        let mut parts = line.trim().split(',');
+        let time: f64 = parts
+            .next()
+            .and_then(|v| v.trim().parse().ok())
+            .ok_or_else(|| parse_err("bad poll time", idx + 1, line))?;
+        let element: usize = parts
+            .next()
+            .and_then(|v| v.trim().parse().ok())
+            .ok_or_else(|| parse_err("bad poll element", idx + 1, line))?;
+        let changed = match parts.next().map(|v| v.trim()) {
+            Some("0") | Some("false") => false,
+            Some("1") | Some("true") => true,
+            _ => return Err(parse_err("bad poll changed flag", idx + 1, line)),
+        };
+        if parts.next().is_some() {
+            return Err(parse_err("trailing fields in poll record", idx + 1, line));
+        }
+        if !time.is_finite() || time < 0.0 {
+            return Err(parse_err("negative or non-finite poll time", idx + 1, line));
+        }
+        out.push(PollRecord { time, element, changed });
+    }
+    Ok(out)
+}
+
+/// Serialize an access log (with header) — inverse of [`parse_access_log`].
+pub fn write_access_log(records: &[AccessRecord]) -> String {
+    let mut s = String::from("time,element\n");
+    for r in records {
+        let _ = writeln!(s, "{:.6},{}", r.time, r.element);
+    }
+    s
+}
+
+/// Serialize a poll log (with header) — inverse of [`parse_poll_log`].
+pub fn write_poll_log(records: &[PollRecord]) -> String {
+    let mut s = String::from("time,element,changed\n");
+    for r in records {
+        let _ = writeln!(s, "{:.6},{},{}", r.time, r.element, u8::from(r.changed));
+    }
+    s
+}
+
+/// Estimates learned from logs: everything needed to build a [`Problem`]
+/// once a bandwidth budget is chosen.
+///
+/// [`Problem`]: freshen_core::problem::Problem
+#[derive(Debug, Clone, PartialEq)]
+pub struct LearnedParameters {
+    /// Access probabilities (smoothed, strictly positive).
+    pub access_probs: Vec<f64>,
+    /// Bias-reduced change-rate estimates per element (per period).
+    pub change_rates: Vec<f64>,
+    /// Number of access records consumed.
+    pub accesses_seen: usize,
+    /// Number of poll records consumed.
+    pub polls_seen: usize,
+}
+
+/// Learn access probabilities and change rates from logs.
+///
+/// * `n` — mirror size; records referencing elements `≥ n` are rejected.
+/// * `smoothing` — uniform pseudo-count added to access tallies so
+///   never-accessed objects keep a small positive probability.
+/// * Elements never polled receive `fallback_rate`.
+///
+/// Change-rate estimation treats each element's polls as evenly spaced
+/// over the observed poll-log time span (the Fixed-Order scheduler makes
+/// this exact; for irregular logs it is the mean-interval approximation).
+pub fn learn_from_logs(
+    n: usize,
+    accesses: &[AccessRecord],
+    polls: &[PollRecord],
+    smoothing: f64,
+    fallback_rate: f64,
+) -> Result<LearnedParameters> {
+    if n == 0 {
+        return Err(CoreError::Empty);
+    }
+    let mut profile = ProfileEstimator::new(n, 1.0)?;
+    for (idx, a) in accesses.iter().enumerate() {
+        if a.element >= n {
+            return Err(CoreError::InvalidValue {
+                what: "access element",
+                index: Some(idx),
+                value: a.element as f64,
+            });
+        }
+        profile.observe(a.element);
+    }
+
+    let span = polls
+        .iter()
+        .map(|p| p.time)
+        .fold(0.0f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let mut rates = ChangeRateEstimator::new(n, 1.0)?;
+    let mut poll_counts = vec![0u64; n];
+    for (idx, p) in polls.iter().enumerate() {
+        if p.element >= n {
+            return Err(CoreError::InvalidValue {
+                what: "poll element",
+                index: Some(idx),
+                value: p.element as f64,
+            });
+        }
+        rates.record_poll(p.element, p.changed);
+        poll_counts[p.element] += 1;
+    }
+    // The batch estimator assumes unit poll intervals; correct each
+    // element's rate by its actual mean interval (span / count).
+    let raw = rates.rates(fallback_rate);
+    let change_rates: Vec<f64> = raw
+        .iter()
+        .zip(&poll_counts)
+        .map(|(&r, &count)| {
+            if count == 0 {
+                fallback_rate
+            } else {
+                // estimate_bias_reduced scales as 1/interval; undo the
+                // unit-interval assumption.
+                r * count as f64 / span
+            }
+        })
+        .collect();
+
+    Ok(LearnedParameters {
+        access_probs: profile.access_probs_smoothed(smoothing),
+        change_rates,
+        accesses_seen: accesses.len(),
+        polls_seen: polls.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_log_roundtrip() {
+        let records = vec![
+            AccessRecord { time: 0.5, element: 3 },
+            AccessRecord { time: 1.25, element: 0 },
+        ];
+        let text = write_access_log(&records);
+        let parsed = parse_access_log(&text).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn poll_log_roundtrip() {
+        let records = vec![
+            PollRecord { time: 0.1, element: 1, changed: true },
+            PollRecord { time: 0.2, element: 2, changed: false },
+        ];
+        let text = write_poll_log(&records);
+        assert_eq!(parse_poll_log(&text).unwrap(), records);
+    }
+
+    #[test]
+    fn parser_skips_comments_blanks_and_header() {
+        let text = "# produced by logshipper\n\ntime,element\n0.5,2\n";
+        let parsed = parse_access_log(text).unwrap();
+        assert_eq!(parsed, vec![AccessRecord { time: 0.5, element: 2 }]);
+    }
+
+    #[test]
+    fn parser_accepts_bool_words_for_changed() {
+        let parsed = parse_poll_log("1.0,0,true\n2.0,0,false\n").unwrap();
+        assert!(parsed[0].changed && !parsed[1].changed);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_access_log("abc,1").is_err());
+        assert!(parse_access_log("1.0").is_err());
+        assert!(parse_access_log("1.0,2,extra").is_err());
+        assert!(parse_access_log("-1.0,2").is_err());
+        assert!(parse_poll_log("1.0,2").is_err());
+        assert!(parse_poll_log("1.0,2,maybe").is_err());
+    }
+
+    #[test]
+    fn parse_error_reports_line_number() {
+        let err = parse_access_log("1.0,2\nbogus,3\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn learn_from_logs_recovers_profile_mix() {
+        // 3 elements; element 0 accessed 6x, element 1 3x, element 2 1x.
+        let accesses: Vec<AccessRecord> = [0, 0, 0, 0, 0, 0, 1, 1, 1, 2]
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| AccessRecord { time: i as f64 * 0.1, element: e })
+            .collect();
+        let learned = learn_from_logs(3, &accesses, &[], 0.01, 1.0).unwrap();
+        assert!(learned.access_probs[0] > learned.access_probs[1]);
+        assert!(learned.access_probs[1] > learned.access_probs[2]);
+        assert!(learned.access_probs[2] > 0.0, "smoothing keeps positives");
+        let sum: f64 = learned.access_probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn learn_from_logs_recovers_change_rates() {
+        // Element 0 polled 100 times over 50 periods (interval 0.5), the
+        // ratio of changed polls matching λ = 2: 1 − e^{−1} ≈ 0.632.
+        let mut polls = Vec::new();
+        for k in 0..100 {
+            let t = (k + 1) as f64 * 0.5;
+            let changed = k % 5 != 0; // 80% change ratio ⇒ λ ≈ −ln(0.2)/0.5 ≈ 3.2
+            polls.push(PollRecord { time: t, element: 0, changed });
+        }
+        let learned = learn_from_logs(2, &[AccessRecord { time: 0.0, element: 0 }], &polls, 0.5, 9.0)
+            .unwrap();
+        let expected = -(0.2f64.ln()) / 0.5;
+        assert!(
+            (learned.change_rates[0] - expected).abs() < expected * 0.1,
+            "estimated {} vs {expected}",
+            learned.change_rates[0]
+        );
+        // Element 1 never polled: gets the fallback.
+        assert_eq!(learned.change_rates[1], 9.0);
+    }
+
+    #[test]
+    fn learn_from_logs_rejects_out_of_range_elements() {
+        let accesses = [AccessRecord { time: 0.0, element: 5 }];
+        assert!(learn_from_logs(3, &accesses, &[], 0.1, 1.0).is_err());
+        let polls = [PollRecord { time: 0.0, element: 7, changed: true }];
+        assert!(learn_from_logs(3, &[], &polls, 0.1, 1.0).is_err());
+    }
+
+    #[test]
+    fn learn_from_logs_empty_mirror_rejected() {
+        assert!(learn_from_logs(0, &[], &[], 0.1, 1.0).is_err());
+    }
+}

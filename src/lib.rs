@@ -1,0 +1,78 @@
+//! # freshen — scalable application-aware data freshening
+//!
+//! Umbrella crate re-exporting the whole workspace: a reproduction of
+//! Carney, Lee & Zdonik, *"Scalable Application-Aware Data Freshening"*
+//! (ICDE 2003).
+//!
+//! A mirror site keeps copies of remote objects fresh by polling under a
+//! bandwidth budget. This library chooses *how often to poll each object*
+//! to maximize **perceived freshness** — freshness weighted by how much
+//! users actually care about each object (their aggregated *profile*).
+//!
+//! | Sub-crate | What it holds |
+//! |---|---|
+//! | [`core`] | freshness math, problem/solution types, profiles, schedules |
+//! | [`workload`] | Zipf/Gamma/Pareto/Poisson generators and paper scenarios |
+//! | [`solver`] | exact Lagrange/KKT solver and baseline solvers |
+//! | [`heuristics`] | scalable partitioning + k-means heuristics, FFA/FBA |
+//! | [`sim`] | discrete-event simulator (source, mirror, evaluator) |
+//!
+//! ## End-to-end example
+//!
+//! ```
+//! use freshen::prelude::*;
+//!
+//! // A 100-object mirror: Zipf interest, gamma change rates, budget 50.
+//! let scenario = Scenario::builder()
+//!     .num_objects(100)
+//!     .updates_per_period(200.0)
+//!     .syncs_per_period(50.0)
+//!     .zipf_theta(1.0)
+//!     .update_std_dev(1.0)
+//!     .alignment(Alignment::ShuffledChange)
+//!     .seed(42)
+//!     .build()
+//!     .unwrap();
+//! let problem = scenario.problem().unwrap();
+//!
+//! // Exact perceived-freshness-optimal schedule.
+//! let optimal = LagrangeSolver::default().solve(&problem).unwrap();
+//!
+//! // Interest-blind baseline (Cho & Garcia-Molina's objective).
+//! let gf = solve_general_freshness(&problem).unwrap();
+//!
+//! // Taking user interest into account can only help perceived freshness.
+//! assert!(
+//!     optimal.perceived_freshness >= problem.perceived_freshness(&gf.frequencies) - 1e-9
+//! );
+//! ```
+
+// Compile README code blocks as doc tests so the front-page examples can
+// never rot.
+#[doc = include_str!("../README.md")]
+#[cfg(doctest)]
+pub struct ReadmeDoctests;
+
+pub use freshen_core as core;
+pub use freshen_heuristics as heuristics;
+pub use freshen_sim as sim;
+pub use freshen_solver as solver;
+pub use freshen_workload as workload;
+
+/// One-stop imports for the common workflow.
+pub mod prelude {
+    pub use freshen_core::freshness::{
+        general_freshness, perceived_freshness, steady_state_freshness,
+    };
+    pub use freshen_core::policy::SyncPolicy;
+    pub use freshen_core::problem::{Element, Problem, Solution};
+    pub use freshen_core::profile::{MasterProfile, ProfileEstimator, UserProfile};
+    pub use freshen_core::schedule::{FixedOrderSchedule, ScheduleStream, SyncOp};
+    pub use freshen_heuristics::allocate::AllocationPolicy;
+    pub use freshen_heuristics::partition::PartitionCriterion;
+    pub use freshen_heuristics::pipeline::{HeuristicConfig, HeuristicScheduler};
+    pub use freshen_sim::{SimConfig, SimReport, Simulation};
+    pub use freshen_solver::lagrange::LagrangeSolver;
+    pub use freshen_solver::{solve_general_freshness, solve_perceived_freshness};
+    pub use freshen_workload::scenario::{Alignment, Scenario};
+}

@@ -1,0 +1,137 @@
+//! The full operational loop, end to end across every crate:
+//! simulate → emit logs → learn parameters from the logs → adaptively
+//! re-solve (drift-gated, warm-started) → verify the learned schedule in
+//! a fresh simulation.
+
+use freshen::heuristics::adaptive::AdaptiveScheduler;
+use freshen::prelude::*;
+use freshen::workload::trace::{
+    learn_from_logs, parse_access_log, write_access_log, AccessRecord, PollRecord,
+};
+
+/// Turn a simulation report into the log records an operator would ship.
+fn logs_from_report(
+    report: &freshen::sim::SimReport,
+    horizon: f64,
+) -> (Vec<AccessRecord>, Vec<PollRecord>) {
+    let mut accesses = Vec::new();
+    for (element, &count) in report.access_counts.iter().enumerate() {
+        // The report aggregates counts; spread them evenly for the log —
+        // timestamps don't matter to the frequency learner.
+        for k in 0..count {
+            accesses.push(AccessRecord {
+                time: (k as f64 + 0.5) * horizon / count as f64,
+                element,
+            });
+        }
+    }
+    let mut polls = Vec::new();
+    for element in 0..report.polls.len() {
+        let total = report.polls[element];
+        let changed = report.polls_changed[element];
+        for k in 0..total {
+            polls.push(PollRecord {
+                time: (k as f64 + 1.0) * horizon / total as f64,
+                element,
+                changed: k < changed, // order is irrelevant to the estimator
+            });
+        }
+    }
+    (accesses, polls)
+}
+
+#[test]
+fn learn_from_logs_then_adapt_and_verify() {
+    // Ground truth the operator never sees directly.
+    let truth = Scenario::builder()
+        .num_objects(120)
+        .updates_per_period(240.0)
+        .syncs_per_period(60.0)
+        .zipf_theta(1.1)
+        .alignment(Alignment::ShuffledChange)
+        .seed(19)
+        .build()
+        .unwrap()
+        .problem()
+        .unwrap();
+    let optimum = solve_perceived_freshness(&truth).unwrap();
+
+    // Phase 1: observe under a uniform probe schedule; ship the logs.
+    let probe = vec![truth.bandwidth() / truth.len() as f64; truth.len()];
+    let horizon = 120.0;
+    let report = Simulation::new(
+        &truth,
+        &probe,
+        SimConfig {
+            periods: horizon,
+            warmup_periods: 0.0,
+            accesses_per_period: 2000.0,
+            seed: 23,
+        },
+    )
+    .unwrap()
+    .run();
+    let (accesses, polls) = logs_from_report(&report, horizon);
+
+    // The access log round-trips through its CSV representation, exactly
+    // as it would through a file.
+    let parsed = parse_access_log(&write_access_log(&accesses)).unwrap();
+    assert_eq!(parsed.len(), accesses.len());
+
+    // Phase 2: learn the problem from logs.
+    let learned = learn_from_logs(truth.len(), &parsed, &polls, 0.5, 2.0).unwrap();
+    let estimated = Problem::builder()
+        .change_rates(learned.change_rates)
+        .access_probs(learned.access_probs)
+        .bandwidth(truth.bandwidth())
+        .build()
+        .unwrap();
+
+    // Phase 3: adaptive scheduler solves the learned problem and ignores
+    // a re-observation with no drift.
+    let mut scheduler = AdaptiveScheduler::new(&estimated, 0.05).unwrap();
+    assert!(!scheduler.observe(&estimated).unwrap(), "no drift, no re-solve");
+    let schedule = scheduler.schedule().frequencies.clone();
+
+    // Phase 4: the learned schedule performs near-optimally on the truth,
+    // measured by a *fresh* simulation.
+    let verify = Simulation::new(
+        &truth,
+        &schedule,
+        SimConfig {
+            periods: 80.0,
+            warmup_periods: 5.0,
+            accesses_per_period: 2000.0,
+            seed: 29,
+        },
+    )
+    .unwrap()
+    .run();
+    let achieved = verify.time_averaged_pf;
+    assert!(
+        achieved > optimum.perceived_freshness * 0.85,
+        "learned+adaptive schedule achieves {achieved} vs optimum {}",
+        optimum.perceived_freshness
+    );
+
+    // Phase 5: interest drifts hard; the monitor fires and the warm
+    // re-solve matches a cold solve of the drifted problem.
+    let drifted_probs: Vec<f64> = estimated
+        .access_probs()
+        .iter()
+        .rev()
+        .copied()
+        .collect();
+    let drifted = Problem::builder()
+        .change_rates(estimated.change_rates().to_vec())
+        .access_probs(drifted_probs)
+        .bandwidth(estimated.bandwidth())
+        .build()
+        .unwrap();
+    assert!(scheduler.observe(&drifted).unwrap(), "hard drift must fire");
+    let cold = solve_perceived_freshness(&drifted).unwrap();
+    assert!(
+        (scheduler.schedule().perceived_freshness - cold.perceived_freshness).abs() < 1e-6,
+        "warm re-solve reaches the cold optimum"
+    );
+}

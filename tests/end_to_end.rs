@@ -1,0 +1,157 @@
+//! End-to-end integration: scenario generation → scheduling (exact and
+//! heuristic) → Fixed-Order timetable → discrete-event simulation →
+//! monitoring-mode evaluation, all through the public facade.
+
+use freshen::heuristics::partition::PartitionCriterion;
+use freshen::prelude::*;
+
+#[test]
+fn optimal_schedule_survives_simulation() {
+    let problem = Scenario::table2(1.0, Alignment::ShuffledChange, 3)
+        .problem()
+        .unwrap();
+    let sol = solve_perceived_freshness(&problem).unwrap();
+    let report = Simulation::new(
+        &problem,
+        &sol.frequencies,
+        SimConfig {
+            periods: 60.0,
+            warmup_periods: 4.0,
+            accesses_per_period: 2000.0,
+            seed: 9,
+        },
+    )
+    .unwrap()
+    .run();
+    assert!(
+        (report.time_averaged_pf - sol.perceived_freshness).abs() < 0.02,
+        "simulated {} vs analytic {}",
+        report.time_averaged_pf,
+        sol.perceived_freshness
+    );
+    assert!(
+        (report.access_pf.unwrap() - sol.perceived_freshness).abs() < 0.02,
+        "access-scored {} vs analytic {}",
+        report.access_pf.unwrap(),
+        sol.perceived_freshness
+    );
+}
+
+#[test]
+fn heuristic_schedule_survives_simulation() {
+    let problem = Scenario::table2(0.8, Alignment::Aligned, 11)
+        .problem()
+        .unwrap();
+    let heuristic = HeuristicScheduler::new(HeuristicConfig {
+        criterion: PartitionCriterion::PerceivedFreshness,
+        num_partitions: 40,
+        kmeans_iterations: 3,
+        ..Default::default()
+    })
+    .unwrap()
+    .solve(&problem)
+    .unwrap();
+    let report = Simulation::new(
+        &problem,
+        &heuristic.solution.frequencies,
+        SimConfig {
+            periods: 60.0,
+            warmup_periods: 4.0,
+            accesses_per_period: 2000.0,
+            seed: 13,
+        },
+    )
+    .unwrap()
+    .run();
+    assert!(
+        (report.time_averaged_pf - heuristic.solution.perceived_freshness).abs() < 0.02,
+        "simulated {} vs analytic {}",
+        report.time_averaged_pf,
+        heuristic.solution.perceived_freshness
+    );
+}
+
+#[test]
+fn simulated_pf_ranks_schedules_like_analytic_pf() {
+    // The simulator must agree with the analytic model about *which*
+    // schedule is better, not just absolute values.
+    let problem = Scenario::table2(1.2, Alignment::Aligned, 21)
+        .problem()
+        .unwrap();
+    let pf = solve_perceived_freshness(&problem).unwrap();
+    let gf = solve_general_freshness(&problem).unwrap();
+    let config = SimConfig {
+        periods: 60.0,
+        warmup_periods: 4.0,
+        accesses_per_period: 2000.0,
+        seed: 17,
+    };
+    let pf_sim = Simulation::new(&problem, &pf.frequencies, config)
+        .unwrap()
+        .run();
+    let gf_sim = Simulation::new(&problem, &gf.frequencies, config)
+        .unwrap()
+        .run();
+    assert!(
+        pf_sim.time_averaged_pf > gf_sim.time_averaged_pf + 0.05,
+        "profile-aware {} must visibly beat interest-blind {} in simulation",
+        pf_sim.time_averaged_pf,
+        gf_sim.time_averaged_pf
+    );
+}
+
+#[test]
+fn schedule_materialization_matches_frequencies() {
+    let problem = Scenario::table2(0.6, Alignment::Reverse, 5)
+        .problem()
+        .unwrap();
+    let sol = solve_perceived_freshness(&problem).unwrap();
+    let horizon = 10.0;
+    let schedule = FixedOrderSchedule::build(&sol.frequencies, horizon);
+    let counts = schedule.counts(problem.len());
+    for (i, (&count, &freq)) in counts.iter().zip(&sol.frequencies).enumerate() {
+        let expected = freq * horizon;
+        assert!(
+            (count as f64 - expected).abs() <= 1.0 + 1e-9,
+            "element {i}: {count} ops vs expected {expected:.2}"
+        );
+    }
+    // Total ops ≈ bandwidth × horizon (unit sizes).
+    let total: usize = counts.iter().sum();
+    assert!(
+        (total as f64 - problem.bandwidth() * horizon).abs() < problem.len() as f64 * 0.5,
+        "total ops {total} vs budget {}",
+        problem.bandwidth() * horizon
+    );
+}
+
+#[test]
+fn mirror_selection_composes_with_solver() {
+    // §7 future work: restrict the mirror, then schedule what remains.
+    use freshen::core::selection::select_with_solver;
+    let problem = Scenario::table2(1.4, Alignment::ShuffledChange, 8)
+        .problem()
+        .unwrap();
+    let capacity = 250.0; // only half the objects fit
+    let selection = select_with_solver(&problem, capacity, 4, |sub| {
+        solve_perceived_freshness(sub).unwrap().frequencies
+    });
+    assert!(selection.space_used <= capacity);
+    assert!(!selection.selected.is_empty());
+    // The kept half must cover most of the interest under Zipf(1.4).
+    let kept_interest: f64 = selection
+        .selected
+        .iter()
+        .map(|&i| problem.access_probs()[i])
+        .sum();
+    assert!(
+        kept_interest > 0.9,
+        "half the objects should cover >90% of skewed interest, got {kept_interest}"
+    );
+    // And the restricted problem still solves end to end.
+    let sub = problem
+        .restrict_to(&selection.selected, problem.bandwidth())
+        .unwrap();
+    let sol = solve_perceived_freshness(&sub).unwrap();
+    assert!(sol.perceived_freshness > 0.0);
+}

@@ -1,0 +1,129 @@
+//! Closing the estimation loop: the scheduler never sees true change
+//! rates or the true profile — only what polls and the request log reveal
+//! (paper §2: estimates "periodically communicated to the mirror"; §7:
+//! profiles learned from the request log).
+
+use freshen::core::estimate::PollHistory;
+use freshen::prelude::*;
+
+#[test]
+fn rates_learned_from_simulation_polls_are_accurate() {
+    let problem = Problem::builder()
+        .change_rates(vec![4.0, 1.0, 0.25])
+        .access_probs(vec![1.0 / 3.0; 3])
+        .bandwidth(6.0)
+        .build()
+        .unwrap();
+    // Poll everything at 2/period for a long time.
+    let freqs = vec![2.0; 3];
+    let report = Simulation::new(
+        &problem,
+        &freqs,
+        SimConfig {
+            periods: 3000.0,
+            warmup_periods: 0.0,
+            accesses_per_period: 1.0,
+            seed: 5,
+        },
+    )
+    .unwrap()
+    .run();
+    for i in 0..3 {
+        let interval = 3000.0 / report.polls[i] as f64;
+        let est = PollHistory::new(report.polls[i], report.polls_changed[i], interval)
+            .unwrap()
+            .estimate_bias_reduced();
+        let truth = problem.change_rates()[i];
+        assert!(
+            (est - truth).abs() < truth * 0.15 + 0.02,
+            "element {i}: estimated {est} vs true {truth}"
+        );
+    }
+}
+
+#[test]
+fn schedule_from_estimates_close_to_true_optimum() {
+    let truth = Scenario::table2(1.0, Alignment::ShuffledChange, 6)
+        .problem()
+        .unwrap();
+    let optimum = solve_perceived_freshness(&truth).unwrap();
+
+    // Observation phase: uniform polling.
+    let n = truth.len();
+    let probe = vec![truth.bandwidth() / n as f64; n];
+    let report = Simulation::new(
+        &truth,
+        &probe,
+        SimConfig {
+            periods: 300.0,
+            warmup_periods: 0.0,
+            accesses_per_period: 5000.0,
+            seed: 8,
+        },
+    )
+    .unwrap()
+    .run();
+
+    // Learn rates from polls and the profile from the request log.
+    let rates: Vec<f64> = (0..n)
+        .map(|i| {
+            if report.polls[i] > 0 {
+                let interval = 300.0 / report.polls[i] as f64;
+                PollHistory::new(report.polls[i], report.polls_changed[i], interval)
+                    .unwrap()
+                    .estimate_bias_reduced()
+            } else {
+                2.0
+            }
+        })
+        .collect();
+    let weights: Vec<f64> = report
+        .access_counts
+        .iter()
+        .map(|&c| c as f64 + 0.5)
+        .collect();
+    let estimated = Problem::builder()
+        .change_rates(rates)
+        .access_weights(weights)
+        .bandwidth(truth.bandwidth())
+        .build()
+        .unwrap();
+    let learned = solve_perceived_freshness(&estimated).unwrap();
+
+    // Evaluate the learned schedule against the *true* world.
+    let achieved = truth.perceived_freshness(&learned.frequencies);
+    assert!(
+        achieved > optimum.perceived_freshness * 0.9,
+        "learned schedule {achieved} should reach 90% of optimal {}",
+        optimum.perceived_freshness
+    );
+}
+
+#[test]
+fn profile_estimator_converges_to_true_mix() {
+    let truth = Scenario::table2(1.2, Alignment::ShuffledChange, 4)
+        .problem()
+        .unwrap();
+    let report = Simulation::new(
+        &truth,
+        &vec![0.5; truth.len()],
+        SimConfig {
+            periods: 100.0,
+            warmup_periods: 0.0,
+            accesses_per_period: 10_000.0,
+            seed: 2,
+        },
+    )
+    .unwrap()
+    .run();
+    let total: u64 = report.access_counts.iter().sum();
+    // Empirical mix of the hottest elements tracks the Zipf profile.
+    for i in 0..10 {
+        let emp = report.access_counts[i] as f64 / total as f64;
+        let want = truth.access_probs()[i];
+        assert!(
+            (emp - want).abs() < want * 0.2 + 1e-4,
+            "element {i}: empirical {emp} vs profile {want}"
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! Quality guarantees of the scalable pipeline (paper §4.1): convergence
+//! to the optimum with partition count, criterion rankings, and the
+//! k-Means refinement win.
+
+use freshen::heuristics::partition::PartitionCriterion;
+use freshen::prelude::*;
+use freshen::solver::solve_perceived_freshness;
+
+fn pf_with(problem: &Problem, config: HeuristicConfig) -> f64 {
+    HeuristicScheduler::new(config)
+        .unwrap()
+        .solve(problem)
+        .unwrap()
+        .solution
+        .perceived_freshness
+}
+
+#[test]
+fn all_criteria_converge_to_optimal_at_full_granularity() {
+    let problem = Scenario::table2(0.8, Alignment::ShuffledChange, 42)
+        .problem()
+        .unwrap();
+    let opt = solve_perceived_freshness(&problem)
+        .unwrap()
+        .perceived_freshness;
+    for criterion in PartitionCriterion::CORE {
+        let pf = pf_with(
+            &problem,
+            HeuristicConfig {
+                criterion,
+                num_partitions: problem.len(),
+                ..Default::default()
+            },
+        );
+        assert!(
+            (pf - opt).abs() < 1e-6,
+            "{}: full granularity must equal optimal ({pf} vs {opt})",
+            criterion.name()
+        );
+    }
+}
+
+#[test]
+fn quality_improves_broadly_with_partitions() {
+    let problem = Scenario::table2(0.8, Alignment::ShuffledChange, 42)
+        .problem()
+        .unwrap();
+    for criterion in PartitionCriterion::CORE {
+        let coarse = pf_with(
+            &problem,
+            HeuristicConfig {
+                criterion,
+                num_partitions: 5,
+                ..Default::default()
+            },
+        );
+        let fine = pf_with(
+            &problem,
+            HeuristicConfig {
+                criterion,
+                num_partitions: 250,
+                ..Default::default()
+            },
+        );
+        assert!(
+            fine >= coarse - 1e-6,
+            "{}: 250 partitions ({fine}) must beat 5 ({coarse})",
+            criterion.name()
+        );
+    }
+}
+
+#[test]
+fn pf_partitioning_wins_under_shuffled_change() {
+    // Figure 5(a)/Figure 7: with p and λ independent, PF-partitioning
+    // needs far fewer partitions than λ-partitioning for the same quality.
+    let problem = Scenario::table2(1.0, Alignment::ShuffledChange, 42)
+        .problem()
+        .unwrap();
+    for k in [10, 25, 50] {
+        let pf = pf_with(
+            &problem,
+            HeuristicConfig {
+                criterion: PartitionCriterion::PerceivedFreshness,
+                num_partitions: k,
+                ..Default::default()
+            },
+        );
+        let lam = pf_with(
+            &problem,
+            HeuristicConfig {
+                criterion: PartitionCriterion::ChangeRate,
+                num_partitions: k,
+                ..Default::default()
+            },
+        );
+        assert!(
+            pf > lam + 0.02,
+            "k={k}: PF-partitioning {pf} must clearly beat λ-partitioning {lam}"
+        );
+    }
+}
+
+#[test]
+fn techniques_nearly_identical_under_aligned_case() {
+    // Figure 5(b)/(c): with p and λ (anti-)monotone, all four sort orders
+    // coincide, so the techniques produce near-identical results.
+    for alignment in [Alignment::Aligned, Alignment::Reverse] {
+        let problem = Scenario::table2(0.8, alignment, 42).problem().unwrap();
+        let k = 50;
+        let values: Vec<f64> = PartitionCriterion::CORE
+            .iter()
+            .map(|&criterion| {
+                pf_with(
+                    &problem,
+                    HeuristicConfig {
+                        criterion,
+                        num_partitions: k,
+                        ..Default::default()
+                    },
+                )
+            })
+            .collect();
+        let max = values.iter().cloned().fold(f64::MIN, f64::max);
+        let min = values.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            max - min < 0.05,
+            "{alignment:?}: techniques should nearly coincide, spread {min}..{max}"
+        );
+    }
+}
+
+#[test]
+fn kmeans_lifts_small_partition_counts() {
+    // Figure 8: few partitions + a few iterations ≈ many partitions.
+    let problem = Scenario::table3_scaled(20_000, 42).problem().unwrap();
+    let raw = pf_with(
+        &problem,
+        HeuristicConfig {
+            num_partitions: 20,
+            kmeans_iterations: 0,
+            ..Default::default()
+        },
+    );
+    let refined = pf_with(
+        &problem,
+        HeuristicConfig {
+            num_partitions: 20,
+            kmeans_iterations: 10,
+            ..Default::default()
+        },
+    );
+    assert!(
+        refined > raw + 0.005,
+        "k-means must visibly improve 20 partitions at 20k objects: {raw} → {refined}"
+    );
+}
+
+#[test]
+fn big_case_smoke_runs_fast_and_sane() {
+    // Scaled-down Table 3 as a correctness smoke (the full 500k case runs
+    // in the exp_fig7 binary).
+    let problem = Scenario::table3_scaled(50_000, 42).problem().unwrap();
+    let h = HeuristicScheduler::new(HeuristicConfig {
+        num_partitions: 100,
+        ..Default::default()
+    })
+    .unwrap()
+    .solve(&problem)
+    .unwrap();
+    assert!(problem.is_feasible(&h.solution.frequencies, 1e-6));
+    assert!(h.solution.perceived_freshness > 0.4);
+    assert!(h.reduced_elements <= 100);
+}

@@ -1,0 +1,112 @@
+//! The paper's central comparison (§2.2.2, Figure 3): the PF technique
+//! weakly dominates the GF technique on perceived freshness, they coincide
+//! at zero skew, and the gap explodes in the aligned case.
+
+use freshen::prelude::*;
+
+#[test]
+fn pf_equals_gf_at_zero_skew() {
+    for alignment in [Alignment::Aligned, Alignment::Reverse, Alignment::ShuffledChange] {
+        let problem = Scenario::table2(0.0, alignment, 1).problem().unwrap();
+        let pf = solve_perceived_freshness(&problem).unwrap();
+        let gf = solve_general_freshness(&problem).unwrap();
+        assert!(
+            (pf.perceived_freshness - gf.perceived_freshness).abs() < 1e-6,
+            "θ=0 ⇒ identical schedules ({alignment:?})"
+        );
+    }
+}
+
+#[test]
+fn pf_dominates_gf_across_the_sweep() {
+    for alignment in [Alignment::Aligned, Alignment::Reverse, Alignment::ShuffledChange] {
+        for theta in [0.4, 0.8, 1.2, 1.6] {
+            for seed in [1, 2] {
+                let problem = Scenario::table2(theta, alignment, seed).problem().unwrap();
+                let pf = solve_perceived_freshness(&problem).unwrap();
+                let gf = solve_general_freshness(&problem).unwrap();
+                assert!(
+                    pf.perceived_freshness >= gf.perceived_freshness - 1e-9,
+                    "{alignment:?} θ={theta} seed={seed}: PF {} < GF {}",
+                    pf.perceived_freshness,
+                    gf.perceived_freshness
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pf_increases_with_skew_for_pf_technique() {
+    // Figure 3's common shape: the profile-aware curve rises with θ in
+    // the shuffled and reverse cases.
+    for alignment in [Alignment::ShuffledChange, Alignment::Reverse] {
+        let mut last = 0.0;
+        for theta in [0.0, 0.4, 0.8, 1.2, 1.6] {
+            let problem = Scenario::table2(theta, alignment, 7).problem().unwrap();
+            let pf = solve_perceived_freshness(&problem)
+                .unwrap()
+                .perceived_freshness;
+            assert!(
+                pf >= last - 0.01,
+                "{alignment:?}: PF should rise with skew ({last} → {pf} at θ={theta})"
+            );
+            last = pf;
+        }
+    }
+}
+
+#[test]
+fn gf_collapses_in_aligned_case_at_high_skew() {
+    // Figure 3(b)'s most significant difference: "perceived freshness
+    // approaches 0 for high interest skew when user interest is ignored".
+    let problem = Scenario::table2(1.6, Alignment::Aligned, 7).problem().unwrap();
+    let pf = solve_perceived_freshness(&problem).unwrap();
+    let gf = solve_general_freshness(&problem).unwrap();
+    assert!(
+        gf.perceived_freshness < 0.05,
+        "GF must collapse: {}",
+        gf.perceived_freshness
+    );
+    assert!(
+        pf.perceived_freshness > 0.7,
+        "PF must stay high: {}",
+        pf.perceived_freshness
+    );
+}
+
+#[test]
+fn gf_still_wins_on_its_own_metric() {
+    // Sanity: the GF technique is optimal for *average* freshness, so it
+    // must beat the PF schedule there — the two objectives genuinely trade
+    // off.
+    let problem = Scenario::table2(1.2, Alignment::Aligned, 7).problem().unwrap();
+    let pf = solve_perceived_freshness(&problem).unwrap();
+    let gf = solve_general_freshness(&problem).unwrap();
+    assert!(
+        gf.general_freshness >= pf.general_freshness - 1e-9,
+        "GF schedule must maximize average freshness: {} vs {}",
+        gf.general_freshness,
+        pf.general_freshness
+    );
+}
+
+#[test]
+fn baselines_are_dominated_too() {
+    use freshen::solver::baselines::{solve_proportional, solve_uniform};
+    for theta in [0.4, 1.0, 1.6] {
+        let problem = Scenario::table2(theta, Alignment::ShuffledChange, 3)
+            .problem()
+            .unwrap();
+        let opt = solve_perceived_freshness(&problem)
+            .unwrap()
+            .perceived_freshness;
+        let uni = solve_uniform(&problem).perceived_freshness;
+        let prop = solve_proportional(&problem).perceived_freshness;
+        assert!(opt >= uni - 1e-9, "θ={theta}: optimal {opt} vs uniform {uni}");
+        assert!(opt >= prop - 1e-9, "θ={theta}: optimal {opt} vs proportional {prop}");
+        // Change-proportional is a notoriously bad policy here: it pours
+        // bandwidth into hopeless volatiles.
+        assert!(prop < uni + 0.05, "θ={theta}: proportional should not shine");
+    }
+}

@@ -1,0 +1,333 @@
+//! Property-based tests (proptest) of the core invariants, spanning the
+//! freshness model, the exact solver, the heuristics, and the projection.
+
+use freshen::core::freshness::{
+    freshness_gradient, perceived_freshness, steady_state_freshness,
+};
+use freshen::core::schedule::{FixedOrderSchedule, ScheduleStream};
+use freshen::heuristics::partition::{PartitionCriterion, Partitioning};
+use freshen::heuristics::{AllocationPolicy, HeuristicConfig, HeuristicScheduler};
+use freshen::prelude::*;
+use freshen::solver::projected_gradient::project_weighted_simplex;
+use proptest::prelude::*;
+
+/// Strategy: a plausible problem with 2..=24 elements, optional sizes.
+fn problem_strategy(with_sizes: bool) -> impl Strategy<Value = Problem> {
+    (2usize..=24).prop_flat_map(move |n| {
+        let rates = proptest::collection::vec(0.05f64..20.0, n);
+        let weights = proptest::collection::vec(0.01f64..10.0, n);
+        let sizes = if with_sizes {
+            proptest::collection::vec(0.1f64..8.0, n).boxed()
+        } else {
+            Just(vec![1.0; n]).boxed()
+        };
+        let budget = 0.5f64..50.0;
+        (rates, weights, sizes, budget).prop_map(|(r, w, s, b)| {
+            Problem::builder()
+                .change_rates(r)
+                .access_weights(w)
+                .sizes(s)
+                .bandwidth(b)
+                .build()
+                .expect("generated problem is valid")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- freshness function ------------------------------------------
+
+    #[test]
+    fn freshness_in_unit_interval(lam in 0.0f64..100.0, f in 0.0f64..100.0) {
+        let fr = steady_state_freshness(lam, f);
+        prop_assert!((0.0..=1.0).contains(&fr));
+    }
+
+    #[test]
+    fn freshness_monotone_in_f(lam in 0.01f64..50.0, f in 0.01f64..50.0, df in 0.01f64..10.0) {
+        prop_assert!(steady_state_freshness(lam, f + df) > steady_state_freshness(lam, f));
+    }
+
+    #[test]
+    fn gradient_positive_and_decreasing(lam in 0.01f64..50.0, f in 0.01f64..50.0, df in 0.01f64..10.0) {
+        let g1 = freshness_gradient(lam, f);
+        let g2 = freshness_gradient(lam, f + df);
+        prop_assert!(g1 > 0.0);
+        prop_assert!(g2 < g1);
+    }
+
+    #[test]
+    fn concavity_midpoint(lam in 0.01f64..20.0, a in 0.01f64..20.0, b in 0.01f64..20.0) {
+        // F((a+b)/2) ≥ (F(a)+F(b))/2 for concave F.
+        let mid = steady_state_freshness(lam, 0.5 * (a + b));
+        let avg = 0.5 * (steady_state_freshness(lam, a) + steady_state_freshness(lam, b));
+        prop_assert!(mid >= avg - 1e-12);
+    }
+
+    // ---- exact solver -------------------------------------------------
+
+    #[test]
+    fn solver_feasible_and_budget_tight(problem in problem_strategy(false)) {
+        let sol = LagrangeSolver::default().solve(&problem).unwrap();
+        prop_assert!(sol.frequencies.iter().all(|&f| f >= 0.0 && f.is_finite()));
+        prop_assert!((sol.bandwidth_used - problem.bandwidth()).abs()
+            < problem.bandwidth() * 1e-6);
+    }
+
+    #[test]
+    fn solver_beats_uniform_allocation(problem in problem_strategy(false)) {
+        let sol = LagrangeSolver::default().solve(&problem).unwrap();
+        let uniform = vec![problem.bandwidth() / problem.len() as f64; problem.len()];
+        let upf = problem.perceived_freshness(&uniform);
+        prop_assert!(sol.perceived_freshness >= upf - 1e-9,
+            "optimal {} vs uniform {}", sol.perceived_freshness, upf);
+    }
+
+    #[test]
+    fn solver_kkt_equalized_marginals(problem in problem_strategy(false)) {
+        let sol = LagrangeSolver::default().solve(&problem).unwrap();
+        let mu = sol.multiplier.unwrap();
+        for i in 0..problem.len() {
+            let f = sol.frequencies[i];
+            if f > 1e-6 {
+                let marginal = problem.access_probs()[i]
+                    * freshness_gradient(problem.change_rates()[i], f);
+                prop_assert!((marginal - mu).abs() <= mu * 1e-3 + 1e-12,
+                    "element {i}: marginal {marginal:e} vs mu {mu:e}");
+            }
+        }
+    }
+
+    #[test]
+    fn solver_sized_feasible(problem in problem_strategy(true)) {
+        let sol = LagrangeSolver::default().solve(&problem).unwrap();
+        prop_assert!(problem.is_feasible(&sol.frequencies, 1e-6));
+        prop_assert!((sol.bandwidth_used - problem.bandwidth()).abs()
+            < problem.bandwidth() * 1e-6);
+    }
+
+    #[test]
+    fn solver_scale_invariance(problem in problem_strategy(false), scale in 0.5f64..4.0) {
+        // Scaling all access weights by a constant must not change the
+        // optimal schedule (weights are normalized anyway) — exercised via
+        // the weighted builder.
+        let sol1 = LagrangeSolver::default().solve(&problem).unwrap();
+        let scaled = Problem::builder()
+            .change_rates(problem.change_rates().to_vec())
+            .access_weights(problem.access_probs().iter().map(|p| p * scale).collect())
+            .bandwidth(problem.bandwidth())
+            .build()
+            .unwrap();
+        let sol2 = LagrangeSolver::default().solve(&scaled).unwrap();
+        for (a, b) in sol1.frequencies.iter().zip(&sol2.frequencies) {
+            prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()));
+        }
+    }
+
+    #[test]
+    fn proportional_interest_gives_proportional_frequencies(
+        n in 2usize..12, factor in 0.1f64..2.0, base in 0.1f64..5.0
+    ) {
+        // Generalized Table-1-row-(c) identity: pᵢ ∝ λᵢ ⇒ fᵢ = B·pᵢ.
+        // The budget is tied to the total change volume so every optimal
+        // frequency keeps λ/f ≤ 10: below that the marginal ∂F̄/∂f is
+        // float-flat near 1/λ and the identity, while true analytically,
+        // is not numerically recoverable (the objective itself is flat).
+        let rates: Vec<f64> = (1..=n).map(|i| base * i as f64).collect();
+        let budget = factor * rates.iter().sum::<f64>();
+        let problem = Problem::builder()
+            .change_rates(rates.clone())
+            .access_weights(rates.clone())
+            .bandwidth(budget)
+            .build()
+            .unwrap();
+        let sol = LagrangeSolver::default().solve(&problem).unwrap();
+        for (f, p) in sol.frequencies.iter().zip(problem.access_probs()) {
+            prop_assert!((f - budget * p).abs() < 1e-4 * budget,
+                "f {} vs B·p {}", f, budget * p);
+        }
+    }
+
+    // ---- heuristics -----------------------------------------------------
+
+    #[test]
+    fn heuristic_never_beats_optimal(
+        problem in problem_strategy(false),
+        k in 1usize..8,
+        iters in 0usize..4,
+    ) {
+        let opt = LagrangeSolver::default().solve(&problem).unwrap();
+        let h = HeuristicScheduler::new(HeuristicConfig {
+            num_partitions: k,
+            kmeans_iterations: iters,
+            ..Default::default()
+        }).unwrap().solve(&problem).unwrap();
+        prop_assert!(h.solution.perceived_freshness <= opt.perceived_freshness + 1e-7);
+        prop_assert!(problem.is_feasible(&h.solution.frequencies, 1e-6));
+    }
+
+    #[test]
+    fn heuristic_spends_full_budget(
+        problem in problem_strategy(true),
+        k in 1usize..8,
+    ) {
+        for allocation in [AllocationPolicy::FixedFrequency, AllocationPolicy::FixedBandwidth] {
+            let h = HeuristicScheduler::new(HeuristicConfig {
+                criterion: PartitionCriterion::PerceivedFreshnessPerSize,
+                num_partitions: k,
+                allocation,
+                ..Default::default()
+            }).unwrap().solve(&problem).unwrap();
+            prop_assert!(
+                (h.solution.bandwidth_used - problem.bandwidth()).abs()
+                    < problem.bandwidth() * 1e-6,
+                "{allocation:?}: used {} of {}", h.solution.bandwidth_used, problem.bandwidth()
+            );
+        }
+    }
+
+    #[test]
+    fn partitioning_is_a_partition(
+        problem in problem_strategy(false),
+        k in 1usize..10,
+    ) {
+        for criterion in PartitionCriterion::CORE {
+            let part = Partitioning::by_criterion(&problem, criterion, k, 1.0).unwrap();
+            prop_assert_eq!(part.len(), problem.len());
+            let counts = part.counts();
+            prop_assert_eq!(counts.iter().sum::<usize>(), problem.len());
+            // Contiguous-run construction: sizes differ by at most one run.
+            let max = counts.iter().max().unwrap();
+            prop_assert!(counts.iter().all(|c| *c <= *max));
+        }
+    }
+
+    // ---- projection ------------------------------------------------------
+
+    #[test]
+    fn projection_feasible(
+        n in 1usize..16,
+        b in 0.1f64..20.0,
+        seed_vals in proptest::collection::vec(-10.0f64..10.0, 16),
+        weights in proptest::collection::vec(0.1f64..5.0, 16),
+    ) {
+        let mut y: Vec<f64> = seed_vals[..n].to_vec();
+        let a: Vec<f64> = weights[..n].to_vec();
+        project_weighted_simplex(&mut y, &a, b);
+        let used: f64 = y.iter().zip(&a).map(|(&x, &w)| x * w).sum();
+        prop_assert!((used - b).abs() < 1e-6 * b.max(1.0));
+        prop_assert!(y.iter().all(|&x| x >= 0.0));
+    }
+
+    // ---- schedules --------------------------------------------------------
+
+    #[test]
+    fn schedule_counts_track_frequencies(
+        freqs in proptest::collection::vec(0.0f64..8.0, 1..12),
+        horizon in 0.5f64..20.0,
+    ) {
+        let schedule = FixedOrderSchedule::build(&freqs, horizon);
+        let counts = schedule.counts(freqs.len());
+        for (i, (&count, &f)) in counts.iter().zip(&freqs).enumerate() {
+            let expected = f * horizon;
+            prop_assert!((count as f64 - expected).abs() <= 1.0 + 1e-9,
+                "element {i}: {count} ops vs f·H = {expected}");
+        }
+        // Ops sorted and inside the horizon.
+        for w in schedule.ops().windows(2) {
+            prop_assert!(w[0].time <= w[1].time);
+        }
+        prop_assert!(schedule.ops().iter().all(|o| o.time >= 0.0 && o.time < horizon));
+    }
+
+    #[test]
+    fn schedule_stream_equals_materialized(
+        freqs in proptest::collection::vec(0.0f64..5.0, 1..10),
+        horizon in 0.5f64..10.0,
+    ) {
+        let materialized = FixedOrderSchedule::build(&freqs, horizon);
+        let streamed: Vec<_> = ScheduleStream::new(&freqs, horizon).collect();
+        prop_assert_eq!(materialized.len(), streamed.len());
+        for (a, b) in materialized.ops().iter().zip(&streamed) {
+            prop_assert!((a.time - b.time).abs() < 1e-12);
+            prop_assert_eq!(a.element, b.element);
+        }
+    }
+
+    // ---- synchronization policies ------------------------------------------
+
+    #[test]
+    fn fixed_order_law_dominates_poisson_law(lam in 0.01f64..50.0, f in 0.01f64..50.0) {
+        use freshen::prelude::SyncPolicy;
+        prop_assert!(SyncPolicy::FixedOrder.freshness(lam, f)
+            > SyncPolicy::Poisson.freshness(lam, f));
+    }
+
+    #[test]
+    fn poisson_solver_feasible_and_kkt(problem in problem_strategy(false)) {
+        use freshen::prelude::SyncPolicy;
+        let solver = LagrangeSolver { policy: SyncPolicy::Poisson, ..Default::default() };
+        let sol = solver.solve(&problem).unwrap();
+        prop_assert!(problem.is_feasible(&sol.frequencies, 1e-6));
+        let mu = sol.multiplier.unwrap();
+        for i in 0..problem.len() {
+            let f = sol.frequencies[i];
+            if f > 1e-6 {
+                let marginal = problem.access_probs()[i]
+                    * SyncPolicy::Poisson.gradient(problem.change_rates()[i], f);
+                prop_assert!((marginal - mu).abs() <= mu * 1e-3 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_optimum_dominates_poisson_optimum_property(problem in problem_strategy(false)) {
+        use freshen::prelude::SyncPolicy;
+        let fixed = LagrangeSolver::default().solve(&problem).unwrap();
+        let poisson = LagrangeSolver { policy: SyncPolicy::Poisson, ..Default::default() }
+            .solve(&problem).unwrap();
+        // Each optimum is scored under its own law; the fixed-order law is
+        // pointwise larger, so its optimum must be at least as good.
+        prop_assert!(fixed.perceived_freshness >= poisson.perceived_freshness - 1e-9);
+    }
+
+    // ---- robustness under extreme magnitudes --------------------------------
+
+    #[test]
+    fn solver_survives_wild_magnitudes(
+        n in 2usize..10,
+        rate_exp in proptest::collection::vec(-5i32..6, 10),
+        weight_exp in proptest::collection::vec(-4i32..4, 10),
+        budget_exp in -3i32..5,
+    ) {
+        // Rates spanning 11 orders of magnitude, budgets spanning 8: the
+        // solver must stay finite, feasible, and budget-tight.
+        let rates: Vec<f64> = rate_exp[..n].iter().map(|&e| 10f64.powi(e)).collect();
+        let weights: Vec<f64> = weight_exp[..n].iter().map(|&e| 10f64.powi(e)).collect();
+        let budget = 10f64.powi(budget_exp);
+        let problem = Problem::builder()
+            .change_rates(rates)
+            .access_weights(weights)
+            .bandwidth(budget)
+            .build()
+            .unwrap();
+        let sol = LagrangeSolver::default().solve(&problem).unwrap();
+        prop_assert!(sol.frequencies.iter().all(|f| f.is_finite() && *f >= 0.0));
+        prop_assert!((sol.bandwidth_used - budget).abs() < budget * 1e-6);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&sol.perceived_freshness));
+    }
+
+    // ---- perceived freshness metric ---------------------------------------
+
+    #[test]
+    fn pf_bounded_by_weights(
+        problem in problem_strategy(false),
+        fscale in 0.0f64..10.0,
+    ) {
+        let freqs: Vec<f64> = problem.change_rates().iter().map(|&l| l * fscale).collect();
+        let pf = perceived_freshness(problem.access_probs(), problem.change_rates(), &freqs);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&pf));
+    }
+}

@@ -1,0 +1,66 @@
+//! Regression test: the exact solver reproduces the paper's Table 1 —
+//! its only published numeric ground truth — through the public facade.
+
+use freshen::prelude::*;
+
+fn toy(probs: Vec<f64>) -> Problem {
+    Problem::builder()
+        .change_rates(vec![1.0, 2.0, 3.0, 4.0, 5.0])
+        .access_probs(probs)
+        .bandwidth(5.0)
+        .build()
+        .unwrap()
+}
+
+fn assert_frequencies(probs: Vec<f64>, expected: [f64; 5]) {
+    let sol = LagrangeSolver::default().solve(&toy(probs)).unwrap();
+    for (i, (got, want)) in sol.frequencies.iter().zip(expected).enumerate() {
+        assert!(
+            (got - want).abs() < 0.011,
+            "element {i}: solver {got:.4} vs paper {want}"
+        );
+    }
+}
+
+#[test]
+fn table1_uniform_profile_matches_paper() {
+    assert_frequencies(vec![0.2; 5], [1.15, 1.36, 1.35, 1.14, 0.00]);
+}
+
+#[test]
+fn table1_aligned_profile_matches_paper() {
+    assert_frequencies(
+        (1..=5).map(|i| i as f64 / 15.0).collect(),
+        [0.33, 0.67, 1.00, 1.33, 1.67],
+    );
+}
+
+#[test]
+fn table1_reverse_profile_matches_paper() {
+    assert_frequencies(
+        (1..=5).rev().map(|i| i as f64 / 15.0).collect(),
+        [1.68, 1.83, 1.49, 0.00, 0.00],
+    );
+}
+
+#[test]
+fn table1_aligned_profile_exact_identity() {
+    // When pᵢ ∝ λᵢ the optimum is exactly fᵢ = B·pᵢ (row (c)'s pattern).
+    let probs: Vec<f64> = (1..=5).map(|i| i as f64 / 15.0).collect();
+    let sol = LagrangeSolver::default().solve(&toy(probs.clone())).unwrap();
+    for (f, p) in sol.frequencies.iter().zip(&probs) {
+        assert!((f - 5.0 * p).abs() < 1e-4, "f = B·p identity violated: {f} vs {}", 5.0 * p);
+    }
+}
+
+#[test]
+fn table1_row_c_gives_most_volatile_element_the_most_bandwidth() {
+    // The paper's commentary: under P2 the fastest-changing element gets
+    // the *highest* frequency (1.67), the opposite of the uniform case
+    // where it gets zero.
+    let p2: Vec<f64> = (1..=5).map(|i| i as f64 / 15.0).collect();
+    let sol2 = LagrangeSolver::default().solve(&toy(p2)).unwrap();
+    assert!(sol2.frequencies[4] > sol2.frequencies[3]);
+    let sol1 = LagrangeSolver::default().solve(&toy(vec![0.2; 5])).unwrap();
+    assert!(sol1.frequencies[4] < 0.01);
+}
