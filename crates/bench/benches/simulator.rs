@@ -2,6 +2,7 @@
 //! a full update/sync/access run over a 500-object mirror.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use freshen_obs::Recorder;
 use freshen_sim::{SimConfig, Simulation};
 use freshen_solver::solve_perceived_freshness;
 use freshen_workload::scenario::{Alignment, Scenario};
@@ -32,5 +33,43 @@ fn bench_simulator(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_simulator);
+/// Cost of the observability layer on the simulator hot loop.
+///
+/// `noop_recorder` must stay within ~5% of `baseline`: a disabled
+/// [`Recorder`] hands out no-op instruments whose per-event cost is a
+/// single branch. `enabled_recorder` shows the full recording cost for
+/// contrast (atomics, span buffers, sampled journal entries).
+fn bench_obs_overhead(c: &mut Criterion) {
+    let problem = Scenario::table2(1.0, Alignment::ShuffledChange, 7)
+        .problem()
+        .unwrap();
+    let freqs = solve_perceived_freshness(&problem).unwrap().frequencies;
+    let config = SimConfig {
+        periods: 10.0,
+        warmup_periods: 1.0,
+        accesses_per_period: 1000.0,
+        seed: 7,
+    };
+    let mut group = c.benchmark_group("obs_overhead_500_objects");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("run", "baseline"), |b| {
+        let sim = Simulation::new(&problem, &freqs, config).unwrap();
+        b.iter(|| sim.run());
+    });
+    group.bench_function(BenchmarkId::new("run", "noop_recorder"), |b| {
+        let sim = Simulation::new(&problem, &freqs, config)
+            .unwrap()
+            .with_recorder(Recorder::disabled());
+        b.iter(|| sim.run());
+    });
+    group.bench_function(BenchmarkId::new("run", "enabled_recorder"), |b| {
+        let sim = Simulation::new(&problem, &freqs, config)
+            .unwrap()
+            .with_recorder(Recorder::enabled());
+        b.iter(|| sim.run());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator, bench_obs_overhead);
 criterion_main!(benches);

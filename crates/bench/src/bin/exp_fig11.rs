@@ -30,7 +30,11 @@ fn main() {
 
     let ks: Vec<usize> = vec![5, 10, 25, 50, 75, 100, 150, 200, 250];
     println!("# Figure 11: FBA vs FFA under PF/s-partitioning (N = {n}, Pareto sizes)");
-    header(&["num_partitions", "FIXED_BANDWIDTH_FBA", "FIXED_FREQUENCY_FFA"]);
+    header(&[
+        "num_partitions",
+        "FIXED_BANDWIDTH_FBA",
+        "FIXED_FREQUENCY_FFA",
+    ]);
     let results = parallel_map(&ks, |&k| {
         let pf_for = |allocation| {
             heuristic_pf(

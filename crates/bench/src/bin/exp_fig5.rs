@@ -6,8 +6,11 @@
 //! grow; under shuffled-change, PF-, P-, and P/λ-partitioning converge much
 //! faster than λ-partitioning; under aligned/reverse the four are nearly
 //! indistinguishable (the sort orders coincide).
+//!
+//! Per-run telemetry (wall time, PF, solver iterations) lands in
+//! `results/BENCH_fig5.json`.
 
-use freshen_bench::{header, heuristic_pf, parallel_map, row, PARTITIONS_SMALL};
+use freshen_bench::{header, heuristic_run, parallel_map, row, BenchReport, PARTITIONS_SMALL};
 use freshen_heuristics::{HeuristicConfig, PartitionCriterion};
 use freshen_solver::solve_perceived_freshness;
 use freshen_workload::scenario::{Alignment, Scenario};
@@ -15,6 +18,7 @@ use freshen_workload::scenario::{Alignment, Scenario};
 fn main() {
     let theta = 0.8;
     let seed = 42;
+    let mut report = BenchReport::new("fig5");
     let criteria = [
         PartitionCriterion::PerceivedFreshness,
         PartitionCriterion::AccessProb,
@@ -42,25 +46,32 @@ fn main() {
             "best_case",
         ]);
         let results = parallel_map(&PARTITIONS_SMALL, |&k| {
-            let cells: Vec<f64> = criteria
-                .iter()
-                .map(|&criterion| {
-                    heuristic_pf(
-                        &problem,
-                        HeuristicConfig {
-                            criterion,
-                            num_partitions: k,
-                            ..Default::default()
-                        },
-                    )
-                })
-                .collect();
-            (k, cells)
+            let mut cells = Vec::with_capacity(criteria.len());
+            let mut runs = Vec::with_capacity(criteria.len());
+            for &criterion in &criteria {
+                let (pf, run) = heuristic_run(
+                    &format!("{name}/{criterion:?}/k={k}"),
+                    &problem,
+                    HeuristicConfig {
+                        criterion,
+                        num_partitions: k,
+                        ..Default::default()
+                    },
+                );
+                cells.push(pf);
+                runs.push(run);
+            }
+            (k, cells, runs)
         });
-        for (k, mut cells) in results {
+        for (k, mut cells, runs) in results {
             cells.push(best);
             row(&k.to_string(), &cells);
+            for run in runs {
+                report.push(run);
+            }
         }
         println!();
     }
+    let path = report.write().expect("write BENCH_fig5.json");
+    eprintln!("telemetry: {}", path.display());
 }

@@ -8,7 +8,9 @@
 //!
 //! Honour `FRESHEN_N` to scale the mirror down for smoke tests.
 
-use freshen_bench::{big_case_n, header, heuristic_pf, parallel_map, row, KMEANS_ITERS, PARTITIONS_BIG};
+use freshen_bench::{
+    big_case_n, header, heuristic_pf, parallel_map, row, KMEANS_ITERS, PARTITIONS_BIG,
+};
 use freshen_heuristics::{HeuristicConfig, PartitionCriterion};
 use freshen_workload::scenario::Scenario;
 

@@ -31,13 +31,20 @@ fn main() {
         "# Link sweep: planned load {planned_load:.0} size-units/period, planned PF {:.4}",
         schedule.perceived_freshness
     );
-    header(&["headroom", "capacity", "measured_pf", "planned_pf", "link_utilization"]);
+    header(&[
+        "headroom",
+        "capacity",
+        "measured_pf",
+        "planned_pf",
+        "link_utilization",
+    ]);
     for headroom in [0.5, 0.8, 1.0, 1.5, 2.0, 4.0, 8.0, 16.0, 64.0] {
         let capacity = planned_load * headroom;
         let report = Simulation::new(&problem, &schedule.frequencies, config)
             .expect("valid simulation")
             .with_link_capacity(capacity)
-            .run();
+            .run()
+            .expect("simulation run");
         row(
             &format!("{headroom:.1}"),
             &[

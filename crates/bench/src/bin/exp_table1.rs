@@ -2,22 +2,32 @@
 //! example: change rates 1..5 per day, bandwidth 5 refreshes/day, three
 //! access profiles (P1 uniform, P2 aligned skew, P3 reverse skew).
 //!
-//! Prints our solver's frequencies next to the paper's published values.
+//! Prints our solver's frequencies next to the paper's published values,
+//! and writes per-profile telemetry (wall time, PF, solver iterations) to
+//! `results/BENCH_table1.json`.
 
+use freshen_bench::{timed, BenchReport, BenchRun};
 use freshen_core::problem::Problem;
+use freshen_obs::Recorder;
 use freshen_solver::LagrangeSolver;
 
-fn solve(probs: Vec<f64>) -> Vec<f64> {
+fn solve(name: &str, probs: Vec<f64>, report: &mut BenchReport) -> Vec<f64> {
     let problem = Problem::builder()
         .change_rates(vec![1.0, 2.0, 3.0, 4.0, 5.0])
         .access_probs(probs)
         .bandwidth(5.0)
         .build()
         .expect("toy problem is valid");
-    LagrangeSolver::default()
-        .solve(&problem)
-        .expect("toy problem solves")
-        .frequencies
+    let recorder = Recorder::enabled();
+    let solver = LagrangeSolver {
+        recorder: recorder.clone(),
+        ..Default::default()
+    };
+    let (solution, wall) = timed(|| solver.solve(&problem).expect("toy problem solves"));
+    let mut run = BenchRun::from_recorder(name, wall, &recorder);
+    run.pf = Some(solution.perceived_freshness);
+    report.push(run);
+    solution.frequencies
 }
 
 fn print_row(name: &str, values: &[f64], paper: &[f64]) {
@@ -33,16 +43,27 @@ fn print_row(name: &str, values: &[f64], paper: &[f64]) {
 }
 
 fn main() {
+    let mut report = BenchReport::new("table1");
     println!("Table 1: optimal sync frequencies (elements change 1..5 times/day, B = 5/day)");
     print_row(
         "(a) change freq",
         &[1.0, 2.0, 3.0, 4.0, 5.0],
         &[1.0, 2.0, 3.0, 4.0, 5.0],
     );
-    let p1 = solve(vec![0.2; 5]);
+    let p1 = solve("P1", vec![0.2; 5], &mut report);
     print_row("(b) sync freq (P1)", &p1, &[1.15, 1.36, 1.35, 1.14, 0.00]);
-    let p2 = solve((1..=5).map(|i| i as f64 / 15.0).collect());
+    let p2 = solve(
+        "P2",
+        (1..=5).map(|i| i as f64 / 15.0).collect(),
+        &mut report,
+    );
     print_row("(c) sync freq (P2)", &p2, &[0.33, 0.67, 1.00, 1.33, 1.67]);
-    let p3 = solve((1..=5).rev().map(|i| i as f64 / 15.0).collect());
+    let p3 = solve(
+        "P3",
+        (1..=5).rev().map(|i| i as f64 / 15.0).collect(),
+        &mut report,
+    );
     print_row("(d) sync freq (P3)", &p3, &[1.68, 1.83, 1.49, 0.00, 0.00]);
+    let path = report.write().expect("write BENCH_table1.json");
+    eprintln!("telemetry: {}", path.display());
 }

@@ -19,10 +19,13 @@
 
 #![warn(missing_docs)]
 
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use freshen_core::problem::Problem;
 use freshen_heuristics::{HeuristicConfig, HeuristicScheduler};
+use freshen_obs::Recorder;
+use serde::{Deserialize, Serialize};
 
 /// θ grid of the paper's skew sweeps (Table 2: 0.0–1.6).
 pub const THETA_GRID: [f64; 9] = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6];
@@ -79,6 +82,172 @@ pub fn heuristic_pf(problem: &Problem, config: HeuristicConfig) -> f64 {
         .perceived_freshness
 }
 
+/// Like [`heuristic_pf`], but also capture a [`BenchRun`] telemetry record
+/// (wall time, achieved PF, representative-solve iteration count) through
+/// an enabled [`Recorder`].
+pub fn heuristic_run(name: &str, problem: &Problem, config: HeuristicConfig) -> (f64, BenchRun) {
+    let recorder = Recorder::enabled();
+    let (pf, wall) = timed(|| {
+        HeuristicScheduler::new(config)
+            .expect("valid heuristic config")
+            .with_recorder(recorder.clone())
+            .solve(problem)
+            .expect("heuristic solve succeeds")
+            .solution
+            .perceived_freshness
+    });
+    (pf, BenchRun::from_recorder(name, wall, &recorder))
+}
+
+/// Telemetry for one measured run inside an experiment binary.
+///
+/// Optional fields are `None` when the quantity does not apply (a pure
+/// solver run has no event throughput; a simulator run driven by a fixed
+/// schedule has no solver iterations). The schema is the contract used by
+/// perf-trajectory diffs across commits — extend it, never repurpose
+/// fields.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchRun {
+    /// Run label, e.g. `"P1"` or `"shuffle-change/k=50"`.
+    pub name: String,
+    /// Wall-clock seconds spent producing this run's result.
+    pub wall_seconds: f64,
+    /// Perceived freshness achieved, when the run produces one.
+    pub pf: Option<f64>,
+    /// Total solver iterations (outer iterations for the Lagrange solver).
+    pub solver_iterations: Option<u64>,
+    /// Simulator event throughput, when the run drives the simulator.
+    pub events_per_sec: Option<f64>,
+}
+
+impl BenchRun {
+    /// Build a run record from an enabled [`Recorder`], pulling the
+    /// conventional metric names published by the instrumented crates
+    /// (`pf`, `solver.outer_iters`, `events_per_sec`).
+    pub fn from_recorder(name: impl Into<String>, wall_seconds: f64, recorder: &Recorder) -> Self {
+        BenchRun {
+            name: name.into(),
+            wall_seconds,
+            pf: recorder
+                .gauge_value("pf")
+                .or_else(|| recorder.gauge_value("heuristic.pf")),
+            solver_iterations: recorder.counter_value("solver.outer_iters"),
+            events_per_sec: recorder.gauge_value("events_per_sec"),
+        }
+    }
+}
+
+/// Machine-readable result file for one experiment binary, written to
+/// `results/BENCH_<experiment>.json` next to the experiment's CSV output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Experiment slug, e.g. `"table1"` — names the output file.
+    pub experiment: String,
+    /// One record per measured run, in execution order.
+    pub runs: Vec<BenchRun>,
+}
+
+impl BenchReport {
+    /// Start an empty report for `experiment`.
+    pub fn new(experiment: impl Into<String>) -> Self {
+        BenchReport {
+            experiment: experiment.into(),
+            runs: Vec::new(),
+        }
+    }
+
+    /// Append one run record.
+    pub fn push(&mut self, run: BenchRun) {
+        self.runs.push(run);
+    }
+
+    /// Render the report as pretty-printed JSON, matching the layout
+    /// `serde_json::to_string_pretty` produces for the derived `Serialize`
+    /// impl. Rendering field-by-field keeps the byte layout deterministic
+    /// regardless of the JSON backend in use, so committed `BENCH_*.json`
+    /// files diff cleanly across commits.
+    pub fn to_json(&self) -> String {
+        fn opt_f64(v: Option<f64>) -> String {
+            v.map_or_else(|| "null".into(), fmt_f64)
+        }
+        fn fmt_f64(v: f64) -> String {
+            if v.is_finite() {
+                let s = format!("{v}");
+                // serde_json always renders floats with a decimal point.
+                if s.contains('.') || s.contains('e') || s.contains("inf") {
+                    s
+                } else {
+                    format!("{s}.0")
+                }
+            } else {
+                "null".into()
+            }
+        }
+        fn escape(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"experiment\": \"{}\",\n",
+            escape(&self.experiment)
+        ));
+        out.push_str("  \"runs\": [");
+        for (i, run) in self.runs.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"name\": \"{}\",\n", escape(&run.name)));
+            out.push_str(&format!(
+                "      \"wall_seconds\": {},\n",
+                fmt_f64(run.wall_seconds)
+            ));
+            out.push_str(&format!("      \"pf\": {},\n", opt_f64(run.pf)));
+            out.push_str(&format!(
+                "      \"solver_iterations\": {},\n",
+                run.solver_iterations
+                    .map_or_else(|| "null".to_string(), |v| v.to_string())
+            ));
+            out.push_str(&format!(
+                "      \"events_per_sec\": {}\n",
+                opt_f64(run.events_per_sec)
+            ));
+            out.push_str("    }");
+        }
+        if self.runs.is_empty() {
+            out.push_str("]\n");
+        } else {
+            out.push_str("\n  ]\n");
+        }
+        out.push('}');
+        out
+    }
+
+    /// Write the report to `<dir>/BENCH_<experiment>.json`, creating the
+    /// directory when missing. Returns the path written.
+    pub fn write_to(&self, dir: impl AsRef<Path>) -> std::io::Result<PathBuf> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.experiment));
+        std::fs::write(&path, self.to_json() + "\n")?;
+        Ok(path)
+    }
+
+    /// Write the report to the conventional `results/` directory.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        self.write_to("results")
+    }
+}
+
 /// Map `f` over `items` in parallel with scoped threads, preserving input
 /// order in the output. Used by the sweep binaries to use all cores.
 pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
@@ -133,6 +302,66 @@ mod tests {
         let (v, secs) = timed(|| 40 + 2);
         assert_eq!(v, 42);
         assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn bench_report_json_layout_is_stable() {
+        let mut report = BenchReport::new("unit");
+        report.push(BenchRun {
+            name: "run \"a\"".into(),
+            wall_seconds: 0.5,
+            pf: Some(0.875),
+            solver_iterations: Some(12),
+            events_per_sec: None,
+        });
+        let json = report.to_json();
+        assert!(json.starts_with("{\n  \"experiment\": \"unit\","));
+        assert!(json.contains("\"name\": \"run \\\"a\\\"\""));
+        assert!(json.contains("\"wall_seconds\": 0.5"));
+        assert!(json.contains("\"pf\": 0.875"));
+        assert!(json.contains("\"solver_iterations\": 12"));
+        assert!(json.contains("\"events_per_sec\": null"));
+        // Integral floats keep a decimal point, as serde_json renders them.
+        report.runs[0].wall_seconds = 2.0;
+        assert!(report.to_json().contains("\"wall_seconds\": 2.0"));
+    }
+
+    #[test]
+    fn bench_report_empty_runs() {
+        let report = BenchReport::new("empty");
+        let json = report.to_json();
+        assert!(json.contains("\"runs\": []"));
+    }
+
+    #[test]
+    fn bench_report_writes_conventional_filename() {
+        let dir = std::env::temp_dir().join("freshen_bench_report_test");
+        let report = BenchReport::new("smoke");
+        let path = report.write_to(&dir).expect("write succeeds");
+        assert!(path.ends_with("BENCH_smoke.json"));
+        let body = std::fs::read_to_string(&path).expect("readable");
+        assert!(body.contains("\"experiment\": \"smoke\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn heuristic_run_captures_telemetry() {
+        let problem = Problem::builder()
+            .change_rates(vec![1.0, 2.0, 3.0, 4.0])
+            .access_probs(vec![0.25; 4])
+            .bandwidth(4.0)
+            .build()
+            .unwrap();
+        let config = HeuristicConfig {
+            num_partitions: 2,
+            ..Default::default()
+        };
+        let (pf, run) = heuristic_run("smoke", &problem, config.clone());
+        assert_eq!(pf, heuristic_pf(&problem, config));
+        assert_eq!(run.pf, Some(pf));
+        assert!(run.wall_seconds >= 0.0);
+        assert!(run.solver_iterations.unwrap() > 0);
+        assert_eq!(run.events_per_sec, None);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use freshen_core::schedule::FixedOrderSchedule;
 use freshen_heuristics::{
     AllocationPolicy, HeuristicConfig, HeuristicScheduler, PartitionCriterion,
 };
+use freshen_obs::Recorder;
 use freshen_sim::{SimConfig, Simulation};
 use freshen_solver::LagrangeSolver;
 use freshen_workload::scenario::{Alignment, Scenario, SizeAlignment, SizeDist};
@@ -43,6 +44,36 @@ fn parse_policy(raw: Option<&str>) -> Result<SyncPolicy, String> {
 fn write_json<T: serde::Serialize>(value: &T, out: &mut dyn Write) -> Result<(), String> {
     let text = serde_json::to_string_pretty(value).map_err(|e| e.to_string())?;
     writeln!(out, "{text}").map_err(|e| e.to_string())
+}
+
+/// Build the observability recorder for a command from its
+/// `--metrics-out` / `--trace-out` flags: enabled only when at least one
+/// output is requested, so un-instrumented invocations pay nothing.
+fn obs_recorder(args: &crate::ParsedArgs) -> (Recorder, Option<&str>, Option<&str>) {
+    let metrics = args.get("metrics-out");
+    let trace = args.get("trace-out");
+    let recorder = if metrics.is_some() || trace.is_some() {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
+    (recorder, metrics, trace)
+}
+
+/// Flush the requested observability outputs after a command finishes.
+fn write_obs_outputs(
+    recorder: &Recorder,
+    metrics: Option<&str>,
+    trace: Option<&str>,
+) -> Result<(), String> {
+    if let (Some(path), Some(json)) = (metrics, recorder.metrics_json()) {
+        std::fs::write(path, json)
+            .map_err(|e| format!("cannot write metrics file `{path}`: {e}"))?;
+    }
+    if let (Some(path), Some(json)) = (trace, recorder.chrome_trace_json()) {
+        std::fs::write(path, json).map_err(|e| format!("cannot write trace file `{path}`: {e}"))?;
+    }
+    Ok(())
 }
 
 /// `freshen scenario` — generate a synthetic problem as JSON.
@@ -95,19 +126,31 @@ pub fn cmd_scenario(args: &crate::ParsedArgs, out: &mut dyn Write) -> Result<(),
 
 /// `freshen solve` — exact Lagrange solve.
 pub fn cmd_solve(args: &crate::ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
-    args.expect_only(&["input", "policy"])?;
+    args.expect_only(&["input", "policy", "metrics-out", "trace-out"])?;
+    let (recorder, metrics, trace) = obs_recorder(args);
     let problem = read_problem(args.require("input")?)?;
     let solver = LagrangeSolver {
         policy: parse_policy(args.get("policy"))?,
+        recorder: recorder.clone(),
         ..Default::default()
     };
     let solution = solver.solve(&problem).map_err(|e| e.to_string())?;
+    write_obs_outputs(&recorder, metrics, trace)?;
     write_json(&solution, out)
 }
 
 /// `freshen heuristic` — the scalable pipeline.
 pub fn cmd_heuristic(args: &crate::ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
-    args.expect_only(&["input", "partitions", "kmeans", "criterion", "allocation"])?;
+    args.expect_only(&[
+        "input",
+        "partitions",
+        "kmeans",
+        "criterion",
+        "allocation",
+        "metrics-out",
+        "trace-out",
+    ])?;
+    let (recorder, metrics, trace) = obs_recorder(args);
     let problem = read_problem(args.require("input")?)?;
     let criterion = match args.get("criterion") {
         None | Some("pf") => PartitionCriterion::PerceivedFreshness,
@@ -132,16 +175,27 @@ pub fn cmd_heuristic(args: &crate::ParsedArgs, out: &mut dyn Write) -> Result<()
     };
     let result = HeuristicScheduler::new(config)
         .map_err(|e| e.to_string())?
+        .with_recorder(recorder.clone())
         .solve(&problem)
         .map_err(|e| e.to_string())?;
+    write_obs_outputs(&recorder, metrics, trace)?;
     write_json(&result.solution, out)
 }
 
 /// `freshen simulate` — run the discrete-event simulator.
 pub fn cmd_simulate(args: &crate::ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
     args.expect_only(&[
-        "input", "schedule", "periods", "warmup", "accesses", "seed", "policy",
+        "input",
+        "schedule",
+        "periods",
+        "warmup",
+        "accesses",
+        "seed",
+        "policy",
+        "metrics-out",
+        "trace-out",
     ])?;
+    let (recorder, metrics, trace) = obs_recorder(args);
     let problem = read_problem(args.require("input")?)?;
     let freqs = read_schedule(args.require("schedule")?, problem.len())?;
     let config = SimConfig {
@@ -153,7 +207,10 @@ pub fn cmd_simulate(args: &crate::ParsedArgs, out: &mut dyn Write) -> Result<(),
     let report = Simulation::new(&problem, &freqs, config)
         .map_err(|e| e.to_string())?
         .with_sync_policy(parse_policy(args.get("policy"))?)
-        .run();
+        .with_recorder(recorder.clone())
+        .run()
+        .map_err(|e| e.to_string())?;
+    write_obs_outputs(&recorder, metrics, trace)?;
     // The per-element vectors dwarf the summary; print the summary only.
     #[derive(serde::Serialize)]
     struct Summary {
@@ -267,8 +324,16 @@ mod tests {
         let mut buf = Vec::new();
         cmd_scenario(
             &parsed(&[
-                "--objects", "50", "--updates", "100", "--syncs", "25",
-                "--pareto-sizes", "1.5", "--size-alignment", "reverse",
+                "--objects",
+                "50",
+                "--updates",
+                "100",
+                "--syncs",
+                "25",
+                "--pareto-sizes",
+                "1.5",
+                "--size-alignment",
+                "reverse",
             ]),
             &mut buf,
         )
@@ -293,8 +358,14 @@ mod tests {
         let mut buf = Vec::new();
         let err = cmd_scenario(
             &parsed(&[
-                "--objects", "10", "--updates", "20", "--syncs", "5",
-                "--size-alignment", "reverse",
+                "--objects",
+                "10",
+                "--updates",
+                "20",
+                "--syncs",
+                "5",
+                "--size-alignment",
+                "reverse",
             ]),
             &mut buf,
         )
@@ -363,8 +434,10 @@ mod tests {
         buf.clear();
         let err = cmd_simulate(
             &parsed(&[
-                "--input", p2.to_str().unwrap(),
-                "--schedule", sched.to_str().unwrap(),
+                "--input",
+                p2.to_str().unwrap(),
+                "--schedule",
+                sched.to_str().unwrap(),
             ]),
             &mut buf,
         )
@@ -390,9 +463,12 @@ mod tests {
         buf.clear();
         let err = cmd_timetable(
             &parsed(&[
-                "--input", p.to_str().unwrap(),
-                "--schedule", s.to_str().unwrap(),
-                "--horizon", "0",
+                "--input",
+                p.to_str().unwrap(),
+                "--schedule",
+                s.to_str().unwrap(),
+                "--horizon",
+                "0",
             ]),
             &mut buf,
         )
@@ -406,15 +482,22 @@ mod tests {
         let access = dir.join("access.csv");
         std::fs::write(&access, "time,element\n0.1,0\n0.2,0\n0.3,0\n0.4,1\n").unwrap();
         let polls = dir.join("polls.csv");
-        std::fs::write(&polls, "time,element,changed\n1.0,0,1\n2.0,0,0\n1.0,1,1\n2.0,1,1\n")
-            .unwrap();
+        std::fs::write(
+            &polls,
+            "time,element,changed\n1.0,0,1\n2.0,0,0\n1.0,1,1\n2.0,1,1\n",
+        )
+        .unwrap();
         let mut buf = Vec::new();
         cmd_estimate(
             &parsed(&[
-                "--elements", "3",
-                "--bandwidth", "2.0",
-                "--accesses", access.to_str().unwrap(),
-                "--polls", polls.to_str().unwrap(),
+                "--elements",
+                "3",
+                "--bandwidth",
+                "2.0",
+                "--accesses",
+                access.to_str().unwrap(),
+                "--polls",
+                polls.to_str().unwrap(),
             ]),
             &mut buf,
         )
@@ -438,9 +521,12 @@ mod tests {
         let mut buf = Vec::new();
         let err = cmd_estimate(
             &parsed(&[
-                "--elements", "2",
-                "--bandwidth", "1.0",
-                "--accesses", access.to_str().unwrap(),
+                "--elements",
+                "2",
+                "--bandwidth",
+                "1.0",
+                "--accesses",
+                access.to_str().unwrap(),
             ]),
             &mut buf,
         )
@@ -462,9 +548,12 @@ mod tests {
         buf.clear();
         let err = cmd_heuristic(
             &parsed(&[
-                "--input", p.to_str().unwrap(),
-                "--partitions", "2",
-                "--criterion", "magic",
+                "--input",
+                p.to_str().unwrap(),
+                "--partitions",
+                "2",
+                "--criterion",
+                "magic",
             ]),
             &mut buf,
         )

@@ -67,12 +67,15 @@ USAGE:
                     [--pareto-sizes SHAPE] [--size-alignment aligned|reverse|shuffled]
                     [--seed S]
   freshen solve     --input problem.json [--policy fixed|poisson]
+                    [--metrics-out metrics.json] [--trace-out trace.json]
   freshen heuristic --input problem.json --partitions K [--kmeans N]
                     [--criterion pf|p|lambda|p-over-lambda|pf-size|size]
                     [--allocation fba|ffa]
+                    [--metrics-out metrics.json] [--trace-out trace.json]
   freshen simulate  --input problem.json --schedule schedule.json
                     [--periods P] [--warmup W] [--accesses A] [--seed S]
                     [--policy fixed|poisson]
+                    [--metrics-out metrics.json] [--trace-out trace.json]
   freshen timetable --input problem.json --schedule schedule.json --horizon H
   freshen estimate  --elements N --bandwidth B --accesses access_log.csv
                     [--polls poll_log.csv] [--smoothing A] [--fallback-rate R]
@@ -111,8 +114,17 @@ mod tests {
     #[test]
     fn scenario_then_solve_roundtrip_through_json() {
         let problem_json = run_to_string(&[
-            "scenario", "--objects", "20", "--updates", "40", "--syncs", "10",
-            "--theta", "1.0", "--seed", "3",
+            "scenario",
+            "--objects",
+            "20",
+            "--updates",
+            "40",
+            "--syncs",
+            "10",
+            "--theta",
+            "1.0",
+            "--seed",
+            "3",
         ])
         .unwrap();
         // Feed it back through a temp file.
@@ -129,28 +141,38 @@ mod tests {
         // Heuristic, simulate, and timetable all consume the same files.
         let heuristic = run_to_string(&[
             "heuristic",
-            "--input", problem_path.to_str().unwrap(),
-            "--partitions", "4",
-            "--kmeans", "2",
+            "--input",
+            problem_path.to_str().unwrap(),
+            "--partitions",
+            "4",
+            "--kmeans",
+            "2",
         ])
         .unwrap();
         assert!(heuristic.contains("frequencies"));
 
         let sim = run_to_string(&[
             "simulate",
-            "--input", problem_path.to_str().unwrap(),
-            "--schedule", schedule_path.to_str().unwrap(),
-            "--periods", "20",
-            "--accesses", "100",
+            "--input",
+            problem_path.to_str().unwrap(),
+            "--schedule",
+            schedule_path.to_str().unwrap(),
+            "--periods",
+            "20",
+            "--accesses",
+            "100",
         ])
         .unwrap();
         assert!(sim.contains("time_averaged_pf"));
 
         let timetable = run_to_string(&[
             "timetable",
-            "--input", problem_path.to_str().unwrap(),
-            "--schedule", schedule_path.to_str().unwrap(),
-            "--horizon", "1.0",
+            "--input",
+            problem_path.to_str().unwrap(),
+            "--schedule",
+            schedule_path.to_str().unwrap(),
+            "--horizon",
+            "1.0",
         ])
         .unwrap();
         assert!(timetable.starts_with("time,element"));

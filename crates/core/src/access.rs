@@ -150,8 +150,16 @@ mod tests {
     #[test]
     fn record_all_from_log() {
         let log = vec![
-            Access { time: 0.1, element: 0, fresh: true },
-            Access { time: 0.2, element: 1, fresh: false },
+            Access {
+                time: 0.1,
+                element: 0,
+                fresh: true,
+            },
+            Access {
+                time: 0.2,
+                element: 1,
+                fresh: false,
+            },
         ];
         let mut s = FreshnessScore::new();
         s.record_all(&log);
@@ -161,10 +169,19 @@ mod tests {
 
     #[test]
     fn merge_adds_counts() {
-        let mut a = FreshnessScore { total: 10, fresh: 7 };
+        let mut a = FreshnessScore {
+            total: 10,
+            fresh: 7,
+        };
         let b = FreshnessScore { total: 5, fresh: 5 };
         a.merge(&b);
-        assert_eq!(a, FreshnessScore { total: 15, fresh: 12 });
+        assert_eq!(
+            a,
+            FreshnessScore {
+                total: 15,
+                fresh: 12
+            }
+        );
     }
 
     #[test]

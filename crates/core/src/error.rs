@@ -45,6 +45,16 @@ pub enum CoreError {
     },
     /// A requested configuration is inconsistent (e.g. zero partitions).
     InvalidConfig(String),
+    /// An internal invariant was violated at runtime (e.g. the simulator
+    /// selected an event stream that turned out to have nothing pending).
+    /// Surfacing this as an error instead of panicking lets long batch
+    /// runs fail one scenario and keep going.
+    Inconsistent {
+        /// Which subsystem detected the violation.
+        routine: &'static str,
+        /// The invariant that did not hold.
+        invariant: &'static str,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -76,6 +86,9 @@ impl fmt::Display for CoreError {
                 "{routine} failed to converge after {iterations} iterations (residual {residual:.3e})"
             ),
             CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::Inconsistent { routine, invariant } => {
+                write!(f, "{routine}: internal invariant violated: {invariant}")
+            }
         }
     }
 }
@@ -131,6 +144,16 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("lagrange-bisection") && s.contains("200"));
+    }
+
+    #[test]
+    fn display_inconsistent() {
+        let e = CoreError::Inconsistent {
+            routine: "simulation",
+            invariant: "tu finite implies update pending",
+        };
+        let s = e.to_string();
+        assert!(s.contains("simulation") && s.contains("update pending"));
     }
 
     #[test]

@@ -39,7 +39,9 @@ impl PollHistory {
     /// Create a validated poll history.
     pub fn new(polls: u64, changes_detected: u64, interval: f64) -> Result<Self> {
         if polls == 0 {
-            return Err(CoreError::InvalidConfig("poll history needs at least one poll".into()));
+            return Err(CoreError::InvalidConfig(
+                "poll history needs at least one poll".into(),
+            ));
         }
         if changes_detected > polls {
             return Err(CoreError::InvalidConfig(format!(

@@ -89,7 +89,10 @@ pub fn freshness_of_ratio(r: f64) -> f64 {
 /// ```
 #[inline]
 pub fn freshness_gradient(lambda: f64, f: f64) -> f64 {
-    debug_assert!(lambda > 0.0, "gradient is defined for positive change rates");
+    debug_assert!(
+        lambda > 0.0,
+        "gradient is defined for positive change rates"
+    );
     debug_assert!(f >= 0.0);
     if f <= 0.0 {
         return 1.0 / lambda;
@@ -125,7 +128,11 @@ pub fn freshness_gradient(lambda: f64, f: f64) -> f64 {
 /// ```
 #[inline]
 pub fn perceived_freshness(weights: &[f64], lambdas: &[f64], freqs: &[f64]) -> f64 {
-    assert_eq!(weights.len(), lambdas.len(), "weights/lambdas length mismatch");
+    assert_eq!(
+        weights.len(),
+        lambdas.len(),
+        "weights/lambdas length mismatch"
+    );
     assert_eq!(weights.len(), freqs.len(), "weights/freqs length mismatch");
     let mut acc = 0.0;
     for ((&w, &l), &f) in weights.iter().zip(lambdas).zip(freqs) {
@@ -235,7 +242,11 @@ pub fn steady_state_age(lambda: f64, f: f64) -> f64 {
 /// bandwidth.
 #[inline]
 pub fn perceived_age(weights: &[f64], lambdas: &[f64], freqs: &[f64]) -> f64 {
-    assert_eq!(weights.len(), lambdas.len(), "weights/lambdas length mismatch");
+    assert_eq!(
+        weights.len(),
+        lambdas.len(),
+        "weights/lambdas length mismatch"
+    );
     assert_eq!(weights.len(), freqs.len(), "weights/freqs length mismatch");
     let mut acc = 0.0;
     for ((&w, &l), &f) in weights.iter().zip(lambdas).zip(freqs) {
@@ -342,7 +353,10 @@ mod tests {
             let num = (steady_state_freshness(lam, f + h) - steady_state_freshness(lam, f - h))
                 / (2.0 * h);
             let ana = freshness_gradient(lam, f);
-            assert!(close(num, ana, 1e-5), "f={f}: numeric {num} vs analytic {ana}");
+            assert!(
+                close(num, ana, 1e-5),
+                "f={f}: numeric {num} vs analytic {ana}"
+            );
         }
     }
 

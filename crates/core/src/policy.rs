@@ -18,9 +18,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::freshness::{
-    freshness_gradient, freshness_second_derivative, steady_state_freshness,
-};
+use crate::freshness::{freshness_gradient, freshness_second_derivative, steady_state_freshness};
 
 /// How refreshes of one element are placed in time, given its frequency.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -111,7 +109,11 @@ impl SyncPolicy {
 
     /// Perceived freshness `Σ wᵢ·F̄(λᵢ, fᵢ)` under this policy.
     pub fn perceived_freshness(&self, weights: &[f64], lambdas: &[f64], freqs: &[f64]) -> f64 {
-        assert_eq!(weights.len(), lambdas.len(), "weights/lambdas length mismatch");
+        assert_eq!(
+            weights.len(),
+            lambdas.len(),
+            "weights/lambdas length mismatch"
+        );
         assert_eq!(weights.len(), freqs.len(), "weights/freqs length mismatch");
         weights
             .iter()

@@ -380,7 +380,11 @@ impl Solution {
         frequencies: Vec<f64>,
         policy: SyncPolicy,
     ) -> Solution {
-        assert_eq!(frequencies.len(), problem.len(), "frequencies length mismatch");
+        assert_eq!(
+            frequencies.len(),
+            problem.len(),
+            "frequencies length mismatch"
+        );
         let pf = problem.perceived_freshness_with(policy, &frequencies);
         let gf = {
             let n = problem.len() as f64;
@@ -440,7 +444,13 @@ mod tests {
             .bandwidth(1.0)
             .build()
             .unwrap_err();
-        assert!(matches!(err, CoreError::LengthMismatch { what: "access_probs", .. }));
+        assert!(matches!(
+            err,
+            CoreError::LengthMismatch {
+                what: "access_probs",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -451,7 +461,14 @@ mod tests {
             .bandwidth(1.0)
             .build()
             .unwrap_err();
-        assert!(matches!(err, CoreError::InvalidValue { what: "change_rates", index: Some(1), .. }));
+        assert!(matches!(
+            err,
+            CoreError::InvalidValue {
+                what: "change_rates",
+                index: Some(1),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -510,7 +527,13 @@ mod tests {
                 .bandwidth(b)
                 .build()
                 .unwrap_err();
-            assert!(matches!(err, CoreError::InvalidValue { what: "bandwidth", .. }));
+            assert!(matches!(
+                err,
+                CoreError::InvalidValue {
+                    what: "bandwidth",
+                    ..
+                }
+            ));
         }
     }
 

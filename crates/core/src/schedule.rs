@@ -51,7 +51,10 @@ impl FixedOrderSchedule {
     /// Panics when `horizon` is non-positive or any frequency is negative
     /// or non-finite.
     pub fn build(freqs: &[f64], horizon: f64) -> Self {
-        assert!(horizon.is_finite() && horizon > 0.0, "horizon must be positive");
+        assert!(
+            horizon.is_finite() && horizon > 0.0,
+            "horizon must be positive"
+        );
         let mut ops = Vec::new();
         for (i, &f) in freqs.iter().enumerate() {
             assert!(f.is_finite() && f >= 0.0, "frequency {i} invalid: {f}");
@@ -61,7 +64,10 @@ impl FixedOrderSchedule {
             let interval = 1.0 / f;
             let mut t = element_phase(i) * interval;
             while t < horizon {
-                ops.push(SyncOp { time: t, element: i });
+                ops.push(SyncOp {
+                    time: t,
+                    element: i,
+                });
                 t += interval;
             }
         }
@@ -157,7 +163,10 @@ impl ScheduleStream {
     /// # Panics
     /// Panics on non-positive horizon or invalid frequencies.
     pub fn new(freqs: &[f64], horizon: f64) -> Self {
-        assert!(horizon.is_finite() && horizon > 0.0, "horizon must be positive");
+        assert!(
+            horizon.is_finite() && horizon > 0.0,
+            "horizon must be positive"
+        );
         let mut heap = BinaryHeap::with_capacity(freqs.len());
         let mut intervals = vec![f64::INFINITY; freqs.len()];
         for (i, &f) in freqs.iter().enumerate() {
@@ -167,7 +176,10 @@ impl ScheduleStream {
                 intervals[i] = interval;
                 let first = element_phase(i) * interval;
                 if first < horizon {
-                    heap.push(HeapEntry { time: first, element: i });
+                    heap.push(HeapEntry {
+                        time: first,
+                        element: i,
+                    });
                 }
             }
         }

@@ -46,9 +46,7 @@ pub fn select_greedy(problem: &Problem, capacity: f64) -> SelectionResult {
     let f0 = (problem.bandwidth() / capacity).max(1e-12);
     let scores: Vec<f64> = problem
         .elements()
-        .map(|e| {
-            e.access_prob * steady_state_freshness(e.change_rate, f0 / e.size) / e.size
-        })
+        .map(|e| e.access_prob * steady_state_freshness(e.change_rate, f0 / e.size) / e.size)
         .collect();
     select_by_scores(problem, capacity, &scores, 1)
 }
@@ -92,12 +90,14 @@ pub fn select_with_solver(
         );
         for (k, &i) in result.selected.iter().enumerate() {
             let e = problem.element(i);
-            scores[i] =
-                e.access_prob * steady_state_freshness(e.change_rate, freqs[k]) / e.size;
+            scores[i] = e.access_prob * steady_state_freshness(e.change_rate, freqs[k]) / e.size;
         }
         let next = select_by_scores(problem, capacity, &scores, round);
         if next.selected == result.selected {
-            return SelectionResult { rounds: round, ..result };
+            return SelectionResult {
+                rounds: round,
+                ..result
+            };
         }
         result = next;
     }

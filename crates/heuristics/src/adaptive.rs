@@ -85,9 +85,11 @@ impl DriftMonitor {
     /// Re-baseline after a re-solve.
     pub fn rebaseline(&mut self, problem: &Problem) {
         self.baseline_probs.clear();
-        self.baseline_probs.extend_from_slice(problem.access_probs());
+        self.baseline_probs
+            .extend_from_slice(problem.access_probs());
         self.baseline_rates.clear();
-        self.baseline_rates.extend_from_slice(problem.change_rates());
+        self.baseline_rates
+            .extend_from_slice(problem.change_rates());
     }
 }
 
@@ -219,8 +221,14 @@ mod tests {
         let p = base_problem();
         let monitor = DriftMonitor::new(&p, 0.02).unwrap();
         assert!(!monitor.needs_resolve(&p), "no drift, no fire");
-        assert!(!monitor.needs_resolve(&perturbed(&p, 1.01)), "1% tilt is noise");
-        assert!(monitor.needs_resolve(&perturbed(&p, 2.0)), "2x tilt must fire");
+        assert!(
+            !monitor.needs_resolve(&perturbed(&p, 1.01)),
+            "1% tilt is noise"
+        );
+        assert!(
+            monitor.needs_resolve(&perturbed(&p, 2.0)),
+            "2x tilt must fire"
+        );
     }
 
     #[test]

@@ -52,8 +52,7 @@ impl AllocationPolicy {
         reduced: &ReducedProblem,
         rep_freqs: &[f64],
     ) -> Vec<f64> {
-        let lookup =
-            reduced.representative_lookup(rep_freqs, partitioning.num_partitions());
+        let lookup = reduced.representative_lookup(rep_freqs, partitioning.num_partitions());
         let mut freqs = vec![0.0; problem.len()];
         for (i, freq) in freqs.iter_mut().enumerate() {
             let g = partitioning.partition_of(i);
@@ -111,7 +110,10 @@ mod tests {
     fn both_policies_spend_the_same_partition_budget() {
         let (p, part, red) = setup();
         let reps = [1.5, 0.5];
-        for policy in [AllocationPolicy::FixedFrequency, AllocationPolicy::FixedBandwidth] {
+        for policy in [
+            AllocationPolicy::FixedFrequency,
+            AllocationPolicy::FixedBandwidth,
+        ] {
             let freqs = policy.expand(&p, &part, &red, &reps);
             let used = p.bandwidth_used(&freqs);
             // Partition budgets: M·s̄·f̄ = 2·2·1.5 + 2·2·0.5 = 8.

@@ -14,6 +14,7 @@
 
 use freshen_core::error::{CoreError, Result};
 use freshen_core::problem::Problem;
+use freshen_obs::Recorder;
 
 use crate::partition::Partitioning;
 
@@ -24,7 +25,11 @@ use crate::partition::Partitioning;
 pub fn feature_vectors(problem: &Problem) -> Vec<[f64; 3]> {
     let n = problem.len();
     let lam_total: f64 = problem.change_rates().iter().sum();
-    let lam_scale = if lam_total > 0.0 { 1.0 / lam_total } else { 0.0 };
+    let lam_scale = if lam_total > 0.0 {
+        1.0 / lam_total
+    } else {
+        0.0
+    };
     let use_sizes = !problem.has_uniform_sizes();
     let size_total: f64 = problem.sizes().iter().sum();
     let size_scale = if use_sizes && size_total > 0.0 {
@@ -66,6 +71,17 @@ pub fn refine(
     initial: &Partitioning,
     iterations: usize,
 ) -> Result<(Partitioning, usize)> {
+    refine_observed(problem, initial, iterations, &Recorder::disabled())
+}
+
+/// [`refine`] with per-round observability: each Lloyd round records a span
+/// carrying its element-movement count, plus a `kmeans.moves` counter.
+pub fn refine_observed(
+    problem: &Problem,
+    initial: &Partitioning,
+    iterations: usize,
+    recorder: &Recorder,
+) -> Result<(Partitioning, usize)> {
     if initial.len() != problem.len() {
         return Err(CoreError::LengthMismatch {
             what: "partitioning",
@@ -81,10 +97,14 @@ pub fn refine(
     let mut assignment: Vec<usize> = initial.assignment().to_vec();
     let mut centroids = compute_centroids(&features, initial);
     let mut ran = 0;
+    let c_rounds = recorder.counter("kmeans.rounds");
+    let c_moves = recorder.counter("kmeans.moves");
 
     for _ in 0..iterations {
         ran += 1;
-        let mut moved = false;
+        let mut round_span = recorder.span("heuristic.kmeans_round");
+        round_span.arg("round", ran);
+        let mut moves = 0usize;
         for (i, f) in features.iter().enumerate() {
             let mut best = assignment[i];
             let mut best_d = dist2(f, &centroids[best]);
@@ -97,10 +117,13 @@ pub fn refine(
             }
             if best != assignment[i] {
                 assignment[i] = best;
-                moved = true;
+                moves += 1;
             }
         }
-        if !moved {
+        round_span.arg("moves", moves);
+        c_rounds.inc();
+        c_moves.add(moves as u64);
+        if moves == 0 {
             break;
         }
         // Recompute centroids; empty clusters keep their previous position
@@ -183,8 +206,7 @@ mod tests {
     fn recovers_natural_clusters_from_bad_start() {
         let p = clustered_problem();
         // Deliberately bad start: interleaved assignment.
-        let init =
-            Partitioning::from_assignment(vec![0, 1, 0, 1, 0, 1, 0, 1], 2).unwrap();
+        let init = Partitioning::from_assignment(vec![0, 1, 0, 1, 0, 1, 0, 1], 2).unwrap();
         let (out, _) = refine(&p, &init, 20).unwrap();
         // All hot/slow elements end up together, all cold/fast together.
         let g0 = out.partition_of(0);
@@ -202,8 +224,7 @@ mod tests {
     fn objective_non_increasing() {
         let p = clustered_problem();
         let feats = feature_vectors(&p);
-        let init =
-            Partitioning::from_assignment(vec![0, 1, 0, 1, 0, 1, 0, 1], 2).unwrap();
+        let init = Partitioning::from_assignment(vec![0, 1, 0, 1, 0, 1, 0, 1], 2).unwrap();
         let mut prev = within_cluster_ss(&feats, &init);
         let mut current = init;
         for _ in 0..5 {
@@ -267,5 +288,20 @@ mod tests {
         let p = clustered_problem();
         let init = Partitioning::single(3);
         assert!(refine(&p, &init, 1).is_err());
+    }
+
+    #[test]
+    fn observed_refine_records_rounds_and_movement() {
+        let p = clustered_problem();
+        let init = Partitioning::from_assignment(vec![0, 1, 0, 1, 0, 1, 0, 1], 2).unwrap();
+        let rec = Recorder::enabled();
+        let (observed, ran) = refine_observed(&p, &init, 20, &rec).unwrap();
+        let (plain, _) = refine(&p, &init, 20).unwrap();
+        assert_eq!(observed, plain, "observability must not change clustering");
+        assert_eq!(rec.counter_value("kmeans.rounds"), Some(ran as u64));
+        assert!(rec.counter_value("kmeans.moves").unwrap() > 0);
+        let trace = rec.chrome_trace_json().unwrap();
+        assert!(trace.contains("heuristic.kmeans_round"));
+        assert!(trace.contains("\"moves\""));
     }
 }

@@ -139,8 +139,7 @@ mod tests {
         let p = table2_problem();
         let opt = solve_perceived_freshness(&p).unwrap().perceived_freshness;
         for k in [1, 5, 50] {
-            let ms =
-                solve_multistage(&p, PartitionCriterion::PerceivedFreshness, k, 1.0).unwrap();
+            let ms = solve_multistage(&p, PartitionCriterion::PerceivedFreshness, k, 1.0).unwrap();
             assert!(
                 ms.solution.perceived_freshness <= opt + 1e-7,
                 "k={k}: multistage cannot beat the global optimum"

@@ -110,7 +110,9 @@ impl Partitioning {
         reference_frequency: f64,
     ) -> Result<Partitioning> {
         if k == 0 {
-            return Err(CoreError::InvalidConfig("need at least one partition".into()));
+            return Err(CoreError::InvalidConfig(
+                "need at least one partition".into(),
+            ));
         }
         if !reference_frequency.is_finite() || reference_frequency <= 0.0 {
             return Err(CoreError::InvalidValue {
@@ -149,7 +151,9 @@ impl Partitioning {
             return Err(CoreError::Empty);
         }
         if k == 0 {
-            return Err(CoreError::InvalidConfig("need at least one partition".into()));
+            return Err(CoreError::InvalidConfig(
+                "need at least one partition".into(),
+            ));
         }
         if let Some((i, &g)) = assignment.iter().enumerate().find(|(_, &g)| g >= k) {
             return Err(CoreError::InvalidValue {
@@ -371,10 +375,10 @@ mod tests {
             .bandwidth(1.0)
             .build()
             .unwrap();
-        let a = Partitioning::by_criterion(&problem, PartitionCriterion::AccessProb, 2, 1.0)
-            .unwrap();
-        let b = Partitioning::by_criterion(&problem, PartitionCriterion::AccessProb, 2, 1.0)
-            .unwrap();
+        let a =
+            Partitioning::by_criterion(&problem, PartitionCriterion::AccessProb, 2, 1.0).unwrap();
+        let b =
+            Partitioning::by_criterion(&problem, PartitionCriterion::AccessProb, 2, 1.0).unwrap();
         assert_eq!(a, b);
         // Ties broken by index: first two elements in partition 0.
         assert_eq!(a.assignment(), &[0, 0, 1, 1]);

@@ -18,6 +18,7 @@ use serde::{Deserialize, Serialize};
 
 use freshen_core::error::{CoreError, Result};
 use freshen_core::problem::{Problem, Solution};
+use freshen_obs::Recorder;
 use freshen_solver::LagrangeSolver;
 
 use crate::allocate::AllocationPolicy;
@@ -70,13 +71,16 @@ pub struct HeuristicSolution {
 pub struct HeuristicScheduler {
     config: HeuristicConfig,
     solver: LagrangeSolver,
+    recorder: Recorder,
 }
 
 impl HeuristicScheduler {
     /// Create a scheduler, validating the configuration.
     pub fn new(config: HeuristicConfig) -> Result<Self> {
         if config.num_partitions == 0 {
-            return Err(CoreError::InvalidConfig("num_partitions must be positive".into()));
+            return Err(CoreError::InvalidConfig(
+                "num_partitions must be positive".into(),
+            ));
         }
         if !config.reference_frequency.is_finite() || config.reference_frequency <= 0.0 {
             return Err(CoreError::InvalidValue {
@@ -88,6 +92,7 @@ impl HeuristicScheduler {
         Ok(HeuristicScheduler {
             config,
             solver: LagrangeSolver::default(),
+            recorder: Recorder::disabled(),
         })
     }
 
@@ -96,27 +101,53 @@ impl HeuristicScheduler {
         &self.config
     }
 
-    /// Run the full pipeline on `problem`.
-    pub fn solve(&self, problem: &Problem) -> Result<HeuristicSolution> {
-        let initial = Partitioning::by_criterion(
-            problem,
-            self.config.criterion,
-            self.config.num_partitions,
-            self.config.reference_frequency,
-        )?;
-        let (partitioning, ran) =
-            kmeans::refine(problem, &initial, self.config.kmeans_iterations)?;
+    /// Attach an observability recorder; it also flows into the embedded
+    /// exact solver and the k-means refinement rounds.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.solver.recorder = recorder.clone();
+        self.recorder = recorder;
+        self
+    }
 
-        let reduced = ReducedProblem::build(problem, &partitioning)?;
-        let rep = self.solver.solve(reduced.problem())?;
-        let freqs =
+    /// Run the full pipeline on `problem`, with one span per stage.
+    pub fn solve(&self, problem: &Problem) -> Result<HeuristicSolution> {
+        let rec = &self.recorder;
+        let mut pipeline_span = rec.span("heuristic.pipeline");
+        pipeline_span.arg("n", problem.len());
+        pipeline_span.arg("k", self.config.num_partitions);
+
+        let initial = {
+            let _span = rec.span("heuristic.partition");
+            Partitioning::by_criterion(
+                problem,
+                self.config.criterion,
+                self.config.num_partitions,
+                self.config.reference_frequency,
+            )?
+        };
+        let (partitioning, ran) = {
+            let _span = rec.span("heuristic.kmeans");
+            kmeans::refine_observed(problem, &initial, self.config.kmeans_iterations, rec)?
+        };
+
+        let (reduced, rep) = {
+            let mut span = rec.span("heuristic.representative_solve");
+            let reduced = ReducedProblem::build(problem, &partitioning)?;
+            span.arg("reduced_elements", reduced.problem().len());
+            let rep = self.solver.solve(reduced.problem())?;
+            (reduced, rep)
+        };
+        let freqs = {
+            let _span = rec.span("heuristic.spread_allocation");
             self.config
                 .allocation
-                .expand(problem, &partitioning, &reduced, &rep.frequencies);
+                .expand(problem, &partitioning, &reduced, &rep.frequencies)
+        };
 
         let mut solution = Solution::evaluate(problem, freqs);
         solution.multiplier = rep.multiplier;
         solution.iterations = rep.iterations;
+        rec.gauge("heuristic.pf").set(solution.perceived_freshness);
         Ok(HeuristicSolution {
             solution,
             reduced_elements: reduced.problem().len(),
@@ -349,6 +380,46 @@ mod tests {
         assert_eq!(h.reduced_elements, 1);
         // Everyone gets the same frequency under FFA-equivalent expansion.
         let f0 = h.solution.frequencies[0];
-        assert!(h.solution.frequencies.iter().all(|&f| (f - f0).abs() < 1e-9));
+        assert!(h
+            .solution
+            .frequencies
+            .iter()
+            .all(|&f| (f - f0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn recorder_traces_every_stage() {
+        use freshen_obs::Recorder;
+        let p = table2_problem();
+        let rec = Recorder::enabled();
+        let config = HeuristicConfig {
+            num_partitions: 20,
+            kmeans_iterations: 5,
+            ..Default::default()
+        };
+        let observed = HeuristicScheduler::new(config.clone())
+            .unwrap()
+            .with_recorder(rec.clone())
+            .solve(&p)
+            .unwrap();
+        let plain = HeuristicScheduler::new(config).unwrap().solve(&p).unwrap();
+        assert_eq!(
+            observed.solution.frequencies, plain.solution.frequencies,
+            "observability must not change the schedule"
+        );
+        let trace = rec.chrome_trace_json().unwrap();
+        for stage in [
+            "heuristic.pipeline",
+            "heuristic.partition",
+            "heuristic.kmeans",
+            "heuristic.representative_solve",
+            "heuristic.spread_allocation",
+        ] {
+            assert!(trace.contains(stage), "missing stage span {stage}");
+        }
+        // The embedded exact solver reports through the same recorder.
+        assert!(rec.counter_value("solver.solves").unwrap() >= 1);
+        let pf = rec.gauge_value("heuristic.pf").unwrap();
+        assert!((pf - observed.solution.perceived_freshness).abs() < 1e-12);
     }
 }

@@ -128,7 +128,11 @@ impl ReducedProblem {
         rep_freqs: &[f64],
         total_partitions: usize,
     ) -> Vec<Option<(f64, f64)>> {
-        assert_eq!(rep_freqs.len(), self.active_partitions.len(), "rep freqs mismatch");
+        assert_eq!(
+            rep_freqs.len(),
+            self.active_partitions.len(),
+            "rep freqs mismatch"
+        );
         let mut lookup = vec![None; total_partitions];
         for (idx, &g) in self.active_partitions.iter().enumerate() {
             lookup[g] = Some((rep_freqs[idx], self.mean_sizes[idx]));

@@ -1,0 +1,182 @@
+//! The two exporters: a metrics snapshot (single JSON object) and a
+//! Chrome-trace / Perfetto event array.
+//!
+//! Chrome-trace format reference: each event is an object with `name`,
+//! `cat`, `ph` ("X" = complete span, "i" = instant), `ts`/`dur` in
+//! microseconds, and `pid`/`tid` track coordinates. A top-level JSON array
+//! of such events loads directly in Perfetto (ui.perfetto.dev) and
+//! `chrome://tracing`.
+
+use crate::json::{push_f64, push_str_literal, push_u64};
+use crate::RecorderInner;
+
+/// Quantiles surfaced for every histogram in the metrics snapshot.
+const QUANTILES: [(&str, f64); 3] = [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)];
+
+pub(crate) fn metrics_json(inner: &RecorderInner) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\n  \"elapsed_seconds\": ");
+    push_f64(&mut out, inner.epoch.elapsed().as_secs_f64());
+
+    out.push_str(",\n  \"counters\": {");
+    let counters = inner.counters.lock().unwrap();
+    for (i, (name, cell)) in counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        push_str_literal(&mut out, name);
+        out.push_str(": ");
+        push_u64(&mut out, cell.load(std::sync::atomic::Ordering::Relaxed));
+    }
+    drop(counters);
+    out.push_str("\n  },\n  \"gauges\": {");
+
+    let gauges = inner.gauges.lock().unwrap();
+    for (i, (name, cell)) in gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        push_str_literal(&mut out, name);
+        out.push_str(": ");
+        push_f64(
+            &mut out,
+            f64::from_bits(cell.load(std::sync::atomic::Ordering::Relaxed)),
+        );
+    }
+    drop(gauges);
+    out.push_str("\n  },\n  \"histograms\": {");
+
+    let histograms = inner.histograms.lock().unwrap();
+    for (i, (name, core)) in histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        push_str_literal(&mut out, name);
+        out.push_str(": {\"count\": ");
+        push_u64(&mut out, core.count());
+        out.push_str(", \"sum\": ");
+        push_f64(&mut out, core.sum());
+        out.push_str(", \"min\": ");
+        push_f64(&mut out, core.min().unwrap_or(f64::NAN));
+        out.push_str(", \"max\": ");
+        push_f64(&mut out, core.max().unwrap_or(f64::NAN));
+        for (label, q) in QUANTILES {
+            out.push_str(", \"");
+            out.push_str(label);
+            out.push_str("\": ");
+            push_f64(&mut out, core.quantile(q).unwrap_or(f64::NAN));
+        }
+        out.push_str(", \"buckets\": [");
+        for (j, (le, cum)) in core.cumulative_buckets().into_iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str("{\"le\": ");
+            if le.is_finite() {
+                push_f64(&mut out, le);
+            } else {
+                out.push_str("\"+inf\"");
+            }
+            out.push_str(", \"count\": ");
+            push_u64(&mut out, cum);
+            out.push('}');
+        }
+        out.push_str("]}");
+    }
+    drop(histograms);
+
+    out.push_str("\n  },\n  \"journal\": [");
+    for (i, entry) in inner.journal.snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"name\": ");
+        push_str_literal(&mut out, entry.name);
+        out.push_str(", \"ts_us\": ");
+        push_u64(&mut out, entry.ts_us);
+        for (key, value) in &entry.fields {
+            out.push_str(", ");
+            push_str_literal(&mut out, key);
+            out.push_str(": ");
+            push_str_literal(&mut out, value);
+        }
+        out.push('}');
+    }
+    out.push_str("\n  ],\n  \"journal_dropped\": ");
+    push_u64(&mut out, inner.journal.dropped());
+    out.push_str(",\n  \"trace_dropped\": ");
+    push_u64(&mut out, inner.trace.dropped());
+    out.push_str("\n}\n");
+    out
+}
+
+pub(crate) fn chrome_trace_json(inner: &RecorderInner) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push('[');
+    let mut first = true;
+
+    for event in inner.trace.snapshot() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n{\"name\": ");
+        push_str_literal(&mut out, event.name);
+        out.push_str(", \"cat\": \"span\", \"ph\": ");
+        out.push_str(if event.dur_us.is_some() {
+            "\"X\""
+        } else {
+            "\"i\""
+        });
+        out.push_str(", \"ts\": ");
+        push_u64(&mut out, event.ts_us);
+        if let Some(dur) = event.dur_us {
+            out.push_str(", \"dur\": ");
+            push_u64(&mut out, dur);
+        } else {
+            out.push_str(", \"s\": \"t\"");
+        }
+        out.push_str(", \"pid\": 1, \"tid\": ");
+        push_u64(&mut out, event.tid);
+        push_args(&mut out, &event.args);
+        out.push('}');
+    }
+
+    // Journal entries become instant events on a dedicated track so dispatch
+    // anomalies and solver milestones line up against the span timeline.
+    for entry in inner.journal.snapshot() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n{\"name\": ");
+        push_str_literal(&mut out, entry.name);
+        out.push_str(", \"cat\": \"journal\", \"ph\": \"i\", \"ts\": ");
+        push_u64(&mut out, entry.ts_us);
+        out.push_str(", \"s\": \"t\", \"pid\": 1, \"tid\": 999");
+        push_args(&mut out, &entry.fields);
+        out.push('}');
+    }
+
+    out.push_str("\n]\n");
+    out
+}
+
+fn push_args(out: &mut String, args: &[(&'static str, String)]) {
+    if args.is_empty() {
+        return;
+    }
+    out.push_str(", \"args\": {");
+    for (i, (key, value)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        push_str_literal(out, key);
+        out.push_str(": ");
+        push_str_literal(out, value);
+    }
+    out.push('}');
+}

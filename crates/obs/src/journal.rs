@@ -1,0 +1,102 @@
+//! Bounded structured event journal.
+//!
+//! The journal captures discrete, low-rate happenings (solver outer
+//! iterations, simulation dispatch anomalies, warm-start decisions) as named
+//! entries with key/value fields. It is a ring with a hard capacity: once
+//! full, new entries are counted as dropped rather than reallocating —
+//! instrumentation must never let memory grow with run length.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+#[derive(Clone, Debug)]
+pub struct JournalEntry {
+    pub name: &'static str,
+    /// Microseconds since the recorder was created.
+    pub ts_us: u64,
+    pub fields: Vec<(&'static str, String)>,
+}
+
+#[derive(Debug)]
+pub struct Journal {
+    entries: Mutex<VecDeque<JournalEntry>>,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+impl Journal {
+    pub fn new(capacity: usize) -> Self {
+        Journal {
+            entries: Mutex::new(VecDeque::new()),
+            capacity,
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    pub fn push(&self, entry: JournalEntry) {
+        let mut entries = self.entries.lock().unwrap();
+        if entries.len() >= self.capacity {
+            entries.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        entries.push_back(entry);
+    }
+
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn snapshot(&self) -> Vec<JournalEntry> {
+        self.entries.lock().unwrap().iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(name: &'static str, ts_us: u64) -> JournalEntry {
+        JournalEntry {
+            name,
+            ts_us,
+            fields: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn keeps_newest_entries_when_full() {
+        let j = Journal::new(3);
+        for i in 0..5 {
+            j.push(entry("e", i));
+        }
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.dropped(), 2);
+        let ts: Vec<u64> = j.snapshot().iter().map(|e| e.ts_us).collect();
+        assert_eq!(ts, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn concurrent_pushes_never_exceed_capacity() {
+        let j = Journal::new(64);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 0..500 {
+                        j.push(entry("e", i));
+                    }
+                });
+            }
+        });
+        assert_eq!(j.len(), 64);
+        assert_eq!(j.dropped() as usize, 4 * 500 - 64);
+    }
+}

@@ -1,0 +1,356 @@
+//! Metric primitives: counters, gauges, and fixed-bucket histograms.
+//!
+//! All three are lock-free on the hot path (a handful of relaxed atomic
+//! operations); registration goes through a mutex-guarded map but is meant
+//! to happen once per metric, with the returned handle cached by the caller.
+//! Every handle has a no-op flavour (`Counter::noop()` etc.) whose operations
+//! cost a single branch, so instrumented code never needs `if enabled` guards.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Add `v` to an f64 stored as bits in an `AtomicU64`.
+fn f64_fetch_add(cell: &AtomicU64, v: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + v).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Lower `cell` to `v` if `v` is smaller (f64 bits; `reverse` flips to max).
+fn f64_fetch_extreme(cell: &AtomicU64, v: f64, want_max: bool) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let seen = f64::from_bits(cur);
+        let better = if want_max { v > seen } else { v < seen };
+        if !better {
+            return;
+        }
+        match cell.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(next) => cur = next,
+        }
+    }
+}
+
+/// Monotonically increasing u64 counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    pub(crate) fn live(cell: Arc<AtomicU64>) -> Self {
+        Counter(Some(cell))
+    }
+
+    /// Handle that discards every operation.
+    pub fn noop() -> Self {
+        Counter(None)
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value; 0 for a no-op handle.
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// Last-write-wins f64 gauge.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    pub(crate) fn live(cell: Arc<AtomicU64>) -> Self {
+        Gauge(Some(cell))
+    }
+
+    pub fn noop() -> Self {
+        Gauge(None)
+    }
+
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if let Some(cell) = &self.0 {
+            cell.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value; NaN for a no-op handle.
+    pub fn get(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(f64::NAN, |c| f64::from_bits(c.load(Ordering::Relaxed)))
+    }
+}
+
+/// Shared state behind a [`Histogram`] handle.
+#[derive(Debug)]
+pub struct HistogramCore {
+    /// Ascending upper bucket bounds; an implicit +inf bucket follows.
+    bounds: Box<[f64]>,
+    /// `bounds.len() + 1` buckets: bucket `i` counts values `<= bounds[i]`,
+    /// the final bucket counts the overflow.
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl HistogramCore {
+    pub(crate) fn new(bounds: &[f64]) -> Self {
+        let mut sorted: Vec<f64> = bounds.iter().copied().filter(|b| b.is_finite()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.dedup();
+        let buckets = (0..=sorted.len()).map(|_| AtomicU64::new(0)).collect();
+        HistogramCore {
+            bounds: sorted.into_boxed_slice(),
+            buckets,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    fn observe(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let idx = self.bounds.partition_point(|b| v > *b);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        f64_fetch_add(&self.sum_bits, v);
+        f64_fetch_extreme(&self.min_bits, v, false);
+        f64_fetch_extreme(&self.max_bits, v, true);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    pub fn min(&self) -> Option<f64> {
+        let v = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
+        v.is_finite().then_some(v)
+    }
+
+    pub fn max(&self) -> Option<f64> {
+        let v = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        v.is_finite().then_some(v)
+    }
+
+    /// Cumulative bucket snapshot as `(upper_bound, cumulative_count)` pairs,
+    /// ending with the +inf bucket.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut cum = 0;
+        let mut out = Vec::with_capacity(self.buckets.len());
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            cum += bucket.load(Ordering::Relaxed);
+            let bound = self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            out.push((bound, cum));
+        }
+        out
+    }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`) by linear interpolation inside
+    /// the bucket containing the target rank. Accuracy is bounded by bucket
+    /// width; the estimate is clamped to the observed `[min, max]` range.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let (min, max) = (self.min()?, self.max()?);
+        let target = q * total as f64;
+        let mut prev_cum = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let here = bucket.load(Ordering::Relaxed);
+            let cum = prev_cum + here;
+            if (cum as f64) >= target && here > 0 {
+                let lo = if i == 0 { min } else { self.bounds[i - 1] };
+                let hi = if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    max
+                };
+                let frac = (target - prev_cum as f64) / here as f64;
+                let est = lo + (hi - lo) * frac;
+                return Some(est.clamp(min, max));
+            }
+            prev_cum = cum;
+        }
+        Some(max)
+    }
+}
+
+/// Fixed-bucket histogram with on-demand quantile estimation.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    pub(crate) fn live(core: Arc<HistogramCore>) -> Self {
+        Histogram(Some(core))
+    }
+
+    pub fn noop() -> Self {
+        Histogram(None)
+    }
+
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        if let Some(core) = &self.0 {
+            core.observe(v);
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.count())
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.0.as_ref().map_or(0.0, |c| c.sum())
+    }
+
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        self.0.as_ref().and_then(|c| c.quantile(q))
+    }
+}
+
+/// Exponential-ish default bounds suitable for "small count" distributions
+/// such as queue depths or iteration counts.
+pub fn count_buckets() -> Vec<f64> {
+    vec![
+        1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 4096.0, 16384.0,
+    ]
+}
+
+/// Default bounds for durations measured in microseconds (1us .. ~16s).
+pub fn duration_us_buckets() -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut b = 1.0;
+    while b <= 16_000_000.0 {
+        out.push(b);
+        b *= 4.0;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::live(Arc::new(AtomicU64::new(0)));
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+
+        let g = Gauge::live(Arc::new(AtomicU64::new(0)));
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+        g.set(-1.0);
+        assert_eq!(g.get(), -1.0);
+    }
+
+    #[test]
+    fn noop_handles_do_nothing() {
+        let c = Counter::noop();
+        c.inc();
+        assert_eq!(c.get(), 0);
+        let g = Gauge::noop();
+        g.set(3.0);
+        assert!(g.get().is_nan());
+        let h = Histogram::noop();
+        h.observe(1.0);
+        assert_eq!(h.count(), 0);
+        assert!(h.quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn histogram_quantiles_on_uniform_distribution() {
+        // 1..=1000 with bounds every 50: interpolation should land within
+        // one bucket width of the exact order statistic.
+        let bounds: Vec<f64> = (1..=20).map(|i| (i * 50) as f64).collect();
+        let h = Histogram::live(Arc::new(HistogramCore::new(&bounds)));
+        for v in 1..=1000 {
+            h.observe(v as f64);
+        }
+        assert_eq!(h.count(), 1000);
+        for (q, exact) in [(0.5, 500.0), (0.95, 950.0), (0.99, 990.0)] {
+            let est = h.quantile(q).unwrap();
+            assert!(
+                (est - exact).abs() <= 50.0,
+                "q={q}: estimate {est} too far from {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_on_two_point_distribution() {
+        let h = Histogram::live(Arc::new(HistogramCore::new(&[1.0, 10.0, 100.0])));
+        for _ in 0..90 {
+            h.observe(1.0);
+        }
+        for _ in 0..10 {
+            h.observe(100.0);
+        }
+        // p50 sits firmly in the mass at 1.0; p99 in the mass at 100.0.
+        assert!(h.quantile(0.5).unwrap() <= 1.0 + 1e-9);
+        assert!(h.quantile(0.99).unwrap() > 10.0);
+        assert_eq!(h.quantile(1.0).unwrap(), 100.0);
+    }
+
+    #[test]
+    fn histogram_tracks_sum_min_max_and_overflow() {
+        let core = Arc::new(HistogramCore::new(&[10.0]));
+        let h = Histogram::live(core.clone());
+        h.observe(5.0);
+        h.observe(50.0); // overflow bucket
+        h.observe(f64::NAN); // dropped
+        assert_eq!(core.count(), 2);
+        assert_eq!(core.sum(), 55.0);
+        assert_eq!(core.min(), Some(5.0));
+        assert_eq!(core.max(), Some(50.0));
+        let cum = core.cumulative_buckets();
+        assert_eq!(cum, vec![(10.0, 1), (f64::INFINITY, 2)]);
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let c = Counter::live(Arc::new(AtomicU64::new(0)));
+        let h = Histogram::live(Arc::new(HistogramCore::new(&count_buckets())));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        c.inc();
+                        h.observe((i % 64) as f64);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+        assert_eq!(h.count(), 8000);
+    }
+}

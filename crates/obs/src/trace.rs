@@ -1,0 +1,194 @@
+//! Span timers and the bounded trace buffer behind the Chrome-trace exporter.
+//!
+//! A [`SpanGuard`] measures the wall-clock duration between its creation and
+//! drop and records a complete ("ph":"X") trace event. Nesting falls out of
+//! the timestamps: Perfetto stacks events on the same thread track by their
+//! `[ts, ts+dur]` intervals, so inner spans render inside outer ones without
+//! any explicit parent bookkeeping.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::thread::ThreadId;
+use std::time::Instant;
+
+/// One recorded trace entry (span or instant event).
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    pub name: &'static str,
+    /// Microseconds since the recorder was created.
+    pub ts_us: u64,
+    /// Duration in microseconds; `None` marks an instant event ("ph":"i").
+    pub dur_us: Option<u64>,
+    /// Small dense thread index used as the Chrome-trace `tid`.
+    pub tid: u64,
+    /// Extra key/value payload rendered into the event's `args` object.
+    pub args: Vec<(&'static str, String)>,
+}
+
+/// Bounded buffer of trace events plus the thread-id interning table.
+#[derive(Debug)]
+pub struct TraceBuffer {
+    events: Mutex<Vec<TraceEvent>>,
+    threads: Mutex<HashMap<ThreadId, u64>>,
+    capacity: usize,
+    dropped: std::sync::atomic::AtomicU64,
+}
+
+impl TraceBuffer {
+    pub fn new(capacity: usize) -> Self {
+        TraceBuffer {
+            events: Mutex::new(Vec::new()),
+            threads: Mutex::new(HashMap::new()),
+            capacity,
+            dropped: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Dense per-recorder index for the calling thread.
+    pub fn tid(&self) -> u64 {
+        let mut map = self.threads.lock().unwrap();
+        let next = map.len() as u64;
+        *map.entry(std::thread::current().id()).or_insert(next)
+    }
+
+    pub fn push(&self, event: TraceEvent) {
+        let mut events = self.events.lock().unwrap();
+        if events.len() >= self.capacity {
+            self.dropped
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return;
+        }
+        events.push(event);
+    }
+
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events.lock().unwrap().clone()
+    }
+}
+
+/// RAII timer: records a complete span event when dropped.
+///
+/// The no-op flavour (from a disabled recorder) holds nothing and its drop
+/// is a single branch.
+#[must_use = "a span measures the scope it lives in; binding it to _ drops it immediately"]
+pub struct SpanGuard {
+    live: Option<SpanLive>,
+}
+
+struct SpanLive {
+    buffer: std::sync::Arc<TraceBuffer>,
+    name: &'static str,
+    epoch: Instant,
+    started: Instant,
+    args: Vec<(&'static str, String)>,
+}
+
+impl SpanGuard {
+    pub(crate) fn live(
+        buffer: std::sync::Arc<TraceBuffer>,
+        name: &'static str,
+        epoch: Instant,
+    ) -> Self {
+        SpanGuard {
+            live: Some(SpanLive {
+                buffer,
+                name,
+                epoch,
+                started: Instant::now(),
+                args: Vec::new(),
+            }),
+        }
+    }
+
+    pub(crate) fn noop() -> Self {
+        SpanGuard { live: None }
+    }
+
+    /// Attach a key/value pair surfaced in the trace event's `args`.
+    pub fn arg(&mut self, key: &'static str, value: impl ToString) {
+        if let Some(live) = &mut self.live {
+            live.args.push((key, value.to_string()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(live) = self.live.take() {
+            let ts_us = live.started.duration_since(live.epoch).as_micros() as u64;
+            let dur_us = live.started.elapsed().as_micros() as u64;
+            let tid = live.buffer.tid();
+            live.buffer.push(TraceEvent {
+                name: live.name,
+                ts_us,
+                dur_us: Some(dur_us),
+                tid,
+                args: live.args,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn buffer_is_bounded_and_counts_drops() {
+        let buf = TraceBuffer::new(2);
+        for _ in 0..5 {
+            buf.push(TraceEvent {
+                name: "e",
+                ts_us: 0,
+                dur_us: None,
+                tid: 0,
+                args: Vec::new(),
+            });
+        }
+        assert_eq!(buf.snapshot().len(), 2);
+        assert_eq!(buf.dropped(), 3);
+    }
+
+    #[test]
+    fn nested_spans_record_containment_order() {
+        let buf = Arc::new(TraceBuffer::new(16));
+        let epoch = Instant::now();
+        {
+            let _outer = SpanGuard::live(buf.clone(), "outer", epoch);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let mut inner = SpanGuard::live(buf.clone(), "inner", epoch);
+                inner.arg("k", 7);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        let events = buf.snapshot();
+        assert_eq!(events.len(), 2);
+        // Inner drops first, so it is recorded first.
+        let inner = &events[0];
+        let outer = &events[1];
+        assert_eq!(inner.name, "inner");
+        assert_eq!(outer.name, "outer");
+        assert_eq!(inner.args, vec![("k", "7".to_string())]);
+        // Containment: outer starts no later and ends no earlier than inner.
+        assert!(outer.ts_us <= inner.ts_us);
+        assert!(
+            outer.ts_us + outer.dur_us.unwrap() >= inner.ts_us + inner.dur_us.unwrap(),
+            "outer span must contain inner span"
+        );
+    }
+
+    #[test]
+    fn threads_get_distinct_dense_tids() {
+        let buf = Arc::new(TraceBuffer::new(16));
+        let main_tid = buf.tid();
+        let other = std::thread::scope(|s| s.spawn(|| buf.tid()).join().unwrap());
+        assert_ne!(main_tid, other);
+        assert!(other < 2);
+    }
+}

@@ -88,9 +88,9 @@ impl FreshnessEvaluator {
             // Age of stale element i grows as (t − stale_sinceᵢ); the
             // weighted sum integrates in closed form between events.
             let stale_weight = self.total_weight - self.fresh_weight;
-            self.weighted_age_time += stale_weight * (time * time - self.last_time * self.last_time)
-                / 2.0
-                - self.weighted_stale_since * dt;
+            self.weighted_age_time +=
+                stale_weight * (time * time - self.last_time * self.last_time) / 2.0
+                    - self.weighted_stale_since * dt;
             self.last_time = time;
         }
     }

@@ -113,9 +113,21 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.push(Event { time: 3.0, kind: EventKind::Update, element: 0 });
-        q.push(Event { time: 1.0, kind: EventKind::Sync, element: 1 });
-        q.push(Event { time: 2.0, kind: EventKind::Access, element: 2 });
+        q.push(Event {
+            time: 3.0,
+            kind: EventKind::Update,
+            element: 0,
+        });
+        q.push(Event {
+            time: 1.0,
+            kind: EventKind::Sync,
+            element: 1,
+        });
+        q.push(Event {
+            time: 2.0,
+            kind: EventKind::Access,
+            element: 2,
+        });
         assert_eq!(q.pop().unwrap().time, 1.0);
         assert_eq!(q.pop().unwrap().time, 2.0);
         assert_eq!(q.pop().unwrap().time, 3.0);
@@ -125,9 +137,21 @@ mod tests {
     #[test]
     fn ties_break_fifo() {
         let mut q = EventQueue::new();
-        q.push(Event { time: 1.0, kind: EventKind::Update, element: 10 });
-        q.push(Event { time: 1.0, kind: EventKind::Sync, element: 20 });
-        q.push(Event { time: 1.0, kind: EventKind::Access, element: 30 });
+        q.push(Event {
+            time: 1.0,
+            kind: EventKind::Update,
+            element: 10,
+        });
+        q.push(Event {
+            time: 1.0,
+            kind: EventKind::Sync,
+            element: 20,
+        });
+        q.push(Event {
+            time: 1.0,
+            kind: EventKind::Access,
+            element: 30,
+        });
         assert_eq!(q.pop().unwrap().element, 10);
         assert_eq!(q.pop().unwrap().element, 20);
         assert_eq!(q.pop().unwrap().element, 30);
@@ -137,7 +161,11 @@ mod tests {
     fn next_time_peeks() {
         let mut q = EventQueue::new();
         assert_eq!(q.next_time(), None);
-        q.push(Event { time: 5.0, kind: EventKind::Update, element: 0 });
+        q.push(Event {
+            time: 5.0,
+            kind: EventKind::Update,
+            element: 0,
+        });
         assert_eq!(q.next_time(), Some(5.0));
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
@@ -147,6 +175,10 @@ mod tests {
     #[should_panic(expected = "finite")]
     fn rejects_nan_time() {
         let mut q = EventQueue::new();
-        q.push(Event { time: f64::NAN, kind: EventKind::Update, element: 0 });
+        q.push(Event {
+            time: f64::NAN,
+            kind: EventKind::Update,
+            element: 0,
+        });
     }
 }

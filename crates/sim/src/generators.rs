@@ -55,7 +55,10 @@ impl UpdateGenerator {
             assert!(rate.is_finite() && rate >= 0.0, "change rate {i} invalid");
             if rate > 0.0 {
                 let t = Exponential::new(rate).sample(&mut rng);
-                heap.push(NextUpdate { time: t, element: i });
+                heap.push(NextUpdate {
+                    time: t,
+                    element: i,
+                });
             }
         }
         UpdateGenerator {
@@ -115,7 +118,10 @@ impl AccessGenerator {
             acc += p;
             cdf.push(acc);
         }
-        assert!((acc - 1.0).abs() < 1e-6, "probabilities must sum to 1, got {acc}");
+        assert!(
+            (acc - 1.0).abs() < 1e-6,
+            "probabilities must sum to 1, got {acc}"
+        );
         if let Some(last) = cdf.last_mut() {
             *last = 1.0;
         }

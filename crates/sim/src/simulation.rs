@@ -7,6 +7,7 @@ use freshen_core::error::{CoreError, Result};
 use freshen_core::policy::SyncPolicy;
 use freshen_core::problem::Problem;
 use freshen_core::schedule::ScheduleStream;
+use freshen_obs::Recorder;
 
 use crate::evaluator::FreshnessEvaluator;
 use crate::generators::{AccessGenerator, UpdateGenerator};
@@ -81,6 +82,50 @@ pub struct Simulation {
     config: SimConfig,
     sync_policy: SyncPolicy,
     link_capacity: Option<f64>,
+    recorder: Recorder,
+}
+
+/// Which stream owns the earliest pending event.
+///
+/// Ties follow the original dispatch priority: updates before link events
+/// before syncs before accesses, so an access at time t sees the state
+/// *after* a coincident refresh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NextEvent {
+    Update,
+    Link,
+    Sync,
+    Access,
+}
+
+impl NextEvent {
+    /// Pick the stream owning the earliest event, or `None` when every
+    /// stream is exhausted (all times infinite).
+    fn select(tu: f64, ta: f64, ts: f64, tl: f64) -> Option<(f64, NextEvent)> {
+        let t = tu.min(ta).min(ts).min(tl);
+        if !t.is_finite() {
+            return None;
+        }
+        let kind = if tu <= ta && tu <= ts && tu <= tl {
+            NextEvent::Update
+        } else if tl <= ts && tl <= ta {
+            NextEvent::Link
+        } else if ts <= ta {
+            NextEvent::Sync
+        } else {
+            NextEvent::Access
+        };
+        Some((t, kind))
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            NextEvent::Update => "update",
+            NextEvent::Link => "link",
+            NextEvent::Sync => "sync",
+            NextEvent::Access => "access",
+        }
+    }
 }
 
 /// A pending link transfer event (FIFO single-link model).
@@ -178,6 +223,7 @@ impl Simulation {
             config,
             sync_policy: SyncPolicy::FixedOrder,
             link_capacity: None,
+            recorder: Recorder::disabled(),
         })
     }
 
@@ -214,10 +260,47 @@ impl Simulation {
         self
     }
 
+    /// Attach an observability recorder. The default is the disabled
+    /// recorder, whose per-event cost in the loop is a single branch.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
     /// Execute the event loop and report the measurements.
-    pub fn run(&self) -> SimReport {
+    ///
+    /// Returns [`CoreError::Inconsistent`] when event selection disagrees
+    /// with stream state — an internal invariant violation that earlier
+    /// revisions turned into a panic. Surfacing it as an error lets batch
+    /// sweeps fail one scenario and continue.
+    pub fn run(&self) -> Result<SimReport> {
         let n = self.problem.len();
         let horizon = self.config.warmup_periods + self.config.periods;
+
+        // Instrumentation handles: registered once here, each a no-op when
+        // the recorder is disabled. Names referenced by the CLI exporters
+        // and the bench telemetry aggregator.
+        let rec = &self.recorder;
+        let mut run_span = rec.span("sim.run");
+        run_span.arg("n", n);
+        run_span.arg("horizon", horizon);
+        let c_total = rec.counter("events_total");
+        let c_update = rec.counter("sim.events.update");
+        let c_sync = rec.counter("sim.events.sync");
+        let c_access = rec.counter("sim.events.access");
+        let c_link = rec.counter("sim.events.link");
+        let h_queue = rec.histogram("sim.link_queue_depth", &freshen_obs::count_buckets());
+        let wall_start = std::time::Instant::now();
+        let inconsistent = |invariant: &'static str| {
+            rec.event("sim.inconsistent", &[("invariant", &invariant)]);
+            CoreError::Inconsistent {
+                routine: "simulation",
+                invariant,
+            }
+        };
+        /// Journal one of every `JOURNAL_SAMPLE` dispatches so the bounded
+        /// journal sketches the event interleaving without flooding.
+        const JOURNAL_SAMPLE: u64 = 4096;
 
         let mut source = Source::new(n);
         let mut mirror = Mirror::new(n);
@@ -268,85 +351,109 @@ impl Simulation {
             let ta = next_access.map(|(t, _)| t).unwrap_or(f64::INFINITY);
             let ts = next_sync.map(|(t, _)| t).unwrap_or(f64::INFINITY);
             let tl = link_events.peek().map(|e| e.time).unwrap_or(f64::INFINITY);
-            let t = tu.min(ta).min(ts).min(tl);
-            if !t.is_finite() || t >= horizon {
+            let Some((t, kind)) = NextEvent::select(tu, ta, ts, tl) else {
+                break;
+            };
+            if t >= horizon {
                 break;
             }
             if !measuring && t >= self.config.warmup_periods {
                 evaluator.start_measurement(self.config.warmup_periods);
                 measuring = true;
+                rec.event("sim.measurement_start", &[("t", &t)]);
             }
-            if tu <= ta && tu <= ts && tu <= tl {
-                let (time, element) = next_update.expect("tu finite implies update pending");
-                source.update(element);
-                evaluator.on_update(time, element);
-                next_update = updates.next_event(horizon);
-            } else if tl <= ts && tl <= ta {
-                let TimedLinkEvent { time, event, .. } =
-                    link_events.pop().expect("tl finite implies link event pending");
-                match event {
-                    LinkEvent::Start { element } => {
-                        // Content is read at transfer start; it arrives
-                        // (and may already be stale) at completion.
-                        let capacity = self.link_capacity.expect("link events imply a link");
-                        let duration = self.problem.sizes()[element] / capacity;
-                        link_events.push(TimedLinkEvent {
-                            time: time + duration,
-                            seq: link_seq,
-                            event: LinkEvent::Complete {
-                                element,
-                                snapshot: source.version(element),
-                            },
-                        });
-                        link_seq += 1;
-                    }
-                    LinkEvent::Complete { element, snapshot } => {
-                        let changed = mirror.apply_version(element, snapshot);
-                        polls[element] += 1;
-                        if changed {
-                            polls_changed[element] += 1;
+            c_total.inc();
+            if c_total.get() % JOURNAL_SAMPLE == 1 && rec.is_enabled() {
+                rec.event("sim.dispatch", &[("kind", &kind.name()), ("t", &t)]);
+            }
+            match kind {
+                NextEvent::Update => {
+                    let (time, element) = next_update
+                        .ok_or_else(|| inconsistent("tu finite implies update pending"))?;
+                    c_update.inc();
+                    source.update(element);
+                    evaluator.on_update(time, element);
+                    next_update = updates.next_event(horizon);
+                }
+                NextEvent::Link => {
+                    let TimedLinkEvent { time, event, .. } = link_events
+                        .pop()
+                        .ok_or_else(|| inconsistent("tl finite implies link event pending"))?;
+                    c_link.inc();
+                    h_queue.observe(link_events.len() as f64);
+                    match event {
+                        LinkEvent::Start { element } => {
+                            // Content is read at transfer start; it arrives
+                            // (and may already be stale) at completion.
+                            let capacity = self
+                                .link_capacity
+                                .ok_or_else(|| inconsistent("link events imply a link"))?;
+                            let duration = self.problem.sizes()[element] / capacity;
+                            link_events.push(TimedLinkEvent {
+                                time: time + duration,
+                                seq: link_seq,
+                                event: LinkEvent::Complete {
+                                    element,
+                                    snapshot: source.version(element),
+                                },
+                            });
+                            link_seq += 1;
                         }
-                        let up_to_date = snapshot == source.version(element);
-                        evaluator.on_sync_applied(time, element, up_to_date);
-                    }
-                }
-            } else if ts <= ta {
-                let (time, element) = next_sync.expect("ts finite implies sync pending");
-                match self.link_capacity {
-                    None => {
-                        // Instantaneous refresh (the paper's abstraction).
-                        let changed = mirror.sync(element, &source);
-                        polls[element] += 1;
-                        if changed {
-                            polls_changed[element] += 1;
+                        LinkEvent::Complete { element, snapshot } => {
+                            let changed = mirror.apply_version(element, snapshot);
+                            polls[element] += 1;
+                            if changed {
+                                polls_changed[element] += 1;
+                            }
+                            let up_to_date = snapshot == source.version(element);
+                            evaluator.on_sync_applied(time, element, up_to_date);
                         }
-                        evaluator.on_sync(time, element);
-                    }
-                    Some(capacity) => {
-                        // Enqueue the transfer on the FIFO link.
-                        let start = time.max(link_free_at);
-                        let duration = self.problem.sizes()[element] / capacity;
-                        link_free_at = start + duration;
-                        // Busy-time accounting clips at the horizon so a
-                        // backlogged queue cannot report utilization > 1.
-                        link_busy_time += link_free_at.min(horizon) - start.min(horizon);
-                        link_events.push(TimedLinkEvent {
-                            time: start,
-                            seq: link_seq,
-                            event: LinkEvent::Start { element },
-                        });
-                        link_seq += 1;
                     }
                 }
-                next_sync = syncs.next_event(horizon);
-            } else {
-                let (time, element) = next_access.expect("ta finite implies access pending");
-                evaluator.on_access(time, element);
-                if evaluator.is_measuring() {
-                    measured_accesses += 1;
-                    access_counts[element] += 1;
+                NextEvent::Sync => {
+                    let (time, element) =
+                        next_sync.ok_or_else(|| inconsistent("ts finite implies sync pending"))?;
+                    c_sync.inc();
+                    match self.link_capacity {
+                        None => {
+                            // Instantaneous refresh (the paper's abstraction).
+                            let changed = mirror.sync(element, &source);
+                            polls[element] += 1;
+                            if changed {
+                                polls_changed[element] += 1;
+                            }
+                            evaluator.on_sync(time, element);
+                        }
+                        Some(capacity) => {
+                            // Enqueue the transfer on the FIFO link.
+                            let start = time.max(link_free_at);
+                            let duration = self.problem.sizes()[element] / capacity;
+                            link_free_at = start + duration;
+                            // Busy-time accounting clips at the horizon so a
+                            // backlogged queue cannot report utilization > 1.
+                            link_busy_time += link_free_at.min(horizon) - start.min(horizon);
+                            link_events.push(TimedLinkEvent {
+                                time: start,
+                                seq: link_seq,
+                                event: LinkEvent::Start { element },
+                            });
+                            link_seq += 1;
+                            h_queue.observe(link_events.len() as f64);
+                        }
+                    }
+                    next_sync = syncs.next_event(horizon);
                 }
-                next_access = accesses.next_event(horizon);
+                NextEvent::Access => {
+                    let (time, element) = next_access
+                        .ok_or_else(|| inconsistent("ta finite implies access pending"))?;
+                    c_access.inc();
+                    evaluator.on_access(time, element);
+                    if evaluator.is_measuring() {
+                        measured_accesses += 1;
+                        access_counts[element] += 1;
+                    }
+                    next_access = accesses.next_event(horizon);
+                }
             }
         }
         if !measuring {
@@ -354,7 +461,7 @@ impl Simulation {
         }
         evaluator.finish(horizon);
 
-        SimReport {
+        let report = SimReport {
             analytic_pf: self
                 .problem
                 .perceived_freshness_with(self.sync_policy, &self.frequencies),
@@ -373,10 +480,28 @@ impl Simulation {
                 .iter()
                 .zip(self.problem.change_rates())
                 .zip(&self.frequencies)
-                .map(|((&w, &l), &f)| if w == 0.0 { 0.0 } else { w * self.sync_policy.age(l, f) })
+                .map(|((&w, &l), &f)| {
+                    if w == 0.0 {
+                        0.0
+                    } else {
+                        w * self.sync_policy.age(l, f)
+                    }
+                })
                 .sum(),
             time_averaged_age: evaluator.time_averaged_age().unwrap_or(0.0),
+        };
+
+        // Headline gauges for the metrics snapshot / bench telemetry.
+        rec.gauge("pf").set(report.time_averaged_pf);
+        rec.gauge("sim.analytic_pf").set(report.analytic_pf);
+        let wall = wall_start.elapsed().as_secs_f64();
+        if wall > 0.0 {
+            rec.gauge("events_per_sec").set(c_total.get() as f64 / wall);
         }
+        if let Some(util) = report.link_utilization {
+            rec.gauge("sim.link_utilization").set(util);
+        }
+        Ok(report)
     }
 }
 
@@ -403,7 +528,7 @@ mod tests {
             accesses_per_period: 200.0,
             seed: 1,
         };
-        let report = Simulation::new(&p, &freqs, config).unwrap().run();
+        let report = Simulation::new(&p, &freqs, config).unwrap().run().unwrap();
         assert!(
             (report.time_averaged_pf - report.analytic_pf).abs() < 0.02,
             "time-avg {} vs analytic {}",
@@ -429,7 +554,7 @@ mod tests {
             accesses_per_period: 500.0,
             seed: 9,
         };
-        let report = Simulation::new(&p, &freqs, config).unwrap().run();
+        let report = Simulation::new(&p, &freqs, config).unwrap().run().unwrap();
         assert!(
             (report.time_averaged_pf - report.access_pf.unwrap()).abs() < 0.02,
             "monitoring modes must agree"
@@ -445,7 +570,10 @@ mod tests {
             accesses_per_period: 100.0,
             seed: 2,
         };
-        let report = Simulation::new(&p, &[0.0; 4], config).unwrap().run();
+        let report = Simulation::new(&p, &[0.0; 4], config)
+            .unwrap()
+            .run()
+            .unwrap();
         assert_eq!(report.syncs, 0);
         assert!(
             report.time_averaged_pf < 0.01,
@@ -463,8 +591,15 @@ mod tests {
             accesses_per_period: 100.0,
             seed: 3,
         };
-        let report = Simulation::new(&p, &[200.0; 4], config).unwrap().run();
-        assert!(report.time_averaged_pf > 0.97, "{}", report.time_averaged_pf);
+        let report = Simulation::new(&p, &[200.0; 4], config)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(
+            report.time_averaged_pf > 0.97,
+            "{}",
+            report.time_averaged_pf
+        );
         assert!(report.access_pf.unwrap() > 0.95);
     }
 
@@ -478,8 +613,8 @@ mod tests {
             accesses_per_period: 50.0,
             seed: 77,
         };
-        let a = Simulation::new(&p, &freqs, config).unwrap().run();
-        let b = Simulation::new(&p, &freqs, config).unwrap().run();
+        let a = Simulation::new(&p, &freqs, config).unwrap().run().unwrap();
+        let b = Simulation::new(&p, &freqs, config).unwrap().run().unwrap();
         assert_eq!(a, b);
     }
 
@@ -493,7 +628,7 @@ mod tests {
             accesses_per_period: 50.0,
             seed: 4,
         };
-        let report = Simulation::new(&p, &freqs, config).unwrap().run();
+        let report = Simulation::new(&p, &freqs, config).unwrap().run().unwrap();
         // Updates: Σλ = 7.5/period over 200 periods.
         let update_rate = report.updates as f64 / 200.0;
         assert!((update_rate - 7.5).abs() < 0.5, "update rate {update_rate}");
@@ -503,7 +638,10 @@ mod tests {
         assert_eq!(report.polls[3], 0);
         // Accesses ≈ 50/period.
         let access_rate = report.accesses as f64 / 200.0;
-        assert!((access_rate - 50.0).abs() < 2.0, "access rate {access_rate}");
+        assert!(
+            (access_rate - 50.0).abs() < 2.0,
+            "access rate {access_rate}"
+        );
     }
 
     #[test]
@@ -522,10 +660,13 @@ mod tests {
             accesses_per_period: 1.0,
             seed: 5,
         };
-        let report = Simulation::new(&p, &[2.0], config).unwrap().run();
+        let report = Simulation::new(&p, &[2.0], config).unwrap().run().unwrap();
         let ratio = report.polls_changed[0] as f64 / report.polls[0] as f64;
         let expected = 1.0 - (-1.0f64).exp();
-        assert!((ratio - expected).abs() < 0.03, "ratio {ratio} vs {expected}");
+        assert!(
+            (ratio - expected).abs() < 0.03,
+            "ratio {ratio} vs {expected}"
+        );
     }
 
     #[test]
@@ -559,10 +700,10 @@ mod tests {
             let report = Simulation::new(&p, &freqs, config)
                 .unwrap()
                 .with_sync_policy(policy)
-                .run();
+                .run()
+                .unwrap();
             assert!(
-                (report.time_averaged_age - report.analytic_age).abs()
-                    < report.analytic_age * 0.1,
+                (report.time_averaged_age - report.analytic_age).abs() < report.analytic_age * 0.1,
                 "{policy:?}: simulated age {} vs analytic {}",
                 report.time_averaged_age,
                 report.analytic_age
@@ -579,8 +720,14 @@ mod tests {
             accesses_per_period: 10.0,
             seed: 42,
         };
-        let slow = Simulation::new(&p, &[0.5; 4], config).unwrap().run();
-        let fast = Simulation::new(&p, &[4.0; 4], config).unwrap().run();
+        let slow = Simulation::new(&p, &[0.5; 4], config)
+            .unwrap()
+            .run()
+            .unwrap();
+        let fast = Simulation::new(&p, &[4.0; 4], config)
+            .unwrap()
+            .run()
+            .unwrap();
         assert!(fast.time_averaged_pf > slow.time_averaged_pf);
         assert!(fast.time_averaged_age < slow.time_averaged_age);
     }
@@ -597,11 +744,12 @@ mod tests {
             accesses_per_period: 200.0,
             seed: 31,
         };
-        let instant = Simulation::new(&p, &freqs, config).unwrap().run();
+        let instant = Simulation::new(&p, &freqs, config).unwrap().run().unwrap();
         let fast_link = Simulation::new(&p, &freqs, config)
             .unwrap()
             .with_link_capacity(1000.0) // planned load: Σs·f = 4/period
-            .run();
+            .run()
+            .unwrap();
         assert!(
             (instant.time_averaged_pf - fast_link.time_averaged_pf).abs() < 0.02,
             "instant {} vs fast link {}",
@@ -628,11 +776,13 @@ mod tests {
         let healthy = Simulation::new(&p, &freqs, config)
             .unwrap()
             .with_link_capacity(40.0)
-            .run();
+            .run()
+            .unwrap();
         let saturated = Simulation::new(&p, &freqs, config)
             .unwrap()
             .with_link_capacity(2.0)
-            .run();
+            .run()
+            .unwrap();
         assert!(
             saturated.time_averaged_pf < healthy.time_averaged_pf - 0.05,
             "saturation must hurt: {} vs {}",
@@ -664,7 +814,8 @@ mod tests {
         let report = Simulation::new(&p, &freqs, config)
             .unwrap()
             .with_link_capacity(40.0)
-            .run();
+            .run()
+            .unwrap();
         assert!(
             (report.time_averaged_pf - report.analytic_pf).abs() < 0.05,
             "with ample capacity the plan holds: measured {} vs planned {}",
@@ -676,7 +827,8 @@ mod tests {
         let tight = Simulation::new(&p, &freqs, config)
             .unwrap()
             .with_link_capacity(8.0)
-            .run();
+            .run()
+            .unwrap();
         assert!(
             tight.time_averaged_pf < tight.analytic_pf - 0.02,
             "transfer latency must show up: measured {} vs planned {}",
@@ -710,7 +862,8 @@ mod tests {
         let report = Simulation::new(&p, &freqs, config)
             .unwrap()
             .with_sync_policy(SyncPolicy::Poisson)
-            .run();
+            .run()
+            .unwrap();
         let expected = p.perceived_freshness_with(SyncPolicy::Poisson, &freqs);
         assert!((report.analytic_pf - expected).abs() < 1e-12);
         assert!(
@@ -734,11 +887,12 @@ mod tests {
             accesses_per_period: 100.0,
             seed: 22,
         };
-        let fixed = Simulation::new(&p, &freqs, config).unwrap().run();
+        let fixed = Simulation::new(&p, &freqs, config).unwrap().run().unwrap();
         let poisson = Simulation::new(&p, &freqs, config)
             .unwrap()
             .with_sync_policy(SyncPolicy::Poisson)
-            .run();
+            .run()
+            .unwrap();
         assert!(
             fixed.time_averaged_pf > poisson.time_averaged_pf + 0.02,
             "fixed-order {} must beat poisson {}",
@@ -765,11 +919,98 @@ mod tests {
         };
         let report = Simulation::new(&p, &[0.0, 1.0, 1.0, 1.0], config)
             .unwrap()
-            .run();
+            .run()
+            .unwrap();
         assert!(
             report.time_averaged_pf < 0.2,
             "perceived freshness collapses: {}",
             report.time_averaged_pf
+        );
+    }
+
+    #[test]
+    fn next_event_selection_priority_and_exhaustion() {
+        let inf = f64::INFINITY;
+        // All streams exhausted.
+        assert_eq!(NextEvent::select(inf, inf, inf, inf), None);
+        // Ties resolve update > link > sync > access.
+        assert_eq!(
+            NextEvent::select(1.0, 1.0, 1.0, 1.0),
+            Some((1.0, NextEvent::Update))
+        );
+        assert_eq!(
+            NextEvent::select(inf, 1.0, 1.0, 1.0),
+            Some((1.0, NextEvent::Link))
+        );
+        assert_eq!(
+            NextEvent::select(inf, 1.0, 1.0, inf),
+            Some((1.0, NextEvent::Sync))
+        );
+        assert_eq!(
+            NextEvent::select(inf, 1.0, inf, inf),
+            Some((1.0, NextEvent::Access))
+        );
+        // Strict minimum wins regardless of priority.
+        assert_eq!(
+            NextEvent::select(3.0, 0.5, 2.0, 1.0),
+            Some((0.5, NextEvent::Access))
+        );
+    }
+
+    #[test]
+    fn recorder_captures_event_counts_and_pf() {
+        let p = toy_problem();
+        let freqs = vec![1.0; 4];
+        let config = SimConfig {
+            periods: 50.0,
+            warmup_periods: 1.0,
+            accesses_per_period: 20.0,
+            seed: 11,
+        };
+        let rec = Recorder::enabled();
+        let report = Simulation::new(&p, &freqs, config)
+            .unwrap()
+            .with_link_capacity(40.0)
+            .with_recorder(rec.clone())
+            .run()
+            .unwrap();
+        let updates = rec.counter_value("sim.events.update").unwrap();
+        let syncs = rec.counter_value("sim.events.sync").unwrap();
+        let links = rec.counter_value("sim.events.link").unwrap();
+        let accesses = rec.counter_value("sim.events.access").unwrap();
+        assert_eq!(updates, report.updates);
+        // Each sync enqueues a Start and later a Complete on the link.
+        assert!(links >= syncs, "links {links} syncs {syncs}");
+        assert!(accesses >= report.accesses);
+        let total = rec.counter_value("events_total").unwrap();
+        assert_eq!(total, updates + syncs + links + accesses);
+        let pf = rec.gauge_value("pf").unwrap();
+        assert!((pf - report.time_averaged_pf).abs() < 1e-12);
+        assert!(rec.gauge_value("events_per_sec").unwrap() > 0.0);
+        assert!(rec.gauge_value("sim.link_utilization").is_some());
+        // The run span made it into the trace.
+        assert!(rec.chrome_trace_json().unwrap().contains("sim.run"));
+    }
+
+    #[test]
+    fn disabled_recorder_changes_nothing() {
+        let p = toy_problem();
+        let freqs = vec![1.0; 4];
+        let config = SimConfig {
+            periods: 30.0,
+            warmup_periods: 1.0,
+            accesses_per_period: 50.0,
+            seed: 77,
+        };
+        let plain = Simulation::new(&p, &freqs, config).unwrap().run().unwrap();
+        let instrumented = Simulation::new(&p, &freqs, config)
+            .unwrap()
+            .with_recorder(Recorder::enabled())
+            .run()
+            .unwrap();
+        assert_eq!(
+            plain, instrumented,
+            "instrumentation must not perturb results"
         );
     }
 }

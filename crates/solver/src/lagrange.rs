@@ -30,6 +30,7 @@
 use freshen_core::error::{CoreError, Result};
 use freshen_core::policy::SyncPolicy;
 use freshen_core::problem::{Problem, Solution};
+use freshen_obs::Recorder;
 
 /// Change rates below this are treated as "static": the element is always
 /// fresh and never worth bandwidth.
@@ -47,6 +48,8 @@ pub struct LagrangeSolver {
     /// Synchronization policy whose freshness law is optimized (the paper
     /// uses Fixed Order; Poisson is provided for the policy ablation).
     pub policy: SyncPolicy,
+    /// Observability sink (disabled by default; see `freshen-obs`).
+    pub recorder: Recorder,
 }
 
 impl Default for LagrangeSolver {
@@ -56,6 +59,7 @@ impl Default for LagrangeSolver {
             max_outer: 200,
             max_inner: 100,
             policy: SyncPolicy::FixedOrder,
+            recorder: Recorder::disabled(),
         }
     }
 }
@@ -84,12 +88,26 @@ impl LagrangeSolver {
         self.solve_impl(problem, Some(multiplier_hint))
     }
 
+    /// Attach an observability recorder (builder form; the `recorder`
+    /// field can also be set directly).
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
     fn solve_impl(&self, problem: &Problem, hint: Option<f64>) -> Result<Solution> {
         let n = problem.len();
         let p = problem.access_probs();
         let lam = problem.change_rates();
         let s = problem.sizes();
         let budget = problem.bandwidth();
+
+        let rec = &self.recorder;
+        let mut solve_span = rec.span("solver.lagrange.solve");
+        solve_span.arg("n", n);
+        rec.counter("solver.solves").inc();
+        let c_outer = rec.counter("solver.outer_iters");
+        let c_inner = rec.counter("solver.inner_iters");
 
         // Elements that can ever receive bandwidth: positive interest and a
         // genuinely changing source copy.
@@ -115,12 +133,22 @@ impl LagrangeSolver {
         let mut freqs_hi = freqs.clone(); // all-zero: the μ = μ_hi allocation
         let mut used_hi = 0.0;
         let mut outer_iters = 0usize;
+        let mut inner_total = 0usize;
 
         // Starting point for the low (over-budget) side: the warm-start
         // hint when valid, the cold default otherwise.
+        // Warm-start accounting: a hit is a hint the bracketing actually
+        // uses; out-of-range or non-finite hints fall back to the cold path.
         let mut mu_lo = match hint {
-            Some(h) if h.is_finite() && h > 0.0 && h < mu_hi_limit => h,
-            _ => mu_hi_limit * 1e-6,
+            Some(h) if h.is_finite() && h > 0.0 && h < mu_hi_limit => {
+                rec.counter("solver.warm_start.hit").inc();
+                h
+            }
+            Some(_) => {
+                rec.counter("solver.warm_start.miss").inc();
+                mu_hi_limit * 1e-6
+            }
+            None => mu_hi_limit * 1e-6,
         };
         // Expand downward until the allocation overshoots the budget;
         // every under-budget probe along the way tightens the high side,
@@ -128,7 +156,18 @@ impl LagrangeSolver {
         let mut used_lo;
         loop {
             outer_iters += 1;
-            used_lo = self.allocate(&active, p, lam, s, mu_lo, &mut freqs);
+            let (used, inner) = self.allocate(&active, p, lam, s, mu_lo, &mut freqs);
+            used_lo = used;
+            inner_total += inner;
+            rec.event(
+                "solver.outer",
+                &[
+                    ("phase", &"bracket"),
+                    ("iter", &outer_iters),
+                    ("mu", &mu_lo),
+                    ("residual", &((used_lo - budget) / budget)),
+                ],
+            );
             if used_lo >= budget {
                 break;
             }
@@ -159,7 +198,18 @@ impl LagrangeSolver {
                 break; // bracket exhausted (see threshold note below)
             }
             mu = (mu_lo * mu_hi).sqrt();
-            used = self.allocate(&active, p, lam, s, mu, &mut freqs);
+            let (probe, inner) = self.allocate(&active, p, lam, s, mu, &mut freqs);
+            used = probe;
+            inner_total += inner;
+            rec.event(
+                "solver.outer",
+                &[
+                    ("phase", &"bisect"),
+                    ("iter", &outer_iters),
+                    ("mu", &mu),
+                    ("residual", &((used - budget) / budget)),
+                ],
+            );
             if used > budget {
                 mu_lo = mu;
                 used_lo = used;
@@ -202,6 +252,8 @@ impl LagrangeSolver {
             });
         }
 
+        c_outer.add(outer_iters as u64);
+        c_inner.add(inner_total as u64);
         let mut sol = Solution::evaluate_with_policy(problem, freqs, self.policy);
         sol.multiplier = Some(mu);
         sol.iterations = outer_iters;
@@ -209,7 +261,8 @@ impl LagrangeSolver {
     }
 
     /// For a fixed multiplier, fill `freqs` with each active element's
-    /// optimal frequency and return the bandwidth consumed.
+    /// optimal frequency; returns the bandwidth consumed and the total
+    /// inner (Newton/bisection) iterations spent.
     fn allocate(
         &self,
         active: &[usize],
@@ -218,14 +271,16 @@ impl LagrangeSolver {
         s: &[f64],
         mu: f64,
         freqs: &mut [f64],
-    ) -> f64 {
+    ) -> (f64, usize) {
         let mut used = 0.0;
+        let mut inner = 0;
         for &i in active {
-            let f = self.element_frequency(p[i], lam[i], s[i], mu);
+            let (f, iters) = self.element_frequency_counted(p[i], lam[i], s[i], mu);
             freqs[i] = f;
             used += s[i] * f;
+            inner += iters;
         }
-        used
+        (used, inner)
     }
 
     /// Solve `p·g(f; λ) = μ·s` for `f ≥ 0` (unique root; 0 when the
@@ -235,10 +290,16 @@ impl LagrangeSolver {
     /// `μ`, this maps a (p, λ) pair to the sync frequency the optimum would
     /// grant it — the solution locus `∂F̄/∂f = μ/p` (paper Eq. 6).
     pub fn element_frequency(&self, p: f64, lam: f64, s: f64, mu: f64) -> f64 {
+        self.element_frequency_counted(p, lam, s, mu).0
+    }
+
+    /// [`element_frequency`](Self::element_frequency) plus the inner
+    /// iteration count, for instrumentation.
+    fn element_frequency_counted(&self, p: f64, lam: f64, s: f64, mu: f64) -> (f64, usize) {
         // Target marginal value of F̄ alone.
         let t = mu * s / p;
         if t >= 1.0 / lam {
-            return 0.0; // not worth any bandwidth at this water level
+            return (0.0, 0); // not worth any bandwidth at this water level
         }
         // Bracket the root: g(f) ~ λ/(2f²) for f ≫ λ gives a starting
         // point; expand until g < t.
@@ -252,12 +313,14 @@ impl LagrangeSolver {
             g_hi = self.policy.gradient(lam, hi);
             expand += 1;
             if expand > 200 {
-                return hi; // t is numerically 0; effectively unbounded
+                return (hi, expand); // t is numerically 0; effectively unbounded
             }
         }
         // Safeguarded Newton on h(f) = g(f) − t, h decreasing.
         let mut f = 0.5 * (lo + hi);
+        let mut iters = 0;
         for _ in 0..self.max_inner {
+            iters += 1;
             let h = self.policy.gradient(lam, f) - t;
             if h.abs() <= t * 1e-12 {
                 break;
@@ -278,7 +341,7 @@ impl LagrangeSolver {
                 break;
             }
         }
-        f
+        (f, iters)
     }
 }
 
@@ -312,11 +375,7 @@ mod tests {
     fn table1_row_b_uniform_profile() {
         // P1 = uniform: matches Cho & Garcia-Molina's classic example.
         let sol = LagrangeSolver::default().solve(&toy(vec![0.2; 5])).unwrap();
-        assert_close(
-            &sol.frequencies,
-            &[1.15, 1.36, 1.35, 1.14, 0.00],
-            0.01,
-        );
+        assert_close(&sol.frequencies, &[1.15, 1.36, 1.35, 1.14, 0.00], 0.01);
     }
 
     #[test]
@@ -336,11 +395,7 @@ mod tests {
         // P3 = (5..1)/15.
         let probs: Vec<f64> = (1..=5).rev().map(|i| i as f64 / 15.0).collect();
         let sol = LagrangeSolver::default().solve(&toy(probs)).unwrap();
-        assert_close(
-            &sol.frequencies,
-            &[1.68, 1.83, 1.49, 0.00, 0.00],
-            0.01,
-        );
+        assert_close(&sol.frequencies, &[1.68, 1.83, 1.49, 0.00, 0.00], 0.01);
     }
 
     // ---- KKT / optimality structure ------------------------------------
@@ -368,7 +423,10 @@ mod tests {
                     "element {i}: marginal {marginal:.6e} vs μ {mu:.6e}"
                 );
             } else {
-                assert!(p / lam <= mu * (1.0 + 1e-6), "starved element must satisfy KKT");
+                assert!(
+                    p / lam <= mu * (1.0 + 1e-6),
+                    "starved element must satisfy KKT"
+                );
             }
         }
     }
@@ -661,5 +719,35 @@ mod tests {
             last_pf = sol.perceived_freshness;
         }
         assert!(last_pf > 0.9, "ample bandwidth approaches full freshness");
+    }
+
+    #[test]
+    fn recorder_tracks_iterations_and_warm_starts() {
+        let problem = toy(vec![0.2; 5]);
+        let rec = Recorder::enabled();
+        let solver = LagrangeSolver::default().with_recorder(rec.clone());
+        let cold = solver.solve(&problem).unwrap();
+        assert_eq!(rec.counter_value("solver.solves"), Some(1));
+        assert_eq!(
+            rec.counter_value("solver.outer_iters"),
+            Some(cold.iterations as u64)
+        );
+        assert!(rec.counter_value("solver.inner_iters").unwrap() > 0);
+        assert!(rec.counter_value("solver.warm_start.hit").is_none());
+
+        let warm = solver
+            .solve_warm(&problem, cold.multiplier.unwrap())
+            .unwrap();
+        assert_eq!(rec.counter_value("solver.warm_start.hit"), Some(1));
+        solver.solve_warm(&problem, f64::NAN).unwrap();
+        assert_eq!(rec.counter_value("solver.warm_start.miss"), Some(1));
+        assert_eq!(rec.counter_value("solver.solves"), Some(3));
+
+        // The per-outer-iteration KKT residual trail reaches the journal,
+        // and instrumentation does not perturb the optimum.
+        assert!(rec.metrics_json().unwrap().contains("solver.outer"));
+        for (a, b) in cold.frequencies.iter().zip(&warm.frequencies) {
+            assert!((a - b).abs() < 1e-6);
+        }
     }
 }

@@ -20,6 +20,7 @@
 use freshen_core::error::Result;
 use freshen_core::freshness::freshness_gradient;
 use freshen_core::problem::{Problem, Solution};
+use freshen_obs::Recorder;
 
 /// Projected-gradient-ascent solver (generic-NLP stand-in).
 #[derive(Debug, Clone)]
@@ -31,6 +32,8 @@ pub struct ProjectedGradientSolver {
     pub rel_tol: f64,
     /// Initial step size (adapted multiplicatively during the run).
     pub initial_step: f64,
+    /// Observability sink (disabled by default; see `freshen-obs`).
+    pub recorder: Recorder,
 }
 
 impl Default for ProjectedGradientSolver {
@@ -39,14 +42,23 @@ impl Default for ProjectedGradientSolver {
             max_iters: 2000,
             rel_tol: 1e-10,
             initial_step: 1.0,
+            recorder: Recorder::disabled(),
         }
     }
 }
 
 impl ProjectedGradientSolver {
+    /// Attach an observability recorder.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
     /// Run projected gradient ascent from the uniform-bandwidth start.
     pub fn solve(&self, problem: &Problem) -> Result<Solution> {
         let n = problem.len();
+        let mut solve_span = self.recorder.span("solver.projected_gradient.solve");
+        solve_span.arg("n", n);
         let p = problem.access_probs();
         let lam = problem.change_rates();
         let s = problem.sizes();
@@ -102,8 +114,13 @@ impl ProjectedGradientSolver {
     }
 
     fn finish(&self, problem: &Problem, freqs: Vec<f64>, iters: usize) -> Solution {
+        self.recorder.counter("solver.pg.solves").inc();
+        self.recorder.counter("solver.pg.iters").add(iters as u64);
         let mut sol = Solution::evaluate(problem, freqs);
         sol.iterations = iters;
+        self.recorder
+            .gauge("solver.pg.objective")
+            .set(sol.perceived_freshness);
         sol
     }
 }
@@ -256,7 +273,10 @@ mod tests {
             .unwrap();
         let pg = ProjectedGradientSolver::default().solve(&problem).unwrap();
         assert!((pg.bandwidth_used - 4.0).abs() < 1e-6);
-        assert!(pg.frequencies[0] > pg.frequencies[1], "small object refreshes more");
+        assert!(
+            pg.frequencies[0] > pg.frequencies[1],
+            "small object refreshes more"
+        );
     }
 
     #[test]
@@ -274,5 +294,27 @@ mod tests {
         let sol = solver.solve(&problem).unwrap();
         assert!(sol.iterations <= 5);
         assert!(problem.is_feasible(&sol.frequencies, 1e-6));
+    }
+
+    #[test]
+    fn recorder_counts_iterations() {
+        let problem = Problem::builder()
+            .change_rates(vec![1.0, 2.0, 3.0])
+            .access_probs(vec![0.5, 0.3, 0.2])
+            .bandwidth(3.0)
+            .build()
+            .unwrap();
+        let rec = Recorder::enabled();
+        let sol = ProjectedGradientSolver::default()
+            .with_recorder(rec.clone())
+            .solve(&problem)
+            .unwrap();
+        assert_eq!(rec.counter_value("solver.pg.solves"), Some(1));
+        assert_eq!(
+            rec.counter_value("solver.pg.iters"),
+            Some(sol.iterations as u64)
+        );
+        let obj = rec.gauge_value("solver.pg.objective").unwrap();
+        assert!((obj - sol.perceived_freshness).abs() < 1e-12);
     }
 }

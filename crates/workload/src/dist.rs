@@ -79,7 +79,10 @@ impl Gamma {
     /// Create from a target mean and standard deviation (both positive).
     pub fn with_mean_std(mean: f64, std_dev: f64) -> Self {
         assert!(mean.is_finite() && mean > 0.0, "mean must be positive");
-        assert!(std_dev.is_finite() && std_dev > 0.0, "std_dev must be positive");
+        assert!(
+            std_dev.is_finite() && std_dev > 0.0,
+            "std_dev must be positive"
+        );
         let shape = (mean / std_dev) * (mean / std_dev);
         let scale = std_dev * std_dev / mean;
         Gamma::new(shape, scale)
@@ -110,7 +113,8 @@ impl Gamma {
                     break u;
                 }
             };
-            return self.sample_shape_ge1(self.shape + 1.0, rng) * u.powf(1.0 / self.shape)
+            return self.sample_shape_ge1(self.shape + 1.0, rng)
+                * u.powf(1.0 / self.shape)
                 * self.scale;
         }
         self.sample_shape_ge1(self.shape, rng) * self.scale
@@ -156,7 +160,10 @@ impl Zipf {
     /// Panics when `n == 0` or `theta` is negative or non-finite.
     pub fn new(n: usize, theta: f64) -> Self {
         assert!(n > 0, "Zipf needs at least one rank");
-        assert!(theta.is_finite() && theta >= 0.0, "theta must be non-negative");
+        assert!(
+            theta.is_finite() && theta >= 0.0,
+            "theta must be non-negative"
+        );
         let mut probs: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(theta)).collect();
         let total: f64 = probs.iter().sum();
         for p in &mut probs {
@@ -310,7 +317,10 @@ impl Exponential {
 /// # Panics
 /// Panics on a negative or non-finite rate.
 pub fn poisson_sample(lambda: f64, rng: &mut impl Rng) -> u64 {
-    assert!(lambda.is_finite() && lambda >= 0.0, "lambda must be non-negative");
+    assert!(
+        lambda.is_finite() && lambda >= 0.0,
+        "lambda must be non-negative"
+    );
     if lambda == 0.0 {
         return 0;
     }

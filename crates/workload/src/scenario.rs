@@ -230,8 +230,7 @@ impl Scenario {
             SizeDist::Uniform => None,
             SizeDist::Pareto { shape } => {
                 let pareto = Pareto::with_mean(shape, 1.0);
-                let mut sorted_sizes: Vec<f64> =
-                    (0..n).map(|_| pareto.sample(&mut rng)).collect();
+                let mut sorted_sizes: Vec<f64> = (0..n).map(|_| pareto.sample(&mut rng)).collect();
                 sorted_sizes.sort_by(|a, b| b.partial_cmp(a).expect("sizes are finite"));
                 let sizes: Vec<f64> = match self.size_alignment {
                     SizeAlignment::AlignedWithChange => {
@@ -431,16 +430,24 @@ mod tests {
 
     #[test]
     fn problem_is_deterministic_in_seed() {
-        let a = Scenario::table2(1.0, Alignment::ShuffledChange, 7).problem().unwrap();
-        let b = Scenario::table2(1.0, Alignment::ShuffledChange, 7).problem().unwrap();
+        let a = Scenario::table2(1.0, Alignment::ShuffledChange, 7)
+            .problem()
+            .unwrap();
+        let b = Scenario::table2(1.0, Alignment::ShuffledChange, 7)
+            .problem()
+            .unwrap();
         assert_eq!(a, b);
-        let c = Scenario::table2(1.0, Alignment::ShuffledChange, 8).problem().unwrap();
+        let c = Scenario::table2(1.0, Alignment::ShuffledChange, 8)
+            .problem()
+            .unwrap();
         assert_ne!(a.change_rates(), c.change_rates());
     }
 
     #[test]
     fn aligned_puts_high_rates_on_hot_objects() {
-        let p = Scenario::table2(1.2, Alignment::Aligned, 3).problem().unwrap();
+        let p = Scenario::table2(1.2, Alignment::Aligned, 3)
+            .problem()
+            .unwrap();
         // Object 0 is hottest and must have the highest change rate.
         let rates = p.change_rates();
         assert!(rates.windows(2).all(|w| w[0] >= w[1]), "rates descending");
@@ -449,7 +456,9 @@ mod tests {
 
     #[test]
     fn reverse_puts_low_rates_on_hot_objects() {
-        let p = Scenario::table2(1.2, Alignment::Reverse, 3).problem().unwrap();
+        let p = Scenario::table2(1.2, Alignment::Reverse, 3)
+            .problem()
+            .unwrap();
         let rates = p.change_rates();
         assert!(rates.windows(2).all(|w| w[0] <= w[1]), "rates ascending");
         assert!(rank_correlation_sign(rates, p.access_probs()) < 0.0);
@@ -457,7 +466,9 @@ mod tests {
 
     #[test]
     fn shuffled_breaks_ordering() {
-        let p = Scenario::table2(1.2, Alignment::ShuffledChange, 3).problem().unwrap();
+        let p = Scenario::table2(1.2, Alignment::ShuffledChange, 3)
+            .problem()
+            .unwrap();
         let rates = p.change_rates();
         let asc = rates.windows(2).all(|w| w[0] <= w[1]);
         let desc = rates.windows(2).all(|w| w[0] >= w[1]);
@@ -537,7 +548,9 @@ mod tests {
 
     #[test]
     fn theta_zero_uniform_interest() {
-        let p = Scenario::table2(0.0, Alignment::Aligned, 1).problem().unwrap();
+        let p = Scenario::table2(0.0, Alignment::Aligned, 1)
+            .problem()
+            .unwrap();
         for &prob in p.access_probs() {
             assert!((prob - 1.0 / 500.0).abs() < 1e-12);
         }

@@ -69,7 +69,11 @@ pub fn parse_access_log(text: &str) -> Result<Vec<AccessRecord>> {
             return Err(parse_err("trailing fields in access record", idx + 1, line));
         }
         if !time.is_finite() || time < 0.0 {
-            return Err(parse_err("negative or non-finite access time", idx + 1, line));
+            return Err(parse_err(
+                "negative or non-finite access time",
+                idx + 1,
+                line,
+            ));
         }
         out.push(AccessRecord { time, element });
     }
@@ -103,7 +107,11 @@ pub fn parse_poll_log(text: &str) -> Result<Vec<PollRecord>> {
         if !time.is_finite() || time < 0.0 {
             return Err(parse_err("negative or non-finite poll time", idx + 1, line));
         }
-        out.push(PollRecord { time, element, changed });
+        out.push(PollRecord {
+            time,
+            element,
+            changed,
+        });
     }
     Ok(out)
 }
@@ -224,8 +232,14 @@ mod tests {
     #[test]
     fn access_log_roundtrip() {
         let records = vec![
-            AccessRecord { time: 0.5, element: 3 },
-            AccessRecord { time: 1.25, element: 0 },
+            AccessRecord {
+                time: 0.5,
+                element: 3,
+            },
+            AccessRecord {
+                time: 1.25,
+                element: 0,
+            },
         ];
         let text = write_access_log(&records);
         let parsed = parse_access_log(&text).unwrap();
@@ -235,8 +249,16 @@ mod tests {
     #[test]
     fn poll_log_roundtrip() {
         let records = vec![
-            PollRecord { time: 0.1, element: 1, changed: true },
-            PollRecord { time: 0.2, element: 2, changed: false },
+            PollRecord {
+                time: 0.1,
+                element: 1,
+                changed: true,
+            },
+            PollRecord {
+                time: 0.2,
+                element: 2,
+                changed: false,
+            },
         ];
         let text = write_poll_log(&records);
         assert_eq!(parse_poll_log(&text).unwrap(), records);
@@ -246,7 +268,13 @@ mod tests {
     fn parser_skips_comments_blanks_and_header() {
         let text = "# produced by logshipper\n\ntime,element\n0.5,2\n";
         let parsed = parse_access_log(text).unwrap();
-        assert_eq!(parsed, vec![AccessRecord { time: 0.5, element: 2 }]);
+        assert_eq!(
+            parsed,
+            vec![AccessRecord {
+                time: 0.5,
+                element: 2
+            }]
+        );
     }
 
     #[test]
@@ -277,7 +305,10 @@ mod tests {
         let accesses: Vec<AccessRecord> = [0, 0, 0, 0, 0, 0, 1, 1, 1, 2]
             .iter()
             .enumerate()
-            .map(|(i, &e)| AccessRecord { time: i as f64 * 0.1, element: e })
+            .map(|(i, &e)| AccessRecord {
+                time: i as f64 * 0.1,
+                element: e,
+            })
             .collect();
         let learned = learn_from_logs(3, &accesses, &[], 0.01, 1.0).unwrap();
         assert!(learned.access_probs[0] > learned.access_probs[1]);
@@ -295,10 +326,23 @@ mod tests {
         for k in 0..100 {
             let t = (k + 1) as f64 * 0.5;
             let changed = k % 5 != 0; // 80% change ratio ⇒ λ ≈ −ln(0.2)/0.5 ≈ 3.2
-            polls.push(PollRecord { time: t, element: 0, changed });
+            polls.push(PollRecord {
+                time: t,
+                element: 0,
+                changed,
+            });
         }
-        let learned = learn_from_logs(2, &[AccessRecord { time: 0.0, element: 0 }], &polls, 0.5, 9.0)
-            .unwrap();
+        let learned = learn_from_logs(
+            2,
+            &[AccessRecord {
+                time: 0.0,
+                element: 0,
+            }],
+            &polls,
+            0.5,
+            9.0,
+        )
+        .unwrap();
         let expected = -(0.2f64.ln()) / 0.5;
         assert!(
             (learned.change_rates[0] - expected).abs() < expected * 0.1,
@@ -311,9 +355,16 @@ mod tests {
 
     #[test]
     fn learn_from_logs_rejects_out_of_range_elements() {
-        let accesses = [AccessRecord { time: 0.0, element: 5 }];
+        let accesses = [AccessRecord {
+            time: 0.0,
+            element: 5,
+        }];
         assert!(learn_from_logs(3, &accesses, &[], 0.1, 1.0).is_err());
-        let polls = [PollRecord { time: 0.0, element: 7, changed: true }];
+        let polls = [PollRecord {
+            time: 0.0,
+            element: 7,
+            changed: true,
+        }];
         assert!(learn_from_logs(3, &[], &polls, 0.1, 1.0).is_err());
     }
 

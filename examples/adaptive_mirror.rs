@@ -55,7 +55,8 @@ fn main() {
         };
         let report = Simulation::new(&truth, &schedule, config)
             .expect("valid simulation")
-            .run();
+            .run()
+            .expect("simulation run");
         println!(
             "round {round}: schedule achieved PF {:.3} (access-scored {:.3})",
             report.analytic_pf,

@@ -60,7 +60,8 @@ fn main() {
         },
     )
     .expect("valid simulation")
-    .run();
+    .run()
+    .expect("simulation run");
     println!(
         "\nsimulated: analytic PF {:.3}, time-averaged {:.3}, access-scored {:.3}",
         report.analytic_pf,

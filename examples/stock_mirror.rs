@@ -43,8 +43,8 @@ fn main() {
         // Every 50th trader is a premium customer with 10x priority.
         weights.push(if trader % 50 == 0 { 10.0 } else { 1.0 });
     }
-    let master = MasterProfile::aggregate_weighted(&profiles, &weights)
-        .expect("profiles aggregate");
+    let master =
+        MasterProfile::aggregate_weighted(&profiles, &weights).expect("profiles aggregate");
     println!(
         "aggregated {} trader profiles into a master profile over {} tickers",
         master.user_count(),
@@ -84,7 +84,8 @@ fn main() {
     for (name, sol) in [("profile-aware", &pf), ("interest-blind", &gf)] {
         let report = Simulation::new(&problem, &sol.frequencies, config)
             .expect("valid simulation")
-            .run();
+            .run()
+            .expect("simulation run");
         println!(
             "simulated {name}: {:.3} of {} accesses saw a fresh quote",
             report.access_pf.unwrap_or(f64::NAN),

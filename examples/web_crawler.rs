@@ -36,7 +36,10 @@ fn main() {
         .expect("valid scenario")
         .problem()
         .expect("problem materializes");
-    println!("crawl scheduling for {n} pages, budget {} size-units/period", problem.bandwidth());
+    println!(
+        "crawl scheduling for {n} pages, budget {} size-units/period",
+        problem.bandwidth()
+    );
 
     // The scalable pipeline: 100 partitions, 5 k-means iterations, FBA.
     let start = Instant::now();
@@ -59,7 +62,9 @@ fn main() {
     // The exact solver still works here (our Lagrange scheme is O(N) per
     // probe) — but a generic NLP would not; see the solver_scaling bench.
     let start = Instant::now();
-    let exact = LagrangeSolver::default().solve(&problem).expect("exact solves");
+    let exact = LagrangeSolver::default()
+        .solve(&problem)
+        .expect("exact solves");
     let exact_time = start.elapsed();
     println!(
         "exact Lagrange solve:                         PF {:.4} in {:.2?}",

@@ -16,6 +16,7 @@
 //! | [`solver`] | exact Lagrange/KKT solver and baseline solvers |
 //! | [`heuristics`] | scalable partitioning + k-means heuristics, FFA/FBA |
 //! | [`sim`] | discrete-event simulator (source, mirror, evaluator) |
+//! | [`obs`] | zero-dependency metrics/span/trace instrumentation |
 //!
 //! ## End-to-end example
 //!
@@ -55,6 +56,7 @@ pub struct ReadmeDoctests;
 
 pub use freshen_core as core;
 pub use freshen_heuristics as heuristics;
+pub use freshen_obs as obs;
 pub use freshen_sim as sim;
 pub use freshen_solver as solver;
 pub use freshen_workload as workload;
@@ -71,6 +73,7 @@ pub mod prelude {
     pub use freshen_heuristics::allocate::AllocationPolicy;
     pub use freshen_heuristics::partition::PartitionCriterion;
     pub use freshen_heuristics::pipeline::{HeuristicConfig, HeuristicScheduler};
+    pub use freshen_obs::Recorder;
     pub use freshen_sim::{SimConfig, SimReport, Simulation};
     pub use freshen_solver::lagrange::LagrangeSolver;
     pub use freshen_solver::{solve_general_freshness, solve_perceived_freshness};

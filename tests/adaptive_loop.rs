@@ -70,7 +70,8 @@ fn learn_from_logs_then_adapt_and_verify() {
         },
     )
     .unwrap()
-    .run();
+    .run()
+    .expect("simulation run");
     let (accesses, polls) = logs_from_report(&report, horizon);
 
     // The access log round-trips through its CSV representation, exactly
@@ -90,7 +91,10 @@ fn learn_from_logs_then_adapt_and_verify() {
     // Phase 3: adaptive scheduler solves the learned problem and ignores
     // a re-observation with no drift.
     let mut scheduler = AdaptiveScheduler::new(&estimated, 0.05).unwrap();
-    assert!(!scheduler.observe(&estimated).unwrap(), "no drift, no re-solve");
+    assert!(
+        !scheduler.observe(&estimated).unwrap(),
+        "no drift, no re-solve"
+    );
     let schedule = scheduler.schedule().frequencies.clone();
 
     // Phase 4: the learned schedule performs near-optimally on the truth,
@@ -106,7 +110,8 @@ fn learn_from_logs_then_adapt_and_verify() {
         },
     )
     .unwrap()
-    .run();
+    .run()
+    .expect("simulation run");
     let achieved = verify.time_averaged_pf;
     assert!(
         achieved > optimum.perceived_freshness * 0.85,
@@ -116,12 +121,7 @@ fn learn_from_logs_then_adapt_and_verify() {
 
     // Phase 5: interest drifts hard; the monitor fires and the warm
     // re-solve matches a cold solve of the drifted problem.
-    let drifted_probs: Vec<f64> = estimated
-        .access_probs()
-        .iter()
-        .rev()
-        .copied()
-        .collect();
+    let drifted_probs: Vec<f64> = estimated.access_probs().iter().rev().copied().collect();
     let drifted = Problem::builder()
         .change_rates(estimated.change_rates().to_vec())
         .access_probs(drifted_probs)

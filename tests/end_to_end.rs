@@ -22,7 +22,8 @@ fn optimal_schedule_survives_simulation() {
         },
     )
     .unwrap()
-    .run();
+    .run()
+    .expect("simulation run");
     assert!(
         (report.time_averaged_pf - sol.perceived_freshness).abs() < 0.02,
         "simulated {} vs analytic {}",
@@ -62,7 +63,8 @@ fn heuristic_schedule_survives_simulation() {
         },
     )
     .unwrap()
-    .run();
+    .run()
+    .expect("simulation run");
     assert!(
         (report.time_averaged_pf - heuristic.solution.perceived_freshness).abs() < 0.02,
         "simulated {} vs analytic {}",
@@ -88,10 +90,12 @@ fn simulated_pf_ranks_schedules_like_analytic_pf() {
     };
     let pf_sim = Simulation::new(&problem, &pf.frequencies, config)
         .unwrap()
-        .run();
+        .run()
+        .expect("simulation run");
     let gf_sim = Simulation::new(&problem, &gf.frequencies, config)
         .unwrap()
-        .run();
+        .run()
+        .expect("simulation run");
     assert!(
         pf_sim.time_averaged_pf > gf_sim.time_averaged_pf + 0.05,
         "profile-aware {} must visibly beat interest-blind {} in simulation",

@@ -27,7 +27,8 @@ fn rates_learned_from_simulation_polls_are_accurate() {
         },
     )
     .unwrap()
-    .run();
+    .run()
+    .expect("simulation run");
     for i in 0..3 {
         let interval = 3000.0 / report.polls[i] as f64;
         let est = PollHistory::new(report.polls[i], report.polls_changed[i], interval)
@@ -62,7 +63,8 @@ fn schedule_from_estimates_close_to_true_optimum() {
         },
     )
     .unwrap()
-    .run();
+    .run()
+    .expect("simulation run");
 
     // Learn rates from polls and the profile from the request log.
     let rates: Vec<f64> = (0..n)
@@ -115,7 +117,8 @@ fn profile_estimator_converges_to_true_mix() {
         },
     )
     .unwrap()
-    .run();
+    .run()
+    .expect("simulation run");
     let total: u64 = report.access_counts.iter().sum();
     // Empirical mix of the hottest elements tracks the Zipf profile.
     for i in 0..10 {

@@ -1,0 +1,211 @@
+//! End-to-end checks of the `freshen-obs` instrumentation surface:
+//! the `--metrics-out`/`--trace-out` CLI flags, the metrics snapshot
+//! schema, the Chrome-trace export, and recorder thread safety.
+
+use freshen::prelude::*;
+use serde_json::Value;
+
+/// Drive the real CLI entry point with the given argv, returning stdout.
+fn run_cli(argv: &[&str]) -> String {
+    let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+    let mut out = Vec::new();
+    freshen_cli::run(&argv, &mut out).expect("cli command succeeds");
+    String::from_utf8(out).expect("utf8 output")
+}
+
+fn expect_object<'a>(v: &'a Value, what: &str) -> &'a Value {
+    assert!(matches!(v, Value::Object(_)), "{what} must be an object");
+    v
+}
+
+fn object_key<'a>(v: &'a Value, key: &str) -> &'a Value {
+    match v {
+        Value::Object(map) => map
+            .get(key)
+            .unwrap_or_else(|| panic!("missing key {key:?}")),
+        _ => panic!("expected object around key {key:?}"),
+    }
+}
+
+fn has_key(v: &Value, key: &str) -> bool {
+    matches!(v, Value::Object(map) if map.contains_key(key))
+}
+
+/// `freshen simulate --metrics-out --trace-out` on a Table-2 scenario
+/// writes a valid metrics snapshot (events_total, events_per_sec, pf) and
+/// a Chrome-trace JSON array.
+#[test]
+fn simulate_writes_metrics_and_trace() {
+    let dir = std::env::temp_dir().join("freshen_obs_integration");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let problem_path = dir.join("problem.json");
+    let schedule_path = dir.join("schedule.json");
+    let metrics_path = dir.join("metrics.json");
+    let trace_path = dir.join("trace.json");
+
+    let problem_json = run_cli(&[
+        "scenario",
+        "--objects",
+        "50",
+        "--updates",
+        "100",
+        "--syncs",
+        "25",
+        "--theta",
+        "0.8",
+        "--seed",
+        "7",
+    ]);
+    std::fs::write(&problem_path, &problem_json).expect("write problem");
+    let schedule_json = run_cli(&["solve", "--input", problem_path.to_str().unwrap()]);
+    std::fs::write(&schedule_path, &schedule_json).expect("write schedule");
+
+    run_cli(&[
+        "simulate",
+        "--input",
+        problem_path.to_str().unwrap(),
+        "--schedule",
+        schedule_path.to_str().unwrap(),
+        "--periods",
+        "20",
+        "--metrics-out",
+        metrics_path.to_str().unwrap(),
+        "--trace-out",
+        trace_path.to_str().unwrap(),
+    ]);
+
+    // Metrics snapshot: valid JSON with the headline keys.
+    let metrics = std::fs::read_to_string(&metrics_path).expect("metrics file written");
+    let snapshot: Value = serde_json::from_str(&metrics).expect("metrics file is valid JSON");
+    expect_object(&snapshot, "metrics snapshot");
+    let counters = object_key(&snapshot, "counters");
+    assert!(has_key(counters, "events_total"), "counter events_total");
+    assert!(has_key(counters, "sim.events.sync"), "per-type counters");
+    let gauges = object_key(&snapshot, "gauges");
+    assert!(has_key(gauges, "events_per_sec"), "gauge events_per_sec");
+    assert!(has_key(gauges, "pf"), "gauge pf");
+    let histograms = object_key(&snapshot, "histograms");
+    let queue = object_key(histograms, "sim.link_queue_depth");
+    for q in ["p50", "p95", "p99", "count"] {
+        assert!(has_key(queue, q), "queue-depth histogram reports {q}");
+    }
+
+    // Chrome-trace export: a JSON array of events with spans inside.
+    let trace = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let events: Value = serde_json::from_str(&trace).expect("trace file is valid JSON");
+    match &events {
+        Value::Array(items) => {
+            assert!(!items.is_empty(), "trace must contain events");
+            for item in items {
+                assert!(has_key(item, "name") && has_key(item, "ph") && has_key(item, "ts"));
+            }
+        }
+        _ => panic!("chrome trace must be a JSON array"),
+    }
+    assert!(trace.contains("sim.run"), "simulation span present");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The solver path surfaces iteration counters through `--metrics-out`.
+#[test]
+fn solve_metrics_include_solver_iterations() {
+    let dir = std::env::temp_dir().join("freshen_obs_solver_metrics");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let problem_path = dir.join("problem.json");
+    let metrics_path = dir.join("metrics.json");
+    let problem_json = run_cli(&[
+        "scenario",
+        "--objects",
+        "20",
+        "--updates",
+        "40",
+        "--syncs",
+        "10",
+        "--seed",
+        "3",
+    ]);
+    std::fs::write(&problem_path, &problem_json).expect("write problem");
+    run_cli(&[
+        "solve",
+        "--input",
+        problem_path.to_str().unwrap(),
+        "--metrics-out",
+        metrics_path.to_str().unwrap(),
+    ]);
+    let metrics = std::fs::read_to_string(&metrics_path).expect("metrics file written");
+    let snapshot: Value = serde_json::from_str(&metrics).expect("valid JSON");
+    let counters = object_key(&snapshot, "counters");
+    for key in ["solver.solves", "solver.outer_iters", "solver.inner_iters"] {
+        assert!(has_key(counters, key), "counter {key} present");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Hammer one recorder from many threads through the public API; totals
+/// must come out exact (no lost updates) and the export must stay valid.
+#[test]
+fn recorder_is_thread_safe_under_crossbeam_scope() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    let recorder = Recorder::enabled();
+    crossbeam::scope(|scope| {
+        for t in 0..THREADS {
+            let recorder = recorder.clone();
+            scope.spawn(move |_| {
+                let counter = recorder.counter("stress.count");
+                let gauge = recorder.gauge("stress.level");
+                let histogram = recorder.histogram("stress.value", &[1.0, 10.0, 100.0]);
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    gauge.set(t as f64);
+                    histogram.observe((i % 128) as f64);
+                }
+            });
+        }
+    })
+    .expect("no worker panicked");
+    assert_eq!(
+        recorder.counter_value("stress.count"),
+        Some(THREADS as u64 * PER_THREAD)
+    );
+    let level = recorder.gauge_value("stress.level").expect("gauge set");
+    assert!(level >= 0.0 && level < THREADS as f64);
+    let metrics = recorder.metrics_json().expect("export succeeds");
+    assert!(metrics.contains("\"stress.count\""));
+}
+
+/// The simulator result is byte-identical with and without recording —
+/// instrumentation must never perturb the experiment.
+#[test]
+fn instrumented_simulation_matches_plain_run() {
+    let scenario = Scenario::builder()
+        .num_objects(40)
+        .updates_per_period(80.0)
+        .syncs_per_period(20.0)
+        .zipf_theta(0.8)
+        .alignment(Alignment::ShuffledChange)
+        .seed(11)
+        .build()
+        .unwrap();
+    let problem = scenario.problem().unwrap();
+    let schedule = LagrangeSolver::default().solve(&problem).unwrap();
+    let config = SimConfig {
+        periods: 30.0,
+        ..Default::default()
+    };
+    let plain = Simulation::new(&problem, &schedule.frequencies, config)
+        .unwrap()
+        .run()
+        .unwrap();
+    let recorder = Recorder::enabled();
+    let observed = Simulation::new(&problem, &schedule.frequencies, config)
+        .unwrap()
+        .with_recorder(recorder.clone())
+        .run()
+        .unwrap();
+    assert_eq!(plain.time_averaged_pf, observed.time_averaged_pf);
+    assert_eq!(plain.syncs, observed.syncs);
+    let total = recorder.counter_value("events_total").expect("counted");
+    assert!(total > 0);
+}

@@ -6,7 +6,11 @@ use freshen::prelude::*;
 
 #[test]
 fn pf_equals_gf_at_zero_skew() {
-    for alignment in [Alignment::Aligned, Alignment::Reverse, Alignment::ShuffledChange] {
+    for alignment in [
+        Alignment::Aligned,
+        Alignment::Reverse,
+        Alignment::ShuffledChange,
+    ] {
         let problem = Scenario::table2(0.0, alignment, 1).problem().unwrap();
         let pf = solve_perceived_freshness(&problem).unwrap();
         let gf = solve_general_freshness(&problem).unwrap();
@@ -19,7 +23,11 @@ fn pf_equals_gf_at_zero_skew() {
 
 #[test]
 fn pf_dominates_gf_across_the_sweep() {
-    for alignment in [Alignment::Aligned, Alignment::Reverse, Alignment::ShuffledChange] {
+    for alignment in [
+        Alignment::Aligned,
+        Alignment::Reverse,
+        Alignment::ShuffledChange,
+    ] {
         for theta in [0.4, 0.8, 1.2, 1.6] {
             for seed in [1, 2] {
                 let problem = Scenario::table2(theta, alignment, seed).problem().unwrap();
@@ -60,7 +68,9 @@ fn pf_increases_with_skew_for_pf_technique() {
 fn gf_collapses_in_aligned_case_at_high_skew() {
     // Figure 3(b)'s most significant difference: "perceived freshness
     // approaches 0 for high interest skew when user interest is ignored".
-    let problem = Scenario::table2(1.6, Alignment::Aligned, 7).problem().unwrap();
+    let problem = Scenario::table2(1.6, Alignment::Aligned, 7)
+        .problem()
+        .unwrap();
     let pf = solve_perceived_freshness(&problem).unwrap();
     let gf = solve_general_freshness(&problem).unwrap();
     assert!(
@@ -80,7 +90,9 @@ fn gf_still_wins_on_its_own_metric() {
     // Sanity: the GF technique is optimal for *average* freshness, so it
     // must beat the PF schedule there — the two objectives genuinely trade
     // off.
-    let problem = Scenario::table2(1.2, Alignment::Aligned, 7).problem().unwrap();
+    let problem = Scenario::table2(1.2, Alignment::Aligned, 7)
+        .problem()
+        .unwrap();
     let pf = solve_perceived_freshness(&problem).unwrap();
     let gf = solve_general_freshness(&problem).unwrap();
     assert!(
@@ -103,10 +115,19 @@ fn baselines_are_dominated_too() {
             .perceived_freshness;
         let uni = solve_uniform(&problem).perceived_freshness;
         let prop = solve_proportional(&problem).perceived_freshness;
-        assert!(opt >= uni - 1e-9, "θ={theta}: optimal {opt} vs uniform {uni}");
-        assert!(opt >= prop - 1e-9, "θ={theta}: optimal {opt} vs proportional {prop}");
+        assert!(
+            opt >= uni - 1e-9,
+            "θ={theta}: optimal {opt} vs uniform {uni}"
+        );
+        assert!(
+            opt >= prop - 1e-9,
+            "θ={theta}: optimal {opt} vs proportional {prop}"
+        );
         // Change-proportional is a notoriously bad policy here: it pours
         // bandwidth into hopeless volatiles.
-        assert!(prop < uni + 0.05, "θ={theta}: proportional should not shine");
+        assert!(
+            prop < uni + 0.05,
+            "θ={theta}: proportional should not shine"
+        );
     }
 }

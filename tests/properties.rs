@@ -1,9 +1,7 @@
 //! Property-based tests (proptest) of the core invariants, spanning the
 //! freshness model, the exact solver, the heuristics, and the projection.
 
-use freshen::core::freshness::{
-    freshness_gradient, perceived_freshness, steady_state_freshness,
-};
+use freshen::core::freshness::{freshness_gradient, perceived_freshness, steady_state_freshness};
 use freshen::core::schedule::{FixedOrderSchedule, ScheduleStream};
 use freshen::heuristics::partition::{PartitionCriterion, Partitioning};
 use freshen::heuristics::{AllocationPolicy, HeuristicConfig, HeuristicScheduler};

@@ -195,7 +195,8 @@ fn sized_simulation_agrees_with_analytic() {
         },
     )
     .unwrap()
-    .run();
+    .run()
+    .expect("simulation run");
     assert!(
         (report.time_averaged_pf - sol.perceived_freshness).abs() < 0.02,
         "simulated {} vs analytic {}",

@@ -47,9 +47,15 @@ fn table1_reverse_profile_matches_paper() {
 fn table1_aligned_profile_exact_identity() {
     // When pᵢ ∝ λᵢ the optimum is exactly fᵢ = B·pᵢ (row (c)'s pattern).
     let probs: Vec<f64> = (1..=5).map(|i| i as f64 / 15.0).collect();
-    let sol = LagrangeSolver::default().solve(&toy(probs.clone())).unwrap();
+    let sol = LagrangeSolver::default()
+        .solve(&toy(probs.clone()))
+        .unwrap();
     for (f, p) in sol.frequencies.iter().zip(&probs) {
-        assert!((f - 5.0 * p).abs() < 1e-4, "f = B·p identity violated: {f} vs {}", 5.0 * p);
+        assert!(
+            (f - 5.0 * p).abs() < 1e-4,
+            "f = B·p identity violated: {f} vs {}",
+            5.0 * p
+        );
     }
 }
 
