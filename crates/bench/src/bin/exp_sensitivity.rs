@@ -1,5 +1,5 @@
 //! **Sensitivity study** — the paper (§2.2.2) defers its parameter
-//! sensitivity analysis to the companion technical report [2]; this binary
+//! sensitivity analysis to the companion technical report \[2\]; this binary
 //! reconstructs it for the two knobs that matter:
 //!
 //! * `UpdateStdDev` (σ of the change-rate Gamma): more heterogeneous

@@ -1,10 +1,15 @@
-//! The five subcommands: scenario, solve, heuristic, simulate, timetable.
+//! The subcommands: scenario, solve, heuristic, simulate, timetable,
+//! estimate, engine.
 
 use std::io::Write;
 
 use freshen_core::policy::SyncPolicy;
 use freshen_core::problem::{Problem, Solution};
 use freshen_core::schedule::FixedOrderSchedule;
+use freshen_engine::{
+    Engine, EngineConfig, EstimatorKind, LiveAccessStream, LivePollSource, PollSource,
+    ReplayPollSource, ResolvePolicy,
+};
 use freshen_heuristics::{
     AllocationPolicy, HeuristicConfig, HeuristicScheduler, PartitionCriterion,
 };
@@ -274,6 +279,149 @@ pub fn cmd_estimate(args: &crate::ParsedArgs, out: &mut dyn Write) -> Result<(),
     write_json(&problem, out)
 }
 
+/// `freshen engine` — run the online freshening runtime over a recorded
+/// trace (`--trace`/`--polls`) or a live simulated workload (`--live`).
+pub fn cmd_engine(args: &crate::ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
+    args.expect_only(&[
+        "trace",
+        "polls",
+        "elements",
+        "bandwidth",
+        "live",
+        "access-rate",
+        "epochs",
+        "epoch-len",
+        "warmup",
+        "drift-threshold",
+        "policy",
+        "estimator",
+        "gain",
+        "window",
+        "smoothing",
+        "fallback-rate",
+        "budget-factor",
+        "max-backlog",
+        "failure-rate",
+        "max-retries",
+        "retry-backoff",
+        "seed",
+        "report-out",
+        "metrics-out",
+        "trace-out",
+    ])?;
+    let (recorder, metrics, trace_out) = obs_recorder(args);
+
+    let defaults = EngineConfig::default();
+    let estimator = match args.get("estimator") {
+        None | Some("ewma") => EstimatorKind::Ewma {
+            gain: args.parsed_or("gain", 0.1)?,
+        },
+        Some("window") => EstimatorKind::Window {
+            len: args.parsed_or("window", 8usize)?,
+        },
+        Some(other) => return Err(format!("unknown estimator `{other}` (ewma|window)")),
+    };
+    let resolve_policy = match args.get("policy") {
+        None | Some("drift") => ResolvePolicy::DriftGated,
+        Some("oracle") => ResolvePolicy::EveryEpoch,
+        Some(other) => return Err(format!("unknown policy `{other}` (drift|oracle)")),
+    };
+    let config = EngineConfig {
+        epochs: args.parsed_or("epochs", defaults.epochs)?,
+        epoch_len: args.parsed_or("epoch-len", defaults.epoch_len)?,
+        warmup_epochs: args.parsed_or("warmup", defaults.warmup_epochs)?,
+        drift_threshold: args.parsed_or("drift-threshold", defaults.drift_threshold)?,
+        resolve_policy,
+        estimator,
+        smoothing: args.parsed_or("smoothing", defaults.smoothing)?,
+        fallback_rate: args.parsed_or("fallback-rate", defaults.fallback_rate)?,
+        budget_factor: args.parsed_or("budget-factor", defaults.budget_factor)?,
+        max_backlog: args.parsed_or("max-backlog", defaults.max_backlog)?,
+        failure_rate: args.parsed_or("failure-rate", defaults.failure_rate)?,
+        max_retries: args.parsed_or("max-retries", defaults.max_retries)?,
+        retry_backoff: args.parsed_or("retry-backoff", defaults.retry_backoff)?,
+        seed: args.parsed_or("seed", defaults.seed)?,
+        ..defaults
+    };
+
+    let report = match (args.get("trace"), args.get("live")) {
+        (Some(_), Some(_)) => {
+            return Err("--trace and --live are mutually exclusive".into());
+        }
+        (Some(access_path), None) => {
+            // Trace replay: streaming access reader (O(1) memory), poll
+            // outcomes grouped per element.
+            let n: usize = args.require_parsed("elements")?;
+            let bandwidth: f64 = args.require_parsed("bandwidth")?;
+            let file = std::fs::File::open(access_path)
+                .map_err(|e| format!("cannot read access log `{access_path}`: {e}"))?;
+            let accesses =
+                freshen_workload::trace::AccessLogReader::new(std::io::BufReader::new(file));
+            let polls = match args.get("polls") {
+                None => Vec::new(),
+                Some(path) => {
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| format!("cannot read poll log `{path}`: {e}"))?;
+                    freshen_workload::trace::parse_poll_log(&text).map_err(|e| e.to_string())?
+                }
+            };
+            let prior = Problem::builder()
+                .change_rates(vec![config.fallback_rate; n])
+                .access_weights(vec![1.0; n])
+                .bandwidth(bandwidth)
+                .build()
+                .map_err(|e| e.to_string())?;
+            let mut source = ReplayPollSource::new(n, &polls).map_err(|e| e.to_string())?;
+            run_engine(&prior, config, accesses, &mut source, recorder.clone())?
+        }
+        (None, Some(problem_path)) => {
+            // Live mode: the problem file supplies the ground truth the
+            // engine must discover through its own polls and accesses.
+            let problem = read_problem(problem_path)?;
+            let access_rate: f64 = args.parsed_or("access-rate", 100.0)?;
+            let horizon = config.horizon();
+            let accesses = LiveAccessStream::new(
+                problem.access_probs(),
+                access_rate,
+                config.seed ^ 0xACCE55,
+                horizon,
+            );
+            let mut source =
+                LivePollSource::new(problem.change_rates(), config.seed ^ 0x50_11, horizon)
+                    .map_err(|e| e.to_string())?;
+            run_engine(&problem, config, accesses, &mut source, recorder.clone())?
+        }
+        (None, None) => {
+            return Err("one of --trace or --live is required".into());
+        }
+    };
+
+    write_obs_outputs(&recorder, metrics, trace_out)?;
+    let json = report.to_json();
+    match args.get("report-out") {
+        Some(path) => std::fs::write(path, &json)
+            .map_err(|e| format!("cannot write report file `{path}`: {e}")),
+        None => out.write_all(json.as_bytes()).map_err(|e| e.to_string()),
+    }
+}
+
+fn run_engine<I>(
+    prior: &Problem,
+    config: EngineConfig,
+    accesses: I,
+    source: &mut dyn PollSource,
+    recorder: Recorder,
+) -> Result<freshen_engine::EngineReport, String>
+where
+    I: IntoIterator<Item = freshen_core::error::Result<freshen_workload::trace::AccessRecord>>,
+{
+    Engine::new(prior, config)
+        .map_err(|e| e.to_string())?
+        .with_recorder(recorder)
+        .run(accesses, source)
+        .map_err(|e| e.to_string())
+}
+
 /// `freshen timetable` — expand a schedule into concrete sync instants.
 pub fn cmd_timetable(args: &crate::ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
     args.expect_only(&["input", "schedule", "horizon"])?;
@@ -532,6 +680,136 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("line 1"), "{err}");
+    }
+
+    fn write_engine_trace(dir: &std::path::Path) -> (std::path::PathBuf, std::path::PathBuf) {
+        let access = dir.join("engine_access.csv");
+        let mut access_lines = String::from("time,element\n");
+        for k in 0..200 {
+            let _ = std::fmt::Write::write_fmt(
+                &mut access_lines,
+                format_args!("{:.3},{}\n", k as f64 * 0.05, [0, 0, 0, 1, 2][k % 5]),
+            );
+        }
+        std::fs::write(&access, access_lines).unwrap();
+        let polls = dir.join("engine_polls.csv");
+        let mut poll_lines = String::from("time,element,changed\n");
+        for k in 0..60 {
+            let _ = std::fmt::Write::write_fmt(
+                &mut poll_lines,
+                format_args!(
+                    "{:.3},{},{}\n",
+                    k as f64 * 0.15,
+                    k % 3,
+                    u8::from(k % 2 == 0)
+                ),
+            );
+        }
+        std::fs::write(&polls, poll_lines).unwrap();
+        (access, polls)
+    }
+
+    #[test]
+    fn engine_trace_mode_runs_and_is_deterministic() {
+        let dir = tmpdir();
+        let (access, polls) = write_engine_trace(&dir);
+        let args = |seed: &str| {
+            parsed(&[
+                "--trace",
+                access.to_str().unwrap(),
+                "--polls",
+                polls.to_str().unwrap(),
+                "--elements",
+                "3",
+                "--bandwidth",
+                "6.0",
+                "--epochs",
+                "10",
+                "--warmup",
+                "2",
+                "--failure-rate",
+                "0.1",
+                "--seed",
+                seed,
+            ])
+        };
+        let run = |args: &ParsedArgs| {
+            let mut buf = Vec::new();
+            cmd_engine(args, &mut buf).unwrap();
+            String::from_utf8(buf).unwrap()
+        };
+        let first = run(&args("5"));
+        assert!(first.contains("\"realized_pf\""));
+        assert!(first.contains("\"epochs\""));
+        assert_eq!(first, run(&args("5")), "same trace + seed ⇒ same bytes");
+        assert_ne!(first, run(&args("6")), "seed changes failure injection");
+    }
+
+    #[test]
+    fn engine_writes_report_and_metrics_files() {
+        let dir = tmpdir();
+        let (access, polls) = write_engine_trace(&dir);
+        let report_path = dir.join("engine_report.json");
+        let metrics_path = dir.join("engine_metrics.json");
+        let mut buf = Vec::new();
+        cmd_engine(
+            &parsed(&[
+                "--trace",
+                access.to_str().unwrap(),
+                "--polls",
+                polls.to_str().unwrap(),
+                "--elements",
+                "3",
+                "--bandwidth",
+                "6.0",
+                "--epochs",
+                "8",
+                "--warmup",
+                "1",
+                "--estimator",
+                "window",
+                "--window",
+                "6",
+                "--report-out",
+                report_path.to_str().unwrap(),
+                "--metrics-out",
+                metrics_path.to_str().unwrap(),
+            ]),
+            &mut buf,
+        )
+        .unwrap();
+        assert!(buf.is_empty(), "--report-out redirects the report");
+        let report = std::fs::read_to_string(&report_path).unwrap();
+        assert!(report.contains("\"resolves\""));
+        let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(metrics.contains("engine.dispatch_latency"));
+    }
+
+    #[test]
+    fn engine_requires_exactly_one_mode() {
+        let mut buf = Vec::new();
+        let err = cmd_engine(&parsed(&[]), &mut buf).unwrap_err();
+        assert!(err.contains("--trace or --live"), "{err}");
+        let err =
+            cmd_engine(&parsed(&["--trace", "a.csv", "--live", "p.json"]), &mut buf).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn engine_rejects_unknown_estimator_and_policy() {
+        let mut buf = Vec::new();
+        let err = cmd_engine(
+            &parsed(&["--trace", "a.csv", "--estimator", "magic"]),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(err.contains("magic"));
+        let err = cmd_engine(
+            &parsed(&["--trace", "a.csv", "--policy", "sometimes"]),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(err.contains("sometimes"));
     }
 
     #[test]

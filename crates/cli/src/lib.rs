@@ -21,6 +21,7 @@
 //! | `simulate` | run the discrete-event simulator on a schedule |
 //! | `timetable` | expand a schedule into concrete sync instants (CSV) |
 //! | `estimate` | learn a problem from access/poll logs (the §7 loop) |
+//! | `engine` | run the online runtime: streaming estimation + drift-gated re-solves |
 //!
 //! Argument parsing is hand-rolled (`--key value` pairs) to keep the
 //! dependency footprint at zero beyond serde.
@@ -49,6 +50,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), String> {
         "simulate" => commands::cmd_simulate(&parsed, out),
         "timetable" => commands::cmd_timetable(&parsed, out),
         "estimate" => commands::cmd_estimate(&parsed, out),
+        "engine" => commands::cmd_engine(&parsed, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}").map_err(|e| e.to_string())?;
             Ok(())
@@ -79,6 +81,14 @@ USAGE:
   freshen timetable --input problem.json --schedule schedule.json --horizon H
   freshen estimate  --elements N --bandwidth B --accesses access_log.csv
                     [--polls poll_log.csv] [--smoothing A] [--fallback-rate R]
+  freshen engine    (--trace access.csv [--polls poll.csv] --elements N --bandwidth B
+                     | --live problem.json [--access-rate R])
+                    [--epochs E] [--epoch-len L] [--warmup W] [--drift-threshold D]
+                    [--policy drift|oracle] [--estimator ewma|window] [--gain G] [--window K]
+                    [--failure-rate F] [--max-retries R] [--retry-backoff T]
+                    [--budget-factor C] [--max-backlog M] [--seed S]
+                    [--report-out report.json] [--metrics-out metrics.json]
+                    [--trace-out trace.json]
   freshen help";
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 //!
 //! The paper assumes "it is possible to obtain the number of updates to an
 //! element over some time period", citing Cho & Garcia-Molina's estimation
-//! work (its ref [4]) for how a poller can estimate a Poisson change rate
+//! work (its ref \[4\]) for how a poller can estimate a Poisson change rate
 //! from *incomplete* observations: each poll only reveals **whether** the
 //! element changed since the previous poll, not how many times.
 //!
@@ -191,6 +191,246 @@ impl ChangeRateEstimator {
     }
 }
 
+/// Floor applied to online rate estimates so downstream [`Problem`]
+/// builders (which require strictly positive change rates) never see an
+/// exact zero.
+///
+/// [`Problem`]: crate::problem::Problem
+const RATE_FLOOR: f64 = 1e-9;
+
+/// Cap applied to online rate estimates: a run of all-changed polls over a
+/// vanishing interval must not blow the estimate out to infinity.
+const RATE_CAP: f64 = 1e9;
+
+/// Recursive (constant-gain stochastic-approximation) online change-rate
+/// estimator, following Avrachenkov, Patil & Thoppe's online estimators
+/// for web-page change rates.
+///
+/// Each poll of element `i` after interval `τ` reveals the Bernoulli
+/// indicator `I = 1{changed}` with `E[I] = 1 − e^{−λᵢτ}`. The estimator
+/// performs one stochastic-approximation step toward the root of that
+/// moment equation:
+///
+/// ```text
+/// λ̂ ← λ̂ + (g/τ) · (I − (1 − e^{−λ̂τ}))
+/// ```
+///
+/// With a constant gain `g ∈ (0, 1]` this is the recursive analogue of an
+/// exponentially weighted moving average: the fixed point is the true rate
+/// and old observations decay geometrically, so the estimate *tracks* a
+/// drifting λ instead of averaging over its whole history. The `1/τ`
+/// scaling keeps the step size in rate units, making convergence speed
+/// first-order independent of the polling interval.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EwmaRateEstimator {
+    rates: Vec<f64>,
+    seen: Vec<u64>,
+    gain: f64,
+}
+
+impl EwmaRateEstimator {
+    /// Create an estimator over `n` elements with step `gain ∈ (0, 1]`,
+    /// starting every element at the `prior` rate (e.g. the fleet-wide
+    /// mean).
+    pub fn new(n: usize, gain: f64, prior: f64) -> Result<Self> {
+        if n == 0 {
+            return Err(CoreError::Empty);
+        }
+        if !gain.is_finite() || gain <= 0.0 || gain > 1.0 {
+            return Err(CoreError::InvalidValue {
+                what: "estimator gain",
+                index: None,
+                value: gain,
+            });
+        }
+        if !prior.is_finite() || prior <= 0.0 {
+            return Err(CoreError::InvalidValue {
+                what: "prior change rate",
+                index: None,
+                value: prior,
+            });
+        }
+        Ok(EwmaRateEstimator {
+            rates: vec![prior; n],
+            seen: vec![0; n],
+            gain,
+        })
+    }
+
+    /// Number of elements tracked.
+    pub fn len(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// True when tracking zero elements (unreachable via `new`).
+    pub fn is_empty(&self) -> bool {
+        self.rates.is_empty()
+    }
+
+    /// Fold in one poll outcome: `element` was polled `interval` periods
+    /// after its previous poll and `changed` says whether new content was
+    /// found.
+    pub fn observe(&mut self, element: usize, interval: f64, changed: bool) -> Result<()> {
+        if element >= self.rates.len() {
+            return Err(CoreError::InvalidValue {
+                what: "estimator element",
+                index: Some(element),
+                value: element as f64,
+            });
+        }
+        if !interval.is_finite() || interval <= 0.0 {
+            return Err(CoreError::InvalidValue {
+                what: "poll interval",
+                index: Some(element),
+                value: interval,
+            });
+        }
+        let lambda = self.rates[element];
+        let expected = 1.0 - (-lambda * interval).exp();
+        let indicator = f64::from(changed);
+        let step = self.gain / interval * (indicator - expected);
+        self.rates[element] = (lambda + step).clamp(RATE_FLOOR, RATE_CAP);
+        self.seen[element] += 1;
+        Ok(())
+    }
+
+    /// Current rate estimate for one element.
+    ///
+    /// # Panics
+    /// Panics when `element` is out of range.
+    pub fn rate(&self, element: usize) -> f64 {
+        self.rates[element]
+    }
+
+    /// Polls folded in for one element so far.
+    ///
+    /// # Panics
+    /// Panics when `element` is out of range.
+    pub fn observations(&self, element: usize) -> u64 {
+        self.seen[element]
+    }
+
+    /// Current rate estimates for all elements. The `fallback` replaces
+    /// the prior for elements never polled, mirroring
+    /// [`ChangeRateEstimator::rates`].
+    pub fn rates(&self, fallback: f64) -> Vec<f64> {
+        self.rates
+            .iter()
+            .zip(&self.seen)
+            .map(|(&r, &n)| if n == 0 { fallback } else { r })
+            .collect()
+    }
+}
+
+/// Sliding-window online change-rate estimator: keeps the last `window`
+/// poll outcomes per element and re-runs Cho & Garcia-Molina's
+/// bias-reduced estimator over them, using the window's mean interval.
+///
+/// Compared to [`EwmaRateEstimator`] the window forgets *sharply* rather
+/// than geometrically: after `window` polls a rate change is fully
+/// reflected, at the cost of `O(window)` memory per element.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WindowRateEstimator {
+    window: usize,
+    // Per element: ring of (interval, changed) pairs, newest last.
+    intervals: Vec<std::collections::VecDeque<f64>>,
+    changes: Vec<std::collections::VecDeque<bool>>,
+}
+
+impl WindowRateEstimator {
+    /// Create an estimator over `n` elements remembering the last
+    /// `window ≥ 1` polls each.
+    pub fn new(n: usize, window: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(CoreError::Empty);
+        }
+        if window == 0 {
+            return Err(CoreError::InvalidConfig(
+                "sliding window needs at least one slot".into(),
+            ));
+        }
+        Ok(WindowRateEstimator {
+            window,
+            intervals: vec![std::collections::VecDeque::with_capacity(window); n],
+            changes: vec![std::collections::VecDeque::with_capacity(window); n],
+        })
+    }
+
+    /// Number of elements tracked.
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// True when tracking zero elements (unreachable via `new`).
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Fold in one poll outcome, evicting the oldest once the window is
+    /// full.
+    pub fn observe(&mut self, element: usize, interval: f64, changed: bool) -> Result<()> {
+        if element >= self.intervals.len() {
+            return Err(CoreError::InvalidValue {
+                what: "estimator element",
+                index: Some(element),
+                value: element as f64,
+            });
+        }
+        if !interval.is_finite() || interval <= 0.0 {
+            return Err(CoreError::InvalidValue {
+                what: "poll interval",
+                index: Some(element),
+                value: interval,
+            });
+        }
+        if self.intervals[element].len() == self.window {
+            self.intervals[element].pop_front();
+            self.changes[element].pop_front();
+        }
+        self.intervals[element].push_back(interval);
+        self.changes[element].push_back(changed);
+        Ok(())
+    }
+
+    /// Bias-reduced rate estimate over one element's window, or `fallback`
+    /// when it has never been polled.
+    ///
+    /// # Panics
+    /// Panics when `element` is out of range.
+    pub fn rate(&self, element: usize, fallback: f64) -> f64 {
+        let n = self.intervals[element].len() as u64;
+        if n == 0 {
+            return fallback;
+        }
+        let x = self.changes[element].iter().filter(|&&c| c).count() as u64;
+        let mean_interval =
+            self.intervals[element].iter().sum::<f64>() / self.intervals[element].len() as f64;
+        let estimate = PollHistory {
+            polls: n,
+            changes_detected: x,
+            interval: mean_interval,
+        }
+        .estimate_bias_reduced();
+        estimate.clamp(RATE_FLOOR, RATE_CAP)
+    }
+
+    /// Polls currently inside one element's window.
+    ///
+    /// # Panics
+    /// Panics when `element` is out of range.
+    pub fn observations(&self, element: usize) -> u64 {
+        self.intervals[element].len() as u64
+    }
+
+    /// Rate estimates for all elements (never-polled elements get
+    /// `fallback`).
+    pub fn rates(&self, fallback: f64) -> Vec<f64> {
+        (0..self.intervals.len())
+            .map(|i| self.rate(i, fallback))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -293,5 +533,123 @@ mod tests {
     fn batch_estimator_validation() {
         assert!(ChangeRateEstimator::new(0, 1.0).is_err());
         assert!(ChangeRateEstimator::new(3, -1.0).is_err());
+    }
+
+    /// Deterministic synthetic poll feed: polls at fixed `interval`
+    /// against a true Poisson rate, with change indicators drawn from the
+    /// exact detection probability via a fixed low-discrepancy sequence.
+    fn feed_polls(observe: &mut dyn FnMut(f64, bool), true_rate: f64, interval: f64, polls: usize) {
+        let p_change = 1.0 - (-true_rate * interval).exp();
+        for k in 0..polls {
+            // Weyl sequence: equidistributed in [0,1), no RNG needed.
+            let u = ((k as f64 + 0.5) * 0.618_033_988_749_894_9).fract();
+            observe(interval, u < p_change);
+        }
+    }
+
+    #[test]
+    fn ewma_estimator_converges_to_true_rate() {
+        let mut e = EwmaRateEstimator::new(1, 0.05, 1.0).unwrap();
+        feed_polls(&mut |i, c| e.observe(0, i, c).unwrap(), 3.0, 0.25, 4000);
+        let est = e.rate(0);
+        assert!((est - 3.0).abs() < 0.45, "estimated {est}, want ≈3");
+        assert_eq!(e.observations(0), 4000);
+    }
+
+    #[test]
+    fn ewma_estimator_tracks_a_rate_shift() {
+        let mut e = EwmaRateEstimator::new(1, 0.05, 2.0).unwrap();
+        feed_polls(&mut |i, c| e.observe(0, i, c).unwrap(), 2.0, 0.5, 2000);
+        let before = e.rate(0);
+        // The source speeds up 3x; the constant gain forgets the old
+        // regime geometrically.
+        feed_polls(&mut |i, c| e.observe(0, i, c).unwrap(), 6.0, 0.5, 2000);
+        let after = e.rate(0);
+        assert!(before < 3.0, "pre-shift estimate {before}");
+        assert!(after > 4.0, "post-shift estimate {after} must move up");
+    }
+
+    #[test]
+    fn ewma_estimator_fallback_and_validation() {
+        let e = EwmaRateEstimator::new(2, 0.1, 5.0).unwrap();
+        assert_eq!(e.rates(7.0), vec![7.0, 7.0], "unpolled gets fallback");
+        assert!(EwmaRateEstimator::new(0, 0.1, 1.0).is_err());
+        assert!(EwmaRateEstimator::new(2, 0.0, 1.0).is_err());
+        assert!(EwmaRateEstimator::new(2, 1.5, 1.0).is_err());
+        assert!(EwmaRateEstimator::new(2, 0.1, 0.0).is_err());
+        let mut e = EwmaRateEstimator::new(2, 0.1, 1.0).unwrap();
+        assert!(e.observe(5, 1.0, true).is_err(), "out of range");
+        assert!(e.observe(0, 0.0, true).is_err(), "bad interval");
+        assert!(e.observe(0, f64::NAN, true).is_err());
+    }
+
+    #[test]
+    fn ewma_estimator_stays_positive_and_finite() {
+        let mut e = EwmaRateEstimator::new(1, 1.0, 1.0).unwrap();
+        // Pathological feed: all-changed at tiny intervals, then
+        // all-unchanged — the clamp keeps the estimate in (0, RATE_CAP].
+        for _ in 0..100 {
+            e.observe(0, 1e-9, true).unwrap();
+        }
+        assert!(e.rate(0) <= RATE_CAP && e.rate(0) > 0.0);
+        for _ in 0..100 {
+            e.observe(0, 1e-9, false).unwrap();
+        }
+        assert!(e.rate(0) >= RATE_FLOOR);
+    }
+
+    #[test]
+    fn window_estimator_converges_to_true_rate() {
+        let mut e = WindowRateEstimator::new(1, 512).unwrap();
+        feed_polls(&mut |i, c| e.observe(0, i, c).unwrap(), 3.0, 0.25, 1000);
+        let est = e.rate(0, 99.0);
+        assert!((est - 3.0).abs() < 0.4, "estimated {est}, want ≈3");
+        assert_eq!(e.observations(0), 512, "window caps retained polls");
+    }
+
+    #[test]
+    fn window_estimator_forgets_old_regime_completely() {
+        let mut e = WindowRateEstimator::new(1, 200).unwrap();
+        feed_polls(&mut |i, c| e.observe(0, i, c).unwrap(), 8.0, 0.25, 400);
+        // Fill the entire window with the slow regime: the old fast
+        // regime must have zero influence left.
+        feed_polls(&mut |i, c| e.observe(0, i, c).unwrap(), 1.0, 0.25, 200);
+        let est = e.rate(0, 99.0);
+        assert!((est - 1.0).abs() < 0.3, "estimated {est}, want ≈1");
+    }
+
+    #[test]
+    fn window_estimator_fallback_and_validation() {
+        let e = WindowRateEstimator::new(3, 10).unwrap();
+        assert_eq!(e.rates(4.0), vec![4.0, 4.0, 4.0]);
+        assert!(WindowRateEstimator::new(0, 10).is_err());
+        assert!(WindowRateEstimator::new(3, 0).is_err());
+        let mut e = WindowRateEstimator::new(3, 10).unwrap();
+        assert!(e.observe(9, 1.0, true).is_err());
+        assert!(e.observe(0, -1.0, true).is_err());
+    }
+
+    #[test]
+    fn online_estimators_agree_with_batch_in_steady_state() {
+        // Same regular feed into the batch and both online estimators:
+        // everything should land near the same bias-reduced answer.
+        let mut batch = ChangeRateEstimator::new(1, 0.5).unwrap();
+        let mut ewma = EwmaRateEstimator::new(1, 0.02, 2.0).unwrap();
+        let mut window = WindowRateEstimator::new(1, 1000).unwrap();
+        feed_polls(
+            &mut |i, c| {
+                batch.record_poll(0, c);
+                ewma.observe(0, i, c).unwrap();
+                window.observe(0, i, c).unwrap();
+            },
+            2.0,
+            0.5,
+            1000,
+        );
+        let b = batch.rates(0.0)[0];
+        let e = ewma.rate(0);
+        let w = window.rate(0, 0.0);
+        assert!((b - w).abs() < 0.05, "batch {b} vs window {w}");
+        assert!((b - e).abs() < 0.4, "batch {b} vs ewma {e}");
     }
 }

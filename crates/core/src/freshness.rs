@@ -1,6 +1,6 @@
 //! The Fixed-Order freshness formula and the perceived-freshness metric.
 //!
-//! Following Cho & Garcia-Molina (SIGMOD 2000) — the paper's ref [5] — an
+//! Following Cho & Garcia-Molina (SIGMOD 2000) — the paper's ref \[5\] — an
 //! element whose source copy changes as a Poisson process with rate `λ`
 //! (changes per period) and which the mirror refreshes `f` times per period
 //! at *evenly spaced* instants (the **Fixed-Order** policy) has

@@ -26,7 +26,7 @@
 //!   Fixed-Order timetable of sync operations;
 //! * [`estimate`] — estimating per-object change frequencies from observed
 //!   poll history (the paper assumes these estimates exist; we build the
-//!   estimator of its ref [4]);
+//!   estimator of its ref \[4\]);
 //! * [`selection`] — the paper's §7 future-work extension: choosing *which*
 //!   objects to mirror when the mirror is smaller than the database;
 //! * [`access`] — access sets/logs and the empirical perceived-freshness

@@ -1,0 +1,535 @@
+//! Bandwidth-budgeted priority-queue poll dispatcher.
+//!
+//! Each epoch the active schedule's frequencies accrue *poll credit* per
+//! element (`fᵢ · epoch_len`, carrying fractions across epochs). Whole
+//! credits become poll requests, ordered by a priority key — the engine
+//! passes `p̂ᵢ · λ̂ᵢ`, the marginal value density of refreshing `i` — and
+//! admitted greedily until the epoch's bandwidth budget is spent.
+//!
+//! Degradation is graceful and explicit:
+//!
+//! * requests beyond the budget are **deferred** — their credit survives
+//!   into the next epoch, where they compete again (the element is served
+//!   stale meanwhile);
+//! * backlog beyond [`max_backlog`] polls is **shed** so a persistently
+//!   saturated budget degrades to a lower steady-state poll rate instead
+//!   of an unbounded queue;
+//! * failed poll attempts (injected deterministically from the seed) are
+//!   **retried** with linear backoff while budget and the retry cap
+//!   allow, then abandoned.
+//!
+//! Everything — admission order, dispatch instants, failure draws — is a
+//! pure function of the configuration and the epoch inputs, which is what
+//! makes engine runs byte-for-byte reproducible.
+//!
+//! [`max_backlog`]: crate::config::EngineConfig::max_backlog
+
+use std::collections::BinaryHeap;
+
+use freshen_core::error::{CoreError, Result};
+use freshen_obs::Recorder;
+
+use crate::config::EngineConfig;
+use crate::source::PollSource;
+
+/// One successful poll, in dispatch order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecutedPoll {
+    /// Polled element.
+    pub element: usize,
+    /// Dispatch instant (periods).
+    pub time: f64,
+    /// Did the source report new content?
+    pub changed: bool,
+    /// Attempt number that succeeded (0 = first try).
+    pub attempts: u32,
+}
+
+/// Everything one epoch of dispatching produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochOutcome {
+    /// Successful polls in execution (time) order.
+    pub polls: Vec<ExecutedPoll>,
+    /// Successful polls per element.
+    pub succeeded: Vec<u64>,
+    /// Elements that were budget-starved this epoch (deferred, shed, or
+    /// abandoned polls) — accesses to them are "served stale".
+    pub starved: Vec<bool>,
+    /// Poll attempts actually executed (including retries).
+    pub dispatched: u64,
+    /// Attempts that failed.
+    pub failures: u64,
+    /// Failed attempts that were re-queued.
+    pub retries: u64,
+    /// Polls abandoned after exhausting retries or budget.
+    pub abandoned: u64,
+    /// Planned polls pushed past this epoch by the budget.
+    pub deferred: u64,
+    /// Backlog credit shed by the cap (in polls, fractional).
+    pub shed: f64,
+}
+
+/// Latency buckets (periods from epoch start to dispatch) for the
+/// `engine.dispatch_latency` histogram.
+pub const LATENCY_BUCKETS: [f64; 7] = [0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0];
+
+/// SplitMix64: the engine's deterministic hash for failure injection.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform draw in `[0, 1)` keyed by `(seed, element, attempt-index)`.
+/// Keying on the element's lifetime attempt counter (not the epoch) keeps
+/// failure histories comparable across policies run on the same seed.
+fn failure_draw(seed: u64, element: usize, attempt_index: u64) -> f64 {
+    let key = seed
+        ^ (element as u64).wrapping_mul(0xA076_1D64_78BD_642F)
+        ^ attempt_index.wrapping_mul(0xE703_7ED1_A0B4_28DB);
+    (splitmix64(key) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A queued poll attempt: min-heap on (time, sequence).
+#[derive(Debug, PartialEq)]
+struct Pending {
+    time: f64,
+    seq: u64,
+    element: usize,
+    attempt: u32,
+}
+impl Eq for Pending {}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The dispatcher: owns per-element credit and failure state across
+/// epochs.
+#[derive(Debug)]
+pub struct PollDispatcher {
+    credit: Vec<f64>,
+    attempt_counter: Vec<u64>,
+    budget_per_epoch: f64,
+    max_backlog: f64,
+    failure_rate: f64,
+    max_retries: u32,
+    retry_backoff: f64,
+    seed: u64,
+}
+
+impl PollDispatcher {
+    /// Create a dispatcher for `n` elements given the engine config and
+    /// the problem's bandwidth (polls per period; the Core Problem's
+    /// uniform-size model, so one poll costs one budget unit).
+    pub fn new(n: usize, bandwidth: f64, config: &EngineConfig) -> Result<Self> {
+        if n == 0 {
+            return Err(CoreError::Empty);
+        }
+        if !bandwidth.is_finite() || bandwidth <= 0.0 {
+            return Err(CoreError::InvalidValue {
+                what: "dispatch bandwidth",
+                index: None,
+                value: bandwidth,
+            });
+        }
+        Ok(PollDispatcher {
+            credit: vec![0.0; n],
+            attempt_counter: vec![0; n],
+            budget_per_epoch: bandwidth * config.epoch_len * config.budget_factor,
+            max_backlog: config.max_backlog,
+            failure_rate: config.failure_rate,
+            max_retries: config.max_retries,
+            retry_backoff: config.retry_backoff,
+            seed: config.seed,
+        })
+    }
+
+    /// Outstanding poll credit for one element (for tests/inspection).
+    ///
+    /// # Panics
+    /// Panics when `element` is out of range.
+    pub fn backlog(&self, element: usize) -> f64 {
+        self.credit[element]
+    }
+
+    /// Run one epoch: accrue credit from `freqs`, admit requests by
+    /// `priorities` under the budget, execute them (with injected
+    /// failures, retries, and backoff) against `source`, and return the
+    /// outcome. Dispatch instants are spread over the epoch in admission
+    /// order, so higher-priority polls land earlier.
+    pub fn run_epoch(
+        &mut self,
+        epoch_start: f64,
+        epoch_len: f64,
+        freqs: &[f64],
+        priorities: &[f64],
+        source: &mut dyn PollSource,
+        recorder: &Recorder,
+    ) -> Result<EpochOutcome> {
+        let n = self.credit.len();
+        if freqs.len() != n {
+            return Err(CoreError::LengthMismatch {
+                what: "dispatch frequencies",
+                expected: n,
+                actual: freqs.len(),
+            });
+        }
+        if priorities.len() != n {
+            return Err(CoreError::LengthMismatch {
+                what: "dispatch priorities",
+                expected: n,
+                actual: priorities.len(),
+            });
+        }
+        let mut outcome = EpochOutcome {
+            polls: Vec::new(),
+            succeeded: vec![0; n],
+            starved: vec![false; n],
+            dispatched: 0,
+            failures: 0,
+            retries: 0,
+            abandoned: 0,
+            deferred: 0,
+            shed: 0.0,
+        };
+
+        // 1. Accrue credit and plan one request per whole credit.
+        let mut requests: Vec<(usize, u32)> = Vec::new();
+        for (i, (credit, &f)) in self.credit.iter_mut().zip(freqs).enumerate() {
+            *credit += f * epoch_len;
+            for copy in 0..credit.floor() as u32 {
+                requests.push((i, copy));
+            }
+        }
+        // Priority order: value density descending, then element then
+        // copy index — a total order, so admission is deterministic.
+        requests.sort_by(|&(ea, ca), &(eb, cb)| {
+            priorities[eb]
+                .total_cmp(&priorities[ea])
+                .then_with(|| ea.cmp(&eb))
+                .then_with(|| ca.cmp(&cb))
+        });
+
+        // 2. Admit under the budget; the rest is deferred.
+        let mut budget_left = self.budget_per_epoch;
+        let mut admitted = Vec::new();
+        for &(element, _) in &requests {
+            if budget_left >= 1.0 {
+                budget_left -= 1.0;
+                self.credit[element] -= 1.0;
+                admitted.push(element);
+            } else {
+                outcome.deferred += 1;
+                outcome.starved[element] = true;
+            }
+        }
+
+        // 3. Shed backlog beyond the cap (graceful degradation).
+        for i in 0..n {
+            let excess = self.credit[i] - self.max_backlog;
+            if excess > 0.0 {
+                outcome.shed += excess;
+                outcome.starved[i] = true;
+                self.credit[i] = self.max_backlog;
+            }
+        }
+
+        // 4. Execute in time order: admitted polls spread across the
+        // epoch (admission order ⇒ priority order ⇒ earlier slots);
+        // retries re-enter the queue at their backoff instant.
+        let latency = recorder.histogram("engine.dispatch_latency", &LATENCY_BUCKETS);
+        let epoch_end = epoch_start + epoch_len;
+        let slot = epoch_len / admitted.len().max(1) as f64;
+        let mut queue = BinaryHeap::with_capacity(admitted.len());
+        let mut seq = 0u64;
+        for (k, &element) in admitted.iter().enumerate() {
+            queue.push(Pending {
+                time: epoch_start + (k as f64 + 0.5) * slot,
+                seq,
+                element,
+                attempt: 0,
+            });
+            seq += 1;
+        }
+        while let Some(p) = queue.pop() {
+            outcome.dispatched += 1;
+            let attempt_index = self.attempt_counter[p.element];
+            self.attempt_counter[p.element] += 1;
+            let failed = self.failure_rate > 0.0
+                && failure_draw(self.seed, p.element, attempt_index) < self.failure_rate;
+            if failed {
+                outcome.failures += 1;
+                if p.attempt < self.max_retries && budget_left >= 1.0 {
+                    budget_left -= 1.0;
+                    outcome.retries += 1;
+                    queue.push(Pending {
+                        // Linear backoff, clamped so epochs stay ordered.
+                        time: (p.time + self.retry_backoff * (p.attempt + 1) as f64).min(epoch_end),
+                        seq,
+                        element: p.element,
+                        attempt: p.attempt + 1,
+                    });
+                    seq += 1;
+                } else {
+                    outcome.abandoned += 1;
+                    outcome.starved[p.element] = true;
+                }
+                continue;
+            }
+            let changed = source.poll(p.element, p.time);
+            latency.observe(p.time - epoch_start);
+            outcome.succeeded[p.element] += 1;
+            outcome.polls.push(ExecutedPoll {
+                element: p.element,
+                time: p.time,
+                changed,
+                attempts: p.attempt,
+            });
+        }
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::ReplayPollSource;
+
+    /// A source that records poll times and always answers `changed`.
+    struct Probe {
+        calls: Vec<(usize, f64)>,
+    }
+    impl PollSource for Probe {
+        fn poll(&mut self, element: usize, time: f64) -> bool {
+            self.calls.push((element, time));
+            true
+        }
+    }
+
+    fn config() -> EngineConfig {
+        EngineConfig::default()
+    }
+
+    #[test]
+    fn dispatches_schedule_under_ample_budget() {
+        let mut d = PollDispatcher::new(2, 10.0, &config()).unwrap();
+        let mut probe = Probe { calls: Vec::new() };
+        let out = d
+            .run_epoch(
+                0.0,
+                1.0,
+                &[4.0, 2.0],
+                &[1.0, 2.0],
+                &mut probe,
+                &Recorder::disabled(),
+            )
+            .unwrap();
+        assert_eq!(out.succeeded, vec![4, 2]);
+        assert_eq!(out.deferred, 0);
+        assert_eq!(out.dispatched, 6);
+        // Time-ordered execution, all within the epoch.
+        assert!(probe.calls.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert!(probe.calls.iter().all(|&(_, t)| (0.0..1.0).contains(&t)));
+        // Element 1 has twice the priority: its polls occupy the earliest
+        // slots.
+        assert_eq!(probe.calls[0].0, 1);
+        assert_eq!(probe.calls[1].0, 1);
+    }
+
+    #[test]
+    fn saturated_budget_defers_low_priority_first() {
+        let mut cfg = config();
+        cfg.budget_factor = 0.5; // budget 5 of 10 planned polls
+        let mut d = PollDispatcher::new(2, 10.0, &cfg).unwrap();
+        let mut probe = Probe { calls: Vec::new() };
+        let out = d
+            .run_epoch(
+                0.0,
+                1.0,
+                &[5.0, 5.0],
+                &[2.0, 1.0],
+                &mut probe,
+                &Recorder::disabled(),
+            )
+            .unwrap();
+        assert_eq!(out.succeeded[0], 5, "high priority fully served");
+        assert_eq!(out.succeeded[1], 0, "low priority fully deferred");
+        assert_eq!(out.deferred, 5);
+        assert!(out.starved[1] && !out.starved[0]);
+        // Deferred credit survives into the next epoch (capped).
+        assert!(d.backlog(1) >= cfg.max_backlog - 1e-9);
+    }
+
+    #[test]
+    fn backlog_is_capped_not_unbounded() {
+        let mut cfg = config();
+        cfg.budget_factor = 0.1;
+        cfg.max_backlog = 2.0;
+        let mut d = PollDispatcher::new(1, 10.0, &cfg).unwrap();
+        let mut shed_total = 0.0;
+        for epoch in 0..5 {
+            let out = d
+                .run_epoch(
+                    epoch as f64,
+                    1.0,
+                    &[10.0],
+                    &[1.0],
+                    &mut Probe { calls: Vec::new() },
+                    &Recorder::disabled(),
+                )
+                .unwrap();
+            shed_total += out.shed;
+        }
+        assert!(d.backlog(0) <= 2.0 + 1e-9, "cap holds");
+        assert!(shed_total > 0.0, "persistent saturation sheds backlog");
+    }
+
+    #[test]
+    fn fractional_credit_carries_across_epochs() {
+        let mut d = PollDispatcher::new(1, 10.0, &config()).unwrap();
+        let mut first = 0;
+        let mut total = 0;
+        for epoch in 0..4 {
+            let out = d
+                .run_epoch(
+                    epoch as f64,
+                    1.0,
+                    &[0.5],
+                    &[1.0],
+                    &mut Probe { calls: Vec::new() },
+                    &Recorder::disabled(),
+                )
+                .unwrap();
+            if epoch == 0 {
+                first = out.dispatched;
+            }
+            total += out.dispatched;
+        }
+        assert_eq!(first, 0, "half a credit is not a poll yet");
+        assert_eq!(total, 2, "f=0.5 over 4 periods is 2 polls");
+    }
+
+    #[test]
+    fn failures_are_retried_with_backoff_then_abandoned() {
+        let mut cfg = config();
+        cfg.failure_rate = 0.999_999; // effectively always fail
+        cfg.max_retries = 2;
+        cfg.retry_backoff = 0.01;
+        let mut d = PollDispatcher::new(1, 10.0, &cfg).unwrap();
+        let out = d
+            .run_epoch(
+                0.0,
+                1.0,
+                &[2.0],
+                &[1.0],
+                &mut Probe { calls: Vec::new() },
+                &Recorder::disabled(),
+            )
+            .unwrap();
+        // 2 planned polls, each tried 1 + 2 times, all failing.
+        assert_eq!(out.dispatched, 6);
+        assert_eq!(out.failures, 6);
+        assert_eq!(out.retries, 4);
+        assert_eq!(out.abandoned, 2);
+        assert_eq!(out.succeeded[0], 0);
+        assert!(out.starved[0]);
+    }
+
+    #[test]
+    fn moderate_failures_still_mostly_succeed() {
+        let mut cfg = config();
+        cfg.failure_rate = 0.2;
+        cfg.seed = 5;
+        let mut d = PollDispatcher::new(4, 40.0, &cfg).unwrap();
+        let mut probe = Probe { calls: Vec::new() };
+        let out = d
+            .run_epoch(
+                0.0,
+                1.0,
+                &[6.0; 4],
+                &[1.0; 4],
+                &mut probe,
+                &Recorder::disabled(),
+            )
+            .unwrap();
+        let succeeded: u64 = out.succeeded.iter().sum();
+        assert_eq!(succeeded, 24, "retries recover transient failures");
+        assert!(out.failures > 0, "some attempts did fail");
+        assert!(probe.calls.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn identical_inputs_identical_outcomes() {
+        let run = || {
+            let mut cfg = config();
+            cfg.failure_rate = 0.3;
+            cfg.seed = 99;
+            let mut d = PollDispatcher::new(3, 6.0, &cfg).unwrap();
+            let mut src = ReplayPollSource::new(
+                3,
+                &[freshen_workload::trace::PollRecord {
+                    time: 0.0,
+                    element: 0,
+                    changed: true,
+                }],
+            )
+            .unwrap();
+            let mut outs = Vec::new();
+            for epoch in 0..3 {
+                outs.push(
+                    d.run_epoch(
+                        epoch as f64,
+                        1.0,
+                        &[2.0, 2.0, 2.0],
+                        &[3.0, 2.0, 1.0],
+                        &mut src,
+                        &Recorder::disabled(),
+                    )
+                    .unwrap(),
+                );
+            }
+            outs
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn rejects_mismatched_inputs() {
+        let mut d = PollDispatcher::new(2, 5.0, &config()).unwrap();
+        let r = Recorder::disabled();
+        let mut probe = Probe { calls: Vec::new() };
+        assert!(d
+            .run_epoch(0.0, 1.0, &[1.0], &[1.0, 1.0], &mut probe, &r)
+            .is_err());
+        assert!(d
+            .run_epoch(0.0, 1.0, &[1.0, 1.0], &[1.0], &mut probe, &r)
+            .is_err());
+        assert!(PollDispatcher::new(0, 5.0, &config()).is_err());
+        assert!(PollDispatcher::new(2, 0.0, &config()).is_err());
+    }
+
+    #[test]
+    fn failure_draw_is_uniform_ish() {
+        let mut below = 0;
+        for k in 0..10_000u64 {
+            if failure_draw(7, 3, k) < 0.25 {
+                below += 1;
+            }
+        }
+        let frac = below as f64 / 10_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "fraction {frac}");
+    }
+}

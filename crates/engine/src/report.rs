@@ -1,0 +1,252 @@
+//! The engine's run report: per-epoch stats plus run totals, rendered as
+//! deterministic JSON.
+//!
+//! The JSON is hand-rolled field-by-field (like `freshen-bench`'s
+//! `BENCH_*.json` writer) so the byte layout depends only on the numbers
+//! themselves — replaying the same trace with the same seed must produce
+//! a byte-identical report, and that property must not hinge on the JSON
+//! backend in use. Wall-clock quantities deliberately live in the obs
+//! metrics (`--metrics-out`), never in the report.
+
+use std::fmt::Write as _;
+
+/// One epoch of the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochStats {
+    /// Epoch index, from 0.
+    pub index: usize,
+    /// Epoch start time (periods).
+    pub start: f64,
+    /// Jeffreys drift of the epoch's estimates vs. the active schedule's
+    /// baseline.
+    pub drift: f64,
+    /// Did this epoch end in a re-solve?
+    pub resolved: bool,
+    /// Access events ingested.
+    pub accesses: u64,
+    /// Accesses to budget-starved elements (served stale).
+    pub stale_served: u64,
+    /// Poll attempts executed.
+    pub dispatched: u64,
+    /// Successful polls.
+    pub succeeded: u64,
+    /// Failed attempts.
+    pub failures: u64,
+    /// Retried attempts.
+    pub retries: u64,
+    /// Polls deferred past the epoch by the budget.
+    pub deferred: u64,
+    /// Backlog shed by the cap (polls, fractional).
+    pub shed: f64,
+    /// Perceived freshness realized this epoch: the epoch's estimates
+    /// evaluated at the *achieved* poll frequencies.
+    pub realized_pf: f64,
+}
+
+/// Full run summary returned by [`Engine::run`].
+///
+/// [`Engine::run`]: crate::runtime::Engine::run
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineReport {
+    /// Mirror size.
+    pub elements: usize,
+    /// Epoch length (periods).
+    pub epoch_len: f64,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Total events ingested (accesses + poll attempts).
+    pub events: u64,
+    /// Access events ingested.
+    pub accesses: u64,
+    /// Successful polls.
+    pub polls_succeeded: u64,
+    /// Failed poll attempts.
+    pub polls_failed: u64,
+    /// Retried poll attempts.
+    pub retries: u64,
+    /// Budget-deferred polls.
+    pub deferred: u64,
+    /// Exact solves performed (including the initial one).
+    pub resolves: u64,
+    /// Epoch observations absorbed without re-solving.
+    pub skips: u64,
+    /// Mean realized perceived freshness over post-warmup epochs.
+    pub realized_pf: f64,
+    /// Per-epoch detail, in order.
+    pub epochs: Vec<EpochStats>,
+}
+
+/// Format an `f64` the way `serde_json` would (always with a decimal
+/// point), so reports diff cleanly against serde-produced files.
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        if s.contains('.') || s.contains('e') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".into()
+    }
+}
+
+impl EpochStats {
+    fn write_json(&self, out: &mut String, indent: &str) {
+        let _ = write!(
+            out,
+            "{indent}{{ \"index\": {}, \"start\": {}, \"drift\": {}, \"resolved\": {}, \
+             \"accesses\": {}, \"stale_served\": {}, \"dispatched\": {}, \"succeeded\": {}, \
+             \"failures\": {}, \"retries\": {}, \"deferred\": {}, \"shed\": {}, \
+             \"realized_pf\": {} }}",
+            self.index,
+            fmt_f64(self.start),
+            fmt_f64(self.drift),
+            self.resolved,
+            self.accesses,
+            self.stale_served,
+            self.dispatched,
+            self.succeeded,
+            self.failures,
+            self.retries,
+            self.deferred,
+            fmt_f64(self.shed),
+            fmt_f64(self.realized_pf),
+        );
+    }
+}
+
+impl EngineReport {
+    /// Render the report as pretty-printed JSON with a fully
+    /// deterministic byte layout.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"elements\": {},", self.elements);
+        let _ = writeln!(out, "  \"epoch_len\": {},", fmt_f64(self.epoch_len));
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"events\": {},", self.events);
+        let _ = writeln!(out, "  \"accesses\": {},", self.accesses);
+        let _ = writeln!(out, "  \"polls_succeeded\": {},", self.polls_succeeded);
+        let _ = writeln!(out, "  \"polls_failed\": {},", self.polls_failed);
+        let _ = writeln!(out, "  \"retries\": {},", self.retries);
+        let _ = writeln!(out, "  \"deferred\": {},", self.deferred);
+        let _ = writeln!(out, "  \"resolves\": {},", self.resolves);
+        let _ = writeln!(out, "  \"skips\": {},", self.skips);
+        let _ = writeln!(out, "  \"realized_pf\": {},", fmt_f64(self.realized_pf));
+        out.push_str("  \"epochs\": [\n");
+        for (i, epoch) in self.epochs.iter().enumerate() {
+            epoch.write_json(&mut out, "    ");
+            out.push_str(if i + 1 < self.epochs.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Re-solves per epoch actually observed (excludes the initial
+    /// solve), as a fraction of epochs — the quantity the ≤ 25%-of-oracle
+    /// acceptance bound is about.
+    pub fn resolve_fraction(&self) -> f64 {
+        if self.epochs.is_empty() {
+            return 0.0;
+        }
+        self.epochs.iter().filter(|e| e.resolved).count() as f64 / self.epochs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EngineReport {
+        EngineReport {
+            elements: 3,
+            epoch_len: 1.0,
+            seed: 7,
+            events: 120,
+            accesses: 100,
+            polls_succeeded: 18,
+            polls_failed: 2,
+            retries: 1,
+            deferred: 4,
+            resolves: 2,
+            skips: 1,
+            realized_pf: 0.75,
+            epochs: vec![
+                EpochStats {
+                    index: 0,
+                    start: 0.0,
+                    drift: 0.0,
+                    resolved: false,
+                    accesses: 50,
+                    stale_served: 3,
+                    dispatched: 10,
+                    succeeded: 9,
+                    failures: 1,
+                    retries: 1,
+                    deferred: 2,
+                    shed: 0.5,
+                    realized_pf: 0.7,
+                },
+                EpochStats {
+                    index: 1,
+                    start: 1.0,
+                    drift: 0.12,
+                    resolved: true,
+                    accesses: 50,
+                    stale_served: 0,
+                    dispatched: 10,
+                    succeeded: 9,
+                    failures: 1,
+                    retries: 0,
+                    deferred: 2,
+                    shed: 0.0,
+                    realized_pf: 0.8,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_contains_every_field_and_is_stable() {
+        let report = sample();
+        let json = report.to_json();
+        for key in [
+            "\"elements\": 3",
+            "\"epoch_len\": 1.0",
+            "\"seed\": 7",
+            "\"events\": 120",
+            "\"realized_pf\": 0.75",
+            "\"drift\": 0.12",
+            "\"resolved\": true",
+            "\"stale_served\": 3",
+            "\"shed\": 0.5",
+        ] {
+            assert!(json.contains(key), "missing `{key}` in:\n{json}");
+        }
+        assert_eq!(json, report.to_json(), "rendering is pure");
+    }
+
+    #[test]
+    fn floats_always_carry_a_decimal_point() {
+        assert_eq!(fmt_f64(1.0), "1.0");
+        assert_eq!(fmt_f64(0.5), "0.5");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert!(fmt_f64(1e300).ends_with(".0"), "huge floats still marked");
+    }
+
+    #[test]
+    fn resolve_fraction_counts_epoch_resolves() {
+        let report = sample();
+        assert_eq!(report.resolve_fraction(), 0.5);
+        let empty = EngineReport {
+            epochs: Vec::new(),
+            ..sample()
+        };
+        assert_eq!(empty.resolve_fraction(), 0.0);
+    }
+}

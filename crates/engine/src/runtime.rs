@@ -1,0 +1,455 @@
+//! The engine proper: the epoch loop closing the paper's operational
+//! loop online.
+//!
+//! Per epoch the engine (1) executes the active schedule through the
+//! budgeted dispatcher, (2) folds the resulting poll outcomes and the
+//! epoch's access events into the incremental estimators, (3) feeds the
+//! fresh `(p̂, λ̂)` snapshot to the drift-gated adaptive scheduler, and
+//! (4) scores the epoch: perceived freshness of the *achieved* poll
+//! frequencies under the epoch's estimates.
+//!
+//! Determinism: given a fixed input stream, poll source, and config, the
+//! run — every dispatch, failure, estimate, drift value, and re-solve
+//! decision — is a pure function, and [`EngineReport::to_json`] is
+//! byte-identical across repeats. Wall-clock only enters the obs metrics
+//! (`events_per_sec`), never the report.
+
+use std::time::Instant;
+
+use freshen_core::error::{CoreError, Result};
+use freshen_core::estimate::{EwmaRateEstimator, WindowRateEstimator};
+use freshen_core::problem::Problem;
+use freshen_core::profile::ProfileEstimator;
+use freshen_heuristics::adaptive::AdaptiveScheduler;
+use freshen_obs::Recorder;
+use freshen_workload::trace::AccessRecord;
+
+use crate::config::{EngineConfig, EstimatorKind, ResolvePolicy};
+use crate::dispatch::PollDispatcher;
+use crate::report::{EngineReport, EpochStats};
+use crate::source::PollSource;
+
+/// The configured change-rate estimator behind one interface.
+#[derive(Debug)]
+enum RateTracker {
+    Ewma(EwmaRateEstimator),
+    Window(WindowRateEstimator),
+}
+
+impl RateTracker {
+    fn new(n: usize, kind: EstimatorKind, prior: f64) -> Result<Self> {
+        Ok(match kind {
+            EstimatorKind::Ewma { gain } => {
+                RateTracker::Ewma(EwmaRateEstimator::new(n, gain, prior)?)
+            }
+            EstimatorKind::Window { len } => RateTracker::Window(WindowRateEstimator::new(n, len)?),
+        })
+    }
+
+    fn observe(&mut self, element: usize, interval: f64, changed: bool) -> Result<()> {
+        match self {
+            RateTracker::Ewma(e) => e.observe(element, interval, changed),
+            RateTracker::Window(e) => e.observe(element, interval, changed),
+        }
+    }
+
+    fn rates(&self, fallback: f64) -> Vec<f64> {
+        match self {
+            RateTracker::Ewma(e) => e.rates(fallback),
+            RateTracker::Window(e) => e.rates(fallback),
+        }
+    }
+}
+
+/// The online freshening runtime. Construct with a prior [`Problem`]
+/// (the operator's initial belief about `(p, λ)` and the bandwidth
+/// budget), then [`run`](Engine::run) it over an access stream and a
+/// poll source.
+#[derive(Debug)]
+pub struct Engine {
+    config: EngineConfig,
+    bandwidth: f64,
+    profile: ProfileEstimator,
+    rates: RateTracker,
+    scheduler: AdaptiveScheduler,
+    dispatcher: PollDispatcher,
+    recorder: Recorder,
+    estimates: Problem,
+    last_poll: Vec<f64>,
+}
+
+impl Engine {
+    /// Validate the config, solve the prior problem for the initial
+    /// schedule, and arm estimators, drift monitor, and dispatcher.
+    pub fn new(prior: &Problem, config: EngineConfig) -> Result<Self> {
+        config.validate()?;
+        let n = prior.len();
+        Ok(Engine {
+            bandwidth: prior.bandwidth(),
+            profile: ProfileEstimator::new(n, config.profile_decay)?,
+            rates: RateTracker::new(n, config.estimator, config.fallback_rate)?,
+            scheduler: AdaptiveScheduler::new(prior, config.drift_threshold)?,
+            dispatcher: PollDispatcher::new(n, prior.bandwidth(), &config)?,
+            recorder: Recorder::disabled(),
+            estimates: prior.clone(),
+            last_poll: vec![0.0; n],
+            config,
+        })
+    }
+
+    /// Attach a metrics/trace recorder (builder-style, like the solver
+    /// and simulator).
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Mirror size.
+    pub fn len(&self) -> usize {
+        self.last_poll.len()
+    }
+
+    /// True when tracking zero elements (unreachable via `new`).
+    pub fn is_empty(&self) -> bool {
+        self.last_poll.is_empty()
+    }
+
+    /// Run the configured number of epochs, ingesting `accesses` (any
+    /// stream of time-ordered [`AccessRecord`]s — a streaming trace
+    /// reader or a live generator) and polling `source`.
+    pub fn run<I>(&mut self, accesses: I, source: &mut dyn PollSource) -> Result<EngineReport>
+    where
+        I: IntoIterator<Item = Result<AccessRecord>>,
+    {
+        let started = Instant::now();
+        let n = self.len();
+        let mut accesses = accesses.into_iter().peekable();
+        let mut epochs = Vec::with_capacity(self.config.epochs);
+        let mut totals = EngineReport {
+            elements: n,
+            epoch_len: self.config.epoch_len,
+            seed: self.config.seed,
+            events: 0,
+            accesses: 0,
+            polls_succeeded: 0,
+            polls_failed: 0,
+            retries: 0,
+            deferred: 0,
+            resolves: 0,
+            skips: 0,
+            realized_pf: 0.0,
+            epochs: Vec::new(),
+        };
+        let resolve_counter = self.recorder.counter("engine.resolves");
+        let skip_counter = self.recorder.counter("engine.skips");
+        let drift_gauge = self.recorder.gauge("engine.drift");
+        let pf_gauge = self.recorder.gauge("engine.realized_pf");
+
+        for epoch in 0..self.config.epochs {
+            let mut span = self.recorder.span("engine.epoch");
+            span.arg("epoch", epoch);
+            let epoch_start = epoch as f64 * self.config.epoch_len;
+            let epoch_end = epoch_start + self.config.epoch_len;
+
+            // 1. Execute the active schedule under the budget.
+            let freqs = self.scheduler.schedule().frequencies.clone();
+            let priorities: Vec<f64> = self
+                .estimates
+                .access_probs()
+                .iter()
+                .zip(self.estimates.change_rates())
+                .map(|(&p, &l)| p * l)
+                .collect();
+            let outcome = self.dispatcher.run_epoch(
+                epoch_start,
+                self.config.epoch_len,
+                &freqs,
+                &priorities,
+                source,
+                &self.recorder,
+            )?;
+
+            // 2. Fold poll outcomes into the change-rate estimator.
+            for poll in &outcome.polls {
+                let interval = (poll.time - self.last_poll[poll.element]).max(1e-9);
+                self.rates.observe(poll.element, interval, poll.changed)?;
+                self.last_poll[poll.element] = poll.time;
+            }
+
+            // ... and the epoch's accesses into the profile estimator.
+            let mut epoch_accesses = 0u64;
+            let mut stale_served = 0u64;
+            while let Some(record) = accesses.peek() {
+                match record {
+                    Ok(a) if a.time < epoch_end => {
+                        if a.element >= n {
+                            return Err(CoreError::InvalidValue {
+                                what: "access element",
+                                index: Some(a.element),
+                                value: a.element as f64,
+                            });
+                        }
+                        self.profile.observe(a.element);
+                        epoch_accesses += 1;
+                        if outcome.starved[a.element] {
+                            stale_served += 1;
+                        }
+                        accesses.next();
+                    }
+                    Ok(_) => break,
+                    Err(_) => {
+                        // Surface the stream error (unwrap is safe: we
+                        // just peeked an Err).
+                        return Err(accesses.next().expect("peeked item").unwrap_err());
+                    }
+                }
+            }
+
+            // 3. Fresh estimates → drift monitor → (maybe) warm re-solve.
+            self.estimates = Problem::builder()
+                .change_rates(self.rates.rates(self.config.fallback_rate))
+                .access_weights(self.profile.access_probs_smoothed(self.config.smoothing))
+                .bandwidth(self.bandwidth)
+                .build()?;
+            let resolved = match self.config.resolve_policy {
+                ResolvePolicy::DriftGated => self.scheduler.observe(&self.estimates)?,
+                ResolvePolicy::EveryEpoch => {
+                    self.scheduler.resolve(&self.estimates)?;
+                    true
+                }
+            };
+            let drift = self.scheduler.last_drift().unwrap_or(0.0);
+            if resolved {
+                resolve_counter.inc();
+            } else {
+                skip_counter.inc();
+            }
+            drift_gauge.set(drift);
+
+            // 4. Score the epoch: estimates at the achieved frequencies.
+            let achieved: Vec<f64> = outcome
+                .succeeded
+                .iter()
+                .map(|&polls| polls as f64 / self.config.epoch_len)
+                .collect();
+            let realized_pf = self.estimates.perceived_freshness(&achieved);
+            pf_gauge.set(realized_pf);
+
+            totals.events += epoch_accesses + outcome.dispatched;
+            totals.accesses += epoch_accesses;
+            totals.polls_succeeded += outcome.polls.len() as u64;
+            totals.polls_failed += outcome.failures;
+            totals.retries += outcome.retries;
+            totals.deferred += outcome.deferred;
+            epochs.push(EpochStats {
+                index: epoch,
+                start: epoch_start,
+                drift,
+                resolved,
+                accesses: epoch_accesses,
+                stale_served,
+                dispatched: outcome.dispatched,
+                succeeded: outcome.polls.len() as u64,
+                failures: outcome.failures,
+                retries: outcome.retries,
+                deferred: outcome.deferred,
+                shed: outcome.shed,
+                realized_pf,
+            });
+        }
+
+        let measured: Vec<f64> = epochs
+            .iter()
+            .skip(self.config.warmup_epochs)
+            .map(|e| e.realized_pf)
+            .collect();
+        totals.realized_pf = measured.iter().sum::<f64>() / measured.len().max(1) as f64;
+        totals.resolves = self.scheduler.resolves() as u64;
+        totals.skips = self.scheduler.skips() as u64;
+        totals.epochs = epochs;
+
+        // Throughput and headline gauges for bench telemetry; wall time
+        // stays out of the report itself.
+        let elapsed = started.elapsed().as_secs_f64();
+        if elapsed > 0.0 {
+            self.recorder
+                .gauge("events_per_sec")
+                .set(totals.events as f64 / elapsed);
+        }
+        self.recorder.gauge("pf").set(totals.realized_pf);
+        Ok(totals)
+    }
+
+    /// The engine's current `(p̂, λ̂)` snapshot (the prior before the
+    /// first epoch completes).
+    pub fn estimates(&self) -> &Problem {
+        &self.estimates
+    }
+
+    /// The adaptive scheduler (active schedule, resolve/skip counters).
+    pub fn scheduler(&self) -> &AdaptiveScheduler {
+        &self.scheduler
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{LivePollSource, ReplayPollSource};
+    use crate::stream::{replay_accesses, LiveAccessStream};
+    use freshen_workload::trace::PollRecord;
+
+    fn prior(n: usize, bandwidth: f64) -> Problem {
+        Problem::builder()
+            .change_rates(vec![2.0; n])
+            .access_weights(vec![1.0; n])
+            .bandwidth(bandwidth)
+            .build()
+            .unwrap()
+    }
+
+    fn small_config() -> EngineConfig {
+        EngineConfig {
+            epochs: 8,
+            warmup_epochs: 2,
+            seed: 13,
+            ..EngineConfig::default()
+        }
+    }
+
+    #[test]
+    fn live_run_produces_consistent_totals() {
+        let p = prior(6, 6.0);
+        let mut engine = Engine::new(&p, small_config()).unwrap();
+        let accesses = LiveAccessStream::new(p.access_probs(), 100.0, 3, 8.0);
+        let mut source = LivePollSource::new(&[3.0, 3.0, 2.0, 2.0, 1.0, 1.0], 5, 16.0).unwrap();
+        let report = engine.run(accesses, &mut source).unwrap();
+
+        assert_eq!(report.elements, 6);
+        assert_eq!(report.epochs.len(), 8);
+        assert!(report.accesses > 500, "≈100/period over 8 periods");
+        assert_eq!(
+            report.events,
+            report.accesses + report.epochs.iter().map(|e| e.dispatched).sum::<u64>()
+        );
+        assert!(report.polls_succeeded > 0);
+        assert!(report.realized_pf > 0.0 && report.realized_pf <= 1.0);
+        assert_eq!(
+            report.resolves + report.skips,
+            1 + report.epochs.len() as u64,
+            "initial solve plus one decision per epoch"
+        );
+    }
+
+    #[test]
+    fn trace_replay_is_byte_identical() {
+        let n = 4;
+        // A deterministic synthetic trace, no RNG involved.
+        let mut access_records = Vec::new();
+        let mut poll_records = Vec::new();
+        for k in 0..400 {
+            access_records.push(AccessRecord {
+                time: k as f64 * 0.02,
+                element: [0, 0, 1, 2, 0, 3, 1, 0][k % 8],
+            });
+        }
+        for k in 0..80 {
+            poll_records.push(PollRecord {
+                time: k as f64 * 0.1,
+                element: k % n,
+                changed: k % 3 != 0,
+            });
+        }
+        let mut config = small_config();
+        config.failure_rate = 0.2; // exercise the injected-failure path
+        let run = || {
+            let p = prior(n, 8.0);
+            let mut engine = Engine::new(&p, config.clone()).unwrap();
+            let mut source = ReplayPollSource::new(n, &poll_records).unwrap();
+            engine
+                .run(replay_accesses(access_records.clone()), &mut source)
+                .unwrap()
+                .to_json()
+        };
+        let first = run();
+        assert_eq!(first, run(), "same trace + seed ⇒ byte-identical report");
+        assert!(first.contains("\"epochs\""));
+    }
+
+    #[test]
+    fn engine_learns_the_skewed_profile() {
+        // Uniform prior, heavily skewed live traffic: after the run the
+        // profile estimate must rank element 0 on top.
+        let p = prior(4, 4.0);
+        let mut engine = Engine::new(&p, small_config()).unwrap();
+        let accesses = LiveAccessStream::new(&[0.7, 0.2, 0.05, 0.05], 200.0, 9, 8.0);
+        let mut source = LivePollSource::new(&[1.0; 4], 11, 16.0).unwrap();
+        engine.run(accesses, &mut source).unwrap();
+        let probs = engine.estimates().access_probs().to_vec();
+        assert!(probs[0] > probs[1] && probs[1] > probs[2], "{probs:?}");
+        assert!(probs[0] > 0.5, "dominant element learned: {probs:?}");
+    }
+
+    #[test]
+    fn stream_errors_abort_the_run() {
+        let p = prior(2, 2.0);
+        let mut engine = Engine::new(&p, small_config()).unwrap();
+        let accesses = vec![
+            Ok(AccessRecord {
+                time: 0.1,
+                element: 0,
+            }),
+            Err(CoreError::InvalidConfig("bad line".into())),
+        ];
+        let mut source = LivePollSource::new(&[1.0, 1.0], 1, 16.0).unwrap();
+        let err = engine.run(accesses, &mut source).unwrap_err();
+        assert!(err.to_string().contains("bad line"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_access_is_rejected() {
+        let p = prior(2, 2.0);
+        let mut engine = Engine::new(&p, small_config()).unwrap();
+        let accesses = vec![Ok(AccessRecord {
+            time: 0.1,
+            element: 9,
+        })];
+        let mut source = LivePollSource::new(&[1.0, 1.0], 1, 16.0).unwrap();
+        assert!(engine.run(accesses, &mut source).is_err());
+    }
+
+    #[test]
+    fn oracle_policy_resolves_every_epoch() {
+        let p = prior(3, 3.0);
+        let mut config = small_config();
+        config.resolve_policy = ResolvePolicy::EveryEpoch;
+        let mut engine = Engine::new(&p, config).unwrap();
+        let accesses = LiveAccessStream::new(p.access_probs(), 50.0, 21, 8.0);
+        let mut source = LivePollSource::new(&[2.0; 3], 22, 16.0).unwrap();
+        let report = engine.run(accesses, &mut source).unwrap();
+        assert!(report.epochs.iter().all(|e| e.resolved));
+        assert_eq!(report.resolves, 1 + report.epochs.len() as u64);
+        assert_eq!(report.skips, 0);
+    }
+
+    #[test]
+    fn recorder_captures_engine_metrics() {
+        let p = prior(3, 3.0);
+        let recorder = Recorder::enabled();
+        let mut engine = Engine::new(&p, small_config())
+            .unwrap()
+            .with_recorder(recorder.clone());
+        let accesses = LiveAccessStream::new(p.access_probs(), 50.0, 2, 8.0);
+        let mut source = LivePollSource::new(&[2.0; 3], 4, 16.0).unwrap();
+        let report = engine.run(accesses, &mut source).unwrap();
+        assert_eq!(
+            recorder.counter_value("engine.resolves").unwrap_or(0)
+                + recorder.counter_value("engine.skips").unwrap_or(0),
+            report.epochs.len() as u64
+        );
+        assert!(recorder.gauge_value("pf").is_some());
+        assert!(recorder.gauge_value("engine.drift").is_some());
+        let metrics = recorder.metrics_json().expect("enabled recorder");
+        assert!(metrics.contains("engine.dispatch_latency"));
+    }
+}

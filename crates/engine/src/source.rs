@@ -1,0 +1,281 @@
+//! Poll sources: where the engine's dispatcher sends its polls.
+//!
+//! The runtime is source-agnostic — a [`PollSource`] answers "did this
+//! element change since the mirror's last successful poll of it?". Two
+//! implementations cover the two ingestion modes of the tentpole:
+//!
+//! * [`ReplayPollSource`] replays recorded poll outcomes from a
+//!   `workload::trace` poll log, so a production trace can be re-run
+//!   deterministically through different engine policies;
+//! * [`LivePollSource`] *is* the source: it owns per-element Poisson
+//!   update processes (via `freshen-sim`'s update generator) and answers
+//!   polls from its live version counters.
+
+use freshen_core::error::{CoreError, Result};
+use freshen_sim::generators::UpdateGenerator;
+use freshen_workload::trace::PollRecord;
+
+/// Something the dispatcher can poll.
+///
+/// `time` is the dispatch instant in periods. Implementations may assume
+/// times are non-decreasing across calls *per run* (the dispatcher
+/// guarantees it); behaviour on time travel is implementation-defined but
+/// must not panic.
+pub trait PollSource {
+    /// Poll `element` at `time`; returns whether new content was found
+    /// since this element's previous successful poll.
+    fn poll(&mut self, element: usize, time: f64) -> bool;
+}
+
+/// Replays the change indicators of a recorded poll log.
+///
+/// Outcomes are grouped per element in time order and consumed one per
+/// poll. When the engine polls an element more often than the recorded
+/// trace did, the recording is cycled — preserving each element's
+/// empirical change ratio, which is the property the estimators consume.
+/// Elements absent from the log always answer "unchanged".
+#[derive(Debug, Clone)]
+pub struct ReplayPollSource {
+    outcomes: Vec<Vec<bool>>,
+    cursor: Vec<usize>,
+}
+
+impl ReplayPollSource {
+    /// Group a poll log by element for an `n`-element mirror.
+    pub fn new(n: usize, records: &[PollRecord]) -> Result<Self> {
+        if n == 0 {
+            return Err(CoreError::Empty);
+        }
+        let mut indexed: Vec<&PollRecord> = records.iter().collect();
+        indexed.sort_by(|a, b| a.time.total_cmp(&b.time));
+        let mut outcomes = vec![Vec::new(); n];
+        for (idx, r) in indexed.iter().enumerate() {
+            if r.element >= n {
+                return Err(CoreError::InvalidValue {
+                    what: "poll element",
+                    index: Some(idx),
+                    value: r.element as f64,
+                });
+            }
+            outcomes[r.element].push(r.changed);
+        }
+        Ok(ReplayPollSource {
+            cursor: vec![0; n],
+            outcomes,
+        })
+    }
+
+    /// Recorded outcomes available for one element.
+    ///
+    /// # Panics
+    /// Panics when `element` is out of range.
+    pub fn recorded(&self, element: usize) -> usize {
+        self.outcomes[element].len()
+    }
+}
+
+impl PollSource for ReplayPollSource {
+    fn poll(&mut self, element: usize, _time: f64) -> bool {
+        let recs = &self.outcomes[element];
+        if recs.is_empty() {
+            return false;
+        }
+        let out = recs[self.cursor[element] % recs.len()];
+        self.cursor[element] += 1;
+        out
+    }
+}
+
+/// A live source: per-element Poisson change processes answered directly.
+///
+/// Content versions advance via a seeded [`UpdateGenerator`]; a poll
+/// reports whether the version moved past what the mirror last synced.
+/// Failed polls never reach the source, so they observe nothing and sync
+/// nothing — exactly the semantics the retry logic needs.
+#[derive(Debug)]
+pub struct LivePollSource {
+    updates: UpdateGenerator,
+    pending: Option<(f64, usize)>,
+    versions: Vec<u64>,
+    synced: Vec<u64>,
+    horizon: f64,
+}
+
+impl LivePollSource {
+    /// Create a source whose elements change at `change_rates`
+    /// (per period), simulated up to `horizon` periods.
+    pub fn new(change_rates: &[f64], seed: u64, horizon: f64) -> Result<Self> {
+        if change_rates.is_empty() {
+            return Err(CoreError::Empty);
+        }
+        if !horizon.is_finite() || horizon <= 0.0 {
+            return Err(CoreError::InvalidValue {
+                what: "source horizon",
+                index: None,
+                value: horizon,
+            });
+        }
+        for (i, &r) in change_rates.iter().enumerate() {
+            if !r.is_finite() || r < 0.0 {
+                return Err(CoreError::InvalidValue {
+                    what: "change rate",
+                    index: Some(i),
+                    value: r,
+                });
+            }
+        }
+        Ok(LivePollSource {
+            updates: UpdateGenerator::new(change_rates, seed),
+            pending: None,
+            versions: vec![0; change_rates.len()],
+            synced: vec![0; change_rates.len()],
+            horizon,
+        })
+    }
+
+    /// Apply every source update at or before `t`.
+    fn advance(&mut self, t: f64) {
+        loop {
+            match self.pending {
+                Some((ut, e)) if ut <= t => {
+                    self.versions[e] += 1;
+                    self.pending = None;
+                }
+                Some(_) => break,
+                None => match self.updates.next_event(self.horizon) {
+                    Some(ev) => self.pending = Some(ev),
+                    None => break,
+                },
+            }
+        }
+    }
+
+    /// Current source-side version of one element (for tests/evaluation).
+    ///
+    /// # Panics
+    /// Panics when `element` is out of range.
+    pub fn version(&self, element: usize) -> u64 {
+        self.versions[element]
+    }
+}
+
+impl PollSource for LivePollSource {
+    fn poll(&mut self, element: usize, time: f64) -> bool {
+        self.advance(time);
+        let changed = self.versions[element] > self.synced[element];
+        self.synced[element] = self.versions[element];
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_cycles_per_element_outcomes() {
+        let records = vec![
+            PollRecord {
+                time: 1.0,
+                element: 0,
+                changed: true,
+            },
+            PollRecord {
+                time: 2.0,
+                element: 0,
+                changed: false,
+            },
+        ];
+        let mut src = ReplayPollSource::new(2, &records).unwrap();
+        assert_eq!(src.recorded(0), 2);
+        assert!(src.poll(0, 0.5));
+        assert!(!src.poll(0, 1.5));
+        assert!(src.poll(0, 2.5), "wraps around");
+        assert!(!src.poll(1, 0.5), "unrecorded element never changes");
+    }
+
+    #[test]
+    fn replay_orders_by_time_not_input_order() {
+        let records = vec![
+            PollRecord {
+                time: 9.0,
+                element: 0,
+                changed: false,
+            },
+            PollRecord {
+                time: 1.0,
+                element: 0,
+                changed: true,
+            },
+        ];
+        let mut src = ReplayPollSource::new(1, &records).unwrap();
+        assert!(src.poll(0, 0.0), "earliest record first");
+        assert!(!src.poll(0, 0.0));
+    }
+
+    #[test]
+    fn replay_validates_inputs() {
+        assert!(ReplayPollSource::new(0, &[]).is_err());
+        let bad = [PollRecord {
+            time: 0.0,
+            element: 5,
+            changed: true,
+        }];
+        assert!(ReplayPollSource::new(2, &bad).is_err());
+    }
+
+    #[test]
+    fn live_source_reports_changes_once() {
+        // Rate 50/period: the first poll at t=1 has almost surely seen a
+        // change; an immediate re-poll at the same instant has not.
+        let mut src = LivePollSource::new(&[50.0], 7, 100.0).unwrap();
+        assert!(src.poll(0, 1.0));
+        assert!(!src.poll(0, 1.0), "nothing new since the sync");
+        assert!(src.poll(0, 2.0));
+    }
+
+    #[test]
+    fn live_source_zero_rate_never_changes() {
+        let mut src = LivePollSource::new(&[0.0, 1000.0], 3, 50.0).unwrap();
+        for k in 1..=20 {
+            assert!(!src.poll(0, k as f64), "frozen element never changes");
+        }
+        assert!(src.poll(1, 21.0));
+    }
+
+    #[test]
+    fn live_source_change_ratio_tracks_rate() {
+        // λ = 1, polls every 0.5 periods: detection probability
+        // 1 − e^{−0.5} ≈ 0.393.
+        let mut src = LivePollSource::new(&[1.0], 11, 3000.0).unwrap();
+        let mut changed = 0;
+        let polls = 4000;
+        for k in 1..=polls {
+            if src.poll(0, k as f64 * 0.5) {
+                changed += 1;
+            }
+        }
+        let ratio = changed as f64 / polls as f64;
+        let expected = 1.0 - (-0.5f64).exp();
+        assert!((ratio - expected).abs() < 0.03, "ratio {ratio}");
+    }
+
+    #[test]
+    fn live_source_validates_inputs() {
+        assert!(LivePollSource::new(&[], 0, 10.0).is_err());
+        assert!(LivePollSource::new(&[1.0], 0, 0.0).is_err());
+        assert!(LivePollSource::new(&[-1.0], 0, 10.0).is_err());
+    }
+
+    #[test]
+    fn live_source_is_deterministic_in_seed() {
+        let run = |seed: u64| {
+            let mut src = LivePollSource::new(&[2.0, 0.7, 5.0], seed, 200.0).unwrap();
+            (0..300)
+                .map(|k| src.poll(k % 3, k as f64 * 0.33))
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seed, different history");
+    }
+}

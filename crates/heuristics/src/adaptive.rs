@@ -22,21 +22,37 @@ use freshen_solver::LagrangeSolver;
 /// vectors, each normalized to sum to 1 first. Zero entries are smoothed
 /// with a tiny ε so elements appearing/disappearing stay finite.
 ///
-/// # Panics
-/// Panics when lengths differ or either vector has a non-positive sum.
-pub fn jeffreys_divergence(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "divergence length mismatch");
+/// # Errors
+/// [`CoreError::LengthMismatch`] when the vectors differ in length;
+/// [`CoreError::InvalidValue`] when either vector's total mass is
+/// non-positive or non-finite (a divergence over it is meaningless).
+pub fn jeffreys_divergence(a: &[f64], b: &[f64]) -> Result<f64> {
+    if a.len() != b.len() {
+        return Err(CoreError::LengthMismatch {
+            what: "divergence vectors",
+            expected: a.len(),
+            actual: b.len(),
+        });
+    }
     const EPS: f64 = 1e-12;
     let sa: f64 = a.iter().sum();
     let sb: f64 = b.iter().sum();
-    assert!(sa > 0.0 && sb > 0.0, "divergence needs positive mass");
+    for sum in [sa, sb] {
+        if !sum.is_finite() || sum <= 0.0 {
+            return Err(CoreError::InvalidValue {
+                what: "divergence mass",
+                index: None,
+                value: sum,
+            });
+        }
+    }
     let mut d = 0.0;
     for (&x, &y) in a.iter().zip(b) {
         let p = (x / sa).max(EPS);
         let q = (y / sb).max(EPS);
         d += (p - q) * (p / q).ln();
     }
-    d
+    Ok(d)
 }
 
 /// Drift detector comparing live `(p, λ)` estimates against the snapshot
@@ -70,16 +86,24 @@ impl DriftMonitor {
     /// Total drift of `current` against the baseline: the sum of the
     /// profile divergence and the change-rate divergence.
     ///
-    /// # Panics
-    /// Panics when `current` has a different element count.
-    pub fn drift(&self, current: &Problem) -> f64 {
-        jeffreys_divergence(self.baseline_probs.as_slice(), current.access_probs())
-            + jeffreys_divergence(self.baseline_rates.as_slice(), current.change_rates())
+    /// # Errors
+    /// Fails when `current` has a different element count (the divergence
+    /// is undefined across mirror-size changes).
+    pub fn drift(&self, current: &Problem) -> Result<f64> {
+        Ok(
+            jeffreys_divergence(self.baseline_probs.as_slice(), current.access_probs())?
+                + jeffreys_divergence(self.baseline_rates.as_slice(), current.change_rates())?,
+        )
     }
 
     /// Should the schedule be recomputed for `current`?
-    pub fn needs_resolve(&self, current: &Problem) -> bool {
-        self.drift(current) > self.threshold
+    pub fn needs_resolve(&self, current: &Problem) -> Result<bool> {
+        Ok(self.drift(current)? > self.threshold)
+    }
+
+    /// The configured re-solve threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
     }
 
     /// Re-baseline after a re-solve.
@@ -102,6 +126,7 @@ pub struct AdaptiveScheduler {
     current: Solution,
     resolves: usize,
     skips: usize,
+    last_drift: Option<f64>,
 }
 
 impl AdaptiveScheduler {
@@ -115,6 +140,7 @@ impl AdaptiveScheduler {
             current,
             resolves: 1,
             skips: 0,
+            last_drift: None,
         })
     }
 
@@ -133,13 +159,13 @@ impl AdaptiveScheduler {
         self.skips
     }
 
-    /// Feed the latest estimates. Re-solves (warm-started) when the drift
-    /// monitor fires; otherwise keeps the active schedule. Returns whether
-    /// a re-solve happened.
-    ///
-    /// The element count must stay fixed (the paper's model: "copies are
-    /// not added or deleted at the mirror").
-    pub fn observe(&mut self, problem: &Problem) -> Result<bool> {
+    /// Drift measured by the most recent [`observe`](Self::observe) or
+    /// [`resolve`](Self::resolve) call, if any — handy for gauges.
+    pub fn last_drift(&self) -> Option<f64> {
+        self.last_drift
+    }
+
+    fn check_size(&self, problem: &Problem) -> Result<()> {
         if problem.len() != self.current.frequencies.len() {
             return Err(CoreError::LengthMismatch {
                 what: "adaptive problem size",
@@ -147,10 +173,10 @@ impl AdaptiveScheduler {
                 actual: problem.len(),
             });
         }
-        if !self.monitor.needs_resolve(problem) {
-            self.skips += 1;
-            return Ok(false);
-        }
+        Ok(())
+    }
+
+    fn resolve_inner(&mut self, problem: &Problem) -> Result<()> {
         let hint = self.current.multiplier.unwrap_or(0.0);
         self.current = if hint > 0.0 {
             self.solver.solve_warm(problem, hint)?
@@ -159,7 +185,35 @@ impl AdaptiveScheduler {
         };
         self.monitor.rebaseline(problem);
         self.resolves += 1;
+        Ok(())
+    }
+
+    /// Feed the latest estimates. Re-solves (warm-started) when the drift
+    /// monitor fires; otherwise keeps the active schedule. Returns whether
+    /// a re-solve happened.
+    ///
+    /// The element count must stay fixed (the paper's model: "copies are
+    /// not added or deleted at the mirror").
+    pub fn observe(&mut self, problem: &Problem) -> Result<bool> {
+        self.check_size(problem)?;
+        let drift = self.monitor.drift(problem)?;
+        self.last_drift = Some(drift);
+        if drift <= self.monitor.threshold() {
+            self.skips += 1;
+            return Ok(false);
+        }
+        self.resolve_inner(problem)?;
         Ok(true)
+    }
+
+    /// Re-solve unconditionally (still warm-started from the previous
+    /// multiplier) and re-baseline the drift monitor. This is the
+    /// "re-solve every epoch" oracle policy the drift-gated loop is
+    /// measured against.
+    pub fn resolve(&mut self, problem: &Problem) -> Result<()> {
+        self.check_size(problem)?;
+        self.last_drift = Some(self.monitor.drift(problem)?);
+        self.resolve_inner(problem)
     }
 }
 
@@ -193,9 +247,9 @@ mod tests {
     #[test]
     fn divergence_zero_iff_identical() {
         let a = [0.2, 0.3, 0.5];
-        assert_eq!(jeffreys_divergence(&a, &a), 0.0);
+        assert_eq!(jeffreys_divergence(&a, &a).unwrap(), 0.0);
         let b = [0.5, 0.3, 0.2];
-        assert!(jeffreys_divergence(&a, &b) > 0.0);
+        assert!(jeffreys_divergence(&a, &b).unwrap() > 0.0);
     }
 
     #[test]
@@ -203,8 +257,10 @@ mod tests {
         let a = [1.0, 2.0, 3.0];
         let b = [3.0, 2.0, 1.0];
         let scaled: Vec<f64> = a.iter().map(|x| x * 7.0).collect();
-        assert!((jeffreys_divergence(&a, &b) - jeffreys_divergence(&b, &a)).abs() < 1e-12);
-        assert!(jeffreys_divergence(&a, &scaled) < 1e-12);
+        let ab = jeffreys_divergence(&a, &b).unwrap();
+        let ba = jeffreys_divergence(&b, &a).unwrap();
+        assert!((ab - ba).abs() < 1e-12);
+        assert!(jeffreys_divergence(&a, &scaled).unwrap() < 1e-12);
     }
 
     #[test]
@@ -213,20 +269,20 @@ mod tests {
         let small = perturbed(&p, 1.05);
         let large = perturbed(&p, 1.5);
         let monitor = DriftMonitor::new(&p, 0.01).unwrap();
-        assert!(monitor.drift(&small) < monitor.drift(&large));
+        assert!(monitor.drift(&small).unwrap() < monitor.drift(&large).unwrap());
     }
 
     #[test]
     fn monitor_ignores_noise_fires_on_drift() {
         let p = base_problem();
         let monitor = DriftMonitor::new(&p, 0.02).unwrap();
-        assert!(!monitor.needs_resolve(&p), "no drift, no fire");
+        assert!(!monitor.needs_resolve(&p).unwrap(), "no drift, no fire");
         assert!(
-            !monitor.needs_resolve(&perturbed(&p, 1.01)),
+            !monitor.needs_resolve(&perturbed(&p, 1.01)).unwrap(),
             "1% tilt is noise"
         );
         assert!(
-            monitor.needs_resolve(&perturbed(&p, 2.0)),
+            monitor.needs_resolve(&perturbed(&p, 2.0)).unwrap(),
             "2x tilt must fire"
         );
     }
@@ -276,8 +332,99 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "length mismatch")]
-    fn divergence_length_mismatch_panics() {
-        jeffreys_divergence(&[1.0], &[0.5, 0.5]);
+    fn divergence_length_mismatch_is_an_error() {
+        let err = jeffreys_divergence(&[1.0], &[0.5, 0.5]).unwrap_err();
+        assert!(matches!(err, CoreError::LengthMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn divergence_non_positive_mass_is_an_error() {
+        assert!(jeffreys_divergence(&[0.0, 0.0], &[0.5, 0.5]).is_err());
+        assert!(jeffreys_divergence(&[0.5, 0.5], &[-1.0, 0.5]).is_err());
+        assert!(jeffreys_divergence(&[f64::NAN, 1.0], &[0.5, 0.5]).is_err());
+    }
+
+    #[test]
+    fn monitor_fires_exactly_once_per_crossing() {
+        // A drift that crosses the threshold triggers exactly one re-solve;
+        // holding at the drifted point afterwards triggers none until the
+        // *next* crossing.
+        let p = base_problem();
+        let mut sched = AdaptiveScheduler::new(&p, 0.02).unwrap();
+        let drifted = perturbed(&p, 2.0);
+
+        let mut fired = 0;
+        for _ in 0..5 {
+            if sched.observe(&drifted).unwrap() {
+                fired += 1;
+            }
+        }
+        assert_eq!(fired, 1, "one crossing, one re-solve");
+        assert_eq!(sched.resolves(), 2);
+        assert_eq!(sched.skips(), 4);
+
+        // Drift back to the original profile: a second crossing, again
+        // exactly one re-solve.
+        let mut fired_back = 0;
+        for _ in 0..5 {
+            if sched.observe(&p).unwrap() {
+                fired_back += 1;
+            }
+        }
+        assert_eq!(fired_back, 1, "second crossing, second re-solve");
+        assert_eq!(sched.resolves(), 3);
+    }
+
+    #[test]
+    fn monitor_never_fires_under_tiny_drift() {
+        let p = base_problem();
+        let mut sched = AdaptiveScheduler::new(&p, 0.02).unwrap();
+        for step in 0..10 {
+            // A slow wobble well inside the threshold.
+            let tiny = perturbed(&p, 1.0 + 0.002 * (step % 3) as f64);
+            assert!(!sched.observe(&tiny).unwrap(), "tiny drift must not fire");
+        }
+        assert_eq!(sched.resolves(), 1, "only the initial solve");
+        assert_eq!(sched.skips(), 10);
+    }
+
+    #[test]
+    fn warm_resolve_cheaper_than_cold_solve() {
+        // The warm-started re-solve (bracketing from the previous
+        // multiplier) must reach the same optimum in fewer outer
+        // iterations than a cold solve of the drifted problem.
+        let p = base_problem();
+        let mut sched = AdaptiveScheduler::new(&p, 0.02).unwrap();
+        let drifted = perturbed(&p, 1.8);
+
+        sched.resolve(&drifted).unwrap();
+        let warm = sched.schedule();
+        let cold = LagrangeSolver::default().solve(&drifted).unwrap();
+
+        assert!(
+            (warm.perceived_freshness - cold.perceived_freshness).abs() < 1e-9,
+            "same optimum"
+        );
+        assert!(
+            warm.iterations < cold.iterations,
+            "warm {} vs cold {} iterations",
+            warm.iterations,
+            cold.iterations
+        );
+    }
+
+    #[test]
+    fn forced_resolve_records_drift_and_counts() {
+        let p = base_problem();
+        let mut sched = AdaptiveScheduler::new(&p, 0.5).unwrap();
+        assert!(sched.last_drift().is_none());
+        // Under-threshold drift: observe skips but records the measurement.
+        let mild = perturbed(&p, 1.05);
+        assert!(!sched.observe(&mild).unwrap());
+        let seen = sched.last_drift().unwrap();
+        assert!(seen > 0.0 && seen < 0.5, "drift measured: {seen}");
+        // Forced resolve ignores the threshold entirely.
+        sched.resolve(&mild).unwrap();
+        assert_eq!(sched.resolves(), 2);
     }
 }

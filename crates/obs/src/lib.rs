@@ -26,7 +26,7 @@
 //! Design constraints (see DESIGN.md §2 and §7):
 //!
 //! * **Zero external dependencies.** The crate is std-only; exporters emit
-//!   JSON by hand ([`json`]). Embedding `freshen-obs` can never widen the
+//!   JSON by hand (the private `json` module). Embedding `freshen-obs` can never widen the
 //!   dependency surface of a workspace crate.
 //! * **Disabled means free.** A disabled `Recorder` and its handles are
 //!   `Option::None` all the way down; hot loops pay one predictable branch.

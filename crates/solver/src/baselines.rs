@@ -6,11 +6,11 @@
 //! * [`solve_uniform`] — every object refreshed at the same rate (the
 //!   naive mirror);
 //! * [`solve_proportional`] — refresh rate proportional to change rate,
-//!   the policy implied by TTL-style cache coherence (paper ref [7]): a
+//!   the policy implied by TTL-style cache coherence (paper ref \[7\]): a
 //!   document's time-to-live tracks its change interval, so faster-changing
 //!   documents get proportionally more polls;
 //! * [`solve_sampling_greedy`] — a simplified version of the
-//!   sampling-based policy of Cho & Ntoulas (paper ref [6]): objects are
+//!   sampling-based policy of Cho & Ntoulas (paper ref \[6\]): objects are
 //!   grouped (per "server"), a sample estimates each group's change ratio,
 //!   groups are ranked by that ratio, and refreshes are poured greedily
 //!   into the highest-ranked groups until the budget runs out.

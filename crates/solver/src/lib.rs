@@ -20,10 +20,10 @@
 //! * [`baselines`] — interest-blind comparators from related work:
 //!   uniform allocation, change-proportional ("TTL-ish") allocation, and a
 //!   sampling-based greedy policy in the spirit of Cho & Ntoulas
-//!   (the paper's ref [6]).
+//!   (the paper's ref \[6\]).
 //!
 //! The paper's **GF technique** (Cho & Garcia-Molina's average-freshness
-//! scheduler, its ref [5]) is the exact solver applied to a uniform
+//! scheduler, its ref \[5\]) is the exact solver applied to a uniform
 //! profile; see [`solve_general_freshness`].
 
 #![warn(missing_docs)]

@@ -15,6 +15,7 @@
 //! are skipped, so the files round-trip through the writers here.
 
 use std::fmt::Write as _;
+use std::io::BufRead;
 
 use freshen_core::error::{CoreError, Result};
 use freshen_core::estimate::ChangeRateEstimator;
@@ -49,71 +50,170 @@ fn parse_err(what: &'static str, line_no: usize, line: &str) -> CoreError {
     CoreError::InvalidConfig(format!("{what} at line {line_no}: `{line}`"))
 }
 
-/// Parse an access log (`time,element` lines).
-pub fn parse_access_log(text: &str) -> Result<Vec<AccessRecord>> {
-    let mut out = Vec::new();
-    for (idx, line) in text.lines().enumerate() {
-        if is_skippable(line, "time,element") {
-            continue;
-        }
-        let mut parts = line.trim().split(',');
-        let time: f64 = parts
-            .next()
-            .and_then(|v| v.trim().parse().ok())
-            .ok_or_else(|| parse_err("bad access time", idx + 1, line))?;
-        let element: usize = parts
-            .next()
-            .and_then(|v| v.trim().parse().ok())
-            .ok_or_else(|| parse_err("bad access element", idx + 1, line))?;
-        if parts.next().is_some() {
-            return Err(parse_err("trailing fields in access record", idx + 1, line));
-        }
-        if !time.is_finite() || time < 0.0 {
-            return Err(parse_err(
-                "negative or non-finite access time",
-                idx + 1,
-                line,
-            ));
-        }
-        out.push(AccessRecord { time, element });
+/// Parse one access-log data line (`time,element`). `line_no` is 1-based
+/// and only used for error messages.
+fn parse_access_line(line: &str, line_no: usize) -> Result<AccessRecord> {
+    let mut parts = line.trim().split(',');
+    let time: f64 = parts
+        .next()
+        .and_then(|v| v.trim().parse().ok())
+        .ok_or_else(|| parse_err("bad access time", line_no, line))?;
+    let element: usize = parts
+        .next()
+        .and_then(|v| v.trim().parse().ok())
+        .ok_or_else(|| parse_err("bad access element", line_no, line))?;
+    if parts.next().is_some() {
+        return Err(parse_err("trailing fields in access record", line_no, line));
     }
-    Ok(out)
+    if !time.is_finite() || time < 0.0 {
+        return Err(parse_err(
+            "negative or non-finite access time",
+            line_no,
+            line,
+        ));
+    }
+    Ok(AccessRecord { time, element })
 }
 
-/// Parse a poll log (`time,element,changed` lines).
-pub fn parse_poll_log(text: &str) -> Result<Vec<PollRecord>> {
-    let mut out = Vec::new();
-    for (idx, line) in text.lines().enumerate() {
-        if is_skippable(line, "time,element,changed") {
-            continue;
-        }
-        let mut parts = line.trim().split(',');
-        let time: f64 = parts
-            .next()
-            .and_then(|v| v.trim().parse().ok())
-            .ok_or_else(|| parse_err("bad poll time", idx + 1, line))?;
-        let element: usize = parts
-            .next()
-            .and_then(|v| v.trim().parse().ok())
-            .ok_or_else(|| parse_err("bad poll element", idx + 1, line))?;
-        let changed = match parts.next().map(|v| v.trim()) {
-            Some("0") | Some("false") => false,
-            Some("1") | Some("true") => true,
-            _ => return Err(parse_err("bad poll changed flag", idx + 1, line)),
-        };
-        if parts.next().is_some() {
-            return Err(parse_err("trailing fields in poll record", idx + 1, line));
-        }
-        if !time.is_finite() || time < 0.0 {
-            return Err(parse_err("negative or non-finite poll time", idx + 1, line));
-        }
-        out.push(PollRecord {
-            time,
-            element,
-            changed,
-        });
+/// Parse one poll-log data line (`time,element,changed`).
+fn parse_poll_line(line: &str, line_no: usize) -> Result<PollRecord> {
+    let mut parts = line.trim().split(',');
+    let time: f64 = parts
+        .next()
+        .and_then(|v| v.trim().parse().ok())
+        .ok_or_else(|| parse_err("bad poll time", line_no, line))?;
+    let element: usize = parts
+        .next()
+        .and_then(|v| v.trim().parse().ok())
+        .ok_or_else(|| parse_err("bad poll element", line_no, line))?;
+    let changed = match parts.next().map(|v| v.trim()) {
+        Some("0") | Some("false") => false,
+        Some("1") | Some("true") => true,
+        _ => return Err(parse_err("bad poll changed flag", line_no, line)),
+    };
+    if parts.next().is_some() {
+        return Err(parse_err("trailing fields in poll record", line_no, line));
     }
-    Ok(out)
+    if !time.is_finite() || time < 0.0 {
+        return Err(parse_err("negative or non-finite poll time", line_no, line));
+    }
+    Ok(PollRecord {
+        time,
+        element,
+        changed,
+    })
+}
+
+/// Streaming access-log reader: yields one [`AccessRecord`] per data line
+/// of any [`BufRead`] source, holding only the current line in memory —
+/// this is how the online engine replays multi-gigabyte request logs.
+///
+/// Comments, blank lines, and the `time,element` header are skipped, like
+/// the eager [`parse_access_log`] (which is now a wrapper over this).
+#[derive(Debug)]
+pub struct AccessLogReader<R> {
+    input: R,
+    buf: String,
+    line_no: usize,
+}
+
+impl<R: BufRead> AccessLogReader<R> {
+    /// Wrap a buffered reader (a `BufReader<File>`, `&[u8]`, …).
+    pub fn new(input: R) -> Self {
+        AccessLogReader {
+            input,
+            buf: String::new(),
+            line_no: 0,
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for AccessLogReader<R> {
+    type Item = Result<AccessRecord>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        next_data_line(
+            &mut self.input,
+            &mut self.buf,
+            &mut self.line_no,
+            "time,element",
+        )
+        .map(|res| res.and_then(|line_no| parse_access_line(self.buf.trim_end(), line_no)))
+    }
+}
+
+/// Streaming poll-log reader: the `time,element,changed` counterpart of
+/// [`AccessLogReader`].
+#[derive(Debug)]
+pub struct PollLogReader<R> {
+    input: R,
+    buf: String,
+    line_no: usize,
+}
+
+impl<R: BufRead> PollLogReader<R> {
+    /// Wrap a buffered reader (a `BufReader<File>`, `&[u8]`, …).
+    pub fn new(input: R) -> Self {
+        PollLogReader {
+            input,
+            buf: String::new(),
+            line_no: 0,
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for PollLogReader<R> {
+    type Item = Result<PollRecord>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        next_data_line(
+            &mut self.input,
+            &mut self.buf,
+            &mut self.line_no,
+            "time,element,changed",
+        )
+        .map(|res| res.and_then(|line_no| parse_poll_line(self.buf.trim_end(), line_no)))
+    }
+}
+
+/// Advance `input` to the next non-skippable line, leaving it in `buf`.
+/// Returns `None` at end of input, `Some(Ok(line_no))` when `buf` holds a
+/// data line, and `Some(Err(_))` on I/O failure.
+fn next_data_line(
+    input: &mut dyn BufRead,
+    buf: &mut String,
+    line_no: &mut usize,
+    header: &str,
+) -> Option<Result<usize>> {
+    loop {
+        buf.clear();
+        match input.read_line(buf) {
+            Ok(0) => return None,
+            Ok(_) => {
+                *line_no += 1;
+                if !is_skippable(buf, header) {
+                    return Some(Ok(*line_no));
+                }
+            }
+            Err(e) => {
+                return Some(Err(CoreError::InvalidConfig(format!(
+                    "log read failed after line {line_no}: {e}"
+                ))))
+            }
+        }
+    }
+}
+
+/// Parse an access log (`time,element` lines) eagerly into a vector —
+/// a thin wrapper over the streaming [`AccessLogReader`].
+pub fn parse_access_log(text: &str) -> Result<Vec<AccessRecord>> {
+    AccessLogReader::new(text.as_bytes()).collect()
+}
+
+/// Parse a poll log (`time,element,changed` lines) eagerly into a vector —
+/// a thin wrapper over the streaming [`PollLogReader`].
+pub fn parse_poll_log(text: &str) -> Result<Vec<PollRecord>> {
+    PollLogReader::new(text.as_bytes()).collect()
 }
 
 /// Serialize an access log (with header) — inverse of [`parse_access_log`].
@@ -297,6 +397,65 @@ mod tests {
     fn parse_error_reports_line_number() {
         let err = parse_access_log("1.0,2\nbogus,3\n").unwrap_err();
         assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn streaming_reader_matches_eager_parser() {
+        let text = "# shipped\ntime,element\n0.5,2\n\n1.5,0\n2.5,1\n";
+        let eager = parse_access_log(text).unwrap();
+        let streamed: Vec<AccessRecord> = AccessLogReader::new(text.as_bytes())
+            .collect::<Result<_>>()
+            .unwrap();
+        assert_eq!(streamed, eager);
+        assert_eq!(streamed.len(), 3);
+
+        let polls = "time,element,changed\n0.1,1,1\n0.2,2,false\n";
+        let eager = parse_poll_log(polls).unwrap();
+        let streamed: Vec<PollRecord> = PollLogReader::new(polls.as_bytes())
+            .collect::<Result<_>>()
+            .unwrap();
+        assert_eq!(streamed, eager);
+    }
+
+    #[test]
+    fn streaming_reader_yields_errors_in_place_then_continues() {
+        // The iterator surfaces the bad line as an Err item; a consumer
+        // may skip it and keep reading — unlike the eager parser, which
+        // aborts the whole file.
+        let text = "0.5,1\nbogus,9\n1.5,0\n";
+        let items: Vec<Result<AccessRecord>> = AccessLogReader::new(text.as_bytes()).collect();
+        assert_eq!(items.len(), 3);
+        assert!(items[0].is_ok());
+        let err = items[1].as_ref().unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        assert_eq!(items[2].as_ref().unwrap().element, 0);
+    }
+
+    #[test]
+    fn streaming_reader_is_fused_at_eof() {
+        let mut reader = AccessLogReader::new("1.0,0\n".as_bytes());
+        assert!(reader.next().unwrap().is_ok());
+        assert!(reader.next().is_none());
+        assert!(reader.next().is_none(), "stays exhausted");
+    }
+
+    #[test]
+    fn streaming_reader_surfaces_io_errors() {
+        struct FailingReader;
+        impl std::io::Read for FailingReader {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk on fire"))
+            }
+        }
+        impl BufRead for FailingReader {
+            fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+                Err(std::io::Error::other("disk on fire"))
+            }
+            fn consume(&mut self, _: usize) {}
+        }
+        let mut reader = PollLogReader::new(FailingReader);
+        let err = reader.next().unwrap().unwrap_err();
+        assert!(err.to_string().contains("disk on fire"), "{err}");
     }
 
     #[test]

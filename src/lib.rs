@@ -17,6 +17,7 @@
 //! | [`heuristics`] | scalable partitioning + k-means heuristics, FFA/FBA |
 //! | [`sim`] | discrete-event simulator (source, mirror, evaluator) |
 //! | [`obs`] | zero-dependency metrics/span/trace instrumentation |
+//! | [`engine`] | online runtime: streaming estimation, drift-gated re-solves, budgeted dispatch |
 //!
 //! ## End-to-end example
 //!
@@ -55,6 +56,7 @@
 pub struct ReadmeDoctests;
 
 pub use freshen_core as core;
+pub use freshen_engine as engine;
 pub use freshen_heuristics as heuristics;
 pub use freshen_obs as obs;
 pub use freshen_sim as sim;
@@ -70,6 +72,7 @@ pub mod prelude {
     pub use freshen_core::problem::{Element, Problem, Solution};
     pub use freshen_core::profile::{MasterProfile, ProfileEstimator, UserProfile};
     pub use freshen_core::schedule::{FixedOrderSchedule, ScheduleStream, SyncOp};
+    pub use freshen_engine::{Engine, EngineConfig, EngineReport, ResolvePolicy};
     pub use freshen_heuristics::allocate::AllocationPolicy;
     pub use freshen_heuristics::partition::PartitionCriterion;
     pub use freshen_heuristics::pipeline::{HeuristicConfig, HeuristicScheduler};
