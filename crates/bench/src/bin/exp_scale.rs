@@ -1,0 +1,125 @@
+//! **Parallel scaling benchmark** — the sharded two-level solve plus
+//! parallel PF evaluation across mirror sizes and worker counts.
+//!
+//! For each mirror size N the serial baseline is the global Lagrange
+//! solve followed by a serial PF evaluation. Each (N, threads) cell then
+//! runs the two-level sharded solve (outer bisection on the shared
+//! multiplier, per-shard water-filling fanned out on the pool) plus the
+//! chunked parallel PF evaluation, reporting wall-clock speedup over the
+//! serial baseline and PF parity |pf − pf_serial| (the shard equivalence
+//! argument says parity should sit at solver tolerance, ≤ 1e-6).
+//!
+//! Grid: N ∈ {10⁴, 10⁵, 10⁶} × threads ∈ {1, 2, 4, 8}; pass `--smoke`
+//! for the CI-sized grid N ∈ {10⁴, 10⁵} × threads ∈ {1, 2, 4}. Telemetry
+//! lands in `results/BENCH_scale.json`.
+//!
+//! Speedups only materialize with real cores — on a single-core box every
+//! cell degenerates to ~1×, which the header line calls out.
+
+use freshen_bench::{header, row, timed, BenchReport, BenchRun};
+use freshen_core::exec::Executor;
+use freshen_core::problem::Problem;
+use freshen_obs::Recorder;
+use freshen_solver::LagrangeSolver;
+
+/// Shard count for the two-level solve: enough shards to keep every
+/// worker fed at the largest thread count without shrinking the per-shard
+/// water-filling below chunking granularity.
+const SHARDS: usize = 32;
+
+/// Deterministic synthetic mirror: striped rates, Zipf-flavoured access
+/// weights, and a striped size mix — no RNG, so every run and every
+/// worker count sees byte-identical inputs.
+fn scale_problem(n: usize) -> Problem {
+    let rates: Vec<f64> = (0..n).map(|i| 0.1 + (i % 17) as f64 * 0.3).collect();
+    let weights: Vec<f64> = (0..n).map(|i| 1.0 / (i + 1) as f64).collect();
+    let sizes: Vec<f64> = (0..n).map(|i| 0.25 + (i % 7) as f64 * 0.5).collect();
+    Problem::builder()
+        .change_rates(rates)
+        .access_weights(weights)
+        .sizes(sizes)
+        .bandwidth(n as f64 / 4.0)
+        .build()
+        .expect("scale problem builds")
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (sizes, thread_grid): (&[usize], &[usize]) = if smoke {
+        (&[10_000, 100_000], &[1, 2, 4])
+    } else {
+        (&[10_000, 100_000, 1_000_000], &[1, 2, 4, 8])
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    println!(
+        "# Sharded parallel solve+evaluate scaling ({} shards, {cores} cores available{})",
+        SHARDS,
+        if cores < *thread_grid.last().expect("non-empty grid") {
+            "; speedup is core-bound on this machine"
+        } else {
+            ""
+        }
+    );
+    header(&[
+        "run",
+        "n",
+        "threads",
+        "wall_seconds",
+        "speedup",
+        "pf",
+        "pf_parity",
+    ]);
+
+    let mut bench = BenchReport::new("scale");
+    for &n in sizes {
+        let problem = scale_problem(n);
+
+        // Serial baseline: global solve + serial evaluation.
+        let serial_recorder = Recorder::enabled();
+        let serial_solver = LagrangeSolver {
+            recorder: serial_recorder.clone(),
+            ..Default::default()
+        };
+        let (serial_pf, serial_wall) = timed(|| {
+            let solution = serial_solver.solve(&problem).expect("serial solve");
+            problem.perceived_freshness(&solution.frequencies)
+        });
+        let label = format!("serial/n={n}");
+        row(&label, &[n as f64, 1.0, serial_wall, 1.0, serial_pf, 0.0]);
+        let mut serial_run = BenchRun::from_recorder(&label, serial_wall, &serial_recorder);
+        serial_run.pf = Some(serial_pf);
+        bench.push(serial_run);
+
+        for &threads in thread_grid {
+            let recorder = Recorder::enabled();
+            let executor = Executor::thread_pool(threads).with_recorder(recorder.clone());
+            let solver = LagrangeSolver {
+                recorder: recorder.clone(),
+                executor: executor.clone(),
+                ..Default::default()
+            };
+            let (pf, wall) = timed(|| {
+                let solution = solver
+                    .solve_sharded(&problem, SHARDS)
+                    .expect("sharded solve");
+                problem.perceived_freshness_exec(&solution.frequencies, &executor)
+            });
+            let speedup = serial_wall / wall.max(f64::MIN_POSITIVE);
+            let parity = (pf - serial_pf).abs();
+            let label = format!("sharded/n={n}/threads={threads}");
+            row(
+                &label,
+                &[n as f64, threads as f64, wall, speedup, pf, parity],
+            );
+            let mut run = BenchRun::from_recorder(&label, wall, &recorder);
+            run.pf = Some(pf);
+            bench.push(run);
+        }
+    }
+
+    match bench.write() {
+        Ok(path) => println!("# telemetry: {}", path.display()),
+        Err(e) => eprintln!("# telemetry write failed: {e}"),
+    }
+}

@@ -3,6 +3,7 @@
 
 use std::io::Write;
 
+use freshen_core::exec::Executor;
 use freshen_core::policy::SyncPolicy;
 use freshen_core::problem::{Problem, Solution};
 use freshen_core::schedule::FixedOrderSchedule;
@@ -63,6 +64,16 @@ fn obs_recorder(args: &crate::ParsedArgs) -> (Recorder, Option<&str>, Option<&st
         Recorder::disabled()
     };
     (recorder, metrics, trace)
+}
+
+/// Build the executor for a command from its `--threads` flag: an
+/// explicit positive value wins, `0` or absence falls back to the
+/// `FRESHEN_THREADS` environment variable, and an unset environment means
+/// serial execution.
+fn exec_from_args(args: &crate::ParsedArgs, recorder: &Recorder) -> Result<Executor, String> {
+    let threads: usize = args.parsed_or("threads", 0usize)?;
+    let threads = if threads == 0 { None } else { Some(threads) };
+    Ok(Executor::from_threads(threads).with_recorder(recorder.clone()))
 }
 
 /// Flush the requested observability outputs after a command finishes.
@@ -131,12 +142,14 @@ pub fn cmd_scenario(args: &crate::ParsedArgs, out: &mut dyn Write) -> Result<(),
 
 /// `freshen solve` — exact Lagrange solve.
 pub fn cmd_solve(args: &crate::ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
-    args.expect_only(&["input", "policy", "metrics-out", "trace-out"])?;
+    args.expect_only(&["input", "policy", "threads", "metrics-out", "trace-out"])?;
     let (recorder, metrics, trace) = obs_recorder(args);
+    let executor = exec_from_args(args, &recorder)?;
     let problem = read_problem(args.require("input")?)?;
     let solver = LagrangeSolver {
         policy: parse_policy(args.get("policy"))?,
         recorder: recorder.clone(),
+        executor,
         ..Default::default()
     };
     let solution = solver.solve(&problem).map_err(|e| e.to_string())?;
@@ -152,10 +165,12 @@ pub fn cmd_heuristic(args: &crate::ParsedArgs, out: &mut dyn Write) -> Result<()
         "kmeans",
         "criterion",
         "allocation",
+        "threads",
         "metrics-out",
         "trace-out",
     ])?;
     let (recorder, metrics, trace) = obs_recorder(args);
+    let executor = exec_from_args(args, &recorder)?;
     let problem = read_problem(args.require("input")?)?;
     let criterion = match args.get("criterion") {
         None | Some("pf") => PartitionCriterion::PerceivedFreshness,
@@ -181,6 +196,7 @@ pub fn cmd_heuristic(args: &crate::ParsedArgs, out: &mut dyn Write) -> Result<()
     let result = HeuristicScheduler::new(config)
         .map_err(|e| e.to_string())?
         .with_recorder(recorder.clone())
+        .with_executor(executor)
         .solve(&problem)
         .map_err(|e| e.to_string())?;
     write_obs_outputs(&recorder, metrics, trace)?;
@@ -197,10 +213,12 @@ pub fn cmd_simulate(args: &crate::ParsedArgs, out: &mut dyn Write) -> Result<(),
         "accesses",
         "seed",
         "policy",
+        "threads",
         "metrics-out",
         "trace-out",
     ])?;
     let (recorder, metrics, trace) = obs_recorder(args);
+    let executor = exec_from_args(args, &recorder)?;
     let problem = read_problem(args.require("input")?)?;
     let freqs = read_schedule(args.require("schedule")?, problem.len())?;
     let config = SimConfig {
@@ -213,6 +231,7 @@ pub fn cmd_simulate(args: &crate::ParsedArgs, out: &mut dyn Write) -> Result<(),
         .map_err(|e| e.to_string())?
         .with_sync_policy(parse_policy(args.get("policy"))?)
         .with_recorder(recorder.clone())
+        .with_executor(executor)
         .run()
         .map_err(|e| e.to_string())?;
     write_obs_outputs(&recorder, metrics, trace)?;
@@ -305,11 +324,13 @@ pub fn cmd_engine(args: &crate::ParsedArgs, out: &mut dyn Write) -> Result<(), S
         "max-retries",
         "retry-backoff",
         "seed",
+        "threads",
         "report-out",
         "metrics-out",
         "trace-out",
     ])?;
     let (recorder, metrics, trace_out) = obs_recorder(args);
+    let executor = exec_from_args(args, &recorder)?;
 
     let defaults = EngineConfig::default();
     let estimator = match args.get("estimator") {
@@ -372,7 +393,14 @@ pub fn cmd_engine(args: &crate::ParsedArgs, out: &mut dyn Write) -> Result<(), S
                 .build()
                 .map_err(|e| e.to_string())?;
             let mut source = ReplayPollSource::new(n, &polls).map_err(|e| e.to_string())?;
-            run_engine(&prior, config, accesses, &mut source, recorder.clone())?
+            run_engine(
+                &prior,
+                config,
+                accesses,
+                &mut source,
+                recorder.clone(),
+                executor,
+            )?
         }
         (None, Some(problem_path)) => {
             // Live mode: the problem file supplies the ground truth the
@@ -389,7 +417,14 @@ pub fn cmd_engine(args: &crate::ParsedArgs, out: &mut dyn Write) -> Result<(), S
             let mut source =
                 LivePollSource::new(problem.change_rates(), config.seed ^ 0x50_11, horizon)
                     .map_err(|e| e.to_string())?;
-            run_engine(&problem, config, accesses, &mut source, recorder.clone())?
+            run_engine(
+                &problem,
+                config,
+                accesses,
+                &mut source,
+                recorder.clone(),
+                executor,
+            )?
         }
         (None, None) => {
             return Err("one of --trace or --live is required".into());
@@ -411,6 +446,7 @@ fn run_engine<I>(
     accesses: I,
     source: &mut dyn PollSource,
     recorder: Recorder,
+    executor: Executor,
 ) -> Result<freshen_engine::EngineReport, String>
 where
     I: IntoIterator<Item = freshen_core::error::Result<freshen_workload::trace::AccessRecord>>,
@@ -418,6 +454,7 @@ where
     Engine::new(prior, config)
         .map_err(|e| e.to_string())?
         .with_recorder(recorder)
+        .with_executor(executor)
         .run(accesses, source)
         .map_err(|e| e.to_string())
 }
@@ -545,6 +582,69 @@ mod tests {
         .unwrap();
         let poisson: Solution = serde_json::from_slice(&poisson).unwrap();
         assert!(fixed.perceived_freshness > poisson.perceived_freshness);
+    }
+
+    #[test]
+    fn threads_flag_is_accepted_by_parallel_commands() {
+        // Each command must get past option validation with --threads set:
+        // the first failure has to be the missing input file, not an
+        // unknown-option complaint.
+        let mut buf = Vec::new();
+        for run in [
+            cmd_solve(
+                &parsed(&["--input", "/nonexistent.json", "--threads", "4"]),
+                &mut buf,
+            ),
+            cmd_heuristic(
+                &parsed(&[
+                    "--input",
+                    "/nonexistent.json",
+                    "--partitions",
+                    "2",
+                    "--threads",
+                    "4",
+                ]),
+                &mut buf,
+            ),
+            cmd_simulate(
+                &parsed(&[
+                    "--input",
+                    "/nonexistent.json",
+                    "--schedule",
+                    "/nonexistent.json",
+                    "--threads",
+                    "4",
+                ]),
+                &mut buf,
+            ),
+            cmd_engine(
+                &parsed(&[
+                    "--trace",
+                    "/nonexistent.csv",
+                    "--elements",
+                    "2",
+                    "--bandwidth",
+                    "1.0",
+                    "--threads",
+                    "4",
+                ]),
+                &mut buf,
+            ),
+        ] {
+            let err = run.unwrap_err();
+            assert!(err.contains("cannot read"), "{err}");
+        }
+    }
+
+    #[test]
+    fn threads_flag_rejects_garbage() {
+        let mut buf = Vec::new();
+        let err = cmd_solve(
+            &parsed(&["--input", "/nonexistent.json", "--threads", "lots"]),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(err.contains("threads"), "{err}");
     }
 
     #[test]

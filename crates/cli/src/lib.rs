@@ -68,15 +68,15 @@ USAGE:
                     [--alignment aligned|reverse|shuffled] [--std-dev S]
                     [--pareto-sizes SHAPE] [--size-alignment aligned|reverse|shuffled]
                     [--seed S]
-  freshen solve     --input problem.json [--policy fixed|poisson]
+  freshen solve     --input problem.json [--policy fixed|poisson] [--threads T]
                     [--metrics-out metrics.json] [--trace-out trace.json]
   freshen heuristic --input problem.json --partitions K [--kmeans N]
                     [--criterion pf|p|lambda|p-over-lambda|pf-size|size]
-                    [--allocation fba|ffa]
+                    [--allocation fba|ffa] [--threads T]
                     [--metrics-out metrics.json] [--trace-out trace.json]
   freshen simulate  --input problem.json --schedule schedule.json
                     [--periods P] [--warmup W] [--accesses A] [--seed S]
-                    [--policy fixed|poisson]
+                    [--policy fixed|poisson] [--threads T]
                     [--metrics-out metrics.json] [--trace-out trace.json]
   freshen timetable --input problem.json --schedule schedule.json --horizon H
   freshen estimate  --elements N --bandwidth B --accesses access_log.csv
@@ -86,10 +86,14 @@ USAGE:
                     [--epochs E] [--epoch-len L] [--warmup W] [--drift-threshold D]
                     [--policy drift|oracle] [--estimator ewma|window] [--gain G] [--window K]
                     [--failure-rate F] [--max-retries R] [--retry-backoff T]
-                    [--budget-factor C] [--max-backlog M] [--seed S]
+                    [--budget-factor C] [--max-backlog M] [--seed S] [--threads T]
                     [--report-out report.json] [--metrics-out metrics.json]
                     [--trace-out trace.json]
-  freshen help";
+  freshen help
+
+Parallelism: --threads T runs the solver / pipeline / scoring passes on a
+T-worker pool (results are identical at any T). --threads 0 or omission
+defers to the FRESHEN_THREADS environment variable; unset means serial.";
 
 #[cfg(test)]
 mod tests {

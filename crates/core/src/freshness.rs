@@ -19,6 +19,12 @@
 //! access probability `pᵢ`, producing **perceived freshness**
 //! `PF = Σᵢ pᵢ · F̄(λᵢ, fᵢ)` (Definitions 3–4, plus the identity
 //! `E[PF(A)] = Σ pᵢ F̄ᵢ` proved in their technical report).
+//!
+//! The weighted accumulators here use compensated (Neumaier) summation —
+//! see [`crate::numeric`] — so million-element PF evaluations keep full
+//! precision.
+
+use crate::numeric::NeumaierSum;
 
 /// Expected number of source changes per refresh interval below which we
 /// switch to a Taylor expansion of `(1 − e^{−r})/r` to avoid catastrophic
@@ -134,13 +140,13 @@ pub fn perceived_freshness(weights: &[f64], lambdas: &[f64], freqs: &[f64]) -> f
         "weights/lambdas length mismatch"
     );
     assert_eq!(weights.len(), freqs.len(), "weights/freqs length mismatch");
-    let mut acc = 0.0;
+    let mut acc = NeumaierSum::new();
     for ((&w, &l), &f) in weights.iter().zip(lambdas).zip(freqs) {
         if w != 0.0 {
-            acc += w * steady_state_freshness(l, f);
+            acc.add(w * steady_state_freshness(l, f));
         }
     }
-    acc
+    acc.total()
 }
 
 /// *General* (interest-blind) freshness of an allocation: the unweighted
@@ -152,12 +158,11 @@ pub fn general_freshness(lambdas: &[f64], freqs: &[f64]) -> f64 {
     if lambdas.is_empty() {
         return 0.0;
     }
-    let sum: f64 = lambdas
-        .iter()
-        .zip(freqs)
-        .map(|(&l, &f)| steady_state_freshness(l, f))
-        .sum();
-    sum / lambdas.len() as f64
+    let mut acc = NeumaierSum::new();
+    for (&l, &f) in lambdas.iter().zip(freqs) {
+        acc.add(steady_state_freshness(l, f));
+    }
+    acc.total() / lambdas.len() as f64
 }
 
 /// The inverse problem: the sync frequency at which an element with change
@@ -248,13 +253,13 @@ pub fn perceived_age(weights: &[f64], lambdas: &[f64], freqs: &[f64]) -> f64 {
         "weights/lambdas length mismatch"
     );
     assert_eq!(weights.len(), freqs.len(), "weights/freqs length mismatch");
-    let mut acc = 0.0;
+    let mut acc = NeumaierSum::new();
     for ((&w, &l), &f) in weights.iter().zip(lambdas).zip(freqs) {
         if w != 0.0 {
-            acc += w * steady_state_age(l, f);
+            acc.add(w * steady_state_age(l, f));
         }
     }
-    acc
+    acc.total()
 }
 
 /// Second derivative `∂²F̄/∂f²` of the Fixed-Order freshness — always

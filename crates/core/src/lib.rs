@@ -30,7 +30,13 @@
 //! * [`selection`] — the paper's §7 future-work extension: choosing *which*
 //!   objects to mirror when the mirror is smaller than the database;
 //! * [`access`] — access sets/logs and the empirical perceived-freshness
-//!   score ("keeping score at each access", Definition 3).
+//!   score ("keeping score at each access", Definition 3);
+//! * [`exec`] — the deterministic [`Executor`] abstraction (serial or
+//!   crossbeam thread pool) behind every parallel hot loop;
+//! * [`shard`] — [`ShardedProblem`], the contiguous-after-sort partition
+//!   view the two-level parallel solve is built on;
+//! * [`numeric`] — compensated (Neumaier) summation so million-element
+//!   accumulations stay accurate.
 //!
 //! ## Quick start
 //!
@@ -59,13 +65,18 @@
 pub mod access;
 pub mod error;
 pub mod estimate;
+pub mod exec;
 pub mod freshness;
+pub mod numeric;
 pub mod policy;
 pub mod problem;
 pub mod profile;
 pub mod schedule;
 pub mod selection;
+pub mod shard;
 
 pub use error::{CoreError, Result};
+pub use exec::Executor;
 pub use policy::SyncPolicy;
 pub use problem::{Element, Problem, Solution};
+pub use shard::ShardedProblem;

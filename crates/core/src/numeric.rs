@@ -1,0 +1,136 @@
+//! Compensated floating-point accumulation (Neumaier's variant of Kahan
+//! summation).
+//!
+//! Naive left-to-right `f64` summation loses roughly one bit of precision
+//! per order of magnitude of term count: at `N = 10⁶` normalized access
+//! probabilities (each `≈ 1e-6`), the running error can approach the
+//! `Σ pᵢ = 1 ± 1e-6` validation tolerance itself, making large problems
+//! fail [`crate::problem::Problem`] validation nondeterministically.
+//! Neumaier summation carries a running compensation term that captures
+//! the low-order bits lost by each addition, keeping the error independent
+//! of `N` (a few ulps) at the cost of ~4 flops per term.
+//!
+//! Used by the `problem` and `freshness` accumulators and by the chunked
+//! parallel reductions in [`crate::exec`], where per-chunk partials are
+//! merged in fixed chunk order so results are identical at any worker
+//! count.
+
+/// A running compensated sum (Neumaier / "improved Kahan–Babuška").
+///
+/// ```
+/// use freshen_core::numeric::NeumaierSum;
+///
+/// let mut acc = NeumaierSum::new();
+/// for x in [1e16, 1.0, -1e16] {
+///     acc.add(x);
+/// }
+/// // Naive summation returns 0.0 here; the compensated sum is exact.
+/// assert_eq!(acc.total(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NeumaierSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl NeumaierSum {
+    /// An empty sum (total `0.0`).
+    pub fn new() -> Self {
+        NeumaierSum::default()
+    }
+
+    /// Add one term, folding the rounding error of the addition into the
+    /// compensation. Non-finite partial sums propagate uncompensated
+    /// (`inf − inf` would otherwise poison the compensation with NaN —
+    /// perceived age is legitimately infinite for starved elements).
+    #[inline]
+    pub fn add(&mut self, value: f64) {
+        let t = self.sum + value;
+        if t.is_finite() {
+            if self.sum.abs() >= value.abs() {
+                self.compensation += (self.sum - t) + value;
+            } else {
+                self.compensation += (value - t) + self.sum;
+            }
+        }
+        self.sum = t;
+    }
+
+    /// Merge another compensated partial sum into this one (used when
+    /// combining per-chunk partials from a parallel reduction). The merge
+    /// is performed in the caller's order, so a fixed merge order yields a
+    /// fixed result.
+    #[inline]
+    pub fn merge(&mut self, other: NeumaierSum) {
+        self.add(other.sum);
+        self.compensation += other.compensation;
+    }
+
+    /// The compensated total.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.sum + self.compensation
+    }
+}
+
+/// Compensated sum of an iterator of terms.
+pub fn neumaier_sum(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut acc = NeumaierSum::new();
+    for v in values {
+        acc.add(v);
+    }
+    acc.total()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_cancelled_low_order_bits() {
+        assert_eq!(neumaier_sum([1e16, 1.0, -1e16]), 1.0);
+        // The classic Neumaier-beats-Kahan case: the big term arrives second.
+        assert_eq!(neumaier_sum([1.0, 1e100, 1.0, -1e100]), 2.0);
+    }
+
+    #[test]
+    fn empty_and_single_term_are_exact() {
+        assert_eq!(neumaier_sum([]), 0.0);
+        assert_eq!(neumaier_sum([0.125]), 0.125);
+    }
+
+    #[test]
+    fn million_normalized_weights_sum_to_one() {
+        // Uneven weights normalized by their own naive total must re-sum to
+        // 1 within a few ulps under compensation.
+        let n = 1_000_000;
+        let raw: Vec<f64> = (0..n).map(|i| 1.0 / (1.0 + (i % 997) as f64)).collect();
+        let total: f64 = raw.iter().sum();
+        let sum = neumaier_sum(raw.iter().map(|w| w / total));
+        assert!((sum - 1.0).abs() < 1e-12, "compensated sum {sum}");
+    }
+
+    #[test]
+    fn infinite_terms_stay_infinite() {
+        assert_eq!(neumaier_sum([1.0, f64::INFINITY, 2.0]), f64::INFINITY);
+        assert!(neumaier_sum([f64::NAN, 1.0]).is_nan());
+    }
+
+    #[test]
+    fn merge_matches_single_pass() {
+        let values: Vec<f64> = (0..10_000)
+            .map(|i| (i as f64 * 0.37).sin() * 1e8 + 1e-8)
+            .collect();
+        let whole = neumaier_sum(values.iter().copied());
+        let mut left = NeumaierSum::new();
+        for &v in &values[..5_000] {
+            left.add(v);
+        }
+        let mut right = NeumaierSum::new();
+        for &v in &values[5_000..] {
+            right.add(v);
+        }
+        left.merge(right);
+        assert!((left.total() - whole).abs() <= 1e-6 * whole.abs().max(1.0));
+    }
+}

@@ -18,7 +18,9 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::exec::{Executor, DEFAULT_CHUNK};
 use crate::freshness::{freshness_gradient, freshness_second_derivative, steady_state_freshness};
+use crate::numeric::NeumaierSum;
 
 /// How refreshes of one element are placed in time, given its frequency.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -107,7 +109,8 @@ impl SyncPolicy {
         }
     }
 
-    /// Perceived freshness `Σ wᵢ·F̄(λᵢ, fᵢ)` under this policy.
+    /// Perceived freshness `Σ wᵢ·F̄(λᵢ, fᵢ)` under this policy
+    /// (compensated summation).
     pub fn perceived_freshness(&self, weights: &[f64], lambdas: &[f64], freqs: &[f64]) -> f64 {
         assert_eq!(
             weights.len(),
@@ -115,13 +118,116 @@ impl SyncPolicy {
             "weights/lambdas length mismatch"
         );
         assert_eq!(weights.len(), freqs.len(), "weights/freqs length mismatch");
-        weights
-            .iter()
-            .zip(lambdas)
-            .zip(freqs)
-            .filter(|((&w, _), _)| w != 0.0)
-            .map(|((&w, &l), &f)| w * self.freshness(l, f))
-            .sum()
+        let mut acc = NeumaierSum::new();
+        for ((&w, &l), &f) in weights.iter().zip(lambdas).zip(freqs) {
+            if w != 0.0 {
+                acc.add(w * self.freshness(l, f));
+            }
+        }
+        acc.total()
+    }
+
+    /// Chunked-parallel [`perceived_freshness`](Self::perceived_freshness):
+    /// per-chunk compensated partials merged in fixed chunk order, so the
+    /// result is identical at any worker count.
+    pub fn perceived_freshness_exec(
+        &self,
+        weights: &[f64],
+        lambdas: &[f64],
+        freqs: &[f64],
+        executor: &Executor,
+    ) -> f64 {
+        assert_eq!(
+            weights.len(),
+            lambdas.len(),
+            "weights/lambdas length mismatch"
+        );
+        assert_eq!(weights.len(), freqs.len(), "weights/freqs length mismatch");
+        executor
+            .par_chunks_reduce(
+                weights.len(),
+                DEFAULT_CHUNK,
+                |range| {
+                    let mut acc = NeumaierSum::new();
+                    for i in range {
+                        let w = weights[i];
+                        if w != 0.0 {
+                            acc.add(w * self.freshness(lambdas[i], freqs[i]));
+                        }
+                    }
+                    acc
+                },
+                |mut a, b| {
+                    a.merge(b);
+                    a
+                },
+            )
+            .map_or(0.0, |acc| acc.total())
+    }
+
+    /// Chunked-parallel perceived **age** `Σ wᵢ·Ā(λᵢ, fᵢ)` under this
+    /// policy, skipping zero-weight elements (whose infinite age at `f = 0`
+    /// must not poison the profile-weighted mean).
+    pub fn perceived_age_exec(
+        &self,
+        weights: &[f64],
+        lambdas: &[f64],
+        freqs: &[f64],
+        executor: &Executor,
+    ) -> f64 {
+        assert_eq!(
+            weights.len(),
+            lambdas.len(),
+            "weights/lambdas length mismatch"
+        );
+        assert_eq!(weights.len(), freqs.len(), "weights/freqs length mismatch");
+        executor
+            .par_chunks_reduce(
+                weights.len(),
+                DEFAULT_CHUNK,
+                |range| {
+                    let mut acc = NeumaierSum::new();
+                    for i in range {
+                        let w = weights[i];
+                        if w != 0.0 {
+                            acc.add(w * self.age(lambdas[i], freqs[i]));
+                        }
+                    }
+                    acc
+                },
+                |mut a, b| {
+                    a.merge(b);
+                    a
+                },
+            )
+            .map_or(0.0, |acc| acc.total())
+    }
+
+    /// Chunked-parallel unweighted mean freshness (the general-freshness
+    /// metric) under this policy.
+    pub fn mean_freshness_exec(&self, lambdas: &[f64], freqs: &[f64], executor: &Executor) -> f64 {
+        assert_eq!(lambdas.len(), freqs.len(), "lambdas/freqs length mismatch");
+        if lambdas.is_empty() {
+            return 0.0;
+        }
+        executor
+            .par_chunks_reduce(
+                lambdas.len(),
+                DEFAULT_CHUNK,
+                |range| {
+                    let mut acc = NeumaierSum::new();
+                    for i in range {
+                        acc.add(self.freshness(lambdas[i], freqs[i]));
+                    }
+                    acc
+                },
+                |mut a, b| {
+                    a.merge(b);
+                    a
+                },
+            )
+            .map_or(0.0, |acc| acc.total())
+            / lambdas.len() as f64
     }
 }
 

@@ -15,7 +15,9 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::{CoreError, Result};
+use crate::exec::Executor;
 use crate::freshness::{general_freshness, perceived_freshness};
+use crate::numeric::neumaier_sum;
 use crate::policy::SyncPolicy;
 
 /// Tolerance used when checking that access probabilities sum to one.
@@ -123,10 +125,11 @@ impl Problem {
         (0..self.len()).map(move |i| self.element(i))
     }
 
-    /// Bandwidth consumed by an allocation: `Σ sᵢ·fᵢ`.
+    /// Bandwidth consumed by an allocation: `Σ sᵢ·fᵢ` (compensated
+    /// summation, so million-element budgets don't drift).
     pub fn bandwidth_used(&self, freqs: &[f64]) -> f64 {
         assert_eq!(freqs.len(), self.len(), "freqs length mismatch");
-        self.sizes.iter().zip(freqs).map(|(&s, &f)| s * f).sum()
+        neumaier_sum(self.sizes.iter().zip(freqs).map(|(&s, &f)| s * f))
     }
 
     /// Check an allocation for feasibility: non-negative, finite, and within
@@ -146,6 +149,23 @@ impl Problem {
     /// Perceived freshness under an explicit synchronization policy.
     pub fn perceived_freshness_with(&self, policy: SyncPolicy, freqs: &[f64]) -> f64 {
         policy.perceived_freshness(&self.access_probs, &self.change_rates, freqs)
+    }
+
+    /// Chunked-parallel perceived freshness (Fixed-Order policy). Produces
+    /// the same result at any worker count — see [`crate::exec`] for the
+    /// determinism rule.
+    pub fn perceived_freshness_exec(&self, freqs: &[f64], executor: &Executor) -> f64 {
+        self.perceived_freshness_with_exec(SyncPolicy::FixedOrder, freqs, executor)
+    }
+
+    /// Chunked-parallel perceived freshness under an explicit policy.
+    pub fn perceived_freshness_with_exec(
+        &self,
+        policy: SyncPolicy,
+        freqs: &[f64],
+        executor: &Executor,
+    ) -> f64 {
+        policy.perceived_freshness_exec(&self.access_probs, &self.change_rates, freqs, executor)
     }
 
     /// Interest-blind average freshness of an allocation (Definition 2).
@@ -205,7 +225,7 @@ impl Problem {
             p.push(self.access_probs[i]);
             s.push(self.sizes[i]);
         }
-        let total: f64 = p.iter().sum();
+        let total = neumaier_sum(p.iter().copied());
         if total <= 0.0 {
             return Err(CoreError::ProbabilityNotNormalized { sum: total });
         }
@@ -307,7 +327,9 @@ impl ProblemBuilder {
                 });
             }
         }
-        let sum: f64 = probs.iter().sum();
+        // Compensated sum: naive accumulation over 10⁶ probabilities can
+        // drift by the same order as PROB_SUM_TOL itself.
+        let sum = neumaier_sum(probs.iter().copied());
         if self.normalize {
             if sum <= 0.0 {
                 return Err(CoreError::ProbabilityNotNormalized { sum });
@@ -391,6 +413,34 @@ impl Solution {
             let uniform = vec![1.0 / n; problem.len()];
             policy.perceived_freshness(&uniform, problem.change_rates(), &frequencies)
         };
+        let used = problem.bandwidth_used(&frequencies);
+        Solution {
+            frequencies,
+            perceived_freshness: pf,
+            general_freshness: gf,
+            bandwidth_used: used,
+            multiplier: None,
+            iterations: 0,
+        }
+    }
+
+    /// Score an allocation with chunked-parallel PF/GF evaluation. The
+    /// metrics equal [`evaluate_with_policy`](Self::evaluate_with_policy)
+    /// up to the fixed-chunk reduction order and are identical at any
+    /// worker count.
+    pub fn evaluate_with_policy_exec(
+        problem: &Problem,
+        frequencies: Vec<f64>,
+        policy: SyncPolicy,
+        executor: &Executor,
+    ) -> Solution {
+        assert_eq!(
+            frequencies.len(),
+            problem.len(),
+            "frequencies length mismatch"
+        );
+        let pf = problem.perceived_freshness_with_exec(policy, &frequencies, executor);
+        let gf = policy.mean_freshness_exec(problem.change_rates(), &frequencies, executor);
         let used = problem.bandwidth_used(&frequencies);
         Solution {
             frequencies,

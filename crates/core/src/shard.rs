@@ -1,0 +1,177 @@
+//! Sharded views of a [`Problem`] for two-level parallel solves.
+//!
+//! A [`ShardedProblem`] partitions a problem's element indices into `K`
+//! **contiguous-after-sort** shards: indices are sorted once by the
+//! zero-frequency marginal value density `pᵢ / (λᵢ·sᵢ)` (descending — the
+//! order in which water-filling activates elements) and then cut into `K`
+//! equal contiguous runs. Each shard is therefore a band of elements with
+//! similar marginal value, which keeps per-shard inner solves balanced.
+//!
+//! **Why sharding preserves optimality.** The Core Problem couples
+//! elements only through the single bandwidth constraint `Σ sᵢfᵢ = B`.
+//! At the optimum, KKT stationarity gives every active element the same
+//! multiplier: `pᵢ·F̄'(λᵢ, fᵢ) = μ·sᵢ`. Fix any partition of the elements
+//! into shards and give each shard `k` the budget `Bₖ(μ) = Σ_{i∈k} sᵢfᵢ(μ)`
+//! it consumes at a common multiplier `μ`; then each per-shard
+//! water-filling subproblem is solved by exactly the global solution's
+//! frequencies, because the per-element stationarity condition mentions
+//! only that shared `μ`. An outer bisection on `μ` (equivalently, on the
+//! per-shard budget multipliers it induces) with per-shard inner solves
+//! run in parallel therefore reproduces the global solve — for *any*
+//! partition. The sort is purely a load-balancing choice, not a
+//! correctness requirement; `freshen-solver`'s `solve_sharded` exploits
+//! this and the property tests assert PF parity against the global solve.
+
+use crate::problem::Problem;
+
+/// Rate below which an element is effectively static (matches the
+/// solver's treatment: such elements stay fresh without bandwidth and are
+/// ordered last).
+const STATIC_RATE: f64 = 1e-12;
+
+/// A partition of a problem's indices into `K` contiguous-after-sort
+/// shards. Borrows the problem; building one costs a single `O(n log n)`
+/// sort.
+#[derive(Debug, Clone)]
+pub struct ShardedProblem<'a> {
+    problem: &'a Problem,
+    order: Vec<usize>,
+    bounds: Vec<usize>,
+}
+
+impl<'a> ShardedProblem<'a> {
+    /// Shard `problem` into `shards` contiguous runs (clamped to
+    /// `1..=n`). Every element index appears in exactly one shard.
+    pub fn new(problem: &'a Problem, shards: usize) -> Self {
+        let n = problem.len();
+        let k = shards.clamp(1, n.max(1));
+        let p = problem.access_probs();
+        let lam = problem.change_rates();
+        let s = problem.sizes();
+        // Zero-frequency marginal value density: the water-filling entry
+        // order. Static elements sort last (they never receive bandwidth).
+        let keys: Vec<f64> = (0..n)
+            .map(|i| {
+                if lam[i] > STATIC_RATE {
+                    p[i] / (lam[i] * s[i])
+                } else {
+                    -1.0
+                }
+            })
+            .collect();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            keys[b]
+                .partial_cmp(&keys[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let run = n.div_ceil(k).max(1);
+        let bounds: Vec<usize> = (0..=k).map(|j| (j * run).min(n)).collect();
+        ShardedProblem {
+            problem,
+            order,
+            bounds,
+        }
+    }
+
+    /// The problem this view shards.
+    pub fn problem(&self) -> &Problem {
+        self.problem
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// The element indices of shard `j` (sorted by descending marginal
+    /// value density, ties by index).
+    ///
+    /// # Panics
+    /// Panics when `j >= num_shards()`.
+    pub fn shard(&self, j: usize) -> &[usize] {
+        &self.order[self.bounds[j]..self.bounds[j + 1]]
+    }
+
+    /// Iterate over all shards in order.
+    pub fn shards(&self) -> impl Iterator<Item = &[usize]> + '_ {
+        (0..self.num_shards()).map(|j| self.shard(j))
+    }
+
+    /// The full sorted index order (the concatenation of all shards).
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn problem(n: usize) -> Problem {
+        let rates: Vec<f64> = (0..n).map(|i| 0.5 + (i % 13) as f64).collect();
+        let weights: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
+        Problem::builder()
+            .change_rates(rates)
+            .access_weights(weights)
+            .bandwidth(n as f64 / 3.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn shards_cover_every_index_exactly_once() {
+        let p = problem(101);
+        let sharded = ShardedProblem::new(&p, 8);
+        assert_eq!(sharded.num_shards(), 8);
+        let mut seen = vec![0u32; 101];
+        for shard in sharded.shards() {
+            for &i in shard {
+                seen[i] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "each index in one shard");
+    }
+
+    #[test]
+    fn shard_count_is_clamped() {
+        let p = problem(5);
+        assert_eq!(ShardedProblem::new(&p, 0).num_shards(), 1);
+        assert_eq!(ShardedProblem::new(&p, 100).num_shards(), 5);
+        for shard in ShardedProblem::new(&p, 100).shards() {
+            assert_eq!(shard.len(), 1);
+        }
+    }
+
+    #[test]
+    fn order_is_descending_marginal_density() {
+        let p = problem(60);
+        let sharded = ShardedProblem::new(&p, 4);
+        let key = |i: usize| p.access_probs()[i] / (p.change_rates()[i] * p.sizes()[i]);
+        let order = sharded.order();
+        for w in order.windows(2) {
+            assert!(
+                key(w[0]) >= key(w[1]),
+                "order not descending at {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+        // Contiguity: shard j's members are a contiguous slice of `order`.
+        let rebuilt: Vec<usize> = sharded.shards().flatten().copied().collect();
+        assert_eq!(rebuilt, order);
+    }
+
+    #[test]
+    fn static_elements_sort_last() {
+        let pr = Problem::builder()
+            .change_rates(vec![2.0, 0.0, 1.0])
+            .access_weights(vec![1.0, 5.0, 1.0])
+            .bandwidth(2.0)
+            .build()
+            .unwrap();
+        let sharded = ShardedProblem::new(&pr, 1);
+        assert_eq!(*sharded.order().last().unwrap(), 1);
+    }
+}

@@ -18,6 +18,7 @@ use std::time::Instant;
 
 use freshen_core::error::{CoreError, Result};
 use freshen_core::estimate::{EwmaRateEstimator, WindowRateEstimator};
+use freshen_core::exec::Executor;
 use freshen_core::problem::Problem;
 use freshen_core::profile::ProfileEstimator;
 use freshen_heuristics::adaptive::AdaptiveScheduler;
@@ -74,6 +75,7 @@ pub struct Engine {
     scheduler: AdaptiveScheduler,
     dispatcher: PollDispatcher,
     recorder: Recorder,
+    executor: Executor,
     estimates: Problem,
     last_poll: Vec<f64>,
 }
@@ -91,6 +93,7 @@ impl Engine {
             scheduler: AdaptiveScheduler::new(prior, config.drift_threshold)?,
             dispatcher: PollDispatcher::new(n, prior.bandwidth(), &config)?,
             recorder: Recorder::disabled(),
+            executor: Executor::serial(),
             estimates: prior.clone(),
             last_poll: vec![0.0; n],
             config,
@@ -101,6 +104,19 @@ impl Engine {
     /// and simulator).
     pub fn with_recorder(mut self, recorder: Recorder) -> Self {
         self.recorder = recorder;
+        self
+    }
+
+    /// Run re-solves (and the solver's inner allocation loop) on
+    /// `executor`. With a thread pool, each epoch's drift-gated re-solve
+    /// is spawned onto a worker and overlapped with the epoch's PF
+    /// scoring, so the event loop never blocks on the solver; the solver
+    /// itself also parallelizes its water-filling pass. Reports stay
+    /// byte-identical at any worker count — the two overlapped steps are
+    /// data-independent.
+    pub fn with_executor(mut self, executor: Executor) -> Self {
+        self.scheduler = self.scheduler.with_executor(executor.clone());
+        self.executor = executor;
         self
     }
 
@@ -142,6 +158,7 @@ impl Engine {
         };
         let resolve_counter = self.recorder.counter("engine.resolves");
         let skip_counter = self.recorder.counter("engine.skips");
+        let offload_counter = self.recorder.counter("engine.offloaded_resolves");
         let drift_gauge = self.recorder.gauge("engine.drift");
         let pf_gauge = self.recorder.gauge("engine.realized_pf");
 
@@ -211,13 +228,32 @@ impl Engine {
                 .access_weights(self.profile.access_probs_smoothed(self.config.smoothing))
                 .bandwidth(self.bandwidth)
                 .build()?;
-            let resolved = match self.config.resolve_policy {
-                ResolvePolicy::DriftGated => self.scheduler.observe(&self.estimates)?,
-                ResolvePolicy::EveryEpoch => {
-                    self.scheduler.resolve(&self.estimates)?;
-                    true
-                }
+            // 4. ... overlapped with scoring the epoch (estimates at the
+            // achieved frequencies). The re-solve decision and the PF
+            // score read the same immutable estimates and touch disjoint
+            // state, so on a pool the solve runs on a worker while the
+            // score runs here — the loop never blocks on the solver.
+            let achieved: Vec<f64> = outcome
+                .succeeded
+                .iter()
+                .map(|&polls| polls as f64 / self.config.epoch_len)
+                .collect();
+            if self.executor.is_parallel() {
+                offload_counter.inc();
+            }
+            let (resolve_outcome, realized_pf) = {
+                let scheduler = &mut self.scheduler;
+                let estimates = &self.estimates;
+                let policy = self.config.resolve_policy;
+                self.executor.join(
+                    move || match policy {
+                        ResolvePolicy::DriftGated => scheduler.observe(estimates),
+                        ResolvePolicy::EveryEpoch => scheduler.resolve(estimates).map(|_| true),
+                    },
+                    || estimates.perceived_freshness(&achieved),
+                )
             };
+            let resolved = resolve_outcome?;
             let drift = self.scheduler.last_drift().unwrap_or(0.0);
             if resolved {
                 resolve_counter.inc();
@@ -225,14 +261,6 @@ impl Engine {
                 skip_counter.inc();
             }
             drift_gauge.set(drift);
-
-            // 4. Score the epoch: estimates at the achieved frequencies.
-            let achieved: Vec<f64> = outcome
-                .succeeded
-                .iter()
-                .map(|&polls| polls as f64 / self.config.epoch_len)
-                .collect();
-            let realized_pf = self.estimates.perceived_freshness(&achieved);
             pf_gauge.set(realized_pf);
 
             totals.events += epoch_accesses + outcome.dispatched;
@@ -374,6 +402,64 @@ mod tests {
         let first = run();
         assert_eq!(first, run(), "same trace + seed ⇒ byte-identical report");
         assert!(first.contains("\"epochs\""));
+    }
+
+    #[test]
+    fn pooled_resolves_leave_the_report_byte_identical() {
+        let n = 4;
+        let mut access_records = Vec::new();
+        let mut poll_records = Vec::new();
+        for k in 0..400 {
+            access_records.push(AccessRecord {
+                time: k as f64 * 0.02,
+                element: [0, 0, 1, 2, 0, 3, 1, 0][k % 8],
+            });
+        }
+        for k in 0..80 {
+            poll_records.push(PollRecord {
+                time: k as f64 * 0.1,
+                element: k % n,
+                changed: k % 3 != 0,
+            });
+        }
+        let config = small_config();
+        let run = |executor: Executor| {
+            let p = prior(n, 8.0);
+            let mut engine = Engine::new(&p, config.clone())
+                .unwrap()
+                .with_executor(executor);
+            let mut source = ReplayPollSource::new(n, &poll_records).unwrap();
+            engine
+                .run(replay_accesses(access_records.clone()), &mut source)
+                .unwrap()
+                .to_json()
+        };
+        let serial = run(Executor::serial());
+        for workers in [2, 4] {
+            assert_eq!(
+                serial,
+                run(Executor::thread_pool(workers)),
+                "{workers}-worker pool must not perturb the report"
+            );
+        }
+    }
+
+    #[test]
+    fn offloaded_resolves_are_counted() {
+        let p = prior(3, 3.0);
+        let recorder = Recorder::enabled();
+        let mut engine = Engine::new(&p, small_config())
+            .unwrap()
+            .with_recorder(recorder.clone())
+            .with_executor(Executor::thread_pool(2));
+        let accesses = LiveAccessStream::new(p.access_probs(), 50.0, 2, 8.0);
+        let mut source = LivePollSource::new(&[2.0; 3], 4, 16.0).unwrap();
+        let report = engine.run(accesses, &mut source).unwrap();
+        assert_eq!(
+            recorder.counter_value("engine.offloaded_resolves").unwrap(),
+            report.epochs.len() as u64,
+            "every epoch's resolve decision goes through the pool"
+        );
     }
 
     #[test]

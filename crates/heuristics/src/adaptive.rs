@@ -144,6 +144,15 @@ impl AdaptiveScheduler {
         })
     }
 
+    /// Attach an execution strategy for subsequent re-solves (builder
+    /// form). The initial solve in [`new`](Self::new) runs serially; later
+    /// drift-triggered solves use the configured executor — the optimum is
+    /// identical either way.
+    pub fn with_executor(mut self, executor: freshen_core::exec::Executor) -> Self {
+        self.solver.executor = executor;
+        self
+    }
+
     /// The active schedule.
     pub fn schedule(&self) -> &Solution {
         &self.current

@@ -18,6 +18,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use freshen_core::exec::Executor;
 use freshen_core::problem::Problem;
 
 use crate::partition::Partitioning;
@@ -52,18 +53,38 @@ impl AllocationPolicy {
         reduced: &ReducedProblem,
         rep_freqs: &[f64],
     ) -> Vec<f64> {
+        self.expand_exec(
+            problem,
+            partitioning,
+            reduced,
+            rep_freqs,
+            &Executor::serial(),
+        )
+    }
+
+    /// [`expand`](Self::expand) with the per-member spread computed in
+    /// parallel on `executor`. Each member's frequency depends only on its
+    /// own partition lookup, so the expansion is identical at any worker
+    /// count.
+    pub fn expand_exec(
+        &self,
+        problem: &Problem,
+        partitioning: &Partitioning,
+        reduced: &ReducedProblem,
+        rep_freqs: &[f64],
+        executor: &Executor,
+    ) -> Vec<f64> {
         let lookup = reduced.representative_lookup(rep_freqs, partitioning.num_partitions());
-        let mut freqs = vec![0.0; problem.len()];
-        for (i, freq) in freqs.iter_mut().enumerate() {
+        executor.par_map_index(problem.len(), |i| {
             let g = partitioning.partition_of(i);
-            if let Some((f_rep, s_mean)) = lookup[g] {
-                *freq = match self {
+            match lookup[g] {
+                Some((f_rep, s_mean)) => match self {
                     AllocationPolicy::FixedFrequency => f_rep,
                     AllocationPolicy::FixedBandwidth => f_rep * s_mean / problem.sizes()[i],
-                };
+                },
+                None => 0.0,
             }
-        }
-        freqs
+        })
     }
 }
 

@@ -13,6 +13,7 @@
 //! more partitions (and much more solve time) to match.
 
 use freshen_core::error::{CoreError, Result};
+use freshen_core::exec::{Executor, DEFAULT_CHUNK};
 use freshen_core::problem::Problem;
 use freshen_obs::Recorder;
 
@@ -82,6 +83,20 @@ pub fn refine_observed(
     iterations: usize,
     recorder: &Recorder,
 ) -> Result<(Partitioning, usize)> {
+    refine_observed_exec(problem, initial, iterations, recorder, &Executor::serial())
+}
+
+/// [`refine_observed`] with the assignment and centroid-update passes run
+/// on `executor`. The nearest-centroid choice is per element (current
+/// assignment read-only), and centroid sums merge per-chunk partials in
+/// fixed chunk order, so refinement is identical at any worker count.
+pub fn refine_observed_exec(
+    problem: &Problem,
+    initial: &Partitioning,
+    iterations: usize,
+    recorder: &Recorder,
+    executor: &Executor,
+) -> Result<(Partitioning, usize)> {
     if initial.len() != problem.len() {
         return Err(CoreError::LengthMismatch {
             what: "partitioning",
@@ -104,8 +119,12 @@ pub fn refine_observed(
         ran += 1;
         let mut round_span = recorder.span("heuristic.kmeans_round");
         round_span.arg("round", ran);
-        let mut moves = 0usize;
-        for (i, f) in features.iter().enumerate() {
+        // Nearest-centroid pass: each element's choice depends only on the
+        // (read-only) centroids, so it maps per element; keeping the
+        // current cluster on ties (strict `<` move rule) makes the result
+        // scheduling-independent. Moves are applied serially afterwards.
+        let best_of: Vec<usize> = executor.par_map_index(features.len(), |i| {
+            let f = &features[i];
             let mut best = assignment[i];
             let mut best_d = dist2(f, &centroids[best]);
             for (g, c) in centroids.iter().enumerate() {
@@ -115,8 +134,12 @@ pub fn refine_observed(
                     best = g;
                 }
             }
-            if best != assignment[i] {
-                assignment[i] = best;
+            best
+        });
+        let mut moves = 0usize;
+        for (slot, best) in assignment.iter_mut().zip(best_of) {
+            if best != *slot {
+                *slot = best;
                 moves += 1;
             }
         }
@@ -129,7 +152,7 @@ pub fn refine_observed(
         // Recompute centroids; empty clusters keep their previous position
         // so they can recapture elements in a later iteration.
         let part = Partitioning::from_assignment(assignment.clone(), k)?;
-        let fresh = compute_centroids_with_fallback(&features, &part, &centroids);
+        let fresh = compute_centroids_with_fallback(&features, &part, &centroids, executor);
         centroids = fresh;
     }
     Ok((Partitioning::from_assignment(assignment, k)?, ran))
@@ -140,24 +163,46 @@ fn compute_centroids(features: &[[f64; 3]], partitioning: &Partitioning) -> Vec<
         features,
         partitioning,
         &vec![[0.0; 3]; partitioning.num_partitions()],
+        &Executor::serial(),
     )
 }
 
+/// Per-cluster feature sums and member counts, reduced chunk-by-chunk in
+/// fixed order so centroid positions match the serial pass exactly.
 fn compute_centroids_with_fallback(
     features: &[[f64; 3]],
     partitioning: &Partitioning,
     fallback: &[[f64; 3]],
+    executor: &Executor,
 ) -> Vec<[f64; 3]> {
     let k = partitioning.num_partitions();
-    let mut sums = vec![[0.0f64; 3]; k];
-    let mut counts = vec![0usize; k];
-    for (i, f) in features.iter().enumerate() {
-        let g = partitioning.partition_of(i);
-        for d in 0..3 {
-            sums[g][d] += f[d];
-        }
-        counts[g] += 1;
-    }
+    let (sums, counts) = executor
+        .par_chunks_reduce(
+            features.len(),
+            DEFAULT_CHUNK,
+            |range| {
+                let mut sums = vec![[0.0f64; 3]; k];
+                let mut counts = vec![0usize; k];
+                for i in range {
+                    let g = partitioning.partition_of(i);
+                    for d in 0..3 {
+                        sums[g][d] += features[i][d];
+                    }
+                    counts[g] += 1;
+                }
+                (sums, counts)
+            },
+            |(mut sums, mut counts), (other_sums, other_counts)| {
+                for g in 0..k {
+                    for d in 0..3 {
+                        sums[g][d] += other_sums[g][d];
+                    }
+                    counts[g] += other_counts[g];
+                }
+                (sums, counts)
+            },
+        )
+        .unwrap_or_else(|| (vec![[0.0f64; 3]; k], vec![0usize; k]));
     (0..k)
         .map(|g| {
             if counts[g] == 0 {

@@ -20,6 +20,7 @@
 use serde::{Deserialize, Serialize};
 
 use freshen_core::error::{CoreError, Result};
+use freshen_core::exec::Executor;
 use freshen_core::freshness::steady_state_freshness;
 use freshen_core::problem::Problem;
 
@@ -109,6 +110,25 @@ impl Partitioning {
         k: usize,
         reference_frequency: f64,
     ) -> Result<Partitioning> {
+        Self::by_criterion_exec(
+            problem,
+            criterion,
+            k,
+            reference_frequency,
+            &Executor::serial(),
+        )
+    }
+
+    /// [`by_criterion`](Self::by_criterion) with the sort keys computed in
+    /// parallel on `executor`. Keys are evaluated per element, so the
+    /// partitioning is identical at any worker count.
+    pub fn by_criterion_exec(
+        problem: &Problem,
+        criterion: PartitionCriterion,
+        k: usize,
+        reference_frequency: f64,
+        executor: &Executor,
+    ) -> Result<Partitioning> {
         if k == 0 {
             return Err(CoreError::InvalidConfig(
                 "need at least one partition".into(),
@@ -124,9 +144,8 @@ impl Partitioning {
         let n = problem.len();
         let k = k.min(n);
         let mut order: Vec<usize> = (0..n).collect();
-        let keys: Vec<f64> = (0..n)
-            .map(|i| criterion.key(problem, i, reference_frequency))
-            .collect();
+        let keys: Vec<f64> =
+            executor.par_map_index(n, |i| criterion.key(problem, i, reference_frequency));
         order.sort_by(|&a, &b| {
             keys[b]
                 .partial_cmp(&keys[a])

@@ -17,6 +17,7 @@
 use serde::{Deserialize, Serialize};
 
 use freshen_core::error::{CoreError, Result};
+use freshen_core::exec::Executor;
 use freshen_core::problem::{Problem, Solution};
 use freshen_obs::Recorder;
 use freshen_solver::LagrangeSolver;
@@ -72,6 +73,7 @@ pub struct HeuristicScheduler {
     config: HeuristicConfig,
     solver: LagrangeSolver,
     recorder: Recorder,
+    executor: Executor,
 }
 
 impl HeuristicScheduler {
@@ -93,6 +95,7 @@ impl HeuristicScheduler {
             config,
             solver: LagrangeSolver::default(),
             recorder: Recorder::disabled(),
+            executor: Executor::serial(),
         })
     }
 
@@ -109,6 +112,15 @@ impl HeuristicScheduler {
         self
     }
 
+    /// Attach an execution strategy; it also flows into the embedded exact
+    /// solver. Every pipeline stage produces the same result at any worker
+    /// count (see [`freshen_core::exec`]).
+    pub fn with_executor(mut self, executor: Executor) -> Self {
+        self.solver.executor = executor.clone();
+        self.executor = executor;
+        self
+    }
+
     /// Run the full pipeline on `problem`, with one span per stage.
     pub fn solve(&self, problem: &Problem) -> Result<HeuristicSolution> {
         let rec = &self.recorder;
@@ -118,33 +130,49 @@ impl HeuristicScheduler {
 
         let initial = {
             let _span = rec.span("heuristic.partition");
-            Partitioning::by_criterion(
+            Partitioning::by_criterion_exec(
                 problem,
                 self.config.criterion,
                 self.config.num_partitions,
                 self.config.reference_frequency,
+                &self.executor,
             )?
         };
         let (partitioning, ran) = {
             let _span = rec.span("heuristic.kmeans");
-            kmeans::refine_observed(problem, &initial, self.config.kmeans_iterations, rec)?
+            kmeans::refine_observed_exec(
+                problem,
+                &initial,
+                self.config.kmeans_iterations,
+                rec,
+                &self.executor,
+            )?
         };
 
         let (reduced, rep) = {
             let mut span = rec.span("heuristic.representative_solve");
-            let reduced = ReducedProblem::build(problem, &partitioning)?;
+            let reduced = ReducedProblem::build_exec(problem, &partitioning, &self.executor)?;
             span.arg("reduced_elements", reduced.problem().len());
             let rep = self.solver.solve(reduced.problem())?;
             (reduced, rep)
         };
         let freqs = {
             let _span = rec.span("heuristic.spread_allocation");
-            self.config
-                .allocation
-                .expand(problem, &partitioning, &reduced, &rep.frequencies)
+            self.config.allocation.expand_exec(
+                problem,
+                &partitioning,
+                &reduced,
+                &rep.frequencies,
+                &self.executor,
+            )
         };
 
-        let mut solution = Solution::evaluate(problem, freqs);
+        let mut solution = Solution::evaluate_with_policy_exec(
+            problem,
+            freqs,
+            freshen_core::policy::SyncPolicy::FixedOrder,
+            &self.executor,
+        );
         solution.multiplier = rep.multiplier;
         solution.iterations = rep.iterations;
         rec.gauge("heuristic.pf").set(solution.perceived_freshness);
@@ -385,6 +413,36 @@ mod tests {
             .frequencies
             .iter()
             .all(|&f| (f - f0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn pool_pipeline_matches_serial_exactly() {
+        let p = table2_problem();
+        let config = HeuristicConfig {
+            num_partitions: 20,
+            kmeans_iterations: 5,
+            ..Default::default()
+        };
+        let serial = HeuristicScheduler::new(config.clone())
+            .unwrap()
+            .solve(&p)
+            .unwrap();
+        for workers in [2, 4] {
+            let pooled = HeuristicScheduler::new(config.clone())
+                .unwrap()
+                .with_executor(Executor::thread_pool(workers))
+                .solve(&p)
+                .unwrap();
+            assert_eq!(
+                serial.solution.frequencies, pooled.solution.frequencies,
+                "workers={workers}"
+            );
+            assert_eq!(serial.partitioning, pooled.partitioning);
+            assert_eq!(
+                serial.solution.perceived_freshness.to_bits(),
+                pooled.solution.perceived_freshness.to_bits()
+            );
+        }
     }
 
     #[test]

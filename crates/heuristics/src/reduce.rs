@@ -16,6 +16,7 @@
 //! the original partitions for the allocation step.
 
 use freshen_core::error::{CoreError, Result};
+use freshen_core::exec::{Executor, DEFAULT_CHUNK};
 use freshen_core::problem::Problem;
 
 use crate::partition::Partitioning;
@@ -45,6 +46,18 @@ impl ReducedProblem {
     /// bandwidth and are likewise dropped (their members will receive zero
     /// frequency at expansion). Errors when *no* partition remains.
     pub fn build(problem: &Problem, partitioning: &Partitioning) -> Result<ReducedProblem> {
+        Self::build_exec(problem, partitioning, &Executor::serial())
+    }
+
+    /// [`build`](Self::build) with the per-partition statistics gathered in
+    /// parallel on `executor`: per-chunk partial sums merged in fixed
+    /// chunk order, so the reduced problem is identical at any worker
+    /// count.
+    pub fn build_exec(
+        problem: &Problem,
+        partitioning: &Partitioning,
+        executor: &Executor,
+    ) -> Result<ReducedProblem> {
         if partitioning.len() != problem.len() {
             return Err(CoreError::LengthMismatch {
                 what: "partition assignment",
@@ -53,17 +66,33 @@ impl ReducedProblem {
             });
         }
         let k = partitioning.num_partitions();
-        let mut count = vec![0usize; k];
-        let mut sum_p = vec![0.0f64; k];
-        let mut sum_lam = vec![0.0f64; k];
-        let mut sum_s = vec![0.0f64; k];
-        for i in 0..problem.len() {
-            let g = partitioning.partition_of(i);
-            count[g] += 1;
-            sum_p[g] += problem.access_probs()[i];
-            sum_lam[g] += problem.change_rates()[i];
-            sum_s[g] += problem.sizes()[i];
-        }
+        let stats = executor
+            .par_chunks_reduce(
+                problem.len(),
+                DEFAULT_CHUNK,
+                |range| {
+                    let mut s = PartitionStats::zero(k);
+                    for i in range {
+                        let g = partitioning.partition_of(i);
+                        s.count[g] += 1;
+                        s.sum_p[g] += problem.access_probs()[i];
+                        s.sum_lam[g] += problem.change_rates()[i];
+                        s.sum_s[g] += problem.sizes()[i];
+                    }
+                    s
+                },
+                |mut a, b| {
+                    a.merge(&b);
+                    a
+                },
+            )
+            .unwrap_or_else(|| PartitionStats::zero(k));
+        let PartitionStats {
+            count,
+            sum_p,
+            sum_lam,
+            sum_s,
+        } = stats;
 
         let mut active_partitions = Vec::new();
         let mut weights = Vec::new();
@@ -138,6 +167,34 @@ impl ReducedProblem {
             lookup[g] = Some((rep_freqs[idx], self.mean_sizes[idx]));
         }
         lookup
+    }
+}
+
+/// Per-partition accumulators for one chunk of the reduction pass.
+struct PartitionStats {
+    count: Vec<usize>,
+    sum_p: Vec<f64>,
+    sum_lam: Vec<f64>,
+    sum_s: Vec<f64>,
+}
+
+impl PartitionStats {
+    fn zero(k: usize) -> Self {
+        PartitionStats {
+            count: vec![0usize; k],
+            sum_p: vec![0.0f64; k],
+            sum_lam: vec![0.0f64; k],
+            sum_s: vec![0.0f64; k],
+        }
+    }
+
+    fn merge(&mut self, other: &PartitionStats) {
+        for g in 0..self.count.len() {
+            self.count[g] += other.count[g];
+            self.sum_p[g] += other.sum_p[g];
+            self.sum_lam[g] += other.sum_lam[g];
+            self.sum_s[g] += other.sum_s[g];
+        }
     }
 }
 

@@ -1,4 +1,5 @@
-//! `freshen-obs`: zero-dependency instrumentation for the freshen workspace.
+//! `freshen-obs`: minimal-dependency instrumentation for the freshen
+//! workspace.
 //!
 //! Everything hangs off a [`Recorder`], a cheap cloneable handle that is
 //! either *enabled* (backed by a shared registry) or *disabled* (every
@@ -25,9 +26,11 @@
 //!
 //! Design constraints (see DESIGN.md §2 and §7):
 //!
-//! * **Zero external dependencies.** The crate is std-only; exporters emit
-//!   JSON by hand (the private `json` module). Embedding `freshen-obs` can never widen the
-//!   dependency surface of a workspace crate.
+//! * **Minimal external dependencies.** The sole dependency is
+//!   `parking_lot`, whose non-poisoning uncontended-fast mutex guards the
+//!   trace buffer on the span-drop hot path; exporters emit JSON by hand
+//!   (the private `json` module). Embedding `freshen-obs` barely widens
+//!   the dependency surface of a workspace crate.
 //! * **Disabled means free.** A disabled `Recorder` and its handles are
 //!   `Option::None` all the way down; hot loops pay one predictable branch.
 //! * **Bounded memory.** The trace buffer and journal have hard capacities

@@ -6,10 +6,25 @@
 //! `[ts, ts+dur]` intervals, so inner spans render inside outer ones without
 //! any explicit parent bookkeeping.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread::ThreadId;
 use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// Monotonic id source distinguishing buffers in the per-thread tid cache.
+static NEXT_BUFFER_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Per-thread `(buffer id, interned tid)` pairs. A thread's dense
+    /// index within a buffer never changes, so after the first interning
+    /// a `tid()` call is a local vector scan — no shared-map lock on the
+    /// span-drop hot path. A plain Vec beats a map here: a thread touches
+    /// very few distinct recorders over its lifetime.
+    static TID_CACHE: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
+}
 
 /// One recorded trace entry (span or instant event).
 #[derive(Clone, Debug)]
@@ -26,47 +41,70 @@ pub struct TraceEvent {
 }
 
 /// Bounded buffer of trace events plus the thread-id interning table.
-#[derive(Debug)]
 pub struct TraceBuffer {
+    id: u64,
     events: Mutex<Vec<TraceEvent>>,
     threads: Mutex<HashMap<ThreadId, u64>>,
     capacity: usize,
-    dropped: std::sync::atomic::AtomicU64,
+    dropped: AtomicU64,
 }
 
 impl TraceBuffer {
     pub fn new(capacity: usize) -> Self {
         TraceBuffer {
+            id: NEXT_BUFFER_ID.fetch_add(1, Ordering::Relaxed),
             events: Mutex::new(Vec::new()),
             threads: Mutex::new(HashMap::new()),
             capacity,
-            dropped: std::sync::atomic::AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
         }
     }
 
-    /// Dense per-recorder index for the calling thread.
+    /// Dense per-recorder index for the calling thread, cached
+    /// thread-locally after the first interning.
     pub fn tid(&self) -> u64 {
-        let mut map = self.threads.lock().unwrap();
-        let next = map.len() as u64;
-        *map.entry(std::thread::current().id()).or_insert(next)
+        TID_CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some(&(_, tid)) = cache.iter().find(|&&(id, _)| id == self.id) {
+                return tid;
+            }
+            let tid = {
+                let mut map = self.threads.lock();
+                let next = map.len() as u64;
+                *map.entry(std::thread::current().id()).or_insert(next)
+            };
+            cache.push((self.id, tid));
+            tid
+        })
     }
 
     pub fn push(&self, event: TraceEvent) {
-        let mut events = self.events.lock().unwrap();
+        let mut events = self.events.lock();
         if events.len() >= self.capacity {
-            self.dropped
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
             return;
         }
         events.push(event);
     }
 
     pub fn dropped(&self) -> u64 {
-        self.dropped.load(std::sync::atomic::Ordering::Relaxed)
+        self.dropped.load(Ordering::Relaxed)
     }
 
     pub fn snapshot(&self) -> Vec<TraceEvent> {
-        self.events.lock().unwrap().clone()
+        self.events.lock().clone()
+    }
+}
+
+// Manual impl: the lock guards' contents are runtime data, not state
+// worth printing, and the mutex type itself offers no `Debug`.
+impl std::fmt::Debug for TraceBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceBuffer")
+            .field("id", &self.id)
+            .field("capacity", &self.capacity)
+            .field("dropped", &self.dropped)
+            .finish_non_exhaustive()
     }
 }
 
@@ -190,5 +228,20 @@ mod tests {
         let other = std::thread::scope(|s| s.spawn(|| buf.tid()).join().unwrap());
         assert_ne!(main_tid, other);
         assert!(other < 2);
+    }
+
+    #[test]
+    fn tid_cache_is_stable_and_scoped_per_buffer() {
+        let a = TraceBuffer::new(4);
+        let b = TraceBuffer::new(4);
+        // Fresh buffers intern the calling thread at index 0, and the
+        // thread-local cache must keep the two buffers apart.
+        assert_eq!(a.tid(), 0);
+        assert_eq!(b.tid(), 0);
+        // Repeat calls hit the cache and must agree with the shared map.
+        assert_eq!(a.tid(), 0);
+        let other = std::thread::scope(|s| s.spawn(|| (a.tid(), a.tid())).join().unwrap());
+        assert_eq!(other, (1, 1), "second thread interns index 1, cached");
+        assert_eq!(a.tid(), 0, "first thread's cached index is unchanged");
     }
 }

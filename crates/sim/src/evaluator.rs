@@ -15,6 +15,8 @@
 //! against these in the integration tests.
 
 use freshen_core::access::PerElementScore;
+use freshen_core::exec::{Executor, DEFAULT_CHUNK};
+use freshen_core::numeric::NeumaierSum;
 
 /// Monitoring-mode evaluator state.
 #[derive(Debug, Clone)]
@@ -50,7 +52,30 @@ impl FreshnessEvaluator {
     /// Create an evaluator; `weights` are the access probabilities, all
     /// elements start fresh.
     pub fn new(weights: &[f64]) -> Self {
-        let total: f64 = weights.iter().sum();
+        Self::with_executor(weights, &Executor::serial())
+    }
+
+    /// [`new`](Self::new) with the initial profile-mass reduction run as a
+    /// chunked parallel (compensated) sum on `executor`. Identical at any
+    /// worker count; the per-event scoring path is O(1) and stays serial.
+    pub fn with_executor(weights: &[f64], executor: &Executor) -> Self {
+        let total = executor
+            .par_chunks_reduce(
+                weights.len(),
+                DEFAULT_CHUNK,
+                |range| {
+                    let mut acc = NeumaierSum::new();
+                    for i in range {
+                        acc.add(weights[i]);
+                    }
+                    acc
+                },
+                |mut a, b| {
+                    a.merge(b);
+                    a
+                },
+            )
+            .map_or(0.0, |acc| acc.total());
         FreshnessEvaluator {
             weights: weights.to_vec(),
             total_weight: total,

@@ -8,6 +8,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
 
+use freshen_core::exec::{chunk_ranges, Executor, DEFAULT_CHUNK};
 use freshen_workload::dist::Exponential;
 
 /// Per-element Poisson update stream (the paper's Update Generator).
@@ -109,14 +110,42 @@ impl AccessGenerator {
     /// # Panics
     /// Panics when probabilities are empty/negative or `total_rate ≤ 0`.
     pub fn new(access_probs: &[f64], total_rate: f64, seed: u64) -> Self {
+        Self::new_with_executor(access_probs, total_rate, seed, &Executor::serial())
+    }
+
+    /// [`new`](Self::new) with the CDF built as a chunked parallel scan on
+    /// `executor`: per-chunk local prefix sums run concurrently, chunk
+    /// offsets are folded serially in fixed chunk order, so the CDF is
+    /// identical at any worker count.
+    ///
+    /// # Panics
+    /// Panics when probabilities are empty/negative or `total_rate ≤ 0`.
+    pub fn new_with_executor(
+        access_probs: &[f64],
+        total_rate: f64,
+        seed: u64,
+        executor: &Executor,
+    ) -> Self {
         assert!(!access_probs.is_empty(), "need at least one element");
         assert!(total_rate > 0.0, "total rate must be positive");
+        let chunks = chunk_ranges(access_probs.len(), DEFAULT_CHUNK);
+        let parts = executor.map_ranges(&chunks, |range| {
+            let mut local = Vec::with_capacity(range.len());
+            let mut acc = 0.0;
+            for i in range {
+                let p = access_probs[i];
+                assert!(p.is_finite() && p >= 0.0, "probability {i} invalid");
+                acc += p;
+                local.push(acc);
+            }
+            local
+        });
         let mut cdf = Vec::with_capacity(access_probs.len());
         let mut acc = 0.0;
-        for (i, &p) in access_probs.iter().enumerate() {
-            assert!(p.is_finite() && p >= 0.0, "probability {i} invalid");
-            acc += p;
-            cdf.push(acc);
+        for local in parts {
+            let chunk_total = local.last().copied().unwrap_or(0.0);
+            cdf.extend(local.into_iter().map(|v| acc + v));
+            acc += chunk_total;
         }
         assert!(
             (acc - 1.0).abs() < 1e-6,

@@ -4,6 +4,7 @@
 use serde::{Deserialize, Serialize};
 
 use freshen_core::error::{CoreError, Result};
+use freshen_core::exec::Executor;
 use freshen_core::policy::SyncPolicy;
 use freshen_core::problem::Problem;
 use freshen_core::schedule::ScheduleStream;
@@ -83,6 +84,7 @@ pub struct Simulation {
     sync_policy: SyncPolicy,
     link_capacity: Option<f64>,
     recorder: Recorder,
+    executor: Executor,
 }
 
 /// Which stream owns the earliest pending event.
@@ -224,6 +226,7 @@ impl Simulation {
             sync_policy: SyncPolicy::FixedOrder,
             link_capacity: None,
             recorder: Recorder::disabled(),
+            executor: Executor::serial(),
         })
     }
 
@@ -267,6 +270,16 @@ impl Simulation {
         self
     }
 
+    /// Run the O(N) setup and closed-form scoring passes (evaluator
+    /// profile mass, access CDF build, analytic PF/age in the report) on
+    /// `executor`. The event loop itself is inherently sequential — events
+    /// must dispatch in time order — and is untouched, so results are
+    /// identical at any worker count.
+    pub fn with_executor(mut self, executor: Executor) -> Self {
+        self.executor = executor;
+        self
+    }
+
     /// Execute the event loop and report the measurements.
     ///
     /// Returns [`CoreError::Inconsistent`] when event selection disagrees
@@ -304,15 +317,17 @@ impl Simulation {
 
         let mut source = Source::new(n);
         let mut mirror = Mirror::new(n);
-        let mut evaluator = FreshnessEvaluator::new(self.problem.access_probs());
+        let mut evaluator =
+            FreshnessEvaluator::with_executor(self.problem.access_probs(), &self.executor);
 
         // Independent streams with decorrelated seeds.
         let mut updates =
             UpdateGenerator::new(self.problem.change_rates(), self.config.seed ^ 0x5eed_0001);
-        let mut accesses = AccessGenerator::new(
+        let mut accesses = AccessGenerator::new_with_executor(
             self.problem.access_probs(),
             self.config.accesses_per_period,
             self.config.seed ^ 0x5eed_0002,
+            &self.executor,
         );
         let mut syncs = match self.sync_policy {
             SyncPolicy::FixedOrder => {
@@ -462,9 +477,11 @@ impl Simulation {
         evaluator.finish(horizon);
 
         let report = SimReport {
-            analytic_pf: self
-                .problem
-                .perceived_freshness_with(self.sync_policy, &self.frequencies),
+            analytic_pf: self.problem.perceived_freshness_with_exec(
+                self.sync_policy,
+                &self.frequencies,
+                &self.executor,
+            ),
             time_averaged_pf: evaluator.time_averaged_pf().unwrap_or(0.0),
             access_pf: evaluator.access_pf(),
             updates: source.total_updates(),
@@ -474,20 +491,12 @@ impl Simulation {
             polls_changed,
             access_counts,
             link_utilization: self.link_capacity.map(|_| link_busy_time / horizon),
-            analytic_age: self
-                .problem
-                .access_probs()
-                .iter()
-                .zip(self.problem.change_rates())
-                .zip(&self.frequencies)
-                .map(|((&w, &l), &f)| {
-                    if w == 0.0 {
-                        0.0
-                    } else {
-                        w * self.sync_policy.age(l, f)
-                    }
-                })
-                .sum(),
+            analytic_age: self.sync_policy.perceived_age_exec(
+                self.problem.access_probs(),
+                self.problem.change_rates(),
+                &self.frequencies,
+                &self.executor,
+            ),
             time_averaged_age: evaluator.time_averaged_age().unwrap_or(0.0),
         };
 
@@ -990,6 +999,27 @@ mod tests {
         assert!(rec.gauge_value("sim.link_utilization").is_some());
         // The run span made it into the trace.
         assert!(rec.chrome_trace_json().unwrap().contains("sim.run"));
+    }
+
+    #[test]
+    fn pool_executor_run_is_byte_identical_to_serial() {
+        let p = toy_problem();
+        let freqs = vec![1.0, 2.0, 0.5, 0.5];
+        let config = SimConfig {
+            periods: 30.0,
+            warmup_periods: 1.0,
+            accesses_per_period: 50.0,
+            seed: 77,
+        };
+        let serial = Simulation::new(&p, &freqs, config).unwrap().run().unwrap();
+        for workers in [2, 4] {
+            let pooled = Simulation::new(&p, &freqs, config)
+                .unwrap()
+                .with_executor(Executor::thread_pool(workers))
+                .run()
+                .unwrap();
+            assert_eq!(serial, pooled, "{workers} workers must not perturb the run");
+        }
     }
 
     #[test]

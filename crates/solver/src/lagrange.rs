@@ -26,10 +26,33 @@
 //! with a specialized `O(N·log(1/ε))` scheme that produces the *same*
 //! optimum (it solves the same KKT system) — validated against the
 //! paper's published Table 1 numbers.
+//!
+//! # Parallel evaluation and the two-level sharded solve
+//!
+//! Each outer bisection probe evaluates `N` independent scalar root
+//! solves, so the inner loop parallelizes embarrassingly: the active set
+//! is split into fixed chunks and each chunk's water-filling runs on the
+//! solver's [`Executor`], with per-chunk bandwidth partials merged in
+//! chunk order (compensated) so results match the serial path exactly.
+//!
+//! [`solve_sharded`](LagrangeSolver::solve_sharded) is the two-level
+//! mode: a [`ShardedProblem`] partitions the elements into `K` shards and
+//! the outer bisection drives *per-shard* inner water-filling solved in
+//! parallel, one shard per chunk. This is provably equivalent to the
+//! global solve: the constraint `Σ sᵢfᵢ = B` is the only coupling between
+//! elements, so at the optimum every shard's KKT stationarity condition
+//! references the *same* multiplier `μ*` — the implicit per-shard budgets
+//! `B_j(μ)` are whatever each shard consumes at that shared water level,
+//! and they automatically sum to `B` when the outer bisection converges.
+
+use std::ops::Range;
 
 use freshen_core::error::{CoreError, Result};
+use freshen_core::exec::{chunk_ranges, Executor, DEFAULT_CHUNK};
+use freshen_core::numeric::NeumaierSum;
 use freshen_core::policy::SyncPolicy;
 use freshen_core::problem::{Problem, Solution};
+use freshen_core::shard::ShardedProblem;
 use freshen_obs::Recorder;
 
 /// Change rates below this are treated as "static": the element is always
@@ -50,6 +73,10 @@ pub struct LagrangeSolver {
     pub policy: SyncPolicy,
     /// Observability sink (disabled by default; see `freshen-obs`).
     pub recorder: Recorder,
+    /// Execution strategy for the per-probe water-filling pass (serial by
+    /// default; see [`Executor`]). Results are identical at any worker
+    /// count.
+    pub executor: Executor,
 }
 
 impl Default for LagrangeSolver {
@@ -60,6 +87,7 @@ impl Default for LagrangeSolver {
             max_inner: 100,
             policy: SyncPolicy::FixedOrder,
             recorder: Recorder::disabled(),
+            executor: Executor::serial(),
         }
     }
 }
@@ -95,7 +123,75 @@ impl LagrangeSolver {
         self
     }
 
+    /// Attach an execution strategy (builder form; the `executor` field
+    /// can also be set directly). The optimum is identical at any worker
+    /// count — only wall-clock time changes.
+    pub fn with_executor(mut self, executor: Executor) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// Two-level sharded solve: partition the problem into `shards`
+    /// contiguous-after-sort shards ([`ShardedProblem`]) and run the outer
+    /// bisection with per-shard inner water-filling evaluated in parallel
+    /// (one shard per executor task).
+    ///
+    /// Equivalent to [`solve`](Self::solve) up to float accumulation
+    /// order: the bandwidth constraint is the only coupling between
+    /// elements, so every shard's stationarity condition references the
+    /// same multiplier `μ*` and the implicit per-shard budgets sum to `B`
+    /// automatically at convergence. The shard partition therefore acts
+    /// purely as a load-balanced work decomposition.
+    pub fn solve_sharded(&self, problem: &Problem, shards: usize) -> Result<Solution> {
+        let sharded = ShardedProblem::new(problem, shards);
+        let p = problem.access_probs();
+        let lam = problem.change_rates();
+        // Concatenate the shards' active elements; each shard becomes one
+        // chunk of the allocation pass, so shard boundaries — not worker
+        // count — determine accumulation order.
+        let mut active = Vec::with_capacity(problem.len());
+        let mut chunks = Vec::with_capacity(sharded.num_shards());
+        for shard in sharded.shards() {
+            let start = active.len();
+            active.extend(
+                shard
+                    .iter()
+                    .copied()
+                    .filter(|&i| p[i] > 0.0 && lam[i] > STATIC_RATE),
+            );
+            if active.len() > start {
+                chunks.push(start..active.len());
+            }
+        }
+        self.recorder.counter("solver.sharded_solves").inc();
+        self.solve_over(problem, None, &active, &chunks)
+    }
+
     fn solve_impl(&self, problem: &Problem, hint: Option<f64>) -> Result<Solution> {
+        let p = problem.access_probs();
+        let lam = problem.change_rates();
+        // Elements that can ever receive bandwidth: positive interest and a
+        // genuinely changing source copy.
+        let active: Vec<usize> = (0..problem.len())
+            .filter(|&i| p[i] > 0.0 && lam[i] > STATIC_RATE)
+            .collect();
+        // Fixed chunk boundaries (a function of the active count only)
+        // keep the allocation pass bit-identical across worker counts.
+        let chunks = chunk_ranges(active.len(), DEFAULT_CHUNK);
+        self.solve_over(problem, hint, &active, &chunks)
+    }
+
+    /// The shared outer bisection, parameterized over the active set and
+    /// the chunk decomposition used for every allocation pass (fixed-size
+    /// chunks for the global solve, shard extents for
+    /// [`solve_sharded`](Self::solve_sharded)).
+    fn solve_over(
+        &self,
+        problem: &Problem,
+        hint: Option<f64>,
+        active: &[usize],
+        chunks: &[Range<usize>],
+    ) -> Result<Solution> {
         let n = problem.len();
         let p = problem.access_probs();
         let lam = problem.change_rates();
@@ -105,15 +201,10 @@ impl LagrangeSolver {
         let rec = &self.recorder;
         let mut solve_span = rec.span("solver.lagrange.solve");
         solve_span.arg("n", n);
+        solve_span.arg("chunks", chunks.len());
         rec.counter("solver.solves").inc();
         let c_outer = rec.counter("solver.outer_iters");
         let c_inner = rec.counter("solver.inner_iters");
-
-        // Elements that can ever receive bandwidth: positive interest and a
-        // genuinely changing source copy.
-        let active: Vec<usize> = (0..n)
-            .filter(|&i| p[i] > 0.0 && lam[i] > STATIC_RATE)
-            .collect();
 
         let mut freqs = vec![0.0; n];
         if active.is_empty() {
@@ -156,7 +247,7 @@ impl LagrangeSolver {
         let mut used_lo;
         loop {
             outer_iters += 1;
-            let (used, inner) = self.allocate(&active, p, lam, s, mu_lo, &mut freqs);
+            let (used, inner) = self.allocate(chunks, active, problem, mu_lo, &mut freqs);
             used_lo = used;
             inner_total += inner;
             rec.event(
@@ -198,7 +289,7 @@ impl LagrangeSolver {
                 break; // bracket exhausted (see threshold note below)
             }
             mu = (mu_lo * mu_hi).sqrt();
-            let (probe, inner) = self.allocate(&active, p, lam, s, mu, &mut freqs);
+            let (probe, inner) = self.allocate(chunks, active, problem, mu, &mut freqs);
             used = probe;
             inner_total += inner;
             rec.event(
@@ -225,7 +316,7 @@ impl LagrangeSolver {
             // Converged: snap the (already tiny) residual multiplicatively.
             if used > 0.0 {
                 let scale = budget / used;
-                for &i in &active {
+                for &i in active {
                     freqs[i] *= scale;
                 }
             }
@@ -240,7 +331,7 @@ impl LagrangeSolver {
             // differs between the ends has marginal ≈ μ* across the whole
             // interpolation range).
             let alpha = (budget - used_hi) / (used_lo - used_hi);
-            for &i in &active {
+            for &i in active {
                 freqs[i] = alpha * freqs_lo[i] + (1.0 - alpha) * freqs_hi[i];
             }
             mu = mu_lo;
@@ -263,24 +354,45 @@ impl LagrangeSolver {
     /// For a fixed multiplier, fill `freqs` with each active element's
     /// optimal frequency; returns the bandwidth consumed and the total
     /// inner (Newton/bisection) iterations spent.
+    ///
+    /// Each chunk of `active` is water-filled as one executor task; the
+    /// per-chunk bandwidth partials are compensated and merged in chunk
+    /// order, so the consumed total is bit-identical at any worker count.
     fn allocate(
         &self,
+        chunks: &[Range<usize>],
         active: &[usize],
-        p: &[f64],
-        lam: &[f64],
-        s: &[f64],
+        problem: &Problem,
         mu: f64,
         freqs: &mut [f64],
     ) -> (f64, usize) {
-        let mut used = 0.0;
-        let mut inner = 0;
-        for &i in active {
-            let (f, iters) = self.element_frequency_counted(p[i], lam[i], s[i], mu);
-            freqs[i] = f;
-            used += s[i] * f;
-            inner += iters;
+        let (p, lam, s) = (
+            problem.access_probs(),
+            problem.change_rates(),
+            problem.sizes(),
+        );
+        let parts = self.executor.map_ranges(chunks, |range| {
+            let mut local = Vec::with_capacity(range.len());
+            let mut used = NeumaierSum::new();
+            let mut inner = 0usize;
+            for &i in &active[range] {
+                let (f, iters) = self.element_frequency_counted(p[i], lam[i], s[i], mu);
+                local.push(f);
+                used.add(s[i] * f);
+                inner += iters;
+            }
+            (local, used, inner)
+        });
+        let mut used = NeumaierSum::new();
+        let mut inner = 0usize;
+        for (range, (local, part_used, part_inner)) in chunks.iter().zip(parts) {
+            for (&i, f) in active[range.clone()].iter().zip(local) {
+                freqs[i] = f;
+            }
+            used.merge(part_used);
+            inner += part_inner;
         }
-        (used, inner)
+        (used.total(), inner)
     }
 
     /// Solve `p·g(f; λ) = μ·s` for `f ≥ 0` (unique root; 0 when the
@@ -719,6 +831,82 @@ mod tests {
             last_pf = sol.perceived_freshness;
         }
         assert!(last_pf > 0.9, "ample bandwidth approaches full freshness");
+    }
+
+    // ---- Parallel / sharded modes ---------------------------------------
+
+    fn scale_problem(n: usize) -> Problem {
+        Problem::builder()
+            .change_rates((0..n).map(|i| 0.1 + (i % 17) as f64 * 0.3).collect())
+            .access_weights((0..n).map(|i| 1.0 / (i + 1) as f64).collect())
+            .sizes((0..n).map(|i| 0.25 + (i % 7) as f64 * 0.5).collect())
+            .bandwidth(n as f64 / 4.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn pool_solve_is_bit_identical_to_serial() {
+        // Fixed chunk boundaries + in-order compensated merges: the pool
+        // must reproduce the serial optimum exactly, not approximately.
+        let problem = scale_problem(20_000);
+        let serial = LagrangeSolver::default().solve(&problem).unwrap();
+        for workers in [2, 4] {
+            let pooled = LagrangeSolver::default()
+                .with_executor(Executor::thread_pool(workers))
+                .solve(&problem)
+                .unwrap();
+            assert_eq!(serial.frequencies, pooled.frequencies, "workers={workers}");
+            assert_eq!(serial.iterations, pooled.iterations);
+            assert_eq!(serial.multiplier, pooled.multiplier);
+        }
+    }
+
+    #[test]
+    fn sharded_solve_matches_global_optimum() {
+        let problem = scale_problem(5_000);
+        let global = LagrangeSolver::default().solve(&problem).unwrap();
+        for shards in [1, 4, 32] {
+            let sharded = LagrangeSolver::default()
+                .with_executor(Executor::thread_pool(4))
+                .solve_sharded(&problem, shards)
+                .unwrap();
+            assert!(
+                (sharded.perceived_freshness - global.perceived_freshness).abs() < 1e-9,
+                "shards={shards}: PF {} vs global {}",
+                sharded.perceived_freshness,
+                global.perceived_freshness
+            );
+            assert!(
+                (sharded.bandwidth_used - problem.bandwidth()).abs() < problem.bandwidth() * 1e-6
+            );
+            for (i, (a, b)) in sharded
+                .frequencies
+                .iter()
+                .zip(&global.frequencies)
+                .enumerate()
+            {
+                assert!(
+                    (a - b).abs() <= 1e-6 * (1.0 + b.abs()),
+                    "shards={shards} element {i}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_solve_is_deterministic_across_worker_counts() {
+        let problem = scale_problem(3_000);
+        let base = LagrangeSolver::default()
+            .solve_sharded(&problem, 16)
+            .unwrap();
+        for workers in [2, 8] {
+            let pooled = LagrangeSolver::default()
+                .with_executor(Executor::thread_pool(workers))
+                .solve_sharded(&problem, 16)
+                .unwrap();
+            assert_eq!(base.frequencies, pooled.frequencies, "workers={workers}");
+        }
     }
 
     #[test]
