@@ -71,6 +71,10 @@ impl Workload {
             resolve_policy: policy,
             failure_rate: 0.05,
             seed: self.seed,
+            // Benchmarks always run with the poll-credit ledger armed:
+            // a conservation breach invalidates the numbers, so it
+            // aborts the experiment instead of being published.
+            audit: true,
             ..EngineConfig::default()
         }
     }
@@ -96,11 +100,25 @@ impl Workload {
             ResolvePolicy::EveryEpoch => "engine-oracle",
         };
         let (report, wall) = timed(|| {
-            Engine::new(&self.prior(), config)
+            let mut engine = Engine::new(&self.prior(), config)
                 .expect("engine builds")
-                .with_recorder(recorder.clone())
+                .with_recorder(recorder.clone());
+            let report = engine
                 .run(accesses, &mut source)
-                .expect("engine run succeeds")
+                .expect("engine run succeeds");
+            let ledger = engine.ledger().expect("audit is armed");
+            assert!(
+                ledger.is_clean(),
+                "{label}: poll-credit ledger breached ({} epoch(s)); \
+                 benchmark numbers would be invalid",
+                ledger.violations()
+            );
+            eprintln!(
+                "# {label}: ledger clean over {} epochs (max residual {:.2e})",
+                ledger.epochs().len(),
+                ledger.max_residual()
+            );
+            report
         });
         let run = BenchRun::from_recorder(label, wall, &recorder);
         (report, run, wall)

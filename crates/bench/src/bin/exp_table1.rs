@@ -4,9 +4,13 @@
 //!
 //! Prints our solver's frequencies next to the paper's published values,
 //! and writes per-profile telemetry (wall time, PF, solver iterations) to
-//! `results/BENCH_table1.json`.
+//! `results/BENCH_table1.json`. Every solve is also run through the
+//! strict KKT certificate ([`SolutionAudit`]) — a dirty certificate
+//! aborts the experiment, so published numbers are always verified ones.
 
 use freshen_bench::{timed, BenchReport, BenchRun};
+use freshen_core::audit::SolutionAudit;
+use freshen_core::policy::SyncPolicy;
 use freshen_core::problem::Problem;
 use freshen_obs::Recorder;
 use freshen_solver::LagrangeSolver;
@@ -24,6 +28,18 @@ fn solve(name: &str, probs: Vec<f64>, report: &mut BenchReport) -> Vec<f64> {
         ..Default::default()
     };
     let (solution, wall) = timed(|| solver.solve(&problem).expect("toy problem solves"));
+    let audit = SolutionAudit::default()
+        .check(&problem, &solution, SyncPolicy::FixedOrder)
+        .expect("audit accepts well-formed inputs");
+    assert!(
+        audit.is_clean(),
+        "{name} failed its KKT certificate: {}",
+        audit.to_json()
+    );
+    eprintln!(
+        "{name}: certified (spread {:.2e}, budget residual {:.2e})",
+        audit.max_spread, audit.budget_residual
+    );
     let mut run = BenchRun::from_recorder(name, wall, &recorder);
     run.pf = Some(solution.perceived_freshness);
     report.push(run);

@@ -1,8 +1,9 @@
 //! The subcommands: scenario, solve, heuristic, simulate, timetable,
-//! estimate, engine.
+//! estimate, engine, audit.
 
 use std::io::Write;
 
+use freshen_core::audit::SolutionAudit;
 use freshen_core::exec::Executor;
 use freshen_core::policy::SyncPolicy;
 use freshen_core::problem::{Problem, Solution};
@@ -16,7 +17,7 @@ use freshen_heuristics::{
 };
 use freshen_obs::Recorder;
 use freshen_sim::{SimConfig, Simulation};
-use freshen_solver::LagrangeSolver;
+use freshen_solver::{LagrangeSolver, ProjectedGradientSolver};
 use freshen_workload::scenario::{Alignment, Scenario, SizeAlignment, SizeDist};
 
 fn read_problem(path: &str) -> Result<Problem, String> {
@@ -457,6 +458,121 @@ where
         .with_executor(executor)
         .run(accesses, source)
         .map_err(|e| e.to_string())
+}
+
+/// `freshen audit` — check the KKT optimality certificate of a schedule.
+///
+/// Two input modes:
+///
+/// * **JSON mode** (`--input problem.json [--schedule schedule.json]`):
+///   audit an existing schedule against its problem, or re-solve and
+///   audit when no schedule is given.
+/// * **Scenario mode** (`--objects/--updates/--syncs/...`): generate the
+///   paper-style workload in-process, solve it, and audit the result —
+///   no files needed, so it doubles as a self-test.
+///
+/// The report is printed as JSON either way; any violation turns the
+/// exit status into a failure, so `freshen audit` slots directly into
+/// CI.
+pub fn cmd_audit(args: &crate::ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
+    args.expect_only(&[
+        "input", "schedule", "objects", "updates", "syncs", "theta", "std-dev", "seed", "policy",
+        "solver", "shards", "relaxed",
+    ])?;
+    let policy = parse_policy(args.get("policy"))?;
+
+    let problem = match (args.get("input"), args.get("objects")) {
+        (Some(_), Some(_)) => {
+            return Err("--input and --objects are mutually exclusive".into());
+        }
+        (Some(path), None) => read_problem(path)?,
+        (None, Some(_)) => Scenario::builder()
+            .num_objects(args.require_parsed("objects")?)
+            .updates_per_period(args.require_parsed("updates")?)
+            .syncs_per_period(args.require_parsed("syncs")?)
+            .zipf_theta(args.parsed_or("theta", 0.0)?)
+            .update_std_dev(args.parsed_or("std-dev", 1.0)?)
+            .alignment(Alignment::ShuffledChange)
+            .seed(args.parsed_or("seed", 0u64)?)
+            .build()
+            .map_err(|e| e.to_string())?
+            .problem()
+            .map_err(|e| e.to_string())?,
+        (None, None) => {
+            return Err("one of --input or --objects is required".into());
+        }
+    };
+
+    let solution = match args.get("schedule") {
+        Some(path) => {
+            // Audit a pre-computed schedule file as-is. The metric
+            // evaluators assert on malformed frequencies, so only score
+            // the schedule when it is well-formed — the audit itself
+            // flags the malformed entries either way.
+            let frequencies = read_schedule(path, problem.len())?;
+            if frequencies.iter().all(|f| f.is_finite() && *f >= 0.0) {
+                Solution::evaluate(&problem, frequencies)
+            } else {
+                Solution {
+                    frequencies,
+                    perceived_freshness: 0.0,
+                    general_freshness: 0.0,
+                    bandwidth_used: 0.0,
+                    multiplier: None,
+                    iterations: 0,
+                }
+            }
+        }
+        None => match args.get("solver") {
+            None | Some("exact") => {
+                let solver = LagrangeSolver {
+                    policy,
+                    ..Default::default()
+                };
+                let shards: usize = args.parsed_or("shards", 0usize)?;
+                if shards > 1 {
+                    solver
+                        .solve_sharded(&problem, shards)
+                        .map_err(|e| e.to_string())?
+                } else {
+                    solver.solve(&problem).map_err(|e| e.to_string())?
+                }
+            }
+            Some("pg") => {
+                if policy != SyncPolicy::FixedOrder {
+                    return Err("--solver pg supports only --policy fixed".into());
+                }
+                // Audit-grade settings: converge until the KKT spread
+                // clears the strict certificate.
+                ProjectedGradientSolver {
+                    max_iters: 50_000,
+                    rel_tol: 1e-16,
+                    ..Default::default()
+                }
+                .solve(&problem)
+                .map_err(|e| e.to_string())?
+            }
+            Some(other) => return Err(format!("unknown solver `{other}` (exact|pg)")),
+        },
+    };
+
+    let audit = if args.get("relaxed").is_some() {
+        SolutionAudit::relaxed()
+    } else {
+        SolutionAudit::default()
+    };
+    let report = audit
+        .check(&problem, &solution, policy)
+        .map_err(|e| e.to_string())?;
+    writeln!(out, "{}", report.to_json()).map_err(|e| e.to_string())?;
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "audit found {} violation(s); see the report above",
+            report.violations.len()
+        ))
+    }
 }
 
 /// `freshen timetable` — expand a schedule into concrete sync instants.
@@ -910,6 +1026,113 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("sometimes"));
+    }
+
+    #[test]
+    fn audit_scenario_mode_certifies_the_exact_solver() {
+        let mut buf = Vec::new();
+        cmd_audit(
+            &parsed(&[
+                "--objects",
+                "60",
+                "--updates",
+                "120",
+                "--syncs",
+                "30",
+                "--theta",
+                "1.0",
+                "--seed",
+                "11",
+            ]),
+            &mut buf,
+        )
+        .unwrap();
+        let report = String::from_utf8(buf).unwrap();
+        assert!(report.contains("\"clean\":true"), "{report}");
+        assert!(report.contains("\"violations\":[]"), "{report}");
+    }
+
+    #[test]
+    fn audit_covers_sharded_and_pg_solvers() {
+        for extra in [&["--shards", "4"][..], &["--solver", "pg"][..]] {
+            let mut args = vec![
+                "--objects",
+                "40",
+                "--updates",
+                "80",
+                "--syncs",
+                "20",
+                "--theta",
+                "0.5",
+            ];
+            args.extend_from_slice(extra);
+            let mut buf = Vec::new();
+            cmd_audit(&parsed(&args), &mut buf).unwrap();
+            let report = String::from_utf8(buf).unwrap();
+            assert!(report.contains("\"clean\":true"), "{extra:?}: {report}");
+        }
+    }
+
+    #[test]
+    fn audit_poisson_policy_certifies_too() {
+        let mut buf = Vec::new();
+        cmd_audit(
+            &parsed(&[
+                "--objects",
+                "30",
+                "--updates",
+                "60",
+                "--syncs",
+                "15",
+                "--policy",
+                "poisson",
+            ]),
+            &mut buf,
+        )
+        .unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("\"clean\":true"));
+    }
+
+    #[test]
+    fn audit_rejects_bad_invocations() {
+        let mut buf = Vec::new();
+        let err = cmd_audit(&parsed(&[]), &mut buf).unwrap_err();
+        assert!(err.contains("--input or --objects"), "{err}");
+        let err =
+            cmd_audit(&parsed(&["--input", "p.json", "--objects", "5"]), &mut buf).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        let err = cmd_audit(
+            &parsed(&[
+                "--objects",
+                "5",
+                "--updates",
+                "10",
+                "--syncs",
+                "2",
+                "--solver",
+                "magic",
+            ]),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(err.contains("magic"), "{err}");
+        let err = cmd_audit(
+            &parsed(&[
+                "--objects",
+                "5",
+                "--updates",
+                "10",
+                "--syncs",
+                "2",
+                "--solver",
+                "pg",
+                "--policy",
+                "poisson",
+            ]),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(err.contains("only --policy fixed"), "{err}");
     }
 
     #[test]

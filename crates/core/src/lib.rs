@@ -31,6 +31,9 @@
 //!   objects to mirror when the mirror is smaller than the database;
 //! * [`access`] — access sets/logs and the empirical perceived-freshness
 //!   score ("keeping score at each access", Definition 3);
+//! * [`audit`] — the KKT optimality certificate checker
+//!   ([`SolutionAudit`]) that turns the Appendix's Eq. 5 conditions into
+//!   a machine-readable [`AuditReport`] for any solver's output;
 //! * [`exec`] — the deterministic [`Executor`] abstraction (serial or
 //!   crossbeam thread pool) behind every parallel hot loop;
 //! * [`shard`] — [`ShardedProblem`], the contiguous-after-sort partition
@@ -63,6 +66,7 @@
 #![deny(unsafe_code)]
 
 pub mod access;
+pub mod audit;
 pub mod error;
 pub mod estimate;
 pub mod exec;
@@ -75,6 +79,7 @@ pub mod schedule;
 pub mod selection;
 pub mod shard;
 
+pub use audit::{AuditReport, AuditViolation, SolutionAudit, ViolationKind};
 pub use error::{CoreError, Result};
 pub use exec::Executor;
 pub use policy::SyncPolicy;

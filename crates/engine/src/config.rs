@@ -80,6 +80,13 @@ pub struct EngineConfig {
     /// Master seed: failure injection derives from it, so a fixed seed
     /// plus a fixed input stream reproduces the run byte-for-byte.
     pub seed: u64,
+    /// Run the per-epoch poll-credit ledger audit
+    /// ([`LedgerAudit`](crate::audit::LedgerAudit)): every epoch the
+    /// dispatcher's conservation law is checked and breaches are counted
+    /// on the `audit.violations` obs counter. Off by default — the check
+    /// is cheap (one pass over the credit vector) but exists for tests,
+    /// CI, and debugging, not the hot path.
+    pub audit: bool,
 }
 
 impl Default for EngineConfig {
@@ -100,6 +107,7 @@ impl Default for EngineConfig {
             max_retries: 2,
             retry_backoff: 0.05,
             seed: 0,
+            audit: false,
         }
     }
 }

@@ -16,7 +16,22 @@
 //!   of an unbounded queue;
 //! * failed poll attempts (injected deterministically from the seed) are
 //!   **retried** with linear backoff while budget and the retry cap
-//!   allow, then abandoned.
+//!   allow, then **abandoned** — the admission-deducted credit returns to
+//!   the element's backlog (still subject to the cap, overflow is shed),
+//!   so an abandoned refresh competes again next epoch instead of
+//!   silently vanishing.
+//!
+//! Credit obeys a per-epoch conservation law checked by the engine's
+//! ledger audit ([`LedgerAudit`](crate::audit::LedgerAudit)):
+//!
+//! ```text
+//! credit_in + accrued = executed + retained + shed
+//! ```
+//!
+//! where `executed` counts successful polls (one credit each), `retained`
+//! is the backlog carried into the next epoch, and `shed` is everything
+//! the cap discarded. Credit is never negative and never silently
+//! destroyed.
 //!
 //! Everything — admission order, dispatch instants, failure draws — is a
 //! pure function of the configuration and the epoch inputs, which is what
@@ -27,6 +42,7 @@
 use std::collections::BinaryHeap;
 
 use freshen_core::error::{CoreError, Result};
+use freshen_core::numeric::neumaier_sum;
 use freshen_obs::Recorder;
 
 use crate::config::EngineConfig;
@@ -122,7 +138,8 @@ impl PartialOrd for Pending {
 pub struct PollDispatcher {
     credit: Vec<f64>,
     attempt_counter: Vec<u64>,
-    budget_per_epoch: f64,
+    bandwidth: f64,
+    budget_factor: f64,
     max_backlog: f64,
     failure_rate: f64,
     max_retries: u32,
@@ -148,7 +165,8 @@ impl PollDispatcher {
         Ok(PollDispatcher {
             credit: vec![0.0; n],
             attempt_counter: vec![0; n],
-            budget_per_epoch: bandwidth * config.epoch_len * config.budget_factor,
+            bandwidth,
+            budget_factor: config.budget_factor,
             max_backlog: config.max_backlog,
             failure_rate: config.failure_rate,
             max_retries: config.max_retries,
@@ -165,11 +183,28 @@ impl PollDispatcher {
         self.credit[element]
     }
 
+    /// Total outstanding poll credit across all elements
+    /// (compensated-summed) — the `retained` term of the ledger
+    /// conservation law.
+    pub fn total_credit(&self) -> f64 {
+        neumaier_sum(self.credit.iter().copied())
+    }
+
+    /// Smallest per-element credit. The ledger invariant says this never
+    /// drops below zero.
+    pub fn min_credit(&self) -> f64 {
+        self.credit.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
     /// Run one epoch: accrue credit from `freqs`, admit requests by
     /// `priorities` under the budget, execute them (with injected
     /// failures, retries, and backoff) against `source`, and return the
     /// outcome. Dispatch instants are spread over the epoch in admission
     /// order, so higher-priority polls land earlier.
+    ///
+    /// The epoch budget is `bandwidth · epoch_len · budget_factor`,
+    /// derived from the *same* `epoch_len` that drives credit accrual —
+    /// budget and accrual can never disagree about the epoch's length.
     pub fn run_epoch(
         &mut self,
         epoch_start: f64,
@@ -180,6 +215,13 @@ impl PollDispatcher {
         recorder: &Recorder,
     ) -> Result<EpochOutcome> {
         let n = self.credit.len();
+        if !epoch_len.is_finite() || epoch_len <= 0.0 {
+            return Err(CoreError::InvalidValue {
+                what: "dispatch epoch length",
+                index: None,
+                value: epoch_len,
+            });
+        }
         if freqs.len() != n {
             return Err(CoreError::LengthMismatch {
                 what: "dispatch frequencies",
@@ -206,11 +248,21 @@ impl PollDispatcher {
             shed: 0.0,
         };
 
-        // 1. Accrue credit and plan one request per whole credit.
+        let budget_per_epoch = self.bandwidth * epoch_len * self.budget_factor;
+
+        // 1. Accrue credit and plan one request per whole credit. No
+        // element can ever get more polls admitted than the whole budget
+        // allows, and credit beyond the backlog cap is shed below — so
+        // planning past `budget + max_backlog` requests per element would
+        // only allocate memory for requests that cannot be served (and a
+        // pathological `f · epoch_len` would overflow the copy counter).
+        let plan_cap = (budget_per_epoch + self.max_backlog)
+            .ceil()
+            .min(u32::MAX as f64);
         let mut requests: Vec<(usize, u32)> = Vec::new();
         for (i, (credit, &f)) in self.credit.iter_mut().zip(freqs).enumerate() {
             *credit += f * epoch_len;
-            for copy in 0..credit.floor() as u32 {
+            for copy in 0..credit.floor().min(plan_cap) as u32 {
                 requests.push((i, copy));
             }
         }
@@ -224,7 +276,7 @@ impl PollDispatcher {
         });
 
         // 2. Admit under the budget; the rest is deferred.
-        let mut budget_left = self.budget_per_epoch;
+        let mut budget_left = budget_per_epoch;
         let mut admitted = Vec::new();
         for &(element, _) in &requests {
             if budget_left >= 1.0 {
@@ -286,6 +338,16 @@ impl PollDispatcher {
                 } else {
                     outcome.abandoned += 1;
                     outcome.starved[p.element] = true;
+                    // Return the admission-deducted credit: the refresh
+                    // defers to the next epoch rather than losing its
+                    // bandwidth. The backlog cap still rules; overflow
+                    // is shed, not silently destroyed.
+                    let credit = &mut self.credit[p.element];
+                    *credit += 1.0;
+                    if *credit > self.max_backlog {
+                        outcome.shed += *credit - self.max_backlog;
+                        *credit = self.max_backlog;
+                    }
                 }
                 continue;
             }
@@ -446,6 +508,175 @@ mod tests {
         assert_eq!(out.abandoned, 2);
         assert_eq!(out.succeeded[0], 0);
         assert!(out.starved[0]);
+    }
+
+    #[test]
+    fn abandoned_polls_compete_again_next_epoch() {
+        // Regression: abandonment used to destroy the admission-deducted
+        // credit, so a poll lost to failures was gone forever. Post-fix
+        // the credit returns to the backlog and re-plans next epoch.
+        let mut cfg = config();
+        cfg.failure_rate = 0.999_999; // every attempt fails
+        cfg.max_retries = 1;
+        let mut d = PollDispatcher::new(1, 10.0, &cfg).unwrap();
+        let out = d
+            .run_epoch(
+                0.0,
+                1.0,
+                &[2.0],
+                &[1.0],
+                &mut Probe { calls: Vec::new() },
+                &Recorder::disabled(),
+            )
+            .unwrap();
+        assert_eq!(out.abandoned, 2);
+        assert!(
+            d.backlog(0) >= 2.0 - 1e-9,
+            "abandoned credit survives: {}",
+            d.backlog(0)
+        );
+        // Next epoch accrues *nothing* — every planned poll comes from
+        // the restored credit. Pre-fix this epoch dispatched 0 polls.
+        let next = d
+            .run_epoch(
+                1.0,
+                1.0,
+                &[0.0],
+                &[1.0],
+                &mut Probe { calls: Vec::new() },
+                &Recorder::disabled(),
+            )
+            .unwrap();
+        assert!(
+            next.dispatched >= 2,
+            "restored credit must re-plan polls, dispatched {}",
+            next.dispatched
+        );
+    }
+
+    #[test]
+    fn abandoned_credit_respects_the_backlog_cap() {
+        let mut cfg = config();
+        cfg.failure_rate = 0.999_999;
+        cfg.max_retries = 0;
+        cfg.max_backlog = 1.0;
+        let mut d = PollDispatcher::new(1, 10.0, &cfg).unwrap();
+        let out = d
+            .run_epoch(
+                0.0,
+                1.0,
+                &[3.0],
+                &[1.0],
+                &mut Probe { calls: Vec::new() },
+                &Recorder::disabled(),
+            )
+            .unwrap();
+        assert_eq!(out.abandoned, 3);
+        assert!(d.backlog(0) <= 1.0 + 1e-9, "cap holds on restoration");
+        assert!(out.shed >= 2.0 - 1e-9, "overflow is shed, not destroyed");
+    }
+
+    #[test]
+    fn budget_follows_the_epoch_len_passed_to_run_epoch() {
+        // Regression: the budget used to be frozen from config.epoch_len
+        // at construction, so run_epoch with a different epoch length
+        // mis-sized the budget relative to accrual. config.epoch_len is
+        // 1.0; dispatch a 2.0-period epoch: accrual 10 credits, budget
+        // 10.0 × 2.0 = 20 ⇒ all ten polls admitted.
+        let mut d = PollDispatcher::new(1, 10.0, &config()).unwrap();
+        let out = d
+            .run_epoch(
+                0.0,
+                2.0,
+                &[5.0],
+                &[1.0],
+                &mut Probe { calls: Vec::new() },
+                &Recorder::disabled(),
+            )
+            .unwrap();
+        assert_eq!(out.dispatched, 10, "budget scales with the real epoch");
+        assert_eq!(out.deferred, 0);
+    }
+
+    #[test]
+    fn rejects_invalid_epoch_len() {
+        let mut d = PollDispatcher::new(1, 10.0, &config()).unwrap();
+        let r = Recorder::disabled();
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(
+                d.run_epoch(
+                    0.0,
+                    bad,
+                    &[1.0],
+                    &[1.0],
+                    &mut Probe { calls: Vec::new() },
+                    &r
+                )
+                .is_err(),
+                "epoch_len {bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn pathological_frequencies_plan_bounded_requests() {
+        // Regression: a huge f·epoch_len used to allocate one request per
+        // whole credit *before* any cap — enough to exhaust memory — and
+        // `as u32` silently truncated beyond u32::MAX. Planning is now
+        // capped at what budget + backlog could ever admit.
+        let mut cfg = config();
+        cfg.max_backlog = 2.0;
+        let mut d = PollDispatcher::new(1, 5.0, &cfg).unwrap();
+        let out = d
+            .run_epoch(
+                0.0,
+                1.0,
+                &[1e12], // ≫ u32::MAX planned credits pre-fix
+                &[1.0],
+                &mut Probe { calls: Vec::new() },
+                &Recorder::disabled(),
+            )
+            .unwrap();
+        assert_eq!(out.dispatched, 5, "whole budget served");
+        assert!(d.backlog(0) <= 2.0 + 1e-9, "cap still holds");
+        assert!(out.shed > 1e11, "excess credit is accounted as shed");
+    }
+
+    #[test]
+    fn credit_ledger_balances_across_epochs() {
+        // credit_in + accrued = executed + retained + shed, every epoch,
+        // including under failures, retries, abandonment, and shedding.
+        let mut cfg = config();
+        cfg.failure_rate = 0.4;
+        cfg.max_retries = 1;
+        cfg.budget_factor = 0.6; // saturated: abandonment + deferral occur
+        cfg.seed = 11;
+        let freqs = [3.0, 2.5, 0.7, 1.3];
+        let mut d = PollDispatcher::new(4, 6.0, &cfg).unwrap();
+        let mut abandoned_total = 0;
+        for epoch in 0..8 {
+            let credit_in = d.total_credit();
+            let out = d
+                .run_epoch(
+                    epoch as f64,
+                    1.0,
+                    &freqs,
+                    &[4.0, 3.0, 2.0, 1.0],
+                    &mut Probe { calls: Vec::new() },
+                    &Recorder::disabled(),
+                )
+                .unwrap();
+            let accrued: f64 = freqs.iter().sum();
+            let executed = out.polls.len() as f64;
+            let residual = credit_in + accrued - executed - d.total_credit() - out.shed;
+            assert!(
+                residual.abs() < 1e-9,
+                "epoch {epoch}: ledger residual {residual}"
+            );
+            assert!(d.min_credit() >= -1e-12, "credit never goes negative");
+            abandoned_total += out.abandoned;
+        }
+        assert!(abandoned_total > 0, "the run exercised abandonment");
     }
 
     #[test]

@@ -21,6 +21,12 @@
 //!    threshold — or every epoch under the oracle policy used as the
 //!    re-solve baseline in benchmarks.
 //!
+//! An optional per-epoch ledger audit ([`audit`]) re-derives the
+//! dispatcher's credit conservation law (`credit_in + accrued = executed
+//! + retained + shed`) from independent inputs and counts breaches on
+//! the `audit.violations` obs counter — enable it with
+//! [`EngineConfig::audit`].
+//!
 //! Everything is deterministic: seeded generators, splitmix64 failure
 //! injection, total-order sorts, and a hand-rolled report serializer make
 //! a replayed run byte-identical ([`EngineReport::to_json`]).
@@ -48,6 +54,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod audit;
 pub mod config;
 pub mod dispatch;
 pub mod report;
@@ -55,6 +62,7 @@ pub mod runtime;
 pub mod source;
 pub mod stream;
 
+pub use audit::{EpochLedger, LedgerAudit};
 pub use config::{EngineConfig, EstimatorKind, ResolvePolicy};
 pub use dispatch::{EpochOutcome, ExecutedPoll, PollDispatcher};
 pub use report::{EngineReport, EpochStats};

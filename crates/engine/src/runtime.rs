@@ -25,6 +25,7 @@ use freshen_heuristics::adaptive::AdaptiveScheduler;
 use freshen_obs::Recorder;
 use freshen_workload::trace::AccessRecord;
 
+use crate::audit::LedgerAudit;
 use crate::config::{EngineConfig, EstimatorKind, ResolvePolicy};
 use crate::dispatch::PollDispatcher;
 use crate::report::{EngineReport, EpochStats};
@@ -78,6 +79,7 @@ pub struct Engine {
     executor: Executor,
     estimates: Problem,
     last_poll: Vec<f64>,
+    ledger: Option<LedgerAudit>,
 }
 
 impl Engine {
@@ -96,6 +98,7 @@ impl Engine {
             executor: Executor::serial(),
             estimates: prior.clone(),
             last_poll: vec![0.0; n],
+            ledger: config.audit.then(LedgerAudit::new),
             config,
         })
     }
@@ -156,8 +159,12 @@ impl Engine {
             realized_pf: 0.0,
             epochs: Vec::new(),
         };
+        if let Some(ledger) = &mut self.ledger {
+            ledger.clear();
+        }
         let resolve_counter = self.recorder.counter("engine.resolves");
         let skip_counter = self.recorder.counter("engine.skips");
+        let audit_counter = self.recorder.counter("audit.violations");
         let offload_counter = self.recorder.counter("engine.offloaded_resolves");
         let drift_gauge = self.recorder.gauge("engine.drift");
         let pf_gauge = self.recorder.gauge("engine.realized_pf");
@@ -177,6 +184,10 @@ impl Engine {
                 .zip(self.estimates.change_rates())
                 .map(|(&p, &l)| p * l)
                 .collect();
+            let credit_in = self
+                .ledger
+                .is_some()
+                .then(|| self.dispatcher.total_credit());
             let outcome = self.dispatcher.run_epoch(
                 epoch_start,
                 self.config.epoch_len,
@@ -185,6 +196,20 @@ impl Engine {
                 source,
                 &self.recorder,
             )?;
+            if let Some(ledger) = &mut self.ledger {
+                let record = ledger.record(
+                    epoch,
+                    credit_in.expect("sampled when the ledger is armed"),
+                    &freqs,
+                    self.config.epoch_len,
+                    &outcome,
+                    self.dispatcher.total_credit(),
+                    self.dispatcher.min_credit(),
+                );
+                if record.violated {
+                    audit_counter.inc();
+                }
+            }
 
             // 2. Fold poll outcomes into the change-rate estimator.
             for poll in &outcome.polls {
@@ -317,6 +342,14 @@ impl Engine {
     /// The adaptive scheduler (active schedule, resolve/skip counters).
     pub fn scheduler(&self) -> &AdaptiveScheduler {
         &self.scheduler
+    }
+
+    /// The poll-credit ledger from the most recent run, when
+    /// [`EngineConfig::audit`] is on (`None` otherwise). Each epoch's
+    /// conservation residual and breach flag are retained for
+    /// post-mortem inspection.
+    pub fn ledger(&self) -> Option<&LedgerAudit> {
+        self.ledger.as_ref()
     }
 }
 
@@ -516,6 +549,43 @@ mod tests {
         assert!(report.epochs.iter().all(|e| e.resolved));
         assert_eq!(report.resolves, 1 + report.epochs.len() as u64);
         assert_eq!(report.skips, 0);
+    }
+
+    #[test]
+    fn audited_run_keeps_a_clean_ledger_under_failures() {
+        // Budget-starved + failure-injected: abandonment, retries, and
+        // shedding all fire, and every epoch still balances.
+        let p = prior(4, 4.0);
+        let mut config = small_config();
+        config.audit = true;
+        config.failure_rate = 0.3;
+        config.max_retries = 1;
+        config.budget_factor = 0.6;
+        let recorder = Recorder::enabled();
+        let mut engine = Engine::new(&p, config)
+            .unwrap()
+            .with_recorder(recorder.clone());
+        let accesses = LiveAccessStream::new(p.access_probs(), 60.0, 5, 8.0);
+        let mut source = LivePollSource::new(&[2.0; 4], 6, 16.0).unwrap();
+        let report = engine.run(accesses, &mut source).unwrap();
+
+        let ledger = engine.ledger().expect("audit flag arms the ledger");
+        assert_eq!(ledger.epochs().len(), report.epochs.len());
+        assert!(
+            ledger.is_clean(),
+            "conservation breached: {:?}",
+            ledger.epochs()
+        );
+        assert!(ledger.max_residual() < 1e-9);
+        assert!(
+            ledger.epochs().iter().map(|e| e.abandoned).sum::<u64>() > 0,
+            "the starved run must exercise the abandonment path"
+        );
+        assert_eq!(recorder.counter_value("audit.violations").unwrap_or(0), 0);
+        assert!(
+            Engine::new(&p, small_config()).unwrap().ledger().is_none(),
+            "ledger stays off by default"
+        );
     }
 
     #[test]

@@ -14,6 +14,12 @@
 //!   grouped (per "server"), a sample estimates each group's change ratio,
 //!   groups are ranked by that ratio, and refreshes are poured greedily
 //!   into the highest-ranked groups until the budget runs out.
+//!
+//! [`solve_grid_search`] is different in kind: not a baseline *policy*
+//! but a brute-force *verification oracle* — it enumerates every
+//! bandwidth split on a dense grid and keeps the best, with no appeal to
+//! KKT theory at all. The differential audit harness uses it to confirm
+//! the analytic solvers on small instances.
 
 use freshen_core::error::{CoreError, Result};
 use freshen_core::problem::{Problem, Solution};
@@ -110,6 +116,80 @@ pub fn solve_sampling_greedy(problem: &Problem, groups: &[usize]) -> Result<Solu
         }
     }
     Ok(Solution::evaluate(problem, freqs))
+}
+
+/// Dense grid-search oracle for tiny instances: splits the budget into
+/// `steps` equal bandwidth units and exhaustively enumerates every way
+/// to distribute them over the elements (`C(steps+n−1, n−1)` feasible
+/// points — exponential in `n`, so callers should keep `n ≤ ~6`).
+///
+/// Exists purely as an independent check on the analytic solvers: it
+/// shares no code path and no optimality theory with them, so agreement
+/// within the grid's `O(B²/steps²)` resolution is real evidence. The
+/// returned solution exhausts the budget exactly (the last element
+/// absorbs the remainder of each enumeration).
+///
+/// Errors on `steps == 0` or `n > 8` (the enumeration would explode).
+pub fn solve_grid_search(problem: &Problem, steps: usize) -> Result<Solution> {
+    if steps == 0 {
+        return Err(CoreError::InvalidConfig(
+            "grid search needs at least one step".into(),
+        ));
+    }
+    let n = problem.len();
+    if n > 8 {
+        return Err(CoreError::InvalidConfig(format!(
+            "grid search is an exhaustive oracle for tiny instances (n ≤ 8), got n = {n}"
+        )));
+    }
+    let unit = problem.bandwidth() / steps as f64;
+    let mut freqs = vec![0.0f64; n];
+    let mut best: Option<(f64, Vec<f64>)> = None;
+    let mut evaluated = 0usize;
+
+    // Depth-first enumeration: element i takes k of the remaining units,
+    // the last element absorbs whatever is left (budget exhaustion by
+    // construction).
+    fn descend(
+        problem: &Problem,
+        unit: f64,
+        i: usize,
+        remaining: usize,
+        freqs: &mut Vec<f64>,
+        best: &mut Option<(f64, Vec<f64>)>,
+        evaluated: &mut usize,
+    ) {
+        let n = problem.len();
+        if i == n - 1 {
+            freqs[i] = remaining as f64 * unit / problem.sizes()[i];
+            let pf = problem.perceived_freshness(freqs);
+            *evaluated += 1;
+            if best.as_ref().is_none_or(|(b, _)| pf > *b) {
+                *best = Some((pf, freqs.clone()));
+            }
+            return;
+        }
+        for k in 0..=remaining {
+            freqs[i] = k as f64 * unit / problem.sizes()[i];
+            descend(problem, unit, i + 1, remaining - k, freqs, best, evaluated);
+        }
+        freqs[i] = 0.0;
+    }
+    descend(
+        problem,
+        unit,
+        0,
+        steps,
+        &mut freqs,
+        &mut best,
+        &mut evaluated,
+    );
+
+    let (pf, freqs) = best.expect("grid enumeration visits at least one point");
+    debug_assert!(pf.is_finite());
+    let mut solution = Solution::evaluate(problem, freqs);
+    solution.iterations = evaluated;
+    Ok(solution)
 }
 
 #[cfg(test)]
@@ -210,6 +290,56 @@ mod tests {
     fn sampling_greedy_validates_groups() {
         let p = toy();
         assert!(solve_sampling_greedy(&p, &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn grid_search_agrees_with_the_exact_solver() {
+        let p = Problem::builder()
+            .change_rates(vec![1.0, 3.0, 5.0])
+            .access_probs(vec![0.5, 0.3, 0.2])
+            .bandwidth(4.0)
+            .build()
+            .unwrap();
+        let exact = LagrangeSolver::default().solve(&p).unwrap();
+        let grid = solve_grid_search(&p, 64).unwrap();
+        // The exact optimum dominates any grid point, and the grid's best
+        // point must come within its quadratic resolution of it.
+        assert!(exact.perceived_freshness >= grid.perceived_freshness - 1e-12);
+        assert!(
+            exact.perceived_freshness - grid.perceived_freshness < 1e-2,
+            "grid {} vs exact {}",
+            grid.perceived_freshness,
+            exact.perceived_freshness
+        );
+        assert!((grid.bandwidth_used - 4.0).abs() < 1e-9, "budget exhausted");
+    }
+
+    #[test]
+    fn grid_search_exact_on_a_grid_aligned_optimum() {
+        // Two identical elements: the optimum is the even split, which
+        // lies exactly on any even-step grid.
+        let p = Problem::builder()
+            .change_rates(vec![2.0, 2.0])
+            .access_probs(vec![0.5, 0.5])
+            .bandwidth(3.0)
+            .build()
+            .unwrap();
+        let grid = solve_grid_search(&p, 30).unwrap();
+        assert!((grid.frequencies[0] - 1.5).abs() < 1e-12);
+        assert!((grid.frequencies[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_search_guards_its_domain() {
+        let p = toy();
+        assert!(solve_grid_search(&p, 0).is_err());
+        let big = Problem::builder()
+            .change_rates(vec![1.0; 9])
+            .access_probs(vec![1.0 / 9.0; 9])
+            .bandwidth(9.0)
+            .build()
+            .unwrap();
+        assert!(solve_grid_search(&big, 10).is_err());
     }
 
     #[test]

@@ -65,6 +65,7 @@ pub use freshen_workload as workload;
 
 /// One-stop imports for the common workflow.
 pub mod prelude {
+    pub use freshen_core::audit::{AuditReport, SolutionAudit};
     pub use freshen_core::freshness::{
         general_freshness, perceived_freshness, steady_state_freshness,
     };
@@ -72,7 +73,7 @@ pub mod prelude {
     pub use freshen_core::problem::{Element, Problem, Solution};
     pub use freshen_core::profile::{MasterProfile, ProfileEstimator, UserProfile};
     pub use freshen_core::schedule::{FixedOrderSchedule, ScheduleStream, SyncOp};
-    pub use freshen_engine::{Engine, EngineConfig, EngineReport, ResolvePolicy};
+    pub use freshen_engine::{Engine, EngineConfig, EngineReport, LedgerAudit, ResolvePolicy};
     pub use freshen_heuristics::allocate::AllocationPolicy;
     pub use freshen_heuristics::partition::PartitionCriterion;
     pub use freshen_heuristics::pipeline::{HeuristicConfig, HeuristicScheduler};
