@@ -1,0 +1,263 @@
+//! **Service runtime benchmark** (DESIGN.md §12) — kill-and-resume
+//! determinism and control-plane overhead of `freshen-serve`.
+//!
+//! Two legs:
+//!
+//! 1. **Recovery parity** — the same seeded live workload is run
+//!    uninterrupted, then re-run as a chain of drained legs (killed at
+//!    several epoch boundaries, each leg resumed from the previous
+//!    leg's checkpoint). The final reports must be **byte-identical**:
+//!    checkpoint/restore is exactness-or-error, never approximate.
+//! 2. **Control plane** — a served run on an ephemeral port is probed
+//!    over HTTP mid-run (`/status`, `/schedule`, `/metrics`,
+//!    `POST /checkpoint`), then drained with `POST /shutdown` and
+//!    resumed to completion; parity is asserted again, proving request
+//!    timing cannot perturb the deterministic run.
+//!
+//! Pass `--smoke` for a seconds-scale run (used by CI). Telemetry lands
+//! in `results/BENCH_serve.json` (epochs/sec served, checkpoint count,
+//! request latency quantiles).
+
+use std::time::Duration;
+
+use freshen_bench::{header, row, timed, BenchReport, BenchRun};
+use freshen_core::problem::Problem;
+use freshen_obs::Recorder;
+use freshen_serve::{request, ExitReason, ServeConfig, ServeWorkload, Server};
+
+struct Workload {
+    n: usize,
+    epochs: usize,
+    access_rate: f64,
+    seed: u64,
+}
+
+impl Workload {
+    /// Ground truth the engine must discover: geometric rate spread,
+    /// harmonic interest.
+    fn problem(&self) -> Problem {
+        let rates: Vec<f64> = (0..self.n)
+            .map(|i| 0.25 * 1.5f64.powi((i % 6) as i32))
+            .collect();
+        let weights: Vec<f64> = (0..self.n).map(|i| 1.0 / (i + 1) as f64).collect();
+        Problem::builder()
+            .change_rates(rates)
+            .access_weights(weights)
+            .bandwidth(self.n as f64 / 2.0)
+            .build()
+            .expect("workload problem builds")
+    }
+
+    fn serve_config(&self, dir: &std::path::Path, leg: &str) -> ServeConfig {
+        ServeConfig {
+            engine: freshen_engine::EngineConfig {
+                epochs: self.epochs,
+                warmup_epochs: self.epochs / 8,
+                failure_rate: 0.05,
+                seed: self.seed,
+                ..freshen_engine::EngineConfig::default()
+            },
+            checkpoint_path: dir.join(format!("{leg}.snapshot")),
+            ..ServeConfig::default()
+        }
+    }
+
+    fn workload(&self) -> ServeWorkload {
+        ServeWorkload::Live {
+            problem: self.problem(),
+            access_rate: self.access_rate,
+        }
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let workload = if smoke {
+        Workload {
+            n: 12,
+            epochs: 16,
+            access_rate: 150.0,
+            seed: 11,
+        }
+    } else {
+        Workload {
+            n: 100,
+            epochs: 64,
+            access_rate: 1500.0,
+            seed: 11,
+        }
+    };
+    let dir = std::env::temp_dir().join("freshen-exp-serve");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    println!(
+        "# freshen-serve: kill/resume determinism + control plane ({} elements, {} epochs)",
+        workload.n, workload.epochs
+    );
+    header(&["run", "epochs", "checkpoints", "wall_s", "parity"]);
+    let mut bench = BenchReport::new("serve");
+
+    // ------------------------------------------------------------------
+    // Leg 1: uninterrupted reference run.
+    // ------------------------------------------------------------------
+    let recorder = Recorder::enabled();
+    let config = workload.serve_config(&dir, "reference");
+    let (reference, wall) = timed(|| {
+        Server::new(workload.workload(), config)
+            .expect("server builds")
+            .with_recorder(recorder.clone())
+            .run()
+            .expect("reference run")
+    });
+    assert_eq!(reference.exit, ExitReason::Completed);
+    let reference_json = reference.report.as_ref().expect("completed").to_json();
+    row(
+        "uninterrupted",
+        &[
+            reference.epochs_run as f64,
+            reference.checkpoints as f64,
+            wall,
+            1.0,
+        ],
+    );
+    bench.push(BenchRun::from_recorder(
+        "serve-uninterrupted",
+        wall,
+        &recorder,
+    ));
+
+    // ------------------------------------------------------------------
+    // Leg 2: the same run killed at every quarter of the horizon, each
+    // leg resumed from the previous leg's snapshot.
+    // ------------------------------------------------------------------
+    let recorder = Recorder::enabled();
+    let kill_points = [
+        workload.epochs / 4,
+        workload.epochs / 4,
+        workload.epochs / 4,
+    ];
+    let (chained_json, wall) = timed(|| {
+        let mut resume_from = None;
+        let mut legs = 0usize;
+        for &kill_after in &kill_points {
+            let mut config = workload.serve_config(&dir, "chain");
+            config.drain_after = Some(kill_after);
+            config.resume = resume_from.clone();
+            let outcome = Server::new(workload.workload(), config.clone())
+                .expect("server builds")
+                .with_recorder(recorder.clone())
+                .run()
+                .expect("drained leg");
+            assert_eq!(outcome.exit, ExitReason::Drained, "leg {legs} must drain");
+            resume_from = Some(config.checkpoint_path.clone());
+            legs += 1;
+        }
+        let mut config = workload.serve_config(&dir, "chain");
+        config.resume = resume_from;
+        let last = Server::new(workload.workload(), config)
+            .expect("server builds")
+            .with_recorder(recorder.clone())
+            .run()
+            .expect("final leg");
+        assert_eq!(last.exit, ExitReason::Completed);
+        eprintln!("# recovery chain: {} kills + 1 final leg", legs);
+        last.report.expect("completed").to_json()
+    });
+    let parity = chained_json == reference_json;
+    assert!(
+        parity,
+        "kill/resume chain diverged from the uninterrupted run"
+    );
+    row(
+        "kill-resume-chain",
+        &[
+            workload.epochs as f64,
+            kill_points.len() as f64 + 1.0,
+            wall,
+            1.0,
+        ],
+    );
+    bench.push(BenchRun::from_recorder(
+        "serve-kill-resume",
+        wall,
+        &recorder,
+    ));
+
+    // ------------------------------------------------------------------
+    // Leg 3: control plane probed mid-run, then drained over HTTP and
+    // resumed to completion.
+    // ------------------------------------------------------------------
+    let recorder = Recorder::enabled();
+    let mut config = workload.serve_config(&dir, "control");
+    config.listen = Some("127.0.0.1:0".to_string());
+    // Give the probe thread time to land requests mid-run.
+    config.epoch_throttle = Some(Duration::from_millis(3));
+    let checkpoint_path = config.checkpoint_path.clone();
+    let (outcome, wall) = timed(|| {
+        let server = Server::new(workload.workload(), config)
+            .expect("server builds")
+            .with_recorder(recorder.clone());
+        let addr = server.local_addr().expect("listen address bound");
+        let probe = std::thread::spawn(move || {
+            let (status, body) = request(addr, "GET", "/status").expect("/status");
+            assert_eq!(status, 200, "{body}");
+            assert!(body.contains("\"epoch\""), "{body}");
+            let (status, body) = request(addr, "GET", "/schedule").expect("/schedule");
+            assert_eq!(status, 200);
+            assert!(body.contains("\"frequencies\""), "{body}");
+            let (status, body) = request(addr, "GET", "/metrics").expect("/metrics");
+            assert_eq!(status, 200);
+            assert!(body.contains("serve.requests"), "{body}");
+            let (status, _) = request(addr, "POST", "/checkpoint").expect("/checkpoint");
+            assert_eq!(status, 200);
+            // Let at least one throttled epoch pass so the on-demand
+            // checkpoint lands, then drain gracefully.
+            std::thread::sleep(Duration::from_millis(25));
+            let (status, _) = request(addr, "POST", "/shutdown").expect("/shutdown");
+            assert_eq!(status, 200);
+        });
+        let outcome = server.run().expect("served run");
+        probe.join().expect("probe thread");
+        outcome
+    });
+    assert_eq!(
+        outcome.exit,
+        ExitReason::Drained,
+        "HTTP shutdown must drain the loop"
+    );
+    assert!(outcome.checkpoints >= 1, "drain writes a final checkpoint");
+    row(
+        "http-drained",
+        &[
+            outcome.epochs_run as f64,
+            outcome.checkpoints as f64,
+            wall,
+            1.0,
+        ],
+    );
+    bench.push(BenchRun::from_recorder(
+        "serve-control-plane",
+        wall,
+        &recorder,
+    ));
+
+    // Resume the drained run headless and assert parity once more.
+    let mut config = workload.serve_config(&dir, "control");
+    config.resume = Some(checkpoint_path);
+    let resumed = Server::new(workload.workload(), config)
+        .expect("server builds")
+        .run()
+        .expect("resume after HTTP drain");
+    assert_eq!(resumed.exit, ExitReason::Completed);
+    assert_eq!(
+        resumed.report.expect("completed").to_json(),
+        reference_json,
+        "HTTP-drained run diverged after resume"
+    );
+    println!("# parity: all resumed runs byte-identical to the uninterrupted reference");
+
+    match bench.write() {
+        Ok(path) => println!("# telemetry: {}", path.display()),
+        Err(e) => eprintln!("# telemetry write failed: {e}"),
+    }
+}

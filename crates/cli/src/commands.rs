@@ -16,6 +16,7 @@ use freshen_heuristics::{
     AllocationPolicy, HeuristicConfig, HeuristicScheduler, PartitionCriterion,
 };
 use freshen_obs::Recorder;
+use freshen_serve::{ServeConfig, ServeWorkload, Server, ACCESS_SEED_SALT, POLL_SEED_SALT};
 use freshen_sim::{SimConfig, Simulation};
 use freshen_solver::{LagrangeSolver, ProjectedGradientSolver};
 use freshen_workload::scenario::{Alignment, Scenario, SizeAlignment, SizeDist};
@@ -299,6 +300,42 @@ pub fn cmd_estimate(args: &crate::ParsedArgs, out: &mut dyn Write) -> Result<(),
     write_json(&problem, out)
 }
 
+/// Parse the engine-configuration flags shared by `engine` and `serve`.
+fn engine_config_from_args(args: &crate::ParsedArgs) -> Result<EngineConfig, String> {
+    let defaults = EngineConfig::default();
+    let estimator = match args.get("estimator") {
+        None | Some("ewma") => EstimatorKind::Ewma {
+            gain: args.parsed_or("gain", 0.1)?,
+        },
+        Some("window") => EstimatorKind::Window {
+            len: args.parsed_or("window", 8usize)?,
+        },
+        Some(other) => return Err(format!("unknown estimator `{other}` (ewma|window)")),
+    };
+    let resolve_policy = match args.get("policy") {
+        None | Some("drift") => ResolvePolicy::DriftGated,
+        Some("oracle") => ResolvePolicy::EveryEpoch,
+        Some(other) => return Err(format!("unknown policy `{other}` (drift|oracle)")),
+    };
+    Ok(EngineConfig {
+        epochs: args.parsed_or("epochs", defaults.epochs)?,
+        epoch_len: args.parsed_or("epoch-len", defaults.epoch_len)?,
+        warmup_epochs: args.parsed_or("warmup", defaults.warmup_epochs)?,
+        drift_threshold: args.parsed_or("drift-threshold", defaults.drift_threshold)?,
+        resolve_policy,
+        estimator,
+        smoothing: args.parsed_or("smoothing", defaults.smoothing)?,
+        fallback_rate: args.parsed_or("fallback-rate", defaults.fallback_rate)?,
+        budget_factor: args.parsed_or("budget-factor", defaults.budget_factor)?,
+        max_backlog: args.parsed_or("max-backlog", defaults.max_backlog)?,
+        failure_rate: args.parsed_or("failure-rate", defaults.failure_rate)?,
+        max_retries: args.parsed_or("max-retries", defaults.max_retries)?,
+        retry_backoff: args.parsed_or("retry-backoff", defaults.retry_backoff)?,
+        seed: args.parsed_or("seed", defaults.seed)?,
+        ..defaults
+    })
+}
+
 /// `freshen engine` — run the online freshening runtime over a recorded
 /// trace (`--trace`/`--polls`) or a live simulated workload (`--live`).
 pub fn cmd_engine(args: &crate::ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
@@ -332,39 +369,7 @@ pub fn cmd_engine(args: &crate::ParsedArgs, out: &mut dyn Write) -> Result<(), S
     ])?;
     let (recorder, metrics, trace_out) = obs_recorder(args);
     let executor = exec_from_args(args, &recorder)?;
-
-    let defaults = EngineConfig::default();
-    let estimator = match args.get("estimator") {
-        None | Some("ewma") => EstimatorKind::Ewma {
-            gain: args.parsed_or("gain", 0.1)?,
-        },
-        Some("window") => EstimatorKind::Window {
-            len: args.parsed_or("window", 8usize)?,
-        },
-        Some(other) => return Err(format!("unknown estimator `{other}` (ewma|window)")),
-    };
-    let resolve_policy = match args.get("policy") {
-        None | Some("drift") => ResolvePolicy::DriftGated,
-        Some("oracle") => ResolvePolicy::EveryEpoch,
-        Some(other) => return Err(format!("unknown policy `{other}` (drift|oracle)")),
-    };
-    let config = EngineConfig {
-        epochs: args.parsed_or("epochs", defaults.epochs)?,
-        epoch_len: args.parsed_or("epoch-len", defaults.epoch_len)?,
-        warmup_epochs: args.parsed_or("warmup", defaults.warmup_epochs)?,
-        drift_threshold: args.parsed_or("drift-threshold", defaults.drift_threshold)?,
-        resolve_policy,
-        estimator,
-        smoothing: args.parsed_or("smoothing", defaults.smoothing)?,
-        fallback_rate: args.parsed_or("fallback-rate", defaults.fallback_rate)?,
-        budget_factor: args.parsed_or("budget-factor", defaults.budget_factor)?,
-        max_backlog: args.parsed_or("max-backlog", defaults.max_backlog)?,
-        failure_rate: args.parsed_or("failure-rate", defaults.failure_rate)?,
-        max_retries: args.parsed_or("max-retries", defaults.max_retries)?,
-        retry_backoff: args.parsed_or("retry-backoff", defaults.retry_backoff)?,
-        seed: args.parsed_or("seed", defaults.seed)?,
-        ..defaults
-    };
+    let config = engine_config_from_args(args)?;
 
     let report = match (args.get("trace"), args.get("live")) {
         (Some(_), Some(_)) => {
@@ -412,12 +417,15 @@ pub fn cmd_engine(args: &crate::ParsedArgs, out: &mut dyn Write) -> Result<(), S
             let accesses = LiveAccessStream::new(
                 problem.access_probs(),
                 access_rate,
-                config.seed ^ 0xACCE55,
+                config.seed ^ ACCESS_SEED_SALT,
                 horizon,
             );
-            let mut source =
-                LivePollSource::new(problem.change_rates(), config.seed ^ 0x50_11, horizon)
-                    .map_err(|e| e.to_string())?;
+            let mut source = LivePollSource::new(
+                problem.change_rates(),
+                config.seed ^ POLL_SEED_SALT,
+                horizon,
+            )
+            .map_err(|e| e.to_string())?;
             run_engine(
                 &problem,
                 config,
@@ -458,6 +466,135 @@ where
         .with_executor(executor)
         .run(accesses, source)
         .map_err(|e| e.to_string())
+}
+
+/// `freshen serve` — run the engine as a long-lived service with
+/// checkpoint/restore, graceful shutdown, and an HTTP control plane.
+pub fn cmd_serve(args: &crate::ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
+    args.expect_only(&[
+        "trace",
+        "polls",
+        "elements",
+        "bandwidth",
+        "live",
+        "access-rate",
+        "epochs",
+        "epoch-len",
+        "warmup",
+        "drift-threshold",
+        "policy",
+        "estimator",
+        "gain",
+        "window",
+        "smoothing",
+        "fallback-rate",
+        "budget-factor",
+        "max-backlog",
+        "failure-rate",
+        "max-retries",
+        "retry-backoff",
+        "seed",
+        "threads",
+        "listen",
+        "checkpoint-every",
+        "checkpoint",
+        "resume",
+        "drain-after",
+        "report-out",
+        "metrics-out",
+        "trace-out",
+    ])?;
+    let (mut recorder, metrics, trace_out) = obs_recorder(args);
+    if args.get("listen").is_some() {
+        // The control plane's /metrics route needs a live recorder even
+        // when no file outputs were requested.
+        recorder = Recorder::enabled();
+    }
+    let executor = exec_from_args(args, &recorder)?;
+    let config = engine_config_from_args(args)?;
+
+    let workload = match (args.get("trace"), args.get("live")) {
+        (Some(_), Some(_)) => {
+            return Err("--trace and --live are mutually exclusive".into());
+        }
+        (Some(access_path), None) => {
+            let elements: usize = args.require_parsed("elements")?;
+            let bandwidth: f64 = args.require_parsed("bandwidth")?;
+            let file = std::fs::File::open(access_path)
+                .map_err(|e| format!("cannot read access log `{access_path}`: {e}"))?;
+            // Serve replays may resume mid-run, so the log is held in
+            // memory (unlike the one-shot engine's streaming reader).
+            let accesses: Result<Vec<_>, _> =
+                freshen_workload::trace::AccessLogReader::new(std::io::BufReader::new(file))
+                    .collect();
+            let accesses = accesses.map_err(|e| e.to_string())?;
+            let polls = match args.get("polls") {
+                None => Vec::new(),
+                Some(path) => {
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| format!("cannot read poll log `{path}`: {e}"))?;
+                    freshen_workload::trace::parse_poll_log(&text).map_err(|e| e.to_string())?
+                }
+            };
+            ServeWorkload::Replay {
+                elements,
+                bandwidth,
+                accesses,
+                polls,
+            }
+        }
+        (None, Some(problem_path)) => ServeWorkload::Live {
+            problem: read_problem(problem_path)?,
+            access_rate: args.parsed_or("access-rate", 100.0)?,
+        },
+        (None, None) => {
+            return Err("one of --trace or --live is required".into());
+        }
+    };
+
+    let drain_after = match args.get("drain-after") {
+        None => None,
+        Some(raw) => Some(
+            raw.parse::<usize>()
+                .map_err(|e| format!("cannot parse --drain-after `{raw}`: {e}"))?,
+        ),
+    };
+    let serve_config = ServeConfig {
+        engine: config,
+        listen: args.get("listen").map(String::from),
+        checkpoint_every: args.parsed_or("checkpoint-every", 0usize)?,
+        checkpoint_path: args.get("checkpoint").unwrap_or("freshen.snapshot").into(),
+        resume: args.get("resume").map(std::path::PathBuf::from),
+        drain_after,
+        epoch_throttle: None,
+    };
+
+    let server = Server::new(workload, serve_config)
+        .map_err(|e| e.to_string())?
+        .with_recorder(recorder.clone())
+        .with_executor(executor);
+    if let Some(addr) = server.local_addr() {
+        writeln!(out, "control plane listening on http://{addr}").map_err(|e| e.to_string())?;
+    }
+    let outcome = server.run().map_err(|e| e.to_string())?;
+    write_obs_outputs(&recorder, metrics, trace_out)?;
+
+    match outcome.report {
+        Some(report) => {
+            let json = report.to_json();
+            match args.get("report-out") {
+                Some(path) => std::fs::write(path, &json)
+                    .map_err(|e| format!("cannot write report file `{path}`: {e}")),
+                None => out.write_all(json.as_bytes()).map_err(|e| e.to_string()),
+            }
+        }
+        None => writeln!(
+            out,
+            "drained after {} epoch(s); {} checkpoint(s) written",
+            outcome.epochs_run, outcome.checkpoints
+        )
+        .map_err(|e| e.to_string()),
+    }
 }
 
 /// `freshen audit` — check the KKT optimality certificate of a schedule.

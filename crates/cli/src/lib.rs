@@ -22,6 +22,7 @@
 //! | `timetable` | expand a schedule into concrete sync instants (CSV) |
 //! | `estimate` | learn a problem from access/poll logs (the §7 loop) |
 //! | `engine` | run the online runtime: streaming estimation + drift-gated re-solves |
+//! | `serve` | run the engine as a service: checkpoint/restore + HTTP control plane |
 //! | `audit` | check a schedule's KKT optimality certificate (CI-friendly exit status) |
 //!
 //! Argument parsing is hand-rolled (`--key value` pairs) to keep the
@@ -52,6 +53,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), String> {
         "timetable" => commands::cmd_timetable(&parsed, out),
         "estimate" => commands::cmd_estimate(&parsed, out),
         "engine" => commands::cmd_engine(&parsed, out),
+        "serve" => commands::cmd_serve(&parsed, out),
         "audit" => commands::cmd_audit(&parsed, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}").map_err(|e| e.to_string())?;
@@ -91,6 +93,11 @@ USAGE:
                     [--budget-factor C] [--max-backlog M] [--seed S] [--threads T]
                     [--report-out report.json] [--metrics-out metrics.json]
                     [--trace-out trace.json]
+  freshen serve     (--trace access.csv [--polls poll.csv] --elements N --bandwidth B
+                     | --live problem.json [--access-rate R])
+                    [--listen ADDR:PORT] [--checkpoint PATH] [--checkpoint-every N]
+                    [--resume PATH] [--drain-after N]
+                    [engine flags as above] [--report-out report.json]
   freshen audit     (--input problem.json [--schedule schedule.json]
                      | --objects N --updates U --syncs B [--theta T] [--std-dev S] [--seed S])
                     [--policy fixed|poisson] [--solver exact|pg] [--shards K] [--relaxed 1]

@@ -320,6 +320,53 @@ impl EwmaRateEstimator {
             .map(|(&r, &n)| if n == 0 { fallback } else { r })
             .collect()
     }
+
+    /// The raw per-element estimates, including priors for never-polled
+    /// elements — the checkpointable state, unlike [`rates`](Self::rates)
+    /// which substitutes a fallback.
+    pub fn raw_rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Per-element observation counts (the checkpointable companion to
+    /// [`raw_rates`](Self::raw_rates)).
+    pub fn observation_counts(&self) -> &[u64] {
+        &self.seen
+    }
+
+    /// Rebuild an estimator from checkpointed state. The `gain` comes from
+    /// configuration; `rates`/`seen` are what
+    /// [`raw_rates`](Self::raw_rates) and
+    /// [`observation_counts`](Self::observation_counts) exported.
+    pub fn from_state(rates: Vec<f64>, seen: Vec<u64>, gain: f64) -> Result<Self> {
+        if rates.is_empty() {
+            return Err(CoreError::Empty);
+        }
+        if seen.len() != rates.len() {
+            return Err(CoreError::LengthMismatch {
+                what: "estimator observation counts",
+                expected: rates.len(),
+                actual: seen.len(),
+            });
+        }
+        if !gain.is_finite() || gain <= 0.0 || gain > 1.0 {
+            return Err(CoreError::InvalidValue {
+                what: "estimator gain",
+                index: None,
+                value: gain,
+            });
+        }
+        for (i, &r) in rates.iter().enumerate() {
+            if !r.is_finite() || r <= 0.0 {
+                return Err(CoreError::InvalidValue {
+                    what: "estimator rate",
+                    index: Some(i),
+                    value: r,
+                });
+            }
+        }
+        Ok(EwmaRateEstimator { rates, seen, gain })
+    }
 }
 
 /// Sliding-window online change-rate estimator: keeps the last `window`
@@ -428,6 +475,47 @@ impl WindowRateEstimator {
         (0..self.intervals.len())
             .map(|i| self.rate(i, fallback))
             .collect()
+    }
+
+    /// Window capacity (polls remembered per element).
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Checkpointable contents: per element, the retained
+    /// `(interval, changed)` pairs oldest-first.
+    pub fn entries(&self) -> Vec<Vec<(f64, bool)>> {
+        self.intervals
+            .iter()
+            .zip(&self.changes)
+            .map(|(iv, ch)| iv.iter().copied().zip(ch.iter().copied()).collect())
+            .collect()
+    }
+
+    /// Rebuild an estimator from checkpointed state exported by
+    /// [`entries`](Self::entries).
+    pub fn from_state(window: usize, entries: Vec<Vec<(f64, bool)>>) -> Result<Self> {
+        if entries.is_empty() {
+            return Err(CoreError::Empty);
+        }
+        if window == 0 {
+            return Err(CoreError::InvalidConfig(
+                "sliding window needs at least one slot".into(),
+            ));
+        }
+        let mut estimator = WindowRateEstimator::new(entries.len(), window)?;
+        for (element, polls) in entries.into_iter().enumerate() {
+            if polls.len() > window {
+                return Err(CoreError::InvalidConfig(format!(
+                    "element {element} carries {} polls for a window of {window}",
+                    polls.len()
+                )));
+            }
+            for (interval, changed) in polls {
+                estimator.observe(element, interval, changed)?;
+            }
+        }
+        Ok(estimator)
     }
 }
 

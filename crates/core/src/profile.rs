@@ -267,6 +267,42 @@ impl ProfileEstimator {
         let total: f64 = self.counts.iter().sum::<f64>() + alpha * self.counts.len() as f64;
         self.counts.iter().map(|c| (c + alpha) / total).collect()
     }
+
+    /// The decayed per-element counts — the checkpointable state.
+    pub fn counts(&self) -> &[f64] {
+        &self.counts
+    }
+
+    /// Rebuild an estimator from checkpointed state. `decay` comes from
+    /// configuration; `counts`/`observations` are what
+    /// [`counts`](Self::counts) and
+    /// [`observations`](Self::observations) exported.
+    pub fn from_state(counts: Vec<f64>, decay: f64, observations: u64) -> Result<Self> {
+        if counts.is_empty() {
+            return Err(CoreError::Empty);
+        }
+        if !decay.is_finite() || decay <= 0.0 || decay > 1.0 {
+            return Err(CoreError::InvalidValue {
+                what: "decay",
+                index: None,
+                value: decay,
+            });
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            if !c.is_finite() || c < 0.0 {
+                return Err(CoreError::InvalidValue {
+                    what: "profile count",
+                    index: Some(i),
+                    value: c,
+                });
+            }
+        }
+        Ok(ProfileEstimator {
+            counts,
+            decay,
+            observations,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -196,6 +196,53 @@ impl PollDispatcher {
         self.credit.iter().copied().fold(f64::INFINITY, f64::min)
     }
 
+    /// Per-element outstanding credit — the checkpointable half of the
+    /// dispatcher's cross-epoch state.
+    pub fn credit(&self) -> &[f64] {
+        &self.credit
+    }
+
+    /// Per-element lifetime attempt counters. Together with the seed these
+    /// fully determine future failure draws, so checkpointing them extends
+    /// the failure stream exactly across a restart.
+    pub fn attempt_counts(&self) -> &[u64] {
+        &self.attempt_counter
+    }
+
+    /// Overwrite the cross-epoch state from a checkpoint. Configuration
+    /// (bandwidth, budget, failure model, seed) is not part of the
+    /// snapshot — the restored process must be launched with the same
+    /// config, which the snapshot's shape header verifies upstream.
+    pub fn restore_state(&mut self, credit: Vec<f64>, attempts: Vec<u64>) -> Result<()> {
+        let n = self.credit.len();
+        if credit.len() != n {
+            return Err(CoreError::LengthMismatch {
+                what: "dispatcher credit",
+                expected: n,
+                actual: credit.len(),
+            });
+        }
+        if attempts.len() != n {
+            return Err(CoreError::LengthMismatch {
+                what: "dispatcher attempt counters",
+                expected: n,
+                actual: attempts.len(),
+            });
+        }
+        for (i, &c) in credit.iter().enumerate() {
+            if !c.is_finite() || c < -1e-12 {
+                return Err(CoreError::InvalidValue {
+                    what: "dispatcher credit",
+                    index: Some(i),
+                    value: c,
+                });
+            }
+        }
+        self.credit = credit;
+        self.attempt_counter = attempts;
+        Ok(())
+    }
+
     /// Run one epoch: accrue credit from `freqs`, admit requests by
     /// `priorities` under the budget, execute them (with injected
     /// failures, retries, and backoff) against `source`, and return the

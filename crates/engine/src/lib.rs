@@ -60,6 +60,7 @@ pub mod dispatch;
 pub mod report;
 pub mod runtime;
 pub mod source;
+pub mod state;
 pub mod stream;
 
 pub use audit::{EpochLedger, LedgerAudit};
@@ -67,5 +68,6 @@ pub use config::{EngineConfig, EstimatorKind, ResolvePolicy};
 pub use dispatch::{EpochOutcome, ExecutedPoll, PollDispatcher};
 pub use report::{EngineReport, EpochStats};
 pub use runtime::Engine;
-pub use source::{LivePollSource, PollSource, ReplayPollSource};
+pub use source::{LivePollSource, LivePollState, PollSource, ReplayPollSource};
+pub use state::{EngineState, EstimatorState};
 pub use stream::{replay_accesses, BoxedAccessStream, DriftingAccessStream, LiveAccessStream};

@@ -14,14 +14,15 @@
 //! byte-identical across repeats. Wall-clock only enters the obs metrics
 //! (`events_per_sec`), never the report.
 
+use std::iter::Peekable;
 use std::time::Instant;
 
 use freshen_core::error::{CoreError, Result};
 use freshen_core::estimate::{EwmaRateEstimator, WindowRateEstimator};
 use freshen_core::exec::Executor;
-use freshen_core::problem::Problem;
+use freshen_core::problem::{Problem, Solution};
 use freshen_core::profile::ProfileEstimator;
-use freshen_heuristics::adaptive::AdaptiveScheduler;
+use freshen_heuristics::adaptive::{AdaptiveScheduler, DriftMonitor};
 use freshen_obs::Recorder;
 use freshen_workload::trace::AccessRecord;
 
@@ -30,6 +31,7 @@ use crate::config::{EngineConfig, EstimatorKind, ResolvePolicy};
 use crate::dispatch::PollDispatcher;
 use crate::report::{EngineReport, EpochStats};
 use crate::source::PollSource;
+use crate::state::{EngineState, EstimatorState};
 
 /// The configured change-rate estimator behind one interface.
 #[derive(Debug)]
@@ -61,6 +63,58 @@ impl RateTracker {
             RateTracker::Window(e) => e.rates(fallback),
         }
     }
+
+    fn export(&self) -> EstimatorState {
+        match self {
+            RateTracker::Ewma(e) => EstimatorState::Ewma {
+                rates: e.raw_rates().to_vec(),
+                seen: e.observation_counts().to_vec(),
+            },
+            RateTracker::Window(e) => EstimatorState::Window {
+                window: e.window(),
+                entries: e.entries(),
+            },
+        }
+    }
+
+    /// Rebuild from exported state; the kind and its parameters come from
+    /// `config` and must match the snapshot's shape.
+    fn restore(n: usize, kind: EstimatorKind, state: EstimatorState) -> Result<Self> {
+        match (kind, state) {
+            (EstimatorKind::Ewma { gain }, EstimatorState::Ewma { rates, seen }) => {
+                if rates.len() != n {
+                    return Err(CoreError::LengthMismatch {
+                        what: "estimator rates",
+                        expected: n,
+                        actual: rates.len(),
+                    });
+                }
+                Ok(RateTracker::Ewma(EwmaRateEstimator::from_state(
+                    rates, seen, gain,
+                )?))
+            }
+            (EstimatorKind::Window { len }, EstimatorState::Window { window, entries }) => {
+                if entries.len() != n {
+                    return Err(CoreError::LengthMismatch {
+                        what: "estimator entries",
+                        expected: n,
+                        actual: entries.len(),
+                    });
+                }
+                if window != len {
+                    return Err(CoreError::InvalidConfig(format!(
+                        "snapshot window {window} does not match configured window {len}"
+                    )));
+                }
+                Ok(RateTracker::Window(WindowRateEstimator::from_state(
+                    window, entries,
+                )?))
+            }
+            _ => Err(CoreError::InvalidConfig(
+                "snapshot estimator kind does not match the configured estimator".into(),
+            )),
+        }
+    }
 }
 
 /// The online freshening runtime. Construct with a prior [`Problem`]
@@ -80,6 +134,9 @@ pub struct Engine {
     estimates: Problem,
     last_poll: Vec<f64>,
     ledger: Option<LedgerAudit>,
+    /// Per-epoch stats of the run in progress; its length is the epoch
+    /// counter, so [`step`](Engine::step) needs no separate index.
+    history: Vec<EpochStats>,
 }
 
 impl Engine {
@@ -99,6 +156,7 @@ impl Engine {
             estimates: prior.clone(),
             last_poll: vec![0.0; n],
             ledger: config.audit.then(LedgerAudit::new),
+            history: Vec::new(),
             config,
         })
     }
@@ -136,190 +194,24 @@ impl Engine {
     /// Run the configured number of epochs, ingesting `accesses` (any
     /// stream of time-ordered [`AccessRecord`]s — a streaming trace
     /// reader or a live generator) and polling `source`.
+    ///
+    /// Equivalent to resetting the epoch history and calling
+    /// [`step`](Engine::step) until [`EngineConfig::epochs`] epochs have
+    /// run, then [`report`](Engine::report).
     pub fn run<I>(&mut self, accesses: I, source: &mut dyn PollSource) -> Result<EngineReport>
     where
         I: IntoIterator<Item = Result<AccessRecord>>,
     {
         let started = Instant::now();
-        let n = self.len();
         let mut accesses = accesses.into_iter().peekable();
-        let mut epochs = Vec::with_capacity(self.config.epochs);
-        let mut totals = EngineReport {
-            elements: n,
-            epoch_len: self.config.epoch_len,
-            seed: self.config.seed,
-            events: 0,
-            accesses: 0,
-            polls_succeeded: 0,
-            polls_failed: 0,
-            retries: 0,
-            deferred: 0,
-            resolves: 0,
-            skips: 0,
-            realized_pf: 0.0,
-            epochs: Vec::new(),
-        };
+        self.history.clear();
         if let Some(ledger) = &mut self.ledger {
             ledger.clear();
         }
-        let resolve_counter = self.recorder.counter("engine.resolves");
-        let skip_counter = self.recorder.counter("engine.skips");
-        let audit_counter = self.recorder.counter("audit.violations");
-        let offload_counter = self.recorder.counter("engine.offloaded_resolves");
-        let drift_gauge = self.recorder.gauge("engine.drift");
-        let pf_gauge = self.recorder.gauge("engine.realized_pf");
-
-        for epoch in 0..self.config.epochs {
-            let mut span = self.recorder.span("engine.epoch");
-            span.arg("epoch", epoch);
-            let epoch_start = epoch as f64 * self.config.epoch_len;
-            let epoch_end = epoch_start + self.config.epoch_len;
-
-            // 1. Execute the active schedule under the budget.
-            let freqs = self.scheduler.schedule().frequencies.clone();
-            let priorities: Vec<f64> = self
-                .estimates
-                .access_probs()
-                .iter()
-                .zip(self.estimates.change_rates())
-                .map(|(&p, &l)| p * l)
-                .collect();
-            let credit_in = self
-                .ledger
-                .is_some()
-                .then(|| self.dispatcher.total_credit());
-            let outcome = self.dispatcher.run_epoch(
-                epoch_start,
-                self.config.epoch_len,
-                &freqs,
-                &priorities,
-                source,
-                &self.recorder,
-            )?;
-            if let Some(ledger) = &mut self.ledger {
-                let record = ledger.record(
-                    epoch,
-                    credit_in.expect("sampled when the ledger is armed"),
-                    &freqs,
-                    self.config.epoch_len,
-                    &outcome,
-                    self.dispatcher.total_credit(),
-                    self.dispatcher.min_credit(),
-                );
-                if record.violated {
-                    audit_counter.inc();
-                }
-            }
-
-            // 2. Fold poll outcomes into the change-rate estimator.
-            for poll in &outcome.polls {
-                let interval = (poll.time - self.last_poll[poll.element]).max(1e-9);
-                self.rates.observe(poll.element, interval, poll.changed)?;
-                self.last_poll[poll.element] = poll.time;
-            }
-
-            // ... and the epoch's accesses into the profile estimator.
-            let mut epoch_accesses = 0u64;
-            let mut stale_served = 0u64;
-            while let Some(record) = accesses.peek() {
-                match record {
-                    Ok(a) if a.time < epoch_end => {
-                        if a.element >= n {
-                            return Err(CoreError::InvalidValue {
-                                what: "access element",
-                                index: Some(a.element),
-                                value: a.element as f64,
-                            });
-                        }
-                        self.profile.observe(a.element);
-                        epoch_accesses += 1;
-                        if outcome.starved[a.element] {
-                            stale_served += 1;
-                        }
-                        accesses.next();
-                    }
-                    Ok(_) => break,
-                    Err(_) => {
-                        // Surface the stream error (unwrap is safe: we
-                        // just peeked an Err).
-                        return Err(accesses.next().expect("peeked item").unwrap_err());
-                    }
-                }
-            }
-
-            // 3. Fresh estimates → drift monitor → (maybe) warm re-solve.
-            self.estimates = Problem::builder()
-                .change_rates(self.rates.rates(self.config.fallback_rate))
-                .access_weights(self.profile.access_probs_smoothed(self.config.smoothing))
-                .bandwidth(self.bandwidth)
-                .build()?;
-            // 4. ... overlapped with scoring the epoch (estimates at the
-            // achieved frequencies). The re-solve decision and the PF
-            // score read the same immutable estimates and touch disjoint
-            // state, so on a pool the solve runs on a worker while the
-            // score runs here — the loop never blocks on the solver.
-            let achieved: Vec<f64> = outcome
-                .succeeded
-                .iter()
-                .map(|&polls| polls as f64 / self.config.epoch_len)
-                .collect();
-            if self.executor.is_parallel() {
-                offload_counter.inc();
-            }
-            let (resolve_outcome, realized_pf) = {
-                let scheduler = &mut self.scheduler;
-                let estimates = &self.estimates;
-                let policy = self.config.resolve_policy;
-                self.executor.join(
-                    move || match policy {
-                        ResolvePolicy::DriftGated => scheduler.observe(estimates),
-                        ResolvePolicy::EveryEpoch => scheduler.resolve(estimates).map(|_| true),
-                    },
-                    || estimates.perceived_freshness(&achieved),
-                )
-            };
-            let resolved = resolve_outcome?;
-            let drift = self.scheduler.last_drift().unwrap_or(0.0);
-            if resolved {
-                resolve_counter.inc();
-            } else {
-                skip_counter.inc();
-            }
-            drift_gauge.set(drift);
-            pf_gauge.set(realized_pf);
-
-            totals.events += epoch_accesses + outcome.dispatched;
-            totals.accesses += epoch_accesses;
-            totals.polls_succeeded += outcome.polls.len() as u64;
-            totals.polls_failed += outcome.failures;
-            totals.retries += outcome.retries;
-            totals.deferred += outcome.deferred;
-            epochs.push(EpochStats {
-                index: epoch,
-                start: epoch_start,
-                drift,
-                resolved,
-                accesses: epoch_accesses,
-                stale_served,
-                dispatched: outcome.dispatched,
-                succeeded: outcome.polls.len() as u64,
-                failures: outcome.failures,
-                retries: outcome.retries,
-                deferred: outcome.deferred,
-                shed: outcome.shed,
-                realized_pf,
-            });
+        while self.history.len() < self.config.epochs {
+            self.step(&mut accesses, source)?;
         }
-
-        let measured: Vec<f64> = epochs
-            .iter()
-            .skip(self.config.warmup_epochs)
-            .map(|e| e.realized_pf)
-            .collect();
-        totals.realized_pf = measured.iter().sum::<f64>() / measured.len().max(1) as f64;
-        totals.resolves = self.scheduler.resolves() as u64;
-        totals.skips = self.scheduler.skips() as u64;
-        totals.epochs = epochs;
+        let totals = self.report();
 
         // Throughput and headline gauges for bench telemetry; wall time
         // stays out of the report itself.
@@ -331,6 +223,353 @@ impl Engine {
         }
         self.recorder.gauge("pf").set(totals.realized_pf);
         Ok(totals)
+    }
+
+    /// Execute exactly one epoch: dispatch the active schedule, fold poll
+    /// outcomes and the epoch's accesses into the estimators, run the
+    /// drift-gated re-solve decision, and append the epoch's stats to the
+    /// [`history`](Engine::history).
+    ///
+    /// This is the unit `freshen-serve` drives: it checkpoints between
+    /// steps and drains after the in-flight step on shutdown. The epoch
+    /// index is `history().len()`, so a restored engine continues exactly
+    /// where the exporting one stopped.
+    pub fn step<I>(
+        &mut self,
+        accesses: &mut Peekable<I>,
+        source: &mut dyn PollSource,
+    ) -> Result<EpochStats>
+    where
+        I: Iterator<Item = Result<AccessRecord>>,
+    {
+        let n = self.len();
+        let epoch = self.history.len();
+        let resolve_counter = self.recorder.counter("engine.resolves");
+        let skip_counter = self.recorder.counter("engine.skips");
+        let audit_counter = self.recorder.counter("audit.violations");
+        let offload_counter = self.recorder.counter("engine.offloaded_resolves");
+        let drift_gauge = self.recorder.gauge("engine.drift");
+        let pf_gauge = self.recorder.gauge("engine.realized_pf");
+
+        let mut span = self.recorder.span("engine.epoch");
+        span.arg("epoch", epoch);
+        let epoch_start = epoch as f64 * self.config.epoch_len;
+        let epoch_end = epoch_start + self.config.epoch_len;
+
+        // 1. Execute the active schedule under the budget.
+        let freqs = self.scheduler.schedule().frequencies.clone();
+        let priorities: Vec<f64> = self
+            .estimates
+            .access_probs()
+            .iter()
+            .zip(self.estimates.change_rates())
+            .map(|(&p, &l)| p * l)
+            .collect();
+        let credit_in = self
+            .ledger
+            .is_some()
+            .then(|| self.dispatcher.total_credit());
+        let outcome = self.dispatcher.run_epoch(
+            epoch_start,
+            self.config.epoch_len,
+            &freqs,
+            &priorities,
+            source,
+            &self.recorder,
+        )?;
+        if let Some(ledger) = &mut self.ledger {
+            let record = ledger.record(
+                epoch,
+                credit_in.expect("sampled when the ledger is armed"),
+                &freqs,
+                self.config.epoch_len,
+                &outcome,
+                self.dispatcher.total_credit(),
+                self.dispatcher.min_credit(),
+            );
+            if record.violated {
+                audit_counter.inc();
+            }
+        }
+
+        // 2. Fold poll outcomes into the change-rate estimator.
+        for poll in &outcome.polls {
+            let interval = (poll.time - self.last_poll[poll.element]).max(1e-9);
+            self.rates.observe(poll.element, interval, poll.changed)?;
+            self.last_poll[poll.element] = poll.time;
+        }
+
+        // ... and the epoch's accesses into the profile estimator.
+        let mut epoch_accesses = 0u64;
+        let mut stale_served = 0u64;
+        while let Some(record) = accesses.peek() {
+            match record {
+                Ok(a) if a.time < epoch_end => {
+                    if a.element >= n {
+                        return Err(CoreError::InvalidValue {
+                            what: "access element",
+                            index: Some(a.element),
+                            value: a.element as f64,
+                        });
+                    }
+                    self.profile.observe(a.element);
+                    epoch_accesses += 1;
+                    if outcome.starved[a.element] {
+                        stale_served += 1;
+                    }
+                    accesses.next();
+                }
+                Ok(_) => break,
+                Err(_) => {
+                    // Surface the stream error (unwrap is safe: we
+                    // just peeked an Err).
+                    return Err(accesses.next().expect("peeked item").unwrap_err());
+                }
+            }
+        }
+
+        // 3. Fresh estimates → drift monitor → (maybe) warm re-solve.
+        self.estimates = Problem::builder()
+            .change_rates(self.rates.rates(self.config.fallback_rate))
+            .access_weights(self.profile.access_probs_smoothed(self.config.smoothing))
+            .bandwidth(self.bandwidth)
+            .build()?;
+        // 4. ... overlapped with scoring the epoch (estimates at the
+        // achieved frequencies). The re-solve decision and the PF
+        // score read the same immutable estimates and touch disjoint
+        // state, so on a pool the solve runs on a worker while the
+        // score runs here — the loop never blocks on the solver.
+        let achieved: Vec<f64> = outcome
+            .succeeded
+            .iter()
+            .map(|&polls| polls as f64 / self.config.epoch_len)
+            .collect();
+        if self.executor.is_parallel() {
+            offload_counter.inc();
+        }
+        let (resolve_outcome, realized_pf) = {
+            let scheduler = &mut self.scheduler;
+            let estimates = &self.estimates;
+            let policy = self.config.resolve_policy;
+            self.executor.join(
+                move || match policy {
+                    ResolvePolicy::DriftGated => scheduler.observe(estimates),
+                    ResolvePolicy::EveryEpoch => scheduler.resolve(estimates).map(|_| true),
+                },
+                || estimates.perceived_freshness(&achieved),
+            )
+        };
+        let resolved = resolve_outcome?;
+        let drift = self.scheduler.last_drift().unwrap_or(0.0);
+        if resolved {
+            resolve_counter.inc();
+        } else {
+            skip_counter.inc();
+        }
+        drift_gauge.set(drift);
+        pf_gauge.set(realized_pf);
+
+        let stats = EpochStats {
+            index: epoch,
+            start: epoch_start,
+            drift,
+            resolved,
+            accesses: epoch_accesses,
+            stale_served,
+            dispatched: outcome.dispatched,
+            succeeded: outcome.polls.len() as u64,
+            failures: outcome.failures,
+            retries: outcome.retries,
+            deferred: outcome.deferred,
+            shed: outcome.shed,
+            realized_pf,
+        };
+        self.history.push(stats.clone());
+        Ok(stats)
+    }
+
+    /// The report over every epoch stepped so far. Totals are derived
+    /// entirely from the epoch history plus the scheduler's counters, so
+    /// the report is identical whether the epochs ran in one process or
+    /// across a checkpoint/restore boundary.
+    pub fn report(&self) -> EngineReport {
+        let mut totals = EngineReport {
+            elements: self.len(),
+            epoch_len: self.config.epoch_len,
+            seed: self.config.seed,
+            events: 0,
+            accesses: 0,
+            polls_succeeded: 0,
+            polls_failed: 0,
+            retries: 0,
+            deferred: 0,
+            resolves: self.scheduler.resolves() as u64,
+            skips: self.scheduler.skips() as u64,
+            realized_pf: 0.0,
+            epochs: self.history.clone(),
+        };
+        for e in &self.history {
+            totals.events += e.accesses + e.dispatched;
+            totals.accesses += e.accesses;
+            totals.polls_succeeded += e.succeeded;
+            totals.polls_failed += e.failures;
+            totals.retries += e.retries;
+            totals.deferred += e.deferred;
+        }
+        let measured: Vec<f64> = self
+            .history
+            .iter()
+            .skip(self.config.warmup_epochs)
+            .map(|e| e.realized_pf)
+            .collect();
+        totals.realized_pf = measured.iter().sum::<f64>() / measured.len().max(1) as f64;
+        totals
+    }
+
+    /// Per-epoch stats accumulated by [`step`](Engine::step) /
+    /// [`run`](Engine::run) so far.
+    pub fn history(&self) -> &[EpochStats] {
+        &self.history
+    }
+
+    /// The epoch the next [`step`](Engine::step) will execute.
+    pub fn epoch(&self) -> usize {
+        self.history.len()
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The active poll schedule.
+    pub fn schedule(&self) -> &Solution {
+        self.scheduler.schedule()
+    }
+
+    /// Export every piece of cross-epoch state as plain data — see
+    /// [`EngineState`] for the exactness contract.
+    pub fn export_state(&self) -> EngineState {
+        EngineState {
+            last_poll: self.last_poll.clone(),
+            estimator: self.rates.export(),
+            profile_counts: self.profile.counts().to_vec(),
+            profile_observations: self.profile.observations(),
+            schedule: self.scheduler.schedule().clone(),
+            baseline_probs: self.scheduler.monitor().baseline_probs().to_vec(),
+            baseline_rates: self.scheduler.monitor().baseline_rates().to_vec(),
+            resolves: self.scheduler.resolves() as u64,
+            skips: self.scheduler.skips() as u64,
+            last_drift: self.scheduler.last_drift(),
+            credit: self.dispatcher.credit().to_vec(),
+            attempts: self.dispatcher.attempt_counts().to_vec(),
+            history: self.history.clone(),
+        }
+    }
+
+    /// Inject state exported by [`export_state`](Engine::export_state)
+    /// into this engine, which must have been constructed with the same
+    /// prior shape and configuration. After a successful restore, every
+    /// subsequent [`step`](Engine::step) is byte-identical to the engine
+    /// that exported the state.
+    ///
+    /// Validation happens before any mutation: an inconsistent state (a
+    /// length mismatch, a mismatched estimator kind, non-finite values, a
+    /// gapped history) comes back as a [`CoreError`] and leaves the
+    /// engine untouched.
+    pub fn restore_state(&mut self, state: EngineState) -> Result<()> {
+        let n = self.len();
+        if state.last_poll.len() != n {
+            return Err(CoreError::LengthMismatch {
+                what: "last-poll instants",
+                expected: n,
+                actual: state.last_poll.len(),
+            });
+        }
+        for (i, &t) in state.last_poll.iter().enumerate() {
+            if !t.is_finite() || t < 0.0 {
+                return Err(CoreError::InvalidValue {
+                    what: "last-poll instant",
+                    index: Some(i),
+                    value: t,
+                });
+            }
+        }
+        if state.profile_counts.len() != n {
+            return Err(CoreError::LengthMismatch {
+                what: "profile counts",
+                expected: n,
+                actual: state.profile_counts.len(),
+            });
+        }
+        if state.baseline_probs.len() != n || state.schedule.frequencies.len() != n {
+            return Err(CoreError::LengthMismatch {
+                what: "scheduler state",
+                expected: n,
+                actual: state
+                    .baseline_probs
+                    .len()
+                    .max(state.schedule.frequencies.len()),
+            });
+        }
+        for (k, e) in state.history.iter().enumerate() {
+            if e.index != k {
+                return Err(CoreError::Inconsistent {
+                    routine: "engine-restore",
+                    invariant: "epoch history must be gapless and ordered",
+                });
+            }
+        }
+
+        // Build every fallible component before mutating anything.
+        let rates = RateTracker::restore(n, self.config.estimator, state.estimator)?;
+        let profile = ProfileEstimator::from_state(
+            state.profile_counts,
+            self.config.profile_decay,
+            state.profile_observations,
+        )?;
+        let monitor = DriftMonitor::from_state(
+            state.baseline_probs,
+            state.baseline_rates,
+            self.config.drift_threshold,
+        )?;
+        let scheduler = AdaptiveScheduler::from_state(
+            state.schedule,
+            monitor,
+            state.resolves as usize,
+            state.skips as usize,
+            state.last_drift,
+        )?
+        .with_executor(self.executor.clone());
+        // The live `(p̂, λ̂)` snapshot is a pure function of estimator
+        // state, so it is recomputed rather than checkpointed. Before the
+        // first epoch it is the prior, which the fresh engine already
+        // holds.
+        let estimates = if state.history.is_empty() {
+            None
+        } else {
+            Some(
+                Problem::builder()
+                    .change_rates(rates.rates(self.config.fallback_rate))
+                    .access_weights(profile.access_probs_smoothed(self.config.smoothing))
+                    .bandwidth(self.bandwidth)
+                    .build()?,
+            )
+        };
+        self.dispatcher
+            .restore_state(state.credit, state.attempts)?;
+        self.rates = rates;
+        self.profile = profile;
+        self.scheduler = scheduler;
+        self.last_poll = state.last_poll;
+        self.history = state.history;
+        if let Some(estimates) = estimates {
+            self.estimates = estimates;
+        }
+        if let Some(ledger) = &mut self.ledger {
+            ledger.clear();
+        }
+        Ok(())
     }
 
     /// The engine's current `(p̂, λ̂)` snapshot (the prior before the
@@ -607,5 +846,98 @@ mod tests {
         assert!(recorder.gauge_value("engine.drift").is_some());
         let metrics = recorder.metrics_json().expect("enabled recorder");
         assert!(metrics.contains("engine.dispatch_latency"));
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_byte_identically() {
+        // Step an engine halfway, export, restore into a fresh engine,
+        // finish both — the reports must match byte for byte. This is
+        // the in-process version of the serve crate's kill-and-resume
+        // guarantee, with the live sources restored by replay.
+        let n = 4;
+        let p = prior(n, 6.0);
+        let mut config = small_config();
+        config.failure_rate = 0.15; // exercise the attempt-counter path
+        let rates = [3.0, 2.0, 1.5, 1.0];
+        let horizon = config.horizon();
+        let make_accesses =
+            || LiveAccessStream::new(p.access_probs(), 80.0, 31, horizon).peekable();
+        let split = 3;
+
+        // Uninterrupted reference run.
+        let mut reference = Engine::new(&p, config.clone()).unwrap();
+        let mut ref_source = LivePollSource::new(&rates, 32, horizon).unwrap();
+        let expected = reference
+            .run(make_accesses(), &mut ref_source)
+            .unwrap()
+            .to_json();
+
+        // Run `split` epochs, snapshot everything the serve layer would.
+        let mut first = Engine::new(&p, config.clone()).unwrap();
+        let mut source = LivePollSource::new(&rates, 32, horizon).unwrap();
+        let mut accesses = make_accesses();
+        let mut consumed = 0u64;
+        for _ in 0..split {
+            consumed += first.step(&mut accesses, &mut source).unwrap().accesses;
+        }
+        let state = first.export_state();
+        assert_eq!(state.epoch(), split);
+        let source_state = source.state();
+
+        // Restore into fresh components and finish.
+        let mut second = Engine::new(&p, config.clone()).unwrap();
+        second.restore_state(state).unwrap();
+        let mut source2 = LivePollSource::restore(&rates, 32, horizon, &source_state).unwrap();
+        let mut accesses2 = make_accesses();
+        for _ in 0..consumed {
+            accesses2.next().unwrap().unwrap();
+        }
+        while second.epoch() < config.epochs {
+            second.step(&mut accesses2, &mut source2).unwrap();
+        }
+        assert_eq!(
+            second.report().to_json(),
+            expected,
+            "restored run must reproduce the uninterrupted report"
+        );
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_state() {
+        let p = prior(3, 3.0);
+        let mut engine = Engine::new(&p, small_config()).unwrap();
+        let accesses = LiveAccessStream::new(p.access_probs(), 50.0, 2, 8.0);
+        let mut source = LivePollSource::new(&[2.0; 3], 4, 16.0).unwrap();
+        engine.run(accesses, &mut source).unwrap();
+        let good = engine.export_state();
+
+        // Wrong element count.
+        let mut fresh = Engine::new(&p, small_config()).unwrap();
+        let mut bad = good.clone();
+        bad.last_poll.push(0.0);
+        assert!(fresh.restore_state(bad).is_err());
+
+        // Non-finite poll instant.
+        let mut bad = good.clone();
+        bad.last_poll[0] = f64::NAN;
+        assert!(fresh.restore_state(bad).is_err());
+
+        // Gapped history.
+        let mut bad = good.clone();
+        bad.history[2].index = 7;
+        assert!(fresh.restore_state(bad).is_err());
+
+        // Estimator kind mismatch.
+        let mut bad = good.clone();
+        bad.estimator = EstimatorState::Window {
+            window: 32,
+            entries: vec![Vec::new(); 3],
+        };
+        assert!(fresh.restore_state(bad).is_err());
+
+        // A failed restore leaves the engine usable: the good state
+        // still applies cleanly afterwards.
+        fresh.restore_state(good).unwrap();
+        assert_eq!(fresh.epoch(), engine.epoch());
     }
 }

@@ -72,6 +72,25 @@ impl ReplayPollSource {
     pub fn recorded(&self, element: usize) -> usize {
         self.outcomes[element].len()
     }
+
+    /// Per-element replay cursors — the source's checkpointable state.
+    pub fn cursors(&self) -> &[usize] {
+        &self.cursor
+    }
+
+    /// Overwrite the replay cursors from a checkpoint. The source must
+    /// have been rebuilt from the same poll log.
+    pub fn restore_cursors(&mut self, cursors: Vec<usize>) -> Result<()> {
+        if cursors.len() != self.cursor.len() {
+            return Err(CoreError::LengthMismatch {
+                what: "replay cursors",
+                expected: self.cursor.len(),
+                actual: cursors.len(),
+            });
+        }
+        self.cursor = cursors;
+        Ok(())
+    }
 }
 
 impl PollSource for ReplayPollSource {
@@ -99,6 +118,28 @@ pub struct LivePollSource {
     versions: Vec<u64>,
     synced: Vec<u64>,
     horizon: f64,
+    /// Update events pulled from the generator so far (including a
+    /// still-pending one). The generator's RNG position is a pure function
+    /// of (rates, seed, consumed), which is what makes the source
+    /// checkpointable without serializing the RNG itself.
+    consumed: u64,
+}
+
+/// Checkpointable state of a [`LivePollSource`]. The update generator is
+/// not serialized; [`LivePollSource::restore`] replays `consumed` events
+/// through a freshly seeded generator to land it on the identical RNG
+/// position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LivePollState {
+    /// Events pulled from the update generator.
+    pub consumed: u64,
+    /// Source-side content version per element.
+    pub versions: Vec<u64>,
+    /// Mirror-synced version per element.
+    pub synced: Vec<u64>,
+    /// Was the most recently pulled event still buffered (pulled from the
+    /// generator but not yet applied to `versions`)?
+    pub has_pending: bool,
 }
 
 impl LivePollSource {
@@ -130,6 +171,7 @@ impl LivePollSource {
             versions: vec![0; change_rates.len()],
             synced: vec![0; change_rates.len()],
             horizon,
+            consumed: 0,
         })
     }
 
@@ -143,7 +185,10 @@ impl LivePollSource {
                 }
                 Some(_) => break,
                 None => match self.updates.next_event(self.horizon) {
-                    Some(ev) => self.pending = Some(ev),
+                    Some(ev) => {
+                        self.consumed += 1;
+                        self.pending = Some(ev);
+                    }
                     None => break,
                 },
             }
@@ -156,6 +201,79 @@ impl LivePollSource {
     /// Panics when `element` is out of range.
     pub fn version(&self, element: usize) -> u64 {
         self.versions[element]
+    }
+
+    /// Snapshot the source's checkpointable state.
+    pub fn state(&self) -> LivePollState {
+        LivePollState {
+            consumed: self.consumed,
+            versions: self.versions.clone(),
+            synced: self.synced.clone(),
+            has_pending: self.pending.is_some(),
+        }
+    }
+
+    /// Rebuild a source at the exact position captured by
+    /// [`state`](Self::state): a fresh generator seeded identically is
+    /// advanced by `consumed` events, so its RNG, heap, and the buffered
+    /// pending event all land where the checkpointed process left them.
+    /// The replayed version counters are cross-checked against the
+    /// snapshot — a mismatch means the rates, seed, or horizon differ from
+    /// the checkpointed run and comes back as a [`CoreError`].
+    pub fn restore(
+        change_rates: &[f64],
+        seed: u64,
+        horizon: f64,
+        state: &LivePollState,
+    ) -> Result<Self> {
+        let mut src = LivePollSource::new(change_rates, seed, horizon)?;
+        let n = src.versions.len();
+        if state.versions.len() != n || state.synced.len() != n {
+            return Err(CoreError::LengthMismatch {
+                what: "live source versions",
+                expected: n,
+                actual: state.versions.len().max(state.synced.len()),
+            });
+        }
+        if state.has_pending && state.consumed == 0 {
+            return Err(CoreError::Inconsistent {
+                routine: "live-poll-source",
+                invariant: "a pending event implies at least one consumed event",
+            });
+        }
+        let applied = state.consumed - u64::from(state.has_pending);
+        for k in 0..state.consumed {
+            let ev = src
+                .updates
+                .next_event(src.horizon)
+                .ok_or(CoreError::Inconsistent {
+                    routine: "live-poll-source",
+                    invariant: "snapshot consumed more updates than the stream holds",
+                })?;
+            src.consumed += 1;
+            if k < applied {
+                src.versions[ev.1] += 1;
+            } else {
+                src.pending = Some(ev);
+            }
+        }
+        if src.versions != state.versions {
+            return Err(CoreError::Inconsistent {
+                routine: "live-poll-source",
+                invariant: "replayed versions diverge from the snapshot",
+            });
+        }
+        for (i, (&s, &v)) in state.synced.iter().zip(&state.versions).enumerate() {
+            if s > v {
+                return Err(CoreError::InvalidValue {
+                    what: "synced version",
+                    index: Some(i),
+                    value: s as f64,
+                });
+            }
+        }
+        src.synced = state.synced.clone();
+        Ok(src)
     }
 }
 
@@ -265,6 +383,64 @@ mod tests {
         assert!(LivePollSource::new(&[], 0, 10.0).is_err());
         assert!(LivePollSource::new(&[1.0], 0, 0.0).is_err());
         assert!(LivePollSource::new(&[-1.0], 0, 10.0).is_err());
+    }
+
+    #[test]
+    fn replay_cursor_roundtrip_resumes_exactly() {
+        let records: Vec<PollRecord> = (0..6)
+            .map(|k| PollRecord {
+                time: k as f64,
+                element: k % 2,
+                changed: k % 3 == 0,
+            })
+            .collect();
+        let mut src = ReplayPollSource::new(2, &records).unwrap();
+        for k in 0..7 {
+            src.poll(k % 2, k as f64);
+        }
+        let cursors = src.cursors().to_vec();
+        let mut restored = ReplayPollSource::new(2, &records).unwrap();
+        restored.restore_cursors(cursors).unwrap();
+        for k in 7..20 {
+            assert_eq!(src.poll(k % 2, k as f64), restored.poll(k % 2, k as f64));
+        }
+        assert!(restored.restore_cursors(vec![0; 3]).is_err());
+    }
+
+    #[test]
+    fn live_source_state_roundtrip_is_exact() {
+        let rates = [2.0, 0.7, 5.0];
+        let mut src = LivePollSource::new(&rates, 9, 500.0).unwrap();
+        for k in 1..=137 {
+            src.poll(k % 3, k as f64 * 0.25);
+        }
+        let state = src.state();
+        let mut restored = LivePollSource::restore(&rates, 9, 500.0, &state).unwrap();
+        assert_eq!(restored.state(), state);
+        for k in 138..400 {
+            let t = k as f64 * 0.25;
+            assert_eq!(src.poll(k % 3, t), restored.poll(k % 3, t), "poll {k}");
+        }
+        assert_eq!(src.state(), restored.state());
+    }
+
+    #[test]
+    fn live_source_restore_rejects_mismatched_config() {
+        let rates = [2.0, 0.7];
+        let mut src = LivePollSource::new(&rates, 9, 100.0).unwrap();
+        for k in 1..50 {
+            src.poll(k % 2, k as f64);
+        }
+        let state = src.state();
+        // Different rates or seed replay to different version counters.
+        assert!(LivePollSource::restore(&[2.0, 1.4], 9, 100.0, &state).is_err());
+        assert!(LivePollSource::restore(&rates, 10, 100.0, &state).is_err());
+        // Wrong element count is a length error.
+        assert!(LivePollSource::restore(&[2.0], 9, 100.0, &state).is_err());
+        // Synced beyond versions is invalid.
+        let mut bad = state.clone();
+        bad.synced[0] = bad.versions[0] + 1;
+        assert!(LivePollSource::restore(&rates, 9, 100.0, &bad).is_err());
     }
 
     #[test]

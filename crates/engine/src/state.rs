@@ -1,0 +1,95 @@
+//! Checkpointable engine state: everything [`Engine`] carries across
+//! epochs, extracted into one plain-data struct.
+//!
+//! The contract is exactness: [`Engine::restore_state`] applied to a
+//! freshly constructed engine (same prior, same config) leaves it in a
+//! state from which every subsequent [`Engine::step`] makes decisions
+//! byte-identical to the engine that exported the state. That is what
+//! lets `freshen-serve` extend the determinism rule across process
+//! boundaries — a run killed at epoch `k` and restored finishes with the
+//! same report as an uninterrupted run.
+//!
+//! Two deliberate omissions keep the state small and portable:
+//!
+//! * **Configuration** (gains, thresholds, decay, seeds) is not state —
+//!   the restoring process supplies the same [`EngineConfig`], which the
+//!   serve layer's snapshot shape header verifies before restoring.
+//! * **RNG internals** are never serialized. Every stochastic input is
+//!   either a pure function of `(seed, counters)` (the dispatcher's
+//!   failure draws) or replayable by consumed-event count (the live
+//!   sources) — see [`LivePollState`](crate::LivePollState).
+//!
+//! [`Engine`]: crate::Engine
+//! [`Engine::step`]: crate::Engine::step
+//! [`Engine::restore_state`]: crate::Engine::restore_state
+//! [`EngineConfig`]: crate::EngineConfig
+
+use freshen_core::problem::Solution;
+
+use crate::report::EpochStats;
+
+/// Snapshot of the configured change-rate estimator's learned state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EstimatorState {
+    /// State of an [`EwmaRateEstimator`](freshen_core::estimate::EwmaRateEstimator).
+    Ewma {
+        /// Per-element rate estimates (priors included).
+        rates: Vec<f64>,
+        /// Per-element polls folded in.
+        seen: Vec<u64>,
+    },
+    /// State of a [`WindowRateEstimator`](freshen_core::estimate::WindowRateEstimator).
+    Window {
+        /// Window capacity — recorded so a snapshot taken under one
+        /// window length cannot silently restore under another.
+        window: usize,
+        /// Per element, the retained `(interval, changed)` pairs
+        /// oldest-first.
+        entries: Vec<Vec<(f64, bool)>>,
+    },
+}
+
+/// Everything the engine carries across epochs, as plain data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineState {
+    /// Last successful poll instant per element.
+    pub last_poll: Vec<f64>,
+    /// Change-rate estimator state.
+    pub estimator: EstimatorState,
+    /// Profile learner's decayed access counts.
+    pub profile_counts: Vec<f64>,
+    /// Profile learner's lifetime observation count.
+    pub profile_observations: u64,
+    /// The active schedule (frequencies + the warm-start multiplier).
+    pub schedule: Solution,
+    /// Drift-monitor baseline access probabilities.
+    pub baseline_probs: Vec<f64>,
+    /// Drift-monitor baseline change rates.
+    pub baseline_rates: Vec<f64>,
+    /// Exact solves performed so far (including the initial one).
+    pub resolves: u64,
+    /// Re-solve decisions absorbed without solving.
+    pub skips: u64,
+    /// Drift measured by the most recent decision, if any.
+    pub last_drift: Option<f64>,
+    /// Dispatcher per-element outstanding poll credit.
+    pub credit: Vec<f64>,
+    /// Dispatcher per-element lifetime attempt counters (these key the
+    /// deterministic failure draws).
+    pub attempts: Vec<u64>,
+    /// Per-epoch statistics of the run so far; its length is the epoch
+    /// counter.
+    pub history: Vec<EpochStats>,
+}
+
+impl EngineState {
+    /// The epoch the exporting engine would run next.
+    pub fn epoch(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Mirror size the state was exported for.
+    pub fn elements(&self) -> usize {
+        self.last_poll.len()
+    }
+}

@@ -106,6 +106,45 @@ impl DriftMonitor {
         self.threshold
     }
 
+    /// The baseline access probabilities the active schedule was computed
+    /// for — the checkpointable half of the monitor's state.
+    pub fn baseline_probs(&self) -> &[f64] {
+        &self.baseline_probs
+    }
+
+    /// The baseline change rates the active schedule was computed for.
+    pub fn baseline_rates(&self) -> &[f64] {
+        &self.baseline_rates
+    }
+
+    /// Rebuild a monitor from checkpointed baselines. `threshold` comes
+    /// from configuration.
+    pub fn from_state(
+        baseline_probs: Vec<f64>,
+        baseline_rates: Vec<f64>,
+        threshold: f64,
+    ) -> Result<Self> {
+        if !threshold.is_finite() || threshold <= 0.0 {
+            return Err(CoreError::InvalidValue {
+                what: "drift threshold",
+                index: None,
+                value: threshold,
+            });
+        }
+        if baseline_probs.len() != baseline_rates.len() {
+            return Err(CoreError::LengthMismatch {
+                what: "drift baselines",
+                expected: baseline_probs.len(),
+                actual: baseline_rates.len(),
+            });
+        }
+        Ok(DriftMonitor {
+            baseline_probs,
+            baseline_rates,
+            threshold,
+        })
+    }
+
     /// Re-baseline after a re-solve.
     pub fn rebaseline(&mut self, problem: &Problem) {
         self.baseline_probs.clear();
@@ -172,6 +211,42 @@ impl AdaptiveScheduler {
     /// [`resolve`](Self::resolve) call, if any — handy for gauges.
     pub fn last_drift(&self) -> Option<f64> {
         self.last_drift
+    }
+
+    /// The drift monitor (baselines + threshold) — checkpointable state.
+    pub fn monitor(&self) -> &DriftMonitor {
+        &self.monitor
+    }
+
+    /// Rebuild a scheduler from checkpointed state without re-solving:
+    /// `current` is the schedule that was active at checkpoint time and
+    /// `monitor` carries the matching baselines, so the restored scheduler
+    /// makes byte-identical decisions from the next observation on.
+    pub fn from_state(
+        current: Solution,
+        monitor: DriftMonitor,
+        resolves: usize,
+        skips: usize,
+        last_drift: Option<f64>,
+    ) -> Result<Self> {
+        if current.frequencies.is_empty() {
+            return Err(CoreError::Empty);
+        }
+        if monitor.baseline_probs().len() != current.frequencies.len() {
+            return Err(CoreError::LengthMismatch {
+                what: "scheduler baselines",
+                expected: current.frequencies.len(),
+                actual: monitor.baseline_probs().len(),
+            });
+        }
+        Ok(AdaptiveScheduler {
+            solver: LagrangeSolver::default(),
+            monitor,
+            current,
+            resolves,
+            skips,
+            last_drift,
+        })
     }
 
     fn check_size(&self, problem: &Problem) -> Result<()> {

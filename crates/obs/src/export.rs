@@ -57,6 +57,8 @@ pub(crate) fn metrics_json(inner: &RecorderInner) -> String {
         push_str_literal(&mut out, name);
         out.push_str(": {\"count\": ");
         push_u64(&mut out, core.count());
+        out.push_str(", \"dropped\": ");
+        push_u64(&mut out, core.dropped());
         out.push_str(", \"sum\": ");
         push_f64(&mut out, core.sum());
         out.push_str(", \"min\": ");

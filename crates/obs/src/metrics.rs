@@ -109,12 +109,17 @@ pub struct HistogramCore {
     sum_bits: AtomicU64,
     min_bits: AtomicU64,
     max_bits: AtomicU64,
+    dropped: AtomicU64,
 }
 
 impl HistogramCore {
     pub(crate) fn new(bounds: &[f64]) -> Self {
         let mut sorted: Vec<f64> = bounds.iter().copied().filter(|b| b.is_finite()).collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // total_cmp, not partial_cmp().unwrap(): the bounds are pre-filtered
+        // to finite values here, but the same NaN-poisoned-sort pattern took
+        // the whole recorder down from `observe` — keep the sort total so
+        // this constructor can never join that bug class again.
+        sorted.sort_by(f64::total_cmp);
         sorted.dedup();
         let buckets = (0..=sorted.len()).map(|_| AtomicU64::new(0)).collect();
         HistogramCore {
@@ -124,11 +129,15 @@ impl HistogramCore {
             sum_bits: AtomicU64::new(0f64.to_bits()),
             min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
             max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            dropped: AtomicU64::new(0),
         }
     }
 
     fn observe(&self, v: f64) {
         if !v.is_finite() {
+            // A NaN/inf sample (e.g. a 0/0 rate) must neither poison the
+            // quantile math nor vanish silently: count the drop.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
             return;
         }
         let idx = self.bounds.partition_point(|b| v > *b);
@@ -141,6 +150,11 @@ impl HistogramCore {
 
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
+    }
+
+    /// Non-finite samples rejected at [`observe`](Histogram::observe).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     pub fn sum(&self) -> f64 {
@@ -223,6 +237,11 @@ impl Histogram {
 
     pub fn count(&self) -> u64 {
         self.0.as_ref().map_or(0, |c| c.count())
+    }
+
+    /// Non-finite samples rejected by this histogram; 0 for a no-op handle.
+    pub fn dropped(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.dropped())
     }
 
     pub fn sum(&self) -> f64 {
@@ -327,11 +346,32 @@ mod tests {
         h.observe(50.0); // overflow bucket
         h.observe(f64::NAN); // dropped
         assert_eq!(core.count(), 2);
+        assert_eq!(core.dropped(), 1);
         assert_eq!(core.sum(), 55.0);
         assert_eq!(core.min(), Some(5.0));
         assert_eq!(core.max(), Some(50.0));
         let cum = core.cumulative_buckets();
         assert_eq!(cum, vec![(10.0, 1), (f64::INFINITY, 2)]);
+    }
+
+    /// Regression: a NaN sample (e.g. a 0/0 rate) used to poison the
+    /// histogram and panic the quantile sort. It must be counted as
+    /// dropped while quantiles keep working on the finite samples.
+    #[test]
+    fn nan_samples_are_dropped_and_quantiles_survive() {
+        let h = Histogram::live(Arc::new(HistogramCore::new(&count_buckets())));
+        for v in 1..=100 {
+            h.observe(v as f64);
+        }
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        h.observe(f64::NEG_INFINITY);
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.dropped(), 3);
+        let p50 = h.quantile(0.5).expect("quantiles survive NaN input");
+        assert!(p50.is_finite());
+        assert!((1.0..=100.0).contains(&p50));
+        assert!(h.quantile(0.99).unwrap().is_finite());
     }
 
     #[test]

@@ -1,0 +1,313 @@
+//! Zero-dependency HTTP/1.1 control plane on [`std::net::TcpListener`].
+//!
+//! The plane serves five routes from a single accept-loop thread:
+//!
+//! | route              | effect                                          |
+//! |--------------------|-------------------------------------------------|
+//! | `GET /status`      | run progress JSON (epoch, PF, resolves, drift)  |
+//! | `GET /schedule`    | the active schedule JSON                        |
+//! | `GET /metrics`     | the freshen-obs metrics export                  |
+//! | `POST /checkpoint` | request a snapshot at the next epoch boundary   |
+//! | `POST /shutdown`   | request a graceful drain (finish the in-flight  |
+//! |                    | epoch, checkpoint, exit cleanly)                |
+//!
+//! Request parsing is hand-rolled and deliberately minimal: read the
+//! head up to `\r\n\r\n` (bounded), split the request line, ignore the
+//! body. Control actions are edge-triggered flags on [`ControlShared`];
+//! the serve loop polls them between epochs, so the control plane never
+//! touches engine state directly and the epoch loop stays deterministic
+//! regardless of request timing.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use freshen_obs::{duration_us_buckets, Recorder};
+
+/// Upper bound on a request head; anything longer is rejected with 431.
+const MAX_HEAD: usize = 8 * 1024;
+/// Per-connection socket timeout so a stalled client cannot wedge the
+/// accept loop.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// State shared between the serve loop and the control plane. The loop
+/// is the only writer of the JSON views and the only consumer of the
+/// request flags; handlers only read views and set flags.
+#[derive(Debug, Default)]
+pub struct ControlShared {
+    /// Current `/status` response body, refreshed each epoch.
+    pub status: Mutex<String>,
+    /// Current `/schedule` response body, refreshed each epoch.
+    pub schedule: Mutex<String>,
+    /// Set by `POST /checkpoint`, cleared by the serve loop after the
+    /// next epoch-boundary snapshot.
+    pub checkpoint_requested: AtomicBool,
+    /// Set by `POST /shutdown`; the serve loop drains and exits.
+    pub shutdown_requested: AtomicBool,
+    stop_accept: AtomicBool,
+}
+
+/// The running control plane: a bound listener plus its accept thread.
+pub struct ControlPlane {
+    addr: SocketAddr,
+    shared: Arc<ControlShared>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ControlPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ControlPlane")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ControlPlane {
+    /// Start serving on an already-bound listener. The recorder gains a
+    /// `serve.requests` counter and a `serve.request_latency_us`
+    /// histogram.
+    pub fn start(
+        listener: TcpListener,
+        shared: Arc<ControlShared>,
+        recorder: Recorder,
+    ) -> std::io::Result<ControlPlane> {
+        let addr = listener.local_addr()?;
+        let thread_shared = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("freshen-serve-http".into())
+            .spawn(move || accept_loop(&listener, &thread_shared, &recorder))?;
+        Ok(ControlPlane {
+            addr,
+            shared,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (useful with `--listen 127.0.0.1:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the accept thread. Safe to call while
+    /// requests are in flight: the loop finishes the current connection,
+    /// then exits.
+    pub fn stop(mut self) {
+        self.shared.stop_accept.store(true, Ordering::SeqCst);
+        // Unblock the (otherwise blocking) accept call.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ControlShared>, recorder: &Recorder) {
+    let requests = recorder.counter("serve.requests");
+    let latency = recorder.histogram("serve.request_latency_us", &duration_us_buckets());
+    for stream in listener.incoming() {
+        if shared.stop_accept.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = stream else { continue };
+        let started = Instant::now();
+        requests.inc();
+        let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+        let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+        let _ = handle(&mut stream, shared, recorder);
+        latency.observe(started.elapsed().as_secs_f64() * 1e6);
+    }
+}
+
+/// Read the request head (bounded), parse the request line, and answer.
+fn handle(
+    stream: &mut TcpStream,
+    shared: &Arc<ControlShared>,
+    recorder: &Recorder,
+) -> std::io::Result<()> {
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    let complete = loop {
+        if head.len() >= MAX_HEAD {
+            break false;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => break head.windows(4).any(|w| w == b"\r\n\r\n"),
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") {
+                    break true;
+                }
+            }
+            Err(_) => break false,
+        }
+    };
+    if !complete {
+        let response = respond(
+            stream,
+            431,
+            "{\"error\":\"request head too large or torn\"}",
+        );
+        // Drain whatever the client already sent before closing: a close
+        // with unread bytes in the receive buffer turns into a TCP RST,
+        // which would destroy the 431 response in flight.
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+        let mut scratch = [0u8; 512];
+        while matches!(stream.read(&mut scratch), Ok(n) if n > 0) {}
+        return response;
+    }
+    let head = String::from_utf8_lossy(&head);
+    let mut request_line = head.lines().next().unwrap_or("").split_whitespace();
+    let method = request_line.next().unwrap_or("");
+    let path = request_line.next().unwrap_or("");
+
+    match (method, path) {
+        ("GET", "/status") => {
+            let body = shared.status.lock().map(|s| s.clone()).unwrap_or_default();
+            respond(stream, 200, &body)
+        }
+        ("GET", "/schedule") => {
+            let body = shared
+                .schedule
+                .lock()
+                .map(|s| s.clone())
+                .unwrap_or_default();
+            respond(stream, 200, &body)
+        }
+        ("GET", "/metrics") => {
+            let body = recorder
+                .metrics_json()
+                .unwrap_or_else(|| "{\"counters\": {}, \"gauges\": {}, \"histograms\": {}}".into());
+            respond(stream, 200, &body)
+        }
+        ("POST", "/checkpoint") => {
+            shared.checkpoint_requested.store(true, Ordering::SeqCst);
+            respond(stream, 200, "{\"ok\": true, \"action\": \"checkpoint\"}")
+        }
+        ("POST", "/shutdown") => {
+            shared.shutdown_requested.store(true, Ordering::SeqCst);
+            respond(stream, 200, "{\"ok\": true, \"action\": \"shutdown\"}")
+        }
+        (_, "/status" | "/schedule" | "/metrics" | "/checkpoint" | "/shutdown") => {
+            respond(stream, 405, "{\"error\":\"method not allowed\"}")
+        }
+        _ => respond(stream, 404, "{\"error\":\"no such route\"}"),
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        431 => "Request Header Fields Too Large",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Minimal blocking HTTP client for tests and the bench probe: send one
+/// request, return `(status, body)`.
+pub fn request(addr: SocketAddr, method: &str, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, IO_TIMEOUT)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    stream.write_all(
+        format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "torn status line"))?;
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start_test_plane() -> (ControlPlane, Arc<ControlShared>, Recorder) {
+        let shared = Arc::new(ControlShared::default());
+        *shared.status.lock().unwrap() = "{\"epoch\": 3}".to_string();
+        *shared.schedule.lock().unwrap() = "{\"frequencies\": [1.0]}".to_string();
+        let recorder = Recorder::enabled();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let plane = ControlPlane::start(listener, Arc::clone(&shared), recorder.clone()).unwrap();
+        (plane, shared, recorder)
+    }
+
+    #[test]
+    fn routes_respond_and_flags_latch() {
+        let (plane, shared, recorder) = start_test_plane();
+        let addr = plane.local_addr();
+
+        let (status, body) = request(addr, "GET", "/status").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"epoch\": 3}");
+
+        let (status, body) = request(addr, "GET", "/schedule").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("frequencies"));
+
+        let (status, body) = request(addr, "GET", "/metrics").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("serve.requests"), "{body}");
+
+        assert!(!shared.checkpoint_requested.load(Ordering::SeqCst));
+        let (status, _) = request(addr, "POST", "/checkpoint").unwrap();
+        assert_eq!(status, 200);
+        assert!(shared.checkpoint_requested.load(Ordering::SeqCst));
+
+        let (status, _) = request(addr, "POST", "/shutdown").unwrap();
+        assert_eq!(status, 200);
+        assert!(shared.shutdown_requested.load(Ordering::SeqCst));
+
+        let (status, _) = request(addr, "GET", "/nope").unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = request(addr, "GET", "/shutdown").unwrap();
+        assert_eq!(status, 405, "control actions are POST-only");
+
+        plane.stop();
+        assert!(recorder.counter_value("serve.requests").unwrap() >= 7);
+    }
+
+    #[test]
+    fn oversized_heads_are_rejected_not_hung() {
+        let (plane, _shared, _recorder) = start_test_plane();
+        let addr = plane.local_addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let huge = format!(
+            "GET /status HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD)
+        );
+        stream.write_all(huge.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 431"), "{response}");
+        plane.stop();
+    }
+
+    #[test]
+    fn stop_joins_cleanly_with_no_traffic() {
+        let (plane, _shared, _recorder) = start_test_plane();
+        plane.stop();
+    }
+}

@@ -1,0 +1,705 @@
+//! The serve loop: drive the engine one [`Engine::step`] at a time,
+//! checkpointing at epoch boundaries and draining gracefully on demand.
+//!
+//! The loop is the single owner of the engine, the access stream, and
+//! the poll source; the control plane only flips flags and reads JSON
+//! views refreshed between epochs. Checkpoints are only ever taken at
+//! epoch boundaries — the engine's state contract
+//! ([`Engine::export_state`]) holds exactly there, which is what makes a
+//! resumed run byte-identical to an uninterrupted one.
+
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use freshen_core::error::{CoreError, Result};
+use freshen_core::exec::Executor;
+use freshen_core::problem::Problem;
+use freshen_engine::stream::BoxedAccessStream;
+use freshen_engine::{
+    replay_accesses, Engine, EngineConfig, EngineReport, LiveAccessStream, LivePollSource,
+    ReplayPollSource,
+};
+use freshen_obs::Recorder;
+use freshen_workload::trace::{AccessRecord, PollRecord};
+
+use crate::http::{ControlPlane, ControlShared};
+use crate::snapshot::{Snapshot, SnapshotShape, SourceState};
+
+/// Seed salt for the live access stream — shared with the CLI's
+/// `engine` command so `serve` and `engine` runs over the same problem
+/// file and seed see the same traffic.
+pub const ACCESS_SEED_SALT: u64 = 0xACCE55;
+/// Seed salt for the live poll source (see [`ACCESS_SEED_SALT`]).
+pub const POLL_SEED_SALT: u64 = 0x50_11;
+
+/// What the served engine runs against.
+#[derive(Debug, Clone)]
+pub enum ServeWorkload {
+    /// Live mode: the problem supplies the ground truth the engine must
+    /// discover through its own polls and accesses.
+    Live {
+        /// Ground-truth problem (rates, access profile, bandwidth).
+        problem: Problem,
+        /// Poisson access-arrival rate (events per period).
+        access_rate: f64,
+    },
+    /// Replay mode: pre-parsed access and poll logs.
+    Replay {
+        /// Number of mirrored elements.
+        elements: usize,
+        /// Poll bandwidth (polls per period).
+        bandwidth: f64,
+        /// Time-ordered access events.
+        accesses: Vec<AccessRecord>,
+        /// Per-element poll outcomes, time-ordered.
+        polls: Vec<PollRecord>,
+    },
+}
+
+impl ServeWorkload {
+    /// Number of mirrored elements.
+    pub fn elements(&self) -> usize {
+        match self {
+            ServeWorkload::Live { problem, .. } => problem.len(),
+            ServeWorkload::Replay { elements, .. } => *elements,
+        }
+    }
+}
+
+/// Service configuration wrapped around the engine's.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The wrapped engine configuration.
+    pub engine: EngineConfig,
+    /// Control-plane bind address (e.g. `127.0.0.1:7171`, or port `0`
+    /// for an ephemeral port); `None` runs headless.
+    pub listen: Option<String>,
+    /// Checkpoint every N epochs; `0` checkpoints only on demand
+    /// (`POST /checkpoint`) and at graceful shutdown.
+    pub checkpoint_every: usize,
+    /// Snapshot file path (written atomically: temp + rename).
+    pub checkpoint_path: PathBuf,
+    /// Resume from this snapshot before stepping.
+    pub resume: Option<PathBuf>,
+    /// Stop (drain + checkpoint) after stepping this many epochs in
+    /// this process — the programmatic "kill at epoch k" used by tests
+    /// and the recovery benchmark.
+    pub drain_after: Option<usize>,
+    /// Optional pause between epochs, so control-plane probes can land
+    /// mid-run in tests and demos. `None` (the default) runs flat out.
+    pub epoch_throttle: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            engine: EngineConfig::default(),
+            listen: None,
+            checkpoint_every: 0,
+            checkpoint_path: PathBuf::from("freshen.snapshot"),
+            resume: None,
+            drain_after: None,
+            epoch_throttle: None,
+        }
+    }
+}
+
+/// Why the serve loop returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitReason {
+    /// All configured epochs ran; the final report is available.
+    Completed,
+    /// Graceful drain: a shutdown request or `drain_after` cap stopped
+    /// the run at an epoch boundary after writing a final checkpoint.
+    Drained,
+}
+
+/// Outcome of a serve run.
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// The final report — present only when the run [`Completed`]
+    /// (a drained run's report lives in its checkpoint).
+    ///
+    /// [`Completed`]: ExitReason::Completed
+    pub report: Option<EngineReport>,
+    /// Why the loop returned.
+    pub exit: ExitReason,
+    /// Epochs stepped by this process (excludes restored history).
+    pub epochs_run: usize,
+    /// Checkpoints written by this process.
+    pub checkpoints: usize,
+    /// Control-plane address, when one was bound.
+    pub bound_addr: Option<SocketAddr>,
+}
+
+/// The poll source behind one seam, so checkpoints capture whichever
+/// kind the workload uses.
+enum RunSource {
+    Live(LivePollSource),
+    Replay(ReplayPollSource),
+}
+
+impl RunSource {
+    fn export(&self) -> SourceState {
+        match self {
+            RunSource::Live(s) => SourceState::Live(s.state()),
+            RunSource::Replay(s) => SourceState::Replay {
+                cursors: s.cursors().to_vec(),
+            },
+        }
+    }
+}
+
+/// A configured, bound (but not yet running) service.
+pub struct Server {
+    workload: ServeWorkload,
+    config: ServeConfig,
+    recorder: Recorder,
+    executor: Executor,
+    listener: Option<TcpListener>,
+    shared: Arc<ControlShared>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("workload", &self.workload)
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Validate the configuration and bind the control-plane listener
+    /// (if `listen` is set) so [`local_addr`](Server::local_addr) is
+    /// known before [`run`](Server::run) starts stepping.
+    pub fn new(workload: ServeWorkload, config: ServeConfig) -> Result<Self> {
+        config.engine.validate()?;
+        if let ServeWorkload::Live { access_rate, .. } = &workload {
+            if !access_rate.is_finite() || *access_rate <= 0.0 {
+                return Err(CoreError::InvalidValue {
+                    what: "access rate",
+                    index: None,
+                    value: *access_rate,
+                });
+            }
+        }
+        let listener = match &config.listen {
+            Some(addr) => Some(TcpListener::bind(addr).map_err(|e| {
+                CoreError::InvalidConfig(format!("cannot bind control plane on `{addr}`: {e}"))
+            })?),
+            None => None,
+        };
+        Ok(Server {
+            workload,
+            config,
+            recorder: Recorder::disabled(),
+            executor: Executor::serial(),
+            listener,
+            shared: Arc::new(ControlShared::default()),
+        })
+    }
+
+    /// Attach an obs recorder (shared with the control plane's
+    /// `/metrics` route).
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Attach an executor for the engine's overlapped re-solves.
+    #[must_use]
+    pub fn with_executor(mut self, executor: Executor) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// The bound control-plane address, when `listen` was configured.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.listener.as_ref().and_then(|l| l.local_addr().ok())
+    }
+
+    /// Handle to the shared control state — lets in-process callers
+    /// request a checkpoint or shutdown without going through HTTP.
+    pub fn control(&self) -> Arc<ControlShared> {
+        Arc::clone(&self.shared)
+    }
+
+    /// Run to completion or graceful drain. Consumes the server; the
+    /// control plane (if any) is stopped before returning, on success
+    /// and on error alike.
+    pub fn run(mut self) -> Result<ServeOutcome> {
+        let cfg = self.config.engine.clone();
+        let n = self.workload.elements();
+        let horizon = cfg.horizon();
+
+        // Build the prior, the access stream, and the poll source
+        // exactly as the CLI's one-shot `engine` command would — a
+        // served run and a plain run over the same inputs are the same
+        // deterministic computation.
+        let (prior, accesses, mut source) = match &self.workload {
+            ServeWorkload::Live {
+                problem,
+                access_rate,
+            } => {
+                let stream: BoxedAccessStream = Box::new(LiveAccessStream::new(
+                    problem.access_probs(),
+                    *access_rate,
+                    cfg.seed ^ ACCESS_SEED_SALT,
+                    horizon,
+                ));
+                let source = LivePollSource::new(
+                    problem.change_rates(),
+                    cfg.seed ^ POLL_SEED_SALT,
+                    horizon,
+                )?;
+                (problem.clone(), stream, RunSource::Live(source))
+            }
+            ServeWorkload::Replay {
+                elements,
+                bandwidth,
+                accesses,
+                polls,
+            } => {
+                let prior = Problem::builder()
+                    .change_rates(vec![cfg.fallback_rate; *elements])
+                    .access_weights(vec![1.0; *elements])
+                    .bandwidth(*bandwidth)
+                    .build()?;
+                let stream: BoxedAccessStream = Box::new(replay_accesses(accesses.clone()));
+                let source = ReplayPollSource::new(*elements, polls)?;
+                (prior, stream, RunSource::Replay(source))
+            }
+        };
+        let mut accesses = accesses.peekable();
+        let mut engine = Engine::new(&prior, cfg.clone())?
+            .with_recorder(self.recorder.clone())
+            .with_executor(self.executor.clone());
+
+        // Resume: validate the snapshot against this run's shape, then
+        // inject engine + source state and fast-forward the access
+        // stream to where the exporting process stopped.
+        let mut consumed: u64 = 0;
+        if let Some(path) = self.config.resume.clone() {
+            let snapshot = Snapshot::read(&path)?;
+            snapshot.shape.matches(&cfg, n)?;
+            engine.restore_state(snapshot.engine)?;
+            match (&mut source, snapshot.source) {
+                (RunSource::Live(live), SourceState::Live(state)) => {
+                    let rates = match &self.workload {
+                        ServeWorkload::Live { problem, .. } => problem.change_rates(),
+                        ServeWorkload::Replay { .. } => {
+                            return Err(CoreError::Inconsistent {
+                                routine: "serve-resume",
+                                invariant: "live source implies a live workload",
+                            })
+                        }
+                    };
+                    *live =
+                        LivePollSource::restore(rates, cfg.seed ^ POLL_SEED_SALT, horizon, &state)?;
+                }
+                (RunSource::Replay(replay), SourceState::Replay { cursors }) => {
+                    replay.restore_cursors(cursors)?;
+                }
+                _ => {
+                    return Err(CoreError::InvalidConfig(
+                        "snapshot source kind does not match the configured workload".into(),
+                    ))
+                }
+            }
+            for _ in 0..snapshot.accesses_consumed {
+                match accesses.next() {
+                    Some(Ok(_)) => {}
+                    Some(Err(e)) => return Err(e),
+                    None => {
+                        return Err(CoreError::Inconsistent {
+                            routine: "serve-resume",
+                            invariant: "snapshot consumed more accesses than the stream holds",
+                        })
+                    }
+                }
+            }
+            consumed = snapshot.accesses_consumed;
+            self.recorder.counter("serve.resumes").inc();
+        }
+
+        self.update_views(&engine, 0, "running");
+        let plane = match self.listener.take() {
+            Some(listener) => Some(
+                ControlPlane::start(listener, Arc::clone(&self.shared), self.recorder.clone())
+                    .map_err(|e| CoreError::InvalidConfig(format!("control plane: {e}")))?,
+            ),
+            None => None,
+        };
+        let bound_addr = plane.as_ref().map(ControlPlane::local_addr);
+
+        let result = self.drive(&mut engine, &mut accesses, &mut source, consumed);
+        if let Some(plane) = plane {
+            plane.stop();
+        }
+        let (exit, epochs_run, checkpoints) = result?;
+        let report = match exit {
+            ExitReason::Completed => Some(engine.report()),
+            ExitReason::Drained => None,
+        };
+        Ok(ServeOutcome {
+            report,
+            exit,
+            epochs_run,
+            checkpoints,
+            bound_addr,
+        })
+    }
+
+    /// The epoch loop proper. Returns `(exit, epochs stepped here,
+    /// checkpoints written)`.
+    fn drive(
+        &self,
+        engine: &mut Engine,
+        accesses: &mut std::iter::Peekable<BoxedAccessStream>,
+        source: &mut RunSource,
+        mut consumed: u64,
+    ) -> Result<(ExitReason, usize, usize)> {
+        let epochs_counter = self.recorder.counter("serve.epochs");
+        let checkpoint_counter = self.recorder.counter("serve.checkpoints");
+        let total_epochs = self.config.engine.epochs;
+        let mut checkpoints = 0usize;
+        let mut stepped = 0usize;
+
+        let exit = loop {
+            if engine.epoch() >= total_epochs {
+                break ExitReason::Completed;
+            }
+            if self.shared.shutdown_requested.load(Ordering::SeqCst) {
+                break ExitReason::Drained;
+            }
+            if self.config.drain_after.is_some_and(|cap| stepped >= cap) {
+                break ExitReason::Drained;
+            }
+            let stats = match source {
+                RunSource::Live(s) => engine.step(accesses, s)?,
+                RunSource::Replay(s) => engine.step(accesses, s)?,
+            };
+            consumed += stats.accesses;
+            stepped += 1;
+            epochs_counter.inc();
+
+            let on_cadence = self.config.checkpoint_every > 0
+                && engine.epoch() % self.config.checkpoint_every == 0;
+            let on_demand = self
+                .shared
+                .checkpoint_requested
+                .swap(false, Ordering::SeqCst);
+            if on_cadence || on_demand {
+                self.write_checkpoint(engine, source, consumed)?;
+                checkpoints += 1;
+                checkpoint_counter.inc();
+            }
+            self.update_views(engine, checkpoints, "running");
+            if let Some(pause) = self.config.epoch_throttle {
+                std::thread::sleep(pause);
+            }
+        };
+
+        if exit == ExitReason::Drained {
+            // The graceful-shutdown contract: the in-flight epoch has
+            // finished (checkpoints only happen at boundaries), so the
+            // final snapshot resumes exactly where this process stopped.
+            self.write_checkpoint(engine, source, consumed)?;
+            checkpoints += 1;
+            checkpoint_counter.inc();
+        }
+        let state = match exit {
+            ExitReason::Completed => "completed",
+            ExitReason::Drained => "drained",
+        };
+        self.update_views(engine, checkpoints, state);
+        Ok((exit, stepped, checkpoints))
+    }
+
+    fn write_checkpoint(&self, engine: &Engine, source: &RunSource, consumed: u64) -> Result<()> {
+        let snapshot = Snapshot {
+            shape: SnapshotShape::of(&self.config.engine, self.workload.elements()),
+            engine: engine.export_state(),
+            source: source.export(),
+            accesses_consumed: consumed,
+        };
+        snapshot.write_atomic(&self.config.checkpoint_path)
+    }
+
+    /// Refresh the `/status` and `/schedule` JSON views.
+    fn update_views(&self, engine: &Engine, checkpoints: usize, state: &str) {
+        let last = engine.history().last();
+        let status = format!(
+            "{{\"state\": \"{state}\", \"epoch\": {}, \"epochs\": {}, \"elements\": {}, \"realized_pf\": {}, \"drift\": {}, \"resolved\": {}, \"checkpoints\": {checkpoints}}}",
+            engine.epoch(),
+            self.config.engine.epochs,
+            self.workload.elements(),
+            json_num(last.map_or(f64::NAN, |e| e.realized_pf)),
+            json_num(last.map_or(f64::NAN, |e| e.drift)),
+            last.is_some_and(|e| e.resolved),
+        );
+        let schedule = engine.schedule();
+        let freqs: Vec<String> = schedule.frequencies.iter().map(|&f| json_num(f)).collect();
+        let schedule_json = format!(
+            "{{\"frequencies\": [{}], \"perceived_freshness\": {}, \"bandwidth_used\": {}}}",
+            freqs.join(", "),
+            json_num(schedule.perceived_freshness),
+            json_num(schedule.bandwidth_used),
+        );
+        if let Ok(mut view) = self.shared.status.lock() {
+            *view = status;
+        }
+        if let Ok(mut view) = self.shared.schedule.lock() {
+            *view = schedule_json;
+        }
+    }
+}
+
+/// JSON number: shortest round-trip decimal, `null` for non-finite.
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn live_workload(n: usize) -> ServeWorkload {
+        let mut rates = Vec::with_capacity(n);
+        let mut weights = Vec::with_capacity(n);
+        for i in 0..n {
+            rates.push(1.0 + i as f64 * 0.5);
+            weights.push((n - i) as f64);
+        }
+        ServeWorkload::Live {
+            problem: Problem::builder()
+                .change_rates(rates)
+                .access_weights(weights)
+                .bandwidth(n as f64)
+                .build()
+                .unwrap(),
+            access_rate: 60.0,
+        }
+    }
+
+    fn config(epochs: usize, dir: &str) -> ServeConfig {
+        let root = std::env::temp_dir()
+            .join("freshen-serve-service-test")
+            .join(dir);
+        std::fs::create_dir_all(&root).unwrap();
+        ServeConfig {
+            engine: EngineConfig {
+                epochs,
+                warmup_epochs: 1,
+                seed: 99,
+                failure_rate: 0.1,
+                ..EngineConfig::default()
+            },
+            checkpoint_path: root.join("run.snapshot"),
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn uninterrupted_serve_matches_plain_engine_run() {
+        let workload = live_workload(4);
+        let cfg = config(6, "plain");
+        let outcome = Server::new(workload.clone(), cfg.clone())
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(outcome.exit, ExitReason::Completed);
+        assert_eq!(outcome.epochs_run, 6);
+
+        let ServeWorkload::Live {
+            problem,
+            access_rate,
+        } = &workload
+        else {
+            unreachable!()
+        };
+        let horizon = cfg.engine.horizon();
+        let accesses = LiveAccessStream::new(
+            problem.access_probs(),
+            *access_rate,
+            cfg.engine.seed ^ ACCESS_SEED_SALT,
+            horizon,
+        );
+        let mut source = LivePollSource::new(
+            problem.change_rates(),
+            cfg.engine.seed ^ POLL_SEED_SALT,
+            horizon,
+        )
+        .unwrap();
+        let plain = Engine::new(problem, cfg.engine)
+            .unwrap()
+            .run(accesses, &mut source)
+            .unwrap();
+        assert_eq!(
+            outcome.report.unwrap().to_json(),
+            plain.to_json(),
+            "serving must not perturb the deterministic run"
+        );
+    }
+
+    #[test]
+    fn drain_then_resume_is_byte_identical() {
+        let workload = live_workload(5);
+        let cfg = config(8, "resume");
+
+        let reference = Server::new(workload.clone(), cfg.clone())
+            .unwrap()
+            .run()
+            .unwrap()
+            .report
+            .unwrap()
+            .to_json();
+
+        let mut first_leg = cfg.clone();
+        first_leg.drain_after = Some(3);
+        let outcome = Server::new(workload.clone(), first_leg)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(outcome.exit, ExitReason::Drained);
+        assert!(outcome.report.is_none());
+        assert_eq!(outcome.checkpoints, 1, "drain writes the final checkpoint");
+
+        let mut second_leg = cfg.clone();
+        second_leg.resume = Some(cfg.checkpoint_path.clone());
+        let resumed = Server::new(workload, second_leg).unwrap().run().unwrap();
+        assert_eq!(resumed.exit, ExitReason::Completed);
+        assert_eq!(resumed.epochs_run, 5, "8 total − 3 already run");
+        assert_eq!(resumed.report.unwrap().to_json(), reference);
+    }
+
+    #[test]
+    fn replay_workload_checkpoints_and_resumes() {
+        let n = 3;
+        let mut accesses = Vec::new();
+        for k in 0..240 {
+            accesses.push(AccessRecord {
+                time: k as f64 * 0.025,
+                element: [0, 1, 0, 2][k % 4],
+            });
+        }
+        let mut polls = Vec::new();
+        for k in 0..60 {
+            polls.push(PollRecord {
+                time: k as f64 * 0.1,
+                element: k % n,
+                changed: k % 2 == 0,
+            });
+        }
+        let workload = ServeWorkload::Replay {
+            elements: n,
+            bandwidth: 3.0,
+            accesses,
+            polls,
+        };
+        let cfg = config(6, "replay");
+
+        let reference = Server::new(workload.clone(), cfg.clone())
+            .unwrap()
+            .run()
+            .unwrap()
+            .report
+            .unwrap()
+            .to_json();
+
+        let mut first_leg = cfg.clone();
+        first_leg.drain_after = Some(2);
+        Server::new(workload.clone(), first_leg)
+            .unwrap()
+            .run()
+            .unwrap();
+        let mut second_leg = cfg.clone();
+        second_leg.resume = Some(cfg.checkpoint_path.clone());
+        let resumed = Server::new(workload, second_leg).unwrap().run().unwrap();
+        assert_eq!(resumed.report.unwrap().to_json(), reference);
+    }
+
+    #[test]
+    fn mismatched_resume_shapes_are_clean_errors() {
+        let cfg = config(6, "mismatch");
+        let mut drain = cfg.clone();
+        drain.drain_after = Some(2);
+        Server::new(live_workload(4), drain).unwrap().run().unwrap();
+
+        // Wrong element count.
+        let mut resume = cfg.clone();
+        resume.resume = Some(cfg.checkpoint_path.clone());
+        let err = Server::new(live_workload(5), resume.clone())
+            .unwrap()
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::LengthMismatch { .. }), "{err}");
+
+        // Wrong seed.
+        let mut wrong_seed = resume.clone();
+        wrong_seed.engine.seed = 7;
+        let err = Server::new(live_workload(4), wrong_seed)
+            .unwrap()
+            .run()
+            .unwrap_err();
+        assert!(err.to_string().contains("does not match"), "{err}");
+
+        // Wrong workload kind for the stored source state.
+        let mut wrong_kind = resume.clone();
+        wrong_kind.resume = Some(cfg.checkpoint_path.clone());
+        let err = Server::new(
+            ServeWorkload::Replay {
+                elements: 4,
+                bandwidth: 4.0,
+                accesses: Vec::new(),
+                polls: Vec::new(),
+            },
+            wrong_kind,
+        )
+        .unwrap()
+        .run()
+        .unwrap_err();
+        assert!(err.to_string().contains("source kind"), "{err}");
+
+        // Corrupt file.
+        let bytes = std::fs::read(&cfg.checkpoint_path).unwrap();
+        let bad_path = cfg.checkpoint_path.with_extension("corrupt");
+        let mut bad = bytes;
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0xFF;
+        std::fs::write(&bad_path, &bad).unwrap();
+        let mut corrupt = resume;
+        corrupt.resume = Some(bad_path);
+        let err = Server::new(live_workload(4), corrupt)
+            .unwrap()
+            .run()
+            .unwrap_err();
+        assert!(err.to_string().contains("snapshot"), "{err}");
+    }
+
+    #[test]
+    fn on_demand_checkpoint_and_shutdown_flags_drive_the_loop() {
+        let workload = live_workload(3);
+        let mut cfg = config(40, "flags");
+        cfg.engine.warmup_epochs = 2;
+        let server = Server::new(workload, cfg).unwrap();
+        let control = server.control();
+        // Pre-latched flags: the loop must checkpoint after the first
+        // epoch and then drain immediately.
+        control.checkpoint_requested.store(true, Ordering::SeqCst);
+        control.shutdown_requested.store(true, Ordering::SeqCst);
+        let outcome = server.run().unwrap();
+        assert_eq!(outcome.exit, ExitReason::Drained);
+        assert_eq!(outcome.epochs_run, 0, "shutdown wins before the first step");
+        assert_eq!(outcome.checkpoints, 1, "drain still snapshots");
+    }
+}

@@ -1,0 +1,700 @@
+//! Versioned, CRC-checked snapshot format for kill-and-resume.
+//!
+//! The file layout is a 12-byte header followed by a flat little-endian
+//! payload:
+//!
+//! | offset | bytes | field                              |
+//! |--------|-------|------------------------------------|
+//! | 0      | 4     | magic `FRSN`                       |
+//! | 4      | 4     | format version (`u32`, currently 1)|
+//! | 8      | 4     | CRC-32 of the payload (`u32`)      |
+//! | 12     | …     | payload                            |
+//!
+//! The payload is, in order: the [`SnapshotShape`] (problem size, seed,
+//! horizon, and estimator choice — checked against the restoring
+//! process's configuration before any state is touched), the engine's
+//! [`EngineState`], the poll source's [`SourceState`], and the number of
+//! access records consumed so far. Floats are stored as raw IEEE-754
+//! bits ([`f64::to_bits`]) so a round trip is bit-exact — the snapshot
+//! never passes a value through decimal formatting.
+//!
+//! Everything is hand-rolled on purpose: the format has no external
+//! dependencies, every decode error is a [`CoreError`] (never a panic),
+//! and a truncated, bit-flipped, or mis-versioned file is rejected
+//! before any field is interpreted.
+
+use std::io::Write as _;
+use std::path::Path;
+
+use freshen_core::error::{CoreError, Result};
+use freshen_core::problem::Solution;
+use freshen_engine::report::EpochStats;
+use freshen_engine::state::{EngineState, EstimatorState};
+use freshen_engine::{EngineConfig, EstimatorKind, LivePollState};
+
+/// File magic: the first four bytes of every snapshot.
+pub const MAGIC: [u8; 4] = *b"FRSN";
+/// Current format version.
+pub const VERSION: u32 = 1;
+/// Upper bound on any encoded collection length — a CRC-valid file
+/// claiming more is rejected rather than allocated.
+const MAX_LEN: u64 = 1 << 24;
+
+/// CRC-32/ISO-HDLC (the zlib/PNG polynomial), computed bitwise so no
+/// table or dependency is needed. Snapshots are small and written at
+/// epoch cadence; throughput is irrelevant here.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFF_u32;
+    for &byte in data {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// The problem shape and configuration fingerprint a snapshot was taken
+/// under. Restoring requires an exact match: resuming a 64-element EWMA
+/// run into a 32-element window-estimator process is a configuration
+/// error, not a best-effort merge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotShape {
+    /// Number of mirrored elements.
+    pub elements: usize,
+    /// Master engine seed.
+    pub seed: u64,
+    /// Configured run length in epochs.
+    pub epochs: usize,
+    /// Epoch length in periods.
+    pub epoch_len: f64,
+    /// Change-rate estimator choice (and its parameter).
+    pub estimator: EstimatorKind,
+}
+
+impl SnapshotShape {
+    /// Fingerprint `config` for an `elements`-sized run.
+    pub fn of(config: &EngineConfig, elements: usize) -> Self {
+        SnapshotShape {
+            elements,
+            seed: config.seed,
+            epochs: config.epochs,
+            epoch_len: config.epoch_len,
+            estimator: config.estimator,
+        }
+    }
+
+    /// Verify this snapshot was taken under `config` over `elements`
+    /// elements; the error names the first mismatching dimension.
+    pub fn matches(&self, config: &EngineConfig, elements: usize) -> Result<()> {
+        if self.elements != elements {
+            return Err(CoreError::LengthMismatch {
+                what: "snapshot element count",
+                expected: elements,
+                actual: self.elements,
+            });
+        }
+        let expected = SnapshotShape::of(config, elements);
+        if self != &expected {
+            return Err(CoreError::InvalidConfig(format!(
+                "snapshot shape {self:?} does not match the configured run {expected:?}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Poll-source state captured alongside the engine: either replay
+/// cursors or the live source's replayable position.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceState {
+    /// [`ReplayPollSource`](freshen_engine::ReplayPollSource) per-element
+    /// cursors.
+    Replay {
+        /// Next-unconsumed index into each element's poll log.
+        cursors: Vec<usize>,
+    },
+    /// [`LivePollSource`](freshen_engine::LivePollSource) replay state.
+    Live(LivePollState),
+}
+
+/// One complete checkpoint: shape fingerprint, engine state, source
+/// state, and the access-stream position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Configuration fingerprint the snapshot was taken under.
+    pub shape: SnapshotShape,
+    /// The engine's cross-epoch state.
+    pub engine: EngineState,
+    /// The poll source's position.
+    pub source: SourceState,
+    /// Access records consumed from the stream so far (the resuming
+    /// process skips exactly this many).
+    pub accesses_consumed: u64,
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+struct Enc(Vec<u8>);
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+    fn vec_f64(&mut self, v: &[f64]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.f64(x);
+        }
+    }
+    fn vec_u64(&mut self, v: &[u64]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.u64(x);
+        }
+    }
+    fn opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                self.f64(x);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+struct Dec<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn corrupt(what: &str) -> CoreError {
+    CoreError::InvalidConfig(format!("snapshot: {what}"))
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| corrupt("truncated payload"))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn bool(&mut self) -> Result<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(corrupt("boolean field out of range")),
+        }
+    }
+    fn len(&mut self) -> Result<usize> {
+        let n = self.u64()?;
+        if n > MAX_LEN {
+            return Err(corrupt("collection length exceeds sanity bound"));
+        }
+        Ok(n as usize)
+    }
+    fn vec_f64(&mut self) -> Result<Vec<f64>> {
+        let n = self.len()?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+    fn vec_u64(&mut self) -> Result<Vec<u64>> {
+        let n = self.len()?;
+        (0..n).map(|_| self.u64()).collect()
+    }
+    fn opt_f64(&mut self) -> Result<Option<f64>> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.f64()?)),
+            _ => Err(corrupt("option tag out of range")),
+        }
+    }
+    fn finish(&self) -> Result<()> {
+        if self.pos != self.bytes.len() {
+            return Err(corrupt("trailing bytes after payload"));
+        }
+        Ok(())
+    }
+}
+
+impl Snapshot {
+    /// Serialize to the framed byte format (header + CRC'd payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc(Vec::with_capacity(256));
+
+        // Shape.
+        e.u64(self.shape.elements as u64);
+        e.u64(self.shape.seed);
+        e.u64(self.shape.epochs as u64);
+        e.f64(self.shape.epoch_len);
+        match self.shape.estimator {
+            EstimatorKind::Ewma { gain } => {
+                e.u8(0);
+                e.f64(gain);
+            }
+            EstimatorKind::Window { len } => {
+                e.u8(1);
+                e.u64(len as u64);
+            }
+        }
+
+        // Engine state.
+        let s = &self.engine;
+        e.vec_f64(&s.last_poll);
+        match &s.estimator {
+            EstimatorState::Ewma { rates, seen } => {
+                e.u8(0);
+                e.vec_f64(rates);
+                e.vec_u64(seen);
+            }
+            EstimatorState::Window { window, entries } => {
+                e.u8(1);
+                e.u64(*window as u64);
+                e.u64(entries.len() as u64);
+                for elem in entries {
+                    e.u64(elem.len() as u64);
+                    for &(interval, changed) in elem {
+                        e.f64(interval);
+                        e.bool(changed);
+                    }
+                }
+            }
+        }
+        e.vec_f64(&s.profile_counts);
+        e.u64(s.profile_observations);
+        e.vec_f64(&s.schedule.frequencies);
+        e.f64(s.schedule.perceived_freshness);
+        e.f64(s.schedule.general_freshness);
+        e.f64(s.schedule.bandwidth_used);
+        e.opt_f64(s.schedule.multiplier);
+        e.u64(s.schedule.iterations as u64);
+        e.vec_f64(&s.baseline_probs);
+        e.vec_f64(&s.baseline_rates);
+        e.u64(s.resolves);
+        e.u64(s.skips);
+        e.opt_f64(s.last_drift);
+        e.vec_f64(&s.credit);
+        e.vec_u64(&s.attempts);
+        e.u64(s.history.len() as u64);
+        for epoch in &s.history {
+            e.u64(epoch.index as u64);
+            e.f64(epoch.start);
+            e.f64(epoch.drift);
+            e.bool(epoch.resolved);
+            e.u64(epoch.accesses);
+            e.u64(epoch.stale_served);
+            e.u64(epoch.dispatched);
+            e.u64(epoch.succeeded);
+            e.u64(epoch.failures);
+            e.u64(epoch.retries);
+            e.u64(epoch.deferred);
+            e.f64(epoch.shed);
+            e.f64(epoch.realized_pf);
+        }
+
+        // Source state + stream position.
+        match &self.source {
+            SourceState::Replay { cursors } => {
+                e.u8(0);
+                e.u64(cursors.len() as u64);
+                for &c in cursors {
+                    e.u64(c as u64);
+                }
+            }
+            SourceState::Live(live) => {
+                e.u8(1);
+                e.u64(live.consumed);
+                e.vec_u64(&live.versions);
+                e.vec_u64(&live.synced);
+                e.bool(live.has_pending);
+            }
+        }
+        e.u64(self.accesses_consumed);
+
+        let payload = e.0;
+        let mut framed = Vec::with_capacity(12 + payload.len());
+        framed.extend_from_slice(&MAGIC);
+        framed.extend_from_slice(&VERSION.to_le_bytes());
+        framed.extend_from_slice(&crc32(&payload).to_le_bytes());
+        framed.extend_from_slice(&payload);
+        framed
+    }
+
+    /// Parse a framed snapshot. Every malformed input — wrong magic,
+    /// unknown version, CRC mismatch, truncation, out-of-range tags,
+    /// trailing garbage — comes back as [`CoreError::InvalidConfig`].
+    pub fn decode(bytes: &[u8]) -> Result<Snapshot> {
+        if bytes.len() < 12 {
+            return Err(corrupt("file shorter than the 12-byte header"));
+        }
+        if bytes[0..4] != MAGIC {
+            return Err(corrupt("bad magic (not a freshen snapshot)"));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(corrupt(&format!(
+                "unsupported format version {version} (this build reads {VERSION})"
+            )));
+        }
+        let stored_crc = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        let payload = &bytes[12..];
+        let actual_crc = crc32(payload);
+        if stored_crc != actual_crc {
+            return Err(corrupt(&format!(
+                "CRC mismatch (stored {stored_crc:#010x}, computed {actual_crc:#010x})"
+            )));
+        }
+
+        let mut d = Dec {
+            bytes: payload,
+            pos: 0,
+        };
+
+        let elements = d.len()?;
+        let seed = d.u64()?;
+        let epochs = d.len()?;
+        let epoch_len = d.f64()?;
+        let estimator = match d.u8()? {
+            0 => EstimatorKind::Ewma { gain: d.f64()? },
+            1 => EstimatorKind::Window { len: d.len()? },
+            _ => return Err(corrupt("estimator tag out of range")),
+        };
+        let shape = SnapshotShape {
+            elements,
+            seed,
+            epochs,
+            epoch_len,
+            estimator,
+        };
+
+        let last_poll = d.vec_f64()?;
+        let estimator_state = match d.u8()? {
+            0 => EstimatorState::Ewma {
+                rates: d.vec_f64()?,
+                seen: d.vec_u64()?,
+            },
+            1 => {
+                let window = d.len()?;
+                let n = d.len()?;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let m = d.len()?;
+                    let mut elem = Vec::with_capacity(m);
+                    for _ in 0..m {
+                        let interval = d.f64()?;
+                        let changed = d.bool()?;
+                        elem.push((interval, changed));
+                    }
+                    entries.push(elem);
+                }
+                EstimatorState::Window { window, entries }
+            }
+            _ => return Err(corrupt("estimator-state tag out of range")),
+        };
+        let profile_counts = d.vec_f64()?;
+        let profile_observations = d.u64()?;
+        let schedule = Solution {
+            frequencies: d.vec_f64()?,
+            perceived_freshness: d.f64()?,
+            general_freshness: d.f64()?,
+            bandwidth_used: d.f64()?,
+            multiplier: d.opt_f64()?,
+            iterations: d.len()?,
+        };
+        let baseline_probs = d.vec_f64()?;
+        let baseline_rates = d.vec_f64()?;
+        let resolves = d.u64()?;
+        let skips = d.u64()?;
+        let last_drift = d.opt_f64()?;
+        let credit = d.vec_f64()?;
+        let attempts = d.vec_u64()?;
+        let history_len = d.len()?;
+        let mut history = Vec::with_capacity(history_len);
+        for _ in 0..history_len {
+            history.push(EpochStats {
+                index: d.len()?,
+                start: d.f64()?,
+                drift: d.f64()?,
+                resolved: d.bool()?,
+                accesses: d.u64()?,
+                stale_served: d.u64()?,
+                dispatched: d.u64()?,
+                succeeded: d.u64()?,
+                failures: d.u64()?,
+                retries: d.u64()?,
+                deferred: d.u64()?,
+                shed: d.f64()?,
+                realized_pf: d.f64()?,
+            });
+        }
+        let engine = EngineState {
+            last_poll,
+            estimator: estimator_state,
+            profile_counts,
+            profile_observations,
+            schedule,
+            baseline_probs,
+            baseline_rates,
+            resolves,
+            skips,
+            last_drift,
+            credit,
+            attempts,
+            history,
+        };
+
+        let source = match d.u8()? {
+            0 => {
+                let n = d.len()?;
+                let mut cursors = Vec::with_capacity(n);
+                for _ in 0..n {
+                    cursors.push(d.len()?);
+                }
+                SourceState::Replay { cursors }
+            }
+            1 => SourceState::Live(LivePollState {
+                consumed: d.u64()?,
+                versions: d.vec_u64()?,
+                synced: d.vec_u64()?,
+                has_pending: d.bool()?,
+            }),
+            _ => return Err(corrupt("source tag out of range")),
+        };
+        let accesses_consumed = d.u64()?;
+        d.finish()?;
+
+        Ok(Snapshot {
+            shape,
+            engine,
+            source,
+            accesses_consumed,
+        })
+    }
+
+    /// Write the snapshot atomically: encode to `<path>.tmp` in the same
+    /// directory, fsync, then rename over `path`. A crash mid-write
+    /// leaves either the old snapshot or none — never a torn file.
+    pub fn write_atomic(&self, path: &Path) -> Result<()> {
+        let io_err = |stage: &str, e: std::io::Error| {
+            CoreError::InvalidConfig(format!("snapshot {stage} `{}`: {e}", path.display()))
+        };
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        let bytes = self.encode();
+        let mut file = std::fs::File::create(&tmp).map_err(|e| io_err("create", e))?;
+        file.write_all(&bytes).map_err(|e| io_err("write", e))?;
+        file.sync_all().map_err(|e| io_err("sync", e))?;
+        drop(file);
+        std::fs::rename(&tmp, path).map_err(|e| io_err("rename", e))
+    }
+
+    /// Read and decode a snapshot file.
+    pub fn read(path: &Path) -> Result<Snapshot> {
+        let bytes = std::fs::read(path).map_err(|e| {
+            CoreError::InvalidConfig(format!("snapshot read `{}`: {e}", path.display()))
+        })?;
+        Snapshot::decode(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            shape: SnapshotShape {
+                elements: 3,
+                seed: 42,
+                epochs: 8,
+                epoch_len: 1.0,
+                estimator: EstimatorKind::Ewma { gain: 0.1 },
+            },
+            engine: EngineState {
+                last_poll: vec![0.5, 1.25, 0.0],
+                estimator: EstimatorState::Ewma {
+                    rates: vec![2.0, 0.125, 1e-9],
+                    seen: vec![4, 0, 17],
+                },
+                profile_counts: vec![10.0, 3.5, 0.25],
+                profile_observations: 14,
+                schedule: Solution {
+                    frequencies: vec![1.5, 1.0, 0.5],
+                    perceived_freshness: 0.875,
+                    general_freshness: 0.75,
+                    bandwidth_used: 3.0,
+                    multiplier: Some(0.33),
+                    iterations: 12,
+                },
+                baseline_probs: vec![0.6, 0.3, 0.1],
+                baseline_rates: vec![2.0, 1.0, 0.5],
+                resolves: 2,
+                skips: 3,
+                last_drift: Some(0.01),
+                credit: vec![0.0, 0.5, -0.0],
+                attempts: vec![9, 4, 1],
+                history: vec![EpochStats {
+                    index: 0,
+                    start: 0.0,
+                    drift: 0.02,
+                    resolved: true,
+                    accesses: 40,
+                    stale_served: 2,
+                    dispatched: 6,
+                    succeeded: 5,
+                    failures: 1,
+                    retries: 1,
+                    deferred: 0,
+                    shed: 0.25,
+                    realized_pf: 0.8,
+                }],
+            },
+            source: SourceState::Live(LivePollState {
+                consumed: 21,
+                versions: vec![7, 9, 5],
+                synced: vec![7, 8, 5],
+                has_pending: true,
+            }),
+            accesses_consumed: 40,
+        }
+    }
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        // Standard CRC-32/ISO-HDLC check values.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_is_exact() {
+        let snap = sample();
+        assert_eq!(Snapshot::decode(&snap.encode()).unwrap(), snap);
+
+        // Window-estimator and replay-source variant.
+        let mut snap = sample();
+        snap.shape.estimator = EstimatorKind::Window { len: 4 };
+        snap.engine.estimator = EstimatorState::Window {
+            window: 4,
+            entries: vec![vec![(0.5, true), (0.25, false)], vec![], vec![(1.0, true)]],
+        };
+        snap.source = SourceState::Replay {
+            cursors: vec![3, 0, 8],
+        };
+        assert_eq!(Snapshot::decode(&snap.encode()).unwrap(), snap);
+    }
+
+    #[test]
+    fn roundtrip_preserves_float_bits_exactly() {
+        let mut snap = sample();
+        snap.engine.last_poll = vec![f64::MIN_POSITIVE, -0.0, 1.0 + f64::EPSILON];
+        let back = Snapshot::decode(&snap.encode()).unwrap();
+        for (a, b) in snap.engine.last_poll.iter().zip(&back.engine.last_poll) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn every_corruption_is_a_clean_error() {
+        let bytes = sample().encode();
+
+        // Truncations at every boundary, including mid-header.
+        for cut in [0, 3, 8, 11, 12, bytes.len() / 2, bytes.len() - 1] {
+            assert!(Snapshot::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // Bad magic / version.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(Snapshot::decode(&bad).is_err());
+        let mut bad = bytes.clone();
+        bad[4] = 99;
+        assert!(Snapshot::decode(&bad).is_err());
+        // Every single-byte flip in the payload must be caught by the
+        // CRC (and never panic).
+        for i in 12..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0xFF;
+            assert!(Snapshot::decode(&bad).is_err(), "flip at {i}");
+        }
+        // A flipped CRC byte with an intact payload is also rejected.
+        let mut bad = bytes.clone();
+        bad[8] ^= 0x01;
+        assert!(Snapshot::decode(&bad).is_err());
+        // Trailing garbage after a valid payload.
+        let mut bad = bytes.clone();
+        bad.push(0);
+        assert!(Snapshot::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported() {
+        let snap = sample();
+        let config = EngineConfig {
+            epochs: 8,
+            seed: 42,
+            ..EngineConfig::default()
+        };
+        assert!(snap.shape.matches(&config, 3).is_ok());
+        assert!(matches!(
+            snap.shape.matches(&config, 4),
+            Err(CoreError::LengthMismatch { .. })
+        ));
+        let other_seed = EngineConfig {
+            seed: 43,
+            ..config.clone()
+        };
+        assert!(snap.shape.matches(&other_seed, 3).is_err());
+        let other_estimator = EngineConfig {
+            estimator: EstimatorKind::Window { len: 8 },
+            ..config
+        };
+        assert!(snap.shape.matches(&other_estimator, 3).is_err());
+    }
+
+    #[test]
+    fn atomic_write_then_read_roundtrips() {
+        let dir = std::env::temp_dir().join("freshen-serve-snapshot-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.snapshot");
+        let snap = sample();
+        snap.write_atomic(&path).unwrap();
+        // Overwrite with a second snapshot: rename must replace cleanly.
+        let mut second = sample();
+        second.accesses_consumed = 99;
+        second.write_atomic(&path).unwrap();
+        assert_eq!(Snapshot::read(&path).unwrap(), second);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -8,6 +8,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
 
+use freshen_core::error::{CoreError, Result};
 use freshen_core::exec::{chunk_ranges, Executor, DEFAULT_CHUNK};
 use freshen_workload::dist::Exponential;
 
@@ -108,9 +109,16 @@ impl AccessGenerator {
     /// request rate per period.
     ///
     /// # Panics
-    /// Panics when probabilities are empty/negative or `total_rate ≤ 0`.
+    /// Panics when [`try_new`](Self::try_new) would return an error.
     pub fn new(access_probs: &[f64], total_rate: f64, seed: u64) -> Self {
-        Self::new_with_executor(access_probs, total_rate, seed, &Executor::serial())
+        Self::try_new(access_probs, total_rate, seed)
+            .unwrap_or_else(|e| panic!("invalid access profile: {e}"))
+    }
+
+    /// Fallible [`new`](Self::new): a degenerate profile (NaN, negative
+    /// entries, bad sum) comes back as a [`CoreError`] instead of a panic.
+    pub fn try_new(access_probs: &[f64], total_rate: f64, seed: u64) -> Result<Self> {
+        Self::try_new_with_executor(access_probs, total_rate, seed, &Executor::serial())
     }
 
     /// [`new`](Self::new) with the CDF built as a chunked parallel scan on
@@ -119,23 +127,45 @@ impl AccessGenerator {
     /// identical at any worker count.
     ///
     /// # Panics
-    /// Panics when probabilities are empty/negative or `total_rate ≤ 0`.
+    /// Panics when [`try_new_with_executor`](Self::try_new_with_executor)
+    /// would return an error.
     pub fn new_with_executor(
         access_probs: &[f64],
         total_rate: f64,
         seed: u64,
         executor: &Executor,
     ) -> Self {
-        assert!(!access_probs.is_empty(), "need at least one element");
-        assert!(total_rate > 0.0, "total rate must be positive");
+        Self::try_new_with_executor(access_probs, total_rate, seed, executor)
+            .unwrap_or_else(|e| panic!("invalid access profile: {e}"))
+    }
+
+    /// Fallible [`new_with_executor`](Self::new_with_executor). The built
+    /// CDF is validated to be finite and non-decreasing before the sum
+    /// check, so a poisoned profile (a NaN or negative probability) yields
+    /// [`CoreError::Inconsistent`] rather than a NaN CDF that would
+    /// otherwise panic element selection at sample time.
+    pub fn try_new_with_executor(
+        access_probs: &[f64],
+        total_rate: f64,
+        seed: u64,
+        executor: &Executor,
+    ) -> Result<Self> {
+        if access_probs.is_empty() {
+            return Err(CoreError::Empty);
+        }
+        if !total_rate.is_finite() || total_rate <= 0.0 {
+            return Err(CoreError::InvalidValue {
+                what: "total access rate",
+                index: None,
+                value: total_rate,
+            });
+        }
         let chunks = chunk_ranges(access_probs.len(), DEFAULT_CHUNK);
         let parts = executor.map_ranges(&chunks, |range| {
             let mut local = Vec::with_capacity(range.len());
             let mut acc = 0.0;
             for i in range {
-                let p = access_probs[i];
-                assert!(p.is_finite() && p >= 0.0, "probability {i} invalid");
-                acc += p;
+                acc += access_probs[i];
                 local.push(acc);
             }
             local
@@ -147,22 +177,31 @@ impl AccessGenerator {
             cdf.extend(local.into_iter().map(|v| acc + v));
             acc += chunk_total;
         }
-        assert!(
-            (acc - 1.0).abs() < 1e-6,
-            "probabilities must sum to 1, got {acc}"
-        );
+        let mut prev = 0.0;
+        for &c in &cdf {
+            if !c.is_finite() || c < prev {
+                return Err(CoreError::Inconsistent {
+                    routine: "access-generator",
+                    invariant: "cdf must be finite and non-decreasing",
+                });
+            }
+            prev = c;
+        }
+        if (acc - 1.0).abs() >= 1e-6 {
+            return Err(CoreError::ProbabilityNotNormalized { sum: acc });
+        }
         if let Some(last) = cdf.last_mut() {
             *last = 1.0;
         }
         let mut rng = StdRng::seed_from_u64(seed);
         let inter_arrival = Exponential::new(total_rate);
         let first = inter_arrival.sample(&mut rng);
-        AccessGenerator {
+        Ok(AccessGenerator {
             cdf,
             inter_arrival,
             next_time: first,
             rng,
-        }
+        })
     }
 
     /// The next `(time, element)` access at or before `horizon`, advancing
@@ -174,10 +213,9 @@ impl AccessGenerator {
         let t = self.next_time;
         self.next_time += self.inter_arrival.sample(&mut self.rng);
         let u: f64 = self.rng.gen();
-        let element = match self
-            .cdf
-            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf finite"))
-        {
+        // total_cmp: the CDF is validated finite at construction, but the
+        // selection path must stay panic-free regardless.
+        let element = match self.cdf.binary_search_by(|c| c.total_cmp(&u)) {
             Ok(i) => (i + 1).min(self.cdf.len() - 1),
             Err(i) => i.min(self.cdf.len() - 1),
         };
@@ -263,5 +301,37 @@ mod tests {
     #[should_panic(expected = "sum to 1")]
     fn access_rejects_unnormalized() {
         AccessGenerator::new(&[0.5, 0.1], 1.0, 0);
+    }
+
+    /// Regression: a poisoned profile (NaN or negative entry) used to pass
+    /// construction and panic later inside `binary_search_by` when the NaN
+    /// CDF entry hit `partial_cmp().expect()`. It must now fail cleanly at
+    /// construction with `CoreError::Inconsistent`.
+    #[test]
+    fn poisoned_profile_is_a_clean_error() {
+        for probs in [
+            vec![0.5, f64::NAN, 0.5],
+            vec![0.5, f64::INFINITY],
+            vec![1.5, -0.5],
+        ] {
+            match AccessGenerator::try_new(&probs, 1.0, 0) {
+                Err(CoreError::Inconsistent { routine, .. }) => {
+                    assert_eq!(routine, "access-generator");
+                }
+                other => panic!("expected Inconsistent for {probs:?}, got {other:?}"),
+            }
+        }
+        assert!(matches!(
+            AccessGenerator::try_new(&[], 1.0, 0),
+            Err(CoreError::Empty)
+        ));
+        assert!(matches!(
+            AccessGenerator::try_new(&[1.0], f64::NAN, 0),
+            Err(CoreError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            AccessGenerator::try_new(&[0.5, 0.1], 1.0, 0),
+            Err(CoreError::ProbabilityNotNormalized { .. })
+        ));
     }
 }

@@ -31,7 +31,10 @@ pub fn quantile(xs: &[f64], q: f64) -> f64 {
     assert!(!xs.is_empty(), "quantile of empty slice");
     assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // total_cmp: a NaN in the input must not panic the sort. NaN orders
+    // after +inf under the IEEE 754 total order, so low/mid quantiles of a
+    // mostly-finite slice stay finite.
+    sorted.sort_by(f64::total_cmp);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -74,5 +77,16 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn quantile_empty_panics() {
         quantile(&[], 0.5);
+    }
+
+    /// Regression: a single NaN sample used to panic the quantile sort
+    /// via `partial_cmp().unwrap()`. NaN sorts last under `total_cmp`,
+    /// so the finite quantiles are still usable.
+    #[test]
+    fn quantile_tolerates_nan_input() {
+        let xs = [4.0, f64::NAN, 1.0, 3.0, 2.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 0.5), 3.0);
+        assert!(quantile(&xs, 1.0).is_nan());
     }
 }

@@ -18,6 +18,7 @@
 //! | [`sim`] | discrete-event simulator (source, mirror, evaluator) |
 //! | [`obs`] | zero-dependency metrics/span/trace instrumentation |
 //! | [`engine`] | online runtime: streaming estimation, drift-gated re-solves, budgeted dispatch |
+//! | [`serve`] | service runtime: checkpoint/restore, graceful shutdown, HTTP control plane |
 //!
 //! ## End-to-end example
 //!
@@ -59,6 +60,7 @@ pub use freshen_core as core;
 pub use freshen_engine as engine;
 pub use freshen_heuristics as heuristics;
 pub use freshen_obs as obs;
+pub use freshen_serve as serve;
 pub use freshen_sim as sim;
 pub use freshen_solver as solver;
 pub use freshen_workload as workload;
@@ -78,6 +80,7 @@ pub mod prelude {
     pub use freshen_heuristics::partition::PartitionCriterion;
     pub use freshen_heuristics::pipeline::{HeuristicConfig, HeuristicScheduler};
     pub use freshen_obs::Recorder;
+    pub use freshen_serve::{ServeConfig, ServeOutcome, ServeWorkload, Server};
     pub use freshen_sim::{SimConfig, SimReport, Simulation};
     pub use freshen_solver::lagrange::LagrangeSolver;
     pub use freshen_solver::{solve_general_freshness, solve_perceived_freshness};

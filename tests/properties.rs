@@ -5,12 +5,34 @@ use freshen::core::exec::Executor;
 use freshen::core::freshness::{freshness_gradient, perceived_freshness, steady_state_freshness};
 use freshen::core::schedule::{FixedOrderSchedule, ScheduleStream};
 use freshen::engine::audit::LedgerAudit;
+use freshen::engine::EngineConfig;
 use freshen::engine::{PollDispatcher, PollSource};
 use freshen::heuristics::partition::{PartitionCriterion, Partitioning};
 use freshen::heuristics::{AllocationPolicy, HeuristicConfig, HeuristicScheduler};
 use freshen::prelude::*;
+use freshen::serve::{ExitReason, ServeWorkload, Server, Snapshot};
 use freshen::solver::projected_gradient::project_weighted_simplex;
 use proptest::prelude::*;
+
+/// Build a serve configuration writing its checkpoint under `dir`.
+fn serve_config_for(
+    dir: &std::path::Path,
+    tag: &str,
+    epochs: usize,
+    seed: u64,
+) -> freshen::serve::ServeConfig {
+    freshen::serve::ServeConfig {
+        engine: EngineConfig {
+            epochs,
+            warmup_epochs: 1,
+            failure_rate: 0.1,
+            seed,
+            ..EngineConfig::default()
+        },
+        checkpoint_path: dir.join(format!("{tag}.snapshot")),
+        ..freshen::serve::ServeConfig::default()
+    }
+}
 
 /// Strategy: a plausible problem with 2..=24 elements, optional sizes.
 fn problem_strategy(with_sizes: bool) -> impl Strategy<Value = Problem> {
@@ -492,6 +514,49 @@ proptest! {
         );
         prop_assert!(problem.is_feasible(&sharded.frequencies, 1e-6));
     }
+
+    // ---- serve: checkpoint/restore -----------------------------------
+
+    #[test]
+    fn checkpoint_restore_resumes_byte_identically(
+        problem in problem_strategy(false),
+        split in 1usize..5,
+        seed in 0u64..(1 << 16),
+    ) {
+        let dir = std::env::temp_dir().join("freshen-properties-serve");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let workload = ServeWorkload::Live { problem, access_rate: 90.0 };
+        let config = serve_config_for(&dir, &format!("case-{seed}-{split}"), split + 3, seed);
+        let reference = Server::new(workload.clone(), config.clone())
+            .expect("server builds")
+            .run()
+            .expect("uninterrupted run")
+            .report
+            .expect("completed")
+            .to_json();
+
+        let mut drain = config.clone();
+        drain.drain_after = Some(split);
+        Server::new(workload.clone(), drain)
+            .expect("server builds")
+            .run()
+            .expect("drained leg");
+
+        // The snapshot codec is an exact identity: decode(encode(s)) == s
+        // and re-encoding reproduces the on-disk bytes.
+        let bytes = std::fs::read(&config.checkpoint_path).expect("snapshot bytes");
+        let snapshot = Snapshot::decode(&bytes).expect("valid snapshot");
+        prop_assert_eq!(&snapshot.encode(), &bytes);
+
+        let mut resume = config.clone();
+        resume.resume = Some(config.checkpoint_path.clone());
+        let resumed = Server::new(workload, resume)
+            .expect("server builds")
+            .run()
+            .expect("resumed leg");
+        prop_assert_eq!(resumed.exit, ExitReason::Completed);
+        prop_assert_eq!(resumed.report.expect("completed").to_json(), reference);
+    }
 }
 
 // ---- deterministic fallbacks for the parallel properties -----------------
@@ -686,5 +751,53 @@ fn sharded_solve_matches_global_on_fixed_seeds() {
             );
             assert!(problem.is_feasible(&sharded.frequencies, 1e-6));
         }
+    }
+}
+
+#[test]
+fn checkpoint_restore_roundtrips_on_fixed_seeds() {
+    let dir = std::env::temp_dir().join("freshen-properties-serve-fixed");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    for (n, split, seed) in [(3usize, 1usize, 5u64), (9, 2, 77), (20, 4, 4242)] {
+        let workload = ServeWorkload::Live {
+            problem: fixed_problem(n),
+            access_rate: 90.0,
+        };
+        let config = serve_config_for(&dir, &format!("fixed-{n}-{split}"), split + 3, seed);
+        let reference = Server::new(workload.clone(), config.clone())
+            .expect("server builds")
+            .run()
+            .expect("uninterrupted run")
+            .report
+            .expect("completed")
+            .to_json();
+
+        let mut drain = config.clone();
+        drain.drain_after = Some(split);
+        Server::new(workload.clone(), drain)
+            .expect("server builds")
+            .run()
+            .expect("drained leg");
+
+        let bytes = std::fs::read(&config.checkpoint_path).expect("snapshot bytes");
+        let snapshot = Snapshot::decode(&bytes).expect("valid snapshot");
+        assert_eq!(
+            snapshot.encode(),
+            bytes,
+            "n={n} split={split}: codec must be an exact identity"
+        );
+
+        let mut resume = config.clone();
+        resume.resume = Some(config.checkpoint_path.clone());
+        let resumed = Server::new(workload, resume)
+            .expect("server builds")
+            .run()
+            .expect("resumed leg");
+        assert_eq!(resumed.exit, ExitReason::Completed);
+        assert_eq!(
+            resumed.report.expect("completed").to_json(),
+            reference,
+            "n={n} split={split}: resumed report diverged"
+        );
     }
 }
