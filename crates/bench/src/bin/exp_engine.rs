@@ -169,7 +169,12 @@ fn main() {
         "events_per_sec",
     ]);
 
-    let mut bench = BenchReport::new("engine");
+    let mut bench = BenchReport::new("engine")
+        .with_meta("smoke", smoke)
+        .with_meta("elements", workload.n)
+        .with_meta("epochs", workload.epochs)
+        .with_meta("access_rate", workload.access_rate)
+        .with_meta("seed", workload.seed);
     let (gated, gated_run, _) = workload.run(ResolvePolicy::DriftGated);
     let (oracle, oracle_run, _) = workload.run(ResolvePolicy::EveryEpoch);
     for (report, run) in [(&gated, &gated_run), (&oracle, &oracle_run)] {

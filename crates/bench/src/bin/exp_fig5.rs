@@ -18,7 +18,9 @@ use freshen_workload::scenario::{Alignment, Scenario};
 fn main() {
     let theta = 0.8;
     let seed = 42;
-    let mut report = BenchReport::new("fig5");
+    let mut report = BenchReport::new("fig5")
+        .with_meta("theta", theta)
+        .with_meta("seed", seed);
     let criteria = [
         PartitionCriterion::PerceivedFreshness,
         PartitionCriterion::AccessProb,

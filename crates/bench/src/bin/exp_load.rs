@@ -1,0 +1,290 @@
+//! **Control-plane load benchmark** — probe-invariance of the served
+//! engine under concurrent HTTP traffic.
+//!
+//! Two legs over the same seeded live workload with SLO rules armed:
+//!
+//! 1. **Unprobed reference** — headless run to completion; its report is
+//!    the parity baseline.
+//! 2. **Probed run** — the same run on an ephemeral port, hammered by
+//!    N ≥ 4 client threads cycling `GET /status`, `GET /health`,
+//!    `GET /metrics?format=prometheus`, `GET /timeseries`, and an
+//!    occasional `POST /checkpoint` for the whole run. The final report
+//!    must be **byte-identical** to the reference: control-plane load,
+//!    checkpoint writes, and telemetry reads cannot perturb the
+//!    deterministic run.
+//!
+//! Pass `--smoke` for a seconds-scale run (used by CI). Telemetry lands
+//! in `results/BENCH_load.json` (request throughput, latency quantiles,
+//! SLO evaluation counts).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use freshen_bench::{header, row, timed, BenchReport, BenchRun};
+use freshen_core::problem::Problem;
+use freshen_obs::{prometheus, Recorder, SloConfig};
+use freshen_serve::{request, ExitReason, ServeConfig, ServeWorkload, Server};
+
+struct Workload {
+    n: usize,
+    epochs: usize,
+    access_rate: f64,
+    seed: u64,
+    probes: usize,
+}
+
+impl Workload {
+    fn problem(&self) -> Problem {
+        let rates: Vec<f64> = (0..self.n)
+            .map(|i| 0.25 * 1.5f64.powi((i % 6) as i32))
+            .collect();
+        let weights: Vec<f64> = (0..self.n).map(|i| 1.0 / (i + 1) as f64).collect();
+        Problem::builder()
+            .change_rates(rates)
+            .access_weights(weights)
+            .bandwidth(self.n as f64 / 2.0)
+            .build()
+            .expect("workload problem builds")
+    }
+
+    fn serve_config(&self, dir: &std::path::Path, leg: &str) -> ServeConfig {
+        ServeConfig {
+            engine: freshen_engine::EngineConfig {
+                epochs: self.epochs,
+                warmup_epochs: self.epochs / 8,
+                failure_rate: 0.05,
+                seed: self.seed,
+                // Arm the SLO engine so /health and the per-epoch
+                // evaluation run under load too. The floor is modest —
+                // the run may breach or not; either way the report
+                // parity below must hold.
+                slo: Some(SloConfig {
+                    target_pf: 0.5,
+                    ..SloConfig::default()
+                }),
+                ..freshen_engine::EngineConfig::default()
+            },
+            checkpoint_path: dir.join(format!("{leg}.snapshot")),
+            ..ServeConfig::default()
+        }
+    }
+
+    fn workload(&self) -> ServeWorkload {
+        ServeWorkload::Live {
+            problem: self.problem(),
+            access_rate: self.access_rate,
+        }
+    }
+}
+
+/// What one probe thread brings home.
+struct ProbeTally {
+    ok: u64,
+    errors: u64,
+    latencies_us: Vec<f64>,
+}
+
+/// Nearest-rank quantile of a sorted latency list.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let workload = if smoke {
+        Workload {
+            n: 12,
+            epochs: 16,
+            access_rate: 150.0,
+            seed: 23,
+            probes: 4,
+        }
+    } else {
+        Workload {
+            n: 100,
+            epochs: 48,
+            access_rate: 1500.0,
+            seed: 23,
+            probes: 6,
+        }
+    };
+    let dir = std::env::temp_dir().join("freshen-exp-load");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    println!(
+        "# freshen-serve under load: {} probe threads vs {} elements, {} epochs",
+        workload.probes, workload.n, workload.epochs
+    );
+    header(&["run", "epochs", "requests", "wall_s", "parity"]);
+    let mut bench = BenchReport::new("load")
+        .with_meta("smoke", smoke)
+        .with_meta("elements", workload.n)
+        .with_meta("epochs", workload.epochs)
+        .with_meta("seed", workload.seed)
+        .with_meta("probe_threads", workload.probes);
+
+    // ------------------------------------------------------------------
+    // Leg 1: unprobed reference run.
+    // ------------------------------------------------------------------
+    let config = workload.serve_config(&dir, "reference");
+    let (reference, wall) = timed(|| {
+        Server::new(workload.workload(), config)
+            .expect("server builds")
+            .run()
+            .expect("reference run")
+    });
+    assert_eq!(reference.exit, ExitReason::Completed);
+    let reference_json = reference.report.as_ref().expect("completed").to_json();
+    row("unprobed", &[reference.epochs_run as f64, 0.0, wall, 1.0]);
+    bench.push(BenchRun {
+        name: "load-unprobed".into(),
+        wall_seconds: wall,
+        pf: Some(reference.report.as_ref().expect("completed").realized_pf),
+        solver_iterations: None,
+        events_per_sec: None,
+    });
+
+    // ------------------------------------------------------------------
+    // Leg 2: the same run probed by concurrent client threads.
+    // ------------------------------------------------------------------
+    let recorder = Recorder::enabled();
+    let mut config = workload.serve_config(&dir, "probed");
+    config.listen = Some("127.0.0.1:0".to_string());
+    // Give probes a real window to land mid-run without dominating wall
+    // time: the run lasts at least epochs × throttle.
+    config.epoch_throttle = Some(Duration::from_millis(2));
+    let server = Server::new(workload.workload(), config)
+        .expect("server builds")
+        .with_recorder(recorder.clone());
+    let addr = server.local_addr().expect("listen address bound");
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let probes: Vec<std::thread::JoinHandle<ProbeTally>> = (0..workload.probes)
+        .map(|tid| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let routes = [
+                    "/status",
+                    "/health",
+                    "/metrics?format=prometheus",
+                    "/timeseries?limit=32",
+                ];
+                let mut tally = ProbeTally {
+                    ok: 0,
+                    errors: 0,
+                    latencies_us: Vec::new(),
+                };
+                let mut turn = tid; // desynchronize the route cycles
+                while !stop.load(Ordering::SeqCst) {
+                    // One thread also exercises on-demand checkpoints.
+                    let (method, path) = if tid == 0 && turn % 8 == 7 {
+                        ("POST", "/checkpoint")
+                    } else {
+                        ("GET", routes[turn % routes.len()])
+                    };
+                    let start = Instant::now();
+                    match request(addr, method, path) {
+                        Ok((status, body)) => {
+                            tally.latencies_us.push(start.elapsed().as_secs_f64() * 1e6);
+                            // /health legitimately serves 503 on breach.
+                            assert!(
+                                status == 200 || (path == "/health" && status == 503),
+                                "{method} {path} -> {status}: {body}"
+                            );
+                            if path == "/health" {
+                                assert!(body.contains("\"state\""), "{body}");
+                            }
+                            if path.starts_with("/metrics") {
+                                prometheus::validate_exposition(&body)
+                                    .expect("well-formed Prometheus exposition");
+                            }
+                            tally.ok += 1;
+                        }
+                        // Races with control-plane teardown at the end
+                        // of the run: tolerated, counted, and backed
+                        // off so the thread doesn't spin on refusals
+                        // while the stop flag propagates.
+                        Err(_) => {
+                            tally.errors += 1;
+                            std::thread::sleep(Duration::from_micros(500));
+                        }
+                    }
+                    turn += 1;
+                }
+                tally
+            })
+        })
+        .collect();
+
+    let (outcome, wall) = timed(|| server.run().expect("probed run"));
+    stop.store(true, Ordering::SeqCst);
+    let mut ok = 0u64;
+    let mut errors = 0u64;
+    let mut latencies: Vec<f64> = Vec::new();
+    for probe in probes {
+        let tally = probe.join().expect("probe thread");
+        ok += tally.ok;
+        errors += tally.errors;
+        latencies.extend(tally.latencies_us);
+    }
+    latencies.sort_unstable_by(f64::total_cmp);
+
+    assert_eq!(outcome.exit, ExitReason::Completed);
+    let probed_json = outcome.report.as_ref().expect("completed").to_json();
+    assert_eq!(
+        probed_json, reference_json,
+        "control-plane load perturbed the deterministic run"
+    );
+    assert!(
+        ok >= workload.probes as u64,
+        "probes landed only {ok} requests"
+    );
+    row("probed", &[outcome.epochs_run as f64, ok as f64, wall, 1.0]);
+    println!("# parity: probed report byte-identical to the unprobed reference");
+    println!(
+        "# requests: {ok} ok, {errors} teardown races; latency p50 {:.0}us p95 {:.0}us p99 {:.0}us",
+        quantile(&latencies, 0.50),
+        quantile(&latencies, 0.95),
+        quantile(&latencies, 0.99),
+    );
+
+    bench.push(BenchRun {
+        name: "load-probed".into(),
+        wall_seconds: wall,
+        pf: Some(outcome.report.as_ref().expect("completed").realized_pf),
+        solver_iterations: None,
+        events_per_sec: Some(ok as f64 / wall.max(f64::MIN_POSITIVE)),
+    });
+    bench.set_meta("requests_ok", ok);
+    bench.set_meta("requests_teardown_errors", errors);
+    bench.set_meta(
+        "request_p50_us",
+        format!("{:.1}", quantile(&latencies, 0.50)),
+    );
+    bench.set_meta(
+        "request_p95_us",
+        format!("{:.1}", quantile(&latencies, 0.95)),
+    );
+    bench.set_meta(
+        "request_p99_us",
+        format!("{:.1}", quantile(&latencies, 0.99)),
+    );
+    for counter in [
+        "obs.slo.evaluations",
+        "obs.slo.warns",
+        "obs.slo.breaches",
+        "obs.slo.recoveries",
+    ] {
+        bench.set_meta(counter, recorder.counter_value(counter).unwrap_or(0));
+    }
+
+    match bench.write() {
+        Ok(path) => println!("# telemetry: {}", path.display()),
+        Err(e) => eprintln!("# telemetry write failed: {e}"),
+    }
+}

@@ -71,7 +71,25 @@ fn main() {
         "pf_parity",
     ]);
 
-    let mut bench = BenchReport::new("scale");
+    let mut bench = BenchReport::new("scale")
+        .with_meta("smoke", smoke)
+        .with_meta("shards", SHARDS)
+        .with_meta(
+            "sizes",
+            sizes
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(" "),
+        )
+        .with_meta(
+            "threads",
+            thread_grid
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(" "),
+        );
     for &n in sizes {
         let problem = scale_problem(n);
 

@@ -95,7 +95,11 @@ fn main() {
         workload.n, workload.epochs
     );
     header(&["run", "epochs", "checkpoints", "wall_s", "parity"]);
-    let mut bench = BenchReport::new("serve");
+    let mut bench = BenchReport::new("serve")
+        .with_meta("smoke", smoke)
+        .with_meta("elements", workload.n)
+        .with_meta("epochs", workload.epochs)
+        .with_meta("seed", workload.seed);
 
     // ------------------------------------------------------------------
     // Leg 1: uninterrupted reference run.

@@ -59,7 +59,9 @@ fn print_row(name: &str, values: &[f64], paper: &[f64]) {
 }
 
 fn main() {
-    let mut report = BenchReport::new("table1");
+    let mut report = BenchReport::new("table1")
+        .with_meta("elements", 5)
+        .with_meta("bandwidth", 5.0);
     println!("Table 1: optimal sync frequencies (elements change 1..5 times/day, B = 5/day)");
     print_row(
         "(a) change freq",

@@ -137,22 +137,62 @@ impl BenchRun {
     }
 }
 
+/// Schema version stamped into every `BENCH_*.json` file. Bump whenever
+/// the report layout changes shape (new/renamed fields), so downstream
+/// perf-trajectory tooling can dispatch on it instead of sniffing keys.
+///
+/// * v1 — implicit, pre-stamp files: `{experiment, runs}`.
+/// * v2 — added `schema_version` and the `meta` run-metadata block.
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
+
 /// Machine-readable result file for one experiment binary, written to
 /// `results/BENCH_<experiment>.json` next to the experiment's CSV output.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchReport {
+    /// Report layout version — see [`BENCH_SCHEMA_VERSION`].
+    pub schema_version: u32,
     /// Experiment slug, e.g. `"table1"` — names the output file.
     pub experiment: String,
+    /// Run metadata (`key`, `value`) pairs in insertion order: the knobs
+    /// this invocation ran with (object count, seed, epochs, …).
+    /// Deliberately excludes wall-clock timestamps and host names so
+    /// committed reports stay byte-stable across reruns.
+    pub meta: Vec<(String, String)>,
     /// One record per measured run, in execution order.
     pub runs: Vec<BenchRun>,
 }
 
 impl BenchReport {
-    /// Start an empty report for `experiment`.
+    /// Start an empty report for `experiment`, stamped with the current
+    /// schema version and the crate version it was produced by.
     pub fn new(experiment: impl Into<String>) -> Self {
         BenchReport {
+            schema_version: BENCH_SCHEMA_VERSION,
             experiment: experiment.into(),
+            meta: vec![(
+                "package_version".to_string(),
+                env!("CARGO_PKG_VERSION").to_string(),
+            )],
             runs: Vec::new(),
+        }
+    }
+
+    /// Record one run-metadata pair (builder style), e.g. the object
+    /// count or seed the experiment ran with.
+    #[must_use]
+    pub fn with_meta(mut self, key: impl Into<String>, value: impl ToString) -> Self {
+        self.set_meta(key, value);
+        self
+    }
+
+    /// Record one run-metadata pair, replacing any earlier value under
+    /// the same key.
+    pub fn set_meta(&mut self, key: impl Into<String>, value: impl ToString) {
+        let key = key.into();
+        let value = value.to_string();
+        match self.meta.iter_mut().find(|(k, _)| *k == key) {
+            Some(slot) => slot.1 = value,
+            None => self.meta.push((key, value)),
         }
     }
 
@@ -198,10 +238,21 @@ impl BenchReport {
         }
         let mut out = String::new();
         out.push_str("{\n");
+        out.push_str(&format!("  \"schema_version\": {},\n", self.schema_version));
         out.push_str(&format!(
             "  \"experiment\": \"{}\",\n",
             escape(&self.experiment)
         ));
+        out.push_str("  \"meta\": {");
+        for (i, (key, value)) in self.meta.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!("    \"{}\": \"{}\"", escape(key), escape(value)));
+        }
+        if self.meta.is_empty() {
+            out.push_str("},\n");
+        } else {
+            out.push_str("\n  },\n");
+        }
         out.push_str("  \"runs\": [");
         for (i, run) in self.runs.iter().enumerate() {
             out.push_str(if i == 0 { "\n" } else { ",\n" });
@@ -315,7 +366,8 @@ mod tests {
             events_per_sec: None,
         });
         let json = report.to_json();
-        assert!(json.starts_with("{\n  \"experiment\": \"unit\","));
+        assert!(json.starts_with("{\n  \"schema_version\": 2,\n  \"experiment\": \"unit\","));
+        assert!(json.contains("\"package_version\": "));
         assert!(json.contains("\"name\": \"run \\\"a\\\"\""));
         assert!(json.contains("\"wall_seconds\": 0.5"));
         assert!(json.contains("\"pf\": 0.875"));
@@ -331,6 +383,22 @@ mod tests {
         let report = BenchReport::new("empty");
         let json = report.to_json();
         assert!(json.contains("\"runs\": []"));
+    }
+
+    #[test]
+    fn bench_report_meta_replaces_and_orders() {
+        let mut report = BenchReport::new("meta")
+            .with_meta("objects", 500)
+            .with_meta("seed", 7);
+        report.set_meta("seed", 9);
+        let json = report.to_json();
+        assert_eq!(report.schema_version, BENCH_SCHEMA_VERSION);
+        assert!(json.contains("\"objects\": \"500\""));
+        assert!(json.contains("\"seed\": \"9\""));
+        assert!(!json.contains("\"seed\": \"7\""));
+        let objects = json.find("\"objects\"").unwrap();
+        let seed = json.find("\"seed\"").unwrap();
+        assert!(objects < seed, "insertion order preserved");
     }
 
     #[test]

@@ -15,7 +15,7 @@ use freshen_engine::{
 use freshen_heuristics::{
     AllocationPolicy, HeuristicConfig, HeuristicScheduler, PartitionCriterion,
 };
-use freshen_obs::Recorder;
+use freshen_obs::{Recorder, SloConfig};
 use freshen_serve::{ServeConfig, ServeWorkload, Server, ACCESS_SEED_SALT, POLL_SEED_SALT};
 use freshen_sim::{SimConfig, Simulation};
 use freshen_solver::{LagrangeSolver, ProjectedGradientSolver};
@@ -317,7 +317,19 @@ fn engine_config_from_args(args: &crate::ParsedArgs) -> Result<EngineConfig, Str
         Some("oracle") => ResolvePolicy::EveryEpoch,
         Some(other) => return Err(format!("unknown policy `{other}` (drift|oracle)")),
     };
+    // `--slo-target-pf` arms the SLO engine with a perceived-freshness
+    // floor; the remaining rules keep their defaults. Absent, the run
+    // carries telemetry but no health evaluation.
+    let slo = match args.get("slo-target-pf") {
+        None => None,
+        Some(_) => Some(SloConfig {
+            target_pf: args.require_parsed("slo-target-pf")?,
+            ..SloConfig::default()
+        }),
+    };
     Ok(EngineConfig {
+        slo,
+        progress_every: args.parsed_or("progress", 0usize)?,
         epochs: args.parsed_or("epochs", defaults.epochs)?,
         epoch_len: args.parsed_or("epoch-len", defaults.epoch_len)?,
         warmup_epochs: args.parsed_or("warmup", defaults.warmup_epochs)?,
@@ -363,6 +375,8 @@ pub fn cmd_engine(args: &crate::ParsedArgs, out: &mut dyn Write) -> Result<(), S
         "retry-backoff",
         "seed",
         "threads",
+        "progress",
+        "slo-target-pf",
         "report-out",
         "metrics-out",
         "trace-out",
@@ -495,6 +509,8 @@ pub fn cmd_serve(args: &crate::ParsedArgs, out: &mut dyn Write) -> Result<(), St
         "retry-backoff",
         "seed",
         "threads",
+        "progress",
+        "slo-target-pf",
         "listen",
         "checkpoint-every",
         "checkpoint",
@@ -742,6 +758,27 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("freshen-cmd-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         dir
+    }
+
+    #[test]
+    fn engine_flags_arm_slo_and_progress() {
+        let cfg = engine_config_from_args(&parsed(&[
+            "--slo-target-pf",
+            "0.9",
+            "--progress",
+            "25",
+            "--epochs",
+            "40",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.progress_every, 25);
+        let slo = cfg.slo.expect("--slo-target-pf arms the SLO engine");
+        assert_eq!(slo.target_pf, 0.9);
+        assert_eq!(slo.breach_after, SloConfig::default().breach_after);
+
+        let cfg = engine_config_from_args(&parsed(&["--epochs", "40"])).unwrap();
+        assert!(cfg.slo.is_none(), "no flag, no SLO evaluation");
+        assert_eq!(cfg.progress_every, 0);
     }
 
     #[test]

@@ -183,6 +183,7 @@ mod tests {
             let credit_in = dispatcher.total_credit();
             let outcome = dispatcher
                 .run_epoch(
+                    epoch,
                     epoch as f64,
                     1.0,
                     &freqs,

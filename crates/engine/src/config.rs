@@ -2,6 +2,7 @@
 //! budget, and failure-injection knobs.
 
 use freshen_core::error::{CoreError, Result};
+use freshen_obs::SloConfig;
 
 /// Which incremental change-rate estimator the engine maintains.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -87,6 +88,14 @@ pub struct EngineConfig {
     /// is cheap (one pass over the credit vector) but exists for tests,
     /// CI, and debugging, not the hot path.
     pub audit: bool,
+    /// Freshness-SLO rules evaluated against every epoch's telemetry
+    /// sample ([`SloEngine`](freshen_obs::SloEngine)). `None` disables
+    /// evaluation; the time-series ring is populated either way.
+    pub slo: Option<SloConfig>,
+    /// Emit a one-line progress summary to stderr every this many epochs
+    /// (0 disables). Purely cosmetic: never touches reports, snapshots,
+    /// or any deterministic output.
+    pub progress_every: usize,
 }
 
 impl Default for EngineConfig {
@@ -108,6 +117,8 @@ impl Default for EngineConfig {
             retry_backoff: 0.05,
             seed: 0,
             audit: false,
+            slo: None,
+            progress_every: 0,
         }
     }
 }
@@ -172,6 +183,9 @@ impl EngineConfig {
         }
         if !self.retry_backoff.is_finite() || self.retry_backoff < 0.0 {
             return Err(bad("retry backoff", self.retry_backoff));
+        }
+        if let Some(slo) = &self.slo {
+            slo.validate().map_err(CoreError::InvalidConfig)?;
         }
         Ok(())
     }
@@ -285,6 +299,16 @@ mod tests {
                     ..ok.clone()
                 },
                 "backoff",
+            ),
+            (
+                EngineConfig {
+                    slo: Some(SloConfig {
+                        target_pf: 2.0,
+                        ..SloConfig::default()
+                    }),
+                    ..ok.clone()
+                },
+                "slo",
             ),
         ];
         for (config, hint) in cases {

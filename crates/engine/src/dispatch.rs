@@ -252,8 +252,10 @@ impl PollDispatcher {
     /// The epoch budget is `bandwidth · epoch_len · budget_factor`,
     /// derived from the *same* `epoch_len` that drives credit accrual —
     /// budget and accrual can never disagree about the epoch's length.
+    #[allow(clippy::too_many_arguments)]
     pub fn run_epoch(
         &mut self,
+        epoch: usize,
         epoch_start: f64,
         epoch_len: f64,
         freqs: &[f64],
@@ -261,6 +263,8 @@ impl PollDispatcher {
         source: &mut dyn PollSource,
         recorder: &Recorder,
     ) -> Result<EpochOutcome> {
+        let mut span = recorder.span("engine.dispatch");
+        span.arg("epoch", epoch);
         let n = self.credit.len();
         if !epoch_len.is_finite() || epoch_len <= 0.0 {
             return Err(CoreError::InvalidValue {
@@ -438,6 +442,7 @@ mod tests {
         let mut probe = Probe { calls: Vec::new() };
         let out = d
             .run_epoch(
+                0,
                 0.0,
                 1.0,
                 &[4.0, 2.0],
@@ -466,6 +471,7 @@ mod tests {
         let mut probe = Probe { calls: Vec::new() };
         let out = d
             .run_epoch(
+                0,
                 0.0,
                 1.0,
                 &[5.0, 5.0],
@@ -492,6 +498,7 @@ mod tests {
         for epoch in 0..5 {
             let out = d
                 .run_epoch(
+                    epoch,
                     epoch as f64,
                     1.0,
                     &[10.0],
@@ -514,6 +521,7 @@ mod tests {
         for epoch in 0..4 {
             let out = d
                 .run_epoch(
+                    epoch,
                     epoch as f64,
                     1.0,
                     &[0.5],
@@ -540,6 +548,7 @@ mod tests {
         let mut d = PollDispatcher::new(1, 10.0, &cfg).unwrap();
         let out = d
             .run_epoch(
+                0,
                 0.0,
                 1.0,
                 &[2.0],
@@ -568,6 +577,7 @@ mod tests {
         let mut d = PollDispatcher::new(1, 10.0, &cfg).unwrap();
         let out = d
             .run_epoch(
+                0,
                 0.0,
                 1.0,
                 &[2.0],
@@ -586,6 +596,7 @@ mod tests {
         // the restored credit. Pre-fix this epoch dispatched 0 polls.
         let next = d
             .run_epoch(
+                1,
                 1.0,
                 1.0,
                 &[0.0],
@@ -610,6 +621,7 @@ mod tests {
         let mut d = PollDispatcher::new(1, 10.0, &cfg).unwrap();
         let out = d
             .run_epoch(
+                0,
                 0.0,
                 1.0,
                 &[3.0],
@@ -633,6 +645,7 @@ mod tests {
         let mut d = PollDispatcher::new(1, 10.0, &config()).unwrap();
         let out = d
             .run_epoch(
+                0,
                 0.0,
                 2.0,
                 &[5.0],
@@ -652,6 +665,7 @@ mod tests {
         for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
             assert!(
                 d.run_epoch(
+                    0,
                     0.0,
                     bad,
                     &[1.0],
@@ -676,6 +690,7 @@ mod tests {
         let mut d = PollDispatcher::new(1, 5.0, &cfg).unwrap();
         let out = d
             .run_epoch(
+                0,
                 0.0,
                 1.0,
                 &[1e12], // ≫ u32::MAX planned credits pre-fix
@@ -705,6 +720,7 @@ mod tests {
             let credit_in = d.total_credit();
             let out = d
                 .run_epoch(
+                    epoch,
                     epoch as f64,
                     1.0,
                     &freqs,
@@ -735,6 +751,7 @@ mod tests {
         let mut probe = Probe { calls: Vec::new() };
         let out = d
             .run_epoch(
+                0,
                 0.0,
                 1.0,
                 &[6.0; 4],
@@ -769,6 +786,7 @@ mod tests {
             for epoch in 0..3 {
                 outs.push(
                     d.run_epoch(
+                        epoch,
                         epoch as f64,
                         1.0,
                         &[2.0, 2.0, 2.0],
@@ -790,10 +808,10 @@ mod tests {
         let r = Recorder::disabled();
         let mut probe = Probe { calls: Vec::new() };
         assert!(d
-            .run_epoch(0.0, 1.0, &[1.0], &[1.0, 1.0], &mut probe, &r)
+            .run_epoch(0, 0.0, 1.0, &[1.0], &[1.0, 1.0], &mut probe, &r)
             .is_err());
         assert!(d
-            .run_epoch(0.0, 1.0, &[1.0, 1.0], &[1.0], &mut probe, &r)
+            .run_epoch(0, 0.0, 1.0, &[1.0, 1.0], &[1.0], &mut probe, &r)
             .is_err());
         assert!(PollDispatcher::new(0, 5.0, &config()).is_err());
         assert!(PollDispatcher::new(2, 0.0, &config()).is_err());

@@ -23,7 +23,7 @@ use freshen_core::exec::Executor;
 use freshen_core::problem::{Problem, Solution};
 use freshen_core::profile::ProfileEstimator;
 use freshen_heuristics::adaptive::{AdaptiveScheduler, DriftMonitor};
-use freshen_obs::Recorder;
+use freshen_obs::{EpochSample, Health, Recorder, SloEngine, TimeSeries};
 use freshen_workload::trace::AccessRecord;
 
 use crate::audit::LedgerAudit;
@@ -137,6 +137,11 @@ pub struct Engine {
     /// Per-epoch stats of the run in progress; its length is the epoch
     /// counter, so [`step`](Engine::step) needs no separate index.
     history: Vec<EpochStats>,
+    /// Bounded telemetry ring of per-epoch samples (always populated;
+    /// downsamples itself rather than growing with run length).
+    series: TimeSeries,
+    /// Freshness-SLO evaluator, armed by [`EngineConfig::slo`].
+    slo: Option<SloEngine>,
 }
 
 impl Engine {
@@ -145,6 +150,10 @@ impl Engine {
     pub fn new(prior: &Problem, config: EngineConfig) -> Result<Self> {
         config.validate()?;
         let n = prior.len();
+        let slo = match &config.slo {
+            Some(rules) => Some(SloEngine::new(rules.clone()).map_err(CoreError::InvalidConfig)?),
+            None => None,
+        };
         Ok(Engine {
             bandwidth: prior.bandwidth(),
             profile: ProfileEstimator::new(n, config.profile_decay)?,
@@ -157,6 +166,8 @@ impl Engine {
             last_poll: vec![0.0; n],
             ledger: config.audit.then(LedgerAudit::new),
             history: Vec::new(),
+            series: TimeSeries::default(),
+            slo,
             config,
         })
     }
@@ -270,6 +281,7 @@ impl Engine {
             .is_some()
             .then(|| self.dispatcher.total_credit());
         let outcome = self.dispatcher.run_epoch(
+            epoch,
             epoch_start,
             self.config.epoch_len,
             &freqs,
@@ -385,7 +397,78 @@ impl Engine {
             realized_pf,
         };
         self.history.push(stats.clone());
+        self.observe_epoch(&stats, epoch_end);
         Ok(stats)
+    }
+
+    /// Fold one finished epoch into the telemetry ring and (when armed)
+    /// the SLO evaluator. Everything here reads deterministic run state
+    /// only — wall clock never enters the sample.
+    fn observe_epoch(&mut self, stats: &EpochStats, epoch_end: f64) {
+        // Exact order statistics over the per-element ages at epoch end
+        // (time since last successful poll). O(n log n) on a vector the
+        // engine already owns — fine at epoch cadence.
+        let mut ages: Vec<f64> = self.last_poll.iter().map(|&t| epoch_end - t).collect();
+        ages.sort_unstable_by(f64::total_cmp);
+        let rank = |q: f64| {
+            let idx = ((q * ages.len() as f64).ceil() as usize).max(1) - 1;
+            ages[idx.min(ages.len() - 1)]
+        };
+        let mut sample = EpochSample {
+            epoch: stats.index as u64,
+            realized_pf: stats.realized_pf,
+            drift: stats.drift,
+            age_p50: rank(0.50),
+            age_p95: rank(0.95),
+            age_max: ages[ages.len() - 1],
+            credit: self.dispatcher.total_credit(),
+            resolves: self.scheduler.resolves() as u64,
+            skips: self.scheduler.skips() as u64,
+            shed: stats.shed,
+            dispatched: stats.dispatched,
+            accesses: stats.accesses,
+            stale_served: stats.stale_served,
+            health: Health::Ok.as_u8(),
+            requests: 0,
+            request_p95_us: 0.0,
+        };
+        if let Some(slo) = &mut self.slo {
+            let transition = slo.evaluate(&sample);
+            sample.health = slo.health().as_u8();
+            self.recorder.counter("obs.slo.evaluations").inc();
+            if let Some(alert) = transition {
+                let counter = match alert.health {
+                    Health::Ok => "obs.slo.recoveries",
+                    Health::Warn => "obs.slo.warns",
+                    Health::Breach => "obs.slo.breaches",
+                };
+                self.recorder.counter(counter).inc();
+                self.recorder.event(
+                    "slo.transition",
+                    &[
+                        ("epoch", &alert.epoch),
+                        ("state", &alert.health.as_str()),
+                        ("rule", &alert.rule),
+                        ("value", &alert.value),
+                        ("threshold", &alert.threshold),
+                    ],
+                );
+            }
+        }
+        self.series.push(sample);
+        if self.config.progress_every > 0
+            && (stats.index + 1).is_multiple_of(self.config.progress_every)
+        {
+            eprintln!(
+                "epoch {:>6}  pf {:.4}  health {}  credit {:.2}  dispatched {}  shed {:.2}",
+                stats.index,
+                stats.realized_pf,
+                self.health().as_str(),
+                sample.credit,
+                stats.dispatched,
+                stats.shed,
+            );
+        }
     }
 
     /// The report over every epoch stepped so far. Totals are derived
@@ -464,6 +547,8 @@ impl Engine {
             credit: self.dispatcher.credit().to_vec(),
             attempts: self.dispatcher.attempt_counts().to_vec(),
             history: self.history.clone(),
+            series: self.series.export(),
+            slo: self.slo.as_ref().map(|s| s.export()),
         }
     }
 
@@ -522,6 +607,21 @@ impl Engine {
         }
 
         // Build every fallible component before mutating anything.
+        let series = TimeSeries::from_state(self.series.capacity(), &state.series)
+            .map_err(|e| CoreError::InvalidConfig(format!("telemetry series: {e}")))?;
+        // SLO state restores only when this engine has rules armed; an
+        // armed engine restoring a pre-SLO snapshot starts evaluating
+        // fresh, and an unarmed engine ignores any carried SLO state.
+        let slo = match (&self.config.slo, &state.slo) {
+            (Some(rules), Some(slo_state)) => Some(
+                SloEngine::from_state(rules.clone(), slo_state)
+                    .map_err(CoreError::InvalidConfig)?,
+            ),
+            (Some(rules), None) => {
+                Some(SloEngine::new(rules.clone()).map_err(CoreError::InvalidConfig)?)
+            }
+            (None, _) => None,
+        };
         let rates = RateTracker::restore(n, self.config.estimator, state.estimator)?;
         let profile = ProfileEstimator::from_state(
             state.profile_counts,
@@ -563,6 +663,8 @@ impl Engine {
         self.scheduler = scheduler;
         self.last_poll = state.last_poll;
         self.history = state.history;
+        self.series = series;
+        self.slo = slo;
         if let Some(estimates) = estimates {
             self.estimates = estimates;
         }
@@ -589,6 +691,35 @@ impl Engine {
     /// post-mortem inspection.
     pub fn ledger(&self) -> Option<&LedgerAudit> {
         self.ledger.as_ref()
+    }
+
+    /// The bounded per-epoch telemetry ring (always populated).
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+
+    /// The SLO evaluator, when [`EngineConfig::slo`] armed one.
+    pub fn slo(&self) -> Option<&SloEngine> {
+        self.slo.as_ref()
+    }
+
+    /// Current SLO health; `Ok` when no rules are armed.
+    pub fn health(&self) -> Health {
+        self.slo.as_ref().map_or(Health::Ok, |s| s.health())
+    }
+
+    /// The `/health` JSON body, when SLO rules are armed.
+    pub fn health_json(&self) -> Option<String> {
+        self.slo
+            .as_ref()
+            .map(|s| s.health_json(self.history.len().saturating_sub(1) as u64))
+    }
+
+    /// Stamp wall-clock control-plane load onto the retained sample for
+    /// `epoch` (see [`TimeSeries::annotate_requests`]); annotations never
+    /// feed back into reports or SLO evaluation.
+    pub fn annotate_requests(&mut self, epoch: u64, requests: u64, p95_us: f64) {
+        self.series.annotate_requests(epoch, requests, p95_us);
     }
 }
 
@@ -900,6 +1031,57 @@ mod tests {
             expected,
             "restored run must reproduce the uninterrupted report"
         );
+    }
+
+    #[test]
+    fn telemetry_series_and_slo_follow_the_run() {
+        use freshen_obs::SloConfig;
+        let p = prior(4, 4.0);
+        let mut config = small_config();
+        // Unreachable floor: every epoch violates, so the run must walk
+        // Ok → Warn → Breach and stay breached.
+        config.slo = Some(SloConfig {
+            target_pf: 0.999_999,
+            breach_after: 2,
+            ..SloConfig::default()
+        });
+        let recorder = Recorder::enabled();
+        let mut engine = Engine::new(&p, config.clone())
+            .unwrap()
+            .with_recorder(recorder.clone());
+        let accesses = LiveAccessStream::new(p.access_probs(), 60.0, 7, config.horizon());
+        let mut source = LivePollSource::new(&[1.5; 4], 8, 16.0).unwrap();
+        let report = engine.run(accesses, &mut source).unwrap();
+
+        let samples = engine.series().samples();
+        assert_eq!(samples.len(), report.epochs.len());
+        assert_eq!(samples[0].epoch, 0);
+        assert!(samples.iter().all(|s| s.age_p50 <= s.age_p95));
+        assert!(samples.iter().all(|s| s.age_p95 <= s.age_max));
+        assert_eq!(engine.health(), Health::Breach);
+        let slo = engine.slo().expect("armed");
+        assert!(slo.breaches() >= 1);
+        assert_eq!(
+            recorder.counter_value("obs.slo.evaluations").unwrap(),
+            report.epochs.len() as u64
+        );
+        assert_eq!(recorder.counter_value("obs.slo.breaches").unwrap(), 1);
+        assert!(engine.health_json().unwrap().contains("\"breach\""));
+
+        // The evaluator and the ring survive an export/restore cycle.
+        let state = engine.export_state();
+        let mut fresh = Engine::new(&p, config).unwrap();
+        fresh.restore_state(state.clone()).unwrap();
+        assert_eq!(fresh.health(), Health::Breach);
+        assert_eq!(fresh.series().samples(), engine.series().samples());
+        assert_eq!(fresh.export_state(), state);
+
+        // An engine without rules stays Ok and ignores carried SLO state.
+        let mut unarmed = Engine::new(&p, small_config()).unwrap();
+        unarmed.restore_state(state).unwrap();
+        assert_eq!(unarmed.health(), Health::Ok);
+        assert!(unarmed.slo().is_none());
+        assert!(unarmed.export_state().slo.is_none());
     }
 
     #[test]

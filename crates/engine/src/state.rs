@@ -25,6 +25,7 @@
 //! [`EngineConfig`]: crate::EngineConfig
 
 use freshen_core::problem::Solution;
+use freshen_obs::{SloState, TimeSeriesState};
 
 use crate::report::EpochStats;
 
@@ -80,6 +81,11 @@ pub struct EngineState {
     /// Per-epoch statistics of the run so far; its length is the epoch
     /// counter.
     pub history: Vec<EpochStats>,
+    /// Telemetry time-series ring contents (possibly downsampled).
+    pub series: TimeSeriesState,
+    /// SLO evaluator state, present when the exporting engine had SLO
+    /// rules armed.
+    pub slo: Option<SloState>,
 }
 
 impl EngineState {

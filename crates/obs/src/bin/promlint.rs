@@ -1,0 +1,25 @@
+//! `promlint`: validate a Prometheus text exposition read from stdin.
+//!
+//! Exit status 0 when the input passes [`freshen_obs::prometheus::
+//! validate_exposition`], 1 with the first violation on stderr otherwise.
+//! CI pipes a live `/metrics?format=prometheus` response through this so
+//! the served exposition is held to the same rules as the unit tests.
+
+use std::io::Read;
+
+fn main() {
+    let mut input = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut input) {
+        eprintln!("promlint: cannot read stdin: {e}");
+        std::process::exit(2);
+    }
+    match freshen_obs::prometheus::validate_exposition(&input) {
+        Ok(()) => {
+            println!("promlint: OK ({} lines)", input.lines().count());
+        }
+        Err(e) => {
+            eprintln!("promlint: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -163,6 +163,29 @@ pub(crate) fn chrome_trace_json(inner: &RecorderInner) -> String {
         out.push('}');
     }
 
+    // A trailing metadata event makes telemetry loss visible in the trace
+    // itself: a capped buffer silently shortening the timeline would
+    // otherwise read as "nothing happened".
+    let histogram_dropped: u64 = {
+        let histograms = inner.histograms.lock().unwrap();
+        histograms.values().map(|core| core.dropped()).sum()
+    };
+    if !first {
+        out.push(',');
+    }
+    out.push_str("\n{\"name\": \"obs.dropped\", \"cat\": \"meta\", \"ph\": \"i\", \"ts\": ");
+    push_u64(&mut out, inner.epoch.elapsed().as_micros() as u64);
+    out.push_str(", \"s\": \"t\", \"pid\": 1, \"tid\": 999");
+    push_args(
+        &mut out,
+        &[
+            ("trace_dropped", inner.trace.dropped().to_string()),
+            ("journal_dropped", inner.journal.dropped().to_string()),
+            ("histogram_dropped", histogram_dropped.to_string()),
+        ],
+    );
+    out.push('}');
+
     out.push_str("\n]\n");
     out
 }

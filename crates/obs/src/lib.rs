@@ -40,10 +40,15 @@ mod export;
 pub mod journal;
 mod json;
 pub mod metrics;
+pub mod prometheus;
+pub mod slo;
+pub mod timeseries;
 pub mod trace;
 
 pub use journal::{Journal, JournalEntry};
 pub use metrics::{count_buckets, duration_us_buckets, Counter, Gauge, Histogram};
+pub use slo::{Health, SloAlert, SloConfig, SloEngine, SloState};
+pub use timeseries::{EpochSample, TimeSeries, TimeSeriesState, DEFAULT_SERIES_CAPACITY};
 pub use trace::{SpanGuard, TraceBuffer, TraceEvent};
 
 use metrics::HistogramCore;
@@ -200,6 +205,12 @@ impl Recorder {
     /// array (loads in Perfetto / `chrome://tracing`).
     pub fn chrome_trace_json(&self) -> Option<String> {
         self.inner.as_ref().map(|i| export::chrome_trace_json(i))
+    }
+
+    /// Serialize the metrics snapshot in the Prometheus text exposition
+    /// format (see [`prometheus`] for the family layout).
+    pub fn metrics_prometheus(&self) -> Option<String> {
+        self.inner.as_ref().map(|i| prometheus::render(i))
     }
 }
 
@@ -385,6 +396,32 @@ mod tests {
         let rec = Recorder::enabled();
         check_json(&rec.metrics_json().unwrap());
         check_json(&rec.chrome_trace_json().unwrap());
+    }
+
+    #[test]
+    fn journal_overflow_is_counted_in_every_export_path() {
+        let rec = Recorder::with_capacity(DEFAULT_TRACE_CAPACITY, 4);
+        for i in 0..10u64 {
+            rec.event("tick", &[("i", &i)]);
+        }
+        rec.histogram("h", &count_buckets()).observe(f64::NAN);
+
+        let metrics = rec.metrics_json().unwrap();
+        check_json(&metrics);
+        assert!(metrics.contains("\"journal_dropped\": 6"), "{metrics}");
+        assert!(metrics.contains("\"dropped\": 1"), "{metrics}");
+
+        let trace = rec.chrome_trace_json().unwrap();
+        check_json(&trace);
+        assert!(trace.contains("\"obs.dropped\""), "{trace}");
+        assert!(trace.contains("\"journal_dropped\": \"6\""), "{trace}");
+        assert!(trace.contains("\"histogram_dropped\": \"1\""), "{trace}");
+        assert!(trace.contains("\"trace_dropped\": \"0\""), "{trace}");
+
+        let prom = rec.metrics_prometheus().unwrap();
+        crate::prometheus::validate_exposition(&prom).unwrap();
+        assert!(prom.contains("freshen_journal_dropped 6"), "{prom}");
+        assert!(prom.contains("h_dropped 1"), "{prom}");
     }
 
     #[test]

@@ -1,0 +1,601 @@
+//! Hand-rolled Prometheus text exposition (format 0.0.4) plus a strict
+//! validator for it.
+//!
+//! The renderer walks the recorder registry and emits one family per
+//! metric: `# HELP` / `# TYPE` comment lines followed by samples. Dotted
+//! registry names are sanitized to the legal charset
+//! (`[a-zA-Z_:][a-zA-Z0-9_:]*`). Histograms expose cumulative
+//! `_bucket{le="..."}` samples ending at `+Inf`, `_sum`, `_count`, and a
+//! companion `<name>_dropped` counter for non-finite samples the histogram
+//! rejected; the recorder-wide journal/trace drop counts round out the
+//! "telemetry loss is visible" rule (DESIGN.md §13).
+//!
+//! [`validate_exposition`] is the matching parser: it checks name and
+//! label legality, escape sequences, `# TYPE` consistency and placement,
+//! family contiguity, and histogram bucket monotonicity. The `promlint`
+//! binary wraps it for CI so a live `/metrics?format=prometheus` response
+//! can be piped through the same checks the unit tests run.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write;
+
+use crate::RecorderInner;
+
+/// Content type a Prometheus scraper expects for this exposition.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Map a dotted registry name onto the Prometheus metric-name charset.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let legal =
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if legal {
+            out.push(c);
+        } else if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Render a float the way the exposition format expects (`+Inf`, `-Inf`,
+/// `NaN`, shortest-roundtrip otherwise).
+fn push_value(out: &mut String, v: f64) {
+    if v.is_nan() {
+        out.push_str("NaN");
+    } else if v == f64::INFINITY {
+        out.push_str("+Inf");
+    } else if v == f64::NEG_INFINITY {
+        out.push_str("-Inf");
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+/// Escape a HELP docstring (`\\` and newline only, per the format).
+fn push_help_text(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Escape a label value (`\\`, `"`, and newline).
+fn push_label_value(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn family_header(out: &mut String, name: &str, source: &str, kind: &str) {
+    out.push_str("# HELP ");
+    out.push_str(name);
+    out.push(' ');
+    push_help_text(out, &format!("freshen {kind} {source}"));
+    out.push_str("\n# TYPE ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(kind);
+    out.push('\n');
+}
+
+pub(crate) fn render(inner: &RecorderInner) -> String {
+    let mut out = String::with_capacity(4096);
+    // Distinct dotted names could sanitize onto the same family; emitting
+    // both would break the TYPE-once rule, so later collisions are skipped.
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let fresh = |name: &'static str, seen: &mut BTreeSet<String>| {
+        let n = sanitize_metric_name(name);
+        seen.insert(n.clone()).then_some(n)
+    };
+
+    let counters = inner.counters.lock().unwrap();
+    for (name, cell) in counters.iter() {
+        let Some(n) = fresh(name, &mut seen) else {
+            continue;
+        };
+        family_header(&mut out, &n, name, "counter");
+        out.push_str(&n);
+        out.push(' ');
+        let _ = write!(out, "{}", cell.load(std::sync::atomic::Ordering::Relaxed));
+        out.push('\n');
+    }
+    drop(counters);
+
+    let gauges = inner.gauges.lock().unwrap();
+    for (name, cell) in gauges.iter() {
+        let Some(n) = fresh(name, &mut seen) else {
+            continue;
+        };
+        family_header(&mut out, &n, name, "gauge");
+        out.push_str(&n);
+        out.push(' ');
+        push_value(
+            &mut out,
+            f64::from_bits(cell.load(std::sync::atomic::Ordering::Relaxed)),
+        );
+        out.push('\n');
+    }
+    drop(gauges);
+
+    let histograms = inner.histograms.lock().unwrap();
+    let mut histogram_dropped: Vec<(String, u64)> = Vec::new();
+    for (name, core) in histograms.iter() {
+        let Some(n) = fresh(name, &mut seen) else {
+            continue;
+        };
+        family_header(&mut out, &n, name, "histogram");
+        for (le, cum) in core.cumulative_buckets() {
+            out.push_str(&n);
+            out.push_str("_bucket{le=\"");
+            let mut le_text = String::new();
+            push_value(&mut le_text, le);
+            push_label_value(&mut out, &le_text);
+            out.push_str("\"} ");
+            let _ = write!(out, "{cum}");
+            out.push('\n');
+        }
+        out.push_str(&n);
+        out.push_str("_sum ");
+        push_value(&mut out, core.sum());
+        out.push('\n');
+        out.push_str(&n);
+        out.push_str("_count ");
+        let _ = write!(out, "{}", core.count());
+        out.push('\n');
+        histogram_dropped.push((n, core.dropped()));
+    }
+    drop(histograms);
+
+    // Telemetry-loss counters: per-histogram non-finite drops plus the
+    // bounded journal/trace buffer evictions.
+    for (n, dropped) in histogram_dropped {
+        let family = format!("{n}_dropped");
+        if !seen.insert(family.clone()) {
+            continue;
+        }
+        family_header(&mut out, &family, &family, "counter");
+        let _ = writeln!(out, "{family} {dropped}");
+    }
+    for (family, dropped) in [
+        ("freshen_journal_dropped", inner.journal.dropped()),
+        ("freshen_trace_dropped", inner.trace.dropped()),
+    ] {
+        if !seen.insert(family.to_string()) {
+            continue;
+        }
+        family_header(&mut out, family, family, "counter");
+        let _ = writeln!(out, "{family} {dropped}");
+    }
+    out
+}
+
+/// The types a `# TYPE` line may declare.
+const TYPES: [&str; 5] = ["counter", "gauge", "histogram", "summary", "untyped"];
+
+fn is_legal_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn is_legal_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn parse_sample_value(text: &str) -> Option<f64> {
+    match text {
+        "NaN" | "nan" => Some(f64::NAN),
+        "+Inf" | "Inf" | "inf" => Some(f64::INFINITY),
+        "-Inf" | "-inf" => Some(f64::NEG_INFINITY),
+        t => t.parse::<f64>().ok().filter(|v| v.is_finite()),
+    }
+}
+
+/// One parsed sample line.
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+/// Parse `name{label="v",...} value [timestamp]`.
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let name_end = line
+        .find(|c: char| c == '{' || c.is_ascii_whitespace())
+        .unwrap_or(line.len());
+    let name = &line[..name_end];
+    if !is_legal_metric_name(name) {
+        return Err(format!("illegal metric name {name:?}"));
+    }
+    let mut rest = &line[name_end..];
+    let mut labels = Vec::new();
+    if let Some(stripped) = rest.strip_prefix('{') {
+        let mut chars = stripped.char_indices().peekable();
+        loop {
+            // label name
+            let start = chars.peek().map(|&(i, _)| i).ok_or("unterminated labels")?;
+            let mut end = start;
+            while let Some(&(i, c)) = chars.peek() {
+                if c == '=' {
+                    end = i;
+                    break;
+                }
+                chars.next();
+            }
+            let label = &stripped[start..end];
+            if !is_legal_label_name(label) {
+                return Err(format!("illegal label name {label:?}"));
+            }
+            chars.next(); // '='
+            match chars.next() {
+                Some((_, '"')) => {}
+                _ => return Err("label value must be quoted".into()),
+            }
+            let mut value = String::new();
+            loop {
+                match chars.next() {
+                    Some((_, '\\')) => match chars.next() {
+                        Some((_, '\\')) => value.push('\\'),
+                        Some((_, '"')) => value.push('"'),
+                        Some((_, 'n')) => value.push('\n'),
+                        other => {
+                            return Err(format!(
+                                "illegal escape \\{:?} in label value",
+                                other.map(|(_, c)| c)
+                            ))
+                        }
+                    },
+                    Some((_, '"')) => break,
+                    Some((_, '\n')) | None => return Err("unterminated label value".into()),
+                    Some((_, c)) => value.push(c),
+                }
+            }
+            labels.push((label.to_string(), value));
+            match chars.next() {
+                Some((_, ',')) => continue,
+                Some((i, '}')) => {
+                    rest = &stripped[i + 1..];
+                    break;
+                }
+                _ => return Err("expected ',' or '}' after label".into()),
+            }
+        }
+    }
+    let mut parts = rest.split_ascii_whitespace();
+    let value_text = parts.next().ok_or("missing sample value")?;
+    let value = parse_sample_value(value_text)
+        .ok_or_else(|| format!("unparseable sample value {value_text:?}"))?;
+    if let Some(ts) = parts.next() {
+        ts.parse::<i64>()
+            .map_err(|_| format!("unparseable timestamp {ts:?}"))?;
+    }
+    if parts.next().is_some() {
+        return Err("trailing tokens after sample".into());
+    }
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+/// Per-family bookkeeping accumulated while scanning.
+#[derive(Default)]
+struct Family {
+    kind: Option<String>,
+    help_seen: bool,
+    samples: u64,
+    buckets: Vec<(f64, f64)>,
+    sum_seen: bool,
+    count: Option<f64>,
+}
+
+/// Validate a full text exposition. Returns the first violation found,
+/// prefixed with its 1-based line number.
+pub fn validate_exposition(text: &str) -> Result<(), String> {
+    let mut families: BTreeMap<String, Family> = BTreeMap::new();
+    let mut current: Option<String> = None;
+    let mut closed: BTreeSet<String> = BTreeSet::new();
+    let enter = |name: &str,
+                 current: &mut Option<String>,
+                 closed: &mut BTreeSet<String>|
+     -> Result<(), String> {
+        if current.as_deref() == Some(name) {
+            return Ok(());
+        }
+        if let Some(prev) = current.take() {
+            closed.insert(prev);
+        }
+        if closed.contains(name) {
+            return Err(format!("family {name:?} is interleaved with others"));
+        }
+        *current = Some(name.to_string());
+        Ok(())
+    };
+
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let at = |msg: String| format!("line {lineno}: {msg}");
+        let line = line.trim_end_matches('\r');
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut parts = comment.trim_start().splitn(3, ' ');
+            match parts.next() {
+                Some("HELP") => {
+                    let name = parts.next().ok_or_else(|| at("HELP without name".into()))?;
+                    if !is_legal_metric_name(name) {
+                        return Err(at(format!("illegal metric name {name:?} in HELP")));
+                    }
+                    let doc = parts.next().unwrap_or("");
+                    let mut chars = doc.chars();
+                    while let Some(c) = chars.next() {
+                        if c == '\\' && !matches!(chars.next(), Some('\\' | 'n')) {
+                            return Err(at(format!("illegal escape in HELP for {name}")));
+                        }
+                    }
+                    enter(name, &mut current, &mut closed).map_err(&at)?;
+                    let fam = families.entry(name.to_string()).or_default();
+                    if fam.help_seen {
+                        return Err(at(format!("duplicate HELP for {name}")));
+                    }
+                    fam.help_seen = true;
+                }
+                Some("TYPE") => {
+                    let name = parts.next().ok_or_else(|| at("TYPE without name".into()))?;
+                    if !is_legal_metric_name(name) {
+                        return Err(at(format!("illegal metric name {name:?} in TYPE")));
+                    }
+                    let kind = parts.next().unwrap_or("").trim();
+                    if !TYPES.contains(&kind) {
+                        return Err(at(format!("unknown type {kind:?} for {name}")));
+                    }
+                    enter(name, &mut current, &mut closed).map_err(&at)?;
+                    let fam = families.entry(name.to_string()).or_default();
+                    if fam.kind.is_some() {
+                        return Err(at(format!("duplicate TYPE for {name}")));
+                    }
+                    if fam.samples > 0 {
+                        return Err(at(format!("TYPE for {name} after its samples")));
+                    }
+                    fam.kind = Some(kind.to_string());
+                }
+                _ => {} // free-form comment
+            }
+            continue;
+        }
+
+        let sample = parse_sample(line).map_err(&at)?;
+        // Resolve the family: histogram component suffixes fold into their
+        // base family when that base was declared a histogram.
+        let family_name = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suffix| {
+                let base = sample.name.strip_suffix(suffix)?;
+                let declared = families.get(base)?.kind.as_deref()? == "histogram";
+                declared.then(|| base.to_string())
+            })
+            .unwrap_or_else(|| sample.name.clone());
+        enter(&family_name, &mut current, &mut closed).map_err(&at)?;
+        let fam = families
+            .get_mut(&family_name)
+            .ok_or_else(|| at(format!("sample for undeclared family {family_name:?}")))?;
+        let kind = fam
+            .kind
+            .clone()
+            .ok_or_else(|| at(format!("family {family_name:?} has no TYPE")))?;
+        fam.samples += 1;
+        match kind.as_str() {
+            "counter" if !(sample.value.is_finite() && sample.value >= 0.0) => {
+                return Err(at(format!(
+                    "counter {family_name} has non-monotone-able value {}",
+                    sample.value
+                )));
+            }
+            "counter" => {}
+            "histogram" => {
+                if sample.name.ends_with("_bucket") {
+                    let le = sample
+                        .labels
+                        .iter()
+                        .find(|(k, _)| k == "le")
+                        .ok_or_else(|| at(format!("bucket of {family_name} lacks le label")))?;
+                    let bound = parse_sample_value(&le.1)
+                        .ok_or_else(|| at(format!("unparseable le {:?}", le.1)))?;
+                    fam.buckets.push((bound, sample.value));
+                } else if sample.name.ends_with("_sum") {
+                    fam.sum_seen = true;
+                } else if sample.name.ends_with("_count") {
+                    fam.count = Some(sample.value);
+                } else {
+                    return Err(at(format!(
+                        "histogram {family_name} has stray sample {}",
+                        sample.name
+                    )));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    for (name, fam) in &families {
+        if fam.kind.as_deref() != Some("histogram") {
+            continue;
+        }
+        if fam.buckets.is_empty() {
+            return Err(format!("histogram {name} has no buckets"));
+        }
+        for pair in fam.buckets.windows(2) {
+            // partial_cmp, not a negated `<`: a NaN le bound must fail.
+            if pair[0].0.partial_cmp(&pair[1].0) != Some(std::cmp::Ordering::Less) {
+                return Err(format!("histogram {name} le bounds not increasing"));
+            }
+            if pair[0].1 > pair[1].1 {
+                return Err(format!("histogram {name} bucket counts decrease"));
+            }
+        }
+        let last = fam.buckets.last().unwrap();
+        if last.0 != f64::INFINITY {
+            return Err(format!("histogram {name} lacks a +Inf bucket"));
+        }
+        if !fam.sum_seen {
+            return Err(format!("histogram {name} lacks _sum"));
+        }
+        match fam.count {
+            Some(c) if c == last.1 => {}
+            Some(c) => {
+                return Err(format!(
+                    "histogram {name} _count {c} != +Inf bucket {}",
+                    last.1
+                ))
+            }
+            None => return Err(format!("histogram {name} lacks _count")),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{count_buckets, Recorder};
+
+    #[test]
+    fn sanitizes_names_onto_the_legal_charset() {
+        assert_eq!(sanitize_metric_name("serve.requests"), "serve_requests");
+        assert_eq!(sanitize_metric_name("obs.slo.warns"), "obs_slo_warns");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name("a-b c"), "a_b_c");
+        assert!(is_legal_metric_name(&sanitize_metric_name("漢字")));
+    }
+
+    #[test]
+    fn rendered_exposition_validates() {
+        let rec = Recorder::enabled();
+        rec.counter("engine.epochs").add(7);
+        rec.counter("obs.slo.breaches").inc();
+        rec.gauge("engine.pf").set(0.93);
+        rec.gauge("engine.unset"); // NaN gauge
+        let h = rec.histogram("dispatch.latency", &count_buckets());
+        for i in 0..50 {
+            h.observe(i as f64);
+        }
+        h.observe(f64::NAN); // dropped, must surface
+        let text = rec.metrics_prometheus().unwrap();
+        validate_exposition(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert!(text.contains("# TYPE engine_epochs counter"));
+        assert!(text.contains("engine_epochs 7"));
+        assert!(text.contains("engine_pf 0.93"));
+        assert!(text.contains("engine_unset NaN"));
+        assert!(text.contains("dispatch_latency_bucket{le=\"+Inf\"} 50"));
+        assert!(text.contains("dispatch_latency_count 50"));
+        assert!(text.contains("# TYPE dispatch_latency_dropped counter"));
+        assert!(text.contains("dispatch_latency_dropped 1"));
+        assert!(text.contains("freshen_journal_dropped 0"));
+        assert!(text.contains("freshen_trace_dropped 0"));
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn empty_recorder_renders_a_valid_exposition() {
+        let rec = Recorder::enabled();
+        let text = rec.metrics_prometheus().unwrap();
+        validate_exposition(&text).unwrap();
+        assert!(rec.is_enabled());
+        assert!(Recorder::disabled().metrics_prometheus().is_none());
+    }
+
+    #[test]
+    fn validator_accepts_labels_escapes_and_timestamps() {
+        let text = concat!(
+            "# HELP rpc_count calls with \\\\ and \\n escapes\n",
+            "# TYPE rpc_count counter\n",
+            "rpc_count{method=\"get \\\"x\\\"\",path=\"/a\\\\b\"} 3 1700000000\n",
+        );
+        validate_exposition(text).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_structural_violations() {
+        for (why, text) in [
+            ("illegal metric name", "# TYPE 1bad counter\n1bad 1\n"),
+            ("illegal label name", "# TYPE m counter\nm{1l=\"x\"} 1\n"),
+            ("bad escape", "# TYPE m counter\nm{l=\"\\q\"} 1\n"),
+            ("unquoted label", "# TYPE m counter\nm{l=x} 1\n"),
+            ("missing TYPE", "m 1\n"),
+            ("duplicate TYPE", "# TYPE m counter\n# TYPE m counter\nm 1\n"),
+            ("TYPE after samples", "# TYPE m counter\nm 1\n# TYPE n counter\n# TYPE m gauge\n"),
+            ("unknown type", "# TYPE m sparkline\nm 1\n"),
+            ("negative counter", "# TYPE m counter\nm -1\n"),
+            ("NaN counter", "# TYPE m counter\nm NaN\n"),
+            ("bad value", "# TYPE m gauge\nm one\n"),
+            (
+                "interleaved families",
+                "# TYPE a counter\na 1\n# TYPE b counter\nb 1\na 2\n",
+            ),
+            (
+                "non-monotone le",
+                "# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 2\n",
+            ),
+            (
+                "decreasing bucket counts",
+                "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 3\nh_count 3\n",
+            ),
+            (
+                "missing +Inf bucket",
+                "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+            ),
+            (
+                "count mismatch",
+                "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+            ),
+            (
+                "missing sum",
+                "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_count 2\n",
+            ),
+        ] {
+            assert!(validate_exposition(text).is_err(), "accepted {why}: {text}");
+        }
+    }
+
+    #[test]
+    fn slo_counter_family_round_trips_through_the_validator() {
+        let rec = Recorder::enabled();
+        for name in [
+            "obs.slo.evaluations",
+            "obs.slo.warns",
+            "obs.slo.breaches",
+            "obs.slo.recoveries",
+        ] {
+            rec.counter(name).inc();
+        }
+        let text = rec.metrics_prometheus().unwrap();
+        validate_exposition(&text).unwrap();
+        assert!(text.contains("obs_slo_evaluations 1"));
+    }
+}

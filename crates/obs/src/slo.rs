@@ -1,0 +1,678 @@
+//! Declarative freshness-SLO rules and the `Ok → Warn → Breach` health
+//! state machine.
+//!
+//! Four rule families, all evaluated once per epoch against the same
+//! [`EpochSample`] the time-series ring retains:
+//!
+//! | rule            | fires when                                            |
+//! |-----------------|-------------------------------------------------------|
+//! | `pf_floor`      | realized PF drops below [`SloConfig::target_pf`]      |
+//! | `staleness_p95` | p95 element age exceeds a ceiling                     |
+//! | `shed_rate`     | dispatcher shed credit per dispatched poll too high   |
+//! | `burn_rate`     | error-budget burn over a short **and** a long window  |
+//!
+//! Instantaneous violations raise `Warn`; a violation streak of
+//! [`SloConfig::breach_after`] epochs — or any burn-rate violation, the
+//! multiwindow signal that the budget is being consumed unsustainably —
+//! escalates to `Breach`. [`SloConfig::clear_after`] consecutive clean
+//! epochs recover to `Ok`. Every transition is appended to a bounded alert
+//! journal (overflow counted, never grown).
+//!
+//! Evaluation reads only deterministic sample fields (never the wall-clock
+//! request annotations), so health transitions — like everything else in
+//! the engine — replay identically across kill/resume.
+
+use std::collections::VecDeque;
+
+use crate::json::{push_f64, push_str_literal, push_u64};
+use crate::timeseries::EpochSample;
+
+/// Health states, ordered by severity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Health {
+    /// All rules satisfied (or still inside the grace window).
+    #[default]
+    Ok = 0,
+    /// At least one rule violated this epoch; not yet sustained.
+    Warn = 1,
+    /// Sustained or burn-rate violation; `/health` answers 503.
+    Breach = 2,
+}
+
+impl Health {
+    /// Lowercase label used in JSON bodies and progress lines.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Health::Ok => "ok",
+            Health::Warn => "warn",
+            Health::Breach => "breach",
+        }
+    }
+
+    /// The wire byte stored in samples and snapshots.
+    pub fn as_u8(self) -> u8 {
+        self as u8
+    }
+
+    /// Decode a wire byte; `None` for anything but 0/1/2.
+    pub fn from_u8(v: u8) -> Option<Health> {
+        match v {
+            0 => Some(Health::Ok),
+            1 => Some(Health::Warn),
+            2 => Some(Health::Breach),
+            _ => None,
+        }
+    }
+}
+
+/// SLO rule thresholds. `f64::INFINITY` disables a ceiling rule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloConfig {
+    /// Floor on per-epoch realized PF (the error budget is `1 - target_pf`).
+    pub target_pf: f64,
+    /// Ceiling on p95 element age; `INFINITY` disables the rule.
+    pub staleness_p95_max: f64,
+    /// Ceiling on shed credit per dispatched poll; `INFINITY` disables.
+    pub shed_rate_max: f64,
+    /// Short burn-rate window, in epochs.
+    pub burn_short: usize,
+    /// Long burn-rate window, in epochs (also the PF history retained).
+    pub burn_long: usize,
+    /// Burn-rate threshold: mean PF shortfall over window ÷ error budget.
+    pub burn_factor: f64,
+    /// Consecutive violating epochs before `Warn` escalates to `Breach`.
+    pub breach_after: u64,
+    /// Consecutive clean epochs before recovering to `Ok`.
+    pub clear_after: u64,
+    /// Epochs at the start of the run exempt from evaluation (warm-up).
+    pub grace_epochs: u64,
+    /// Alert-journal capacity; older alerts are dropped (and counted).
+    pub max_alerts: usize,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            target_pf: 0.8,
+            staleness_p95_max: f64::INFINITY,
+            shed_rate_max: f64::INFINITY,
+            burn_short: 5,
+            burn_long: 20,
+            burn_factor: 2.0,
+            breach_after: 3,
+            clear_after: 3,
+            grace_epochs: 0,
+            max_alerts: 256,
+        }
+    }
+}
+
+impl SloConfig {
+    /// Reject configurations the evaluator cannot interpret.
+    pub fn validate(&self) -> Result<(), String> {
+        let bad = |what: &str, v: f64| Err(format!("invalid SLO config: {what} = {v}"));
+        if !self.target_pf.is_finite() || !(0.0..1.0).contains(&self.target_pf) {
+            return bad("target_pf (want 0 ≤ pf < 1)", self.target_pf);
+        }
+        if self.staleness_p95_max.is_nan() || self.staleness_p95_max <= 0.0 {
+            return bad("staleness_p95_max", self.staleness_p95_max);
+        }
+        if self.shed_rate_max.is_nan() || self.shed_rate_max < 0.0 {
+            return bad("shed_rate_max", self.shed_rate_max);
+        }
+        if self.burn_short == 0 || self.burn_long < self.burn_short {
+            return Err(format!(
+                "invalid SLO config: burn windows {}/{} (want 1 ≤ short ≤ long)",
+                self.burn_short, self.burn_long
+            ));
+        }
+        if !self.burn_factor.is_finite() || self.burn_factor <= 0.0 {
+            return bad("burn_factor", self.burn_factor);
+        }
+        if self.breach_after == 0 {
+            return bad("breach_after", 0.0);
+        }
+        if self.clear_after == 0 {
+            return bad("clear_after", 0.0);
+        }
+        if self.max_alerts == 0 {
+            return bad("max_alerts", 0.0);
+        }
+        Ok(())
+    }
+}
+
+/// One recorded health transition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloAlert {
+    /// Epoch the transition fired.
+    pub epoch: u64,
+    /// The state entered.
+    pub health: Health,
+    /// The rule that triggered it (`"recovered"` on return to `Ok`).
+    pub rule: String,
+    /// Observed value of the triggering rule's signal.
+    pub value: f64,
+    /// The configured threshold it crossed.
+    pub threshold: f64,
+}
+
+/// Portable evaluator state for checkpoint/restore.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SloState {
+    /// Current health as a wire byte.
+    pub health: u8,
+    /// Length of the current violation streak.
+    pub consecutive_bad: u64,
+    /// Length of the current clean streak.
+    pub consecutive_good: u64,
+    /// Recent realized-PF history, oldest first (≤ `burn_long`).
+    pub pf_window: Vec<f64>,
+    /// Retained alerts, oldest first.
+    pub alerts: Vec<SloAlert>,
+    /// Alerts evicted from the bounded journal.
+    pub alerts_dropped: u64,
+    /// Total epochs evaluated.
+    pub evaluations: u64,
+    /// Total transitions into `Warn`.
+    pub warns: u64,
+    /// Total transitions into `Breach`.
+    pub breaches: u64,
+    /// Total recoveries to `Ok`.
+    pub recoveries: u64,
+}
+
+/// The per-epoch SLO evaluator. See the module docs for rule semantics.
+#[derive(Clone, Debug)]
+pub struct SloEngine {
+    config: SloConfig,
+    health: Health,
+    consecutive_bad: u64,
+    consecutive_good: u64,
+    pf_window: VecDeque<f64>,
+    alerts: Vec<SloAlert>,
+    alerts_dropped: u64,
+    evaluations: u64,
+    warns: u64,
+    breaches: u64,
+    recoveries: u64,
+}
+
+impl SloEngine {
+    /// Build an evaluator from a validated config.
+    pub fn new(config: SloConfig) -> Result<SloEngine, String> {
+        config.validate()?;
+        Ok(SloEngine {
+            pf_window: VecDeque::with_capacity(config.burn_long),
+            config,
+            health: Health::Ok,
+            consecutive_bad: 0,
+            consecutive_good: 0,
+            alerts: Vec::new(),
+            alerts_dropped: 0,
+            evaluations: 0,
+            warns: 0,
+            breaches: 0,
+            recoveries: 0,
+        })
+    }
+
+    /// Evaluate one epoch. Returns the transition fired this epoch, if any;
+    /// the new health is [`SloEngine::health`].
+    pub fn evaluate(&mut self, s: &EpochSample) -> Option<SloAlert> {
+        self.evaluations += 1;
+        self.pf_window.push_back(s.realized_pf);
+        while self.pf_window.len() > self.config.burn_long {
+            self.pf_window.pop_front();
+        }
+        if s.epoch < self.config.grace_epochs {
+            return None;
+        }
+
+        let mut violations: Vec<(&'static str, f64, f64)> = Vec::new();
+        if s.realized_pf < self.config.target_pf {
+            violations.push(("pf_floor", s.realized_pf, self.config.target_pf));
+        }
+        if s.age_p95 > self.config.staleness_p95_max {
+            violations.push(("staleness_p95", s.age_p95, self.config.staleness_p95_max));
+        }
+        let shed_rate = s.shed / s.dispatched.max(1) as f64;
+        if shed_rate > self.config.shed_rate_max {
+            violations.push(("shed_rate", shed_rate, self.config.shed_rate_max));
+        }
+        let mut burn_violated = false;
+        if self.pf_window.len() >= self.config.burn_short {
+            let short = self.burn_rate(self.config.burn_short);
+            let long = self.burn_rate(self.config.burn_long);
+            if short > self.config.burn_factor && long > self.config.burn_factor {
+                burn_violated = true;
+                violations.push(("burn_rate", short, self.config.burn_factor));
+            }
+        }
+
+        if violations.is_empty() {
+            self.consecutive_bad = 0;
+            self.consecutive_good += 1;
+            if self.health != Health::Ok && self.consecutive_good >= self.config.clear_after {
+                self.recoveries += 1;
+                return Some(self.transition(s.epoch, Health::Ok, "recovered", 0.0, 0.0));
+            }
+            return None;
+        }
+        self.consecutive_good = 0;
+        self.consecutive_bad += 1;
+        let target = if burn_violated || self.consecutive_bad >= self.config.breach_after {
+            Health::Breach
+        } else {
+            Health::Warn
+        };
+        if target <= self.health {
+            return None;
+        }
+        let (rule, value, threshold) = if target == Health::Breach && burn_violated {
+            *violations.iter().find(|v| v.0 == "burn_rate").unwrap()
+        } else {
+            violations[0]
+        };
+        if target == Health::Warn {
+            self.warns += 1;
+        } else {
+            self.breaches += 1;
+        }
+        Some(self.transition(s.epoch, target, rule, value, threshold))
+    }
+
+    /// Mean PF shortfall over the trailing `window` epochs divided by the
+    /// error budget `1 - target_pf` (the burn rate: 1.0 = exactly on
+    /// budget, 2.0 = burning twice as fast as sustainable).
+    fn burn_rate(&self, window: usize) -> f64 {
+        let n = window.min(self.pf_window.len());
+        if n == 0 {
+            return 0.0;
+        }
+        let shortfall: f64 = self
+            .pf_window
+            .iter()
+            .rev()
+            .take(n)
+            .map(|pf| (1.0 - pf).max(0.0))
+            .sum();
+        (shortfall / n as f64) / (1.0 - self.config.target_pf)
+    }
+
+    fn transition(
+        &mut self,
+        epoch: u64,
+        to: Health,
+        rule: &str,
+        value: f64,
+        threshold: f64,
+    ) -> SloAlert {
+        self.health = to;
+        let alert = SloAlert {
+            epoch,
+            health: to,
+            rule: rule.to_string(),
+            value,
+            threshold,
+        };
+        if self.alerts.len() >= self.config.max_alerts {
+            self.alerts.remove(0);
+            self.alerts_dropped += 1;
+        }
+        self.alerts.push(alert.clone());
+        alert
+    }
+
+    /// Current health.
+    pub fn health(&self) -> Health {
+        self.health
+    }
+
+    /// The configured thresholds.
+    pub fn config(&self) -> &SloConfig {
+        &self.config
+    }
+
+    /// Retained alerts, oldest first.
+    pub fn alerts(&self) -> &[SloAlert] {
+        &self.alerts
+    }
+
+    /// Alerts evicted from the bounded journal.
+    pub fn alerts_dropped(&self) -> u64 {
+        self.alerts_dropped
+    }
+
+    /// Total epochs evaluated.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Total transitions into `Warn`.
+    pub fn warns(&self) -> u64 {
+        self.warns
+    }
+
+    /// Total transitions into `Breach`.
+    pub fn breaches(&self) -> u64 {
+        self.breaches
+    }
+
+    /// Total recoveries to `Ok`.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// Snapshot the evaluator for checkpointing.
+    pub fn export(&self) -> SloState {
+        SloState {
+            health: self.health.as_u8(),
+            consecutive_bad: self.consecutive_bad,
+            consecutive_good: self.consecutive_good,
+            pf_window: self.pf_window.iter().copied().collect(),
+            alerts: self.alerts.clone(),
+            alerts_dropped: self.alerts_dropped,
+            evaluations: self.evaluations,
+            warns: self.warns,
+            breaches: self.breaches,
+            recoveries: self.recoveries,
+        }
+    }
+
+    /// Rebuild an evaluator from checkpointed state under `config`.
+    pub fn from_state(config: SloConfig, state: &SloState) -> Result<SloEngine, String> {
+        config.validate()?;
+        let health =
+            Health::from_u8(state.health).ok_or_else(|| "invalid SLO health byte".to_string())?;
+        if state.pf_window.len() > config.burn_long {
+            return Err("SLO pf window exceeds burn_long".to_string());
+        }
+        if state.pf_window.iter().any(|pf| !pf.is_finite()) {
+            return Err("SLO pf window holds a non-finite value".to_string());
+        }
+        if state.alerts.len() > config.max_alerts {
+            return Err("SLO alert journal exceeds max_alerts".to_string());
+        }
+        Ok(SloEngine {
+            config,
+            health,
+            consecutive_bad: state.consecutive_bad,
+            consecutive_good: state.consecutive_good,
+            pf_window: state.pf_window.iter().copied().collect(),
+            alerts: state.alerts.clone(),
+            alerts_dropped: state.alerts_dropped,
+            evaluations: state.evaluations,
+            warns: state.warns,
+            breaches: state.breaches,
+            recoveries: state.recoveries,
+        })
+    }
+
+    /// The `/health` response body: current state, rule thresholds,
+    /// transition counters, and the most recent alerts.
+    pub fn health_json(&self, epoch: u64) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\"state\": ");
+        push_str_literal(&mut out, self.health.as_str());
+        out.push_str(", \"epoch\": ");
+        push_u64(&mut out, epoch);
+        out.push_str(", \"target_pf\": ");
+        push_f64(&mut out, self.config.target_pf);
+        for (key, v) in [
+            ("evaluations", self.evaluations),
+            ("warns", self.warns),
+            ("breaches", self.breaches),
+            ("recoveries", self.recoveries),
+            ("consecutive_bad", self.consecutive_bad),
+            ("consecutive_good", self.consecutive_good),
+            ("alerts_dropped", self.alerts_dropped),
+        ] {
+            out.push_str(", \"");
+            out.push_str(key);
+            out.push_str("\": ");
+            push_u64(&mut out, v);
+        }
+        out.push_str(", \"alerts\": [");
+        let recent = self.alerts.len().saturating_sub(8);
+        for (i, a) in self.alerts[recent..].iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str("{\"epoch\": ");
+            push_u64(&mut out, a.epoch);
+            out.push_str(", \"state\": ");
+            push_str_literal(&mut out, a.health.as_str());
+            out.push_str(", \"rule\": ");
+            push_str_literal(&mut out, &a.rule);
+            out.push_str(", \"value\": ");
+            push_f64(&mut out, a.value);
+            out.push_str(", \"threshold\": ");
+            push_f64(&mut out, a.threshold);
+            out.push('}');
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(epoch: u64, pf: f64) -> EpochSample {
+        EpochSample {
+            epoch,
+            realized_pf: pf,
+            dispatched: 10,
+            ..EpochSample::default()
+        }
+    }
+
+    fn engine(config: SloConfig) -> SloEngine {
+        SloEngine::new(config).unwrap()
+    }
+
+    #[test]
+    fn validates_config() {
+        assert!(SloConfig::default().validate().is_ok());
+        for mutate in [
+            (|c: &mut SloConfig| c.target_pf = 1.0) as fn(&mut SloConfig),
+            |c| c.target_pf = f64::NAN,
+            |c| c.burn_short = 0,
+            |c| c.burn_long = 2,
+            |c| c.burn_factor = 0.0,
+            |c| c.breach_after = 0,
+            |c| c.clear_after = 0,
+            |c| c.max_alerts = 0,
+            |c| c.staleness_p95_max = -1.0,
+            |c| c.shed_rate_max = f64::NAN,
+        ] {
+            let mut c = SloConfig {
+                burn_short: 5,
+                ..SloConfig::default()
+            };
+            mutate(&mut c);
+            assert!(c.validate().is_err(), "{c:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn healthy_run_stays_ok() {
+        let mut slo = engine(SloConfig::default());
+        for e in 0..50 {
+            assert!(slo.evaluate(&sample(e, 0.95)).is_none());
+        }
+        assert_eq!(slo.health(), Health::Ok);
+        assert_eq!(slo.evaluations(), 50);
+        assert!(slo.alerts().is_empty());
+    }
+
+    #[test]
+    fn sustained_pf_violation_walks_ok_warn_breach_then_recovers() {
+        let cfg = SloConfig {
+            breach_after: 3,
+            clear_after: 2,
+            // Burn windows long enough that the streak rule fires first.
+            burn_factor: 1e9,
+            ..SloConfig::default()
+        };
+        let mut slo = engine(cfg);
+        assert!(slo.evaluate(&sample(0, 0.9)).is_none());
+
+        let warn = slo
+            .evaluate(&sample(1, 0.4))
+            .expect("first violation warns");
+        assert_eq!(warn.health, Health::Warn);
+        assert_eq!(warn.rule, "pf_floor");
+        assert_eq!(slo.health(), Health::Warn);
+
+        assert!(
+            slo.evaluate(&sample(2, 0.4)).is_none(),
+            "streak of 2 stays Warn"
+        );
+        let breach = slo.evaluate(&sample(3, 0.4)).expect("streak of 3 breaches");
+        assert_eq!(breach.health, Health::Breach);
+        assert_eq!(slo.health(), Health::Breach);
+
+        assert!(slo.evaluate(&sample(4, 0.9)).is_none(), "one clean epoch");
+        let rec = slo
+            .evaluate(&sample(5, 0.9))
+            .expect("two clean epochs recover");
+        assert_eq!(rec.health, Health::Ok);
+        assert_eq!(rec.rule, "recovered");
+        assert_eq!(slo.health(), Health::Ok);
+        assert_eq!((slo.warns(), slo.breaches(), slo.recoveries()), (1, 1, 1));
+    }
+
+    #[test]
+    fn burn_rate_escalates_straight_to_breach() {
+        let cfg = SloConfig {
+            target_pf: 0.9,
+            burn_short: 2,
+            burn_long: 4,
+            burn_factor: 2.0,
+            breach_after: 100, // the streak rule must not be the trigger
+            ..SloConfig::default()
+        };
+        let mut slo = engine(cfg);
+        // PF 0.6 burns (1-0.6)/(1-0.9) = 4× budget in every window.
+        assert!(slo.evaluate(&sample(0, 0.6)).is_some(), "instant Warn");
+        let alert = slo.evaluate(&sample(1, 0.6)).expect("short window filled");
+        assert_eq!(alert.health, Health::Breach);
+        assert_eq!(alert.rule, "burn_rate");
+        assert!(alert.value > 2.0);
+    }
+
+    #[test]
+    fn staleness_and_shed_rules_fire() {
+        let cfg = SloConfig {
+            target_pf: 0.1,
+            staleness_p95_max: 5.0,
+            shed_rate_max: 0.5,
+            ..SloConfig::default()
+        };
+        let mut slo = engine(cfg);
+        let mut s = sample(0, 0.9);
+        s.age_p95 = 9.0;
+        let a = slo.evaluate(&s).expect("staleness violation warns");
+        assert_eq!(a.rule, "staleness_p95");
+
+        let mut slo = engine(SloConfig {
+            target_pf: 0.1,
+            shed_rate_max: 0.5,
+            ..SloConfig::default()
+        });
+        let mut s = sample(0, 0.9);
+        s.shed = 20.0;
+        s.dispatched = 10;
+        let a = slo.evaluate(&s).expect("shed violation warns");
+        assert_eq!(a.rule, "shed_rate");
+        assert_eq!(a.value, 2.0);
+    }
+
+    #[test]
+    fn grace_epochs_suppress_evaluation() {
+        let cfg = SloConfig {
+            grace_epochs: 5,
+            ..SloConfig::default()
+        };
+        let mut slo = engine(cfg);
+        for e in 0..5 {
+            assert!(slo.evaluate(&sample(e, 0.0)).is_none());
+        }
+        assert_eq!(slo.health(), Health::Ok);
+        assert!(slo.evaluate(&sample(5, 0.0)).is_some(), "grace over");
+    }
+
+    #[test]
+    fn alert_journal_is_bounded_and_counts_drops() {
+        let cfg = SloConfig {
+            breach_after: 1_000_000,
+            clear_after: 1,
+            burn_factor: 1e9,
+            max_alerts: 4,
+            ..SloConfig::default()
+        };
+        let mut slo = engine(cfg);
+        // Alternate violation/clean so every epoch pair fires two
+        // transitions (Warn, then recovery).
+        for e in 0..32 {
+            let pf = if e % 2 == 0 { 0.0 } else { 1.0 };
+            slo.evaluate(&sample(e, pf));
+        }
+        assert_eq!(slo.alerts().len(), 4);
+        assert!(slo.alerts_dropped() > 0);
+        assert_eq!(
+            slo.warns() + slo.recoveries(),
+            slo.alerts().len() as u64 + slo.alerts_dropped()
+        );
+    }
+
+    #[test]
+    fn export_restore_roundtrips_and_preserves_behavior() {
+        let cfg = SloConfig {
+            breach_after: 3,
+            ..SloConfig::default()
+        };
+        let mut a = engine(cfg.clone());
+        for e in 0..10 {
+            a.evaluate(&sample(e, if e > 6 { 0.2 } else { 0.95 }));
+        }
+        let state = a.export();
+        let mut b = SloEngine::from_state(cfg, &state).unwrap();
+        assert_eq!(b.export(), state);
+        // Identical future inputs produce identical transitions.
+        for e in 10..16 {
+            assert_eq!(a.evaluate(&sample(e, 0.2)), b.evaluate(&sample(e, 0.2)));
+            assert_eq!(a.health(), b.health());
+        }
+    }
+
+    #[test]
+    fn from_state_rejects_corruption() {
+        let cfg = SloConfig::default();
+        let good = engine(cfg.clone()).export();
+        let mut bad = good.clone();
+        bad.health = 9;
+        assert!(SloEngine::from_state(cfg.clone(), &bad).is_err());
+        let mut bad = good.clone();
+        bad.pf_window = vec![0.5; cfg.burn_long + 1];
+        assert!(SloEngine::from_state(cfg.clone(), &bad).is_err());
+        let mut bad = good;
+        bad.pf_window = vec![f64::NAN];
+        assert!(SloEngine::from_state(cfg, &bad).is_err());
+    }
+
+    #[test]
+    fn health_json_is_well_formed_and_labeled() {
+        let mut slo = engine(SloConfig::default());
+        for e in 0..6 {
+            slo.evaluate(&sample(e, 0.1));
+        }
+        let body = slo.health_json(5);
+        assert!(body.contains("\"state\": \"breach\""), "{body}");
+        assert!(body.contains("\"rule\": \"pf_floor\""));
+        assert!(body.contains("\"breaches\": 1"));
+    }
+}

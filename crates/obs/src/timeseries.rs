@@ -1,0 +1,373 @@
+//! Fixed-capacity per-epoch telemetry ring with power-of-two downsampling.
+//!
+//! The engine pushes one [`EpochSample`] per epoch. The ring holds at most
+//! `capacity` samples; when it fills, every other retained sample is evicted
+//! and the admission stride doubles, so a week-long run keeps a bounded,
+//! evenly spaced timeline instead of either growing without bound or losing
+//! its history. Memory is `capacity × size_of::<EpochSample>()`, allocated
+//! once.
+//!
+//! Samples carry only deterministic run state (PF, ages, credit, counts)
+//! plus a wall-clock request-latency summary annotated after the fact by the
+//! serve loop. The ring itself is deterministic: which epochs are retained
+//! depends only on epoch indices, never on timing, so a resumed run rebuilds
+//! the identical ring.
+
+use crate::json::{push_f64, push_u64};
+
+/// Default ring capacity used by the engine (rounded to a power of two).
+pub const DEFAULT_SERIES_CAPACITY: usize = 1024;
+
+/// One epoch's telemetry snapshot.
+///
+/// All fields except `requests`/`request_p95_us` derive from deterministic
+/// engine state. The two request fields are wall-clock serve-loop
+/// annotations and default to zero; they never feed back into the run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EpochSample {
+    /// Epoch index (0-based).
+    pub epoch: u64,
+    /// Realized perceived freshness for this epoch.
+    pub realized_pf: f64,
+    /// Jeffreys drift score between live estimates and the solve baseline.
+    pub drift: f64,
+    /// Median per-element age (time since last poll) at the epoch boundary.
+    pub age_p50: f64,
+    /// 95th-percentile per-element age at the epoch boundary.
+    pub age_p95: f64,
+    /// Maximum per-element age at the epoch boundary.
+    pub age_max: f64,
+    /// Total dispatcher credit retained across the epoch boundary.
+    pub credit: f64,
+    /// Cumulative exact re-solves so far.
+    pub resolves: u64,
+    /// Cumulative drift-gated solve skips so far.
+    pub skips: u64,
+    /// Credit shed by the dispatcher this epoch (backlog-cap overflow).
+    pub shed: f64,
+    /// Poll attempts dispatched this epoch.
+    pub dispatched: u64,
+    /// Access events observed this epoch.
+    pub accesses: u64,
+    /// Accesses served stale this epoch.
+    pub stale_served: u64,
+    /// SLO health at this epoch (`Health` as u8; 0 when SLOs are unarmed).
+    pub health: u8,
+    /// Control-plane requests handled during this epoch (serve annotation).
+    pub requests: u64,
+    /// p95 control-plane request latency in µs (serve annotation).
+    pub request_p95_us: f64,
+}
+
+/// Portable ring state for checkpoint/restore.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TimeSeriesState {
+    /// Admission stride: only epochs divisible by it are retained.
+    pub stride: u64,
+    /// Retained samples, oldest first.
+    pub samples: Vec<EpochSample>,
+}
+
+/// The downsampling ring. See the module docs for the eviction policy.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimeSeries {
+    capacity: usize,
+    stride: u64,
+    samples: Vec<EpochSample>,
+}
+
+impl Default for TimeSeries {
+    fn default() -> Self {
+        TimeSeries::new(DEFAULT_SERIES_CAPACITY)
+    }
+}
+
+impl TimeSeries {
+    /// A ring holding at most `capacity` samples (rounded up to a power of
+    /// two, minimum 2).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(2).next_power_of_two();
+        TimeSeries {
+            capacity,
+            stride: 1,
+            samples: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Offer one epoch's sample. Samples whose epoch is not a multiple of
+    /// the current stride are discarded; a full ring halves itself and
+    /// doubles the stride first.
+    pub fn push(&mut self, sample: EpochSample) {
+        if !sample.epoch.is_multiple_of(self.stride) {
+            return;
+        }
+        if self.samples.len() >= self.capacity {
+            self.stride *= 2;
+            let stride = self.stride;
+            self.samples.retain(|s| s.epoch.is_multiple_of(stride));
+            if !sample.epoch.is_multiple_of(stride) {
+                return;
+            }
+        }
+        self.samples.push(sample);
+    }
+
+    /// Attach a request-latency summary to the retained sample for `epoch`,
+    /// if that epoch survived downsampling. Serve-loop only; reports never
+    /// read these fields.
+    pub fn annotate_requests(&mut self, epoch: u64, requests: u64, p95_us: f64) {
+        if let Some(s) = self.samples.iter_mut().rev().find(|s| s.epoch == epoch) {
+            s.requests = requests;
+            s.request_p95_us = p95_us;
+        }
+    }
+
+    /// Retained samples, oldest first.
+    pub fn samples(&self) -> &[EpochSample] {
+        &self.samples
+    }
+
+    /// Current admission stride (power of two, starts at 1).
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// Maximum retained samples.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the ring holds no samples yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Snapshot the ring for checkpointing.
+    pub fn export(&self) -> TimeSeriesState {
+        TimeSeriesState {
+            stride: self.stride,
+            samples: self.samples.clone(),
+        }
+    }
+
+    /// Rebuild a ring from checkpointed state, validating the invariants
+    /// the push path maintains.
+    pub fn from_state(
+        capacity: usize,
+        state: &TimeSeriesState,
+    ) -> Result<TimeSeries, &'static str> {
+        let capacity = capacity.max(2).next_power_of_two();
+        if state.stride == 0 || !state.stride.is_power_of_two() {
+            return Err("time-series stride must be a power of two");
+        }
+        if state.samples.len() > capacity {
+            return Err("time-series sample count exceeds capacity");
+        }
+        if state.samples.windows(2).any(|w| w[0].epoch >= w[1].epoch) {
+            return Err("time-series epochs must be strictly increasing");
+        }
+        if state.samples.iter().any(|s| s.epoch % state.stride != 0) {
+            return Err("time-series sample off the admission stride");
+        }
+        Ok(TimeSeries {
+            capacity,
+            stride: state.stride,
+            samples: state.samples.clone(),
+        })
+    }
+
+    /// Render a window of the series as JSON: samples with `epoch >= since`,
+    /// keeping only the `limit` most recent when `limit > 0`.
+    pub fn to_json(&self, since: u64, limit: usize) -> String {
+        let eligible: Vec<&EpochSample> =
+            self.samples.iter().filter(|s| s.epoch >= since).collect();
+        let skip = if limit > 0 && eligible.len() > limit {
+            eligible.len() - limit
+        } else {
+            0
+        };
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"stride\": ");
+        push_u64(&mut out, self.stride);
+        out.push_str(", \"retained\": ");
+        push_u64(&mut out, self.samples.len() as u64);
+        out.push_str(", \"samples\": [");
+        for (i, s) in eligible.into_iter().skip(skip).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  ");
+            push_sample(&mut out, s);
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+fn push_sample(out: &mut String, s: &EpochSample) {
+    out.push_str("{\"epoch\": ");
+    push_u64(out, s.epoch);
+    for (key, v) in [
+        ("realized_pf", s.realized_pf),
+        ("drift", s.drift),
+        ("age_p50", s.age_p50),
+        ("age_p95", s.age_p95),
+        ("age_max", s.age_max),
+        ("credit", s.credit),
+        ("shed", s.shed),
+        ("request_p95_us", s.request_p95_us),
+    ] {
+        out.push_str(", \"");
+        out.push_str(key);
+        out.push_str("\": ");
+        push_f64(out, v);
+    }
+    for (key, v) in [
+        ("resolves", s.resolves),
+        ("skips", s.skips),
+        ("dispatched", s.dispatched),
+        ("accesses", s.accesses),
+        ("stale_served", s.stale_served),
+        ("health", s.health as u64),
+        ("requests", s.requests),
+    ] {
+        out.push_str(", \"");
+        out.push_str(key);
+        out.push_str("\": ");
+        push_u64(out, v);
+    }
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(epoch: u64) -> EpochSample {
+        EpochSample {
+            epoch,
+            realized_pf: 0.9,
+            ..EpochSample::default()
+        }
+    }
+
+    #[test]
+    fn fills_without_downsampling_below_capacity() {
+        let mut ts = TimeSeries::new(8);
+        for e in 0..8 {
+            ts.push(sample(e));
+        }
+        assert_eq!(ts.len(), 8);
+        assert_eq!(ts.stride(), 1);
+        let epochs: Vec<u64> = ts.samples().iter().map(|s| s.epoch).collect();
+        assert_eq!(epochs, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn doubles_stride_when_full_and_stays_bounded() {
+        let mut ts = TimeSeries::new(8);
+        for e in 0..1000 {
+            ts.push(sample(e));
+        }
+        assert!(ts.len() <= 8, "ring overflowed: {}", ts.len());
+        assert!(ts.stride().is_power_of_two());
+        assert!(
+            ts.stride() >= 128,
+            "1000 epochs into 8 slots needs stride ≥ 128"
+        );
+        // Retained epochs are stride-aligned and strictly increasing.
+        let stride = ts.stride();
+        assert!(ts.samples().iter().all(|s| s.epoch % stride == 0));
+        assert!(ts.samples().windows(2).all(|w| w[0].epoch < w[1].epoch));
+        // Epoch 0 is always retained: the timeline keeps its origin.
+        assert_eq!(ts.samples()[0].epoch, 0);
+    }
+
+    #[test]
+    fn retention_depends_only_on_epoch_indices() {
+        // Two rings fed the same epochs retain identical timelines —
+        // the property kill/resume parity rests on.
+        let mut a = TimeSeries::new(16);
+        let mut b = TimeSeries::new(16);
+        for e in 0..500 {
+            a.push(sample(e));
+        }
+        for e in 0..300 {
+            b.push(sample(e));
+        }
+        let restored = TimeSeries::from_state(16, &b.export()).unwrap();
+        let mut b = restored;
+        for e in 300..500 {
+            b.push(sample(e));
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_state_rejects_corrupt_rings() {
+        let good = {
+            let mut ts = TimeSeries::new(4);
+            for e in 0..3 {
+                ts.push(sample(e));
+            }
+            ts.export()
+        };
+        assert!(TimeSeries::from_state(4, &good).is_ok());
+
+        let mut bad = good.clone();
+        bad.stride = 3;
+        assert!(TimeSeries::from_state(4, &bad).is_err(), "non-power stride");
+
+        let mut bad = good.clone();
+        bad.samples.swap(0, 2);
+        assert!(TimeSeries::from_state(4, &bad).is_err(), "unsorted epochs");
+
+        let mut bad = good.clone();
+        bad.stride = 2;
+        assert!(
+            TimeSeries::from_state(4, &bad).is_err(),
+            "odd epochs off a stride-2 grid"
+        );
+
+        let mut bad = good;
+        bad.samples.extend((3..20).map(sample));
+        assert!(TimeSeries::from_state(4, &bad).is_err(), "over capacity");
+    }
+
+    #[test]
+    fn annotation_targets_the_right_epoch_and_tolerates_evicted_ones() {
+        let mut ts = TimeSeries::new(4);
+        for e in 0..4 {
+            ts.push(sample(e));
+        }
+        ts.annotate_requests(3, 17, 250.0);
+        let s = ts.samples().iter().find(|s| s.epoch == 3).unwrap();
+        assert_eq!(s.requests, 17);
+        assert_eq!(s.request_p95_us, 250.0);
+        // Annotating an epoch that was never retained is a no-op.
+        ts.annotate_requests(999, 1, 1.0);
+        assert!(ts.samples().iter().all(|s| s.epoch != 999));
+    }
+
+    #[test]
+    fn json_window_filters_and_limits() {
+        let mut ts = TimeSeries::new(16);
+        for e in 0..10 {
+            ts.push(sample(e));
+        }
+        let all = ts.to_json(0, 0);
+        assert!(all.contains("\"epoch\": 0"));
+        assert!(all.contains("\"epoch\": 9"));
+        let tail = ts.to_json(5, 2);
+        assert!(!tail.contains("\"epoch\": 4"), "{tail}");
+        assert!(!tail.contains("\"epoch\": 7"), "limit keeps newest: {tail}");
+        assert!(tail.contains("\"epoch\": 8"));
+        assert!(tail.contains("\"epoch\": 9"));
+        assert!(tail.contains("\"stride\": 1"));
+    }
+}

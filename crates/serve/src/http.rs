@@ -1,12 +1,17 @@
 //! Zero-dependency HTTP/1.1 control plane on [`std::net::TcpListener`].
 //!
-//! The plane serves five routes from a single accept-loop thread:
+//! The plane serves these routes from a single accept-loop thread:
 //!
 //! | route              | effect                                          |
 //! |--------------------|-------------------------------------------------|
 //! | `GET /status`      | run progress JSON (epoch, PF, resolves, drift)  |
 //! | `GET /schedule`    | the active schedule JSON                        |
-//! | `GET /metrics`     | the freshen-obs metrics export                  |
+//! | `GET /metrics`     | the freshen-obs metrics export; add             |
+//! |                    | `?format=prometheus` for text exposition        |
+//! | `GET /health`      | SLO health JSON; 200 while `Ok`/`Warn`, 503 on  |
+//! |                    | `Breach` (load-balancer friendly)               |
+//! | `GET /timeseries`  | windowed per-epoch telemetry JSON               |
+//! |                    | (`?since=<epoch>&limit=<n>`)                    |
 //! | `POST /checkpoint` | request a snapshot at the next epoch boundary   |
 //! | `POST /shutdown`   | request a graceful drain (finish the in-flight  |
 //! |                    | epoch, checkpoint, exit cleanly)                |
@@ -25,7 +30,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use freshen_obs::{duration_us_buckets, Recorder};
+use freshen_obs::{duration_us_buckets, prometheus, Recorder, TimeSeries};
 
 /// Upper bound on a request head; anything longer is rejected with 431.
 const MAX_HEAD: usize = 8 * 1024;
@@ -42,6 +47,13 @@ pub struct ControlShared {
     pub status: Mutex<String>,
     /// Current `/schedule` response body, refreshed each epoch.
     pub schedule: Mutex<String>,
+    /// Current `/health` response body, refreshed each epoch.
+    pub health: Mutex<String>,
+    /// Mirror of the engine's telemetry ring, refreshed each epoch;
+    /// `/timeseries` windows it with `since`/`limit`.
+    pub series: Mutex<TimeSeries>,
+    /// True while SLO health is `Breach`; flips `/health` to 503.
+    pub health_breach: AtomicBool,
     /// Set by `POST /checkpoint`, cleared by the serve loop after the
     /// next epoch-boundary snapshot.
     pub checkpoint_requested: AtomicBool,
@@ -148,6 +160,7 @@ fn handle(
         let response = respond(
             stream,
             431,
+            JSON,
             "{\"error\":\"request head too large or torn\"}",
         );
         // Drain whatever the client already sent before closing: a close
@@ -161,12 +174,16 @@ fn handle(
     let head = String::from_utf8_lossy(&head);
     let mut request_line = head.lines().next().unwrap_or("").split_whitespace();
     let method = request_line.next().unwrap_or("");
-    let path = request_line.next().unwrap_or("");
+    let target = request_line.next().unwrap_or("");
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
 
     match (method, path) {
         ("GET", "/status") => {
             let body = shared.status.lock().map(|s| s.clone()).unwrap_or_default();
-            respond(stream, 200, &body)
+            respond(stream, 200, JSON, &body)
         }
         ("GET", "/schedule") => {
             let body = shared
@@ -174,39 +191,109 @@ fn handle(
                 .lock()
                 .map(|s| s.clone())
                 .unwrap_or_default();
-            respond(stream, 200, &body)
+            respond(stream, 200, JSON, &body)
         }
-        ("GET", "/metrics") => {
-            let body = recorder
-                .metrics_json()
-                .unwrap_or_else(|| "{\"counters\": {}, \"gauges\": {}, \"histograms\": {}}".into());
-            respond(stream, 200, &body)
+        ("GET", "/metrics") => match query_param(query, "format") {
+            None | Some("json") => {
+                let body = recorder.metrics_json().unwrap_or_else(|| {
+                    "{\"counters\": {}, \"gauges\": {}, \"histograms\": {}}".into()
+                });
+                respond(stream, 200, JSON, &body)
+            }
+            Some("prometheus") => {
+                let body = recorder.metrics_prometheus().unwrap_or_default();
+                respond(stream, 200, prometheus::CONTENT_TYPE, &body)
+            }
+            Some(_) => respond(
+                stream,
+                404,
+                JSON,
+                "{\"error\":\"unknown format (want json or prometheus)\"}",
+            ),
+        },
+        ("GET", "/health") => {
+            let body = shared.health.lock().map(|s| s.clone()).unwrap_or_default();
+            let body = if body.is_empty() {
+                "{\"state\": \"ok\"}\n".to_string()
+            } else {
+                body
+            };
+            let status = if shared.health_breach.load(Ordering::SeqCst) {
+                503
+            } else {
+                200
+            };
+            respond(stream, status, JSON, &body)
+        }
+        ("GET", "/timeseries") => {
+            let since = query_param(query, "since")
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(0);
+            let limit = query_param(query, "limit")
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(usize::MAX);
+            let body = shared
+                .series
+                .lock()
+                .map(|s| s.to_json(since, limit))
+                .unwrap_or_default();
+            respond(stream, 200, JSON, &body)
         }
         ("POST", "/checkpoint") => {
             shared.checkpoint_requested.store(true, Ordering::SeqCst);
-            respond(stream, 200, "{\"ok\": true, \"action\": \"checkpoint\"}")
+            respond(
+                stream,
+                200,
+                JSON,
+                "{\"ok\": true, \"action\": \"checkpoint\"}",
+            )
         }
         ("POST", "/shutdown") => {
             shared.shutdown_requested.store(true, Ordering::SeqCst);
-            respond(stream, 200, "{\"ok\": true, \"action\": \"shutdown\"}")
+            respond(
+                stream,
+                200,
+                JSON,
+                "{\"ok\": true, \"action\": \"shutdown\"}",
+            )
         }
-        (_, "/status" | "/schedule" | "/metrics" | "/checkpoint" | "/shutdown") => {
-            respond(stream, 405, "{\"error\":\"method not allowed\"}")
-        }
-        _ => respond(stream, 404, "{\"error\":\"no such route\"}"),
+        (
+            _,
+            "/status" | "/schedule" | "/metrics" | "/health" | "/timeseries" | "/checkpoint"
+            | "/shutdown",
+        ) => respond(stream, 405, JSON, "{\"error\":\"method not allowed\"}"),
+        _ => respond(stream, 404, JSON, "{\"error\":\"no such route\"}"),
     }
 }
 
-fn respond(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+/// Look up `key` in a raw query string (`a=1&b=2`). No percent-decoding:
+/// every value this plane accepts is alphanumeric.
+fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query
+        .split('&')
+        .filter_map(|pair| pair.split_once('='))
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| v)
+}
+
+const JSON: &str = "application/json";
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
     let reason = match status {
         200 => "OK",
         404 => "Not Found",
         405 => "Method Not Allowed",
         431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
         _ => "Error",
     };
     let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
     stream.write_all(head.as_bytes())?;
@@ -284,6 +371,68 @@ mod tests {
 
         plane.stop();
         assert!(recorder.counter_value("serve.requests").unwrap() >= 7);
+    }
+
+    #[test]
+    fn health_route_tracks_the_breach_flag() {
+        let (plane, shared, _recorder) = start_test_plane();
+        let addr = plane.local_addr();
+
+        // No health body published yet: a bare 200 "ok".
+        let (status, body) = request(addr, "GET", "/health").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"ok\""), "{body}");
+
+        *shared.health.lock().unwrap() = "{\"state\": \"breach\"}\n".to_string();
+        shared.health_breach.store(true, Ordering::SeqCst);
+        let (status, body) = request(addr, "GET", "/health").unwrap();
+        assert_eq!(status, 503);
+        assert!(body.contains("\"breach\""), "{body}");
+
+        shared.health_breach.store(false, Ordering::SeqCst);
+        let (status, _) = request(addr, "GET", "/health").unwrap();
+        assert_eq!(status, 200);
+        plane.stop();
+    }
+
+    #[test]
+    fn metrics_format_and_timeseries_windowing() {
+        use freshen_obs::EpochSample;
+        let (plane, shared, recorder) = start_test_plane();
+        let addr = plane.local_addr();
+        recorder.counter("probe_total").add(3);
+        {
+            let mut series = shared.series.lock().unwrap();
+            for epoch in 0..6 {
+                series.push(EpochSample {
+                    epoch,
+                    realized_pf: 0.9,
+                    ..EpochSample::default()
+                });
+            }
+        }
+
+        let (status, body) = request(addr, "GET", "/metrics?format=prometheus").unwrap();
+        assert_eq!(status, 200);
+        prometheus::validate_exposition(&body).unwrap();
+        assert!(body.contains("probe_total 3"), "{body}");
+
+        let (status, body) = request(addr, "GET", "/metrics?format=csv").unwrap();
+        assert_eq!(status, 404, "unknown format rejected: {body}");
+
+        let (status, body) = request(addr, "GET", "/timeseries?since=4&limit=10").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"epoch\": 4"), "{body}");
+        assert!(body.contains("\"epoch\": 5"), "{body}");
+        assert!(!body.contains("\"epoch\": 3"), "{body}");
+
+        let (status, body) = request(addr, "GET", "/timeseries?limit=1").unwrap();
+        assert_eq!(status, 200);
+        assert!(
+            body.contains("\"epoch\": 5") && !body.contains("\"epoch\": 4"),
+            "{body}"
+        );
+        plane.stop();
     }
 
     #[test]

@@ -22,7 +22,7 @@ use freshen_engine::{
     replay_accesses, Engine, EngineConfig, EngineReport, LiveAccessStream, LivePollSource,
     ReplayPollSource,
 };
-use freshen_obs::Recorder;
+use freshen_obs::{duration_us_buckets, Health, Recorder};
 use freshen_workload::trace::{AccessRecord, PollRecord};
 
 use crate::http::{ControlPlane, ControlShared};
@@ -388,6 +388,19 @@ impl Server {
             stepped += 1;
             epochs_counter.inc();
 
+            // Stamp the finished epoch's telemetry sample with
+            // control-plane load. Annotations are wall-clock
+            // observations — they ride along in the series (and its
+            // checkpoints) but never feed back into scheduling, so
+            // probed and unprobed runs produce identical reports.
+            let requests = self.recorder.counter_value("serve.requests").unwrap_or(0);
+            let p95 = self
+                .recorder
+                .histogram("serve.request_latency_us", &duration_us_buckets())
+                .quantile(0.95)
+                .unwrap_or(0.0);
+            engine.annotate_requests(stats.index as u64, requests, p95);
+
             let on_cadence = self.config.checkpoint_every > 0
                 && engine.epoch() % self.config.checkpoint_every == 0;
             let on_demand = self
@@ -456,6 +469,15 @@ impl Server {
         }
         if let Ok(mut view) = self.shared.schedule.lock() {
             *view = schedule_json;
+        }
+        if let Ok(mut view) = self.shared.health.lock() {
+            *view = engine.health_json().unwrap_or_default();
+        }
+        self.shared
+            .health_breach
+            .store(engine.health() == Health::Breach, Ordering::SeqCst);
+        if let Ok(mut view) = self.shared.series.lock() {
+            *view = engine.series().clone();
         }
     }
 }
@@ -684,6 +706,30 @@ mod tests {
             .run()
             .unwrap_err();
         assert!(err.to_string().contains("snapshot"), "{err}");
+    }
+
+    #[test]
+    fn slo_views_surface_breach_to_the_control_shared() {
+        let workload = live_workload(4);
+        let mut cfg = config(6, "slo");
+        // An unreachable freshness floor: the run must degrade to
+        // Breach, and the serve loop must surface that through the
+        // shared health view, the breach flag, and the series.
+        cfg.engine.slo = Some(freshen_obs::SloConfig {
+            target_pf: 0.999_999,
+            breach_after: 2,
+            ..freshen_obs::SloConfig::default()
+        });
+        let server = Server::new(workload, cfg).unwrap();
+        let control = server.control();
+        let outcome = server.run().unwrap();
+        assert_eq!(outcome.exit, ExitReason::Completed);
+        assert!(control.health_breach.load(Ordering::SeqCst));
+        let health = control.health.lock().unwrap().clone();
+        assert!(health.contains("\"state\": \"breach\""), "{health}");
+        let series = control.series.lock().unwrap().clone();
+        assert_eq!(series.len(), 6, "every epoch retained at this scale");
+        assert!(series.samples().iter().any(|s| s.health == 2));
     }
 
     #[test]

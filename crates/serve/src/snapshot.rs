@@ -6,7 +6,7 @@
 //! | offset | bytes | field                              |
 //! |--------|-------|------------------------------------|
 //! | 0      | 4     | magic `FRSN`                       |
-//! | 4      | 4     | format version (`u32`, currently 1)|
+//! | 4      | 4     | format version (`u32`, currently 2)|
 //! | 8      | 4     | CRC-32 of the payload (`u32`)      |
 //! | 12     | …     | payload                            |
 //!
@@ -31,11 +31,15 @@ use freshen_core::problem::Solution;
 use freshen_engine::report::EpochStats;
 use freshen_engine::state::{EngineState, EstimatorState};
 use freshen_engine::{EngineConfig, EstimatorKind, LivePollState};
+use freshen_obs::{EpochSample, Health, SloAlert, SloState, TimeSeriesState};
 
 /// File magic: the first four bytes of every snapshot.
 pub const MAGIC: [u8; 4] = *b"FRSN";
-/// Current format version.
-pub const VERSION: u32 = 1;
+/// Current format version. Version 2 added the telemetry time-series
+/// ring and the optional SLO-evaluator state; version-1 files are
+/// rejected (re-run from the trace rather than silently dropping the
+/// telemetry contract).
+pub const VERSION: u32 = 2;
 /// Upper bound on any encoded collection length — a CRC-valid file
 /// claiming more is rejected rather than allocated.
 const MAX_LEN: u64 = 1 << 24;
@@ -174,6 +178,28 @@ impl Enc {
             }
         }
     }
+    fn str(&mut self, v: &str) {
+        self.u64(v.len() as u64);
+        self.0.extend_from_slice(v.as_bytes());
+    }
+    fn sample(&mut self, s: &EpochSample) {
+        self.u64(s.epoch);
+        self.f64(s.realized_pf);
+        self.f64(s.drift);
+        self.f64(s.age_p50);
+        self.f64(s.age_p95);
+        self.f64(s.age_max);
+        self.f64(s.credit);
+        self.u64(s.resolves);
+        self.u64(s.skips);
+        self.f64(s.shed);
+        self.u64(s.dispatched);
+        self.u64(s.accesses);
+        self.u64(s.stale_served);
+        self.u8(s.health);
+        self.u64(s.requests);
+        self.f64(s.request_p95_us);
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -239,6 +265,35 @@ impl<'a> Dec<'a> {
             1 => Ok(Some(self.f64()?)),
             _ => Err(corrupt("option tag out of range")),
         }
+    }
+    fn str(&mut self) -> Result<String> {
+        let n = self.len()?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| corrupt("string field is not UTF-8"))
+    }
+    fn sample(&mut self) -> Result<EpochSample> {
+        let sample = EpochSample {
+            epoch: self.u64()?,
+            realized_pf: self.f64()?,
+            drift: self.f64()?,
+            age_p50: self.f64()?,
+            age_p95: self.f64()?,
+            age_max: self.f64()?,
+            credit: self.f64()?,
+            resolves: self.u64()?,
+            skips: self.u64()?,
+            shed: self.f64()?,
+            dispatched: self.u64()?,
+            accesses: self.u64()?,
+            stale_served: self.u64()?,
+            health: self.u8()?,
+            requests: self.u64()?,
+            request_p95_us: self.f64()?,
+        };
+        if Health::from_u8(sample.health).is_none() {
+            return Err(corrupt("sample health byte out of range"));
+        }
+        Ok(sample)
     }
     fn finish(&self) -> Result<()> {
         if self.pos != self.bytes.len() {
@@ -321,6 +376,34 @@ impl Snapshot {
             e.u64(epoch.deferred);
             e.f64(epoch.shed);
             e.f64(epoch.realized_pf);
+        }
+        e.u64(s.series.stride);
+        e.u64(s.series.samples.len() as u64);
+        for sample in &s.series.samples {
+            e.sample(sample);
+        }
+        match &s.slo {
+            None => e.u8(0),
+            Some(slo) => {
+                e.u8(1);
+                e.u8(slo.health);
+                e.u64(slo.consecutive_bad);
+                e.u64(slo.consecutive_good);
+                e.vec_f64(&slo.pf_window);
+                e.u64(slo.alerts.len() as u64);
+                for alert in &slo.alerts {
+                    e.u64(alert.epoch);
+                    e.u8(alert.health.as_u8());
+                    e.str(&alert.rule);
+                    e.f64(alert.value);
+                    e.f64(alert.threshold);
+                }
+                e.u64(slo.alerts_dropped);
+                e.u64(slo.evaluations);
+                e.u64(slo.warns);
+                e.u64(slo.breaches);
+                e.u64(slo.recoveries);
+            }
         }
 
         // Source state + stream position.
@@ -458,6 +541,54 @@ impl Snapshot {
                 realized_pf: d.f64()?,
             });
         }
+        let series = {
+            let stride = d.u64()?;
+            let n = d.len()?;
+            let mut samples = Vec::with_capacity(n);
+            for _ in 0..n {
+                samples.push(d.sample()?);
+            }
+            TimeSeriesState { stride, samples }
+        };
+        let slo = match d.u8()? {
+            0 => None,
+            1 => {
+                let health = d.u8()?;
+                if Health::from_u8(health).is_none() {
+                    return Err(corrupt("SLO health byte out of range"));
+                }
+                let consecutive_bad = d.u64()?;
+                let consecutive_good = d.u64()?;
+                let pf_window = d.vec_f64()?;
+                let n = d.len()?;
+                let mut alerts = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let epoch = d.u64()?;
+                    let health = Health::from_u8(d.u8()?)
+                        .ok_or_else(|| corrupt("alert health byte out of range"))?;
+                    alerts.push(SloAlert {
+                        epoch,
+                        health,
+                        rule: d.str()?,
+                        value: d.f64()?,
+                        threshold: d.f64()?,
+                    });
+                }
+                Some(SloState {
+                    health,
+                    consecutive_bad,
+                    consecutive_good,
+                    pf_window,
+                    alerts,
+                    alerts_dropped: d.u64()?,
+                    evaluations: d.u64()?,
+                    warns: d.u64()?,
+                    breaches: d.u64()?,
+                    recoveries: d.u64()?,
+                })
+            }
+            _ => return Err(corrupt("SLO tag out of range")),
+        };
         let engine = EngineState {
             last_poll,
             estimator: estimator_state,
@@ -472,6 +603,8 @@ impl Snapshot {
             credit,
             attempts,
             history,
+            series,
+            slo,
         };
 
         let source = match d.u8()? {
@@ -580,6 +713,45 @@ mod tests {
                     shed: 0.25,
                     realized_pf: 0.8,
                 }],
+                series: TimeSeriesState {
+                    stride: 2,
+                    samples: vec![EpochSample {
+                        epoch: 0,
+                        realized_pf: 0.8,
+                        drift: 0.02,
+                        age_p50: 0.5,
+                        age_p95: 0.9,
+                        age_max: 1.0,
+                        credit: 0.5,
+                        resolves: 2,
+                        skips: 3,
+                        shed: 0.25,
+                        dispatched: 6,
+                        accesses: 40,
+                        stale_served: 2,
+                        health: Health::Warn.as_u8(),
+                        requests: 17,
+                        request_p95_us: 850.0,
+                    }],
+                },
+                slo: Some(SloState {
+                    health: Health::Warn.as_u8(),
+                    consecutive_bad: 1,
+                    consecutive_good: 0,
+                    pf_window: vec![0.9, 0.8],
+                    alerts: vec![SloAlert {
+                        epoch: 0,
+                        health: Health::Warn,
+                        rule: "pf_floor".to_string(),
+                        value: 0.8,
+                        threshold: 0.85,
+                    }],
+                    alerts_dropped: 0,
+                    evaluations: 1,
+                    warns: 1,
+                    breaches: 0,
+                    recoveries: 0,
+                }),
             },
             source: SourceState::Live(LivePollState {
                 consumed: 21,
@@ -613,6 +785,8 @@ mod tests {
         snap.source = SourceState::Replay {
             cursors: vec![3, 0, 8],
         };
+        // SLO-unarmed variant exercises the `None` tag.
+        snap.engine.slo = None;
         assert_eq!(Snapshot::decode(&snap.encode()).unwrap(), snap);
     }
 

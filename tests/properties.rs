@@ -393,6 +393,7 @@ proptest! {
         for epoch in 0..6 {
             let credit_in = dispatcher.total_credit();
             let outcome = dispatcher.run_epoch(
+                epoch,
                 epoch as f64,
                 1.0,
                 &freqs,
@@ -707,6 +708,7 @@ fn dispatcher_ledger_balances_on_fixed_seeds() {
             let credit_in = dispatcher.total_credit();
             let outcome = dispatcher
                 .run_epoch(
+                    epoch,
                     epoch as f64,
                     1.0,
                     &freqs,

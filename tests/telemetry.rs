@@ -1,0 +1,183 @@
+//! Integration tests for the freshness-SLO telemetry layer (DESIGN.md
+//! §13): a served run that degrades mid-run — here, resumed with its
+//! poll budget cut to a few percent — must walk the SLO state machine
+//! from `Ok` to `Breach`, record the violated rule in its alert journal,
+//! and flip `/health` to 503, all without perturbing the deterministic
+//! engine underneath.
+
+use std::time::Duration;
+
+use freshen::engine::EngineConfig;
+use freshen::obs::{Recorder, SloConfig};
+use freshen::serve::{request, ExitReason, ServeConfig, ServeWorkload, Server};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("freshen-telemetry").join(tag);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn live_workload(n: usize) -> ServeWorkload {
+    let rates: Vec<f64> = (0..n).map(|i| 0.5 + (i % 5) as f64).collect();
+    let weights: Vec<f64> = (0..n).map(|i| 1.0 / (i + 1) as f64).collect();
+    ServeWorkload::Live {
+        problem: freshen::core::problem::Problem::builder()
+            .change_rates(rates)
+            .access_weights(weights)
+            .bandwidth(n as f64 * 0.75)
+            .build()
+            .expect("problem builds"),
+        access_rate: 120.0,
+    }
+}
+
+/// SLO rules a healthy run satisfies comfortably: a modest freshness
+/// floor, two consecutive violations to breach, and a grace window that
+/// skips warmup noise.
+fn slo_rules() -> SloConfig {
+    SloConfig {
+        target_pf: 0.3,
+        breach_after: 2,
+        clear_after: 2,
+        grace_epochs: 4,
+        ..SloConfig::default()
+    }
+}
+
+fn serve_config(dir: &std::path::Path, epochs: usize) -> ServeConfig {
+    ServeConfig {
+        engine: EngineConfig {
+            epochs,
+            warmup_epochs: 2,
+            failure_rate: 0.1,
+            seed: 23,
+            slo: Some(slo_rules()),
+            ..EngineConfig::default()
+        },
+        checkpoint_path: dir.join("run.snapshot"),
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn budget_cut_on_resume_walks_ok_to_breach_and_health_to_503() {
+    let dir = temp_dir("breach");
+    let workload = live_workload(6);
+    let epochs = 200;
+    let config = serve_config(&dir, epochs);
+
+    // Leg 1: run healthy for a while, then drain at a boundary. The SLO
+    // engine must still be in `Ok` when the snapshot is written.
+    let mut healthy = config.clone();
+    healthy.drain_after = Some(12);
+    let server = Server::new(workload.clone(), healthy).expect("server builds");
+    let control = server.control();
+    let outcome = server.run().expect("healthy leg");
+    assert_eq!(outcome.exit, ExitReason::Drained);
+    assert!(
+        !control
+            .health_breach
+            .load(std::sync::atomic::Ordering::SeqCst),
+        "healthy leg must drain in Ok"
+    );
+    let health = control.health.lock().unwrap().clone();
+    assert!(health.contains("\"state\": \"ok\""), "{health}");
+
+    // Leg 2: resume the same run with the poll budget cut to 3% — a
+    // legal resume (the budget factor is an operator knob, deliberately
+    // outside the snapshot shape) that starves the dispatcher and drags
+    // realized freshness under the SLO floor within a few epochs.
+    let recorder = Recorder::enabled();
+    let mut degraded = config.clone();
+    degraded.resume = Some(config.checkpoint_path.clone());
+    degraded.engine.budget_factor = 0.03;
+    degraded.listen = Some("127.0.0.1:0".to_string());
+    degraded.epoch_throttle = Some(Duration::from_millis(2));
+    let server = Server::new(workload, degraded)
+        .expect("server builds")
+        .with_recorder(recorder.clone());
+    let control = server.control();
+    let addr = server.local_addr().expect("bound");
+
+    // Poll /health until the breach surfaces as a 503, then drain.
+    let probe = std::thread::spawn(move || {
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        loop {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "no 503 before the run ended"
+            );
+            match request(addr, "GET", "/health") {
+                Ok((503, body)) => {
+                    assert!(body.contains("\"state\": \"breach\""), "{body}");
+                    assert!(body.contains("\"rule\": \"pf_floor\""), "{body}");
+                    break;
+                }
+                Ok((200, body)) => {
+                    assert!(body.contains("\"state\""), "{body}");
+                }
+                Ok((status, body)) => panic!("/health -> {status}: {body}"),
+                Err(e) => panic!("/health request failed mid-run: {e}"),
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let (status, _) = request(addr, "POST", "/shutdown").expect("/shutdown");
+        assert_eq!(status, 200);
+    });
+    let outcome = server.run().expect("degraded leg");
+    probe.join().expect("health probe");
+
+    assert_eq!(outcome.exit, ExitReason::Drained, "probe drained on breach");
+    assert!(
+        control
+            .health_breach
+            .load(std::sync::atomic::Ordering::SeqCst),
+        "breach flag must still be set at drain"
+    );
+    assert!(
+        recorder.counter_value("obs.slo.breaches").unwrap_or(0) >= 1,
+        "the Ok->Breach transition must be counted"
+    );
+    let health = control.health.lock().unwrap().clone();
+    assert!(health.contains("\"state\": \"breach\""), "{health}");
+    assert!(
+        health.contains("\"rule\": \"pf_floor\""),
+        "alert journal must name the violated rule: {health}"
+    );
+}
+
+#[test]
+fn telemetry_rides_through_checkpoint_resume() {
+    // The time-series ring and SLO state are part of the snapshot: a
+    // resumed run continues the series where the drained leg stopped
+    // instead of restarting at epoch 0.
+    let dir = temp_dir("series");
+    let workload = live_workload(5);
+    let config = serve_config(&dir, 20);
+
+    let mut first = config.clone();
+    first.drain_after = Some(8);
+    Server::new(workload.clone(), first)
+        .expect("server builds")
+        .run()
+        .expect("drained leg");
+
+    let mut second = config.clone();
+    second.resume = Some(config.checkpoint_path.clone());
+    let server = Server::new(workload, second).expect("server builds");
+    let control = server.control();
+    let outcome = server.run().expect("resumed leg");
+    assert_eq!(outcome.exit, ExitReason::Completed);
+
+    let series = control.series.lock().unwrap().clone();
+    let epochs: Vec<u64> = series.samples().iter().map(|s| s.epoch).collect();
+    assert_eq!(epochs.last(), Some(&19), "series reaches the final epoch");
+    assert!(
+        epochs.contains(&0) || series.stride() > 1,
+        "early epochs retained unless downsampling evicted them"
+    );
+    assert!(
+        epochs.windows(2).all(|w| w[0] < w[1]),
+        "series stays strictly increasing across the resume seam"
+    );
+}
