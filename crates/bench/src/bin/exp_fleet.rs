@@ -1,0 +1,278 @@
+//! **Fleet serving benchmark** — the determinism-per-tenant invariant
+//! at fleet scale, measured.
+//!
+//! Three legs over one generated multi-tenant spec (scenarios cycle
+//! through baseline / flash-crowd / diurnal, each tenant with its own
+//! seed, budget, and SLO):
+//!
+//! 1. **Solo references** — every tenant as its own `freshen serve`
+//!    run; the per-tenant parity baselines.
+//! 2. **Probed fleet run** — all tenants behind one control plane,
+//!    probe threads cycling per-tenant and fleet routes (the labeled
+//!    `/metrics` exposition is validated every hit). Every tenant's
+//!    final report must be **byte-identical** to its solo reference.
+//! 3. **Kill/resume** — the same fleet drained at a mid-run round
+//!    boundary and resumed from its snapshot directory; reports must
+//!    again be byte-identical.
+//!
+//! Pass `--smoke` for a seconds-scale run (used by CI; ≥ 4 tenants).
+//! The full run drives ≥ 8 tenants. Per-tenant and aggregate epoch
+//! throughput lands in `results/BENCH_fleet.json`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use freshen_bench::{header, row, timed, BenchReport, BenchRun};
+use freshen_fleet::{Fleet, FleetConfig, FleetSpec, TenantSpec};
+use freshen_obs::{prometheus, Recorder};
+use freshen_serve::{request, ExitReason, Server};
+
+fn make_spec(tenants: usize, epochs: usize) -> FleetSpec {
+    let scenarios = ["baseline", "flash-crowd", "diurnal"];
+    let specs = (0..tenants)
+        .map(|i| TenantSpec {
+            seed: 1000 + 37 * i as u64,
+            epochs,
+            scenario: scenarios[i % scenarios.len()].into(),
+            access_rate: 100.0 + 25.0 * i as f64,
+            failure_rate: if i % 2 == 0 { 0.05 } else { 0.0 },
+            slo_target_pf: if i % 3 == 0 { Some(0.3) } else { None },
+            ..TenantSpec::new(&format!("tenant-{i:02}"), 8 + 2 * (i % 4))
+        })
+        .collect();
+    let mut spec = FleetSpec::new(specs).expect("generated spec is valid");
+    spec.checkpoint_every = 2;
+    spec
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (tenants, epochs) = if smoke { (4, 10) } else { (8, 24) };
+    let spec = make_spec(tenants, epochs);
+    let dir = std::env::temp_dir().join("freshen-exp-fleet");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    println!("# freshen-fleet: {tenants} tenants x {epochs} epochs behind one control plane");
+    header(&["run", "tenants", "epochs", "wall_s", "parity"]);
+    let mut bench = BenchReport::new("fleet")
+        .with_meta("smoke", smoke)
+        .with_meta("tenants", tenants)
+        .with_meta("epochs_per_tenant", epochs);
+
+    // ------------------------------------------------------------------
+    // Leg 1: every tenant as a solo serve run (the parity baselines).
+    // ------------------------------------------------------------------
+    let (solo_reports, solo_wall) = timed(|| {
+        spec.tenants
+            .iter()
+            .map(|tenant| {
+                let outcome = Server::new(
+                    tenant.workload().expect("workload builds"),
+                    tenant.serve_config(dir.join(format!("solo-{}", tenant.snapshot_file()))),
+                )
+                .expect("solo server builds")
+                .run()
+                .expect("solo run");
+                outcome.report.expect("solo run completes").to_json()
+            })
+            .collect::<Vec<String>>()
+    });
+    row(
+        "solo",
+        &[tenants as f64, (tenants * epochs) as f64, solo_wall, 1.0],
+    );
+    bench.push(BenchRun {
+        name: "fleet-solo-references".into(),
+        wall_seconds: solo_wall,
+        pf: None,
+        solver_iterations: None,
+        events_per_sec: Some((tenants * epochs) as f64 / solo_wall.max(f64::MIN_POSITIVE)),
+    });
+
+    // ------------------------------------------------------------------
+    // Leg 2: the fleet, probed while it runs.
+    // ------------------------------------------------------------------
+    let recorder = Recorder::enabled();
+    let fleet = Fleet::new(
+        spec.clone(),
+        FleetConfig {
+            listen: Some("127.0.0.1:0".into()),
+            snapshot_dir: dir.join("fleet"),
+            round_throttle: Some(Duration::from_millis(2)),
+            ..FleetConfig::default()
+        },
+    )
+    .expect("fleet builds")
+    .with_recorder(recorder.clone());
+    let addr = fleet.local_addr().expect("listen address bound");
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let probes: Vec<std::thread::JoinHandle<(u64, u64)>> = (0..3)
+        .map(|tid| {
+            let stop = Arc::clone(&stop);
+            let ids: Vec<String> = spec.tenants.iter().map(|t| t.id.clone()).collect();
+            std::thread::spawn(move || {
+                let mut ok = 0u64;
+                let mut expositions = 0u64;
+                let mut turn = tid;
+                while !stop.load(Ordering::SeqCst) {
+                    let id = &ids[turn % ids.len()];
+                    let routes = [
+                        format!("/tenants/{id}/status"),
+                        format!("/tenants/{id}/health"),
+                        "/status".to_string(),
+                        "/tenants".to_string(),
+                        "/metrics?format=prometheus".to_string(),
+                    ];
+                    for route in &routes {
+                        let Ok((status, body)) = request(addr, "GET", route) else {
+                            std::thread::sleep(Duration::from_micros(500));
+                            continue;
+                        };
+                        assert!(
+                            status == 200 || status == 503,
+                            "GET {route} -> {status}: {body}"
+                        );
+                        if route.contains("prometheus") && status == 200 && !body.is_empty() {
+                            prometheus::validate_exposition(&body)
+                                .expect("well-formed labeled exposition");
+                            assert!(
+                                body.contains("tenant=\"_fleet\""),
+                                "fleet label group missing: {body}"
+                            );
+                            expositions += 1;
+                        }
+                        ok += 1;
+                    }
+                    turn += 1;
+                }
+                (ok, expositions)
+            })
+        })
+        .collect();
+
+    let (outcome, fleet_wall) = timed(|| fleet.run().expect("fleet run"));
+    stop.store(true, Ordering::SeqCst);
+    let mut requests_ok = 0u64;
+    let mut expositions = 0u64;
+    for probe in probes {
+        let (ok, exp) = probe.join().expect("probe thread");
+        requests_ok += ok;
+        expositions += exp;
+    }
+    assert_eq!(outcome.exit, ExitReason::Completed);
+    assert!(
+        expositions > 0,
+        "no labeled exposition was validated mid-run"
+    );
+
+    let fleet_reports: Vec<String> = outcome
+        .tenants
+        .iter()
+        .map(|t| t.report.as_ref().expect("tenant completes").to_json())
+        .collect();
+    for ((tenant, got), want) in spec.tenants.iter().zip(&fleet_reports).zip(&solo_reports) {
+        assert_eq!(
+            got, want,
+            "tenant `{}` diverged from its same-seed solo run",
+            tenant.id
+        );
+    }
+    row(
+        "fleet",
+        &[tenants as f64, (tenants * epochs) as f64, fleet_wall, 1.0],
+    );
+    println!("# parity: every tenant byte-identical to its solo reference");
+    println!("# probes: {requests_ok} requests ok, {expositions} labeled expositions validated");
+
+    for (tenant, result) in spec.tenants.iter().zip(&outcome.tenants) {
+        bench.push(BenchRun {
+            name: format!("fleet-tenant-{}", tenant.id),
+            wall_seconds: fleet_wall,
+            pf: result.report.as_ref().map(|r| r.realized_pf),
+            solver_iterations: None,
+            events_per_sec: Some(result.epoch as f64 / fleet_wall.max(f64::MIN_POSITIVE)),
+        });
+    }
+    bench.push(BenchRun {
+        name: "fleet-aggregate".into(),
+        wall_seconds: fleet_wall,
+        pf: None,
+        solver_iterations: None,
+        events_per_sec: Some((tenants * epochs) as f64 / fleet_wall.max(f64::MIN_POSITIVE)),
+    });
+    bench.set_meta("requests_ok", requests_ok);
+    bench.set_meta("expositions_validated", expositions);
+    bench.set_meta("checkpoints", outcome.checkpoints);
+
+    // ------------------------------------------------------------------
+    // Leg 3: kill the fleet at a mid-run round boundary, resume, and
+    // demand byte-identical reports again.
+    // ------------------------------------------------------------------
+    let resume_dir = dir.join("fleet-resume");
+    let (_, drain_wall) = timed(|| {
+        Fleet::new(
+            spec.clone(),
+            FleetConfig {
+                snapshot_dir: resume_dir.clone(),
+                drain_after: Some(epochs / 2),
+                ..FleetConfig::default()
+            },
+        )
+        .expect("fleet builds")
+        .run()
+        .expect("drained leg")
+    });
+    let (resumed, resume_wall) = timed(|| {
+        Fleet::new(
+            spec.clone(),
+            FleetConfig {
+                snapshot_dir: resume_dir.clone(),
+                resume_dir: Some(resume_dir.clone()),
+                ..FleetConfig::default()
+            },
+        )
+        .expect("fleet builds")
+        .run()
+        .expect("resumed leg")
+    });
+    assert_eq!(resumed.exit, ExitReason::Completed);
+    let resumed_reports: Vec<String> = resumed
+        .tenants
+        .iter()
+        .map(|t| t.report.as_ref().expect("tenant completes").to_json())
+        .collect();
+    assert_eq!(
+        resumed_reports, solo_reports,
+        "kill/resume at a round boundary perturbed a tenant"
+    );
+    row(
+        "resume",
+        &[
+            tenants as f64,
+            (tenants * epochs) as f64,
+            drain_wall + resume_wall,
+            1.0,
+        ],
+    );
+    println!(
+        "# parity: killed at round {} and resumed byte-identically",
+        epochs / 2
+    );
+    bench.push(BenchRun {
+        name: "fleet-kill-resume".into(),
+        wall_seconds: drain_wall + resume_wall,
+        pf: None,
+        solver_iterations: None,
+        events_per_sec: Some(
+            (tenants * epochs) as f64 / (drain_wall + resume_wall).max(f64::MIN_POSITIVE),
+        ),
+    });
+
+    match bench.write() {
+        Ok(path) => println!("# telemetry: {}", path.display()),
+        Err(e) => eprintln!("# telemetry write failed: {e}"),
+    }
+}

@@ -12,6 +12,7 @@ use freshen_engine::{
     Engine, EngineConfig, EstimatorKind, LiveAccessStream, LivePollSource, PollSource,
     ReplayPollSource, ResolvePolicy,
 };
+use freshen_fleet::{Fleet, FleetConfig, FleetSpec};
 use freshen_heuristics::{
     AllocationPolicy, HeuristicConfig, HeuristicScheduler, PartitionCriterion,
 };
@@ -611,6 +612,92 @@ pub fn cmd_serve(args: &crate::ParsedArgs, out: &mut dyn Write) -> Result<(), St
         )
         .map_err(|e| e.to_string()),
     }
+}
+
+/// `freshen fleet` — drive a spec-declared multi-tenant fleet behind
+/// one control plane, with per-tenant checkpoints and quarantine on
+/// resume.
+pub fn cmd_fleet(args: &crate::ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
+    args.expect_only(&[
+        "spec",
+        "listen",
+        "snapshot-dir",
+        "resume-dir",
+        "checkpoint-every",
+        "drain-after",
+        "threads",
+        "report-out",
+        "metrics-out",
+        "trace-out",
+    ])?;
+    let (mut recorder, metrics, trace_out) = obs_recorder(args);
+    if args.get("listen").is_some() {
+        // The control plane's /metrics routes need a live recorder even
+        // when no file outputs were requested.
+        recorder = Recorder::enabled();
+    }
+    let executor = exec_from_args(args, &recorder)?;
+
+    let spec_path = args.require("spec")?;
+    let spec_text = std::fs::read_to_string(spec_path)
+        .map_err(|e| format!("cannot read fleet spec `{spec_path}`: {e}"))?;
+    let mut spec = FleetSpec::parse(&spec_text).map_err(|e| e.to_string())?;
+    if let Some(every) = args.get("checkpoint-every") {
+        spec.checkpoint_every = every
+            .parse()
+            .map_err(|e| format!("cannot parse --checkpoint-every `{every}`: {e}"))?;
+    }
+    let drain_after = match args.get("drain-after") {
+        None => None,
+        Some(raw) => Some(
+            raw.parse::<usize>()
+                .map_err(|e| format!("cannot parse --drain-after `{raw}`: {e}"))?,
+        ),
+    };
+    let config = FleetConfig {
+        listen: args.get("listen").map(String::from),
+        snapshot_dir: args.get("snapshot-dir").unwrap_or("fleet-snapshots").into(),
+        resume_dir: args.get("resume-dir").map(std::path::PathBuf::from),
+        drain_after,
+        round_throttle: None,
+    };
+
+    let fleet = Fleet::new(spec, config)
+        .map_err(|e| e.to_string())?
+        .with_recorder(recorder.clone())
+        .with_executor(executor);
+    if let Some(addr) = fleet.local_addr() {
+        writeln!(out, "control plane listening on http://{addr}").map_err(|e| e.to_string())?;
+    }
+    let outcome = fleet.run().map_err(|e| e.to_string())?;
+    write_obs_outputs(&recorder, metrics, trace_out)?;
+
+    let quarantined: Vec<&str> = outcome
+        .tenants
+        .iter()
+        .filter(|t| t.quarantined)
+        .map(|t| t.id.as_str())
+        .collect();
+    if !quarantined.is_empty() {
+        writeln!(out, "quarantined tenant(s): {}", quarantined.join(", "))
+            .map_err(|e| e.to_string())?;
+    }
+    if outcome.tenants.iter().any(|t| t.report.is_some()) {
+        let json = outcome.reports_json();
+        match args.get("report-out") {
+            Some(path) => std::fs::write(path, &json)
+                .map_err(|e| format!("cannot write report file `{path}`: {e}"))?,
+            None => out.write_all(json.as_bytes()).map_err(|e| e.to_string())?,
+        }
+    } else {
+        writeln!(
+            out,
+            "drained after {} round(s); {} checkpoint(s) written",
+            outcome.rounds_run, outcome.checkpoints
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    Ok(())
 }
 
 /// `freshen audit` — check the KKT optimality certificate of a schedule.

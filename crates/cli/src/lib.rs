@@ -23,6 +23,7 @@
 //! | `estimate` | learn a problem from access/poll logs (the §7 loop) |
 //! | `engine` | run the online runtime: streaming estimation + drift-gated re-solves |
 //! | `serve` | run the engine as a service: checkpoint/restore + HTTP control plane |
+//! | `fleet` | drive many tenant engines behind one control plane (spec-declared) |
 //! | `audit` | check a schedule's KKT optimality certificate (CI-friendly exit status) |
 //!
 //! Argument parsing is hand-rolled (`--key value` pairs) to keep the
@@ -54,6 +55,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), String> {
         "estimate" => commands::cmd_estimate(&parsed, out),
         "engine" => commands::cmd_engine(&parsed, out),
         "serve" => commands::cmd_serve(&parsed, out),
+        "fleet" => commands::cmd_fleet(&parsed, out),
         "audit" => commands::cmd_audit(&parsed, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}").map_err(|e| e.to_string())?;
@@ -98,6 +100,11 @@ USAGE:
                     [--listen ADDR:PORT] [--checkpoint PATH] [--checkpoint-every N]
                     [--resume PATH] [--drain-after N]
                     [engine flags as above] [--report-out report.json]
+  freshen fleet     --spec fleet.json [--listen ADDR:PORT]
+                    [--snapshot-dir DIR] [--resume-dir DIR]
+                    [--checkpoint-every N] [--drain-after N] [--threads T]
+                    [--report-out reports.json] [--metrics-out metrics.json]
+                    [--trace-out trace.json]
   freshen audit     (--input problem.json [--schedule schedule.json]
                      | --objects N --updates U --syncs B [--theta T] [--std-dev S] [--seed S])
                     [--policy fixed|poisson] [--solver exact|pg] [--shards K] [--relaxed 1]

@@ -1,0 +1,340 @@
+//! Minimal hand-rolled JSON reader for the fleet spec.
+//!
+//! The fleet spec must parse without serde so `freshen fleet` keeps
+//! working under the offline serde stub — the same constraint that
+//! shaped the zero-dependency snapshot codec. This is a strict
+//! recursive-descent parser over the JSON grammar (objects, arrays,
+//! strings with escapes, numbers, booleans, null); anything malformed is
+//! a [`CoreError::InvalidConfig`] naming the byte offset, never a panic.
+
+use freshen_core::error::{CoreError, Result};
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (held as `f64`).
+    Num(f64),
+    /// A string, with escapes decoded.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order (duplicate keys rejected at parse).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parse a complete JSON document (trailing garbage rejected).
+    pub fn parse(text: &str) -> Result<Json> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.fail("trailing characters after document"));
+        }
+        Ok(value)
+    }
+
+    /// Object member lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The object's members, or an error naming `what`.
+    pub fn as_obj(&self, what: &str) -> Result<&[(String, Json)]> {
+        match self {
+            Json::Obj(members) => Ok(members),
+            _ => Err(type_err(what, "an object")),
+        }
+    }
+
+    /// The array's elements, or an error naming `what`.
+    pub fn as_arr(&self, what: &str) -> Result<&[Json]> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            _ => Err(type_err(what, "an array")),
+        }
+    }
+
+    /// The string value, or an error naming `what`.
+    pub fn as_str(&self, what: &str) -> Result<&str> {
+        match self {
+            Json::Str(s) => Ok(s),
+            _ => Err(type_err(what, "a string")),
+        }
+    }
+
+    /// The number value, or an error naming `what`.
+    pub fn as_f64(&self, what: &str) -> Result<f64> {
+        match self {
+            Json::Num(v) => Ok(*v),
+            _ => Err(type_err(what, "a number")),
+        }
+    }
+
+    /// The number as a non-negative integer, or an error naming `what`.
+    pub fn as_usize(&self, what: &str) -> Result<usize> {
+        let v = self.as_f64(what)?;
+        if v.fract() == 0.0 && v >= 0.0 && v <= u32::MAX as f64 {
+            Ok(v as usize)
+        } else {
+            Err(type_err(what, "a non-negative integer"))
+        }
+    }
+
+    /// The number as a `u64` seed, or an error naming `what`.
+    pub fn as_u64(&self, what: &str) -> Result<u64> {
+        let v = self.as_f64(what)?;
+        if v.fract() == 0.0 && (0.0..9.007_199_254_740_992e15).contains(&v) {
+            Ok(v as u64)
+        } else {
+            Err(type_err(what, "a non-negative integer"))
+        }
+    }
+}
+
+fn type_err(what: &str, wanted: &str) -> CoreError {
+    CoreError::InvalidConfig(format!("fleet spec: {what} must be {wanted}"))
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn fail(&self, msg: &str) -> CoreError {
+        CoreError::InvalidConfig(format!("fleet spec: {msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<()> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.fail(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json> {
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.fail("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.fail(&format!("expected `{word}`")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.fail("non-UTF-8 number"))?;
+        let v: f64 = text
+            .parse()
+            .map_err(|_| self.fail(&format!("unparseable number `{text}`")))?;
+        if !v.is_finite() {
+            return Err(self.fail("number out of range"));
+        }
+        Ok(Json::Num(v))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.eat(b'"')?;
+        let mut out = Vec::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.fail("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return String::from_utf8(out).map_err(|_| self.fail("non-UTF-8 string"));
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push(b'"'),
+                        Some(b'\\') => out.push(b'\\'),
+                        Some(b'/') => out.push(b'/'),
+                        Some(b'n') => out.push(b'\n'),
+                        Some(b't') => out.push(b'\t'),
+                        Some(b'r') => out.push(b'\r'),
+                        Some(b'b') => out.push(0x08),
+                        Some(b'f') => out.push(0x0C),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.fail("bad \\u escape"))?;
+                            // Basic-plane only; surrogate pairs are not
+                            // worth the complexity for spec files.
+                            let c = char::from_u32(hex)
+                                .ok_or_else(|| self.fail("\\u escape is not a scalar value"))?;
+                            let mut buf = [0u8; 4];
+                            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.fail("bad escape in string")),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) if b < 0x20 => return Err(self.fail("control character in string")),
+                Some(&b) => {
+                    out.push(b);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.fail("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json> {
+        self.eat(b'{')?;
+        let mut members: Vec<(String, Json)> = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if members.iter().any(|(k, _)| *k == key) {
+                return Err(self.fail(&format!("duplicate key `{key}`")));
+            }
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.fail("expected `,` or `}` in object")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_grammar() {
+        let doc = r#"{"a": 1, "b": [true, false, null], "c": {"d": "x\ny", "e": -2.5e2}}"#;
+        let v = Json::parse(doc).unwrap();
+        assert_eq!(v.get("a").unwrap().as_f64("a").unwrap(), 1.0);
+        let arr = v.get("b").unwrap().as_arr("b").unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[0], Json::Bool(true));
+        assert_eq!(arr[2], Json::Null);
+        let c = v.get("c").unwrap();
+        assert_eq!(c.get("d").unwrap().as_str("d").unwrap(), "x\ny");
+        assert_eq!(c.get("e").unwrap().as_f64("e").unwrap(), -250.0);
+    }
+
+    #[test]
+    fn decodes_escapes() {
+        let v = Json::parse(r#""a\"b\\cA\t""#).unwrap();
+        assert_eq!(v.as_str("s").unwrap(), "a\"b\\cA\t");
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for (why, doc) in [
+            ("empty", ""),
+            ("trailing", "{} x"),
+            ("bare word", "frue"),
+            ("unterminated string", "\"abc"),
+            ("bad escape", r#""\q""#),
+            ("unterminated array", "[1, 2"),
+            ("missing colon", "{\"a\" 1}"),
+            ("duplicate key", "{\"a\": 1, \"a\": 2}"),
+            ("control char", "\"a\nb\""),
+            ("bad number", "1.2.3"),
+            ("lone surrogate", r#""\ud800""#),
+        ] {
+            let err = Json::parse(doc);
+            assert!(err.is_err(), "accepted {why}: {doc}");
+            assert!(
+                err.unwrap_err().to_string().contains("fleet spec"),
+                "{why} error names the spec"
+            );
+        }
+    }
+
+    #[test]
+    fn integer_accessors_bound_check() {
+        let v = Json::parse("{\"n\": 3, \"half\": 1.5, \"neg\": -1}").unwrap();
+        assert_eq!(v.get("n").unwrap().as_usize("n").unwrap(), 3);
+        assert_eq!(v.get("n").unwrap().as_u64("n").unwrap(), 3);
+        assert!(v.get("half").unwrap().as_usize("half").is_err());
+        assert!(v.get("neg").unwrap().as_u64("neg").is_err());
+        assert!(v.get("n").unwrap().as_str("n").is_err());
+    }
+}

@@ -1,0 +1,264 @@
+//! The fleet snapshot manifest: one small CRC-framed binary file
+//! (`fleet.manifest`) naming every tenant snapshot in the directory.
+//!
+//! Framing follows the v2 snapshot codec's rules: magic, version,
+//! little-endian integers, length-prefixed strings bounded by `MAX_LEN`,
+//! and a trailing CRC-32 over everything before it. Decoding is
+//! validation-first — truncated, bit-flipped, or mis-versioned manifests
+//! are [`CoreError::InvalidConfig`] before any entry is trusted.
+//!
+//! Each entry records the CRC of the tenant's snapshot *file bytes*, so
+//! resume can detect a corrupted or swapped per-tenant snapshot without
+//! decoding it — the quarantine path's first line of defense.
+
+use std::path::Path;
+
+use freshen_core::error::{CoreError, Result};
+use freshen_serve::snapshot::crc32;
+
+/// Magic bytes for the manifest file.
+pub const MAGIC: [u8; 4] = *b"FRSM";
+/// Manifest format version.
+pub const VERSION: u32 = 1;
+/// Bound on any length field, matching the snapshot codec.
+const MAX_LEN: usize = 1 << 24;
+
+/// One tenant's snapshot as recorded at the last fleet checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Tenant id.
+    pub id: String,
+    /// Snapshot file name, relative to the manifest's directory.
+    pub file: String,
+    /// CRC-32 of the snapshot file's bytes.
+    pub crc: u32,
+    /// Engine epoch the snapshot was taken at.
+    pub epoch: u64,
+}
+
+/// The fleet checkpoint manifest.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Manifest {
+    /// Fleet rounds completed when this manifest was written.
+    pub round: u64,
+    /// Per-tenant snapshot records, in fleet (spec) order.
+    pub entries: Vec<ManifestEntry>,
+}
+
+fn corrupt(what: &str) -> CoreError {
+    CoreError::InvalidConfig(format!("fleet manifest: {what}"))
+}
+
+struct Dec<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| corrupt("truncated"))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let len = self.u64()? as usize;
+        if len > MAX_LEN {
+            return Err(corrupt("string length out of bounds"));
+        }
+        String::from_utf8(self.take(len)?.to_vec()).map_err(|_| corrupt("non-UTF-8 string"))
+    }
+}
+
+impl Manifest {
+    /// Serialize: header, round, entries, trailing CRC.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.entries.len() * 64);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&self.round.to_le_bytes());
+        out.extend_from_slice(&(self.entries.len() as u64).to_le_bytes());
+        for entry in &self.entries {
+            for s in [&entry.id, &entry.file] {
+                out.extend_from_slice(&(s.len() as u64).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            out.extend_from_slice(&entry.crc.to_le_bytes());
+            out.extend_from_slice(&entry.epoch.to_le_bytes());
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Validate and decode.
+    pub fn decode(bytes: &[u8]) -> Result<Manifest> {
+        if bytes.len() < MAGIC.len() + 4 + 4 {
+            return Err(corrupt("truncated"));
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(tail.try_into().unwrap());
+        if crc32(body) != stored {
+            return Err(corrupt("CRC mismatch"));
+        }
+        let mut dec = Dec {
+            bytes: body,
+            pos: 0,
+        };
+        if dec.take(4)? != MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let version = dec.u32()?;
+        if version != VERSION {
+            return Err(corrupt(&format!(
+                "unsupported version {version} (want {VERSION})"
+            )));
+        }
+        let round = dec.u64()?;
+        let count = dec.u64()? as usize;
+        if count > MAX_LEN {
+            return Err(corrupt("entry count out of bounds"));
+        }
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let id = dec.str()?;
+            let file = dec.str()?;
+            let crc = dec.u32()?;
+            let epoch = dec.u64()?;
+            entries.push(ManifestEntry {
+                id,
+                file,
+                crc,
+                epoch,
+            });
+        }
+        if dec.pos != body.len() {
+            return Err(corrupt("trailing bytes"));
+        }
+        Ok(Manifest { round, entries })
+    }
+
+    /// Look up a tenant's entry by id.
+    pub fn entry(&self, id: &str) -> Option<&ManifestEntry> {
+        self.entries.iter().find(|e| e.id == id)
+    }
+
+    /// Write atomically: temp file + fsync + rename, like the snapshot
+    /// codec.
+    pub fn write_atomic(&self, path: &Path) -> Result<()> {
+        write_atomic(path, &self.encode())
+    }
+
+    /// Read and decode a manifest file.
+    pub fn read(path: &Path) -> Result<Manifest> {
+        let bytes = std::fs::read(path).map_err(|e| {
+            CoreError::InvalidConfig(format!(
+                "cannot read fleet manifest {}: {e}",
+                path.display()
+            ))
+        })?;
+        Manifest::decode(&bytes)
+    }
+}
+
+/// Atomic file write shared by the manifest and the fleet's per-tenant
+/// snapshot writes (which reuse already-encoded bytes to CRC them).
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
+    let tmp = path.with_extension("tmp");
+    let io = |e: std::io::Error| {
+        CoreError::InvalidConfig(format!("cannot write {}: {e}", path.display()))
+    };
+    {
+        use std::io::Write;
+        let mut file = std::fs::File::create(&tmp).map_err(io)?;
+        file.write_all(bytes).map_err(io)?;
+        file.sync_all().map_err(io)?;
+    }
+    std::fs::rename(&tmp, path).map_err(io)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            round: 5,
+            entries: vec![
+                ManifestEntry {
+                    id: "acme".into(),
+                    file: "acme.snapshot".into(),
+                    crc: 0xDEADBEEF,
+                    epoch: 10,
+                },
+                ManifestEntry {
+                    id: "bolt".into(),
+                    file: "bolt.snapshot".into(),
+                    crc: 7,
+                    epoch: 3,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let m = sample();
+        let decoded = Manifest::decode(&m.encode()).unwrap();
+        assert_eq!(m, decoded);
+        assert_eq!(decoded.entry("bolt").unwrap().epoch, 3);
+        assert!(decoded.entry("nope").is_none());
+    }
+
+    #[test]
+    fn every_flipped_bit_is_detected() {
+        let bytes = sample().encode();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            assert!(
+                Manifest::decode(&bad).is_err(),
+                "bit flip at byte {i} went unnoticed"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_and_version_skew_are_clean_errors() {
+        let bytes = sample().encode();
+        for cut in [0, 3, 10, bytes.len() - 1] {
+            assert!(Manifest::decode(&bytes[..cut]).is_err());
+        }
+        let mut wrong_version = sample().encode();
+        wrong_version[4] = 9;
+        let body_len = wrong_version.len() - 4;
+        let crc = crc32(&wrong_version[..body_len]);
+        wrong_version[body_len..].copy_from_slice(&crc.to_le_bytes());
+        let err = Manifest::decode(&wrong_version).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn writes_atomically_and_reads_back() {
+        let dir = std::env::temp_dir().join("freshen-fleet-manifest-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fleet.manifest");
+        let m = sample();
+        m.write_atomic(&path).unwrap();
+        assert_eq!(Manifest::read(&path).unwrap(), m);
+        assert!(!path.with_extension("tmp").exists());
+    }
+}

@@ -1,0 +1,954 @@
+//! The fleet runtime: N independent tenant engines stepped in
+//! deterministic round-robin rounds behind one control plane.
+//!
+//! Each tenant is a private [`Engine`] with its own problem, budget,
+//! seed, SLO rules, recorder, and snapshot file — exactly the state a
+//! solo `freshen serve` run would hold. One fleet *round* steps every
+//! unfinished tenant one epoch, in spec order; because each engine is a
+//! deterministic pure function of its own inputs (regardless of the
+//! shared executor's worker count), interleaving tenants cannot change
+//! any tenant's trajectory, and every tenant's final report is
+//! byte-identical to its same-seed solo run.
+//!
+//! Checkpoints happen only at round boundaries: every non-quarantined
+//! tenant's v2 snapshot is written, then the CRC-checked
+//! [`Manifest`] is written atomically last, so
+//! a fleet killed at any boundary resumes to byte-identical reports. On
+//! resume, a tenant whose snapshot fails the manifest CRC or snapshot
+//! validation is *quarantined* — counted on `fleet.quarantined`,
+//! journaled as a `fleet.quarantine` alert, and left unstepped — while
+//! healthy tenants resume normally.
+
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use freshen_core::error::{CoreError, Result};
+use freshen_core::exec::Executor;
+use freshen_core::problem::Problem;
+use freshen_engine::stream::BoxedAccessStream;
+use freshen_engine::{Engine, EngineReport, LiveAccessStream, LivePollSource};
+use freshen_obs::{duration_us_buckets, prometheus, Health, Recorder};
+use freshen_serve::snapshot::{crc32, SourceState};
+use freshen_serve::{
+    metrics_response, publish_engine_views, register_control_routes, ControlPlane, ControlShared,
+    ExitReason, Request, Response, Router, Snapshot, SnapshotShape, ACCESS_SEED_SALT,
+    POLL_SEED_SALT,
+};
+
+use crate::manifest::{self, Manifest, ManifestEntry};
+use crate::spec::{FleetSpec, TenantSpec};
+
+/// File name of the manifest inside a fleet snapshot directory.
+pub const MANIFEST_FILE: &str = "fleet.manifest";
+/// Reserved `tenant` label value for the fleet's own recorder in the
+/// labeled Prometheus exposition (tenant ids may not start with `_`).
+pub const FLEET_LABEL: &str = "_fleet";
+
+/// Runtime knobs the spec does not carry (paths, listener, drain caps).
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Control-plane bind address; `None` runs headless.
+    pub listen: Option<String>,
+    /// Directory for per-tenant snapshots and the manifest.
+    pub snapshot_dir: PathBuf,
+    /// Resume every tenant from this fleet snapshot directory.
+    pub resume_dir: Option<PathBuf>,
+    /// Stop (drain + checkpoint) after this many rounds in this process.
+    pub drain_after: Option<usize>,
+    /// Optional pause between rounds so control-plane probes can land
+    /// mid-run in tests and demos.
+    pub round_throttle: Option<Duration>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            listen: None,
+            snapshot_dir: PathBuf::from("fleet-snapshots"),
+            resume_dir: None,
+            drain_after: None,
+            round_throttle: None,
+        }
+    }
+}
+
+/// One tenant's slice of a [`FleetOutcome`].
+#[derive(Debug)]
+pub struct TenantReport {
+    /// Tenant id.
+    pub id: String,
+    /// The final engine report — present only when the tenant completed
+    /// all its epochs.
+    pub report: Option<EngineReport>,
+    /// True when the tenant was quarantined on resume.
+    pub quarantined: bool,
+    /// The tenant's engine epoch when the fleet returned.
+    pub epoch: usize,
+}
+
+/// Outcome of a fleet run.
+#[derive(Debug)]
+pub struct FleetOutcome {
+    /// Per-tenant results, in spec order.
+    pub tenants: Vec<TenantReport>,
+    /// Why the fleet loop returned.
+    pub exit: ExitReason,
+    /// Rounds stepped by this process (excludes restored rounds).
+    pub rounds_run: usize,
+    /// Tenant snapshot files written by this process.
+    pub checkpoints: usize,
+    /// Control-plane address, when one was bound.
+    pub bound_addr: Option<SocketAddr>,
+}
+
+impl FleetOutcome {
+    /// Per-tenant final reports as one JSON object keyed by id
+    /// (quarantined or unfinished tenants map to `null`).
+    pub fn reports_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, t) in self.tenants.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\": ", t.id));
+            match &t.report {
+                Some(report) => out.push_str(&report.to_json()),
+                None => out.push_str("null"),
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TenantState {
+    Running,
+    Completed,
+    Quarantined,
+}
+
+struct Tenant {
+    spec: TenantSpec,
+    problem: Problem,
+    engine: Engine,
+    accesses: std::iter::Peekable<BoxedAccessStream>,
+    source: LivePollSource,
+    consumed: u64,
+    recorder: Recorder,
+    shared: Arc<ControlShared>,
+    state: TenantState,
+    checkpoints: usize,
+    manifest_entry: Option<ManifestEntry>,
+}
+
+impl Tenant {
+    fn state_str(&self) -> &'static str {
+        match self.state {
+            TenantState::Quarantined => "quarantined",
+            TenantState::Completed => "completed",
+            TenantState::Running => {
+                if self.engine.epoch() >= self.spec.epochs {
+                    "completed"
+                } else {
+                    "running"
+                }
+            }
+        }
+    }
+}
+
+/// A configured, bound (but not yet running) fleet.
+pub struct Fleet {
+    spec: FleetSpec,
+    config: FleetConfig,
+    recorder: Recorder,
+    executor: Executor,
+    listener: Option<TcpListener>,
+    shared: Arc<ControlShared>,
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("tenants", &self.spec.tenants.len())
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Fleet {
+    /// Validate the spec, create the snapshot directory, and bind the
+    /// control-plane listener (if configured).
+    pub fn new(spec: FleetSpec, config: FleetConfig) -> Result<Fleet> {
+        spec.validate()?;
+        std::fs::create_dir_all(&config.snapshot_dir).map_err(|e| {
+            CoreError::InvalidConfig(format!(
+                "cannot create snapshot dir {}: {e}",
+                config.snapshot_dir.display()
+            ))
+        })?;
+        let listener = match &config.listen {
+            Some(addr) => Some(TcpListener::bind(addr).map_err(|e| {
+                CoreError::InvalidConfig(format!("cannot bind control plane on `{addr}`: {e}"))
+            })?),
+            None => None,
+        };
+        Ok(Fleet {
+            spec,
+            config,
+            recorder: Recorder::disabled(),
+            executor: Executor::serial(),
+            listener,
+            shared: Arc::new(ControlShared::default()),
+        })
+    }
+
+    /// Attach the fleet-level obs recorder. When enabled, every tenant
+    /// also gets its own enabled recorder (the per-tenant label groups
+    /// of the `/metrics` exposition).
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Attach the shared executor pool the tenant engines step across.
+    #[must_use]
+    pub fn with_executor(mut self, executor: Executor) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// The bound control-plane address, when `listen` was configured.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.listener.as_ref().and_then(|l| l.local_addr().ok())
+    }
+
+    /// Handle to the fleet-level control state (checkpoint/shutdown
+    /// flags) for in-process callers.
+    pub fn control(&self) -> Arc<ControlShared> {
+        Arc::clone(&self.shared)
+    }
+
+    fn build_tenant(&self, spec: &TenantSpec) -> Result<Tenant> {
+        let cfg = spec.engine_config();
+        let problem = spec.problem()?;
+        let horizon = cfg.horizon();
+        let accesses: BoxedAccessStream = Box::new(LiveAccessStream::new(
+            problem.access_probs(),
+            spec.access_rate,
+            cfg.seed ^ ACCESS_SEED_SALT,
+            horizon,
+        ));
+        let source =
+            LivePollSource::new(problem.change_rates(), cfg.seed ^ POLL_SEED_SALT, horizon)?;
+        let recorder = if self.recorder.is_enabled() {
+            Recorder::enabled()
+        } else {
+            Recorder::disabled()
+        };
+        let engine = Engine::new(&problem, cfg)?
+            .with_recorder(recorder.clone())
+            .with_executor(self.executor.clone());
+        Ok(Tenant {
+            spec: spec.clone(),
+            problem,
+            engine,
+            accesses: accesses.peekable(),
+            source,
+            consumed: 0,
+            recorder,
+            shared: Arc::new(ControlShared::default()),
+            state: TenantState::Running,
+            checkpoints: 0,
+            manifest_entry: None,
+        })
+    }
+
+    /// Resume one tenant from the manifest + its snapshot file, or
+    /// return the reason it cannot be trusted.
+    fn resume_tenant(
+        dir: &std::path::Path,
+        manifest: &Manifest,
+        tenant: &mut Tenant,
+    ) -> Result<()> {
+        let id = &tenant.spec.id;
+        let entry = manifest.entry(id).ok_or_else(|| {
+            CoreError::InvalidConfig(format!("tenant `{id}` missing from manifest"))
+        })?;
+        let expected_file = tenant.spec.snapshot_file();
+        if entry.file != expected_file {
+            return Err(CoreError::InvalidConfig(format!(
+                "manifest names `{}` for tenant `{id}` (want `{expected_file}`)",
+                entry.file
+            )));
+        }
+        let path = dir.join(&entry.file);
+        let bytes = std::fs::read(&path).map_err(|e| {
+            CoreError::InvalidConfig(format!("cannot read snapshot {}: {e}", path.display()))
+        })?;
+        if crc32(&bytes) != entry.crc {
+            return Err(CoreError::InvalidConfig(format!(
+                "snapshot {} does not match the manifest CRC",
+                path.display()
+            )));
+        }
+        let snapshot = Snapshot::decode(&bytes)?;
+        let cfg = tenant.spec.engine_config();
+        snapshot.shape.matches(&cfg, tenant.problem.len())?;
+        tenant.engine.restore_state(snapshot.engine)?;
+        let SourceState::Live(state) = snapshot.source else {
+            return Err(CoreError::InvalidConfig(
+                "fleet tenants are live workloads but the snapshot holds a replay source".into(),
+            ));
+        };
+        tenant.source = LivePollSource::restore(
+            tenant.problem.change_rates(),
+            cfg.seed ^ POLL_SEED_SALT,
+            cfg.horizon(),
+            &state,
+        )?;
+        for _ in 0..snapshot.accesses_consumed {
+            match tenant.accesses.next() {
+                Some(Ok(_)) => {}
+                Some(Err(e)) => return Err(e),
+                None => {
+                    return Err(CoreError::Inconsistent {
+                        routine: "fleet-resume",
+                        invariant: "snapshot consumed more accesses than the stream holds",
+                    })
+                }
+            }
+        }
+        tenant.consumed = snapshot.accesses_consumed;
+        tenant.manifest_entry = Some(entry.clone());
+        tenant.recorder.counter("serve.resumes").inc();
+        Ok(())
+    }
+
+    /// Run to completion or graceful drain. Consumes the fleet; the
+    /// control plane (if any) is stopped before returning.
+    pub fn run(mut self) -> Result<FleetOutcome> {
+        let mut tenants: Vec<Tenant> = Vec::with_capacity(self.spec.tenants.len());
+        for spec in &self.spec.tenants {
+            tenants.push(self.build_tenant(spec)?);
+        }
+
+        let quarantine_counter = self.recorder.counter("fleet.quarantined");
+        let mut round: u64 = 0;
+        if let Some(dir) = self.config.resume_dir.clone() {
+            let manifest = Manifest::read(&dir.join(MANIFEST_FILE))?;
+            round = manifest.round;
+            for tenant in &mut tenants {
+                if let Err(err) = Fleet::resume_tenant(&dir, &manifest, tenant) {
+                    tenant.state = TenantState::Quarantined;
+                    quarantine_counter.inc();
+                    let reason = err.to_string();
+                    self.recorder.event(
+                        "fleet.quarantine",
+                        &[("tenant", &tenant.spec.id), ("reason", &reason)],
+                    );
+                }
+            }
+        }
+
+        // Views + router before the first step so probes that land early
+        // see coherent state.
+        let summaries: Arc<Mutex<std::collections::BTreeMap<String, String>>> =
+            Arc::new(Mutex::new(Default::default()));
+        let tenants_view: Arc<Mutex<String>> = Arc::new(Mutex::new(String::new()));
+        self.update_views(&tenants, round, 0, "running", &summaries, &tenants_view);
+
+        let plane = match self.listener.take() {
+            Some(listener) => {
+                let router = self.build_router(&tenants, &summaries, &tenants_view);
+                Some(
+                    ControlPlane::start_router(listener, router, self.recorder.clone())
+                        .map_err(|e| CoreError::InvalidConfig(format!("control plane: {e}")))?,
+                )
+            }
+            None => None,
+        };
+        let bound_addr = plane.as_ref().map(ControlPlane::local_addr);
+
+        let result = self.drive(&mut tenants, &mut round, &summaries, &tenants_view);
+        if let Some(plane) = plane {
+            plane.stop();
+        }
+        let (exit, rounds_run, checkpoints) = result?;
+
+        let reports = tenants
+            .iter()
+            .map(|t| TenantReport {
+                id: t.spec.id.clone(),
+                report: (t.state != TenantState::Quarantined && t.engine.epoch() >= t.spec.epochs)
+                    .then(|| t.engine.report()),
+                quarantined: t.state == TenantState::Quarantined,
+                epoch: t.engine.epoch(),
+            })
+            .collect();
+        Ok(FleetOutcome {
+            tenants: reports,
+            exit,
+            rounds_run,
+            checkpoints,
+            bound_addr,
+        })
+    }
+
+    /// The round loop proper. Returns `(exit, rounds stepped here,
+    /// snapshot files written)`.
+    fn drive(
+        &self,
+        tenants: &mut [Tenant],
+        round: &mut u64,
+        summaries: &Arc<Mutex<std::collections::BTreeMap<String, String>>>,
+        tenants_view: &Arc<Mutex<String>>,
+    ) -> Result<(ExitReason, usize, usize)> {
+        let rounds_counter = self.recorder.counter("fleet.rounds");
+        let checkpoint_counter = self.recorder.counter("fleet.checkpoints");
+        let mut rounds_run = 0usize;
+        let mut checkpoints = 0usize;
+
+        let exit = loop {
+            let all_done = tenants
+                .iter()
+                .all(|t| t.state != TenantState::Running || t.engine.epoch() >= t.spec.epochs);
+            if all_done {
+                break ExitReason::Completed;
+            }
+            if self.shared.shutdown_requested.load(Ordering::SeqCst) {
+                break ExitReason::Drained;
+            }
+            if self.config.drain_after.is_some_and(|cap| rounds_run >= cap) {
+                break ExitReason::Drained;
+            }
+
+            for tenant in tenants.iter_mut() {
+                if tenant.state != TenantState::Running
+                    || tenant.engine.epoch() >= tenant.spec.epochs
+                {
+                    continue;
+                }
+                let stats = tenant
+                    .engine
+                    .step(&mut tenant.accesses, &mut tenant.source)?;
+                tenant.consumed += stats.accesses;
+                // Stamp control-plane load onto the finished epoch's
+                // telemetry sample — wall-clock observations that never
+                // feed back into scheduling (reports stay byte-identical
+                // to solo runs).
+                let requests = self.recorder.counter_value("serve.requests").unwrap_or(0);
+                let p95 = self
+                    .recorder
+                    .histogram("serve.request_latency_us", &duration_us_buckets())
+                    .quantile(0.95)
+                    .unwrap_or(0.0);
+                tenant
+                    .engine
+                    .annotate_requests(stats.index as u64, requests, p95);
+                if tenant.engine.epoch() >= tenant.spec.epochs {
+                    tenant.state = TenantState::Completed;
+                }
+            }
+            rounds_run += 1;
+            *round += 1;
+            rounds_counter.inc();
+
+            let on_cadence =
+                self.spec.checkpoint_every > 0 && *round % self.spec.checkpoint_every as u64 == 0;
+            let fleet_demand = self
+                .shared
+                .checkpoint_requested
+                .swap(false, Ordering::SeqCst);
+            let mut wrote = 0usize;
+            for tenant in tenants.iter_mut() {
+                let tenant_demand = tenant
+                    .shared
+                    .checkpoint_requested
+                    .swap(false, Ordering::SeqCst);
+                if tenant.state == TenantState::Quarantined {
+                    continue;
+                }
+                if on_cadence || fleet_demand || tenant_demand {
+                    self.write_tenant_snapshot(tenant)?;
+                    wrote += 1;
+                }
+            }
+            if wrote > 0 {
+                self.write_manifest(tenants, *round)?;
+                checkpoints += wrote;
+                checkpoint_counter.add(wrote as u64);
+            }
+            self.update_views(
+                tenants,
+                *round,
+                checkpoints,
+                "running",
+                summaries,
+                tenants_view,
+            );
+            if let Some(pause) = self.config.round_throttle {
+                std::thread::sleep(pause);
+            }
+        };
+
+        if exit == ExitReason::Drained {
+            // Drain contract: the in-flight round has finished, so the
+            // final fleet checkpoint resumes at exactly this boundary.
+            let mut wrote = 0usize;
+            for tenant in tenants.iter_mut() {
+                if tenant.state != TenantState::Quarantined {
+                    self.write_tenant_snapshot(tenant)?;
+                    wrote += 1;
+                }
+            }
+            if wrote > 0 {
+                self.write_manifest(tenants, *round)?;
+                checkpoints += wrote;
+                checkpoint_counter.add(wrote as u64);
+            }
+        }
+        let state = match exit {
+            ExitReason::Completed => "completed",
+            ExitReason::Drained => "drained",
+        };
+        self.update_views(tenants, *round, checkpoints, state, summaries, tenants_view);
+        Ok((exit, rounds_run, checkpoints))
+    }
+
+    fn write_tenant_snapshot(&self, tenant: &mut Tenant) -> Result<()> {
+        let snapshot = Snapshot {
+            shape: SnapshotShape::of(&tenant.spec.engine_config(), tenant.problem.len()),
+            engine: tenant.engine.export_state(),
+            source: SourceState::Live(tenant.source.state()),
+            accesses_consumed: tenant.consumed,
+        };
+        let bytes = snapshot.encode();
+        let file = tenant.spec.snapshot_file();
+        manifest::write_atomic(&self.config.snapshot_dir.join(&file), &bytes)?;
+        tenant.checkpoints += 1;
+        tenant.recorder.counter("serve.checkpoints").inc();
+        tenant.manifest_entry = Some(ManifestEntry {
+            id: tenant.spec.id.clone(),
+            file,
+            crc: crc32(&bytes),
+            epoch: tenant.engine.epoch() as u64,
+        });
+        Ok(())
+    }
+
+    /// Write the manifest covering every tenant that has a snapshot on
+    /// disk — atomically, and last, so a kill between snapshot and
+    /// manifest writes leaves the previous consistent checkpoint intact.
+    fn write_manifest(&self, tenants: &[Tenant], round: u64) -> Result<()> {
+        let manifest = Manifest {
+            round,
+            entries: tenants
+                .iter()
+                .filter_map(|t| t.manifest_entry.clone())
+                .collect(),
+        };
+        manifest.write_atomic(&self.config.snapshot_dir.join(MANIFEST_FILE))
+    }
+
+    fn update_views(
+        &self,
+        tenants: &[Tenant],
+        round: u64,
+        checkpoints: usize,
+        fleet_state: &str,
+        summaries: &Arc<Mutex<std::collections::BTreeMap<String, String>>>,
+        tenants_view: &Arc<Mutex<String>>,
+    ) {
+        let mut completed = 0usize;
+        let mut quarantined = 0usize;
+        let mut breached = 0usize;
+        let mut rows = Vec::with_capacity(tenants.len());
+        for tenant in tenants {
+            let state = tenant.state_str();
+            if state == "completed" {
+                completed += 1;
+            }
+            if state == "quarantined" {
+                quarantined += 1;
+            } else {
+                publish_engine_views(
+                    &tenant.shared,
+                    &tenant.engine,
+                    tenant.spec.epochs,
+                    tenant.problem.len(),
+                    tenant.checkpoints,
+                    state,
+                );
+            }
+            if tenant.engine.health() == Health::Breach {
+                breached += 1;
+            }
+            rows.push(format!(
+                "{{\"id\": \"{}\", \"state\": \"{state}\", \"epoch\": {}, \"epochs\": {}, \"elements\": {}}}",
+                tenant.spec.id,
+                tenant.engine.epoch(),
+                tenant.spec.epochs,
+                tenant.problem.len(),
+            ));
+        }
+        if let Ok(mut map) = summaries.lock() {
+            map.clear();
+            for (tenant, row) in tenants.iter().zip(&rows) {
+                map.insert(tenant.spec.id.clone(), row.clone());
+            }
+        }
+        if let Ok(mut view) = tenants_view.lock() {
+            *view = format!("{{\"tenants\": [{}]}}", rows.join(", "));
+        }
+        let status = format!(
+            "{{\"state\": \"{fleet_state}\", \"round\": {round}, \"tenants\": {}, \"completed\": {completed}, \"quarantined\": {quarantined}, \"checkpoints\": {checkpoints}}}",
+            tenants.len(),
+        );
+        if let Ok(mut view) = self.shared.status.lock() {
+            *view = status;
+        }
+        let health = format!(
+            "{{\"state\": \"{}\", \"tenants\": {}, \"breached\": {breached}, \"quarantined\": {quarantined}}}\n",
+            if breached > 0 { "breach" } else { "ok" },
+            tenants.len(),
+        );
+        if let Ok(mut view) = self.shared.health.lock() {
+            *view = health;
+        }
+        self.shared
+            .health_breach
+            .store(breached > 0, Ordering::SeqCst);
+    }
+
+    /// The fleet route table: fleet-level aggregates plus the full
+    /// standard route set per tenant under `/tenants/<id>/...`.
+    fn build_router(
+        &self,
+        tenants: &[Tenant],
+        summaries: &Arc<Mutex<std::collections::BTreeMap<String, String>>>,
+        tenants_view: &Arc<Mutex<String>>,
+    ) -> Router {
+        let mut router = Router::new();
+        for tenant in tenants {
+            register_control_routes(
+                &mut router,
+                &format!("/tenants/{}", tenant.spec.id),
+                Arc::clone(&tenant.shared),
+                tenant.recorder.clone(),
+            );
+        }
+        {
+            let view = Arc::clone(tenants_view);
+            router.route("GET", "/tenants", move |_, _| {
+                Response::json(200, view.lock().map(|v| v.clone()).unwrap_or_default())
+            });
+        }
+        {
+            let summaries = Arc::clone(summaries);
+            router.route("GET", "/tenants/{id}", move |_, params| {
+                let id = params.get("id").unwrap_or("");
+                match summaries.lock().ok().and_then(|m| m.get(id).cloned()) {
+                    Some(row) => Response::json(200, row),
+                    None => Response::json(404, "{\"error\":\"no such tenant\"}"),
+                }
+            });
+        }
+        {
+            let shared = Arc::clone(&self.shared);
+            router.route("GET", "/status", move |_, _| {
+                Response::json(
+                    200,
+                    shared.status.lock().map(|v| v.clone()).unwrap_or_default(),
+                )
+            });
+        }
+        {
+            let shared = Arc::clone(&self.shared);
+            router.route("GET", "/health", move |_, _| {
+                let body = shared.health.lock().map(|v| v.clone()).unwrap_or_default();
+                let status = if shared.health_breach.load(Ordering::SeqCst) {
+                    503
+                } else {
+                    200
+                };
+                Response::json(status, body)
+            });
+        }
+        {
+            let fleet = self.recorder.clone();
+            let groups: Vec<(String, Recorder)> = tenants
+                .iter()
+                .map(|t| (t.spec.id.clone(), t.recorder.clone()))
+                .collect();
+            router.route("GET", "/metrics", move |req: &Request, _| {
+                match req.query_param("format") {
+                    Some("prometheus") => {
+                        let mut labeled: Vec<(&str, &Recorder)> =
+                            Vec::with_capacity(groups.len() + 1);
+                        labeled.push((FLEET_LABEL, &fleet));
+                        for (id, rec) in &groups {
+                            labeled.push((id.as_str(), rec));
+                        }
+                        Response::text(
+                            200,
+                            prometheus::CONTENT_TYPE,
+                            prometheus::render_labeled("tenant", &labeled),
+                        )
+                    }
+                    None | Some("json") => {
+                        let empty =
+                            || "{\"counters\": {}, \"gauges\": {}, \"histograms\": {}}".to_string();
+                        let mut body = String::from("{\"fleet\": ");
+                        body.push_str(&fleet.metrics_json().unwrap_or_else(empty));
+                        body.push_str(", \"tenants\": {");
+                        for (i, (id, rec)) in groups.iter().enumerate() {
+                            if i > 0 {
+                                body.push_str(", ");
+                            }
+                            body.push_str(&format!("\"{id}\": "));
+                            body.push_str(&rec.metrics_json().unwrap_or_else(empty));
+                        }
+                        body.push_str("}}");
+                        Response::json(200, body)
+                    }
+                    Some(_) => metrics_response(req, &fleet),
+                }
+            });
+        }
+        {
+            let shared = Arc::clone(&self.shared);
+            router.route("POST", "/checkpoint", move |_, _| {
+                shared.checkpoint_requested.store(true, Ordering::SeqCst);
+                Response::json(200, "{\"ok\": true, \"action\": \"checkpoint\"}")
+            });
+        }
+        {
+            let shared = Arc::clone(&self.shared);
+            router.route("POST", "/shutdown", move |_, _| {
+                shared.shutdown_requested.store(true, Ordering::SeqCst);
+                Response::json(200, "{\"ok\": true, \"action\": \"shutdown\"}")
+            });
+        }
+        router
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freshen_serve::{request, request_full, ServeOutcome, Server};
+
+    fn spec() -> FleetSpec {
+        FleetSpec::new(vec![
+            TenantSpec {
+                seed: 7,
+                epochs: 6,
+                ..TenantSpec::new("acme", 6)
+            },
+            TenantSpec {
+                seed: 11,
+                epochs: 8,
+                scenario: "flash-crowd".into(),
+                ..TenantSpec::new("bolt", 5)
+            },
+        ])
+        .unwrap()
+    }
+
+    fn config(dir: &str) -> FleetConfig {
+        let root = std::env::temp_dir()
+            .join("freshen-fleet-runtime-test")
+            .join(dir);
+        let _ = std::fs::remove_dir_all(&root);
+        FleetConfig {
+            snapshot_dir: root,
+            ..FleetConfig::default()
+        }
+    }
+
+    fn solo_report(tenant: &TenantSpec, dir: &std::path::Path) -> String {
+        let path = dir.join(format!("solo-{}", tenant.snapshot_file()));
+        let outcome: ServeOutcome =
+            Server::new(tenant.workload().unwrap(), tenant.serve_config(path))
+                .unwrap()
+                .run()
+                .unwrap();
+        outcome.report.unwrap().to_json()
+    }
+
+    #[test]
+    fn tenant_reports_are_byte_identical_to_solo_runs() {
+        let spec = spec();
+        let config = config("parity");
+        let dir = config.snapshot_dir.clone();
+        let outcome = Fleet::new(spec.clone(), config).unwrap().run().unwrap();
+        assert_eq!(outcome.exit, ExitReason::Completed);
+        for (tenant, result) in spec.tenants.iter().zip(&outcome.tenants) {
+            assert_eq!(
+                result.report.as_ref().unwrap().to_json(),
+                solo_report(tenant, &dir),
+                "tenant `{}` diverged from its solo run",
+                tenant.id
+            );
+        }
+    }
+
+    #[test]
+    fn kill_and_resume_is_byte_identical() {
+        let spec = spec();
+        let reference: Vec<String> = {
+            let outcome = Fleet::new(spec.clone(), config("resume-ref"))
+                .unwrap()
+                .run()
+                .unwrap();
+            outcome
+                .tenants
+                .iter()
+                .map(|t| t.report.as_ref().unwrap().to_json())
+                .collect()
+        };
+
+        let config_a = config("resume");
+        let dir = config_a.snapshot_dir.clone();
+        let first = Fleet::new(
+            spec.clone(),
+            FleetConfig {
+                drain_after: Some(3),
+                ..config_a.clone()
+            },
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        assert_eq!(first.exit, ExitReason::Drained);
+        assert_eq!(first.rounds_run, 3);
+        assert!(dir.join(MANIFEST_FILE).exists());
+
+        let resumed = Fleet::new(
+            spec,
+            FleetConfig {
+                resume_dir: Some(dir),
+                ..config_a
+            },
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        assert_eq!(resumed.exit, ExitReason::Completed);
+        let got: Vec<String> = resumed
+            .tenants
+            .iter()
+            .map(|t| t.report.as_ref().unwrap().to_json())
+            .collect();
+        assert_eq!(got, reference);
+    }
+
+    #[test]
+    fn corrupt_tenant_is_quarantined_while_the_rest_resume() {
+        let spec = spec();
+        let config_a = config("quarantine");
+        let dir = config_a.snapshot_dir.clone();
+        Fleet::new(
+            spec.clone(),
+            FleetConfig {
+                drain_after: Some(2),
+                ..config_a.clone()
+            },
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+
+        // Flip a byte mid-snapshot: the manifest CRC must catch it.
+        let victim = dir.join(spec.tenants[0].snapshot_file());
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&victim, &bytes).unwrap();
+
+        let recorder = Recorder::enabled();
+        let outcome = Fleet::new(
+            spec.clone(),
+            FleetConfig {
+                resume_dir: Some(dir),
+                ..config_a
+            },
+        )
+        .unwrap()
+        .with_recorder(recorder.clone())
+        .run()
+        .unwrap();
+        assert_eq!(outcome.exit, ExitReason::Completed);
+        assert!(outcome.tenants[0].quarantined);
+        assert!(outcome.tenants[0].report.is_none());
+        assert!(!outcome.tenants[1].quarantined);
+        assert!(outcome.tenants[1].report.is_some());
+        assert_eq!(recorder.counter_value("fleet.quarantined"), Some(1));
+        let trace = recorder.chrome_trace_json().unwrap();
+        assert!(trace.contains("fleet.quarantine"), "{trace}");
+        assert!(trace.contains("acme"), "{trace}");
+    }
+
+    #[test]
+    fn control_plane_serves_fleet_and_tenant_routes() {
+        let mut spec = spec();
+        for tenant in &mut spec.tenants {
+            tenant.epochs = 300;
+        }
+        let fleet = Fleet::new(
+            spec,
+            FleetConfig {
+                listen: Some("127.0.0.1:0".into()),
+                round_throttle: Some(Duration::from_millis(2)),
+                ..config("http")
+            },
+        )
+        .unwrap()
+        .with_recorder(Recorder::enabled());
+        let addr = fleet.local_addr().unwrap();
+        let runner = std::thread::spawn(move || fleet.run().unwrap());
+
+        let (status, body) = request(addr, "GET", "/tenants").unwrap();
+        assert_eq!(status, 200);
+        assert!(
+            body.contains("\"acme\"") && body.contains("\"bolt\""),
+            "{body}"
+        );
+
+        let (status, body) = request(addr, "GET", "/tenants/acme/status").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"epochs\": 300"), "{body}");
+        let (status, body) = request(addr, "GET", "/tenants/bolt").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"bolt\""), "{body}");
+        let (status, _) = request(addr, "GET", "/tenants/nope").unwrap();
+        assert_eq!(status, 404);
+
+        let (status, headers, _) = request_full(addr, "DELETE", "/status").unwrap();
+        assert_eq!(status, 405);
+        assert!(headers.contains("Allow: GET"), "{headers}");
+
+        let (status, body) = request(addr, "GET", "/metrics?format=prometheus").unwrap();
+        assert_eq!(status, 200);
+        prometheus::validate_exposition(&body).unwrap();
+        assert!(body.contains("tenant=\"_fleet\""), "{body}");
+        assert!(body.contains("tenant=\"acme\""), "{body}");
+
+        let (status, body) = request(addr, "GET", "/metrics").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.starts_with("{\"fleet\": "), "{body}");
+        assert!(body.contains("\"tenants\": {"), "{body}");
+
+        let (status, _) = request(addr, "POST", "/shutdown").unwrap();
+        assert_eq!(status, 200);
+        let outcome = runner.join().unwrap();
+        assert_eq!(outcome.exit, ExitReason::Drained);
+        assert!(outcome.checkpoints >= 2, "drain snapshots every tenant");
+    }
+}

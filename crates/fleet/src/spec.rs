@@ -1,0 +1,464 @@
+//! The declarative fleet spec: which tenants exist, what each one
+//! mirrors, and how the fleet checkpoints.
+//!
+//! A spec is a JSON document (parsed by the zero-dependency reader in
+//! [`crate::json`], so it works under the offline serde stub):
+//!
+//! ```json
+//! {
+//!   "checkpoint_every": 2,
+//!   "tenants": [
+//!     {"id": "acme", "objects": 12, "seed": 7, "epochs": 16,
+//!      "scenario": "flash-crowd", "access_rate": 150.0}
+//!   ]
+//! }
+//! ```
+//!
+//! Unknown keys are rejected (typo safety, like the CLI's flag parsing),
+//! tenant ids must be unique `[A-Za-z0-9_-]` names not starting with `_`
+//! (the `_fleet` label value is reserved for the fleet's own recorder in
+//! the labeled Prometheus exposition), and every numeric knob is
+//! validated here so the runtime never sees a malformed tenant.
+
+use std::path::PathBuf;
+
+use freshen_core::error::{CoreError, Result};
+use freshen_core::problem::Problem;
+use freshen_engine::EngineConfig;
+use freshen_obs::SloConfig;
+use freshen_serve::{ServeConfig, ServeWorkload};
+use freshen_workload::{Scenario, StressScenario};
+
+use crate::json::Json;
+
+/// One tenant: an independent engine with its own problem, budget,
+/// seed, and SLO.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Unique tenant name; also the snapshot file stem and the `tenant`
+    /// label value in the fleet's Prometheus exposition.
+    pub id: String,
+    /// Number of mirrored objects.
+    pub objects: usize,
+    /// Workload generator: `baseline`, `flash-crowd`, or `diurnal`.
+    pub scenario: String,
+    /// Engine seed (also salts the tenant's access/poll streams).
+    pub seed: u64,
+    /// Epochs the tenant runs.
+    pub epochs: usize,
+    /// Warm-up epochs before adaptive machinery engages.
+    pub warmup_epochs: usize,
+    /// Poisson access-arrival rate (events per period).
+    pub access_rate: f64,
+    /// Total source updates per period (defaults to `2 × objects`).
+    pub updates_per_period: f64,
+    /// Sync bandwidth per period — the tenant's budget (defaults to
+    /// `objects / 2`).
+    pub syncs_per_period: f64,
+    /// Zipf skew of the baseline interest distribution.
+    pub zipf_theta: f64,
+    /// Poll failure probability.
+    pub failure_rate: f64,
+    /// Optional freshness-SLO floor on per-epoch realized PF.
+    pub slo_target_pf: Option<f64>,
+}
+
+impl TenantSpec {
+    /// A valid starting point: callers set `id`, `objects`, `seed`, and
+    /// whatever else differs from the defaults.
+    pub fn new(id: &str, objects: usize) -> TenantSpec {
+        TenantSpec {
+            id: id.to_string(),
+            objects,
+            scenario: "baseline".to_string(),
+            seed: 0,
+            epochs: 16,
+            warmup_epochs: 2,
+            access_rate: 100.0,
+            updates_per_period: 2.0 * objects as f64,
+            syncs_per_period: (objects as f64 / 2.0).max(1.0),
+            zipf_theta: 0.8,
+            failure_rate: 0.0,
+            slo_target_pf: None,
+        }
+    }
+
+    /// The engine configuration this tenant runs — shared verbatim with
+    /// the solo `freshen serve` run the parity invariant compares
+    /// against.
+    pub fn engine_config(&self) -> EngineConfig {
+        EngineConfig {
+            epochs: self.epochs,
+            warmup_epochs: self.warmup_epochs,
+            seed: self.seed,
+            failure_rate: self.failure_rate,
+            slo: self.slo_target_pf.map(|target_pf| SloConfig {
+                target_pf,
+                ..SloConfig::default()
+            }),
+            ..EngineConfig::default()
+        }
+    }
+
+    /// Materialize the tenant's ground-truth problem (deterministic in
+    /// the spec, including the seed).
+    pub fn problem(&self) -> Result<Problem> {
+        match self.scenario.as_str() {
+            "baseline" => Scenario::builder()
+                .num_objects(self.objects)
+                .updates_per_period(self.updates_per_period)
+                .syncs_per_period(self.syncs_per_period)
+                .zipf_theta(self.zipf_theta)
+                .seed(self.seed)
+                .build()?
+                .problem(),
+            name => StressScenario::from_name(name)
+                .ok_or_else(|| {
+                    CoreError::InvalidConfig(format!(
+                        "fleet spec: tenant `{}` has unknown scenario `{name}` \
+                         (want baseline, flash-crowd, or diurnal)",
+                        self.id
+                    ))
+                })?
+                .problem(
+                    self.objects,
+                    self.updates_per_period,
+                    self.syncs_per_period,
+                    self.seed,
+                ),
+        }
+    }
+
+    /// The live serve workload for this tenant.
+    pub fn workload(&self) -> Result<ServeWorkload> {
+        Ok(ServeWorkload::Live {
+            problem: self.problem()?,
+            access_rate: self.access_rate,
+        })
+    }
+
+    /// The solo `freshen serve` configuration equivalent to this
+    /// tenant's slot in the fleet — what the byte-parity tests run.
+    pub fn serve_config(&self, checkpoint_path: PathBuf) -> ServeConfig {
+        ServeConfig {
+            engine: self.engine_config(),
+            checkpoint_path,
+            ..ServeConfig::default()
+        }
+    }
+
+    /// The tenant's snapshot file name inside a fleet snapshot dir.
+    pub fn snapshot_file(&self) -> String {
+        format!("{}.snapshot", self.id)
+    }
+
+    fn validate(&self) -> Result<()> {
+        let id_ok = !self.id.is_empty()
+            && self.id.len() <= 64
+            && !self.id.starts_with('_')
+            && self
+                .id
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_');
+        if !id_ok {
+            return Err(CoreError::InvalidConfig(format!(
+                "fleet spec: tenant id `{}` must be 1-64 chars of [A-Za-z0-9_-] \
+                 and must not start with `_`",
+                self.id
+            )));
+        }
+        if self.objects == 0 {
+            return Err(CoreError::InvalidConfig(format!(
+                "fleet spec: tenant `{}` has zero objects",
+                self.id
+            )));
+        }
+        for (what, v) in [
+            ("access_rate", self.access_rate),
+            ("updates_per_period", self.updates_per_period),
+            ("syncs_per_period", self.syncs_per_period),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(CoreError::InvalidConfig(format!(
+                    "fleet spec: tenant `{}` has invalid {what} ({v})",
+                    self.id
+                )));
+            }
+        }
+        self.engine_config().validate()?;
+        // Fail scenario-name typos at spec load, not mid-run.
+        if self.scenario != "baseline" && StressScenario::from_name(&self.scenario).is_none() {
+            return Err(CoreError::InvalidConfig(format!(
+                "fleet spec: tenant `{}` has unknown scenario `{}`",
+                self.id, self.scenario
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// The whole fleet: tenants plus fleet-wide checkpoint cadence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSpec {
+    /// Tenants, in declaration order (which is also step order).
+    pub tenants: Vec<TenantSpec>,
+    /// Checkpoint every N rounds; `0` checkpoints only on demand and at
+    /// drain.
+    pub checkpoint_every: usize,
+}
+
+impl FleetSpec {
+    /// Build from a tenant list (programmatic construction for tests
+    /// and benches); validated like a parsed spec.
+    pub fn new(tenants: Vec<TenantSpec>) -> Result<FleetSpec> {
+        let spec = FleetSpec {
+            tenants,
+            checkpoint_every: 0,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Parse and validate a JSON spec document.
+    pub fn parse(text: &str) -> Result<FleetSpec> {
+        let doc = Json::parse(text)?;
+        let mut checkpoint_every = 0usize;
+        let mut tenants = Vec::new();
+        for (key, value) in doc.as_obj("spec root")? {
+            match key.as_str() {
+                "checkpoint_every" => checkpoint_every = value.as_usize("checkpoint_every")?,
+                "tenants" => {
+                    for (i, t) in value.as_arr("tenants")?.iter().enumerate() {
+                        tenants.push(parse_tenant(t, i)?);
+                    }
+                }
+                other => {
+                    return Err(CoreError::InvalidConfig(format!(
+                        "fleet spec: unknown key `{other}` (want checkpoint_every, tenants)"
+                    )))
+                }
+            }
+        }
+        let spec = FleetSpec {
+            tenants,
+            checkpoint_every,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Validate every tenant and fleet-level invariants.
+    pub fn validate(&self) -> Result<()> {
+        if self.tenants.is_empty() {
+            return Err(CoreError::InvalidConfig(
+                "fleet spec: at least one tenant is required".into(),
+            ));
+        }
+        for tenant in &self.tenants {
+            tenant.validate()?;
+        }
+        for (i, a) in self.tenants.iter().enumerate() {
+            if self.tenants[i + 1..].iter().any(|b| b.id == a.id) {
+                return Err(CoreError::InvalidConfig(format!(
+                    "fleet spec: duplicate tenant id `{}`",
+                    a.id
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Render the spec back to canonical JSON (handy for tests and for
+    /// generated specs in benches).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"checkpoint_every\": {},\n  \"tenants\": [\n",
+            self.checkpoint_every
+        ));
+        for (i, t) in self.tenants.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"id\": \"{}\", \"objects\": {}, \"scenario\": \"{}\", \"seed\": {}, \
+                 \"epochs\": {}, \"warmup_epochs\": {}, \"access_rate\": {}, \
+                 \"updates_per_period\": {}, \"syncs_per_period\": {}, \"zipf_theta\": {}, \
+                 \"failure_rate\": {}",
+                t.id,
+                t.objects,
+                t.scenario,
+                t.seed,
+                t.epochs,
+                t.warmup_epochs,
+                t.access_rate,
+                t.updates_per_period,
+                t.syncs_per_period,
+                t.zipf_theta,
+                t.failure_rate,
+            ));
+            if let Some(target) = t.slo_target_pf {
+                out.push_str(&format!(", \"slo_target_pf\": {target}"));
+            }
+            out.push('}');
+            if i + 1 < self.tenants.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn parse_tenant(value: &Json, index: usize) -> Result<TenantSpec> {
+    let what = format!("tenants[{index}]");
+    let members = value.as_obj(&what)?;
+    let id = value
+        .get("id")
+        .ok_or_else(|| CoreError::InvalidConfig(format!("fleet spec: {what} lacks an id")))?
+        .as_str("id")?
+        .to_string();
+    let objects = value
+        .get("objects")
+        .ok_or_else(|| {
+            CoreError::InvalidConfig(format!("fleet spec: tenant `{id}` lacks objects"))
+        })?
+        .as_usize("objects")?;
+    let mut tenant = TenantSpec::new(&id, objects);
+    let mut explicit_updates = false;
+    let mut explicit_syncs = false;
+    for (key, v) in members {
+        match key.as_str() {
+            "id" | "objects" => {}
+            "scenario" => tenant.scenario = v.as_str("scenario")?.to_string(),
+            "seed" => tenant.seed = v.as_u64("seed")?,
+            "epochs" => tenant.epochs = v.as_usize("epochs")?,
+            "warmup_epochs" => tenant.warmup_epochs = v.as_usize("warmup_epochs")?,
+            "access_rate" => tenant.access_rate = v.as_f64("access_rate")?,
+            "updates_per_period" => {
+                tenant.updates_per_period = v.as_f64("updates_per_period")?;
+                explicit_updates = true;
+            }
+            "syncs_per_period" => {
+                tenant.syncs_per_period = v.as_f64("syncs_per_period")?;
+                explicit_syncs = true;
+            }
+            "zipf_theta" => tenant.zipf_theta = v.as_f64("zipf_theta")?,
+            "failure_rate" => tenant.failure_rate = v.as_f64("failure_rate")?,
+            "slo_target_pf" => tenant.slo_target_pf = Some(v.as_f64("slo_target_pf")?),
+            other => {
+                return Err(CoreError::InvalidConfig(format!(
+                    "fleet spec: tenant `{id}` has unknown key `{other}`"
+                )))
+            }
+        }
+    }
+    // Defaults derived from `objects` only apply when not set explicitly.
+    if !explicit_updates {
+        tenant.updates_per_period = 2.0 * objects as f64;
+    }
+    if !explicit_syncs {
+        tenant.syncs_per_period = (objects as f64 / 2.0).max(1.0);
+    }
+    Ok(tenant)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> &'static str {
+        r#"{
+          "checkpoint_every": 2,
+          "tenants": [
+            {"id": "acme", "objects": 8, "seed": 7, "epochs": 12},
+            {"id": "bolt-2", "objects": 6, "scenario": "flash-crowd",
+             "access_rate": 150.0, "slo_target_pf": 0.4}
+          ]
+        }"#
+    }
+
+    #[test]
+    fn parses_a_spec_with_defaults() {
+        let spec = FleetSpec::parse(sample()).unwrap();
+        assert_eq!(spec.checkpoint_every, 2);
+        assert_eq!(spec.tenants.len(), 2);
+        let acme = &spec.tenants[0];
+        assert_eq!(acme.id, "acme");
+        assert_eq!(acme.seed, 7);
+        assert_eq!(acme.epochs, 12);
+        assert_eq!(acme.scenario, "baseline");
+        assert_eq!(acme.updates_per_period, 16.0);
+        assert_eq!(acme.syncs_per_period, 4.0);
+        let bolt = &spec.tenants[1];
+        assert_eq!(bolt.scenario, "flash-crowd");
+        assert_eq!(bolt.slo_target_pf, Some(0.4));
+        assert!(bolt.engine_config().slo.is_some());
+    }
+
+    #[test]
+    fn spec_round_trips_through_to_json() {
+        let spec = FleetSpec::parse(sample()).unwrap();
+        let again = FleetSpec::parse(&spec.to_json()).unwrap();
+        assert_eq!(spec, again);
+    }
+
+    #[test]
+    fn tenant_problems_are_deterministic_and_scenario_specific() {
+        let spec = FleetSpec::parse(sample()).unwrap();
+        for t in &spec.tenants {
+            assert_eq!(t.problem().unwrap(), t.problem().unwrap());
+        }
+        let a = spec.tenants[0].problem().unwrap();
+        let b = spec.tenants[1].problem().unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        for (why, doc) in [
+            ("no tenants", r#"{"tenants": []}"#),
+            ("unknown root key", r#"{"tenantz": []}"#),
+            (
+                "unknown tenant key",
+                r#"{"tenants": [{"id": "a", "objects": 4, "sede": 1}]}"#,
+            ),
+            (
+                "duplicate id",
+                r#"{"tenants": [{"id": "a", "objects": 4}, {"id": "a", "objects": 4}]}"#,
+            ),
+            (
+                "reserved id",
+                r#"{"tenants": [{"id": "_fleet", "objects": 4}]}"#,
+            ),
+            (
+                "illegal id chars",
+                r#"{"tenants": [{"id": "a b", "objects": 4}]}"#,
+            ),
+            (
+                "zero objects",
+                r#"{"tenants": [{"id": "a", "objects": 0}]}"#,
+            ),
+            (
+                "bad scenario",
+                r#"{"tenants": [{"id": "a", "objects": 4, "scenario": "tsunami"}]}"#,
+            ),
+            (
+                "bad rate",
+                r#"{"tenants": [{"id": "a", "objects": 4, "access_rate": -1}]}"#,
+            ),
+        ] {
+            assert!(FleetSpec::parse(doc).is_err(), "accepted {why}: {doc}");
+        }
+    }
+
+    #[test]
+    fn serve_config_mirrors_the_tenant_engine_config() {
+        let t = TenantSpec {
+            seed: 9,
+            failure_rate: 0.05,
+            ..TenantSpec::new("t", 5)
+        };
+        let cfg = t.serve_config(PathBuf::from("/tmp/t.snapshot"));
+        assert_eq!(cfg.engine, t.engine_config());
+        assert_eq!(t.snapshot_file(), "t.snapshot");
+    }
+}

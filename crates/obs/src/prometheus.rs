@@ -94,6 +94,173 @@ fn family_header(out: &mut String, name: &str, source: &str, kind: &str) {
     out.push('\n');
 }
 
+/// Render several recorders into **one** labeled exposition. Each metric
+/// family is emitted exactly once (satisfying the TYPE-once and
+/// family-contiguity rules) with one sample per group, tagged
+/// `<label>="<group value>"`. Histograms contribute a full bucket ladder
+/// per group, each bucket carrying both the group label and `le`. This
+/// is the fleet renderer: pass `("tenant", [("_fleet", &fleet_rec),
+/// ("acme", &tenant_rec), ...])` and the result is a single exposition a
+/// Prometheus scraper can ingest with a per-tenant dimension.
+///
+/// Disabled recorders are skipped. Group order is preserved, so a fixed
+/// group list renders byte-identically across calls with frozen metrics.
+pub fn render_labeled(label: &str, groups: &[(&str, &crate::Recorder)]) -> String {
+    let label = if is_legal_label_name(label) {
+        label
+    } else {
+        "group"
+    };
+    let live: Vec<(&str, &RecorderInner)> = groups
+        .iter()
+        .filter_map(|(value, rec)| rec.inner.as_deref().map(|inner| (*value, inner)))
+        .collect();
+    if live.is_empty() {
+        return String::new();
+    }
+
+    let mut out = String::with_capacity(4096 * live.len());
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let sample_head = |out: &mut String, name: &str, value: &str| {
+        out.push_str(name);
+        out.push('{');
+        out.push_str(label);
+        out.push_str("=\"");
+        push_label_value(out, value);
+        out.push_str("\"}");
+    };
+
+    // Union of counter families across the groups, in registry-name
+    // order; each family lists its samples in group order.
+    let mut counters: BTreeMap<&'static str, Vec<(&str, u64)>> = BTreeMap::new();
+    for (value, inner) in &live {
+        for (name, cell) in inner.counters.lock().unwrap().iter() {
+            counters
+                .entry(name)
+                .or_default()
+                .push((value, cell.load(std::sync::atomic::Ordering::Relaxed)));
+        }
+    }
+    for (name, samples) in &counters {
+        let n = sanitize_metric_name(name);
+        if !seen.insert(n.clone()) {
+            continue;
+        }
+        family_header(&mut out, &n, name, "counter");
+        for (value, v) in samples {
+            sample_head(&mut out, &n, value);
+            let _ = writeln!(out, " {v}");
+        }
+    }
+
+    let mut gauges: BTreeMap<&'static str, Vec<(&str, f64)>> = BTreeMap::new();
+    for (value, inner) in &live {
+        for (name, cell) in inner.gauges.lock().unwrap().iter() {
+            gauges.entry(name).or_default().push((
+                value,
+                f64::from_bits(cell.load(std::sync::atomic::Ordering::Relaxed)),
+            ));
+        }
+    }
+    for (name, samples) in &gauges {
+        let n = sanitize_metric_name(name);
+        if !seen.insert(n.clone()) {
+            continue;
+        }
+        family_header(&mut out, &n, name, "gauge");
+        for (value, v) in samples {
+            sample_head(&mut out, &n, value);
+            out.push(' ');
+            push_value(&mut out, *v);
+            out.push('\n');
+        }
+    }
+
+    // Histograms: snapshot each group's ladder first so the family can be
+    // emitted contiguously.
+    struct HistSnap<'a> {
+        group: &'a str,
+        buckets: Vec<(f64, u64)>,
+        sum: f64,
+        count: u64,
+        dropped: u64,
+    }
+    let mut histograms: BTreeMap<&'static str, Vec<HistSnap<'_>>> = BTreeMap::new();
+    for (value, inner) in &live {
+        for (name, core) in inner.histograms.lock().unwrap().iter() {
+            histograms.entry(name).or_default().push(HistSnap {
+                group: value,
+                buckets: core.cumulative_buckets(),
+                sum: core.sum(),
+                count: core.count(),
+                dropped: core.dropped(),
+            });
+        }
+    }
+    let mut histogram_dropped: Vec<(String, Vec<(&str, u64)>)> = Vec::new();
+    for (name, snaps) in &histograms {
+        let n = sanitize_metric_name(name);
+        if !seen.insert(n.clone()) {
+            continue;
+        }
+        family_header(&mut out, &n, name, "histogram");
+        for snap in snaps {
+            for (le, cum) in &snap.buckets {
+                out.push_str(&n);
+                out.push_str("_bucket{");
+                out.push_str(label);
+                out.push_str("=\"");
+                push_label_value(&mut out, snap.group);
+                out.push_str("\",le=\"");
+                let mut le_text = String::new();
+                push_value(&mut le_text, *le);
+                push_label_value(&mut out, &le_text);
+                out.push_str("\"} ");
+                let _ = writeln!(out, "{cum}");
+            }
+            sample_head(&mut out, &format!("{n}_sum"), snap.group);
+            out.push(' ');
+            push_value(&mut out, snap.sum);
+            out.push('\n');
+            sample_head(&mut out, &format!("{n}_count"), snap.group);
+            let _ = writeln!(out, " {}", snap.count);
+        }
+        histogram_dropped.push((n, snaps.iter().map(|s| (s.group, s.dropped)).collect()));
+    }
+
+    // Telemetry-loss counters, labeled per group like everything else.
+    for (n, samples) in histogram_dropped {
+        let family = format!("{n}_dropped");
+        if !seen.insert(family.clone()) {
+            continue;
+        }
+        family_header(&mut out, &family, &family, "counter");
+        for (value, dropped) in samples {
+            sample_head(&mut out, &family, value);
+            let _ = writeln!(out, " {dropped}");
+        }
+    }
+    for (family, pick) in [
+        (
+            "freshen_journal_dropped",
+            (|inner: &RecorderInner| inner.journal.dropped()) as fn(&RecorderInner) -> u64,
+        ),
+        ("freshen_trace_dropped", |inner: &RecorderInner| {
+            inner.trace.dropped()
+        }),
+    ] {
+        if !seen.insert(family.to_string()) {
+            continue;
+        }
+        family_header(&mut out, family, family, "counter");
+        for (value, inner) in &live {
+            sample_head(&mut out, family, value);
+            let _ = writeln!(out, " {}", pick(inner));
+        }
+    }
+    out
+}
+
 pub(crate) fn render(inner: &RecorderInner) -> String {
     let mut out = String::with_capacity(4096);
     // Distinct dotted names could sanitize onto the same family; emitting
@@ -303,15 +470,36 @@ fn parse_sample(line: &str) -> Result<Sample, String> {
     })
 }
 
-/// Per-family bookkeeping accumulated while scanning.
+/// Per-family bookkeeping accumulated while scanning. Histogram
+/// components are grouped by label signature (labels minus `le`), so a
+/// labeled exposition may carry one bucket ladder per series — e.g. one
+/// per `tenant="..."` — each checked independently.
 #[derive(Default)]
 struct Family {
     kind: Option<String>,
     help_seen: bool,
     samples: u64,
+    series: BTreeMap<String, HistSeries>,
+}
+
+/// One histogram series (a single label signature) within a family.
+#[derive(Default)]
+struct HistSeries {
     buckets: Vec<(f64, f64)>,
     sum_seen: bool,
     count: Option<f64>,
+}
+
+/// Key histogram components by their labels excluding `le`, sorted by
+/// label name so author order doesn't split a series.
+fn label_signature(labels: &[(String, String)]) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .filter(|(k, _)| k != "le")
+        .map(|(k, v)| format!("{k}={v:?}"))
+        .collect();
+    parts.sort();
+    parts.join(",")
 }
 
 /// Validate a full text exposition. Returns the first violation found,
@@ -419,6 +607,10 @@ pub fn validate_exposition(text: &str) -> Result<(), String> {
             }
             "counter" => {}
             "histogram" => {
+                let series = fam
+                    .series
+                    .entry(label_signature(&sample.labels))
+                    .or_default();
                 if sample.name.ends_with("_bucket") {
                     let le = sample
                         .labels
@@ -427,11 +619,11 @@ pub fn validate_exposition(text: &str) -> Result<(), String> {
                         .ok_or_else(|| at(format!("bucket of {family_name} lacks le label")))?;
                     let bound = parse_sample_value(&le.1)
                         .ok_or_else(|| at(format!("unparseable le {:?}", le.1)))?;
-                    fam.buckets.push((bound, sample.value));
+                    series.buckets.push((bound, sample.value));
                 } else if sample.name.ends_with("_sum") {
-                    fam.sum_seen = true;
+                    series.sum_seen = true;
                 } else if sample.name.ends_with("_count") {
-                    fam.count = Some(sample.value);
+                    series.count = Some(sample.value);
                 } else {
                     return Err(at(format!(
                         "histogram {family_name} has stray sample {}",
@@ -447,34 +639,44 @@ pub fn validate_exposition(text: &str) -> Result<(), String> {
         if fam.kind.as_deref() != Some("histogram") {
             continue;
         }
-        if fam.buckets.is_empty() {
+        if fam.series.values().all(|s| s.buckets.is_empty()) {
             return Err(format!("histogram {name} has no buckets"));
         }
-        for pair in fam.buckets.windows(2) {
-            // partial_cmp, not a negated `<`: a NaN le bound must fail.
-            if pair[0].0.partial_cmp(&pair[1].0) != Some(std::cmp::Ordering::Less) {
-                return Err(format!("histogram {name} le bounds not increasing"));
+        for (sig, series) in &fam.series {
+            let name = if sig.is_empty() {
+                name.clone()
+            } else {
+                format!("{name}{{{sig}}}")
+            };
+            if series.buckets.is_empty() {
+                return Err(format!("histogram {name} has no buckets"));
             }
-            if pair[0].1 > pair[1].1 {
-                return Err(format!("histogram {name} bucket counts decrease"));
+            for pair in series.buckets.windows(2) {
+                // partial_cmp, not a negated `<`: a NaN le bound must fail.
+                if pair[0].0.partial_cmp(&pair[1].0) != Some(std::cmp::Ordering::Less) {
+                    return Err(format!("histogram {name} le bounds not increasing"));
+                }
+                if pair[0].1 > pair[1].1 {
+                    return Err(format!("histogram {name} bucket counts decrease"));
+                }
             }
-        }
-        let last = fam.buckets.last().unwrap();
-        if last.0 != f64::INFINITY {
-            return Err(format!("histogram {name} lacks a +Inf bucket"));
-        }
-        if !fam.sum_seen {
-            return Err(format!("histogram {name} lacks _sum"));
-        }
-        match fam.count {
-            Some(c) if c == last.1 => {}
-            Some(c) => {
-                return Err(format!(
-                    "histogram {name} _count {c} != +Inf bucket {}",
-                    last.1
-                ))
+            let last = series.buckets.last().unwrap();
+            if last.0 != f64::INFINITY {
+                return Err(format!("histogram {name} lacks a +Inf bucket"));
             }
-            None => return Err(format!("histogram {name} lacks _count")),
+            if !series.sum_seen {
+                return Err(format!("histogram {name} lacks _sum"));
+            }
+            match series.count {
+                Some(c) if c == last.1 => {}
+                Some(c) => {
+                    return Err(format!(
+                        "histogram {name} _count {c} != +Inf bucket {}",
+                        last.1
+                    ))
+                }
+                None => return Err(format!("histogram {name} lacks _count")),
+            }
         }
     }
     Ok(())
@@ -581,6 +783,89 @@ mod tests {
         ] {
             assert!(validate_exposition(text).is_err(), "accepted {why}: {text}");
         }
+    }
+
+    #[test]
+    fn labeled_render_round_trips_through_the_validator() {
+        let fleet = Recorder::enabled();
+        fleet.counter("fleet.rounds").add(3);
+        let a = Recorder::enabled();
+        a.counter("engine.epochs").add(7);
+        a.gauge("engine.pf").set(0.5);
+        let ha = a.histogram("dispatch.latency", &count_buckets());
+        for i in 0..10 {
+            ha.observe(i as f64);
+        }
+        let b = Recorder::enabled();
+        b.counter("engine.epochs").add(9);
+        let hb = b.histogram("dispatch.latency", &count_buckets());
+        hb.observe(2.0);
+        hb.observe(f64::NAN); // per-group dropped counter must surface
+
+        let text = render_labeled("tenant", &[("_fleet", &fleet), ("acme", &a), ("bo\"b", &b)]);
+        validate_exposition(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert!(text.contains("fleet_rounds{tenant=\"_fleet\"} 3"));
+        assert!(text.contains("engine_epochs{tenant=\"acme\"} 7"));
+        assert!(text.contains("engine_epochs{tenant=\"bo\\\"b\"} 9"));
+        assert!(text.contains("engine_pf{tenant=\"acme\"} 0.5"));
+        assert!(text.contains("dispatch_latency_bucket{tenant=\"acme\",le=\"+Inf\"} 10"));
+        assert!(text.contains("dispatch_latency_count{tenant=\"acme\"} 10"));
+        assert!(text.contains("dispatch_latency_count{tenant=\"bo\\\"b\"} 1"));
+        assert!(text.contains("dispatch_latency_dropped{tenant=\"bo\\\"b\"} 1"));
+        assert!(text.contains("freshen_journal_dropped{tenant=\"_fleet\"} 0"));
+        // TYPE-once even though two groups carry the family.
+        assert_eq!(text.matches("# TYPE engine_epochs counter").count(), 1);
+        assert_eq!(text.matches("# TYPE dispatch_latency histogram").count(), 1);
+    }
+
+    #[test]
+    fn labeled_render_skips_disabled_groups_and_bad_label_names() {
+        let a = Recorder::enabled();
+        a.counter("engine.epochs").inc();
+        let off = Recorder::disabled();
+        let text = render_labeled("9bad", &[("a", &a), ("off", &off)]);
+        validate_exposition(&text).unwrap();
+        assert!(text.contains("engine_epochs{group=\"a\"} 1"));
+        assert!(!text.contains("off"));
+        assert_eq!(render_labeled("tenant", &[("off", &off)]), "");
+    }
+
+    #[test]
+    fn validator_groups_histogram_series_by_label_signature() {
+        // Two tenants' ladders in one family: the second ladder restarts
+        // at a smaller le, which must NOT read as a monotonicity break.
+        let ok = concat!(
+            "# TYPE h histogram\n",
+            "h_bucket{tenant=\"a\",le=\"1\"} 1\n",
+            "h_bucket{tenant=\"a\",le=\"+Inf\"} 2\n",
+            "h_sum{tenant=\"a\"} 3\n",
+            "h_count{tenant=\"a\"} 2\n",
+            "h_bucket{tenant=\"b\",le=\"1\"} 4\n",
+            "h_bucket{tenant=\"b\",le=\"+Inf\"} 9\n",
+            "h_sum{tenant=\"b\"} 5\n",
+            "h_count{tenant=\"b\"} 9\n",
+        );
+        validate_exposition(ok).unwrap();
+        // But a broken ladder inside one series is still caught.
+        let bad = concat!(
+            "# TYPE h histogram\n",
+            "h_bucket{tenant=\"a\",le=\"2\"} 1\n",
+            "h_bucket{tenant=\"a\",le=\"1\"} 2\n",
+            "h_bucket{tenant=\"a\",le=\"+Inf\"} 2\n",
+            "h_sum{tenant=\"a\"} 3\n",
+            "h_count{tenant=\"a\"} 2\n",
+        );
+        assert!(validate_exposition(bad).is_err());
+        // And a series missing its _count is caught per-series.
+        let missing = concat!(
+            "# TYPE h histogram\n",
+            "h_bucket{tenant=\"a\",le=\"+Inf\"} 2\n",
+            "h_sum{tenant=\"a\"} 3\n",
+            "h_count{tenant=\"a\"} 2\n",
+            "h_bucket{tenant=\"b\",le=\"+Inf\"} 1\n",
+            "h_sum{tenant=\"b\"} 1\n",
+        );
+        assert!(validate_exposition(missing).is_err());
     }
 
     #[test]

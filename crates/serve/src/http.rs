@@ -1,6 +1,15 @@
 //! Zero-dependency HTTP/1.1 control plane on [`std::net::TcpListener`].
 //!
-//! The plane serves these routes from a single accept-loop thread:
+//! Routing is table-driven: a [`Router`] holds `(method, pattern,
+//! handler)` rows where a pattern is a `/`-separated path whose segments
+//! are literals or `{param}` captures. Request paths are percent-decoded
+//! before routing (so `/tenants/{id}` segments survive URL encoding), a
+//! method mismatch on a known path yields `405` with an `Allow` header,
+//! and an unknown path yields `404`.
+//!
+//! [`register_control_routes`] installs the standard single-engine route
+//! set under a prefix (empty for solo serve, `/tenants/<id>` per fleet
+//! tenant):
 //!
 //! | route              | effect                                          |
 //! |--------------------|-------------------------------------------------|
@@ -59,13 +68,321 @@ pub struct ControlShared {
     pub checkpoint_requested: AtomicBool,
     /// Set by `POST /shutdown`; the serve loop drains and exits.
     pub shutdown_requested: AtomicBool,
-    stop_accept: AtomicBool,
+}
+
+/// One parsed request: method, percent-decoded path, raw query string.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, verbatim (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path with percent-escapes decoded, query stripped.
+    pub path: String,
+    /// Raw query string (no decoding: every value this plane accepts is
+    /// alphanumeric).
+    pub query: String,
+}
+
+impl Request {
+    /// Look up `key` in the query string (`a=1&b=2`).
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .split('&')
+            .filter_map(|pair| pair.split_once('='))
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+/// A handler's answer: status, content type, body, and (for 405) the
+/// `Allow` header.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+    /// `Allow` header for 405 responses.
+    pub allow: Option<String>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: JSON,
+            body: body.into(),
+            allow: None,
+        }
+    }
+
+    /// A response with an explicit content type (Prometheus exposition).
+    pub fn text(status: u16, content_type: &'static str, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type,
+            body: body.into(),
+            allow: None,
+        }
+    }
+}
+
+/// Captured `{param}` segments from a matched route pattern.
+#[derive(Debug, Default)]
+pub struct RouteParams(Vec<(String, String)>);
+
+impl RouteParams {
+    /// The captured value for `{name}`, if the pattern had one.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+enum Segment {
+    Literal(String),
+    Param(String),
+}
+
+type Handler = Box<dyn Fn(&Request, &RouteParams) -> Response + Send + Sync>;
+
+struct Route {
+    method: &'static str,
+    pattern: Vec<Segment>,
+    handler: Handler,
+}
+
+/// Method-and-pattern route table. Dispatch walks rows in registration
+/// order; the first row whose pattern and method both match wins.
+#[derive(Default)]
+pub struct Router {
+    routes: Vec<Route>,
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router")
+            .field("routes", &self.routes.len())
+            .finish()
+    }
+}
+
+fn path_segments(path: &str) -> Vec<&str> {
+    path.split('/').filter(|s| !s.is_empty()).collect()
+}
+
+impl Router {
+    /// An empty route table.
+    pub fn new() -> Router {
+        Router::default()
+    }
+
+    /// Register a handler for `method` on `pattern`. Pattern segments of
+    /// the form `{name}` capture the matching path segment into
+    /// [`RouteParams`]; everything else matches literally.
+    pub fn route(
+        &mut self,
+        method: &'static str,
+        pattern: &str,
+        handler: impl Fn(&Request, &RouteParams) -> Response + Send + Sync + 'static,
+    ) {
+        let pattern = path_segments(pattern)
+            .into_iter()
+            .map(
+                |seg| match seg.strip_prefix('{').and_then(|s| s.strip_suffix('}')) {
+                    Some(name) => Segment::Param(name.to_string()),
+                    None => Segment::Literal(seg.to_string()),
+                },
+            )
+            .collect();
+        self.routes.push(Route {
+            method,
+            pattern,
+            handler: Box::new(handler),
+        });
+    }
+
+    fn matches(route: &Route, segments: &[&str]) -> Option<RouteParams> {
+        if route.pattern.len() != segments.len() {
+            return None;
+        }
+        let mut params = RouteParams::default();
+        for (pat, seg) in route.pattern.iter().zip(segments) {
+            match pat {
+                Segment::Literal(lit) if lit == seg => {}
+                Segment::Literal(_) => return None,
+                Segment::Param(name) => params.0.push((name.clone(), (*seg).to_string())),
+            }
+        }
+        Some(params)
+    }
+
+    /// Route a request: the matching handler's response, a 405 carrying
+    /// `Allow` when the path is known but the method is not, or a 404.
+    pub fn dispatch(&self, request: &Request) -> Response {
+        let segments = path_segments(&request.path);
+        let mut allowed: Vec<&'static str> = Vec::new();
+        for route in &self.routes {
+            let Some(params) = Router::matches(route, &segments) else {
+                continue;
+            };
+            if route.method == request.method {
+                return (route.handler)(request, &params);
+            }
+            if !allowed.contains(&route.method) {
+                allowed.push(route.method);
+            }
+        }
+        if allowed.is_empty() {
+            return Response::json(404, "{\"error\":\"no such route\"}");
+        }
+        allowed.sort_unstable();
+        let mut response = Response::json(405, "{\"error\":\"method not allowed\"}");
+        response.allow = Some(allowed.join(", "));
+        response
+    }
+}
+
+/// Register the standard single-engine control routes under `prefix`
+/// (empty for solo serve, `/tenants/<id>` per fleet tenant), reading
+/// views and latching flags on `shared`, exporting metrics from
+/// `recorder`.
+pub fn register_control_routes(
+    router: &mut Router,
+    prefix: &str,
+    shared: Arc<ControlShared>,
+    recorder: Recorder,
+) {
+    let at = |route: &str| format!("{prefix}{route}");
+    let view = |field: fn(&ControlShared) -> &Mutex<String>| {
+        let shared = Arc::clone(&shared);
+        move |_: &Request, _: &RouteParams| {
+            let body = field(&shared).lock().map(|s| s.clone()).unwrap_or_default();
+            Response::json(200, body)
+        }
+    };
+    router.route("GET", &at("/status"), view(|s| &s.status));
+    router.route("GET", &at("/schedule"), view(|s| &s.schedule));
+    {
+        let recorder = recorder.clone();
+        router.route("GET", &at("/metrics"), move |req, _| {
+            metrics_response(req, &recorder)
+        });
+    }
+    {
+        let shared = Arc::clone(&shared);
+        router.route("GET", &at("/health"), move |_, _| health_response(&shared));
+    }
+    {
+        let shared = Arc::clone(&shared);
+        router.route("GET", &at("/timeseries"), move |req, _| {
+            timeseries_response(req, &shared)
+        });
+    }
+    {
+        let shared = Arc::clone(&shared);
+        router.route("POST", &at("/checkpoint"), move |_, _| {
+            shared.checkpoint_requested.store(true, Ordering::SeqCst);
+            Response::json(200, "{\"ok\": true, \"action\": \"checkpoint\"}")
+        });
+    }
+    {
+        let shared = Arc::clone(&shared);
+        router.route("POST", &at("/shutdown"), move |_, _| {
+            shared.shutdown_requested.store(true, Ordering::SeqCst);
+            Response::json(200, "{\"ok\": true, \"action\": \"shutdown\"}")
+        });
+    }
+}
+
+/// `GET .../metrics` body for a recorder, honoring `?format=`.
+pub fn metrics_response(request: &Request, recorder: &Recorder) -> Response {
+    match request.query_param("format") {
+        None | Some("json") => {
+            let body = recorder
+                .metrics_json()
+                .unwrap_or_else(|| "{\"counters\": {}, \"gauges\": {}, \"histograms\": {}}".into());
+            Response::json(200, body)
+        }
+        Some("prometheus") => Response::text(
+            200,
+            prometheus::CONTENT_TYPE,
+            recorder.metrics_prometheus().unwrap_or_default(),
+        ),
+        Some(_) => Response::json(
+            404,
+            "{\"error\":\"unknown format (want json or prometheus)\"}",
+        ),
+    }
+}
+
+/// `GET .../health` body for a shared view: 503 while breached.
+pub fn health_response(shared: &ControlShared) -> Response {
+    let body = shared.health.lock().map(|s| s.clone()).unwrap_or_default();
+    let body = if body.is_empty() {
+        "{\"state\": \"ok\"}\n".to_string()
+    } else {
+        body
+    };
+    let status = if shared.health_breach.load(Ordering::SeqCst) {
+        503
+    } else {
+        200
+    };
+    Response::json(status, body)
+}
+
+/// `GET .../timeseries` body for a shared view, honoring `since`/`limit`.
+pub fn timeseries_response(request: &Request, shared: &ControlShared) -> Response {
+    let since = request
+        .query_param("since")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0);
+    let limit = request
+        .query_param("limit")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(usize::MAX);
+    let body = shared
+        .series
+        .lock()
+        .map(|s| s.to_json(since, limit))
+        .unwrap_or_default();
+    Response::json(200, body)
+}
+
+/// Decode `%XX` escapes. Returns `None` on a malformed escape or if the
+/// decoded bytes are not UTF-8; `+` is left alone (it is only a space in
+/// form bodies, not paths).
+pub fn percent_decode(s: &str) -> Option<String> {
+    if !s.contains('%') {
+        return Some(s.to_string());
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = |b: Option<&u8>| b.and_then(|b| (*b as char).to_digit(16));
+            let hi = hex(bytes.get(i + 1))?;
+            let lo = hex(bytes.get(i + 2))?;
+            out.push((hi * 16 + lo) as u8);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
 }
 
 /// The running control plane: a bound listener plus its accept thread.
 pub struct ControlPlane {
     addr: SocketAddr,
-    shared: Arc<ControlShared>,
+    stop: Arc<AtomicBool>,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -78,22 +395,35 @@ impl std::fmt::Debug for ControlPlane {
 }
 
 impl ControlPlane {
-    /// Start serving on an already-bound listener. The recorder gains a
-    /// `serve.requests` counter and a `serve.request_latency_us`
-    /// histogram.
+    /// Start the standard single-engine plane on an already-bound
+    /// listener: [`register_control_routes`] with an empty prefix.
     pub fn start(
         listener: TcpListener,
         shared: Arc<ControlShared>,
         recorder: Recorder,
     ) -> std::io::Result<ControlPlane> {
+        let mut router = Router::new();
+        register_control_routes(&mut router, "", shared, recorder.clone());
+        ControlPlane::start_router(listener, router, recorder)
+    }
+
+    /// Start serving an arbitrary route table. The recorder gains a
+    /// `serve.requests` counter and a `serve.request_latency_us`
+    /// histogram.
+    pub fn start_router(
+        listener: TcpListener,
+        router: Router,
+        recorder: Recorder,
+    ) -> std::io::Result<ControlPlane> {
         let addr = listener.local_addr()?;
-        let thread_shared = Arc::clone(&shared);
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
         let thread = std::thread::Builder::new()
             .name("freshen-serve-http".into())
-            .spawn(move || accept_loop(&listener, &thread_shared, &recorder))?;
+            .spawn(move || accept_loop(&listener, &thread_stop, &router, &recorder))?;
         Ok(ControlPlane {
             addr,
-            shared,
+            stop,
             thread: Some(thread),
         })
     }
@@ -107,7 +437,7 @@ impl ControlPlane {
     /// requests are in flight: the loop finishes the current connection,
     /// then exits.
     pub fn stop(mut self) {
-        self.shared.stop_accept.store(true, Ordering::SeqCst);
+        self.stop.store(true, Ordering::SeqCst);
         // Unblock the (otherwise blocking) accept call.
         let _ = TcpStream::connect(self.addr);
         if let Some(thread) = self.thread.take() {
@@ -116,11 +446,11 @@ impl ControlPlane {
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<ControlShared>, recorder: &Recorder) {
+fn accept_loop(listener: &TcpListener, stop: &AtomicBool, router: &Router, recorder: &Recorder) {
     let requests = recorder.counter("serve.requests");
     let latency = recorder.histogram("serve.request_latency_us", &duration_us_buckets());
     for stream in listener.incoming() {
-        if shared.stop_accept.load(Ordering::SeqCst) {
+        if stop.load(Ordering::SeqCst) {
             break;
         }
         let Ok(mut stream) = stream else { continue };
@@ -128,17 +458,13 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ControlShared>, recorder: &R
         requests.inc();
         let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
         let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-        let _ = handle(&mut stream, shared, recorder);
+        let _ = handle(&mut stream, router);
         latency.observe(started.elapsed().as_secs_f64() * 1e6);
     }
 }
 
 /// Read the request head (bounded), parse the request line, and answer.
-fn handle(
-    stream: &mut TcpStream,
-    shared: &Arc<ControlShared>,
-    recorder: &Recorder,
-) -> std::io::Result<()> {
+fn handle(stream: &mut TcpStream, router: &Router) -> std::io::Result<()> {
     let mut head = Vec::with_capacity(512);
     let mut buf = [0u8; 512];
     let complete = loop {
@@ -157,11 +483,9 @@ fn handle(
         }
     };
     if !complete {
-        let response = respond(
+        let result = write_response(
             stream,
-            431,
-            JSON,
-            "{\"error\":\"request head too large or torn\"}",
+            &Response::json(431, "{\"error\":\"request head too large or torn\"}"),
         );
         // Drain whatever the client already sent before closing: a close
         // with unread bytes in the receive buffer turns into a TCP RST,
@@ -169,7 +493,7 @@ fn handle(
         let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
         let mut scratch = [0u8; 512];
         while matches!(stream.read(&mut scratch), Ok(n) if n > 0) {}
-        return response;
+        return result;
     }
     let head = String::from_utf8_lossy(&head);
     let mut request_line = head.lines().next().unwrap_or("").split_whitespace();
@@ -179,131 +503,60 @@ fn handle(
         Some((p, q)) => (p, q),
         None => (target, ""),
     };
-
-    match (method, path) {
-        ("GET", "/status") => {
-            let body = shared.status.lock().map(|s| s.clone()).unwrap_or_default();
-            respond(stream, 200, JSON, &body)
-        }
-        ("GET", "/schedule") => {
-            let body = shared
-                .schedule
-                .lock()
-                .map(|s| s.clone())
-                .unwrap_or_default();
-            respond(stream, 200, JSON, &body)
-        }
-        ("GET", "/metrics") => match query_param(query, "format") {
-            None | Some("json") => {
-                let body = recorder.metrics_json().unwrap_or_else(|| {
-                    "{\"counters\": {}, \"gauges\": {}, \"histograms\": {}}".into()
-                });
-                respond(stream, 200, JSON, &body)
-            }
-            Some("prometheus") => {
-                let body = recorder.metrics_prometheus().unwrap_or_default();
-                respond(stream, 200, prometheus::CONTENT_TYPE, &body)
-            }
-            Some(_) => respond(
-                stream,
-                404,
-                JSON,
-                "{\"error\":\"unknown format (want json or prometheus)\"}",
-            ),
-        },
-        ("GET", "/health") => {
-            let body = shared.health.lock().map(|s| s.clone()).unwrap_or_default();
-            let body = if body.is_empty() {
-                "{\"state\": \"ok\"}\n".to_string()
-            } else {
-                body
-            };
-            let status = if shared.health_breach.load(Ordering::SeqCst) {
-                503
-            } else {
-                200
-            };
-            respond(stream, status, JSON, &body)
-        }
-        ("GET", "/timeseries") => {
-            let since = query_param(query, "since")
-                .and_then(|v| v.parse::<u64>().ok())
-                .unwrap_or(0);
-            let limit = query_param(query, "limit")
-                .and_then(|v| v.parse::<usize>().ok())
-                .unwrap_or(usize::MAX);
-            let body = shared
-                .series
-                .lock()
-                .map(|s| s.to_json(since, limit))
-                .unwrap_or_default();
-            respond(stream, 200, JSON, &body)
-        }
-        ("POST", "/checkpoint") => {
-            shared.checkpoint_requested.store(true, Ordering::SeqCst);
-            respond(
-                stream,
-                200,
-                JSON,
-                "{\"ok\": true, \"action\": \"checkpoint\"}",
-            )
-        }
-        ("POST", "/shutdown") => {
-            shared.shutdown_requested.store(true, Ordering::SeqCst);
-            respond(
-                stream,
-                200,
-                JSON,
-                "{\"ok\": true, \"action\": \"shutdown\"}",
-            )
-        }
-        (
-            _,
-            "/status" | "/schedule" | "/metrics" | "/health" | "/timeseries" | "/checkpoint"
-            | "/shutdown",
-        ) => respond(stream, 405, JSON, "{\"error\":\"method not allowed\"}"),
-        _ => respond(stream, 404, JSON, "{\"error\":\"no such route\"}"),
-    }
-}
-
-/// Look up `key` in a raw query string (`a=1&b=2`). No percent-decoding:
-/// every value this plane accepts is alphanumeric.
-fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
-    query
-        .split('&')
-        .filter_map(|pair| pair.split_once('='))
-        .find(|(k, _)| *k == key)
-        .map(|(_, v)| v)
+    let response = match percent_decode(path) {
+        Some(path) => router.dispatch(&Request {
+            method: method.to_string(),
+            path,
+            query: query.to_string(),
+        }),
+        None => Response::json(400, "{\"error\":\"bad percent-escape in path\"}"),
+    };
+    write_response(stream, &response)
 }
 
 const JSON: &str = "application/json";
 
-fn respond(
-    stream: &mut TcpStream,
-    status: u16,
-    content_type: &str,
-    body: &str,
-) -> std::io::Result<()> {
-    let reason = match status {
+fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let reason = match response.status {
         200 => "OK",
+        400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
         431 => "Request Header Fields Too Large",
         503 => "Service Unavailable",
         _ => "Error",
     };
-    let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
+    let mut head = format!(
+        "HTTP/1.1 {} {reason}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+        response.status,
+        response.content_type,
+        response.body.len()
     );
+    if let Some(allow) = &response.allow {
+        head.push_str("Allow: ");
+        head.push_str(allow);
+        head.push_str("\r\n");
+    }
+    head.push_str("Connection: close\r\n\r\n");
     stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
     stream.flush()
 }
 
 /// Minimal blocking HTTP client for tests and the bench probe: send one
 /// request, return `(status, body)`.
 pub fn request(addr: SocketAddr, method: &str, path: &str) -> std::io::Result<(u16, String)> {
+    let (status, _headers, body) = request_full(addr, method, path)?;
+    Ok((status, body))
+}
+
+/// Like [`request`], but also returns the raw header block (everything
+/// between the status line and the blank line).
+pub fn request_full(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+) -> std::io::Result<(u16, String, String)> {
     let mut stream = TcpStream::connect_timeout(&addr, IO_TIMEOUT)?;
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
@@ -317,11 +570,15 @@ pub fn request(addr: SocketAddr, method: &str, path: &str) -> std::io::Result<(u
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "torn status line"))?;
-    let body = response
+    let (head, body) = response
         .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
+        .map(|(h, b)| (h.to_string(), b.to_string()))
+        .unwrap_or((response.clone(), String::new()));
+    let headers = head
+        .split_once("\r\n")
+        .map(|(_, rest)| rest.to_string())
         .unwrap_or_default();
-    Ok((status, body))
+    Ok((status, headers, body))
 }
 
 #[cfg(test)]
@@ -371,6 +628,78 @@ mod tests {
 
         plane.stop();
         assert!(recorder.counter_value("serve.requests").unwrap() >= 7);
+    }
+
+    #[test]
+    fn method_mismatch_carries_an_allow_header() {
+        let (plane, _shared, _recorder) = start_test_plane();
+        let addr = plane.local_addr();
+        let (status, headers, _) = request_full(addr, "GET", "/shutdown").unwrap();
+        assert_eq!(status, 405);
+        assert!(headers.contains("Allow: POST"), "{headers}");
+        let (status, headers, _) = request_full(addr, "DELETE", "/status").unwrap();
+        assert_eq!(status, 405);
+        assert!(headers.contains("Allow: GET"), "{headers}");
+        plane.stop();
+    }
+
+    #[test]
+    fn paths_are_percent_decoded_before_routing() {
+        let (plane, _shared, _recorder) = start_test_plane();
+        let addr = plane.local_addr();
+        let (status, body) = request(addr, "GET", "/%73tatus").unwrap();
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(body, "{\"epoch\": 3}");
+        let (status, _) = request(addr, "GET", "/%zztatus").unwrap();
+        assert_eq!(status, 400, "malformed escape is a client error");
+        let (status, _) = request(addr, "GET", "/%fftatus").unwrap();
+        assert_eq!(status, 400, "non-UTF-8 decode is a client error");
+        plane.stop();
+    }
+
+    #[test]
+    fn percent_decode_handles_escapes_and_rejects_garbage() {
+        assert_eq!(percent_decode("/plain").as_deref(), Some("/plain"));
+        assert_eq!(percent_decode("/a%20b").as_deref(), Some("/a b"));
+        assert_eq!(
+            percent_decode("%74%65%6Eant-1").as_deref(),
+            Some("tenant-1")
+        );
+        assert_eq!(percent_decode("a+b").as_deref(), Some("a+b"));
+        assert_eq!(percent_decode("%"), None);
+        assert_eq!(percent_decode("%1"), None);
+        assert_eq!(percent_decode("%gg"), None);
+        assert_eq!(percent_decode("%ff"), None, "lone 0xff is not UTF-8");
+    }
+
+    #[test]
+    fn router_captures_params_and_collects_allowed_methods() {
+        let mut router = Router::new();
+        router.route("GET", "/tenants/{id}/status", |_, params| {
+            Response::json(
+                200,
+                format!("{{\"id\": \"{}\"}}", params.get("id").unwrap()),
+            )
+        });
+        router.route("POST", "/tenants/{id}/checkpoint", |_, _| {
+            Response::json(200, "{}")
+        });
+        router.route("POST", "/tenants/{id}/status", |_, _| {
+            Response::json(200, "{}")
+        });
+        let req = |method: &str, path: &str| Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            query: String::new(),
+        };
+        let ok = router.dispatch(&req("GET", "/tenants/acme-1/status"));
+        assert_eq!(ok.status, 200);
+        assert!(ok.body.contains("acme-1"), "{}", ok.body);
+        let miss = router.dispatch(&req("GET", "/tenants/acme-1/nope"));
+        assert_eq!(miss.status, 404);
+        let wrong = router.dispatch(&req("DELETE", "/tenants/acme-1/status"));
+        assert_eq!(wrong.status, 405);
+        assert_eq!(wrong.allow.as_deref(), Some("GET, POST"));
     }
 
     #[test]

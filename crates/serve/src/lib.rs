@@ -60,8 +60,13 @@ pub mod http;
 pub mod service;
 pub mod snapshot;
 
-pub use http::{request, ControlPlane, ControlShared};
+pub use http::{
+    health_response, metrics_response, percent_decode, register_control_routes, request,
+    request_full, timeseries_response, ControlPlane, ControlShared, Request, Response, RouteParams,
+    Router,
+};
 pub use service::{
-    ExitReason, ServeConfig, ServeOutcome, ServeWorkload, Server, ACCESS_SEED_SALT, POLL_SEED_SALT,
+    publish_engine_views, ExitReason, ServeConfig, ServeOutcome, ServeWorkload, Server,
+    ACCESS_SEED_SALT, POLL_SEED_SALT,
 };
 pub use snapshot::{Snapshot, SnapshotShape, SourceState};

@@ -446,39 +446,60 @@ impl Server {
 
     /// Refresh the `/status` and `/schedule` JSON views.
     fn update_views(&self, engine: &Engine, checkpoints: usize, state: &str) {
-        let last = engine.history().last();
-        let status = format!(
-            "{{\"state\": \"{state}\", \"epoch\": {}, \"epochs\": {}, \"elements\": {}, \"realized_pf\": {}, \"drift\": {}, \"resolved\": {}, \"checkpoints\": {checkpoints}}}",
-            engine.epoch(),
+        publish_engine_views(
+            &self.shared,
+            engine,
             self.config.engine.epochs,
             self.workload.elements(),
-            json_num(last.map_or(f64::NAN, |e| e.realized_pf)),
-            json_num(last.map_or(f64::NAN, |e| e.drift)),
-            last.is_some_and(|e| e.resolved),
+            checkpoints,
+            state,
         );
-        let schedule = engine.schedule();
-        let freqs: Vec<String> = schedule.frequencies.iter().map(|&f| json_num(f)).collect();
-        let schedule_json = format!(
-            "{{\"frequencies\": [{}], \"perceived_freshness\": {}, \"bandwidth_used\": {}}}",
-            freqs.join(", "),
-            json_num(schedule.perceived_freshness),
-            json_num(schedule.bandwidth_used),
-        );
-        if let Ok(mut view) = self.shared.status.lock() {
-            *view = status;
-        }
-        if let Ok(mut view) = self.shared.schedule.lock() {
-            *view = schedule_json;
-        }
-        if let Ok(mut view) = self.shared.health.lock() {
-            *view = engine.health_json().unwrap_or_default();
-        }
-        self.shared
-            .health_breach
-            .store(engine.health() == Health::Breach, Ordering::SeqCst);
-        if let Ok(mut view) = self.shared.series.lock() {
-            *view = engine.series().clone();
-        }
+    }
+}
+
+/// Publish the standard control-plane views for one engine into a
+/// [`ControlShared`]: `/status`, `/schedule`, `/health` (plus the breach
+/// flag), and the telemetry series. Shared between the solo serve loop
+/// and the fleet runtime, so a tenant's views read identically to a solo
+/// run's.
+pub fn publish_engine_views(
+    shared: &ControlShared,
+    engine: &Engine,
+    total_epochs: usize,
+    elements: usize,
+    checkpoints: usize,
+    state: &str,
+) {
+    let last = engine.history().last();
+    let status = format!(
+        "{{\"state\": \"{state}\", \"epoch\": {}, \"epochs\": {total_epochs}, \"elements\": {elements}, \"realized_pf\": {}, \"drift\": {}, \"resolved\": {}, \"checkpoints\": {checkpoints}}}",
+        engine.epoch(),
+        json_num(last.map_or(f64::NAN, |e| e.realized_pf)),
+        json_num(last.map_or(f64::NAN, |e| e.drift)),
+        last.is_some_and(|e| e.resolved),
+    );
+    let schedule = engine.schedule();
+    let freqs: Vec<String> = schedule.frequencies.iter().map(|&f| json_num(f)).collect();
+    let schedule_json = format!(
+        "{{\"frequencies\": [{}], \"perceived_freshness\": {}, \"bandwidth_used\": {}}}",
+        freqs.join(", "),
+        json_num(schedule.perceived_freshness),
+        json_num(schedule.bandwidth_used),
+    );
+    if let Ok(mut view) = shared.status.lock() {
+        *view = status;
+    }
+    if let Ok(mut view) = shared.schedule.lock() {
+        *view = schedule_json;
+    }
+    if let Ok(mut view) = shared.health.lock() {
+        *view = engine.health_json().unwrap_or_default();
+    }
+    shared
+        .health_breach
+        .store(engine.health() == Health::Breach, Ordering::SeqCst);
+    if let Ok(mut view) = shared.series.lock() {
+        *view = engine.series().clone();
     }
 }
 

@@ -22,4 +22,4 @@ pub mod scenario;
 pub mod stats;
 pub mod trace;
 
-pub use scenario::{Alignment, Scenario, SizeDist};
+pub use scenario::{Alignment, Scenario, SizeDist, StressScenario};

@@ -259,6 +259,124 @@ impl Scenario {
     }
 }
 
+/// Named stress workloads for the scenario stress matrix: shapes the
+/// baseline Zipf/Gamma machinery does not reach. Selectable by name from
+/// the fleet spec and usable anywhere a [`Problem`] is (engine runs,
+/// `freshen serve`, bench binaries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StressScenario {
+    /// Flash crowd: a tiny hot set (~1% of objects) absorbs an access
+    /// spike while also being the most volatile — the "breaking news"
+    /// case where interest and churn pile onto the same objects and
+    /// bandwidth is starved relative to the update volume.
+    FlashCrowd,
+    /// Diurnal cycle: interest follows a raised cosine over object index
+    /// (a timezone-population model) while change activity runs in
+    /// anti-phase — what is being read now changed least recently.
+    Diurnal,
+}
+
+impl StressScenario {
+    /// Every named stress generator, for enumeration in specs and docs.
+    pub const ALL: [StressScenario; 2] = [StressScenario::FlashCrowd, StressScenario::Diurnal];
+
+    /// Parse a spec-facing name (`flash-crowd`, `diurnal`).
+    pub fn from_name(name: &str) -> Option<StressScenario> {
+        match name {
+            "flash-crowd" => Some(StressScenario::FlashCrowd),
+            "diurnal" => Some(StressScenario::Diurnal),
+            _ => None,
+        }
+    }
+
+    /// The spec-facing name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StressScenario::FlashCrowd => "flash-crowd",
+            StressScenario::Diurnal => "diurnal",
+        }
+    }
+
+    /// Materialize the stressed [`Problem`]: `num_objects` objects whose
+    /// change rates sum to exactly `updates_per_period` against
+    /// `syncs_per_period` of bandwidth. Deterministic in the seed.
+    pub fn problem(
+        &self,
+        num_objects: usize,
+        updates_per_period: f64,
+        syncs_per_period: f64,
+        seed: u64,
+    ) -> Result<Problem> {
+        if num_objects == 0 {
+            return Err(CoreError::Empty);
+        }
+        for (what, v) in [
+            ("updates_per_period", updates_per_period),
+            ("syncs_per_period", syncs_per_period),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(CoreError::InvalidValue {
+                    what,
+                    index: None,
+                    value: v,
+                });
+            }
+        }
+        let n = num_objects;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (mut weights, mut rates): (Vec<f64>, Vec<f64>) = match self {
+            StressScenario::FlashCrowd => {
+                // Zipf base interest with the hot set spiked 50x, and the
+                // same hot set drawing the largest change rates (aligned).
+                let hot = (n / 100).max(1);
+                let weights: Vec<f64> = Zipf::new(n, 1.0)
+                    .probabilities()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| if i < hot { p * 50.0 } else { *p })
+                    .collect();
+                let mut gamma = Gamma::with_mean_std(updates_per_period / n as f64, 2.0);
+                let mut rates: Vec<f64> = (0..n).map(|_| gamma.sample(&mut rng)).collect();
+                rates.sort_by(|a, b| b.partial_cmp(a).expect("rates are finite"));
+                (weights, rates)
+            }
+            StressScenario::Diurnal => {
+                // Raised cosines over object index; change runs half a
+                // cycle behind interest. Gamma jitter keeps objects
+                // distinguishable and makes the seed matter.
+                let mut jitter = Gamma::with_mean_std(1.0, 0.25);
+                let phase = |i: usize| 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+                let weights: Vec<f64> = (0..n)
+                    .map(|i| (1.0 + 0.8 * phase(i).cos()) * jitter.sample(&mut rng))
+                    .collect();
+                let rates: Vec<f64> = (0..n)
+                    .map(|i| {
+                        (1.0 + 0.8 * (phase(i) + std::f64::consts::PI).cos())
+                            * jitter.sample(&mut rng)
+                    })
+                    .collect();
+                (weights, rates)
+            }
+        };
+        let weight_total: f64 = weights.iter().sum();
+        for w in &mut weights {
+            *w /= weight_total;
+        }
+        let rate_total: f64 = rates.iter().sum();
+        if rate_total > 0.0 {
+            let scale = updates_per_period / rate_total;
+            for r in &mut rates {
+                *r *= scale;
+            }
+        }
+        Problem::builder()
+            .change_rates(rates)
+            .access_probs(weights)
+            .bandwidth(syncs_per_period)
+            .build()
+    }
+}
+
 /// Builder for [`Scenario`] with validation on [`build`].
 ///
 /// [`build`]: ScenarioBuilder::build
@@ -589,6 +707,66 @@ mod tests {
         assert_eq!(s.syncs_per_period(), 500.0);
         assert_eq!(s.zipf_theta(), 1.0);
         assert_eq!(s.update_std_dev(), 2.0);
+    }
+
+    #[test]
+    fn stress_names_round_trip() {
+        for s in StressScenario::ALL {
+            assert_eq!(StressScenario::from_name(s.name()), Some(s));
+        }
+        assert_eq!(StressScenario::from_name("baseline"), None);
+    }
+
+    #[test]
+    fn stress_problems_are_deterministic_and_scaled() {
+        for s in StressScenario::ALL {
+            let a = s.problem(400, 800.0, 200.0, 5).unwrap();
+            let b = s.problem(400, 800.0, 200.0, 5).unwrap();
+            assert_eq!(a, b, "{} deterministic in seed", s.name());
+            let c = s.problem(400, 800.0, 200.0, 6).unwrap();
+            assert_ne!(a.change_rates(), c.change_rates());
+            let total: f64 = a.change_rates().iter().sum();
+            assert!((total - 800.0).abs() < 1e-6, "{} rates scaled", s.name());
+            let mass: f64 = a.access_probs().iter().sum();
+            assert!((mass - 1.0).abs() < 1e-9, "{} probs normalized", s.name());
+        }
+    }
+
+    #[test]
+    fn flash_crowd_spikes_a_volatile_hot_set() {
+        let p = StressScenario::FlashCrowd
+            .problem(1000, 2000.0, 500.0, 3)
+            .unwrap();
+        let probs = p.access_probs();
+        let hot: f64 = probs[..10].iter().sum();
+        assert!(hot > 0.5, "1% of objects carry most interest: {hot}");
+        assert!(
+            p.change_rates().windows(2).all(|w| w[0] >= w[1]),
+            "hot objects are also the most volatile"
+        );
+        assert!(
+            rank_correlation_sign(p.change_rates(), probs) > 0.0,
+            "interest and churn aligned"
+        );
+    }
+
+    #[test]
+    fn diurnal_interest_and_change_run_in_anti_phase() {
+        let p = StressScenario::Diurnal
+            .problem(1000, 2000.0, 500.0, 3)
+            .unwrap();
+        assert!(
+            rank_correlation_sign(p.change_rates(), p.access_probs()) < 0.0,
+            "what is read now changed least recently"
+        );
+    }
+
+    #[test]
+    fn stress_validation_rejects_bad_knobs() {
+        let s = StressScenario::FlashCrowd;
+        assert!(s.problem(0, 1.0, 1.0, 0).is_err());
+        assert!(s.problem(10, 0.0, 1.0, 0).is_err());
+        assert!(s.problem(10, 1.0, f64::NAN, 0).is_err());
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! | [`obs`] | zero-dependency metrics/span/trace instrumentation |
 //! | [`engine`] | online runtime: streaming estimation, drift-gated re-solves, budgeted dispatch |
 //! | [`serve`] | service runtime: checkpoint/restore, graceful shutdown, HTTP control plane |
+//! | [`fleet`] | multi-tenant fleet runtime: spec-declared tenants behind one control plane |
 //!
 //! ## End-to-end example
 //!
@@ -58,6 +59,7 @@ pub struct ReadmeDoctests;
 
 pub use freshen_core as core;
 pub use freshen_engine as engine;
+pub use freshen_fleet as fleet;
 pub use freshen_heuristics as heuristics;
 pub use freshen_obs as obs;
 pub use freshen_serve as serve;

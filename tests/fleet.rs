@@ -1,0 +1,344 @@
+//! Integration tests for the fleet runtime (DESIGN.md §14): the
+//! determinism-per-tenant invariant fleet-wide.
+//!
+//! * every tenant's final report is **byte-identical** to a same-seed
+//!   solo `freshen serve` run;
+//! * a fleet killed at *any* round boundary resumes to byte-identical
+//!   reports;
+//! * a tenant whose snapshot fails CRC/validation on resume is
+//!   quarantined while healthy tenants resume normally;
+//! * concurrent HTTP probes against per-tenant routes leave every
+//!   report byte-identical to a headless run.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use freshen::fleet::{Fleet, FleetConfig, FleetSpec, TenantSpec, MANIFEST_FILE};
+use freshen::obs::{prometheus, Recorder};
+use freshen::serve::{request, ExitReason, Server};
+
+const EPOCHS: usize = 6;
+
+fn fleet_spec() -> FleetSpec {
+    let mut spec = FleetSpec::new(vec![
+        TenantSpec {
+            seed: 3,
+            epochs: EPOCHS,
+            ..TenantSpec::new("acme", 6)
+        },
+        TenantSpec {
+            seed: 17,
+            epochs: EPOCHS,
+            scenario: "flash-crowd".into(),
+            access_rate: 150.0,
+            ..TenantSpec::new("bolt", 5)
+        },
+        TenantSpec {
+            seed: 29,
+            epochs: EPOCHS,
+            scenario: "diurnal".into(),
+            failure_rate: 0.1,
+            ..TenantSpec::new("crisp-9", 7)
+        },
+    ])
+    .unwrap();
+    spec.checkpoint_every = 1;
+    spec
+}
+
+fn fleet_config(tag: &str) -> FleetConfig {
+    let dir = std::env::temp_dir().join("freshen-fleet-itest").join(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    FleetConfig {
+        snapshot_dir: dir,
+        ..FleetConfig::default()
+    }
+}
+
+/// Final reports of an uninterrupted headless fleet run, in spec order.
+fn reference_reports(spec: &FleetSpec, tag: &str) -> Vec<String> {
+    let outcome = Fleet::new(spec.clone(), fleet_config(tag))
+        .expect("fleet builds")
+        .run()
+        .expect("uninterrupted fleet run");
+    assert_eq!(outcome.exit, ExitReason::Completed);
+    outcome
+        .tenants
+        .iter()
+        .map(|t| t.report.as_ref().expect("completed tenant").to_json())
+        .collect()
+}
+
+#[test]
+fn every_tenant_matches_its_solo_serve_run() {
+    let spec = fleet_spec();
+    let fleet_reports = reference_reports(&spec, "solo-parity");
+    let dir = std::env::temp_dir()
+        .join("freshen-fleet-itest")
+        .join("solo-runs");
+    std::fs::create_dir_all(&dir).unwrap();
+    for (tenant, fleet_json) in spec.tenants.iter().zip(&fleet_reports) {
+        let solo = Server::new(
+            tenant.workload().unwrap(),
+            tenant.serve_config(dir.join(tenant.snapshot_file())),
+        )
+        .expect("solo server builds")
+        .run()
+        .expect("solo run");
+        assert_eq!(
+            solo.report.expect("solo completes").to_json(),
+            *fleet_json,
+            "tenant `{}` diverged between fleet and solo runs",
+            tenant.id
+        );
+    }
+}
+
+#[test]
+fn kill_and_resume_is_byte_identical_at_every_round_boundary() {
+    let spec = fleet_spec();
+    let expected = reference_reports(&spec, "resume-ref");
+
+    for kill_at in 1..EPOCHS {
+        let config = fleet_config(&format!("resume-{kill_at}"));
+        let dir = config.snapshot_dir.clone();
+        let drained = Fleet::new(
+            spec.clone(),
+            FleetConfig {
+                drain_after: Some(kill_at),
+                ..config.clone()
+            },
+        )
+        .expect("fleet builds")
+        .run()
+        .expect("drained leg");
+        assert_eq!(drained.exit, ExitReason::Drained);
+        assert_eq!(drained.rounds_run, kill_at);
+        assert!(
+            drained.tenants.iter().all(|t| t.report.is_none()),
+            "a drained fleet has no reports"
+        );
+        assert!(dir.join(MANIFEST_FILE).exists());
+
+        let resumed = Fleet::new(
+            spec.clone(),
+            FleetConfig {
+                resume_dir: Some(dir),
+                ..config
+            },
+        )
+        .expect("fleet builds")
+        .run()
+        .expect("resumed leg");
+        assert_eq!(resumed.exit, ExitReason::Completed);
+        let got: Vec<String> = resumed
+            .tenants
+            .iter()
+            .map(|t| t.report.as_ref().expect("completed").to_json())
+            .collect();
+        assert_eq!(got, expected, "kill at round {kill_at}: reports diverged");
+    }
+}
+
+/// Drain a fleet into `tag`'s snapshot dir and hand back the dir.
+fn drained_dir(spec: &FleetSpec, tag: &str) -> PathBuf {
+    let config = fleet_config(tag);
+    let dir = config.snapshot_dir.clone();
+    Fleet::new(
+        spec.clone(),
+        FleetConfig {
+            drain_after: Some(2),
+            ..config
+        },
+    )
+    .expect("fleet builds")
+    .run()
+    .expect("drained leg");
+    dir
+}
+
+fn resume_with_recorder(spec: &FleetSpec, dir: &Path) -> (freshen::fleet::FleetOutcome, Recorder) {
+    let recorder = Recorder::enabled();
+    let outcome = Fleet::new(
+        spec.clone(),
+        FleetConfig {
+            resume_dir: Some(dir.to_path_buf()),
+            snapshot_dir: dir.to_path_buf(),
+            ..FleetConfig::default()
+        },
+    )
+    .expect("fleet builds")
+    .with_recorder(recorder.clone())
+    .run()
+    .expect("resume with damage still runs");
+    (outcome, recorder)
+}
+
+#[test]
+fn corrupted_tenants_are_quarantined_while_the_rest_resume() {
+    let spec = fleet_spec();
+    let expected = reference_reports(&spec, "quarantine-ref");
+
+    // Battery: each kind of per-tenant damage quarantines exactly that
+    // tenant; the others resume to byte-identical reports.
+    let bit_flip = |path: &Path| {
+        let mut bytes = std::fs::read(path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(path, &bytes).unwrap();
+    };
+    let truncate = |path: &Path| {
+        let bytes = std::fs::read(path).unwrap();
+        std::fs::write(path, &bytes[..bytes.len() / 3]).unwrap();
+    };
+    let delete = |path: &Path| std::fs::remove_file(path).unwrap();
+    type Damage<'a> = &'a dyn Fn(&Path);
+    let damages: Vec<(&str, Damage)> = vec![
+        ("bit-flip", &bit_flip),
+        ("truncate", &truncate),
+        ("delete", &delete),
+    ];
+
+    for (victim_index, (kind, damage)) in damages.into_iter().enumerate() {
+        let victim = &spec.tenants[victim_index];
+        let dir = drained_dir(&spec, &format!("quarantine-{kind}"));
+        damage(&dir.join(victim.snapshot_file()));
+
+        let (outcome, recorder) = resume_with_recorder(&spec, &dir);
+        assert_eq!(outcome.exit, ExitReason::Completed);
+        for (i, (tenant, result)) in spec.tenants.iter().zip(&outcome.tenants).enumerate() {
+            if i == victim_index {
+                assert!(
+                    result.quarantined,
+                    "{kind}: `{}` not quarantined",
+                    tenant.id
+                );
+                assert!(result.report.is_none());
+            } else {
+                assert!(!result.quarantined, "{kind}: `{}` quarantined", tenant.id);
+                assert_eq!(
+                    result.report.as_ref().expect("healthy tenant").to_json(),
+                    expected[i],
+                    "{kind}: healthy tenant `{}` diverged",
+                    tenant.id
+                );
+            }
+        }
+        assert_eq!(
+            recorder.counter_value("fleet.quarantined"),
+            Some(1),
+            "{kind}: quarantine counter"
+        );
+        let trace = recorder.chrome_trace_json().expect("trace export");
+        assert!(
+            trace.contains("fleet.quarantine") && trace.contains(&victim.id),
+            "{kind}: journaled alert names the tenant: {trace}"
+        );
+    }
+
+    // Swapping two tenants' snapshot files fails both manifest CRCs.
+    let dir = drained_dir(&spec, "quarantine-swap");
+    let a = dir.join(spec.tenants[0].snapshot_file());
+    let b = dir.join(spec.tenants[1].snapshot_file());
+    let tmp = dir.join("swap.tmp");
+    std::fs::rename(&a, &tmp).unwrap();
+    std::fs::rename(&b, &a).unwrap();
+    std::fs::rename(&tmp, &b).unwrap();
+    let (outcome, recorder) = resume_with_recorder(&spec, &dir);
+    assert!(outcome.tenants[0].quarantined && outcome.tenants[1].quarantined);
+    assert!(!outcome.tenants[2].quarantined);
+    assert_eq!(
+        outcome.tenants[2].report.as_ref().unwrap().to_json(),
+        expected[2]
+    );
+    assert_eq!(recorder.counter_value("fleet.quarantined"), Some(2));
+
+    // A corrupt manifest is a whole-fleet error, not a quarantine: no
+    // tenant's provenance can be trusted without it.
+    let dir = drained_dir(&spec, "quarantine-manifest");
+    bit_flip(&dir.join(MANIFEST_FILE));
+    let err = Fleet::new(
+        spec.clone(),
+        FleetConfig {
+            resume_dir: Some(dir.clone()),
+            snapshot_dir: dir,
+            ..FleetConfig::default()
+        },
+    )
+    .unwrap()
+    .run()
+    .unwrap_err();
+    assert!(err.to_string().contains("manifest"), "{err}");
+}
+
+#[test]
+fn concurrent_probes_leave_reports_byte_identical() {
+    let spec = fleet_spec();
+    let expected = reference_reports(&spec, "probe-ref");
+
+    let fleet = Fleet::new(
+        spec.clone(),
+        FleetConfig {
+            listen: Some("127.0.0.1:0".into()),
+            round_throttle: Some(Duration::from_millis(3)),
+            ..fleet_config("probe")
+        },
+    )
+    .expect("fleet builds")
+    .with_recorder(Recorder::enabled());
+    let addr = fleet.local_addr().expect("bound");
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Probe threads cycle the per-tenant and fleet routes while every
+    // round runs; responses must always be well-formed.
+    let mut probes = Vec::new();
+    for tenant in &spec.tenants {
+        let stop = Arc::clone(&stop);
+        let id = tenant.id.clone();
+        probes.push(std::thread::spawn(move || {
+            let routes = [
+                format!("/tenants/{id}/status"),
+                format!("/tenants/{id}/schedule"),
+                format!("/tenants/{id}/metrics"),
+                format!("/tenants/{id}/health"),
+                format!("/tenants/{id}/timeseries?limit=3"),
+                format!("/tenants/{id}"),
+                "/tenants".to_string(),
+                "/status".to_string(),
+                "/metrics?format=prometheus".to_string(),
+            ];
+            let mut hits = 0usize;
+            while !stop.load(Ordering::SeqCst) {
+                for route in &routes {
+                    let Ok((status, body)) = request(addr, "GET", route) else {
+                        continue;
+                    };
+                    assert!(
+                        status == 200 || status == 503,
+                        "GET {route} -> {status}: {body}"
+                    );
+                    if route.contains("prometheus") && status == 200 && !body.is_empty() {
+                        prometheus::validate_exposition(&body).expect("labeled exposition");
+                        assert!(body.contains("tenant=\"_fleet\""), "{body}");
+                    }
+                    hits += 1;
+                }
+            }
+            hits
+        }));
+    }
+
+    let outcome = fleet.run().expect("probed fleet run");
+    stop.store(true, Ordering::SeqCst);
+    let hits: usize = probes.into_iter().map(|p| p.join().unwrap()).sum();
+    assert!(hits > 0, "probes landed while the fleet ran");
+    assert_eq!(outcome.exit, ExitReason::Completed);
+    let got: Vec<String> = outcome
+        .tenants
+        .iter()
+        .map(|t| t.report.as_ref().expect("completed").to_json())
+        .collect();
+    assert_eq!(got, expected, "probing perturbed a tenant's trajectory");
+}
