@@ -1,17 +1,33 @@
 //! **Parallel scaling benchmark** — the sharded two-level solve plus
-//! parallel PF evaluation across mirror sizes and worker counts.
+//! parallel PF evaluation across mirror sizes and worker counts, with
+//! hot-path columns for incremental KKT repair and the calendar-queue
+//! dispatcher.
 //!
 //! For each mirror size N the serial baseline is the global Lagrange
-//! solve followed by a serial PF evaluation. Each (N, threads) cell then
-//! runs the two-level sharded solve (outer bisection on the shared
-//! multiplier, per-shard water-filling fanned out on the pool) plus the
-//! chunked parallel PF evaluation, reporting wall-clock speedup over the
-//! serial baseline and PF parity |pf − pf_serial| (the shard equivalence
-//! argument says parity should sit at solver tolerance, ≤ 1e-6).
+//! solve followed by a serial PF evaluation; its wall time also yields
+//! the single-thread solve throughput (elements/sec). Each (N, threads)
+//! cell then runs the two-level sharded solve (outer bisection on the
+//! shared multiplier, per-shard water-filling fanned out on the pool)
+//! plus the chunked parallel PF evaluation, reporting wall-clock speedup
+//! over the serial baseline and PF parity |pf − pf_serial| (the shard
+//! equivalence argument says parity should sit at solver tolerance,
+//! ≤ 1e-6).
 //!
-//! Grid: N ∈ {10⁴, 10⁵, 10⁶} × threads ∈ {1, 2, 4, 8}; pass `--smoke`
-//! for the CI-sized grid N ∈ {10⁴, 10⁵} × threads ∈ {1, 2, 4}. Telemetry
-//! lands in `results/BENCH_scale.json`.
+//! Two extra rows per size exercise the solve→dispatch hot path:
+//!
+//! * `repair/…` — tilt ~1% of the change rates, then patch the previous
+//!   optimum by incremental KKT repair and certify it with the strict
+//!   [`SolutionAudit`]; the `speedup` column is full-warm-re-solve time
+//!   over repair time (the acceptance bound wants repair ≤ 10% of the
+//!   warm re-solve, i.e. a ratio ≥ 10 at the largest N).
+//! * `dispatch/…` — run the allocation-free calendar-queue dispatcher
+//!   over the solved schedule for a few epochs and report events/sec
+//!   (single-thread; the dispatcher is serial by design).
+//!
+//! Grid: N ∈ {10⁴, 10⁵, 10⁶, 10⁷} × threads ∈ {1, 2, 4, 8}; pass
+//! `--smoke` for the CI-sized grid N ∈ {10⁴, 10⁵} × threads ∈ {1, 2, 4}.
+//! Telemetry lands in `results/BENCH_scale.json`, stamped with the
+//! available core count.
 //!
 //! Speedups only materialize with real cores — on a single-core box every
 //! cell degenerates to ~1×, which the header line calls out.
@@ -19,6 +35,8 @@
 use freshen_bench::{header, row, timed, BenchReport, BenchRun};
 use freshen_core::exec::Executor;
 use freshen_core::problem::Problem;
+use freshen_core::SolutionAudit;
+use freshen_engine::{EngineConfig, PollDispatcher, PollSource};
 use freshen_obs::Recorder;
 use freshen_solver::LagrangeSolver;
 
@@ -26,6 +44,10 @@ use freshen_solver::LagrangeSolver;
 /// worker fed at the largest thread count without shrinking the per-shard
 /// water-filling below chunking granularity.
 const SHARDS: usize = 32;
+
+/// Epochs driven through the dispatcher per size (first epoch warms the
+/// calendar queue's buckets; all epochs count toward throughput).
+const DISPATCH_EPOCHS: usize = 3;
 
 /// Deterministic synthetic mirror: striped rates, Zipf-flavoured access
 /// weights, and a striped size mix — no RNG, so every run and every
@@ -43,12 +65,42 @@ fn scale_problem(n: usize) -> Problem {
         .expect("scale problem builds")
 }
 
+/// Tilt every `stride`-th change rate by ×1.5, returning the drifted
+/// problem and the touched ids — the localized-drift input incremental
+/// repair is built for.
+fn drifted(problem: &Problem, stride: usize) -> (Problem, Vec<usize>) {
+    let mut rates = problem.change_rates().to_vec();
+    let mut touched = Vec::new();
+    for i in (0..rates.len()).step_by(stride) {
+        rates[i] *= 1.5;
+        touched.push(i);
+    }
+    let after = Problem::builder()
+        .change_rates(rates)
+        .access_probs(problem.access_probs().to_vec())
+        .sizes(problem.sizes().to_vec())
+        .bandwidth(problem.bandwidth())
+        .build()
+        .expect("drifted problem builds");
+    (after, touched)
+}
+
+/// Poll source for the dispatcher throughput row: alternating outcomes,
+/// no RNG, O(1) per poll.
+struct StripedSource;
+
+impl PollSource for StripedSource {
+    fn poll(&mut self, element: usize, _time: f64) -> bool {
+        !element.is_multiple_of(3)
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (sizes, thread_grid): (&[usize], &[usize]) = if smoke {
         (&[10_000, 100_000], &[1, 2, 4])
     } else {
-        (&[10_000, 100_000, 1_000_000], &[1, 2, 4, 8])
+        (&[10_000, 100_000, 1_000_000, 10_000_000], &[1, 2, 4, 8])
     };
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
@@ -74,6 +126,7 @@ fn main() {
     let mut bench = BenchReport::new("scale")
         .with_meta("smoke", smoke)
         .with_meta("shards", SHARDS)
+        .with_meta("cores", cores)
         .with_meta(
             "sizes",
             sizes
@@ -93,21 +146,144 @@ fn main() {
     for &n in sizes {
         let problem = scale_problem(n);
 
-        // Serial baseline: global solve + serial evaluation.
+        // Serial baseline: global solve + serial evaluation. Wall time
+        // doubles as the single-thread solve throughput figure.
         let serial_recorder = Recorder::enabled();
         let serial_solver = LagrangeSolver {
             recorder: serial_recorder.clone(),
             ..Default::default()
         };
-        let (serial_pf, serial_wall) = timed(|| {
+        let (serial_solution, serial_wall) = timed(|| {
             let solution = serial_solver.solve(&problem).expect("serial solve");
-            problem.perceived_freshness(&solution.frequencies)
+            let pf = problem.perceived_freshness(&solution.frequencies);
+            (solution, pf)
         });
+        let (serial_solution, serial_pf) = serial_solution;
+        let solve_elements_per_sec = n as f64 / serial_wall.max(f64::MIN_POSITIVE);
+        println!("# solve/n={n}: {solve_elements_per_sec:.0} elements/sec single-thread");
         let label = format!("serial/n={n}");
         row(&label, &[n as f64, 1.0, serial_wall, 1.0, serial_pf, 0.0]);
         let mut serial_run = BenchRun::from_recorder(&label, serial_wall, &serial_recorder);
         serial_run.pf = Some(serial_pf);
+        serial_run.events_per_sec = Some(solve_elements_per_sec);
         bench.push(serial_run);
+
+        // Incremental repair vs. a full warm re-solve on ~1% local drift.
+        // Both start from the same certified previous optimum; the repair
+        // output must itself clear the strict KKT certificate.
+        let stride = (n / 100).max(2);
+        let (after, touched) = drifted(&problem, stride);
+        let mu = serial_solution.multiplier.expect("serial solve converged");
+        let inner_before = serial_recorder
+            .counter_value("solver.inner_iters")
+            .unwrap_or(0);
+        let (full, full_wall) = timed(|| {
+            serial_solver
+                .solve_warm(&after, mu)
+                .expect("full warm re-solve")
+        });
+        let (outcome, repair_wall) = timed(|| {
+            serial_solver
+                .repair(&after, &serial_solution, &touched)
+                .expect("repair converges on local drift")
+        });
+        println!(
+            "# repair/n={n}: {} probes ({} inner) vs full warm {} outer iters ({:?} inner)",
+            outcome.probes,
+            outcome.inner_iters,
+            full.iterations,
+            serial_recorder
+                .counter_value("solver.inner_iters")
+                .unwrap_or(0)
+                - inner_before,
+        );
+        let repaired = outcome.solution;
+        let certificate = SolutionAudit::default()
+            .check(&after, &repaired, serial_solver.policy)
+            .expect("audit runs");
+        assert!(
+            certificate.is_clean(),
+            "n={n}: repaired solution failed the strict certificate: {}",
+            certificate.to_json()
+        );
+        let repair_speedup = full_wall / repair_wall.max(f64::MIN_POSITIVE);
+        let repair_pf = after.perceived_freshness(&repaired.frequencies);
+        let label = format!("repair/n={n}");
+        row(
+            &label,
+            &[
+                n as f64,
+                1.0,
+                repair_wall,
+                repair_speedup,
+                repair_pf,
+                (touched.len() as f64) / n as f64,
+            ],
+        );
+        bench.push(BenchRun {
+            name: label,
+            wall_seconds: repair_wall,
+            pf: Some(repair_pf),
+            solver_iterations: None,
+            events_per_sec: Some(repair_speedup),
+        });
+
+        // Calendar-queue dispatcher throughput over the solved schedule
+        // (single-thread by design: the drain is a serial total order).
+        let config = EngineConfig {
+            failure_rate: 0.05,
+            max_retries: 1,
+            seed: 7,
+            ..EngineConfig::default()
+        };
+        let mut dispatcher =
+            PollDispatcher::new(n, problem.bandwidth(), &config).expect("dispatcher builds");
+        let priorities: Vec<f64> = problem
+            .access_probs()
+            .iter()
+            .zip(problem.change_rates())
+            .map(|(&p, &l)| p * l)
+            .collect();
+        let mut source = StripedSource;
+        let (events, dispatch_wall) = timed(|| {
+            let mut events = 0u64;
+            for epoch in 0..DISPATCH_EPOCHS {
+                let outcome = dispatcher
+                    .run_epoch(
+                        epoch,
+                        epoch as f64,
+                        1.0,
+                        &serial_solution.frequencies,
+                        &priorities,
+                        &mut source,
+                        &Recorder::disabled(),
+                    )
+                    .expect("dispatch epoch");
+                events += outcome.dispatched;
+            }
+            events
+        });
+        let events_per_sec = events as f64 / dispatch_wall.max(f64::MIN_POSITIVE);
+        println!("# dispatch/n={n}: {events_per_sec:.0} events/sec single-thread");
+        let label = format!("dispatch/n={n}");
+        row(
+            &label,
+            &[
+                n as f64,
+                1.0,
+                dispatch_wall,
+                events_per_sec,
+                serial_pf,
+                dispatcher.queue_grows() as f64,
+            ],
+        );
+        bench.push(BenchRun {
+            name: label,
+            wall_seconds: dispatch_wall,
+            pf: None,
+            solver_iterations: None,
+            events_per_sec: Some(events_per_sec),
+        });
 
         for &threads in thread_grid {
             let recorder = Recorder::enabled();

@@ -38,6 +38,10 @@
 //!   crossbeam thread pool) behind every parallel hot loop;
 //! * [`shard`] — [`ShardedProblem`], the contiguous-after-sort partition
 //!   view the two-level parallel solve is built on;
+//! * [`soa`] — structure-of-arrays column views ([`ProblemColumns`],
+//!   [`PackedColumns`]): gather the hot columns once, then run every
+//!   solver probe over contiguous memory instead of per-probe index
+//!   indirection;
 //! * [`numeric`] — compensated (Neumaier) summation so million-element
 //!   accumulations stay accurate.
 //!
@@ -78,6 +82,7 @@ pub mod profile;
 pub mod schedule;
 pub mod selection;
 pub mod shard;
+pub mod soa;
 
 pub use audit::{AuditReport, AuditViolation, SolutionAudit, ViolationKind};
 pub use error::{CoreError, Result};
@@ -85,3 +90,4 @@ pub use exec::Executor;
 pub use policy::SyncPolicy;
 pub use problem::{Element, Problem, Solution};
 pub use shard::ShardedProblem;
+pub use soa::{ColumnsRef, PackedColumns, ProblemColumns};

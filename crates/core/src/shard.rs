@@ -23,6 +23,7 @@
 //! this and the property tests assert PF parity against the global solve.
 
 use crate::problem::Problem;
+use crate::soa::{ColumnsRef, PackedColumns};
 
 /// Rate below which an element is effectively static (matches the
 /// solver's treatment: such elements stay fresh without bandwidth and are
@@ -31,11 +32,14 @@ const STATIC_RATE: f64 = 1e-12;
 
 /// A partition of a problem's indices into `K` contiguous-after-sort
 /// shards. Borrows the problem; building one costs a single `O(n log n)`
-/// sort.
+/// sort plus one gather of the `p`/`λ`/`s` columns into sorted order, so
+/// each shard's data is a **true contiguous sub-slice** of the packed
+/// columns ([`shard_columns`](Self::shard_columns)) — per-shard inner
+/// solves stream memory linearly instead of chasing the permutation.
 #[derive(Debug, Clone)]
 pub struct ShardedProblem<'a> {
     problem: &'a Problem,
-    order: Vec<usize>,
+    columns: PackedColumns,
     bounds: Vec<usize>,
 }
 
@@ -69,8 +73,8 @@ impl<'a> ShardedProblem<'a> {
         let run = n.div_ceil(k).max(1);
         let bounds: Vec<usize> = (0..=k).map(|j| (j * run).min(n)).collect();
         ShardedProblem {
+            columns: PackedColumns::gather(problem, &order),
             problem,
-            order,
             bounds,
         }
     }
@@ -91,7 +95,16 @@ impl<'a> ShardedProblem<'a> {
     /// # Panics
     /// Panics when `j >= num_shards()`.
     pub fn shard(&self, j: usize) -> &[usize] {
-        &self.order[self.bounds[j]..self.bounds[j + 1]]
+        &self.columns.ids()[self.bounds[j]..self.bounds[j + 1]]
+    }
+
+    /// The packed `p`/`λ`/`s` data of shard `j` as true contiguous
+    /// sub-slices of the sorted columns.
+    ///
+    /// # Panics
+    /// Panics when `j >= num_shards()`.
+    pub fn shard_columns(&self, j: usize) -> ColumnsRef<'_> {
+        self.columns.slice(self.bounds[j]..self.bounds[j + 1])
     }
 
     /// Iterate over all shards in order.
@@ -101,7 +114,19 @@ impl<'a> ShardedProblem<'a> {
 
     /// The full sorted index order (the concatenation of all shards).
     pub fn order(&self) -> &[usize] {
-        &self.order
+        self.columns.ids()
+    }
+
+    /// The full sorted columns (the concatenation of all shards'
+    /// sub-slices).
+    pub fn columns(&self) -> &PackedColumns {
+        &self.columns
+    }
+
+    /// Half-open packed extent `[bounds[j], bounds[j+1])` of shard `j`
+    /// within [`columns`](Self::columns).
+    pub fn shard_range(&self, j: usize) -> std::ops::Range<usize> {
+        self.bounds[j]..self.bounds[j + 1]
     }
 }
 
@@ -161,6 +186,26 @@ mod tests {
         // Contiguity: shard j's members are a contiguous slice of `order`.
         let rebuilt: Vec<usize> = sharded.shards().flatten().copied().collect();
         assert_eq!(rebuilt, order);
+    }
+
+    #[test]
+    fn shard_columns_are_true_subslices() {
+        let p = problem(101);
+        let sharded = ShardedProblem::new(&p, 8);
+        let all = sharded.columns();
+        for j in 0..sharded.num_shards() {
+            let cols = sharded.shard_columns(j);
+            let range = sharded.shard_range(j);
+            assert_eq!(cols.ids, sharded.shard(j));
+            // Borrowed, not copied: the shard's columns alias the packed
+            // sorted columns directly.
+            assert!(std::ptr::eq(cols.p.as_ptr(), all.p()[range].as_ptr()));
+            for (k, &i) in cols.ids.iter().enumerate() {
+                assert_eq!(cols.p[k], p.access_probs()[i]);
+                assert_eq!(cols.lambda[k], p.change_rates()[i]);
+                assert_eq!(cols.s[k], p.sizes()[i]);
+            }
+        }
     }
 
     #[test]

@@ -54,6 +54,12 @@ pub struct EngineConfig {
     pub drift_threshold: f64,
     /// Re-solve policy (drift-gated vs. every-epoch oracle).
     pub resolve_policy: ResolvePolicy,
+    /// Incremental-repair gate: when a re-solve fires and the drift
+    /// monitor localises it to at most this fraction of elements, the
+    /// scheduler patches the previous optimum by KKT repair (then
+    /// certifies with the strict audit) instead of re-running the full
+    /// warm-started water-fill. `0.0` disables repair entirely.
+    pub repair_fraction: f64,
     /// Change-rate estimator choice.
     pub estimator: EstimatorKind,
     /// Per-observation decay of the access-profile counts (1.0 = plain
@@ -106,6 +112,7 @@ impl Default for EngineConfig {
             warmup_epochs: 5,
             drift_threshold: 0.05,
             resolve_policy: ResolvePolicy::DriftGated,
+            repair_fraction: 0.1,
             estimator: EstimatorKind::Ewma { gain: 0.1 },
             profile_decay: 0.9995,
             smoothing: 0.5,
@@ -147,6 +154,9 @@ impl EngineConfig {
         }
         if !self.drift_threshold.is_finite() || self.drift_threshold <= 0.0 {
             return Err(bad("drift threshold", self.drift_threshold));
+        }
+        if !self.repair_fraction.is_finite() || !(0.0..=1.0).contains(&self.repair_fraction) {
+            return Err(bad("repair fraction", self.repair_fraction));
         }
         match self.estimator {
             EstimatorKind::Ewma { gain } => {
@@ -236,6 +246,13 @@ mod tests {
                     ..ok.clone()
                 },
                 "drift threshold",
+            ),
+            (
+                EngineConfig {
+                    repair_fraction: 1.5,
+                    ..ok.clone()
+                },
+                "repair fraction",
             ),
             (
                 EngineConfig {

@@ -39,12 +39,11 @@
 //!
 //! [`max_backlog`]: crate::config::EngineConfig::max_backlog
 
-use std::collections::BinaryHeap;
-
 use freshen_core::error::{CoreError, Result};
 use freshen_core::numeric::neumaier_sum;
 use freshen_obs::Recorder;
 
+use crate::calendar::CalendarQueue;
 use crate::config::EngineConfig;
 use crate::source::PollSource;
 
@@ -108,36 +107,15 @@ fn failure_draw(seed: u64, element: usize, attempt_index: u64) -> f64 {
     (splitmix64(key) >> 11) as f64 / (1u64 << 53) as f64
 }
 
-/// A queued poll attempt: min-heap on (time, sequence).
-#[derive(Debug, PartialEq)]
-struct Pending {
-    time: f64,
-    seq: u64,
-    element: usize,
-    attempt: u32,
-}
-impl Eq for Pending {}
-impl Ord for Pending {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest first.
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-impl PartialOrd for Pending {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-/// The dispatcher: owns per-element credit and failure state across
-/// epochs.
+/// The dispatcher: owns per-element credit, failure state, and the
+/// persistent dispatch queue across epochs.
 #[derive(Debug)]
 pub struct PollDispatcher {
     credit: Vec<f64>,
     attempt_counter: Vec<u64>,
+    /// Persistent calendar queue: constructed once, re-binned (capacity
+    /// retained) every epoch — steady-state epochs allocate nothing.
+    queue: CalendarQueue,
     bandwidth: f64,
     budget_factor: f64,
     max_backlog: f64,
@@ -165,6 +143,7 @@ impl PollDispatcher {
         Ok(PollDispatcher {
             credit: vec![0.0; n],
             attempt_counter: vec![0; n],
+            queue: CalendarQueue::new(),
             bandwidth,
             budget_factor: config.budget_factor,
             max_backlog: config.max_backlog,
@@ -352,22 +331,21 @@ impl PollDispatcher {
 
         // 4. Execute in time order: admitted polls spread across the
         // epoch (admission order ⇒ priority order ⇒ earlier slots);
-        // retries re-enter the queue at their backoff instant.
+        // retries re-enter the queue at their backoff instant. The
+        // calendar queue pops in exactly the old heap's (time, seq)
+        // order, but with O(1) amortized operations and — being
+        // persistent — zero steady-state allocation.
         let latency = recorder.histogram("engine.dispatch_latency", &LATENCY_BUCKETS);
         let epoch_end = epoch_start + epoch_len;
         let slot = epoch_len / admitted.len().max(1) as f64;
-        let mut queue = BinaryHeap::with_capacity(admitted.len());
-        let mut seq = 0u64;
+        let grows_before = self.queue.grows();
+        self.queue
+            .begin_epoch(epoch_start, epoch_len, admitted.len());
         for (k, &element) in admitted.iter().enumerate() {
-            queue.push(Pending {
-                time: epoch_start + (k as f64 + 0.5) * slot,
-                seq,
-                element,
-                attempt: 0,
-            });
-            seq += 1;
+            self.queue
+                .push(epoch_start + (k as f64 + 0.5) * slot, element, 0);
         }
-        while let Some(p) = queue.pop() {
+        while let Some(p) = self.queue.pop() {
             outcome.dispatched += 1;
             let attempt_index = self.attempt_counter[p.element];
             self.attempt_counter[p.element] += 1;
@@ -378,14 +356,12 @@ impl PollDispatcher {
                 if p.attempt < self.max_retries && budget_left >= 1.0 {
                     budget_left -= 1.0;
                     outcome.retries += 1;
-                    queue.push(Pending {
+                    self.queue.push(
                         // Linear backoff, clamped so epochs stay ordered.
-                        time: (p.time + self.retry_backoff * (p.attempt + 1) as f64).min(epoch_end),
-                        seq,
-                        element: p.element,
-                        attempt: p.attempt + 1,
-                    });
-                    seq += 1;
+                        (p.time + self.retry_backoff * (p.attempt + 1) as f64).min(epoch_end),
+                        p.element,
+                        p.attempt + 1,
+                    );
                 } else {
                     outcome.abandoned += 1;
                     outcome.starved[p.element] = true;
@@ -412,7 +388,18 @@ impl PollDispatcher {
                 attempts: p.attempt,
             });
         }
+        let grown = self.queue.grows() - grows_before;
+        if grown > 0 {
+            recorder.counter("engine.queue_grows").add(grown);
+        }
         Ok(outcome)
+    }
+
+    /// Lifetime capacity-growth events of the persistent dispatch queue.
+    /// Steady-state epochs must not move this — the no-churn regression
+    /// test in `tests/properties.rs` asserts it.
+    pub fn queue_grows(&self) -> u64 {
+        self.queue.grows()
     }
 }
 

@@ -70,6 +70,12 @@ pub struct EngineReport {
     pub resolves: u64,
     /// Epoch observations absorbed without re-solving.
     pub skips: u64,
+    /// Resolves satisfied by certified incremental KKT repair (a subset
+    /// of `resolves`).
+    pub repairs: u64,
+    /// Repair attempts that failed the strict certificate (or diverged)
+    /// and fell back to a full warm re-solve.
+    pub repair_fallbacks: u64,
     /// Mean realized perceived freshness over post-warmup epochs.
     pub realized_pf: f64,
     /// Per-epoch detail, in order.
@@ -133,6 +139,8 @@ impl EngineReport {
         let _ = writeln!(out, "  \"deferred\": {},", self.deferred);
         let _ = writeln!(out, "  \"resolves\": {},", self.resolves);
         let _ = writeln!(out, "  \"skips\": {},", self.skips);
+        let _ = writeln!(out, "  \"repairs\": {},", self.repairs);
+        let _ = writeln!(out, "  \"repair_fallbacks\": {},", self.repair_fallbacks);
         let _ = writeln!(out, "  \"realized_pf\": {},", fmt_f64(self.realized_pf));
         out.push_str("  \"epochs\": [\n");
         for (i, epoch) in self.epochs.iter().enumerate() {
@@ -175,6 +183,8 @@ mod tests {
             deferred: 4,
             resolves: 2,
             skips: 1,
+            repairs: 1,
+            repair_fallbacks: 0,
             realized_pf: 0.75,
             epochs: vec![
                 EpochStats {
@@ -220,6 +230,8 @@ mod tests {
             "\"epoch_len\": 1.0",
             "\"seed\": 7",
             "\"events\": 120",
+            "\"repairs\": 1",
+            "\"repair_fallbacks\": 0",
             "\"realized_pf\": 0.75",
             "\"drift\": 0.12",
             "\"resolved\": true",

@@ -158,7 +158,8 @@ impl Engine {
             bandwidth: prior.bandwidth(),
             profile: ProfileEstimator::new(n, config.profile_decay)?,
             rates: RateTracker::new(n, config.estimator, config.fallback_rate)?,
-            scheduler: AdaptiveScheduler::new(prior, config.drift_threshold)?,
+            scheduler: AdaptiveScheduler::new(prior, config.drift_threshold)?
+                .with_repair_fraction(config.repair_fraction),
             dispatcher: PollDispatcher::new(n, prior.bandwidth(), &config)?,
             recorder: Recorder::disabled(),
             executor: Executor::serial(),
@@ -257,6 +258,8 @@ impl Engine {
         let epoch = self.history.len();
         let resolve_counter = self.recorder.counter("engine.resolves");
         let skip_counter = self.recorder.counter("engine.skips");
+        let repair_counter = self.recorder.counter("engine.repairs");
+        let repair_fallback_counter = self.recorder.counter("engine.repair_fallbacks");
         let audit_counter = self.recorder.counter("audit.violations");
         let offload_counter = self.recorder.counter("engine.offloaded_resolves");
         let drift_gauge = self.recorder.gauge("engine.drift");
@@ -359,6 +362,8 @@ impl Engine {
         if self.executor.is_parallel() {
             offload_counter.inc();
         }
+        let repairs_before = self.scheduler.repairs();
+        let fallbacks_before = self.scheduler.repair_fallbacks();
         let (resolve_outcome, realized_pf) = {
             let scheduler = &mut self.scheduler;
             let estimates = &self.estimates;
@@ -378,6 +383,8 @@ impl Engine {
         } else {
             skip_counter.inc();
         }
+        repair_counter.add((self.scheduler.repairs() - repairs_before) as u64);
+        repair_fallback_counter.add((self.scheduler.repair_fallbacks() - fallbacks_before) as u64);
         drift_gauge.set(drift);
         pf_gauge.set(realized_pf);
 
@@ -488,6 +495,8 @@ impl Engine {
             deferred: 0,
             resolves: self.scheduler.resolves() as u64,
             skips: self.scheduler.skips() as u64,
+            repairs: self.scheduler.repairs() as u64,
+            repair_fallbacks: self.scheduler.repair_fallbacks() as u64,
             realized_pf: 0.0,
             epochs: self.history.clone(),
         };
@@ -543,6 +552,8 @@ impl Engine {
             baseline_rates: self.scheduler.monitor().baseline_rates().to_vec(),
             resolves: self.scheduler.resolves() as u64,
             skips: self.scheduler.skips() as u64,
+            repairs: self.scheduler.repairs() as u64,
+            repair_fallbacks: self.scheduler.repair_fallbacks() as u64,
             last_drift: self.scheduler.last_drift(),
             credit: self.dispatcher.credit().to_vec(),
             attempts: self.dispatcher.attempt_counts().to_vec(),
@@ -640,6 +651,8 @@ impl Engine {
             state.skips as usize,
             state.last_drift,
         )?
+        .with_repair_fraction(self.config.repair_fraction)
+        .with_repair_counters(state.repairs as usize, state.repair_fallbacks as usize)
         .with_executor(self.executor.clone());
         // The live `(p̂, λ̂)` snapshot is a pure function of estimator
         // state, so it is recomputed rather than checkpointed. Before the

@@ -71,6 +71,12 @@ pub struct EngineState {
     pub resolves: u64,
     /// Re-solve decisions absorbed without solving.
     pub skips: u64,
+    /// Resolves satisfied by certified incremental KKT repair (a subset
+    /// of `resolves`).
+    pub repairs: u64,
+    /// Repair attempts that failed the certificate (or diverged) and
+    /// fell back to a full warm re-solve.
+    pub repair_fallbacks: u64,
     /// Drift measured by the most recent decision, if any.
     pub last_drift: Option<f64>,
     /// Dispatcher per-element outstanding poll credit.

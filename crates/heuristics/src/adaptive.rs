@@ -14,6 +14,7 @@
 //!   multiplier ([`LagrangeSolver::solve_warm`]), which roughly halves the
 //!   outer iterations for small drifts.
 
+use freshen_core::audit::SolutionAudit;
 use freshen_core::error::{CoreError, Result};
 use freshen_core::problem::{Problem, Solution};
 use freshen_solver::LagrangeSolver;
@@ -145,6 +146,68 @@ impl DriftMonitor {
         })
     }
 
+    /// The elements responsible for the measured drift: indices whose
+    /// per-element Jeffreys contribution (profile term plus change-rate
+    /// term) exceeds twice the mean contribution.
+    ///
+    /// Localized drift concentrates its divergence on the few elements
+    /// that actually moved — their contributions sit orders of magnitude
+    /// above the mean, while the untouched majority only carries the
+    /// second-order wobble that renormalization induces. The cut at
+    /// `2×mean` therefore isolates the movers without a tuning knob.
+    ///
+    /// Used to *seed* incremental KKT repair
+    /// ([`LagrangeSolver::repair`]); repair's correctness never depends
+    /// on this set being exact, so a fuzzy classification only costs a
+    /// few extra inner iterations.
+    pub fn touched(&self, current: &Problem) -> Result<Vec<usize>> {
+        let contributions = self.drift_contributions(current)?;
+        let n = contributions.len();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let mean = contributions.iter().sum::<f64>() / n as f64;
+        let cut = 2.0 * mean;
+        Ok((0..n).filter(|&i| contributions[i] > cut).collect())
+    }
+
+    /// Per-element Jeffreys contributions (profile + rate terms), the
+    /// decomposition [`drift`](Self::drift) sums.
+    fn drift_contributions(&self, current: &Problem) -> Result<Vec<f64>> {
+        let terms = |a: &[f64], b: &[f64]| -> Result<Vec<f64>> {
+            if a.len() != b.len() {
+                return Err(CoreError::LengthMismatch {
+                    what: "divergence vectors",
+                    expected: a.len(),
+                    actual: b.len(),
+                });
+            }
+            const EPS: f64 = 1e-12;
+            let sa: f64 = a.iter().sum();
+            let sb: f64 = b.iter().sum();
+            for sum in [sa, sb] {
+                if !sum.is_finite() || sum <= 0.0 {
+                    return Err(CoreError::InvalidValue {
+                        what: "divergence mass",
+                        index: None,
+                        value: sum,
+                    });
+                }
+            }
+            Ok(a.iter()
+                .zip(b)
+                .map(|(&x, &y)| {
+                    let p = (x / sa).max(EPS);
+                    let q = (y / sb).max(EPS);
+                    (p - q) * (p / q).ln()
+                })
+                .collect())
+        };
+        let probs = terms(&self.baseline_probs, current.access_probs())?;
+        let rates = terms(&self.baseline_rates, current.change_rates())?;
+        Ok(probs.iter().zip(&rates).map(|(&a, &b)| a + b).collect())
+    }
+
     /// Re-baseline after a re-solve.
     pub fn rebaseline(&mut self, problem: &Problem) {
         self.baseline_probs.clear();
@@ -165,11 +228,17 @@ pub struct AdaptiveScheduler {
     current: Solution,
     resolves: usize,
     skips: usize,
+    repairs: usize,
+    repair_fallbacks: usize,
+    repair_fraction: f64,
     last_drift: Option<f64>,
 }
 
 impl AdaptiveScheduler {
     /// Solve the initial problem and arm the drift monitor.
+    ///
+    /// Incremental repair is off by default
+    /// ([`with_repair_fraction`](Self::with_repair_fraction) enables it).
     pub fn new(problem: &Problem, drift_threshold: f64) -> Result<Self> {
         let solver = LagrangeSolver::default();
         let current = solver.solve(problem)?;
@@ -179,8 +248,31 @@ impl AdaptiveScheduler {
             current,
             resolves: 1,
             skips: 0,
+            repairs: 0,
+            repair_fallbacks: 0,
+            repair_fraction: 0.0,
             last_drift: None,
         })
+    }
+
+    /// Enable incremental KKT repair (builder form): when a re-solve
+    /// fires and the drift monitor attributes the drift to at most
+    /// `fraction` of the elements, patch the previous optimum with
+    /// [`LagrangeSolver::repair`] instead of running the full outer
+    /// bisection, then certify the patched solution with the strict
+    /// [`SolutionAudit`] ("repair then certify"). A failed repair or a
+    /// failed certificate falls back to the full warm re-solve and is
+    /// counted in [`repair_fallbacks`](Self::repair_fallbacks).
+    ///
+    /// `0.0` (the default) disables repair; values are clamped to
+    /// `[0.0, 1.0]`; non-finite values disable.
+    pub fn with_repair_fraction(mut self, fraction: f64) -> Self {
+        self.repair_fraction = if fraction.is_finite() {
+            fraction.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        self
     }
 
     /// Attach an execution strategy for subsequent re-solves (builder
@@ -205,6 +297,24 @@ impl AdaptiveScheduler {
     /// Updates that were absorbed without re-solving.
     pub fn skips(&self) -> usize {
         self.skips
+    }
+
+    /// Re-solves served by certified incremental repair (a subset of
+    /// [`resolves`](Self::resolves)).
+    pub fn repairs(&self) -> usize {
+        self.repairs
+    }
+
+    /// Repair attempts that fell back to the full warm re-solve (repair
+    /// diverged or its certificate failed).
+    pub fn repair_fallbacks(&self) -> usize {
+        self.repair_fallbacks
+    }
+
+    /// The configured repair gate: the largest touched-set fraction
+    /// repair is attempted for (0 = disabled).
+    pub fn repair_fraction(&self) -> f64 {
+        self.repair_fraction
     }
 
     /// Drift measured by the most recent [`observe`](Self::observe) or
@@ -245,8 +355,21 @@ impl AdaptiveScheduler {
             current,
             resolves,
             skips,
+            repairs: 0,
+            repair_fallbacks: 0,
+            repair_fraction: 0.0,
             last_drift,
         })
+    }
+
+    /// Restore the repair counters alongside [`from_state`](Self::from_state)
+    /// (builder form): a restored scheduler with matching counters and
+    /// repair gate makes byte-identical decisions — and exports
+    /// byte-identical state — from the next observation on.
+    pub fn with_repair_counters(mut self, repairs: usize, repair_fallbacks: usize) -> Self {
+        self.repairs = repairs;
+        self.repair_fallbacks = repair_fallbacks;
+        self
     }
 
     fn check_size(&self, problem: &Problem) -> Result<()> {
@@ -262,6 +385,9 @@ impl AdaptiveScheduler {
 
     fn resolve_inner(&mut self, problem: &Problem) -> Result<()> {
         let hint = self.current.multiplier.unwrap_or(0.0);
+        if hint > 0.0 && self.try_repair(problem)? {
+            return Ok(());
+        }
         self.current = if hint > 0.0 {
             self.solver.solve_warm(problem, hint)?
         } else {
@@ -270,6 +396,40 @@ impl AdaptiveScheduler {
         self.monitor.rebaseline(problem);
         self.resolves += 1;
         Ok(())
+    }
+
+    /// Repair-then-certify: attempt incremental repair when the gate is
+    /// open and the drift is localized enough; install the repaired
+    /// schedule only when the strict KKT certificate passes. Returns
+    /// whether the repair was installed; `Ok(false)` (repair not
+    /// attempted, diverged, or decertified) means the caller must run the
+    /// full re-solve.
+    fn try_repair(&mut self, problem: &Problem) -> Result<bool> {
+        if self.repair_fraction <= 0.0 {
+            return Ok(false);
+        }
+        let touched = self.monitor.touched(problem)?;
+        if touched.len() as f64 > self.repair_fraction * problem.len() as f64 {
+            return Ok(false); // drift too broad: full re-solve is cheaper
+        }
+        let repaired = match self.solver.repair(problem, &self.current, &touched) {
+            Ok(outcome) => outcome.solution,
+            Err(CoreError::NoConvergence { .. }) => {
+                self.repair_fallbacks += 1;
+                return Ok(false);
+            }
+            Err(e) => return Err(e),
+        };
+        let certificate = SolutionAudit::default().check(problem, &repaired, self.solver.policy)?;
+        if !certificate.is_clean() {
+            self.repair_fallbacks += 1;
+            return Ok(false);
+        }
+        self.current = repaired;
+        self.monitor.rebaseline(problem);
+        self.resolves += 1;
+        self.repairs += 1;
+        Ok(true)
     }
 
     /// Feed the latest estimates. Re-solves (warm-started) when the drift
@@ -495,6 +655,111 @@ mod tests {
             warm.iterations,
             cold.iterations
         );
+    }
+
+    fn locally_perturbed(problem: &Problem, stride: usize, factor: f64) -> Problem {
+        let probs: Vec<f64> = problem
+            .access_probs()
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| if i % stride == 0 { p * factor } else { p })
+            .collect();
+        Problem::builder()
+            .change_rates(problem.change_rates().to_vec())
+            .access_weights(probs)
+            .bandwidth(problem.bandwidth())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn touched_set_isolates_local_drift() {
+        let p = base_problem();
+        let monitor = DriftMonitor::new(&p, 0.02).unwrap();
+        let drifted = locally_perturbed(&p, 50, 3.0);
+        let touched = monitor.touched(&drifted).unwrap();
+        assert!(!touched.is_empty());
+        assert!(
+            touched.len() <= p.len() / 10,
+            "local drift flagged {} of {} elements",
+            touched.len(),
+            p.len()
+        );
+        // The heavy movers are flagged. (Renormalization also lets a few
+        // heavy *non*-movers into the set — harmless: the touched set only
+        // seeds repair, it never gates correctness.)
+        let movers = touched.iter().filter(|&&i| i % 50 == 0).count();
+        assert!(movers > 0, "at least the heavy movers must be flagged");
+        assert!(monitor.touched(&p).unwrap().is_empty(), "no drift, no set");
+    }
+
+    #[test]
+    fn repair_gated_scheduler_matches_full_resolve() {
+        let p = base_problem();
+        let mut plain = AdaptiveScheduler::new(&p, 0.02).unwrap();
+        let mut gated = AdaptiveScheduler::new(&p, 0.02)
+            .unwrap()
+            .with_repair_fraction(0.2);
+        let drifted = locally_perturbed(&p, 40, 2.5);
+        assert!(plain.observe(&drifted).unwrap());
+        assert!(gated.observe(&drifted).unwrap());
+        assert_eq!(
+            gated.repairs(),
+            1,
+            "localized drift must take the repair path"
+        );
+        assert_eq!(gated.repair_fallbacks(), 0);
+        assert!(
+            (gated.schedule().perceived_freshness - plain.schedule().perceived_freshness).abs()
+                < 1e-9,
+            "repaired PF {} vs full re-solve PF {}",
+            gated.schedule().perceived_freshness,
+            plain.schedule().perceived_freshness
+        );
+    }
+
+    #[test]
+    fn broad_drift_bypasses_repair() {
+        let p = base_problem();
+        let mut gated = AdaptiveScheduler::new(&p, 0.02)
+            .unwrap()
+            .with_repair_fraction(0.05);
+        // Every element moves: the touched set exceeds the gate, so the
+        // full warm re-solve runs and no fallback is charged.
+        let drifted = perturbed(&p, 2.0);
+        assert!(gated.observe(&drifted).unwrap());
+        assert_eq!(gated.repairs(), 0);
+        assert_eq!(gated.resolves(), 2);
+    }
+
+    #[test]
+    fn repair_counters_survive_state_roundtrip() {
+        let p = base_problem();
+        let mut sched = AdaptiveScheduler::new(&p, 0.02)
+            .unwrap()
+            .with_repair_fraction(0.2);
+        let drifted = locally_perturbed(&p, 40, 2.5);
+        assert!(sched.observe(&drifted).unwrap());
+        assert_eq!(sched.repairs(), 1);
+
+        let restored = AdaptiveScheduler::from_state(
+            sched.schedule().clone(),
+            DriftMonitor::from_state(
+                sched.monitor().baseline_probs().to_vec(),
+                sched.monitor().baseline_rates().to_vec(),
+                0.02,
+            )
+            .unwrap(),
+            sched.resolves(),
+            sched.skips(),
+            sched.last_drift(),
+        )
+        .unwrap()
+        .with_repair_counters(sched.repairs(), sched.repair_fallbacks())
+        .with_repair_fraction(0.2);
+        assert_eq!(restored.repairs(), 1);
+        assert_eq!(restored.repair_fallbacks(), 0);
+        assert_eq!(restored.repair_fraction(), 0.2);
     }
 
     #[test]

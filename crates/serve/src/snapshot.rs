@@ -36,10 +36,11 @@ use freshen_obs::{EpochSample, Health, SloAlert, SloState, TimeSeriesState};
 /// File magic: the first four bytes of every snapshot.
 pub const MAGIC: [u8; 4] = *b"FRSN";
 /// Current format version. Version 2 added the telemetry time-series
-/// ring and the optional SLO-evaluator state; version-1 files are
-/// rejected (re-run from the trace rather than silently dropping the
-/// telemetry contract).
-pub const VERSION: u32 = 2;
+/// ring and the optional SLO-evaluator state; version 3 added the
+/// scheduler's repair/repair-fallback counters (incremental KKT repair).
+/// Older files are rejected (re-run from the trace rather than silently
+/// dropping counters out of the determinism contract).
+pub const VERSION: u32 = 3;
 /// Upper bound on any encoded collection length — a CRC-valid file
 /// claiming more is rejected rather than allocated.
 const MAX_LEN: u64 = 1 << 24;
@@ -358,6 +359,8 @@ impl Snapshot {
         e.vec_f64(&s.baseline_rates);
         e.u64(s.resolves);
         e.u64(s.skips);
+        e.u64(s.repairs);
+        e.u64(s.repair_fallbacks);
         e.opt_f64(s.last_drift);
         e.vec_f64(&s.credit);
         e.vec_u64(&s.attempts);
@@ -519,6 +522,8 @@ impl Snapshot {
         let baseline_rates = d.vec_f64()?;
         let resolves = d.u64()?;
         let skips = d.u64()?;
+        let repairs = d.u64()?;
+        let repair_fallbacks = d.u64()?;
         let last_drift = d.opt_f64()?;
         let credit = d.vec_f64()?;
         let attempts = d.vec_u64()?;
@@ -599,6 +604,8 @@ impl Snapshot {
             baseline_rates,
             resolves,
             skips,
+            repairs,
+            repair_fallbacks,
             last_drift,
             credit,
             attempts,
@@ -695,6 +702,8 @@ mod tests {
                 baseline_rates: vec![2.0, 1.0, 0.5],
                 resolves: 2,
                 skips: 3,
+                repairs: 1,
+                repair_fallbacks: 1,
                 last_drift: Some(0.01),
                 credit: vec![0.0, 0.5, -0.0],
                 attempts: vec![9, 4, 1],

@@ -288,6 +288,11 @@ impl Simulation {
     /// sweeps fail one scenario and continue.
     pub fn run(&self) -> Result<SimReport> {
         let n = self.problem.len();
+        // Structure-of-arrays view of the problem: the event loop reads
+        // `cols.s[element]` per link event and the generators sweep the
+        // `p`/`λ` columns linearly, so everything below iterates
+        // contiguous column slices rather than re-borrowing the problem.
+        let cols = self.problem.columns();
         let horizon = self.config.warmup_periods + self.config.periods;
 
         // Instrumentation handles: registered once here, each a no-op when
@@ -317,14 +322,12 @@ impl Simulation {
 
         let mut source = Source::new(n);
         let mut mirror = Mirror::new(n);
-        let mut evaluator =
-            FreshnessEvaluator::with_executor(self.problem.access_probs(), &self.executor);
+        let mut evaluator = FreshnessEvaluator::with_executor(cols.p, &self.executor);
 
         // Independent streams with decorrelated seeds.
-        let mut updates =
-            UpdateGenerator::new(self.problem.change_rates(), self.config.seed ^ 0x5eed_0001);
+        let mut updates = UpdateGenerator::new(cols.lambda, self.config.seed ^ 0x5eed_0001);
         let mut accesses = AccessGenerator::new_with_executor(
-            self.problem.access_probs(),
+            cols.p,
             self.config.accesses_per_period,
             self.config.seed ^ 0x5eed_0002,
             &self.executor,
@@ -403,7 +406,7 @@ impl Simulation {
                             let capacity = self
                                 .link_capacity
                                 .ok_or_else(|| inconsistent("link events imply a link"))?;
-                            let duration = self.problem.sizes()[element] / capacity;
+                            let duration = cols.s[element] / capacity;
                             link_events.push(TimedLinkEvent {
                                 time: time + duration,
                                 seq: link_seq,
@@ -442,7 +445,7 @@ impl Simulation {
                         Some(capacity) => {
                             // Enqueue the transfer on the FIFO link.
                             let start = time.max(link_free_at);
-                            let duration = self.problem.sizes()[element] / capacity;
+                            let duration = cols.s[element] / capacity;
                             link_free_at = start + duration;
                             // Busy-time accounting clips at the horizon so a
                             // backlogged queue cannot report utilization > 1.
@@ -492,8 +495,8 @@ impl Simulation {
             access_counts,
             link_utilization: self.link_capacity.map(|_| link_busy_time / horizon),
             analytic_age: self.sync_policy.perceived_age_exec(
-                self.problem.access_probs(),
-                self.problem.change_rates(),
+                cols.p,
+                cols.lambda,
                 &self.frequencies,
                 &self.executor,
             ),

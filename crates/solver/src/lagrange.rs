@@ -53,11 +53,12 @@ use freshen_core::numeric::NeumaierSum;
 use freshen_core::policy::SyncPolicy;
 use freshen_core::problem::{Problem, Solution};
 use freshen_core::shard::ShardedProblem;
+use freshen_core::soa::PackedColumns;
 use freshen_obs::Recorder;
 
 /// Change rates below this are treated as "static": the element is always
 /// fresh and never worth bandwidth.
-const STATIC_RATE: f64 = 1e-12;
+pub(crate) const STATIC_RATE: f64 = 1e-12;
 
 /// Exact KKT/water-filling solver.
 #[derive(Debug, Clone)]
@@ -164,38 +165,46 @@ impl LagrangeSolver {
             }
         }
         self.recorder.counter("solver.sharded_solves").inc();
-        self.solve_over(problem, None, &active, &chunks)
+        let mut cols = PackedColumns::gather(problem, &active);
+        self.solve_over(problem, None, &mut cols, &chunks)
     }
 
     fn solve_impl(&self, problem: &Problem, hint: Option<f64>) -> Result<Solution> {
+        let mut cols = self.pack_active(problem);
+        // Fixed chunk boundaries (a function of the active count only)
+        // keep the allocation pass bit-identical across worker counts.
+        let chunks = chunk_ranges(cols.len(), DEFAULT_CHUNK);
+        self.solve_over(problem, hint, &mut cols, &chunks)
+    }
+
+    /// Gather the active set — positive interest and a genuinely changing
+    /// source copy — into contiguous structure-of-arrays columns. Every
+    /// outer-bisection probe then sweeps linear memory; the gather happens
+    /// exactly once per solve instead of once per probe.
+    pub(crate) fn pack_active(&self, problem: &Problem) -> PackedColumns {
         let p = problem.access_probs();
         let lam = problem.change_rates();
-        // Elements that can ever receive bandwidth: positive interest and a
-        // genuinely changing source copy.
         let active: Vec<usize> = (0..problem.len())
             .filter(|&i| p[i] > 0.0 && lam[i] > STATIC_RATE)
             .collect();
-        // Fixed chunk boundaries (a function of the active count only)
-        // keep the allocation pass bit-identical across worker counts.
-        let chunks = chunk_ranges(active.len(), DEFAULT_CHUNK);
-        self.solve_over(problem, hint, &active, &chunks)
+        PackedColumns::gather(problem, &active)
     }
 
-    /// The shared outer bisection, parameterized over the active set and
-    /// the chunk decomposition used for every allocation pass (fixed-size
-    /// chunks for the global solve, shard extents for
-    /// [`solve_sharded`](Self::solve_sharded)).
+    /// The shared outer bisection, parameterized over the packed active
+    /// columns and the chunk decomposition used for every allocation pass
+    /// (fixed-size chunks for the global solve, shard extents for
+    /// [`solve_sharded`](Self::solve_sharded)). Chunk ranges index the
+    /// *packed* order; the final schedule is scattered back through the
+    /// pack permutation once, after convergence.
     fn solve_over(
         &self,
         problem: &Problem,
         hint: Option<f64>,
-        active: &[usize],
+        cols: &mut PackedColumns,
         chunks: &[Range<usize>],
     ) -> Result<Solution> {
         let n = problem.len();
-        let p = problem.access_probs();
-        let lam = problem.change_rates();
-        let s = problem.sizes();
+        let m = cols.len();
         let budget = problem.bandwidth();
 
         let rec = &self.recorder;
@@ -206,22 +215,24 @@ impl LagrangeSolver {
         let c_outer = rec.counter("solver.outer_iters");
         let c_inner = rec.counter("solver.inner_iters");
 
-        let mut freqs = vec![0.0; n];
-        if active.is_empty() {
+        if cols.is_empty() {
             // Nothing worth refreshing; all-zero allocation is optimal.
-            let mut sol = Solution::evaluate_with_policy(problem, freqs, self.policy);
+            let mut sol = Solution::evaluate_with_policy(problem, vec![0.0; n], self.policy);
             sol.multiplier = Some(0.0);
             return Ok(sol);
         }
 
         // μ upper bound: above the largest zero-frequency marginal value
         // p/(λs), every element's optimal frequency is 0.
-        let mu_hi_limit = active
+        let mu_hi_limit = cols
+            .p()
             .iter()
-            .map(|&i| p[i] / (lam[i] * s[i]))
+            .zip(cols.lambda())
+            .zip(cols.s())
+            .map(|((&p, &lam), &s)| p / (lam * s))
             .fold(0.0f64, f64::max);
         let mut mu_hi = mu_hi_limit;
-        let mut freqs_hi = freqs.clone(); // all-zero: the μ = μ_hi allocation
+        let mut freqs_hi = vec![0.0; m]; // all-zero: the μ = μ_hi allocation
         let mut used_hi = 0.0;
         let mut outer_iters = 0usize;
         let mut inner_total = 0usize;
@@ -247,7 +258,7 @@ impl LagrangeSolver {
         let mut used_lo;
         loop {
             outer_iters += 1;
-            let (used, inner) = self.allocate(chunks, active, problem, mu_lo, &mut freqs);
+            let (used, inner) = self.allocate(chunks, cols, mu_lo);
             used_lo = used;
             inner_total += inner;
             rec.event(
@@ -265,7 +276,7 @@ impl LagrangeSolver {
             if mu_lo < mu_hi {
                 mu_hi = mu_lo;
                 used_hi = used_lo;
-                freqs_hi.copy_from_slice(&freqs);
+                freqs_hi.copy_from_slice(cols.f());
             }
             mu_lo *= if hint.is_some() { 0.25 } else { 1e-3 };
             if mu_lo < mu_hi_limit * 1e-300 || outer_iters > self.max_outer {
@@ -275,7 +286,7 @@ impl LagrangeSolver {
                 break;
             }
         }
-        let mut freqs_lo = freqs.clone();
+        let mut freqs_lo = cols.f().to_vec();
 
         // Geometric bisection on μ (the multiplier spans many decades).
         let mut mu = mu_lo;
@@ -289,7 +300,7 @@ impl LagrangeSolver {
                 break; // bracket exhausted (see threshold note below)
             }
             mu = (mu_lo * mu_hi).sqrt();
-            let (probe, inner) = self.allocate(chunks, active, problem, mu, &mut freqs);
+            let (probe, inner) = self.allocate(chunks, cols, mu);
             used = probe;
             inner_total += inner;
             rec.event(
@@ -304,11 +315,11 @@ impl LagrangeSolver {
             if used > budget {
                 mu_lo = mu;
                 used_lo = used;
-                freqs_lo.copy_from_slice(&freqs);
+                freqs_lo.copy_from_slice(cols.f());
             } else {
                 mu_hi = mu;
                 used_hi = used;
-                freqs_hi.copy_from_slice(&freqs);
+                freqs_hi.copy_from_slice(cols.f());
             }
         }
 
@@ -316,8 +327,8 @@ impl LagrangeSolver {
             // Converged: snap the (already tiny) residual multiplicatively.
             if used > 0.0 {
                 let scale = budget / used;
-                for &i in active {
-                    freqs[i] *= scale;
+                for f in cols.f_mut() {
+                    *f *= scale;
                 }
             }
         } else if used_lo > used_hi && used_lo >= budget {
@@ -331,8 +342,8 @@ impl LagrangeSolver {
             // differs between the ends has marginal ≈ μ* across the whole
             // interpolation range).
             let alpha = (budget - used_hi) / (used_lo - used_hi);
-            for &i in active {
-                freqs[i] = alpha * freqs_lo[i] + (1.0 - alpha) * freqs_hi[i];
+            for (f, (&lo, &hi)) in cols.f_mut().iter_mut().zip(freqs_lo.iter().zip(&freqs_hi)) {
+                *f = alpha * lo + (1.0 - alpha) * hi;
             }
             mu = mu_lo;
         } else {
@@ -345,50 +356,42 @@ impl LagrangeSolver {
 
         c_outer.add(outer_iters as u64);
         c_inner.add(inner_total as u64);
+        let mut freqs = vec![0.0; n];
+        cols.scatter_f(&mut freqs);
         let mut sol = Solution::evaluate_with_policy(problem, freqs, self.policy);
         sol.multiplier = Some(mu);
         sol.iterations = outer_iters;
         Ok(sol)
     }
 
-    /// For a fixed multiplier, fill `freqs` with each active element's
-    /// optimal frequency; returns the bandwidth consumed and the total
-    /// inner (Newton/bisection) iterations spent.
+    /// For a fixed multiplier, fill the packed frequency column with each
+    /// active element's optimal frequency; returns the bandwidth consumed
+    /// and the total inner (Newton/bisection) iterations spent.
     ///
-    /// Each chunk of `active` is water-filled as one executor task; the
-    /// per-chunk bandwidth partials are compensated and merged in chunk
-    /// order, so the consumed total is bit-identical at any worker count.
-    fn allocate(
-        &self,
-        chunks: &[Range<usize>],
-        active: &[usize],
-        problem: &Problem,
-        mu: f64,
-        freqs: &mut [f64],
-    ) -> (f64, usize) {
-        let (p, lam, s) = (
-            problem.access_probs(),
-            problem.change_rates(),
-            problem.sizes(),
-        );
+    /// Each chunk of the packed columns is water-filled as one executor
+    /// task over contiguous `p`/`λ`/`s` slices — no index indirection in
+    /// the inner loop. The per-chunk bandwidth partials are compensated
+    /// and merged in chunk order, so the consumed total is bit-identical
+    /// at any worker count.
+    fn allocate(&self, chunks: &[Range<usize>], cols: &mut PackedColumns, mu: f64) -> (f64, usize) {
+        let (p, lam, s) = (cols.p(), cols.lambda(), cols.s());
         let parts = self.executor.map_ranges(chunks, |range| {
             let mut local = Vec::with_capacity(range.len());
             let mut used = NeumaierSum::new();
             let mut inner = 0usize;
-            for &i in &active[range] {
-                let (f, iters) = self.element_frequency_counted(p[i], lam[i], s[i], mu);
+            for k in range {
+                let (f, iters) = self.element_frequency_counted(p[k], lam[k], s[k], mu);
                 local.push(f);
-                used.add(s[i] * f);
+                used.add(s[k] * f);
                 inner += iters;
             }
             (local, used, inner)
         });
+        let freqs = cols.f_mut();
         let mut used = NeumaierSum::new();
         let mut inner = 0usize;
         for (range, (local, part_used, part_inner)) in chunks.iter().zip(parts) {
-            for (&i, f) in active[range.clone()].iter().zip(local) {
-                freqs[i] = f;
-            }
+            freqs[range.clone()].copy_from_slice(&local);
             used.merge(part_used);
             inner += part_inner;
         }
@@ -407,7 +410,13 @@ impl LagrangeSolver {
 
     /// [`element_frequency`](Self::element_frequency) plus the inner
     /// iteration count, for instrumentation.
-    fn element_frequency_counted(&self, p: f64, lam: f64, s: f64, mu: f64) -> (f64, usize) {
+    pub(crate) fn element_frequency_counted(
+        &self,
+        p: f64,
+        lam: f64,
+        s: f64,
+        mu: f64,
+    ) -> (f64, usize) {
         // Target marginal value of F̄ alone.
         let t = mu * s / p;
         if t >= 1.0 / lam {

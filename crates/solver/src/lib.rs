@@ -11,6 +11,12 @@
 //!   safeguarded-Newton solve of `pᵢ·∂F̄/∂f = μ·sᵢ` per element. Runs in
 //!   `O(N)` per multiplier probe and reproduces the paper's Table 1 to two
 //!   decimals.
+//! * [`repair`] — **incremental KKT repair**: when drift touched only a
+//!   small subset of elements, re-water-fill from the previous optimum and
+//!   patch the multiplier by safeguarded Newton on the budget residual
+//!   (3–5 probes) instead of re-running the full outer bisection. Always
+//!   paired with the strict [`SolutionAudit`](freshen_core::SolutionAudit)
+//!   certificate ("repair then certify").
 //! * [`projected_gradient`] — a *generic* non-linear-programming solver
 //!   (projected gradient ascent on the weighted simplex). This stands in
 //!   for the proprietary IMSL library the authors used and exists to
@@ -32,9 +38,11 @@
 pub mod baselines;
 pub mod lagrange;
 pub mod projected_gradient;
+pub mod repair;
 
 pub use lagrange::LagrangeSolver;
 pub use projected_gradient::ProjectedGradientSolver;
+pub use repair::RepairOutcome;
 
 use freshen_core::error::Result;
 use freshen_core::problem::{Problem, Solution};

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Audit `#[allow(clippy::…)]` occurrences against the reviewed
+# allow-list (scripts/clippy_allowlist.txt). Fails when the tree grows
+# an allow the list does not record, or when the list carries stale
+# entries for allows that no longer exist.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+actual=$(grep -rno 'allow(clippy::[a-z_]*)' crates src tests examples 2>/dev/null \
+  | sed -E 's/:[0-9]+:allow\((clippy::[a-z_]*)\)/ \1/' \
+  | sort -u)
+expected=$(grep -v '^#' scripts/clippy_allowlist.txt | grep -v '^$' | sort -u)
+
+if ! diff <(echo "$expected") <(echo "$actual") >/dev/null; then
+  echo "clippy allow-list drift detected:" >&2
+  diff <(echo "$expected") <(echo "$actual") >&2 || true
+  echo "(< recorded in scripts/clippy_allowlist.txt, > found in tree)" >&2
+  exit 1
+fi
+echo "clippy allow-list clean: $(echo "$actual" | grep -c .) audited allow(s)"

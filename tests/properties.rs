@@ -516,6 +516,33 @@ proptest! {
         prop_assert!(problem.is_feasible(&sharded.frequencies, 1e-6));
     }
 
+    // ---- incremental KKT repair ---------------------------------------
+
+    #[test]
+    fn repair_matches_full_resolve_property(
+        problem in problem_strategy(true),
+        stride in 1usize..6,
+        tilt in 1.05f64..3.0,
+    ) {
+        // Drift a strided subset of the change rates, then repair the old
+        // optimum: the patched schedule must match a from-scratch re-solve
+        // of the drifted problem to 1e-9 in PF and clear the strict
+        // certificate.
+        let solver = LagrangeSolver::default();
+        let before = solver.solve(&problem).unwrap();
+        let (after, touched) = tilt_rates(&problem, stride, tilt);
+        let repaired = solver.repair(&after, &before, &touched).unwrap().solution;
+        let full = solver.solve(&after).unwrap();
+        prop_assert!(
+            (repaired.perceived_freshness - full.perceived_freshness).abs() < 1e-9,
+            "repair {} vs full {}", repaired.perceived_freshness, full.perceived_freshness
+        );
+        let report = SolutionAudit::default()
+            .check(&after, &repaired, solver.policy)
+            .unwrap();
+        prop_assert!(report.is_clean(), "{}", report.to_json());
+    }
+
     // ---- serve: checkpoint/restore -----------------------------------
 
     #[test]
@@ -589,6 +616,111 @@ fn fixed_problem(n: usize) -> Problem {
         .bandwidth(n as f64 / 3.0)
         .build()
         .expect("fixed problem builds")
+}
+
+/// Tilt every `stride`-th change rate by `factor`, returning the drifted
+/// problem and the touched index set.
+fn tilt_rates(problem: &Problem, stride: usize, factor: f64) -> (Problem, Vec<usize>) {
+    let mut rates = problem.change_rates().to_vec();
+    let mut touched = Vec::new();
+    for (i, r) in rates.iter_mut().enumerate() {
+        if i % stride == 0 {
+            *r *= factor;
+            touched.push(i);
+        }
+    }
+    let after = Problem::builder()
+        .change_rates(rates)
+        .access_probs(problem.access_probs().to_vec())
+        .sizes(problem.sizes().to_vec())
+        .bandwidth(problem.bandwidth())
+        .build()
+        .expect("tilted problem builds");
+    (after, touched)
+}
+
+#[test]
+fn repair_matches_full_resolve_across_subset_sizes() {
+    // Fixed-seed pin of `repair_matches_full_resolve_property`: drift
+    // subsets of one element, ~1%, ~10%, and 100% of N, and require the
+    // repaired schedule to match the full re-solve within 1e-9 PF *and*
+    // pass the strict KKT certificate after every repair.
+    let n = 400;
+    let problem = fixed_problem(n);
+    let solver = LagrangeSolver::default();
+    let before = solver.solve(&problem).unwrap();
+    for (stride, label) in [(n, "single"), (97, "1%"), (11, "10%"), (1, "100%")] {
+        let (after, touched) = tilt_rates(&problem, stride, 1.6);
+        let repaired = solver
+            .repair(&after, &before, &touched)
+            .unwrap_or_else(|e| panic!("{label}: repair failed: {e}"))
+            .solution;
+        let full = solver.solve(&after).unwrap();
+        assert!(
+            (repaired.perceived_freshness - full.perceived_freshness).abs() < 1e-9,
+            "{label} ({} touched): repair PF {} vs full {}",
+            touched.len(),
+            repaired.perceived_freshness,
+            full.perceived_freshness
+        );
+        let report = SolutionAudit::default()
+            .check(&after, &repaired, solver.policy)
+            .unwrap();
+        assert!(
+            report.is_clean(),
+            "{label}: certificate failed: {}",
+            report.to_json()
+        );
+    }
+}
+
+#[test]
+fn dispatcher_queue_reuse_has_no_steady_state_churn() {
+    // Satellite regression: the calendar queue is built once and re-binned
+    // in place, so after the first epoch sizes it, fifty steady-state
+    // epochs must not move the allocation counter — neither the queue's
+    // own `grows()` tally nor the `engine.queue_grows` obs counter.
+    let config = EngineConfig {
+        failure_rate: 0.2,
+        max_retries: 2,
+        seed: 17,
+        ..EngineConfig::default()
+    };
+    let freqs = [2.5, 1.5, 1.0, 0.5];
+    let priorities = [4.0, 3.0, 2.0, 1.0];
+    let recorder = Recorder::enabled();
+    let mut dispatcher = PollDispatcher::new(4, 4.0, &config).unwrap();
+    let mut source = EverChanging;
+    let mut run = |dispatcher: &mut PollDispatcher, epoch: usize| {
+        dispatcher
+            .run_epoch(
+                epoch,
+                epoch as f64,
+                1.0,
+                &freqs,
+                &priorities,
+                &mut source,
+                &recorder,
+            )
+            .unwrap();
+    };
+    run(&mut dispatcher, 0);
+    let grows_after_first = dispatcher.queue_grows();
+    let counter_after_first = recorder.counter_value("engine.queue_grows").unwrap_or(0);
+    assert!(grows_after_first > 0, "first epoch sizes the queue");
+    for epoch in 1..=50 {
+        run(&mut dispatcher, epoch);
+    }
+    assert_eq!(
+        dispatcher.queue_grows(),
+        grows_after_first,
+        "steady-state epochs must not reallocate queue storage"
+    );
+    assert_eq!(
+        recorder.counter_value("engine.queue_grows").unwrap_or(0),
+        counter_after_first,
+        "obs allocation counter must stay flat after warm-up"
+    );
 }
 
 #[test]

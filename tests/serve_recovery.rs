@@ -177,6 +177,57 @@ fn checkpoint_cadence_and_double_resume_hold_the_invariant() {
 }
 
 #[test]
+fn repair_active_run_resumes_byte_identically() {
+    // Kill-and-resume with incremental KKT repair armed wide open
+    // (`repair_fraction = 1.0`): the repair/fallback counters must ride
+    // the snapshot (format v3) so the resumed run repairs from the same
+    // tallies and lands on the reference bytes.
+    let dir = temp_dir("repair-active");
+    let workload = live_workload(6);
+    let epochs = 12;
+    let mut config = serve_config(&dir, epochs);
+    config.engine.repair_fraction = 1.0;
+    config.engine.drift_threshold = 0.01; // resolve (and so repair) often
+    let expected = reference_json(&workload, &config);
+    assert!(
+        expected.contains("\"repairs\": "),
+        "report must carry the repair counter"
+    );
+
+    let kill_at = epochs / 2;
+    let mut first = config.clone();
+    first.drain_after = Some(kill_at);
+    Server::new(workload.clone(), first)
+        .expect("server builds")
+        .run()
+        .expect("drained leg");
+
+    // The snapshot itself must carry the mid-run repair tallies.
+    let bytes = std::fs::read(&config.checkpoint_path).expect("snapshot bytes");
+    let snapshot = Snapshot::decode(&bytes).expect("valid snapshot");
+    assert!(
+        snapshot.engine.repairs > 0,
+        "a wide-open repair gate must have repaired before epoch {kill_at} \
+         (resolves {} skips {})",
+        snapshot.engine.resolves,
+        snapshot.engine.skips,
+    );
+
+    let mut second = config.clone();
+    second.resume = Some(config.checkpoint_path.clone());
+    let resumed = Server::new(workload, second)
+        .expect("server builds")
+        .run()
+        .expect("resumed leg");
+    assert_eq!(resumed.exit, ExitReason::Completed);
+    assert_eq!(
+        resumed.report.expect("completed").to_json(),
+        expected,
+        "repair-active resume diverged"
+    );
+}
+
+#[test]
 fn corrupt_snapshots_are_clean_errors_never_panics() {
     let dir = temp_dir("corrupt");
     let workload = live_workload(4);
