@@ -89,6 +89,7 @@ fn main() {
         pf: None,
         solver_iterations: None,
         events_per_sec: Some((tenants * epochs) as f64 / solo_wall.max(f64::MIN_POSITIVE)),
+        tail_error: None,
     });
 
     // ------------------------------------------------------------------
@@ -194,6 +195,7 @@ fn main() {
             pf: result.report.as_ref().map(|r| r.realized_pf),
             solver_iterations: None,
             events_per_sec: Some(result.epoch as f64 / fleet_wall.max(f64::MIN_POSITIVE)),
+            tail_error: None,
         });
     }
     bench.push(BenchRun {
@@ -202,6 +204,7 @@ fn main() {
         pf: None,
         solver_iterations: None,
         events_per_sec: Some((tenants * epochs) as f64 / fleet_wall.max(f64::MIN_POSITIVE)),
+        tail_error: None,
     });
     bench.set_meta("requests_ok", requests_ok);
     bench.set_meta("expositions_validated", expositions);
@@ -269,6 +272,7 @@ fn main() {
         events_per_sec: Some(
             (tenants * epochs) as f64 / (drain_wall + resume_wall).max(f64::MIN_POSITIVE),
         ),
+        tail_error: None,
     });
 
     match bench.write() {

@@ -147,6 +147,7 @@ fn main() {
         pf: Some(reference.report.as_ref().expect("completed").realized_pf),
         solver_iterations: None,
         events_per_sec: None,
+        tail_error: None,
     });
 
     // ------------------------------------------------------------------
@@ -259,6 +260,7 @@ fn main() {
         pf: Some(outcome.report.as_ref().expect("completed").realized_pf),
         solver_iterations: None,
         events_per_sec: Some(ok as f64 / wall.max(f64::MIN_POSITIVE)),
+        tail_error: None,
     });
     bench.set_meta("requests_ok", ok);
     bench.set_meta("requests_teardown_errors", errors);

@@ -226,6 +226,7 @@ fn main() {
             pf: Some(repair_pf),
             solver_iterations: None,
             events_per_sec: Some(repair_speedup),
+            tail_error: None,
         });
 
         // Calendar-queue dispatcher throughput over the solved schedule
@@ -283,6 +284,7 @@ fn main() {
             pf: None,
             solver_iterations: None,
             events_per_sec: Some(events_per_sec),
+            tail_error: None,
         });
 
         for &threads in thread_grid {

@@ -118,6 +118,11 @@ pub struct BenchRun {
     pub solver_iterations: Option<u64>,
     /// Simulator event throughput, when the run drives the simulator.
     pub events_per_sec: Option<f64>,
+    /// Steady-state estimation error (mean relative absolute error over
+    /// the run's tail window), when the run races a change-rate
+    /// estimator (`exp_estimators`).
+    #[serde(default)]
+    pub tail_error: Option<f64>,
 }
 
 impl BenchRun {
@@ -133,6 +138,7 @@ impl BenchRun {
                 .or_else(|| recorder.gauge_value("heuristic.pf")),
             solver_iterations: recorder.counter_value("solver.outer_iters"),
             events_per_sec: recorder.gauge_value("events_per_sec"),
+            tail_error: None,
         }
     }
 }
@@ -143,7 +149,8 @@ impl BenchRun {
 ///
 /// * v1 — implicit, pre-stamp files: `{experiment, runs}`.
 /// * v2 — added `schema_version` and the `meta` run-metadata block.
-pub const BENCH_SCHEMA_VERSION: u32 = 2;
+/// * v3 — added the per-run `tail_error` field (estimator races).
+pub const BENCH_SCHEMA_VERSION: u32 = 3;
 
 /// Machine-readable result file for one experiment binary, written to
 /// `results/BENCH_<experiment>.json` next to the experiment's CSV output.
@@ -269,8 +276,12 @@ impl BenchReport {
                     .map_or_else(|| "null".to_string(), |v| v.to_string())
             ));
             out.push_str(&format!(
-                "      \"events_per_sec\": {}\n",
+                "      \"events_per_sec\": {},\n",
                 opt_f64(run.events_per_sec)
+            ));
+            out.push_str(&format!(
+                "      \"tail_error\": {}\n",
+                opt_f64(run.tail_error)
             ));
             out.push_str("    }");
         }
@@ -364,15 +375,17 @@ mod tests {
             pf: Some(0.875),
             solver_iterations: Some(12),
             events_per_sec: None,
+            tail_error: Some(0.125),
         });
         let json = report.to_json();
-        assert!(json.starts_with("{\n  \"schema_version\": 2,\n  \"experiment\": \"unit\","));
+        assert!(json.starts_with("{\n  \"schema_version\": 3,\n  \"experiment\": \"unit\","));
         assert!(json.contains("\"package_version\": "));
         assert!(json.contains("\"name\": \"run \\\"a\\\"\""));
         assert!(json.contains("\"wall_seconds\": 0.5"));
         assert!(json.contains("\"pf\": 0.875"));
         assert!(json.contains("\"solver_iterations\": 12"));
         assert!(json.contains("\"events_per_sec\": null"));
+        assert!(json.contains("\"tail_error\": 0.125"));
         // Integral floats keep a decimal point, as serde_json renders them.
         report.runs[0].wall_seconds = 2.0;
         assert!(report.to_json().contains("\"wall_seconds\": 2.0"));

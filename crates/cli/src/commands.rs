@@ -311,7 +311,12 @@ fn engine_config_from_args(args: &crate::ParsedArgs) -> Result<EngineConfig, Str
         Some("window") => EstimatorKind::Window {
             len: args.parsed_or("window", 8usize)?,
         },
-        Some(other) => return Err(format!("unknown estimator `{other}` (ewma|window)")),
+        Some("lln") => EstimatorKind::Lln,
+        Some("sa") => EstimatorKind::Sa {
+            gain: args.parsed_or("gain", 0.5)?,
+            decay: args.parsed_or("decay", 0.75)?,
+        },
+        Some(other) => return Err(format!("unknown estimator `{other}` (ewma|window|lln|sa)")),
     };
     let resolve_policy = match args.get("policy") {
         None | Some("drift") => ResolvePolicy::DriftGated,
@@ -328,8 +333,17 @@ fn engine_config_from_args(args: &crate::ParsedArgs) -> Result<EngineConfig, Str
             ..SloConfig::default()
         }),
     };
+    // `--poll-cost` sets the levy directly; `--cost-budget` has the
+    // solver calibrate it from the spend cap (mutually exclusive —
+    // `EngineConfig::validate` enforces that).
+    let cost_budget = match args.get("cost-budget") {
+        None => None,
+        Some(_) => Some(args.require_parsed("cost-budget")?),
+    };
     Ok(EngineConfig {
         slo,
+        poll_cost: args.parsed_or("poll-cost", defaults.poll_cost)?,
+        cost_budget,
         progress_every: args.parsed_or("progress", 0usize)?,
         epochs: args.parsed_or("epochs", defaults.epochs)?,
         epoch_len: args.parsed_or("epoch-len", defaults.epoch_len)?,
@@ -366,7 +380,10 @@ pub fn cmd_engine(args: &crate::ParsedArgs, out: &mut dyn Write) -> Result<(), S
         "policy",
         "estimator",
         "gain",
+        "decay",
         "window",
+        "poll-cost",
+        "cost-budget",
         "smoothing",
         "fallback-rate",
         "budget-factor",
@@ -500,7 +517,10 @@ pub fn cmd_serve(args: &crate::ParsedArgs, out: &mut dyn Write) -> Result<(), St
         "policy",
         "estimator",
         "gain",
+        "decay",
         "window",
+        "poll-cost",
+        "cost-budget",
         "smoothing",
         "fallback-rate",
         "budget-factor",
@@ -759,6 +779,7 @@ pub fn cmd_audit(args: &crate::ParsedArgs, out: &mut dyn Write) -> Result<(), St
                     general_freshness: 0.0,
                     bandwidth_used: 0.0,
                     multiplier: None,
+                    cost_multiplier: None,
                     iterations: 0,
                 }
             }

@@ -90,7 +90,9 @@ USAGE:
   freshen engine    (--trace access.csv [--polls poll.csv] --elements N --bandwidth B
                      | --live problem.json [--access-rate R])
                     [--epochs E] [--epoch-len L] [--warmup W] [--drift-threshold D]
-                    [--policy drift|oracle] [--estimator ewma|window] [--gain G] [--window K]
+                    [--policy drift|oracle] [--estimator ewma|window|lln|sa]
+                    [--gain G] [--window K] [--decay D]
+                    [--poll-cost GAMMA | --cost-budget C]
                     [--failure-rate F] [--max-retries R] [--retry-backoff T]
                     [--budget-factor C] [--max-backlog M] [--seed S] [--threads T]
                     [--report-out report.json] [--metrics-out metrics.json]

@@ -106,6 +106,9 @@ pub struct AuditReport {
     pub max_slack_excess: f64,
     /// Smallest frequency in the allocation.
     pub min_frequency: f64,
+    /// The per-poll cost weight `γ` the conditions were checked against
+    /// (0 for the classic cost-blind certificate).
+    pub cost_weight: f64,
     /// Every condition breach found.
     pub violations: Vec<AuditViolation>,
 }
@@ -142,6 +145,8 @@ impl AuditReport {
         s.push_str(&fmt_f64(self.max_slack_excess));
         s.push_str(",\"min_frequency\":");
         s.push_str(&fmt_f64(self.min_frequency));
+        s.push_str(",\"cost_weight\":");
+        s.push_str(&fmt_f64(self.cost_weight));
         s.push_str(",\"clean\":");
         s.push_str(if self.is_clean() { "true" } else { "false" });
         s.push_str(",\"violations\":[");
@@ -219,14 +224,38 @@ impl SolutionAudit {
         }
     }
 
-    /// Check `solution` against the certificate for `problem` under
-    /// `policy`. Errors only on structural mismatch (wrong length);
-    /// condition breaches are *reported*, not raised.
+    /// Check `solution` against the classic cost-blind certificate for
+    /// `problem` under `policy`. Errors only on structural mismatch
+    /// (wrong length); condition breaches are *reported*, not raised.
     pub fn check(
         &self,
         problem: &Problem,
         solution: &Solution,
         policy: SyncPolicy,
+    ) -> Result<AuditReport> {
+        self.check_with_cost(problem, solution, policy, 0.0)
+    }
+
+    /// Check `solution` against the *cost-adjusted* certificate: the
+    /// optimum of `max PF − γ·Σcᵢfᵢ  s.t.  Σsᵢfᵢ ≤ B` satisfies, for
+    /// some `μ ≥ 0`,
+    ///
+    /// * stationarity on the support: `pᵢ·g(fᵢ) = μ·sᵢ + γ·cᵢ`;
+    /// * slackness off it: `pᵢ/λᵢ ≤ μ·sᵢ + γ·cᵢ`;
+    /// * either the budget binds (`μ > 0`, `Σsᵢfᵢ = B`) or the optimum
+    ///   is interior (`μ = 0`, `Σsᵢfᵢ ≤ B`) — with `γ > 0` the marginal
+    ///   value of bandwidth can legitimately hit zero before the budget
+    ///   is spent, so `Some(0.0)` is a genuine multiplier there, not a
+    ///   missing one.
+    ///
+    /// `check_with_cost(…, 0.0)` is exactly the classic certificate
+    /// ([`check`](Self::check) delegates here).
+    pub fn check_with_cost(
+        &self,
+        problem: &Problem,
+        solution: &Solution,
+        policy: SyncPolicy,
+        cost_weight: f64,
     ) -> Result<AuditReport> {
         let n = problem.len();
         let freqs = &solution.frequencies;
@@ -237,10 +266,27 @@ impl SolutionAudit {
                 actual: freqs.len(),
             });
         }
+        if !cost_weight.is_finite() || cost_weight < 0.0 {
+            return Err(CoreError::InvalidValue {
+                what: "audit cost weight",
+                index: None,
+                value: cost_weight,
+            });
+        }
+        let gamma = cost_weight;
         let budget = problem.bandwidth();
         let p = problem.access_probs();
         let lam = problem.change_rates();
         let sizes = problem.sizes();
+        // Per-poll cost of element `i`; 1.0 when no cost column is set.
+        // Only consulted when γ > 0, so cost-blind audits never pay for
+        // the lookup.
+        let cost = |i: usize| -> f64 {
+            match problem.poll_costs() {
+                Some(c) => c[i],
+                None => 1.0,
+            }
+        };
 
         let mut violations = Vec::new();
         let mut used = NeumaierSum::default();
@@ -266,7 +312,14 @@ impl SolutionAudit {
             }
             used.add(f * sizes[i]);
         }
-        let budget_residual = (used.total() - budget).abs();
+        // A cost-aware interior optimum (declared μ = 0) legitimately
+        // under-spends; there the budget condition is one-sided.
+        let interior = gamma > 0.0 && solution.multiplier == Some(0.0);
+        let budget_residual = if interior {
+            (used.total() - budget).max(0.0)
+        } else {
+            (used.total() - budget).abs()
+        };
         if budget_residual > self.budget_tol * budget {
             violations.push(AuditViolation {
                 kind: ViolationKind::BudgetResidual,
@@ -278,7 +331,9 @@ impl SolutionAudit {
 
         // Classify the support and collect funded marginal values
         // `pᵢ·g(fᵢ)/sᵢ` (per unit of bandwidth, so sized problems audit
-        // identically to uniform ones).
+        // identically to uniform ones). With γ > 0 the per-poll levy is
+        // subtracted first: the *bandwidth* marginal on the support is
+        // `(pᵢ·g(fᵢ) − γ·cᵢ)/sᵢ = μ`.
         let support_share = self.support_tol * budget;
         let mut funded = Vec::new();
         for i in 0..n {
@@ -299,11 +354,13 @@ impl SolutionAudit {
                 });
                 continue;
             }
-            funded.push((i, p[i] * policy.gradient(lam[i], f) / sizes[i]));
+            let levy = if gamma > 0.0 { gamma * cost(i) } else { 0.0 };
+            funded.push((i, (p[i] * policy.gradient(lam[i], f) - levy) / sizes[i]));
         }
 
+        let mu_floor_ok = |mu: f64| mu > 0.0 || (gamma > 0.0 && mu == 0.0);
         let (multiplier, multiplier_estimated) = match solution.multiplier {
-            Some(mu) if mu.is_finite() && mu > 0.0 => (mu, false),
+            Some(mu) if mu.is_finite() && mu_floor_ok(mu) => (mu, false),
             _ => {
                 let mean = if funded.is_empty() {
                     0.0
@@ -314,49 +371,68 @@ impl SolutionAudit {
             }
         };
 
-        // Stationarity on the support.
+        // Stationarity on the support: the cost-adjusted bandwidth
+        // marginal must sit on the waterline. Spreads are normalized by
+        // the full per-element threshold `τᵢ = μ·sᵢ + γ·cᵢ` (in marginal
+        // units, `μ + γ·cᵢ/sᵢ`) so an interior optimum (μ = 0, γ > 0)
+        // still yields a well-defined relative deviation.
         let mut max_spread = 0.0f64;
-        if multiplier > 0.0 {
-            for &(i, v) in &funded {
-                let spread = (v - multiplier).abs() / multiplier;
-                max_spread = max_spread.max(spread);
-                if spread > self.spread_tol {
-                    violations.push(AuditViolation {
-                        kind: ViolationKind::MarginalSpread,
-                        element: Some(i),
-                        value: spread,
-                        limit: self.spread_tol,
-                    });
-                }
+        for &(i, v) in &funded {
+            let tau = multiplier
+                + if gamma > 0.0 {
+                    gamma * cost(i) / sizes[i]
+                } else {
+                    0.0
+                };
+            if tau <= 0.0 {
+                continue;
+            }
+            let spread = (v - multiplier).abs() / tau;
+            max_spread = max_spread.max(spread);
+            if spread > self.spread_tol {
+                violations.push(AuditViolation {
+                    kind: ViolationKind::MarginalSpread,
+                    element: Some(i),
+                    value: spread,
+                    limit: self.spread_tol,
+                });
             }
         }
 
         // Complementary slackness off the support: the marginal at
         // `f → 0⁺` is `pᵢ/λᵢ` per refresh, `pᵢ/(λᵢsᵢ)` per unit of
-        // bandwidth, and must not beat the waterline.
+        // bandwidth, and must not beat the waterline plus the per-poll
+        // levy.
         let mut max_slack_excess = 0.0f64;
-        if multiplier > 0.0 {
-            for i in 0..n {
-                let f = freqs[i];
-                if !f.is_finite() || f < 0.0 || f * sizes[i] > support_share {
-                    continue;
-                }
-                if lam[i] <= STATIC_RATE || p[i] <= 0.0 {
-                    continue;
-                }
-                let at_zero = p[i] / (lam[i] * sizes[i]);
-                let excess = (at_zero - multiplier) / multiplier;
-                if excess > 0.0 {
-                    max_slack_excess = max_slack_excess.max(excess);
-                }
-                if excess > self.slack_tol {
-                    violations.push(AuditViolation {
-                        kind: ViolationKind::Slackness,
-                        element: Some(i),
-                        value: excess,
-                        limit: self.slack_tol,
-                    });
-                }
+        for i in 0..n {
+            let f = freqs[i];
+            if !f.is_finite() || f < 0.0 || f * sizes[i] > support_share {
+                continue;
+            }
+            if lam[i] <= STATIC_RATE || p[i] <= 0.0 {
+                continue;
+            }
+            let tau = multiplier
+                + if gamma > 0.0 {
+                    gamma * cost(i) / sizes[i]
+                } else {
+                    0.0
+                };
+            if tau <= 0.0 {
+                continue;
+            }
+            let at_zero = p[i] / (lam[i] * sizes[i]);
+            let excess = (at_zero - tau) / tau;
+            if excess > 0.0 {
+                max_slack_excess = max_slack_excess.max(excess);
+            }
+            if excess > self.slack_tol {
+                violations.push(AuditViolation {
+                    kind: ViolationKind::Slackness,
+                    element: Some(i),
+                    value: excess,
+                    limit: self.slack_tol,
+                });
             }
         }
 
@@ -374,6 +450,7 @@ impl SolutionAudit {
             } else {
                 0.0
             },
+            cost_weight: gamma,
             violations,
         })
     }
@@ -490,6 +567,7 @@ mod tests {
             general_freshness: 0.0,
             bandwidth_used: 1.3,
             multiplier: None,
+            cost_multiplier: None,
             iterations: 0,
         };
         let report = SolutionAudit::default()
@@ -537,6 +615,95 @@ mod tests {
         assert!(SolutionAudit::default()
             .check(&problem, &solution, SyncPolicy::FixedOrder)
             .is_err());
+    }
+
+    /// Poisson policy closed form with a per-poll levy: stationarity is
+    /// `p·λ/(λ+f)² = μ·s + γ·c`, so `f = √(pλ/(μs+γc)) − λ`. Build that
+    /// allocation exactly and check the cost-adjusted certificate.
+    #[test]
+    fn cost_adjusted_closed_form_is_certified() {
+        let (p, lam) = (vec![0.6f64, 0.4], vec![1.0f64, 2.0]);
+        let costs = vec![2.0f64, 0.5];
+        let (mu, gamma) = (0.03f64, 0.02f64);
+        let freqs: Vec<f64> = p
+            .iter()
+            .zip(&lam)
+            .zip(&costs)
+            .map(|((&pi, &li), &ci)| (pi * li / (mu + gamma * ci)).sqrt() - li)
+            .collect();
+        let budget: f64 = freqs.iter().sum();
+        let problem = Problem::builder()
+            .change_rates(lam)
+            .access_probs(p)
+            .costs(costs)
+            .bandwidth(budget)
+            .build()
+            .unwrap();
+        let mut solution = Solution::evaluate_with_policy(&problem, freqs, SyncPolicy::Poisson);
+        solution.multiplier = Some(mu);
+        let report = SolutionAudit::default()
+            .check_with_cost(&problem, &solution, SyncPolicy::Poisson, gamma)
+            .unwrap();
+        assert!(report.is_clean(), "{}", report.to_json());
+        assert_eq!(report.cost_weight, gamma);
+        // The same allocation fails the cost-blind certificate: the raw
+        // marginals p·g/s are *not* equalized once polls are priced.
+        let blind = SolutionAudit::default()
+            .check(&problem, &solution, SyncPolicy::Poisson)
+            .unwrap();
+        assert!(!blind.is_clean(), "cost-blind audit must flag the spread");
+    }
+
+    /// An interior cost-aware optimum (μ = 0): stationarity against the
+    /// levy alone, budget one-sided.
+    #[test]
+    fn interior_cost_optimum_may_underspend() {
+        let (p, lam) = (vec![0.5f64, 0.5], vec![1.0f64, 1.0]);
+        let gamma = 0.1f64;
+        // μ = 0: f = √(pλ/(γc)) − λ with c = 1.
+        let freqs: Vec<f64> = p
+            .iter()
+            .zip(&lam)
+            .map(|(&pi, &li)| (pi * li / gamma).sqrt() - li)
+            .collect();
+        let used: f64 = freqs.iter().sum();
+        let problem = Problem::builder()
+            .change_rates(lam)
+            .access_probs(p)
+            .bandwidth(used * 2.0) // twice what the interior optimum needs
+            .build()
+            .unwrap();
+        let mut solution = Solution::evaluate_with_policy(&problem, freqs, SyncPolicy::Poisson);
+        solution.multiplier = Some(0.0);
+        let report = SolutionAudit::default()
+            .check_with_cost(&problem, &solution, SyncPolicy::Poisson, gamma)
+            .unwrap();
+        assert!(report.is_clean(), "{}", report.to_json());
+        assert!(!report.multiplier_estimated, "Some(0.0) is genuine here");
+        // The cost-blind certificate would call the unspent budget a bug.
+        let blind = SolutionAudit::default()
+            .check(&problem, &solution, SyncPolicy::Poisson)
+            .unwrap();
+        assert!(blind
+            .violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::BudgetResidual));
+    }
+
+    #[test]
+    fn cost_audit_rejects_bad_weight() {
+        let problem = Problem::builder()
+            .change_rates(vec![1.0])
+            .access_probs(vec![1.0])
+            .bandwidth(1.0)
+            .build()
+            .unwrap();
+        let solution = Solution::evaluate(&problem, vec![1.0]);
+        for bad in [-0.5, f64::NAN, f64::INFINITY] {
+            assert!(SolutionAudit::default()
+                .check_with_cost(&problem, &solution, SyncPolicy::FixedOrder, bad)
+                .is_err());
+        }
     }
 
     #[test]

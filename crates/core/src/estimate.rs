@@ -67,35 +67,73 @@ impl PollHistory {
         self.changes_detected as f64 / self.polls as f64
     }
 
+    /// True when this history cannot produce a meaningful estimate: no
+    /// polls, or a non-finite/non-positive interval. Reachable despite
+    /// [`new`](Self::new)'s validation because the fields are public.
+    fn is_degenerate(&self) -> bool {
+        self.polls == 0 || !self.interval.is_finite() || self.interval <= 0.0
+    }
+
     /// Naive estimator `x / (n·I)` — biased low when changes are frequent.
+    ///
+    /// Always finite: degenerate histories (zero polls or a zero/negative/
+    /// non-finite interval, reachable through the public fields) yield 0
+    /// when nothing was detected and the documented [`RATE_CAP`] otherwise,
+    /// never `inf`/NaN.
     pub fn estimate_naive(&self) -> f64 {
-        self.changes_detected as f64 / (self.polls as f64 * self.interval)
+        if self.is_degenerate() {
+            return if self.changes_detected == 0 {
+                0.0
+            } else {
+                RATE_CAP
+            };
+        }
+        let raw = self.changes_detected as f64 / (self.polls as f64 * self.interval);
+        raw.min(RATE_CAP)
     }
 
     /// Maximum-likelihood estimator `−ln(1 − x/n) / I`.
     ///
     /// Returns `None` when every poll detected a change (`x = n`), where
-    /// the MLE diverges.
+    /// the MLE diverges (`−ln(0) → ∞`), and for degenerate histories
+    /// (zero polls or a non-finite/non-positive interval); finite results
+    /// are capped at [`RATE_CAP`].
     pub fn estimate_mle(&self) -> Option<f64> {
-        if self.changes_detected == self.polls {
+        if self.is_degenerate() || self.changes_detected >= self.polls {
             return None;
         }
         let r = self.detection_ratio();
-        Some(-(1.0 - r).ln() / self.interval)
+        Some((-(1.0 - r).ln() / self.interval).min(RATE_CAP))
     }
 
     /// Cho & Garcia-Molina's bias-reduced estimator
     /// `−ln((n − x + 0.5)/(n + 0.5)) / I` — defined for all `x ≤ n` and the
     /// one the paper's pipeline would consume.
+    ///
+    /// Like [`estimate_naive`](Self::estimate_naive), degenerate histories
+    /// produce 0 or the documented [`RATE_CAP`] rather than `inf`/NaN, so
+    /// a corrupt history can never leak a non-finite rate into the solver.
     pub fn estimate_bias_reduced(&self) -> f64 {
+        if self.is_degenerate() {
+            return if self.changes_detected == 0 {
+                0.0
+            } else {
+                RATE_CAP
+            };
+        }
         let n = self.polls as f64;
         let x = self.changes_detected as f64;
-        -(((n - x + 0.5) / (n + 0.5)).ln()) / self.interval
+        (-(((n - x + 0.5) / (n + 0.5)).ln()) / self.interval).min(RATE_CAP)
     }
 }
 
 /// Complete-history estimator for sources that expose change timestamps:
 /// the Poisson MLE `λ̂ = count / horizon`.
+///
+/// Timestamps must be finite, within `[0, horizon]`, and non-decreasing.
+/// A timestamp beyond the horizon or out of order is a corrupt change log
+/// — counting it would silently bias the rate — so both are rejected with
+/// a clean error instead.
 pub fn estimate_from_timestamps(change_times: &[f64], horizon: f64) -> Result<f64> {
     if !horizon.is_finite() || horizon <= 0.0 {
         return Err(CoreError::InvalidValue {
@@ -104,6 +142,7 @@ pub fn estimate_from_timestamps(change_times: &[f64], horizon: f64) -> Result<f6
             value: horizon,
         });
     }
+    let mut prev = 0.0f64;
     for (i, &t) in change_times.iter().enumerate() {
         if !t.is_finite() || t < 0.0 || t > horizon {
             return Err(CoreError::InvalidValue {
@@ -112,6 +151,14 @@ pub fn estimate_from_timestamps(change_times: &[f64], horizon: f64) -> Result<f6
                 value: t,
             });
         }
+        if t < prev {
+            return Err(CoreError::InvalidValue {
+                what: "non-monotone change time",
+                index: Some(i),
+                value: t,
+            });
+        }
+        prev = t;
     }
     Ok(change_times.len() as f64 / horizon)
 }
@@ -196,11 +243,12 @@ impl ChangeRateEstimator {
 /// exact zero.
 ///
 /// [`Problem`]: crate::problem::Problem
-const RATE_FLOOR: f64 = 1e-9;
+pub const RATE_FLOOR: f64 = 1e-9;
 
-/// Cap applied to online rate estimates: a run of all-changed polls over a
-/// vanishing interval must not blow the estimate out to infinity.
-const RATE_CAP: f64 = 1e9;
+/// Cap applied to rate estimates: a run of all-changed polls over a
+/// vanishing (or corrupt) interval must not blow the estimate out to
+/// infinity. Every estimator in this module returns values `≤ RATE_CAP`.
+pub const RATE_CAP: f64 = 1e9;
 
 /// Recursive (constant-gain stochastic-approximation) online change-rate
 /// estimator, following Avrachenkov, Patil & Thoppe's online estimators
@@ -519,6 +567,347 @@ impl WindowRateEstimator {
     }
 }
 
+/// Law-of-large-numbers online change-rate estimator, following
+/// Avrachenkov, Patil & Thoppe's LLN estimator for web-page change rates.
+///
+/// Keeps the *full-history* sufficient statistics per element — polls
+/// `n`, detections `x`, and the summed inter-poll interval — in O(1)
+/// memory, and inverts the Bernoulli moment equation over the mean
+/// interval with Cho & Garcia-Molina's bias-reduced form (finite even at
+/// `x = n`). By the strong law of large numbers `x/n → 1 − e^{−λĪ}`
+/// almost surely for a stationary source, so the estimate is strongly
+/// consistent with estimation error shrinking as `O(1/√n)` — unlike the
+/// constant-gain [`EwmaRateEstimator`], whose variance floor never
+/// shrinks. The flip side: it averages over its whole history, so after a
+/// rate shift the bias decays only as `O(1/n)` per poll.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LlnRateEstimator {
+    polls: Vec<u64>,
+    detections: Vec<u64>,
+    interval_sum: Vec<f64>,
+}
+
+impl LlnRateEstimator {
+    /// Create an estimator over `n` elements.
+    pub fn new(n: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(CoreError::Empty);
+        }
+        Ok(LlnRateEstimator {
+            polls: vec![0; n],
+            detections: vec![0; n],
+            interval_sum: vec![0.0; n],
+        })
+    }
+
+    /// Number of elements tracked.
+    pub fn len(&self) -> usize {
+        self.polls.len()
+    }
+
+    /// True when tracking zero elements (unreachable via `new`).
+    pub fn is_empty(&self) -> bool {
+        self.polls.is_empty()
+    }
+
+    /// Fold in one poll outcome.
+    pub fn observe(&mut self, element: usize, interval: f64, changed: bool) -> Result<()> {
+        if element >= self.polls.len() {
+            return Err(CoreError::InvalidValue {
+                what: "estimator element",
+                index: Some(element),
+                value: element as f64,
+            });
+        }
+        if !interval.is_finite() || interval <= 0.0 {
+            return Err(CoreError::InvalidValue {
+                what: "poll interval",
+                index: Some(element),
+                value: interval,
+            });
+        }
+        self.polls[element] += 1;
+        if changed {
+            self.detections[element] += 1;
+        }
+        self.interval_sum[element] += interval;
+        Ok(())
+    }
+
+    /// Bias-reduced full-history rate estimate for one element, or
+    /// `fallback` when it has never been polled.
+    ///
+    /// # Panics
+    /// Panics when `element` is out of range.
+    pub fn rate(&self, element: usize, fallback: f64) -> f64 {
+        let n = self.polls[element];
+        if n == 0 {
+            return fallback;
+        }
+        let estimate = PollHistory {
+            polls: n,
+            changes_detected: self.detections[element],
+            interval: self.interval_sum[element] / n as f64,
+        }
+        .estimate_bias_reduced();
+        estimate.clamp(RATE_FLOOR, RATE_CAP)
+    }
+
+    /// Polls folded in for one element so far.
+    ///
+    /// # Panics
+    /// Panics when `element` is out of range.
+    pub fn observations(&self, element: usize) -> u64 {
+        self.polls[element]
+    }
+
+    /// Rate estimates for all elements (never-polled elements get exactly
+    /// `fallback`).
+    pub fn rates(&self, fallback: f64) -> Vec<f64> {
+        (0..self.polls.len())
+            .map(|i| self.rate(i, fallback))
+            .collect()
+    }
+
+    /// Checkpointable state: per element `(polls, detections,
+    /// interval_sum)`.
+    pub fn state(&self) -> (&[u64], &[u64], &[f64]) {
+        (&self.polls, &self.detections, &self.interval_sum)
+    }
+
+    /// Rebuild an estimator from checkpointed state exported by
+    /// [`state`](Self::state).
+    pub fn from_state(
+        polls: Vec<u64>,
+        detections: Vec<u64>,
+        interval_sum: Vec<f64>,
+    ) -> Result<Self> {
+        if polls.is_empty() {
+            return Err(CoreError::Empty);
+        }
+        if detections.len() != polls.len() {
+            return Err(CoreError::LengthMismatch {
+                what: "estimator detections",
+                expected: polls.len(),
+                actual: detections.len(),
+            });
+        }
+        if interval_sum.len() != polls.len() {
+            return Err(CoreError::LengthMismatch {
+                what: "estimator interval sums",
+                expected: polls.len(),
+                actual: interval_sum.len(),
+            });
+        }
+        for (i, ((&n, &x), &iv)) in polls.iter().zip(&detections).zip(&interval_sum).enumerate() {
+            if x > n {
+                return Err(CoreError::InvalidConfig(format!(
+                    "element {i} detected {x} changes in only {n} polls"
+                )));
+            }
+            if !iv.is_finite() || iv < 0.0 || (n > 0 && iv <= 0.0) {
+                return Err(CoreError::InvalidValue {
+                    what: "estimator interval sum",
+                    index: Some(i),
+                    value: iv,
+                });
+            }
+        }
+        Ok(LlnRateEstimator {
+            polls,
+            detections,
+            interval_sum,
+        })
+    }
+}
+
+/// Stochastic-approximation online change-rate estimator with a
+/// *decreasing* gain sequence, following Avrachenkov, Patil & Thoppe's SA
+/// estimator for web-page change rates.
+///
+/// The update is the same moment-equation step as the constant-gain
+/// [`EwmaRateEstimator`]:
+///
+/// ```text
+/// λ̂ ← λ̂ + (η_k/τ) · (I − (1 − e^{−λ̂τ}))    η_k = g₀ / (1 + k)^d
+/// ```
+///
+/// but with gain `η_k` decaying in the element's poll count `k`. Under
+/// the standard Robbins–Monro conditions (`Ση_k = ∞`, `Ση_k² < ∞`, which
+/// `d ∈ (0.5, 1]` satisfies) the iterate converges almost surely to the
+/// true rate on a stationary source — the noise floor vanishes instead of
+/// persisting as with a constant gain. After a rate shift it re-converges
+/// more slowly than EWMA (the gain has already decayed), which is the
+/// classic tracking-vs-precision trade the `exp_estimators` bench
+/// measures.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SaRateEstimator {
+    rates: Vec<f64>,
+    seen: Vec<u64>,
+    gain: f64,
+    decay: f64,
+}
+
+impl SaRateEstimator {
+    /// Create an estimator over `n` elements with initial gain
+    /// `gain ∈ (0, 1]` decaying as `(1 + k)^{-decay}` with
+    /// `decay ∈ (0.5, 1]`, starting every element at the `prior` rate.
+    pub fn new(n: usize, gain: f64, decay: f64, prior: f64) -> Result<Self> {
+        if n == 0 {
+            return Err(CoreError::Empty);
+        }
+        if !gain.is_finite() || gain <= 0.0 || gain > 1.0 {
+            return Err(CoreError::InvalidValue {
+                what: "estimator gain",
+                index: None,
+                value: gain,
+            });
+        }
+        if !decay.is_finite() || decay <= 0.5 || decay > 1.0 {
+            return Err(CoreError::InvalidValue {
+                what: "estimator gain decay",
+                index: None,
+                value: decay,
+            });
+        }
+        if !prior.is_finite() || prior <= 0.0 {
+            return Err(CoreError::InvalidValue {
+                what: "prior change rate",
+                index: None,
+                value: prior,
+            });
+        }
+        Ok(SaRateEstimator {
+            rates: vec![prior; n],
+            seen: vec![0; n],
+            gain,
+            decay,
+        })
+    }
+
+    /// Number of elements tracked.
+    pub fn len(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// True when tracking zero elements (unreachable via `new`).
+    pub fn is_empty(&self) -> bool {
+        self.rates.is_empty()
+    }
+
+    /// Fold in one poll outcome with the element's current (decayed) gain.
+    pub fn observe(&mut self, element: usize, interval: f64, changed: bool) -> Result<()> {
+        if element >= self.rates.len() {
+            return Err(CoreError::InvalidValue {
+                what: "estimator element",
+                index: Some(element),
+                value: element as f64,
+            });
+        }
+        if !interval.is_finite() || interval <= 0.0 {
+            return Err(CoreError::InvalidValue {
+                what: "poll interval",
+                index: Some(element),
+                value: interval,
+            });
+        }
+        let k = self.seen[element] as f64;
+        let eta = self.gain / (1.0 + k).powf(self.decay);
+        let lambda = self.rates[element];
+        let expected = 1.0 - (-lambda * interval).exp();
+        let indicator = f64::from(changed);
+        let step = eta / interval * (indicator - expected);
+        self.rates[element] = (lambda + step).clamp(RATE_FLOOR, RATE_CAP);
+        self.seen[element] += 1;
+        Ok(())
+    }
+
+    /// Current rate estimate for one element.
+    ///
+    /// # Panics
+    /// Panics when `element` is out of range.
+    pub fn rate(&self, element: usize) -> f64 {
+        self.rates[element]
+    }
+
+    /// Polls folded in for one element so far.
+    ///
+    /// # Panics
+    /// Panics when `element` is out of range.
+    pub fn observations(&self, element: usize) -> u64 {
+        self.seen[element]
+    }
+
+    /// Current rate estimates for all elements; never-polled elements get
+    /// exactly `fallback` instead of the prior.
+    pub fn rates(&self, fallback: f64) -> Vec<f64> {
+        self.rates
+            .iter()
+            .zip(&self.seen)
+            .map(|(&r, &n)| if n == 0 { fallback } else { r })
+            .collect()
+    }
+
+    /// The raw per-element estimates including priors — the
+    /// checkpointable state.
+    pub fn raw_rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Per-element observation counts (the checkpointable companion to
+    /// [`raw_rates`](Self::raw_rates); they also position the gain
+    /// schedule, so kill/resume continues the same decay sequence).
+    pub fn observation_counts(&self) -> &[u64] {
+        &self.seen
+    }
+
+    /// Rebuild an estimator from checkpointed state. `gain`/`decay` come
+    /// from configuration; `rates`/`seen` are what
+    /// [`raw_rates`](Self::raw_rates) and
+    /// [`observation_counts`](Self::observation_counts) exported.
+    pub fn from_state(rates: Vec<f64>, seen: Vec<u64>, gain: f64, decay: f64) -> Result<Self> {
+        if rates.is_empty() {
+            return Err(CoreError::Empty);
+        }
+        if seen.len() != rates.len() {
+            return Err(CoreError::LengthMismatch {
+                what: "estimator observation counts",
+                expected: rates.len(),
+                actual: seen.len(),
+            });
+        }
+        if !gain.is_finite() || gain <= 0.0 || gain > 1.0 {
+            return Err(CoreError::InvalidValue {
+                what: "estimator gain",
+                index: None,
+                value: gain,
+            });
+        }
+        if !decay.is_finite() || decay <= 0.5 || decay > 1.0 {
+            return Err(CoreError::InvalidValue {
+                what: "estimator gain decay",
+                index: None,
+                value: decay,
+            });
+        }
+        for (i, &r) in rates.iter().enumerate() {
+            if !r.is_finite() || r <= 0.0 {
+                return Err(CoreError::InvalidValue {
+                    what: "estimator rate",
+                    index: Some(i),
+                    value: r,
+                });
+            }
+        }
+        Ok(SaRateEstimator {
+            rates,
+            seen,
+            gain,
+            decay,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -739,5 +1128,195 @@ mod tests {
         let w = window.rate(0, 0.0);
         assert!((b - w).abs() < 0.05, "batch {b} vs window {w}");
         assert!((b - e).abs() < 0.4, "batch {b} vs ewma {e}");
+    }
+
+    #[test]
+    fn degenerate_histories_never_produce_non_finite_estimates() {
+        // The public fields bypass `new`'s validation, so corrupt
+        // histories are constructible; every estimator must stay finite.
+        let degenerates = [
+            PollHistory {
+                polls: 10,
+                changes_detected: 3,
+                interval: 0.0,
+            },
+            PollHistory {
+                polls: 10,
+                changes_detected: 3,
+                interval: f64::NAN,
+            },
+            PollHistory {
+                polls: 10,
+                changes_detected: 3,
+                interval: -1.0,
+            },
+            PollHistory {
+                polls: 0,
+                changes_detected: 0,
+                interval: 1.0,
+            },
+        ];
+        for h in degenerates {
+            assert!(h.estimate_naive().is_finite(), "naive inf for {h:?}");
+            assert!(h.estimate_naive() <= RATE_CAP, "naive above cap for {h:?}");
+            assert!(
+                h.estimate_bias_reduced().is_finite(),
+                "bias-reduced inf for {h:?}"
+            );
+            assert!(h.estimate_mle().is_none(), "mle defined for {h:?}");
+        }
+        // Degenerate with zero detections: estimates are exactly 0.
+        let quiet = PollHistory {
+            polls: 0,
+            changes_detected: 0,
+            interval: 0.0,
+        };
+        assert_eq!(quiet.estimate_naive(), 0.0);
+        assert_eq!(quiet.estimate_bias_reduced(), 0.0);
+    }
+
+    #[test]
+    fn saturated_detection_ratio_is_capped_not_infinite() {
+        // x = n with a tiny interval: −ln(0)-style blow-ups must cap at
+        // RATE_CAP instead of leaking inf into the solver.
+        let h = PollHistory::new(10, 10, 1e-300).unwrap();
+        assert!(h.estimate_mle().is_none(), "MLE diverges at x = n");
+        let br = h.estimate_bias_reduced();
+        assert!(br.is_finite() && br <= RATE_CAP, "bias-reduced {br}");
+        let naive = h.estimate_naive();
+        assert!(naive.is_finite() && naive <= RATE_CAP, "naive {naive}");
+    }
+
+    #[test]
+    fn timestamps_reject_non_monotone_inputs() {
+        // Out-of-order change logs bias the rate silently; they must be a
+        // clean error instead.
+        let err = estimate_from_timestamps(&[0.5, 0.3, 0.9], 1.0).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::InvalidValue {
+                what: "non-monotone change time",
+                index: Some(1),
+                ..
+            }
+        ));
+        // Equal timestamps (two changes observed in the same instant) are
+        // fine, as is a properly sorted log.
+        assert!(estimate_from_timestamps(&[0.2, 0.2, 0.8], 1.0).is_ok());
+        assert_eq!(estimate_from_timestamps(&[0.1, 0.9], 2.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn lln_estimator_converges_to_true_rate() {
+        let mut e = LlnRateEstimator::new(1).unwrap();
+        feed_polls(&mut |i, c| e.observe(0, i, c).unwrap(), 3.0, 0.25, 4000);
+        let est = e.rate(0, 99.0);
+        assert!((est - 3.0).abs() < 0.2, "estimated {est}, want ≈3");
+        assert_eq!(e.observations(0), 4000);
+    }
+
+    #[test]
+    fn lln_estimator_fallback_and_validation() {
+        let e = LlnRateEstimator::new(2).unwrap();
+        assert_eq!(e.rates(7.0), vec![7.0, 7.0], "unpolled gets fallback");
+        assert!(LlnRateEstimator::new(0).is_err());
+        let mut e = LlnRateEstimator::new(2).unwrap();
+        assert!(e.observe(5, 1.0, true).is_err(), "out of range");
+        assert!(e.observe(0, 0.0, true).is_err(), "bad interval");
+        // x = n stays finite through the bias-reduced inversion.
+        for _ in 0..50 {
+            e.observe(0, 0.5, true).unwrap();
+        }
+        assert!(e.rate(0, 0.0).is_finite());
+    }
+
+    #[test]
+    fn lln_state_roundtrip() {
+        let mut e = LlnRateEstimator::new(3).unwrap();
+        feed_polls(&mut |i, c| e.observe(1, i, c).unwrap(), 2.0, 0.5, 100);
+        let (polls, detections, intervals) = e.state();
+        let back =
+            LlnRateEstimator::from_state(polls.to_vec(), detections.to_vec(), intervals.to_vec())
+                .unwrap();
+        assert_eq!(back.rates(9.0), e.rates(9.0));
+        assert!(LlnRateEstimator::from_state(vec![1], vec![2], vec![1.0]).is_err());
+        assert!(LlnRateEstimator::from_state(vec![1], vec![0], vec![]).is_err());
+        assert!(LlnRateEstimator::from_state(vec![1], vec![0], vec![f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn sa_estimator_converges_to_true_rate() {
+        let mut e = SaRateEstimator::new(1, 1.0, 0.6, 1.0).unwrap();
+        feed_polls(&mut |i, c| e.observe(0, i, c).unwrap(), 3.0, 0.25, 4000);
+        let est = e.rate(0);
+        assert!((est - 3.0).abs() < 0.25, "estimated {est}, want ≈3");
+        assert_eq!(e.observations(0), 4000);
+    }
+
+    #[test]
+    fn sa_beats_constant_gain_in_steady_state() {
+        // Same feed: the decreasing-gain iterate must land closer to the
+        // truth than the constant-gain EWMA, whose noise floor persists.
+        let mut sa = SaRateEstimator::new(1, 1.0, 0.6, 1.0).unwrap();
+        let mut ewma = EwmaRateEstimator::new(1, 0.05, 1.0).unwrap();
+        feed_polls(
+            &mut |i, c| {
+                sa.observe(0, i, c).unwrap();
+                ewma.observe(0, i, c).unwrap();
+            },
+            2.0,
+            0.5,
+            8000,
+        );
+        let sa_err = (sa.rate(0) - 2.0).abs();
+        let ewma_err = (ewma.rate(0) - 2.0).abs();
+        assert!(
+            sa_err <= ewma_err + 1e-9,
+            "sa error {sa_err} vs ewma error {ewma_err}"
+        );
+    }
+
+    #[test]
+    fn sa_estimator_fallback_and_validation() {
+        let e = SaRateEstimator::new(2, 0.5, 0.75, 5.0).unwrap();
+        assert_eq!(e.rates(7.0), vec![7.0, 7.0], "unpolled gets fallback");
+        assert!(SaRateEstimator::new(0, 0.5, 0.75, 1.0).is_err());
+        assert!(SaRateEstimator::new(2, 0.0, 0.75, 1.0).is_err());
+        assert!(SaRateEstimator::new(2, 1.5, 0.75, 1.0).is_err());
+        assert!(
+            SaRateEstimator::new(2, 0.5, 0.5, 1.0).is_err(),
+            "decay too small"
+        );
+        assert!(
+            SaRateEstimator::new(2, 0.5, 1.5, 1.0).is_err(),
+            "decay too large"
+        );
+        assert!(SaRateEstimator::new(2, 0.5, 0.75, 0.0).is_err());
+        let mut e = SaRateEstimator::new(2, 0.5, 0.75, 1.0).unwrap();
+        assert!(e.observe(5, 1.0, true).is_err(), "out of range");
+        assert!(e.observe(0, 0.0, true).is_err(), "bad interval");
+    }
+
+    #[test]
+    fn sa_state_roundtrip_continues_the_gain_schedule() {
+        let mut e = SaRateEstimator::new(2, 1.0, 0.6, 1.0).unwrap();
+        feed_polls(&mut |i, c| e.observe(0, i, c).unwrap(), 2.0, 0.5, 500);
+        let back = SaRateEstimator::from_state(
+            e.raw_rates().to_vec(),
+            e.observation_counts().to_vec(),
+            1.0,
+            0.6,
+        )
+        .unwrap();
+        assert_eq!(back.raw_rates(), e.raw_rates());
+        assert_eq!(back.observations(0), 500);
+        // Continuing both from the same point stays bit-identical.
+        let mut a = e.clone();
+        let mut b = back;
+        feed_polls(&mut |i, c| a.observe(0, i, c).unwrap(), 2.0, 0.5, 100);
+        feed_polls(&mut |i, c| b.observe(0, i, c).unwrap(), 2.0, 0.5, 100);
+        assert_eq!(a.raw_rates(), b.raw_rates());
+        assert!(SaRateEstimator::from_state(vec![1.0], vec![0, 0], 0.5, 0.75).is_err());
+        assert!(SaRateEstimator::from_state(vec![-1.0], vec![0], 0.5, 0.75).is_err());
     }
 }

@@ -54,6 +54,10 @@ pub struct Problem {
     sizes: Vec<f64>,
     bandwidth: f64,
     uniform_sizes: bool,
+    /// Per-poll monetary cost `cᵢ` of refreshing element `i` once.
+    /// `None` means the uniform core-problem cost of 1.0 per poll.
+    #[serde(default)]
+    costs: Option<Vec<f64>>,
 }
 
 impl Problem {
@@ -105,6 +109,50 @@ impl Problem {
     #[inline]
     pub fn has_uniform_sizes(&self) -> bool {
         self.uniform_sizes
+    }
+
+    /// Per-poll costs `cᵢ`, when an explicit cost column was provided.
+    /// `None` means every poll costs the uniform 1.0.
+    #[inline]
+    pub fn poll_costs(&self) -> Option<&[f64]> {
+        self.costs.as_deref()
+    }
+
+    /// Per-poll cost of element `i` (1.0 when no cost column was set).
+    ///
+    /// # Panics
+    /// Panics when `i >= len()`.
+    #[inline]
+    pub fn poll_cost(&self, i: usize) -> f64 {
+        match &self.costs {
+            Some(c) => c[i],
+            None => {
+                assert!(i < self.len(), "poll_cost index out of bounds");
+                1.0
+            }
+        }
+    }
+
+    /// True when every poll costs the same 1.0 — either because no cost
+    /// column was set or because the provided column is all-ones.
+    #[inline]
+    pub fn has_uniform_costs(&self) -> bool {
+        match &self.costs {
+            Some(c) => c.iter().all(|&x| x == 1.0),
+            None => true,
+        }
+    }
+
+    /// Total per-period poll spend of an allocation: `Σ cᵢ·fᵢ`
+    /// (compensated summation, matching [`bandwidth_used`]).
+    ///
+    /// [`bandwidth_used`]: Problem::bandwidth_used
+    pub fn cost_used(&self, freqs: &[f64]) -> f64 {
+        assert_eq!(freqs.len(), self.len(), "freqs length mismatch");
+        match &self.costs {
+            Some(c) => neumaier_sum(c.iter().zip(freqs).map(|(&c, &f)| c * f)),
+            None => neumaier_sum(freqs.iter().copied()),
+        }
     }
 
     /// Element view at index `i`.
@@ -184,6 +232,7 @@ impl Problem {
             sizes: self.sizes.clone(),
             bandwidth: self.bandwidth,
             uniform_sizes: self.uniform_sizes,
+            costs: self.costs.clone(),
         }
     }
 
@@ -197,6 +246,7 @@ impl Problem {
             sizes: vec![1.0; self.len()],
             bandwidth: self.bandwidth,
             uniform_sizes: true,
+            costs: self.costs.clone(),
         }
     }
 
@@ -213,6 +263,10 @@ impl Problem {
         let mut lam = Vec::with_capacity(indices.len());
         let mut p = Vec::with_capacity(indices.len());
         let mut s = Vec::with_capacity(indices.len());
+        let mut c = self
+            .costs
+            .as_ref()
+            .map(|_| Vec::with_capacity(indices.len()));
         for &i in indices {
             if i >= self.len() {
                 return Err(CoreError::InvalidValue {
@@ -224,6 +278,9 @@ impl Problem {
             lam.push(self.change_rates[i]);
             p.push(self.access_probs[i]);
             s.push(self.sizes[i]);
+            if let (Some(sub), Some(full)) = (c.as_mut(), self.costs.as_ref()) {
+                sub.push(full[i]);
+            }
         }
         let total = neumaier_sum(p.iter().copied());
         if total <= 0.0 {
@@ -232,12 +289,15 @@ impl Problem {
         for w in &mut p {
             *w /= total;
         }
-        Problem::builder()
+        let mut builder = Problem::builder()
             .change_rates(lam)
             .access_probs(p)
             .sizes(s)
-            .bandwidth(bandwidth)
-            .build()
+            .bandwidth(bandwidth);
+        if let Some(sub) = c {
+            builder = builder.costs(sub);
+        }
+        builder.build()
     }
 }
 
@@ -249,6 +309,7 @@ pub struct ProblemBuilder {
     change_rates: Vec<f64>,
     access_probs: Vec<f64>,
     sizes: Option<Vec<f64>>,
+    costs: Option<Vec<f64>>,
     bandwidth: f64,
     normalize: bool,
 }
@@ -278,6 +339,14 @@ impl ProblemBuilder {
     /// Set object sizes; omit for the fixed-size core problem (all 1.0).
     pub fn sizes(mut self, sizes: Vec<f64>) -> Self {
         self.sizes = Some(sizes);
+        self
+    }
+
+    /// Set per-poll costs `cᵢ`; omit for the uniform-cost problem
+    /// (every poll costs 1.0). Costs must be finite and non-negative —
+    /// a zero cost marks an element whose refreshes are free.
+    pub fn costs(mut self, costs: Vec<f64>) -> Self {
+        self.costs = Some(costs);
         self
     }
 
@@ -353,6 +422,24 @@ impl ProblemBuilder {
                 uniform_sizes = false;
             }
         }
+        if let Some(costs) = &self.costs {
+            if costs.len() != n {
+                return Err(CoreError::LengthMismatch {
+                    what: "costs",
+                    expected: n,
+                    actual: costs.len(),
+                });
+            }
+            for (i, &c) in costs.iter().enumerate() {
+                if !c.is_finite() || c < 0.0 {
+                    return Err(CoreError::InvalidValue {
+                        what: "costs",
+                        index: Some(i),
+                        value: c,
+                    });
+                }
+            }
+        }
         if !self.bandwidth.is_finite() || self.bandwidth <= 0.0 {
             return Err(CoreError::InvalidValue {
                 what: "bandwidth",
@@ -366,6 +453,7 @@ impl ProblemBuilder {
             sizes,
             bandwidth: self.bandwidth,
             uniform_sizes,
+            costs: self.costs,
         })
     }
 }
@@ -385,6 +473,14 @@ pub struct Solution {
     /// algorithm computes one (exact solvers do; heuristics report the
     /// multiplier of their reduced problem).
     pub multiplier: Option<f64>,
+    /// The cost weight `γ` the producing solve priced polls at: the fixed
+    /// `--poll-cost` weight in cost-aware mode, or the cost-budget dual
+    /// found by [`solve_cost_budget`]-style outer iterations. `None` for
+    /// cost-blind solves.
+    ///
+    /// [`solve_cost_budget`]: https://docs.rs/freshen-solver
+    #[serde(default)]
+    pub cost_multiplier: Option<f64>,
     /// Iterations the producing algorithm spent.
     pub iterations: usize,
 }
@@ -420,6 +516,7 @@ impl Solution {
             general_freshness: gf,
             bandwidth_used: used,
             multiplier: None,
+            cost_multiplier: None,
             iterations: 0,
         }
     }
@@ -448,6 +545,7 @@ impl Solution {
             general_freshness: gf,
             bandwidth_used: used,
             multiplier: None,
+            cost_multiplier: None,
             iterations: 0,
         }
     }
@@ -693,5 +791,68 @@ mod tests {
         let json = serde_json::to_string(&p).unwrap();
         let back: Problem = serde_json::from_str(&json).unwrap();
         assert_eq!(p, back);
+    }
+
+    #[test]
+    fn costs_default_to_uniform_one() {
+        let p = toy();
+        assert!(p.poll_costs().is_none());
+        assert!(p.has_uniform_costs());
+        assert_eq!(p.poll_cost(3), 1.0);
+        // With no cost column, spend is just Σ fᵢ.
+        assert_eq!(p.cost_used(&[1.0, 2.0, 3.0, 4.0, 5.0]), 15.0);
+    }
+
+    #[test]
+    fn explicit_costs_are_validated_and_used() {
+        let p = Problem::builder()
+            .change_rates(vec![1.0, 2.0])
+            .access_probs(vec![0.5, 0.5])
+            .costs(vec![0.5, 3.0])
+            .bandwidth(2.0)
+            .build()
+            .unwrap();
+        assert!(!p.has_uniform_costs());
+        assert_eq!(p.poll_cost(0), 0.5);
+        assert_eq!(p.cost_used(&[2.0, 1.0]), 4.0);
+    }
+
+    #[test]
+    fn builder_rejects_bad_costs() {
+        for bad in [vec![1.0], vec![-1.0, 1.0], vec![f64::NAN, 1.0]] {
+            let err = Problem::builder()
+                .change_rates(vec![1.0, 2.0])
+                .access_probs(vec![0.5, 0.5])
+                .costs(bad)
+                .bandwidth(1.0)
+                .build()
+                .unwrap_err();
+            assert!(matches!(
+                err,
+                CoreError::LengthMismatch { what: "costs", .. }
+                    | CoreError::InvalidValue { what: "costs", .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn costs_survive_copies_and_restriction() {
+        let p = Problem::builder()
+            .change_rates(vec![1.0, 2.0, 3.0])
+            .access_probs(vec![0.2, 0.3, 0.5])
+            .costs(vec![1.0, 2.0, 4.0])
+            .bandwidth(3.0)
+            .build()
+            .unwrap();
+        assert_eq!(
+            p.with_uniform_interest().poll_costs(),
+            Some(&[1.0, 2.0, 4.0][..])
+        );
+        assert_eq!(
+            p.with_uniform_sizes().poll_costs(),
+            Some(&[1.0, 2.0, 4.0][..])
+        );
+        let sub = p.restrict_to(&[1, 2], 2.0).unwrap();
+        assert_eq!(sub.poll_costs(), Some(&[2.0, 4.0][..]));
     }
 }

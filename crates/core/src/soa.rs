@@ -66,6 +66,8 @@ pub struct ColumnsRef<'a> {
     pub lambda: &'a [f64],
     /// Sizes, packed.
     pub s: &'a [f64],
+    /// Per-poll costs, packed (all 1.0 for cost-blind problems).
+    pub c: &'a [f64],
 }
 
 impl<'a> ColumnsRef<'a> {
@@ -94,6 +96,7 @@ pub struct PackedColumns {
     p: Vec<f64>,
     lambda: Vec<f64>,
     s: Vec<f64>,
+    c: Vec<f64>,
     f: Vec<f64>,
 }
 
@@ -109,11 +112,16 @@ impl PackedColumns {
             problem.change_rates(),
             problem.sizes(),
         );
+        let c = match problem.poll_costs() {
+            Some(costs) => ids.iter().map(|&i| costs[i]).collect(),
+            None => vec![1.0; ids.len()],
+        };
         PackedColumns {
             ids: ids.to_vec(),
             p: ids.iter().map(|&i| p[i]).collect(),
             lambda: ids.iter().map(|&i| lam[i]).collect(),
             s: ids.iter().map(|&i| s[i]).collect(),
+            c,
             f: vec![0.0; ids.len()],
         }
     }
@@ -169,6 +177,12 @@ impl PackedColumns {
         &self.s
     }
 
+    /// Packed per-poll costs (all 1.0 for cost-blind problems).
+    #[inline]
+    pub fn c(&self) -> &[f64] {
+        &self.c
+    }
+
     /// Packed frequency column.
     #[inline]
     pub fn f(&self) -> &[f64] {
@@ -191,7 +205,8 @@ impl PackedColumns {
             ids: &self.ids[range.clone()],
             p: &self.p[range.clone()],
             lambda: &self.lambda[range.clone()],
-            s: &self.s[range],
+            s: &self.s[range.clone()],
+            c: &self.c[range],
         }
     }
 
@@ -207,6 +222,7 @@ impl PackedColumns {
                 p: &self.p,
                 lambda: &self.lambda,
                 s: &self.s,
+                c: &self.c,
             },
             &mut self.f,
         )
@@ -316,6 +332,23 @@ mod tests {
         assert!(std::ptr::eq(ro.p.as_ptr(), p_ptr));
         f[0] = 5.0;
         assert_eq!(packed.f(), &[5.0, 0.0]);
+    }
+
+    #[test]
+    fn gather_packs_costs_defaulting_to_one() {
+        let p = toy();
+        let packed = PackedColumns::gather(&p, &[2, 0]);
+        assert_eq!(packed.c(), &[1.0, 1.0]);
+        let costly = Problem::builder()
+            .change_rates(vec![1.0, 2.0, 3.0, 4.0])
+            .access_probs(vec![0.4, 0.3, 0.2, 0.1])
+            .costs(vec![5.0, 6.0, 7.0, 8.0])
+            .bandwidth(3.0)
+            .build()
+            .unwrap();
+        let packed = PackedColumns::gather(&costly, &[2, 0, 3]);
+        assert_eq!(packed.c(), &[7.0, 5.0, 8.0]);
+        assert_eq!(packed.slice(1..3).c, &[5.0, 8.0]);
     }
 
     #[test]

@@ -24,6 +24,26 @@ pub enum EstimatorKind {
         /// Polls remembered per element.
         len: usize,
     },
+    /// Law-of-large-numbers estimator ([`LlnRateEstimator`]) — full-history
+    /// sufficient statistics in `O(1)` memory per element, strongly
+    /// consistent on stationary streams (error `O(1/√n)`), but forgets a
+    /// regime shift only at `O(1/n)`.
+    ///
+    /// [`LlnRateEstimator`]: freshen_core::estimate::LlnRateEstimator
+    Lln,
+    /// Decreasing-gain stochastic-approximation estimator
+    /// ([`SaRateEstimator`]) — Robbins–Monro schedule
+    /// `η_k = gain/(1+k)^decay`, almost-sure convergence with a vanishing
+    /// noise floor on stationary streams.
+    ///
+    /// [`SaRateEstimator`]: freshen_core::estimate::SaRateEstimator
+    Sa {
+        /// Initial gain `g₀ ∈ (0, 1]`.
+        gain: f64,
+        /// Gain decay exponent, in `(0.5, 1]` for Robbins–Monro
+        /// convergence.
+        decay: f64,
+    },
 }
 
 /// When does the engine re-solve the Core Problem?
@@ -102,6 +122,21 @@ pub struct EngineConfig {
     /// (0 disables). Purely cosmetic: never touches reports, snapshots,
     /// or any deterministic output.
     pub progress_every: usize,
+    /// Per-poll cost weight `γ` handed to the scheduler's solver: every
+    /// solve (initial, warm, repair) maximizes `PF − γ·Σ cᵢfᵢ` against
+    /// the problem's cost column and the repair certificate checks the
+    /// cost-adjusted KKT condition. `0.0` (the default) is the cost-blind
+    /// objective, bit-for-bit.
+    pub poll_cost: f64,
+    /// Optional cost-spend cap `C`. When set, the engine calibrates the
+    /// levy once at startup — the dual bisection
+    /// (`LagrangeSolver::solve_cost_budget`) on the *prior* problem
+    /// yields the shadow price γ\*, which is then installed as the
+    /// operating `poll_cost` for the whole run. Mutually exclusive with a
+    /// nonzero `poll_cost` (the cap decides the levy; setting both is a
+    /// config error). Calibration is a pure function of the prior, so a
+    /// restored run re-derives the identical levy.
+    pub cost_budget: Option<f64>,
 }
 
 impl Default for EngineConfig {
@@ -126,6 +161,8 @@ impl Default for EngineConfig {
             audit: false,
             slo: None,
             progress_every: 0,
+            poll_cost: 0.0,
+            cost_budget: None,
         }
     }
 }
@@ -170,6 +207,30 @@ impl EngineConfig {
                         "window estimator needs ≥ 1 slot".into(),
                     ));
                 }
+            }
+            EstimatorKind::Lln => {}
+            EstimatorKind::Sa { gain, decay } => {
+                if !gain.is_finite() || gain <= 0.0 || gain > 1.0 {
+                    return Err(bad("estimator gain", gain));
+                }
+                if !decay.is_finite() || decay <= 0.5 || decay > 1.0 {
+                    return Err(bad("estimator gain decay", decay));
+                }
+            }
+        }
+        if !self.poll_cost.is_finite() || self.poll_cost < 0.0 {
+            return Err(bad("poll cost weight", self.poll_cost));
+        }
+        if let Some(cap) = self.cost_budget {
+            if !cap.is_finite() || cap <= 0.0 {
+                return Err(bad("cost budget", cap));
+            }
+            if self.poll_cost > 0.0 {
+                return Err(CoreError::InvalidConfig(
+                    "cost budget and poll cost are mutually exclusive: the cap calibrates \
+                     the levy itself"
+                        .into(),
+                ));
             }
         }
         if !self.profile_decay.is_finite() || self.profile_decay <= 0.0 || self.profile_decay > 1.0
@@ -326,6 +387,38 @@ mod tests {
                     ..ok.clone()
                 },
                 "slo",
+            ),
+            (
+                EngineConfig {
+                    estimator: EstimatorKind::Sa {
+                        gain: 0.5,
+                        decay: 0.3,
+                    },
+                    ..ok.clone()
+                },
+                "decay",
+            ),
+            (
+                EngineConfig {
+                    poll_cost: -0.1,
+                    ..ok.clone()
+                },
+                "poll cost",
+            ),
+            (
+                EngineConfig {
+                    cost_budget: Some(0.0),
+                    ..ok.clone()
+                },
+                "cost budget",
+            ),
+            (
+                EngineConfig {
+                    poll_cost: 0.1,
+                    cost_budget: Some(5.0),
+                    ..ok.clone()
+                },
+                "mutually exclusive",
             ),
         ];
         for (config, hint) in cases {

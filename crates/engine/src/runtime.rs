@@ -18,7 +18,9 @@ use std::iter::Peekable;
 use std::time::Instant;
 
 use freshen_core::error::{CoreError, Result};
-use freshen_core::estimate::{EwmaRateEstimator, WindowRateEstimator};
+use freshen_core::estimate::{
+    EwmaRateEstimator, LlnRateEstimator, SaRateEstimator, WindowRateEstimator,
+};
 use freshen_core::exec::Executor;
 use freshen_core::problem::{Problem, Solution};
 use freshen_core::profile::ProfileEstimator;
@@ -38,6 +40,8 @@ use crate::state::{EngineState, EstimatorState};
 enum RateTracker {
     Ewma(EwmaRateEstimator),
     Window(WindowRateEstimator),
+    Lln(LlnRateEstimator),
+    Sa(SaRateEstimator),
 }
 
 impl RateTracker {
@@ -47,6 +51,10 @@ impl RateTracker {
                 RateTracker::Ewma(EwmaRateEstimator::new(n, gain, prior)?)
             }
             EstimatorKind::Window { len } => RateTracker::Window(WindowRateEstimator::new(n, len)?),
+            EstimatorKind::Lln => RateTracker::Lln(LlnRateEstimator::new(n)?),
+            EstimatorKind::Sa { gain, decay } => {
+                RateTracker::Sa(SaRateEstimator::new(n, gain, decay, prior)?)
+            }
         })
     }
 
@@ -54,6 +62,8 @@ impl RateTracker {
         match self {
             RateTracker::Ewma(e) => e.observe(element, interval, changed),
             RateTracker::Window(e) => e.observe(element, interval, changed),
+            RateTracker::Lln(e) => e.observe(element, interval, changed),
+            RateTracker::Sa(e) => e.observe(element, interval, changed),
         }
     }
 
@@ -61,6 +71,8 @@ impl RateTracker {
         match self {
             RateTracker::Ewma(e) => e.rates(fallback),
             RateTracker::Window(e) => e.rates(fallback),
+            RateTracker::Lln(e) => e.rates(fallback),
+            RateTracker::Sa(e) => e.rates(fallback),
         }
     }
 
@@ -73,6 +85,18 @@ impl RateTracker {
             RateTracker::Window(e) => EstimatorState::Window {
                 window: e.window(),
                 entries: e.entries(),
+            },
+            RateTracker::Lln(e) => {
+                let (polls, detections, interval_sum) = e.state();
+                EstimatorState::Lln {
+                    polls: polls.to_vec(),
+                    detections: detections.to_vec(),
+                    interval_sum: interval_sum.to_vec(),
+                }
+            }
+            RateTracker::Sa(e) => EstimatorState::Sa {
+                rates: e.raw_rates().to_vec(),
+                seen: e.observation_counts().to_vec(),
             },
         }
     }
@@ -110,6 +134,39 @@ impl RateTracker {
                     window, entries,
                 )?))
             }
+            (
+                EstimatorKind::Lln,
+                EstimatorState::Lln {
+                    polls,
+                    detections,
+                    interval_sum,
+                },
+            ) => {
+                if polls.len() != n {
+                    return Err(CoreError::LengthMismatch {
+                        what: "estimator polls",
+                        expected: n,
+                        actual: polls.len(),
+                    });
+                }
+                Ok(RateTracker::Lln(LlnRateEstimator::from_state(
+                    polls,
+                    detections,
+                    interval_sum,
+                )?))
+            }
+            (EstimatorKind::Sa { gain, decay }, EstimatorState::Sa { rates, seen }) => {
+                if rates.len() != n {
+                    return Err(CoreError::LengthMismatch {
+                        what: "estimator rates",
+                        expected: n,
+                        actual: rates.len(),
+                    });
+                }
+                Ok(RateTracker::Sa(SaRateEstimator::from_state(
+                    rates, seen, gain, decay,
+                )?))
+            }
             _ => Err(CoreError::InvalidConfig(
                 "snapshot estimator kind does not match the configured estimator".into(),
             )),
@@ -125,6 +182,9 @@ impl RateTracker {
 pub struct Engine {
     config: EngineConfig,
     bandwidth: f64,
+    /// The prior's per-poll cost column, re-attached to every rebuilt
+    /// estimates problem (costs are operator-declared, not estimated).
+    costs: Option<Vec<f64>>,
     profile: ProfileEstimator,
     rates: RateTracker,
     scheduler: AdaptiveScheduler,
@@ -154,11 +214,25 @@ impl Engine {
             Some(rules) => Some(SloEngine::new(rules.clone()).map_err(CoreError::InvalidConfig)?),
             None => None,
         };
+        // Operating levy: explicit `poll_cost`, or the shadow price γ* a
+        // binding `cost_budget` implies on the prior (a pure function of
+        // the prior, so restores re-derive the same levy).
+        let levy = match config.cost_budget {
+            Some(cap) => {
+                let solver = freshen_solver::LagrangeSolver::default();
+                solver
+                    .solve_cost_budget(prior, cap)?
+                    .cost_multiplier
+                    .unwrap_or(0.0)
+            }
+            None => config.poll_cost,
+        };
         Ok(Engine {
             bandwidth: prior.bandwidth(),
+            costs: prior.poll_costs().map(<[f64]>::to_vec),
             profile: ProfileEstimator::new(n, config.profile_decay)?,
             rates: RateTracker::new(n, config.estimator, config.fallback_rate)?,
-            scheduler: AdaptiveScheduler::new(prior, config.drift_threshold)?
+            scheduler: AdaptiveScheduler::new_costed(prior, config.drift_threshold, levy)?
                 .with_repair_fraction(config.repair_fraction),
             dispatcher: PollDispatcher::new(n, prior.bandwidth(), &config)?,
             recorder: Recorder::disabled(),
@@ -344,11 +418,16 @@ impl Engine {
         }
 
         // 3. Fresh estimates → drift monitor → (maybe) warm re-solve.
-        self.estimates = Problem::builder()
-            .change_rates(self.rates.rates(self.config.fallback_rate))
-            .access_weights(self.profile.access_probs_smoothed(self.config.smoothing))
-            .bandwidth(self.bandwidth)
-            .build()?;
+        self.estimates = {
+            let mut builder = Problem::builder()
+                .change_rates(self.rates.rates(self.config.fallback_rate))
+                .access_weights(self.profile.access_probs_smoothed(self.config.smoothing))
+                .bandwidth(self.bandwidth);
+            if let Some(costs) = &self.costs {
+                builder = builder.costs(costs.clone());
+            }
+            builder.build()?
+        };
         // 4. ... overlapped with scoring the epoch (estimates at the
         // achieved frequencies). The re-solve decision and the PF
         // score read the same immutable estimates and touch disjoint
@@ -653,7 +732,10 @@ impl Engine {
         )?
         .with_repair_fraction(self.config.repair_fraction)
         .with_repair_counters(state.repairs as usize, state.repair_fallbacks as usize)
-        .with_executor(self.executor.clone());
+        .with_executor(self.executor.clone())
+        // Same operating levy the constructor derived (explicit, or the
+        // cost-budget calibration — this engine already carries it).
+        .with_cost_weight(self.scheduler.cost_weight());
         // The live `(p̂, λ̂)` snapshot is a pure function of estimator
         // state, so it is recomputed rather than checkpointed. Before the
         // first epoch it is the prior, which the fresh engine already
@@ -661,13 +743,14 @@ impl Engine {
         let estimates = if state.history.is_empty() {
             None
         } else {
-            Some(
-                Problem::builder()
-                    .change_rates(rates.rates(self.config.fallback_rate))
-                    .access_weights(profile.access_probs_smoothed(self.config.smoothing))
-                    .bandwidth(self.bandwidth)
-                    .build()?,
-            )
+            let mut builder = Problem::builder()
+                .change_rates(rates.rates(self.config.fallback_rate))
+                .access_weights(profile.access_probs_smoothed(self.config.smoothing))
+                .bandwidth(self.bandwidth);
+            if let Some(costs) = &self.costs {
+                builder = builder.costs(costs.clone());
+            }
+            Some(builder.build()?)
         };
         self.dispatcher
             .restore_state(state.credit, state.attempts)?;

@@ -48,6 +48,25 @@ pub enum EstimatorState {
         /// oldest-first.
         entries: Vec<Vec<(f64, bool)>>,
     },
+    /// State of an [`LlnRateEstimator`](freshen_core::estimate::LlnRateEstimator):
+    /// the full-history sufficient statistics.
+    Lln {
+        /// Per-element poll counts.
+        polls: Vec<u64>,
+        /// Per-element change-detection counts.
+        detections: Vec<u64>,
+        /// Per-element summed poll intervals.
+        interval_sum: Vec<f64>,
+    },
+    /// State of an [`SaRateEstimator`](freshen_core::estimate::SaRateEstimator).
+    /// The gain schedule's parameters live in the config; `seen` resumes
+    /// the per-element step-size sequence exactly.
+    Sa {
+        /// Per-element rate iterates (priors included).
+        rates: Vec<f64>,
+        /// Per-element observation counts (the gain-schedule index).
+        seen: Vec<u64>,
+    },
 }
 
 /// Everything the engine carries across epochs, as plain data.

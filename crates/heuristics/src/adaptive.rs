@@ -240,7 +240,16 @@ impl AdaptiveScheduler {
     /// Incremental repair is off by default
     /// ([`with_repair_fraction`](Self::with_repair_fraction) enables it).
     pub fn new(problem: &Problem, drift_threshold: f64) -> Result<Self> {
-        let solver = LagrangeSolver::default();
+        Self::new_costed(problem, drift_threshold, 0.0)
+    }
+
+    /// [`new`](Self::new) with a per-poll cost weight `γ` on the solver's
+    /// objective: every solve (initial, warm re-solve, and repair) then
+    /// maximizes `PF − γ·Σ cᵢfᵢ` and the repair certificate checks the
+    /// cost-adjusted stationarity condition. `γ = 0` is exactly
+    /// [`new`](Self::new).
+    pub fn new_costed(problem: &Problem, drift_threshold: f64, cost_weight: f64) -> Result<Self> {
+        let solver = LagrangeSolver::default().with_cost_weight(cost_weight);
         let current = solver.solve(problem)?;
         Ok(AdaptiveScheduler {
             solver,
@@ -253,6 +262,20 @@ impl AdaptiveScheduler {
             repair_fraction: 0.0,
             last_drift: None,
         })
+    }
+
+    /// Set the solver's per-poll cost weight without re-solving (builder
+    /// form) — for the [`from_state`](Self::from_state) restore path,
+    /// where `current` was exported by a scheduler already running at
+    /// this weight.
+    pub fn with_cost_weight(mut self, cost_weight: f64) -> Self {
+        self.solver.cost_weight = cost_weight;
+        self
+    }
+
+    /// The per-poll cost weight γ the solver is operating at.
+    pub fn cost_weight(&self) -> f64 {
+        self.solver.cost_weight
     }
 
     /// Enable incremental KKT repair (builder form): when a re-solve
@@ -420,7 +443,15 @@ impl AdaptiveScheduler {
             }
             Err(e) => return Err(e),
         };
-        let certificate = SolutionAudit::default().check(problem, &repaired, self.solver.policy)?;
+        // Certify against the solver's actual objective: with a poll levy
+        // active the stationarity targets shift to `μ·s + γ·c`, and the
+        // cost-blind certificate would reject every correct repair.
+        let certificate = SolutionAudit::default().check_with_cost(
+            problem,
+            &repaired,
+            self.solver.policy,
+            self.solver.cost_weight,
+        )?;
         if !certificate.is_clean() {
             self.repair_fallbacks += 1;
             return Ok(false);
@@ -715,6 +746,38 @@ mod tests {
             "repaired PF {} vs full re-solve PF {}",
             gated.schedule().perceived_freshness,
             plain.schedule().perceived_freshness
+        );
+    }
+
+    #[test]
+    fn cost_aware_repair_path_certifies() {
+        // "Repair then certify" under a poll levy: the certificate must
+        // check the cost-adjusted stationarity condition, or every
+        // correct cost-aware repair would decertify and fall back.
+        let p = base_problem();
+        let mu0 = LagrangeSolver::default()
+            .solve(&p)
+            .unwrap()
+            .multiplier
+            .unwrap();
+        let gamma = mu0 * 0.25; // levy well under the water level: budget binds
+        let mut gated = AdaptiveScheduler::new_costed(&p, 0.02, gamma)
+            .unwrap()
+            .with_repair_fraction(0.2);
+        assert_eq!(gated.cost_weight(), gamma);
+        let drifted = locally_perturbed(&p, 40, 2.5);
+        assert!(gated.observe(&drifted).unwrap());
+        assert_eq!(gated.repairs(), 1, "cost-aware repair must certify");
+        assert_eq!(gated.repair_fallbacks(), 0);
+        let direct = LagrangeSolver::default()
+            .with_cost_weight(gamma)
+            .solve(&drifted)
+            .unwrap();
+        assert!(
+            (gated.schedule().perceived_freshness - direct.perceived_freshness).abs() < 1e-9,
+            "cost-aware repaired PF {} vs direct cost-aware PF {}",
+            gated.schedule().perceived_freshness,
+            direct.perceived_freshness
         );
     }
 

@@ -37,10 +37,12 @@ use freshen_obs::{EpochSample, Health, SloAlert, SloState, TimeSeriesState};
 pub const MAGIC: [u8; 4] = *b"FRSN";
 /// Current format version. Version 2 added the telemetry time-series
 /// ring and the optional SLO-evaluator state; version 3 added the
-/// scheduler's repair/repair-fallback counters (incremental KKT repair).
+/// scheduler's repair/repair-fallback counters (incremental KKT repair);
+/// version 4 added the LLN and stochastic-approximation estimator kinds
+/// and the schedule's cost-multiplier field (cost-aware objective).
 /// Older files are rejected (re-run from the trace rather than silently
 /// dropping counters out of the determinism contract).
-pub const VERSION: u32 = 3;
+pub const VERSION: u32 = 4;
 /// Upper bound on any encoded collection length — a CRC-valid file
 /// claiming more is rejected rather than allocated.
 const MAX_LEN: u64 = 1 << 24;
@@ -323,6 +325,14 @@ impl Snapshot {
                 e.u8(1);
                 e.u64(len as u64);
             }
+            EstimatorKind::Lln => {
+                e.u8(2);
+            }
+            EstimatorKind::Sa { gain, decay } => {
+                e.u8(3);
+                e.f64(gain);
+                e.f64(decay);
+            }
         }
 
         // Engine state.
@@ -346,6 +356,21 @@ impl Snapshot {
                     }
                 }
             }
+            EstimatorState::Lln {
+                polls,
+                detections,
+                interval_sum,
+            } => {
+                e.u8(2);
+                e.vec_u64(polls);
+                e.vec_u64(detections);
+                e.vec_f64(interval_sum);
+            }
+            EstimatorState::Sa { rates, seen } => {
+                e.u8(3);
+                e.vec_f64(rates);
+                e.vec_u64(seen);
+            }
         }
         e.vec_f64(&s.profile_counts);
         e.u64(s.profile_observations);
@@ -354,6 +379,7 @@ impl Snapshot {
         e.f64(s.schedule.general_freshness);
         e.f64(s.schedule.bandwidth_used);
         e.opt_f64(s.schedule.multiplier);
+        e.opt_f64(s.schedule.cost_multiplier);
         e.u64(s.schedule.iterations as u64);
         e.vec_f64(&s.baseline_probs);
         e.vec_f64(&s.baseline_rates);
@@ -474,6 +500,11 @@ impl Snapshot {
         let estimator = match d.u8()? {
             0 => EstimatorKind::Ewma { gain: d.f64()? },
             1 => EstimatorKind::Window { len: d.len()? },
+            2 => EstimatorKind::Lln,
+            3 => EstimatorKind::Sa {
+                gain: d.f64()?,
+                decay: d.f64()?,
+            },
             _ => return Err(corrupt("estimator tag out of range")),
         };
         let shape = SnapshotShape {
@@ -506,6 +537,15 @@ impl Snapshot {
                 }
                 EstimatorState::Window { window, entries }
             }
+            2 => EstimatorState::Lln {
+                polls: d.vec_u64()?,
+                detections: d.vec_u64()?,
+                interval_sum: d.vec_f64()?,
+            },
+            3 => EstimatorState::Sa {
+                rates: d.vec_f64()?,
+                seen: d.vec_u64()?,
+            },
             _ => return Err(corrupt("estimator-state tag out of range")),
         };
         let profile_counts = d.vec_f64()?;
@@ -516,6 +556,7 @@ impl Snapshot {
             general_freshness: d.f64()?,
             bandwidth_used: d.f64()?,
             multiplier: d.opt_f64()?,
+            cost_multiplier: d.opt_f64()?,
             iterations: d.len()?,
         };
         let baseline_probs = d.vec_f64()?;
@@ -696,6 +737,7 @@ mod tests {
                     general_freshness: 0.75,
                     bandwidth_used: 3.0,
                     multiplier: Some(0.33),
+                    cost_multiplier: Some(0.02),
                     iterations: 12,
                 },
                 baseline_probs: vec![0.6, 0.3, 0.1],
@@ -796,6 +838,30 @@ mod tests {
         };
         // SLO-unarmed variant exercises the `None` tag.
         snap.engine.slo = None;
+        assert_eq!(Snapshot::decode(&snap.encode()).unwrap(), snap);
+
+        // LLN-estimator variant (full-history sufficient statistics),
+        // plus the levy-free schedule (`cost_multiplier: None`).
+        let mut snap = sample();
+        snap.shape.estimator = EstimatorKind::Lln;
+        snap.engine.estimator = EstimatorState::Lln {
+            polls: vec![12, 0, 3],
+            detections: vec![5, 0, 1],
+            interval_sum: vec![6.5, 0.0, 1.75],
+        };
+        snap.engine.schedule.cost_multiplier = None;
+        assert_eq!(Snapshot::decode(&snap.encode()).unwrap(), snap);
+
+        // SA-estimator variant (gain schedule lives in the shape).
+        let mut snap = sample();
+        snap.shape.estimator = EstimatorKind::Sa {
+            gain: 0.5,
+            decay: 0.75,
+        };
+        snap.engine.estimator = EstimatorState::Sa {
+            rates: vec![1.5, 0.25, 1e-9],
+            seen: vec![8, 0, 2],
+        };
         assert_eq!(Snapshot::decode(&snap.encode()).unwrap(), snap);
     }
 

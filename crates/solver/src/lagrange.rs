@@ -78,6 +78,14 @@ pub struct LagrangeSolver {
     /// default; see [`Executor`]). Results are identical at any worker
     /// count.
     pub executor: Executor,
+    /// Per-poll cost weight `γ ≥ 0`: the solver maximizes
+    /// `PF − γ·Σ cᵢfᵢ` instead of bare PF. At the default 0 every code
+    /// path is bitwise identical to the cost-blind solve (the levy terms
+    /// reduce to exact `+0.0`s). With `γ > 0` the stationarity target
+    /// becomes `pᵢ·g(fᵢ) = μ·sᵢ + γ·cᵢ` and the budget may legitimately
+    /// go unspent (`μ = 0`, an *interior* optimum) once the marginal
+    /// freshness of a poll no longer covers its price.
+    pub cost_weight: f64,
 }
 
 impl Default for LagrangeSolver {
@@ -89,6 +97,7 @@ impl Default for LagrangeSolver {
             policy: SyncPolicy::FixedOrder,
             recorder: Recorder::disabled(),
             executor: Executor::serial(),
+            cost_weight: 0.0,
         }
     }
 }
@@ -130,6 +139,137 @@ impl LagrangeSolver {
     pub fn with_executor(mut self, executor: Executor) -> Self {
         self.executor = executor;
         self
+    }
+
+    /// Set the per-poll cost weight `γ` (builder form; the `cost_weight`
+    /// field can also be set directly). See the field docs for the
+    /// objective change.
+    pub fn with_cost_weight(mut self, cost_weight: f64) -> Self {
+        self.cost_weight = cost_weight;
+        self
+    }
+
+    /// Solve `max PF` subject to `Σ sᵢfᵢ ≤ B` **and** `Σ cᵢfᵢ ≤ C`: the
+    /// cost-budget-constrained variant. Returns the optimum together with
+    /// the cost constraint's shadow price in `cost_multiplier`.
+    ///
+    /// The cost constraint is dualized: for a levy `γ ≥ 0`, a
+    /// [`cost_weight`](Self::cost_weight) solve maximizes `PF − γ·cost`,
+    /// and the spend of that solution is monotone non-increasing in `γ`
+    /// (a larger levy prices more polls out). The method therefore probes
+    /// `γ = 0` first — if the cost-blind optimum already fits in `C`, the
+    /// constraint is slack and the plain solve is returned — and
+    /// otherwise geometrically bisects `γ` on
+    /// `(0, max pᵢ/(λᵢcᵢ)]` (above which nothing is polled and the spend
+    /// is 0) until the spend matches `C`. Each probe is a full inner
+    /// solve, warm-started from the previous probe's water level. If the
+    /// spend jumps across `C` at a starvation threshold and the bracket
+    /// exhausts, the feasible (`spend ≤ C`) side is returned, so the cost
+    /// budget is never overdrawn.
+    pub fn solve_cost_budget(&self, problem: &Problem, cost_budget: f64) -> Result<Solution> {
+        if !cost_budget.is_finite() || cost_budget <= 0.0 {
+            return Err(CoreError::InvalidValue {
+                what: "cost budget",
+                index: None,
+                value: cost_budget,
+            });
+        }
+        let rec = &self.recorder;
+        rec.counter("solver.cost_budget_solves").inc();
+
+        // γ = 0 probe: plain (cost-blind) solve.
+        let base = LagrangeSolver {
+            cost_weight: 0.0,
+            ..self.clone()
+        };
+        let plain = base.solve(problem)?;
+        if problem.cost_used(&plain.frequencies) <= cost_budget {
+            return Ok(plain); // cost constraint slack; shadow price 0
+        }
+
+        // γ upper bound: above the largest p/(λc) the levy exceeds every
+        // element's zero-frequency marginal value and nothing is polled.
+        // Zero-cost elements are exempt from the levy and impose no bound.
+        let p = problem.access_probs();
+        let lam = problem.change_rates();
+        let gamma_limit = (0..problem.len())
+            .filter(|&i| p[i] > 0.0 && lam[i] > STATIC_RATE && problem.poll_cost(i) > 0.0)
+            .map(|i| p[i] / (lam[i] * problem.poll_cost(i)))
+            .fold(0.0f64, f64::max);
+        if gamma_limit <= 0.0 {
+            // Every active element polls for free, yet the spend exceeds
+            // the cost budget: no levy can reduce it.
+            return Err(CoreError::NoConvergence {
+                routine: "cost-budget dual bisection",
+                iterations: 1,
+                residual: (problem.cost_used(&plain.frequencies) - cost_budget) / cost_budget,
+            });
+        }
+
+        let solve_at = |gamma: f64, hint: Option<f64>| -> Result<(Solution, f64)> {
+            let solver = LagrangeSolver {
+                cost_weight: gamma,
+                ..self.clone()
+            };
+            let sol = match hint {
+                Some(h) => solver.solve_warm(problem, h)?,
+                None => solver.solve(problem)?,
+            };
+            let spend = problem.cost_used(&sol.frequencies);
+            Ok((sol, spend))
+        };
+
+        // Bracket: spend(γ_lo) > C ≥ spend(γ_hi). γ_lo = 0 is the plain
+        // solve above; γ_hi = γ_limit spends exactly 0.
+        let mut gamma_lo = 0.0f64;
+        let mut gamma_hi = gamma_limit;
+        let mut best: Option<(Solution, f64)> = None; // feasible side
+        let mut hint = plain.multiplier;
+        for iter in 0..self.max_outer {
+            let gamma = if gamma_lo > 0.0 {
+                (gamma_lo * gamma_hi).sqrt()
+            } else {
+                // No positive under-budget levy known yet: walk down
+                // geometrically from the kill-everything bound.
+                gamma_hi * 0.25
+            };
+            let (sol, spend) = solve_at(gamma, hint)?;
+            hint = sol.multiplier.filter(|&m| m > 0.0).or(hint);
+            rec.event(
+                "solver.cost_budget",
+                &[
+                    ("iter", &iter),
+                    ("gamma", &gamma),
+                    ("residual", &((spend - cost_budget) / cost_budget)),
+                ],
+            );
+            if spend <= cost_budget {
+                gamma_hi = gamma;
+                let better = match &best {
+                    Some((_, prev)) => spend > *prev,
+                    None => true,
+                };
+                if better {
+                    best = Some((sol, spend));
+                }
+                if spend >= cost_budget * (1.0 - self.budget_tol.max(1e-12) * 1e3) {
+                    break; // spend within tolerance of C from below
+                }
+            } else {
+                gamma_lo = gamma;
+            }
+            if gamma_lo > 0.0 && gamma_hi - gamma_lo <= gamma_hi * 1e-12 {
+                break; // bracket exhausted (spend jump at a threshold)
+            }
+        }
+        match best {
+            Some((sol, _)) => Ok(sol),
+            None => Err(CoreError::NoConvergence {
+                routine: "cost-budget dual bisection",
+                iterations: self.max_outer,
+                residual: f64::INFINITY,
+            }),
+        }
     }
 
     /// Two-level sharded solve: partition the problem into `shards`
@@ -206,6 +346,14 @@ impl LagrangeSolver {
         let n = problem.len();
         let m = cols.len();
         let budget = problem.bandwidth();
+        let gamma = self.cost_weight;
+        if !gamma.is_finite() || gamma < 0.0 {
+            return Err(CoreError::InvalidValue {
+                what: "solver cost weight",
+                index: None,
+                value: gamma,
+            });
+        }
 
         let rec = &self.recorder;
         let mut solve_span = rec.span("solver.lagrange.solve");
@@ -219,18 +367,71 @@ impl LagrangeSolver {
             // Nothing worth refreshing; all-zero allocation is optimal.
             let mut sol = Solution::evaluate_with_policy(problem, vec![0.0; n], self.policy);
             sol.multiplier = Some(0.0);
+            if gamma > 0.0 {
+                sol.cost_multiplier = Some(gamma);
+            }
             return Ok(sol);
         }
 
         // μ upper bound: above the largest zero-frequency marginal value
-        // p/(λs), every element's optimal frequency is 0.
+        // p/(λs), every element's optimal frequency is 0. With a poll levy
+        // the γ·c tax comes off the numerator first (clamped at 0: an
+        // element whose levy already exceeds its marginal value never
+        // receives bandwidth at any μ ≥ 0). The γ = 0 branch keeps the
+        // historical `p/(λs)` expression bitwise unchanged.
         let mu_hi_limit = cols
             .p()
             .iter()
             .zip(cols.lambda())
             .zip(cols.s())
-            .map(|((&p, &lam), &s)| p / (lam * s))
+            .zip(cols.c())
+            .map(|(((&p, &lam), &s), &c)| {
+                if gamma > 0.0 {
+                    (p / lam - gamma * c).max(0.0) / s
+                } else {
+                    p / (lam * s)
+                }
+            })
             .fold(0.0f64, f64::max);
+        if mu_hi_limit <= 0.0 {
+            // γ > 0 and the levy prices every element out of the market:
+            // the unconstrained optimum of PF − γ·cost is the empty
+            // schedule, well under budget.
+            let mut sol = Solution::evaluate_with_policy(problem, vec![0.0; n], self.policy);
+            sol.multiplier = Some(0.0);
+            sol.cost_multiplier = Some(gamma);
+            return Ok(sol);
+        }
+
+        // With a levy active the budget constraint may not bind: the μ = 0
+        // allocation (each element polled until its marginal freshness
+        // equals its price) can already fit inside `B`. Probe it first —
+        // if it fits, it is the interior optimum and no water level is
+        // needed. Zero-cost elements make the μ = 0 allocation unbounded,
+        // so the probe only runs when every active element is taxed.
+        if gamma > 0.0 && cols.c().iter().all(|&c| c > 0.0) {
+            let (used0, inner0) = self.allocate(chunks, cols, 0.0);
+            rec.event(
+                "solver.outer",
+                &[
+                    ("phase", &"interior"),
+                    ("iter", &1usize),
+                    ("mu", &0.0),
+                    ("residual", &((used0 - budget) / budget)),
+                ],
+            );
+            if used0 <= budget {
+                c_outer.add(1);
+                c_inner.add(inner0 as u64);
+                let mut freqs = vec![0.0; n];
+                cols.scatter_f(&mut freqs);
+                let mut sol = Solution::evaluate_with_policy(problem, freqs, self.policy);
+                sol.multiplier = Some(0.0);
+                sol.cost_multiplier = Some(gamma);
+                sol.iterations = 1;
+                return Ok(sol);
+            }
+        }
         let mut mu_hi = mu_hi_limit;
         let mut freqs_hi = vec![0.0; m]; // all-zero: the μ = μ_hi allocation
         let mut used_hi = 0.0;
@@ -360,6 +561,9 @@ impl LagrangeSolver {
         cols.scatter_f(&mut freqs);
         let mut sol = Solution::evaluate_with_policy(problem, freqs, self.policy);
         sol.multiplier = Some(mu);
+        if gamma > 0.0 {
+            sol.cost_multiplier = Some(gamma);
+        }
         sol.iterations = outer_iters;
         Ok(sol)
     }
@@ -375,12 +579,13 @@ impl LagrangeSolver {
     /// at any worker count.
     fn allocate(&self, chunks: &[Range<usize>], cols: &mut PackedColumns, mu: f64) -> (f64, usize) {
         let (p, lam, s) = (cols.p(), cols.lambda(), cols.s());
+        let c = cols.c();
         let parts = self.executor.map_ranges(chunks, |range| {
             let mut local = Vec::with_capacity(range.len());
             let mut used = NeumaierSum::new();
             let mut inner = 0usize;
             for k in range {
-                let (f, iters) = self.element_frequency_counted(p[k], lam[k], s[k], mu);
+                let (f, iters) = self.element_frequency_counted(p[k], lam[k], s[k], c[k], mu);
                 local.push(f);
                 used.add(s[k] * f);
                 inner += iters;
@@ -398,14 +603,24 @@ impl LagrangeSolver {
         (used.total(), inner)
     }
 
-    /// Solve `p·g(f; λ) = μ·s` for `f ≥ 0` (unique root; 0 when the
-    /// zero-frequency marginal value already falls below `μ·s`).
+    /// Solve `p·g(f; λ) = μ·s + γ·c` for `f ≥ 0` (unique root; 0 when the
+    /// zero-frequency marginal value already falls below the levy-adjusted
+    /// threshold). With the solver's default `cost_weight = 0` the levy
+    /// vanishes and this is exactly `p·g(f; λ) = μ·s`.
     ///
     /// Public because it *is* the paper's Figure 1: for a fixed water level
     /// `μ`, this maps a (p, λ) pair to the sync frequency the optimum would
-    /// grant it — the solution locus `∂F̄/∂f = μ/p` (paper Eq. 6).
+    /// grant it — the solution locus `∂F̄/∂f = μ/p` (paper Eq. 6). The
+    /// unit-cost `c = 1.0` is assumed here; cost-aware callers go through
+    /// [`element_frequency_costed`](Self::element_frequency_costed).
     pub fn element_frequency(&self, p: f64, lam: f64, s: f64, mu: f64) -> f64 {
-        self.element_frequency_counted(p, lam, s, mu).0
+        self.element_frequency_counted(p, lam, s, 1.0, mu).0
+    }
+
+    /// [`element_frequency`](Self::element_frequency) with an explicit
+    /// per-poll cost `c` for the `γ·c` levy term.
+    pub fn element_frequency_costed(&self, p: f64, lam: f64, s: f64, c: f64, mu: f64) -> f64 {
+        self.element_frequency_counted(p, lam, s, c, mu).0
     }
 
     /// [`element_frequency`](Self::element_frequency) plus the inner
@@ -415,10 +630,14 @@ impl LagrangeSolver {
         p: f64,
         lam: f64,
         s: f64,
+        c: f64,
         mu: f64,
     ) -> (f64, usize) {
-        // Target marginal value of F̄ alone.
-        let t = mu * s / p;
+        // Target marginal value of F̄ alone: the budget shadow price plus
+        // the per-poll levy, in freshness-per-poll units. At
+        // `cost_weight = 0` the levy term is an exact `+0.0` and the
+        // target reduces bitwise to the cost-blind `μ·s/p`.
+        let t = (mu * s + self.cost_weight * c) / p;
         if t >= 1.0 / lam {
             return (0.0, 0); // not worth any bandwidth at this water level
         }
@@ -945,6 +1164,172 @@ mod tests {
         assert!(rec.metrics_json().unwrap().contains("solver.outer"));
         for (a, b) in cold.frequencies.iter().zip(&warm.frequencies) {
             assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    // ---- Cost-aware objective -------------------------------------------
+
+    fn costed(costs: Vec<f64>, bandwidth: f64) -> Problem {
+        Problem::builder()
+            .change_rates(vec![1.0, 2.0, 3.0, 4.0, 5.0])
+            .access_probs(vec![0.3, 0.25, 0.2, 0.15, 0.1])
+            .costs(costs)
+            .bandwidth(bandwidth)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn zero_cost_weight_is_bit_identical_to_plain_solve() {
+        let problem = costed(vec![2.0, 0.5, 1.0, 3.0, 0.25], 5.0);
+        let plain = LagrangeSolver::default().solve(&problem).unwrap();
+        let costless = LagrangeSolver::default()
+            .with_cost_weight(0.0)
+            .solve(&problem)
+            .unwrap();
+        assert_eq!(plain.frequencies, costless.frequencies);
+        assert_eq!(plain.multiplier, costless.multiplier);
+        assert_eq!(plain.iterations, costless.iterations);
+        assert_eq!(costless.cost_multiplier, None);
+    }
+
+    #[test]
+    fn cost_aware_poisson_matches_closed_form() {
+        // Poisson law: p·λ/(λ+f)² = μ·s + γ·c has the closed form
+        // f = max(0, sqrt(pλ/(μs+γc)) − λ).
+        let problem = costed(vec![2.0, 0.5, 1.0, 3.0, 0.25], 5.0);
+        let solver = LagrangeSolver {
+            policy: SyncPolicy::Poisson,
+            cost_weight: 0.02,
+            ..Default::default()
+        };
+        let sol = solver.solve(&problem).unwrap();
+        let mu = sol.multiplier.unwrap();
+        assert_eq!(sol.cost_multiplier, Some(0.02));
+        for i in 0..5 {
+            let p = problem.access_probs()[i];
+            let lam = problem.change_rates()[i];
+            let tau = mu + 0.02 * problem.poll_cost(i);
+            let expected = ((p * lam / tau).sqrt() - lam).max(0.0);
+            assert!(
+                (sol.frequencies[i] - expected).abs() < 1e-5 * (1.0 + expected),
+                "element {i}: {} vs closed form {expected}",
+                sol.frequencies[i]
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_levy_leaves_budget_unspent() {
+        // Ample bandwidth + a real levy: the optimum is interior (μ = 0)
+        // and deliberately underspends the bandwidth budget.
+        let problem = costed(vec![1.0; 5], 500.0);
+        let sol = LagrangeSolver::default()
+            .with_cost_weight(0.05)
+            .solve(&problem)
+            .unwrap();
+        assert_eq!(sol.multiplier, Some(0.0));
+        assert_eq!(sol.cost_multiplier, Some(0.05));
+        assert!(
+            sol.bandwidth_used < 500.0 * 0.9,
+            "levy must stop spending before the budget: used {}",
+            sol.bandwidth_used
+        );
+        // Each funded element sits at its price point p·g(f) = γ·c.
+        let mu = 0.0;
+        for i in 0..5 {
+            let f = sol.frequencies[i];
+            if f > 1e-9 {
+                let marginal =
+                    problem.access_probs()[i] * freshness_gradient(problem.change_rates()[i], f);
+                let tau = mu + 0.05 * problem.poll_cost(i);
+                assert!(
+                    (marginal - tau).abs() < tau * 1e-4,
+                    "element {i}: marginal {marginal:.6e} vs levy {tau:.6e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pricing_out_everything_yields_empty_schedule() {
+        // γ above max p/(λc): no element's marginal value covers its levy.
+        let problem = costed(vec![1.0; 5], 5.0);
+        let sol = LagrangeSolver::default()
+            .with_cost_weight(10.0)
+            .solve(&problem)
+            .unwrap();
+        assert!(sol.frequencies.iter().all(|&f| f == 0.0));
+        assert_eq!(sol.multiplier, Some(0.0));
+        assert_eq!(sol.cost_multiplier, Some(10.0));
+    }
+
+    #[test]
+    fn larger_levy_never_increases_spend() {
+        let problem = costed(vec![2.0, 0.5, 1.0, 3.0, 0.25], 5.0);
+        let mut last_spend = f64::INFINITY;
+        for gamma in [0.0, 0.005, 0.02, 0.05, 0.1, 0.3] {
+            let sol = LagrangeSolver::default()
+                .with_cost_weight(gamma)
+                .solve(&problem)
+                .unwrap();
+            let spend = problem.cost_used(&sol.frequencies);
+            assert!(
+                spend <= last_spend + 1e-9,
+                "spend must be monotone in γ: {spend} after {last_spend} at γ={gamma}"
+            );
+            last_spend = spend;
+        }
+    }
+
+    #[test]
+    fn cost_budget_solve_respects_both_budgets() {
+        let problem = costed(vec![2.0, 0.5, 1.0, 3.0, 0.25], 5.0);
+        let solver = LagrangeSolver::default();
+        let plain = solver.solve(&problem).unwrap();
+        let unconstrained_spend = problem.cost_used(&plain.frequencies);
+
+        // A binding cost budget: tighter than the plain solve's spend.
+        let cap = unconstrained_spend * 0.6;
+        let sol = solver.solve_cost_budget(&problem, cap).unwrap();
+        let spend = problem.cost_used(&sol.frequencies);
+        assert!(
+            spend <= cap * (1.0 + 1e-9),
+            "cost budget overdrawn: {spend} > {cap}"
+        );
+        assert!(
+            spend >= cap * 0.99,
+            "dual bisection should spend close to the cap: {spend} vs {cap}"
+        );
+        let gamma = sol.cost_multiplier.expect("binding cap ⇒ positive levy");
+        assert!(gamma > 0.0);
+        assert!(sol.perceived_freshness < plain.perceived_freshness);
+
+        // A slack cost budget returns the plain optimum untouched.
+        let slack = solver
+            .solve_cost_budget(&problem, unconstrained_spend * 2.0)
+            .unwrap();
+        assert_eq!(slack.frequencies, plain.frequencies);
+        assert_eq!(slack.cost_multiplier, None);
+    }
+
+    #[test]
+    fn cost_budget_rejects_bad_caps() {
+        let problem = costed(vec![1.0; 5], 5.0);
+        let solver = LagrangeSolver::default();
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(solver.solve_cost_budget(&problem, bad).is_err());
+        }
+    }
+
+    #[test]
+    fn invalid_cost_weight_is_rejected() {
+        let problem = costed(vec![1.0; 5], 5.0);
+        for bad in [-0.5, f64::NAN, f64::INFINITY] {
+            let res = LagrangeSolver::default()
+                .with_cost_weight(bad)
+                .solve(&problem);
+            assert!(res.is_err(), "cost weight {bad} must be rejected");
         }
     }
 }

@@ -136,6 +136,13 @@ impl LagrangeSolver {
                 value: mu0,
             });
         }
+        if !self.cost_weight.is_finite() || self.cost_weight < 0.0 {
+            return Err(CoreError::InvalidValue {
+                what: "solver cost weight",
+                index: None,
+                value: self.cost_weight,
+            });
+        }
 
         let rec = &self.recorder;
         let mut span = rec.span("solver.repair");
@@ -158,6 +165,9 @@ impl LagrangeSolver {
         if cols.is_empty() {
             let mut sol = Solution::evaluate_with_policy(problem, vec![0.0; n], self.policy);
             sol.multiplier = Some(0.0);
+            if self.cost_weight > 0.0 {
+                sol.cost_multiplier = Some(self.cost_weight);
+            }
             return Ok(RepairOutcome {
                 solution: sol,
                 probes: 0,
@@ -186,8 +196,13 @@ impl LagrangeSolver {
             let (ro, f) = cols.parts_mut();
             for (k, &i) in ro.ids.iter().enumerate() {
                 if stale[i] {
-                    let (fi, iters) =
-                        self.element_frequency_counted(ro.p[k], ro.lambda[k], ro.s[k], mu0);
+                    let (fi, iters) = self.element_frequency_counted(
+                        ro.p[k],
+                        ro.lambda[k],
+                        ro.s[k],
+                        ro.c[k],
+                        mu0,
+                    );
                     f[k] = fi;
                     inner_total += iters;
                     frontier.push(k);
@@ -388,6 +403,9 @@ impl LagrangeSolver {
         cols.scatter_f(&mut freqs);
         let mut sol = Solution::evaluate_with_policy(problem, freqs, self.policy);
         sol.multiplier = Some(mu);
+        if self.cost_weight > 0.0 {
+            sol.cost_multiplier = Some(self.cost_weight);
+        }
         sol.iterations = probes;
         Ok(RepairOutcome {
             solution: sol,
@@ -435,13 +453,15 @@ impl LagrangeSolver {
     ) -> f64 {
         let (floor, ceil) = bounds;
         let (p, lam, s, f_now) = (cols.p(), cols.lambda(), cols.s(), cols.f());
+        let c = cols.c();
         let mut f_front: Vec<f64> = frontier.iter().map(|&k| f_now[k]).collect();
         let mut mu = start_mu;
         for _ in 0..FRONTIER_PROBES {
             let mut front_used = NeumaierSum::new();
             let mut front_slope = NeumaierSum::new();
             for (j, &k) in frontier.iter().enumerate() {
-                let (fk, iters) = self.element_frequency_warm(p[k], lam[k], s[k], mu, f_front[j]);
+                let (fk, iters) =
+                    self.element_frequency_warm(p[k], lam[k], s[k], c[k], mu, f_front[j]);
                 f_front[j] = fk;
                 *inner_total += iters;
                 front_used.add(s[k] * fk);
@@ -489,6 +509,7 @@ impl LagrangeSolver {
         mu: f64,
     ) -> (f64, f64, usize) {
         let (p, lam, s) = (cols.p(), cols.lambda(), cols.s());
+        let c = cols.c();
         let f0 = cols.f();
         let parts = self.executor.map_ranges(chunks, |range| {
             let mut local = Vec::with_capacity(range.len());
@@ -496,7 +517,7 @@ impl LagrangeSolver {
             let mut slope = NeumaierSum::new();
             let mut inner = 0usize;
             for k in range {
-                let (f, iters) = self.element_frequency_warm(p[k], lam[k], s[k], mu, f0[k]);
+                let (f, iters) = self.element_frequency_warm(p[k], lam[k], s[k], c[k], mu, f0[k]);
                 local.push(f);
                 used.add(s[k] * f);
                 slope.add(self.slope_term(p[k], lam[k], s[k], f, mu));
@@ -517,17 +538,29 @@ impl LagrangeSolver {
         (used.total(), slope.total(), inner)
     }
 
-    /// Warm variant of the per-element root find: solve `p·g(f; λ) = μ·s`
-    /// starting from the seed `f0` (the element's frequency at a nearby
-    /// multiplier). Falls back to the cold solve when the seed carries no
-    /// information (`f0 ≤ 0`: the element just entered the support).
-    fn element_frequency_warm(&self, p: f64, lam: f64, s: f64, mu: f64, f0: f64) -> (f64, usize) {
-        let t = mu * s / p;
+    /// Warm variant of the per-element root find: solve
+    /// `p·g(f; λ) = μ·s + γ·c` starting from the seed `f0` (the element's
+    /// frequency at a nearby multiplier). Falls back to the cold solve
+    /// when the seed carries no information (`f0 ≤ 0`: the element just
+    /// entered the support). The γ levy shifts the target exactly as in
+    /// the cold path — and because γ is constant across probes it leaves
+    /// the residual slope `df/dμ = s/(p·g″)` untouched, so the repair
+    /// Newton machinery needs no other change.
+    fn element_frequency_warm(
+        &self,
+        p: f64,
+        lam: f64,
+        s: f64,
+        c: f64,
+        mu: f64,
+        f0: f64,
+    ) -> (f64, usize) {
+        let t = (mu * s + self.cost_weight * c) / p;
         if t >= 1.0 / lam {
             return (0.0, 0); // left the support at this water level
         }
         if !f0.is_finite() || f0 <= 0.0 {
-            return self.element_frequency_counted(p, lam, s, mu);
+            return self.element_frequency_counted(p, lam, s, c, mu);
         }
         // Newton on h(f) = g(f) − t starting *at* the seed — for a good
         // seed (a nearby multiplier's optimum) the very first residual
@@ -692,6 +725,50 @@ mod tests {
             repaired.solution.perceived_freshness,
             full.perceived_freshness
         );
+    }
+
+    #[test]
+    fn cost_aware_repair_matches_full_resolve_and_certifies() {
+        // "Repair then certify" must keep working when the solver carries
+        // a poll levy: the repaired optimum agrees with the cost-aware
+        // full solve and passes the cost-adjusted strict certificate.
+        let solver = LagrangeSolver::default().with_cost_weight(1e-4);
+        let base = striped(600, 1.0);
+        let costs: Vec<f64> = (0..600).map(|i| 0.5 + (i % 7) as f64 * 0.4).collect();
+        let before = Problem::builder()
+            .change_rates(base.change_rates().to_vec())
+            .access_probs(base.access_probs().to_vec())
+            .costs(costs.clone())
+            .bandwidth(base.bandwidth() / 8.0)
+            .build()
+            .unwrap();
+        let previous = solver.solve(&before).unwrap();
+        assert!(previous.multiplier.unwrap() > 0.0, "budget must bind here");
+
+        let drifted = striped(600, 1.35);
+        let after = Problem::builder()
+            .change_rates(drifted.change_rates().to_vec())
+            .access_probs(drifted.access_probs().to_vec())
+            .costs(costs)
+            .bandwidth(drifted.bandwidth() / 8.0)
+            .build()
+            .unwrap();
+        let touched: Vec<usize> = (0..600).filter(|i| i % 5 == 0).collect();
+
+        let repaired = solver.repair(&after, &previous, &touched).unwrap();
+        let full = solver.solve(&after).unwrap();
+        assert!(
+            (repaired.solution.perceived_freshness - full.perceived_freshness).abs() < 1e-9,
+            "cost-aware repair PF {} vs full PF {}",
+            repaired.solution.perceived_freshness,
+            full.perceived_freshness
+        );
+        assert_eq!(repaired.solution.cost_multiplier, Some(1e-4));
+
+        let report = SolutionAudit::default()
+            .check_with_cost(&after, &repaired.solution, solver.policy, 1e-4)
+            .unwrap();
+        assert!(report.is_clean(), "cost-adjusted audit failed: {report:?}");
     }
 
     #[test]

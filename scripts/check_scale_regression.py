@@ -1,12 +1,13 @@
 #!/usr/bin/env python3
-"""Throughput-regression guard for the exp_scale benchmark.
+"""Throughput-regression guard for BENCH_*.json telemetry.
 
-Compares a fresh `exp_scale --smoke` run against the committed baseline
-telemetry (results/BENCH_scale.json) and fails when any run shared by
-both files got more than REGRESSION_TOLERANCE slower. Wall-clock noise
-on shared CI runners is real, so the guard compares only runs present
-in both files (the committed baseline may be the full grid; the smoke
-grid is a subset) and a generous default tolerance is used.
+Compares a fresh benchmark run against committed baseline telemetry
+(e.g. results/BENCH_scale.json for exp_scale, BENCH_estimators.json
+for exp_estimators) and fails when any run shared by both files got
+more than REGRESSION_TOLERANCE slower. Wall-clock noise on shared CI
+runners is real, so the guard compares only runs present in both files
+(the committed baseline may be the full grid; the smoke grid is a
+subset) and a generous default tolerance is used.
 
 Usage: check_scale_regression.py BASELINE.json FRESH.json [tolerance]
 

@@ -935,3 +935,127 @@ fn checkpoint_restore_roundtrips_on_fixed_seeds() {
         );
     }
 }
+
+// ---- cost-aware objective + convergent estimators ------------------------
+
+/// The fixed problem family with a heterogeneous per-poll cost column.
+fn costed_fixed_problem(n: usize) -> Problem {
+    let base = fixed_problem(n);
+    Problem::builder()
+        .change_rates(base.change_rates().to_vec())
+        .access_probs(base.access_probs().to_vec())
+        .sizes(base.sizes().to_vec())
+        .costs((0..n).map(|i| 0.5 + (i % 7) as f64 * 0.3).collect())
+        .bandwidth(base.bandwidth())
+        .build()
+        .expect("costed problem builds")
+}
+
+fn cost_spend(problem: &Problem, frequencies: &[f64]) -> f64 {
+    let costs = problem.poll_costs().expect("cost column present");
+    frequencies.iter().zip(costs).map(|(&f, &c)| f * c).sum()
+}
+
+#[test]
+fn zero_levy_solve_is_byte_identical_to_plain() {
+    // A zero cost weight must not merely approximate the cost-blind
+    // solver — it must reproduce it bit for bit, so enabling the cost
+    // path can never perturb existing schedules.
+    for n in [3, 40, 400] {
+        let plain_problem = fixed_problem(n);
+        let costed_problem = costed_fixed_problem(n);
+        let plain = LagrangeSolver::default().solve(&plain_problem).unwrap();
+        let levied = LagrangeSolver::default()
+            .with_cost_weight(0.0)
+            .solve(&costed_problem)
+            .unwrap();
+        for (i, (a, b)) in plain
+            .frequencies
+            .iter()
+            .zip(&levied.frequencies)
+            .enumerate()
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "n={n}, element {i}: {a} != {b}");
+        }
+        assert_eq!(plain.multiplier, levied.multiplier, "n={n}");
+        assert_eq!(levied.cost_multiplier, None, "n={n}");
+    }
+}
+
+#[test]
+fn cost_budget_solve_never_overdraws_and_certifies() {
+    // Across caps from deep to mild, the dual bisection must return a
+    // schedule spending at most the cap, and the returned levy must
+    // certify under the strict cost-adjusted KKT conditions.
+    let n = 200;
+    let problem = costed_fixed_problem(n);
+    let solver = LagrangeSolver::default();
+    let unconstrained = solver.solve(&problem).unwrap();
+    let spend0 = cost_spend(&problem, &unconstrained.frequencies);
+    assert!(spend0 > 0.0, "unconstrained schedule must poll");
+    for frac in [0.1, 0.3, 0.5, 0.8, 0.95] {
+        let cap = frac * spend0;
+        let sol = solver.solve_cost_budget(&problem, cap).unwrap();
+        let used = cost_spend(&problem, &sol.frequencies);
+        assert!(
+            used <= cap * (1.0 + 1e-9),
+            "frac={frac}: spend {used} exceeds cap {cap}"
+        );
+        let gamma = sol.cost_multiplier.unwrap_or(0.0);
+        let report = SolutionAudit::default()
+            .check_with_cost(&problem, &sol, solver.policy, gamma)
+            .unwrap();
+        assert!(
+            report.is_clean(),
+            "frac={frac}: certificate failed: {}",
+            report.to_json()
+        );
+    }
+}
+
+#[test]
+fn lln_and_sa_converge_where_ewma_plateaus() {
+    // On a stationary fixed-seed stream the convergent estimators' error
+    // keeps shrinking while constant-gain EWMA sits on its variance
+    // floor: after a long run, per-element LLN and SA estimates must be
+    // within 10% of truth and both must beat EWMA's aggregate error.
+    use freshen::core::estimate::{EwmaRateEstimator, LlnRateEstimator, SaRateEstimator};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let n = 8;
+    let interval = 0.4;
+    let polls = 6000;
+    let rates: Vec<f64> = (0..n)
+        .map(|i| 0.3 * 1.414f64.powi((i % 5) as i32))
+        .collect();
+    let mut ewma = EwmaRateEstimator::new(n, 0.1, 1.0).unwrap();
+    let mut lln = LlnRateEstimator::new(n).unwrap();
+    let mut sa = SaRateEstimator::new(n, 0.5, 0.6, 1.0).unwrap();
+    let mut rng = StdRng::seed_from_u64(11);
+    for _ in 0..polls {
+        for (i, &lambda) in rates.iter().enumerate() {
+            let changed = rng.gen::<f64>() < 1.0 - (-lambda * interval).exp();
+            ewma.observe(i, interval, changed).unwrap();
+            lln.observe(i, interval, changed).unwrap();
+            sa.observe(i, interval, changed).unwrap();
+        }
+    }
+    let (mut ewma_err, mut lln_err, mut sa_err) = (0.0f64, 0.0f64, 0.0f64);
+    for (i, &lambda) in rates.iter().enumerate() {
+        let lln_rel = (lln.rate(i, 1.0) - lambda).abs() / lambda;
+        let sa_rel = (sa.rate(i) - lambda).abs() / lambda;
+        // The SA bound is looser: its residual noise scales with 1/λ in
+        // relative terms, so low-rate elements sit higher above truth.
+        assert!(lln_rel < 0.15, "element {i}: LLN off by {lln_rel:.3}");
+        assert!(sa_rel < 0.25, "element {i}: SA off by {sa_rel:.3}");
+        ewma_err += (ewma.rate(i) - lambda).abs() / lambda;
+        lln_err += lln_rel;
+        sa_err += sa_rel;
+    }
+    assert!(
+        lln_err < ewma_err && sa_err < ewma_err,
+        "convergent estimators must beat the EWMA floor \
+         (ewma {ewma_err:.3}, lln {lln_err:.3}, sa {sa_err:.3})"
+    );
+}

@@ -95,6 +95,61 @@ fn kill_and_resume_is_byte_identical_at_every_boundary() {
 }
 
 #[test]
+fn estimator_variants_and_cost_levy_resume_byte_identically() {
+    // Format-V4 state: the LLN and SA estimators checkpoint different
+    // sufficient statistics than EWMA, and a poll levy adds the schedule's
+    // cost multiplier. Kill/resume parity must hold for every variant.
+    use freshen::engine::EstimatorKind;
+    let workload = live_workload(6);
+    let cases = [
+        ("lln", EstimatorKind::Lln, 0.0),
+        (
+            "sa",
+            EstimatorKind::Sa {
+                gain: 0.5,
+                decay: 0.75,
+            },
+            0.0,
+        ),
+        ("lln-levy", EstimatorKind::Lln, 0.01),
+    ];
+    for (tag, estimator, poll_cost) in cases {
+        let dir = temp_dir(&format!("estimators-{tag}"));
+        let epochs = 10;
+        let mut config = serve_config(&dir, epochs);
+        config.engine.estimator = estimator;
+        config.engine.poll_cost = poll_cost;
+        let expected = reference_json(&workload, &config);
+
+        let mut first = config.clone();
+        first.drain_after = Some(epochs / 2);
+        let drained = Server::new(workload.clone(), first)
+            .expect("server builds")
+            .run()
+            .expect("drained leg");
+        assert_eq!(drained.exit, ExitReason::Drained, "{tag}");
+
+        // The on-disk V4 snapshot is an exact codec identity.
+        let bytes = std::fs::read(&config.checkpoint_path).expect("snapshot bytes");
+        let snapshot = Snapshot::decode(&bytes).expect("valid snapshot");
+        assert_eq!(snapshot.encode(), bytes, "{tag}: codec identity");
+
+        let mut second = config.clone();
+        second.resume = Some(config.checkpoint_path.clone());
+        let resumed = Server::new(workload.clone(), second)
+            .expect("server builds")
+            .run()
+            .expect("resumed leg");
+        assert_eq!(resumed.exit, ExitReason::Completed, "{tag}");
+        assert_eq!(
+            resumed.report.expect("completed").to_json(),
+            expected,
+            "{tag}: resumed report diverged"
+        );
+    }
+}
+
+#[test]
 fn replay_workload_recovers_identically_too() {
     let n = 4;
     let mut accesses = Vec::new();
