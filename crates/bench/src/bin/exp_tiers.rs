@@ -1,0 +1,230 @@
+//! **Multi-tier relay benchmark** — edge-perceived freshness across
+//! budget splits, deployments, and division policies.
+//!
+//! Four legs, every solve certified tier by tier with the strict KKT
+//! audit (the binary panics on any uncertified point):
+//!
+//! 1. **Budget-split sweep** (two-tier chain): move a fraction φ of the
+//!    total poll budget to the relay and the rest to the edge, solve the
+//!    tiered program at each φ, and chart edge PF against the split —
+//!    the curve the budget-split search climbs.
+//! 2. **Split policies**: the solver's shared-price split against the
+//!    proportional / access-weighted / marginal-value heuristics on the
+//!    same total budget.
+//! 3. **Tiered vs flat**: the same catalog and budget served through
+//!    one direct source→edge tier — the relay hop's freshness cost.
+//! 4. **Parallel relays**: the striped 3-relay deployment under the
+//!    solver split, with a Monte-Carlo cross-check of the analytic edge
+//!    PF on the chain solution.
+//!
+//! Pass `--smoke` for a seconds-scale run (used by CI). Telemetry lands
+//! in `results/BENCH_tiers.json`.
+
+use freshen_bench::{header, row, timed, BenchReport, BenchRun};
+use freshen_core::problem::Problem;
+use freshen_core::topology::Topology;
+use freshen_heuristics::{split_budget, TierSplit};
+use freshen_sim::{simulate_tiered, TieredSimConfig};
+use freshen_solver::{TieredSolution, TieredSolver};
+use freshen_workload::{parallel_relay, two_tier_chain};
+
+/// Solve and certify one tiered instance; panic if any tier fails the
+/// strict audit — "every point certified" is this experiment's contract.
+fn solve_certified(
+    solver: &TieredSolver,
+    topo: &Topology,
+    problem: &Problem,
+    label: &str,
+) -> TieredSolution {
+    let solution = solver.solve(topo, problem).expect("tiered solve");
+    let reports = solver.certify(topo, problem, &solution).expect("certify");
+    for (tier, report) in reports.iter().enumerate() {
+        assert!(
+            report.is_clean(),
+            "{label}: tier {tier} failed its KKT certificate: {:?}",
+            report.violations
+        );
+    }
+    solution
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (n, seed) = if smoke { (64, 7) } else { (2048, 7) };
+    let phis = if smoke {
+        vec![0.3, 0.5, 0.7]
+    } else {
+        vec![0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8]
+    };
+    let solver = TieredSolver::default();
+    let mut bench = BenchReport::new("tiers")
+        .with_meta("smoke", smoke)
+        .with_meta("objects", n)
+        .with_meta("seed", seed);
+
+    println!("# exp_tiers: relay freshening over {n} objects (seed {seed})");
+    header(&["run", "edge_pf", "wall_s", "rounds"]);
+
+    // ------------------------------------------------------------------
+    // Leg 1: edge PF vs budget split on the two-tier chain.
+    // ------------------------------------------------------------------
+    let chain = two_tier_chain(n, seed).expect("chain scenario");
+    let total = chain.total_budget;
+    for &phi in &phis {
+        let budgets = vec![0.0, phi * total, (1.0 - phi) * total];
+        let topo = chain.topology.with_budgets(&budgets).expect("budgets");
+        let label = format!("chain/phi={phi:.1}");
+        let (solution, wall) = timed(|| solve_certified(&solver, &topo, &chain.problem, &label));
+        row(&label, &[solution.edge_pf, wall, solution.rounds as f64]);
+        bench.push(BenchRun {
+            name: label,
+            wall_seconds: wall,
+            pf: Some(solution.edge_pf),
+            solver_iterations: Some(solution.rounds as u64),
+            events_per_sec: None,
+            tail_error: None,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Leg 2: solver shared-price split vs the division heuristics.
+    // ------------------------------------------------------------------
+    let (split_solution, split_wall) = timed(|| {
+        let solution = solver
+            .solve_split(&chain.topology, &chain.problem, total)
+            .expect("split solve");
+        let reports = solver
+            .certify(&chain.topology, &chain.problem, &solution)
+            .expect("certify split");
+        assert!(
+            reports.iter().all(|r| r.is_clean()),
+            "solver split failed certification"
+        );
+        solution
+    });
+    row(
+        "chain/split=solver",
+        &[
+            split_solution.edge_pf,
+            split_wall,
+            split_solution.rounds as f64,
+        ],
+    );
+    bench.push(BenchRun {
+        name: "chain/split=solver".into(),
+        wall_seconds: split_wall,
+        pf: Some(split_solution.edge_pf),
+        solver_iterations: Some(split_solution.rounds as u64),
+        events_per_sec: None,
+        tail_error: None,
+    });
+    let mut best_heuristic_pf = f64::NEG_INFINITY;
+    for rule in TierSplit::ALL {
+        let budgets =
+            split_budget(&chain.topology, &chain.problem, rule, total).expect("heuristic split");
+        let topo = chain.topology.with_budgets(&budgets).expect("budgets");
+        let label = format!("chain/split={}", rule.name());
+        let (solution, wall) = timed(|| solve_certified(&solver, &topo, &chain.problem, &label));
+        best_heuristic_pf = best_heuristic_pf.max(solution.edge_pf);
+        row(&label, &[solution.edge_pf, wall, solution.rounds as f64]);
+        bench.push(BenchRun {
+            name: label,
+            wall_seconds: wall,
+            pf: Some(solution.edge_pf),
+            solver_iterations: Some(solution.rounds as u64),
+            events_per_sec: None,
+            tail_error: None,
+        });
+    }
+    bench = bench.with_meta(
+        "solver_split_minus_best_heuristic",
+        split_solution.edge_pf - best_heuristic_pf,
+    );
+
+    // ------------------------------------------------------------------
+    // Leg 3: the relay hop's cost — same catalog and budget, one tier.
+    // ------------------------------------------------------------------
+    let flat_topo = Topology::builder()
+        .source("origin")
+        .tier("edge", total)
+        .link("origin", "edge")
+        .build(n)
+        .expect("flat topology");
+    let (flat, flat_wall) = timed(|| solve_certified(&solver, &flat_topo, &chain.problem, "flat"));
+    row(
+        "flat/direct",
+        &[flat.edge_pf, flat_wall, flat.rounds as f64],
+    );
+    bench.push(BenchRun {
+        name: "flat/direct".into(),
+        wall_seconds: flat_wall,
+        pf: Some(flat.edge_pf),
+        solver_iterations: Some(flat.rounds as u64),
+        events_per_sec: None,
+        tail_error: None,
+    });
+    bench = bench.with_meta(
+        "flat_minus_tiered_pf",
+        flat.edge_pf - split_solution.edge_pf,
+    );
+
+    // ------------------------------------------------------------------
+    // Leg 4: parallel relays + Monte-Carlo cross-check of the analytics.
+    // ------------------------------------------------------------------
+    let striped = parallel_relay(n, 3, seed).expect("parallel scenario");
+    let (striped_solution, striped_wall) = timed(|| {
+        let solution = solver
+            .solve_split(&striped.topology, &striped.problem, striped.total_budget)
+            .expect("striped split solve");
+        let reports = solver
+            .certify(&striped.topology, &striped.problem, &solution)
+            .expect("certify striped");
+        assert!(
+            reports.iter().all(|r| r.is_clean()),
+            "striped split failed certification"
+        );
+        solution
+    });
+    row(
+        "parallel3/split=solver",
+        &[
+            striped_solution.edge_pf,
+            striped_wall,
+            striped_solution.rounds as f64,
+        ],
+    );
+    bench.push(BenchRun {
+        name: "parallel3/split=solver".into(),
+        wall_seconds: striped_wall,
+        pf: Some(striped_solution.edge_pf),
+        solver_iterations: Some(striped_solution.rounds as u64),
+        events_per_sec: None,
+        tail_error: None,
+    });
+
+    let sim_cfg = TieredSimConfig {
+        horizon: if smoke { 300.0 } else { 1_000.0 },
+        warmup: 25.0,
+        seed,
+        replications: if smoke { 4 } else { 8 },
+    };
+    let report = simulate_tiered(
+        &chain.topology,
+        &chain.problem,
+        &split_solution.schedule,
+        solver.base.policy,
+        &sim_cfg,
+    )
+    .expect("tiered simulation");
+    println!(
+        "# sim cross-check: measured {:.4} vs analytic {:.4} (gap {:.4})",
+        report.measured_edge_pf,
+        report.analytic_edge_pf,
+        report.edge_gap()
+    );
+    bench = bench.with_meta("sim_measured_edge_pf", report.measured_edge_pf);
+    bench = bench.with_meta("sim_analytic_edge_pf", report.analytic_edge_pf);
+
+    let path = bench.write().expect("write BENCH_tiers.json");
+    println!("# wrote {}", path.display());
+}

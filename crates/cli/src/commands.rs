@@ -143,9 +143,27 @@ pub fn cmd_scenario(args: &crate::ParsedArgs, out: &mut dyn Write) -> Result<(),
     write_json(&problem, out)
 }
 
-/// `freshen solve` — exact Lagrange solve.
+/// `freshen solve` — exact Lagrange solve, or a tiered relay solve when
+/// `--topology` names a spec file.
 pub fn cmd_solve(args: &crate::ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
-    args.expect_only(&["input", "policy", "threads", "metrics-out", "trace-out"])?;
+    args.expect_only(&[
+        "input",
+        "policy",
+        "threads",
+        "metrics-out",
+        "trace-out",
+        "topology",
+        "split-budget",
+        "shards",
+    ])?;
+    if let Some(spec_path) = args.get("topology") {
+        return cmd_solve_topology(args, spec_path, out);
+    }
+    for flag in ["split-budget", "shards"] {
+        if args.get(flag).is_some() {
+            return Err(format!("--{flag} requires --topology"));
+        }
+    }
     let (recorder, metrics, trace) = obs_recorder(args);
     let executor = exec_from_args(args, &recorder)?;
     let problem = read_problem(args.require("input")?)?;
@@ -158,6 +176,89 @@ pub fn cmd_solve(args: &crate::ParsedArgs, out: &mut dyn Write) -> Result<(), St
     let solution = solver.solve(&problem).map_err(|e| e.to_string())?;
     write_obs_outputs(&recorder, metrics, trace)?;
     write_json(&solution, out)
+}
+
+/// The `--topology` arm of `freshen solve`: load a relay spec, solve the
+/// tiered program (optionally re-splitting one total budget across
+/// tiers), certify every tier, and emit the per-link schedule.
+///
+/// The spec file is `{"topology": {nodes, links}, "problem": {...}}`;
+/// an external `--input problem.json` may replace the inline block. The
+/// spec and the report both go through the hand-rolled `freshen_core::json`
+/// path so the mode works without serde.
+fn cmd_solve_topology(
+    args: &crate::ParsedArgs,
+    spec_path: &str,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    use freshen_core::json::Json;
+    use freshen_core::topology::{problem_from_json, Topology};
+    use freshen_solver::TieredSolver;
+
+    let text = std::fs::read_to_string(spec_path)
+        .map_err(|e| format!("cannot read topology spec `{spec_path}`: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| e.to_string())?;
+    let problem = match doc.get("problem") {
+        Some(block) => problem_from_json(block).map_err(|e| e.to_string())?,
+        None => read_problem(args.require("input").map_err(|_| {
+            format!("spec `{spec_path}` has no inline \"problem\" block; pass --input")
+        })?)?,
+    };
+    let topo_doc = doc.get("topology").unwrap_or(&doc);
+    let topology = Topology::from_spec(topo_doc, problem.len()).map_err(|e| e.to_string())?;
+
+    let solver = TieredSolver {
+        base: LagrangeSolver {
+            policy: parse_policy(args.get("policy"))?,
+            ..Default::default()
+        },
+        shards: args.parsed_or("shards", 0usize)?,
+        ..Default::default()
+    };
+    let solution = match args.get("split-budget") {
+        Some(raw) => {
+            let total: f64 = raw
+                .parse()
+                .map_err(|_| format!("--split-budget: cannot parse `{raw}`"))?;
+            solver
+                .solve_split(&topology, &problem, total)
+                .map_err(|e| e.to_string())?
+        }
+        None => solver
+            .solve(&topology, &problem)
+            .map_err(|e| e.to_string())?,
+    };
+    let reports = solver
+        .certify(&topology, &problem, &solution)
+        .map_err(|e| e.to_string())?;
+    let certified = reports.iter().filter(|r| r.is_clean()).count();
+
+    let list = |xs: &[f64]| -> String {
+        let parts: Vec<String> = xs.iter().map(|x| format!("{x}")).collect();
+        format!("[{}]", parts.join(","))
+    };
+    let mut links = Vec::new();
+    for (l, link) in topology.links().iter().enumerate() {
+        links.push(format!(
+            "{{\"from\":\"{}\",\"to\":\"{}\",\"frequencies\":{}}}",
+            topology.names()[link.from],
+            topology.names()[link.to],
+            list(&solution.schedule.link_freqs[l])
+        ));
+    }
+    writeln!(
+        out,
+        "{{\n  \"edge_pf\": {},\n  \"rounds\": {},\n  \"certified_tiers\": {},\n  \"tiers\": {},\n  \"node_pf\": {},\n  \"node_spend\": {},\n  \"budgets\": {},\n  \"links\": [{}]\n}}",
+        solution.edge_pf,
+        solution.rounds,
+        certified,
+        reports.len(),
+        list(&solution.node_pf),
+        list(&solution.node_spend),
+        list(&solution.budgets),
+        links.join(",")
+    )
+    .map_err(|e| e.to_string())
 }
 
 /// `freshen heuristic` — the scalable pipeline.
@@ -1442,5 +1543,95 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("magic"));
+    }
+
+    const TIER_SPEC: &str = r#"{
+      "topology": {
+        "nodes": [
+          {"id": "origin", "role": "source"},
+          {"id": "relay", "budget": 6.0},
+          {"id": "edge", "budget": 4.0}
+        ],
+        "links": [
+          {"from": "origin", "to": "relay"},
+          {"from": "relay", "to": "edge", "elements": [0, 1, 2]}
+        ]
+      },
+      "problem": {
+        "change_rates": [0.5, 1.0, 1.5, 2.0, 2.5, 0.8],
+        "access_probs": [6, 5, 4, 3, 2, 1],
+        "bandwidth": 6.0
+      }
+    }"#;
+
+    #[test]
+    fn solve_topology_emits_certified_schedule() {
+        let dir = tmpdir();
+        let spec = dir.join("tiers.json");
+        std::fs::write(&spec, TIER_SPEC).unwrap();
+        let mut buf = Vec::new();
+        cmd_solve(&parsed(&["--topology", spec.to_str().unwrap()]), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("\"certified_tiers\": 2"), "{text}");
+        assert!(text.contains("\"tiers\": 2"), "{text}");
+        assert!(
+            text.contains("\"from\":\"relay\",\"to\":\"edge\""),
+            "{text}"
+        );
+        // Hand-rolled output must be parseable by the hand-rolled parser.
+        let doc = freshen_core::json::Json::parse(&text).unwrap();
+        let pf = doc.get("edge_pf").unwrap().as_f64("edge_pf").unwrap();
+        assert!(pf > 0.0 && pf < 1.0);
+    }
+
+    #[test]
+    fn solve_topology_split_budget_rebalances_tiers() {
+        let dir = tmpdir();
+        let spec = dir.join("tiers_split.json");
+        std::fs::write(&spec, TIER_SPEC).unwrap();
+        let mut buf = Vec::new();
+        cmd_solve(
+            &parsed(&[
+                "--topology",
+                spec.to_str().unwrap(),
+                "--split-budget",
+                "10",
+                "--policy",
+                "poisson",
+            ]),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let doc = freshen_core::json::Json::parse(&text).unwrap();
+        let budgets = doc.get("budgets").unwrap().as_arr("budgets").unwrap();
+        let total: f64 = budgets.iter().map(|b| b.as_f64("budget").unwrap()).sum();
+        assert!((total - 10.0).abs() < 1e-6, "{total}");
+    }
+
+    #[test]
+    fn solve_topology_flags_require_topology() {
+        let err = cmd_solve(&parsed(&["--split-budget", "5"]), &mut Vec::new()).unwrap_err();
+        assert!(err.contains("--split-budget requires --topology"), "{err}");
+        let err = cmd_solve(&parsed(&["--shards", "4"]), &mut Vec::new()).unwrap_err();
+        assert!(err.contains("--shards requires --topology"), "{err}");
+    }
+
+    #[test]
+    fn solve_topology_without_problem_block_demands_input() {
+        let dir = tmpdir();
+        let spec = dir.join("tiers_noprob.json");
+        std::fs::write(
+            &spec,
+            r#"{"topology": {"nodes": [{"id":"s","role":"source"},{"id":"e","budget":1.0}],
+                "links": [{"from":"s","to":"e"}]}}"#,
+        )
+        .unwrap();
+        let err = cmd_solve(
+            &parsed(&["--topology", spec.to_str().unwrap()]),
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(err.contains("pass --input"), "{err}");
     }
 }

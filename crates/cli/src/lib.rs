@@ -76,6 +76,8 @@ USAGE:
                     [--seed S]
   freshen solve     --input problem.json [--policy fixed|poisson] [--threads T]
                     [--metrics-out metrics.json] [--trace-out trace.json]
+  freshen solve     --topology spec.json [--input problem.json] [--split-budget B]
+                    [--policy fixed|poisson] [--shards S]
   freshen heuristic --input problem.json --partitions K [--kmeans N]
                     [--criterion pf|p|lambda|p-over-lambda|pf-size|size]
                     [--allocation fba|ffa] [--threads T]

@@ -1,13 +1,19 @@
-//! Minimal hand-rolled JSON reader for the fleet spec.
+//! Minimal hand-rolled JSON reader for spec files.
 //!
-//! The fleet spec must parse without serde so `freshen fleet` keeps
-//! working under the offline serde stub — the same constraint that
-//! shaped the zero-dependency snapshot codec. This is a strict
-//! recursive-descent parser over the JSON grammar (objects, arrays,
-//! strings with escapes, numbers, booleans, null); anything malformed is
-//! a [`CoreError::InvalidConfig`] naming the byte offset, never a panic.
+//! Spec files (fleet tenants, tier topologies) must parse without serde
+//! so the CLI keeps working under the offline serde stub — the same
+//! constraint that shaped the zero-dependency snapshot codec. This is a
+//! strict recursive-descent parser over the JSON grammar (objects,
+//! arrays, strings with escapes, numbers, booleans, null); anything
+//! malformed is a [`CoreError::InvalidConfig`] naming the byte offset,
+//! never a panic.
+//!
+//! The reader started life inside `freshen-fleet`; it moved here when
+//! the topology spec needed the same offline-safe parsing one layer
+//! lower ([`crate::topology`]). `freshen_fleet::json` re-exports this
+//! module, so existing fleet callers are unaffected.
 
-use freshen_core::error::{CoreError, Result};
+use crate::error::{CoreError, Result};
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -104,7 +110,7 @@ impl Json {
 }
 
 fn type_err(what: &str, wanted: &str) -> CoreError {
-    CoreError::InvalidConfig(format!("fleet spec: {what} must be {wanted}"))
+    CoreError::InvalidConfig(format!("spec: {what} must be {wanted}"))
 }
 
 struct Parser<'a> {
@@ -114,7 +120,7 @@ struct Parser<'a> {
 
 impl Parser<'_> {
     fn fail(&self, msg: &str) -> CoreError {
-        CoreError::InvalidConfig(format!("fleet spec: {msg} at byte {}", self.pos))
+        CoreError::InvalidConfig(format!("spec: {msg} at byte {}", self.pos))
     }
 
     fn skip_ws(&mut self) {
@@ -322,7 +328,7 @@ mod tests {
             let err = Json::parse(doc);
             assert!(err.is_err(), "accepted {why}: {doc}");
             assert!(
-                err.unwrap_err().to_string().contains("fleet spec"),
+                err.unwrap_err().to_string().contains("spec"),
                 "{why} error names the spec"
             );
         }

@@ -43,7 +43,13 @@
 //!   solver probe over contiguous memory instead of per-probe index
 //!   indirection;
 //! * [`numeric`] — compensated (Neumaier) summation so million-element
-//!   accumulations stay accurate.
+//!   accumulations stay accurate;
+//! * [`topology`] — multi-tier relay topologies ([`Topology`]): a
+//!   validated source → relay(s) → edge-mirror DAG with per-tier budgets
+//!   and the composed-freshness recursion that scores a
+//!   [`TieredSchedule`] at the edge;
+//! * [`json`] — the offline-safe hand-rolled JSON reader spec files are
+//!   parsed with (no serde required).
 //!
 //! ## Quick start
 //!
@@ -75,6 +81,7 @@ pub mod error;
 pub mod estimate;
 pub mod exec;
 pub mod freshness;
+pub mod json;
 pub mod numeric;
 pub mod policy;
 pub mod problem;
@@ -83,6 +90,7 @@ pub mod schedule;
 pub mod selection;
 pub mod shard;
 pub mod soa;
+pub mod topology;
 
 pub use audit::{AuditReport, AuditViolation, SolutionAudit, ViolationKind};
 pub use error::{CoreError, Result};
@@ -91,3 +99,4 @@ pub use policy::SyncPolicy;
 pub use problem::{Element, Problem, Solution};
 pub use shard::ShardedProblem;
 pub use soa::{ColumnsRef, PackedColumns, ProblemColumns};
+pub use topology::{TieredSchedule, Topology, TopologyBuilder};

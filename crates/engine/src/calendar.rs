@@ -32,6 +32,8 @@
 //! capacity-growth event so a regression test can assert the churn is
 //! gone (see `tests/properties.rs`).
 
+use freshen_core::error::{CoreError, Result};
+
 /// A queued poll attempt. Field order mirrors the dispatcher's old
 /// `Pending` heap entry; `seq` is assigned by the queue in push order.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -116,10 +118,26 @@ impl CalendarQueue {
     }
 
     /// Schedule a poll attempt at `time`. Times at or beyond the epoch
-    /// end land in the last bucket; times before the sweep cursor (which
-    /// the dispatcher never produces — retries back off forwards) are
-    /// clamped to the cursor's bucket to keep the sweep correct anyway.
-    pub fn push(&mut self, time: f64, element: usize, attempt: u32) {
+    /// end land in the last bucket; times after the epoch start but
+    /// before the sweep cursor (which the dispatcher never produces —
+    /// retries back off forwards) are clamped to the cursor's bucket to
+    /// keep the sweep correct anyway.
+    ///
+    /// # Errors
+    /// A non-finite `time`, or one before the epoch origin, is rejected
+    /// with [`CoreError::InvalidValue`]: a NaN would otherwise cast to
+    /// bucket 0 and silently corrupt the pop order, and a pre-epoch
+    /// instant means the caller's clock ran backwards. (`-0.0` at an
+    /// origin of `0.0` is fine — IEEE compares it equal — and lands in
+    /// the first bucket.)
+    pub fn push(&mut self, time: f64, element: usize, attempt: u32) -> Result<()> {
+        if !time.is_finite() || time < self.origin {
+            return Err(CoreError::InvalidValue {
+                what: "calendar event time",
+                index: Some(element),
+                value: time,
+            });
+        }
         let idx = (((time - self.origin) * self.inv_width) as usize)
             .min(self.active - 1)
             .max(self.cursor);
@@ -135,6 +153,7 @@ impl CalendarQueue {
         });
         self.seq += 1;
         self.len += 1;
+        Ok(())
     }
 
     /// Remove and return the earliest entry (`(time, seq)` order —
@@ -168,7 +187,7 @@ mod tests {
         let mut q = CalendarQueue::new();
         q.begin_epoch(0.0, 1.0, 8);
         for (t, e) in [(0.7, 1), (0.1, 2), (0.4, 3), (0.1, 4), (0.95, 5)] {
-            q.push(t, e, 0);
+            q.push(t, e, 0).unwrap();
         }
         let order: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|e| e.element).collect();
         assert_eq!(order, vec![2, 4, 3, 1, 5], "time asc, ties by push order");
@@ -204,7 +223,7 @@ mod tests {
         let mut seq = 0u64;
         for k in 0..n {
             let t = (k as f64 + 0.5) * slot;
-            q.push(t, k, 0);
+            q.push(t, k, 0).unwrap();
             heap.push(Rev(t, seq, k));
             seq += 1;
         }
@@ -215,7 +234,7 @@ mod tests {
             // Every third pop spawns a "retry" at a deterministic backoff.
             if step.is_multiple_of(3) && e.attempt == 0 {
                 let rt = (e.time + 0.07 * ((step % 5) as f64 + 1.0)).min(epoch_len);
-                q.push(rt, e.element, 1);
+                q.push(rt, e.element, 1).unwrap();
                 heap.push(Rev(rt, seq, e.element));
                 seq += 1;
             }
@@ -230,7 +249,8 @@ mod tests {
         for epoch in 0..50 {
             q.begin_epoch(epoch as f64, 1.0, 16);
             for k in 0..16 {
-                q.push(epoch as f64 + (k as f64 + 0.5) / 16.0, k, 0);
+                q.push(epoch as f64 + (k as f64 + 0.5) / 16.0, k, 0)
+                    .unwrap();
             }
             while q.pop().is_some() {}
             if epoch == 0 {
@@ -241,7 +261,7 @@ mod tests {
             let mut q2 = CalendarQueue::new();
             q2.begin_epoch(0.0, 1.0, 16);
             for k in 0..16 {
-                q2.push((k as f64 + 0.5) / 16.0, k, 0);
+                q2.push((k as f64 + 0.5) / 16.0, k, 0).unwrap();
             }
             while q2.pop().is_some() {}
             q2.grows()
@@ -257,8 +277,8 @@ mod tests {
     fn clamps_out_of_range_times() {
         let mut q = CalendarQueue::new();
         q.begin_epoch(1.0, 1.0, 4);
-        q.push(2.5, 0, 0); // beyond the epoch end: last bucket
-        q.push(1.1, 1, 0);
+        q.push(2.5, 0, 0).unwrap(); // beyond the epoch end: last bucket
+        q.push(1.1, 1, 0).unwrap();
         assert_eq!(q.pop().unwrap().element, 1);
         assert_eq!(q.pop().unwrap().element, 0);
         assert!(q.pop().is_none());
@@ -269,18 +289,67 @@ mod tests {
         let mut q = CalendarQueue::new();
         q.begin_epoch(0.0, 1.0, 32);
         for k in 0..32 {
-            q.push((k as f64 + 0.5) / 32.0, k, 0);
+            q.push((k as f64 + 0.5) / 32.0, k, 0).unwrap();
         }
         while q.pop().is_some() {}
         let grown = q.grows();
         // A smaller epoch fits entirely in existing storage.
         q.begin_epoch(1.0, 1.0, 8);
         for k in 0..8 {
-            q.push(1.0 + (k as f64 + 0.5) / 8.0, k, 0);
+            q.push(1.0 + (k as f64 + 0.5) / 8.0, k, 0).unwrap();
         }
         let drained: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|e| e.element).collect();
         assert_eq!(drained, (0..8).collect::<Vec<_>>());
         assert_eq!(q.grows(), grown, "shrink must not allocate");
+    }
+
+    #[test]
+    fn rejects_non_finite_and_pre_epoch_times() {
+        let mut q = CalendarQueue::new();
+        q.begin_epoch(1.0, 1.0, 4);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.999, -1.0] {
+            let err = q.push(bad, 3, 0).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains("calendar event time"), "{bad}: {msg}");
+        }
+        assert!(q.is_empty(), "rejected pushes must not enqueue");
+        // The queue stays usable after a rejection.
+        q.push(1.5, 7, 0).unwrap();
+        assert_eq!(q.pop().unwrap().element, 7);
+    }
+
+    #[test]
+    fn negative_zero_at_origin_zero_is_accepted() {
+        // IEEE: -0.0 == 0.0, so the origin check passes and the cast
+        // (-0.0 * inv_width) as usize lands in bucket 0 — first out.
+        let mut q = CalendarQueue::new();
+        q.begin_epoch(0.0, 1.0, 4);
+        q.push(0.5, 1, 0).unwrap();
+        q.push(-0.0, 2, 0).unwrap();
+        assert_eq!(q.pop().unwrap().element, 2);
+        assert_eq!(q.pop().unwrap().element, 1);
+    }
+
+    #[test]
+    fn exact_bucket_boundary_times_keep_global_order() {
+        // Times exactly on bucket boundaries (k/n · len) must neither
+        // straddle the wrong bucket nor break (time, seq) order, and the
+        // epoch-end instant itself clamps into the last bucket.
+        let n = 4;
+        let mut q = CalendarQueue::new();
+        q.begin_epoch(0.0, 1.0, n);
+        for k in (0..=n).rev() {
+            q.push(k as f64 / n as f64, k, 0).unwrap();
+        }
+        let popped: Vec<(f64, usize)> = std::iter::from_fn(|| q.pop())
+            .map(|e| (e.time, e.element))
+            .collect();
+        let times: Vec<f64> = popped.iter().map(|&(t, _)| t).collect();
+        assert_eq!(times, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+        assert_eq!(
+            popped.iter().map(|&(_, e)| e).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
     }
 
     #[test]
@@ -289,7 +358,7 @@ mod tests {
         q.begin_epoch(0.0, 1.0, 0);
         assert!(q.pop().is_none());
         assert_eq!(q.len(), 0);
-        q.push(0.5, 0, 0); // single fallback bucket
+        q.push(0.5, 0, 0).unwrap(); // single fallback bucket
         assert_eq!(q.pop().unwrap().element, 0);
     }
 }

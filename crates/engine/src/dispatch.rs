@@ -343,7 +343,7 @@ impl PollDispatcher {
             .begin_epoch(epoch_start, epoch_len, admitted.len());
         for (k, &element) in admitted.iter().enumerate() {
             self.queue
-                .push(epoch_start + (k as f64 + 0.5) * slot, element, 0);
+                .push(epoch_start + (k as f64 + 0.5) * slot, element, 0)?;
         }
         while let Some(p) = self.queue.pop() {
             outcome.dispatched += 1;
@@ -361,7 +361,7 @@ impl PollDispatcher {
                         (p.time + self.retry_backoff * (p.attempt + 1) as f64).min(epoch_end),
                         p.element,
                         p.attempt + 1,
-                    );
+                    )?;
                 } else {
                     outcome.abandoned += 1;
                     outcome.starved[p.element] = true;

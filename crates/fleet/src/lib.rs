@@ -57,12 +57,12 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
-pub mod json;
 pub mod manifest;
 pub mod runtime;
 pub mod spec;
 
-pub use json::Json;
+pub use freshen_core::json;
+pub use freshen_core::json::Json;
 pub use manifest::{Manifest, ManifestEntry};
 pub use runtime::{Fleet, FleetConfig, FleetOutcome, TenantReport, FLEET_LABEL, MANIFEST_FILE};
 pub use spec::{FleetSpec, TenantSpec};

@@ -35,7 +35,9 @@ pub mod multistage;
 pub mod partition;
 pub mod pipeline;
 pub mod reduce;
+pub mod tiers;
 
 pub use allocate::AllocationPolicy;
 pub use partition::{PartitionCriterion, Partitioning};
 pub use pipeline::{HeuristicConfig, HeuristicScheduler, HeuristicSolution};
+pub use tiers::{split_budget, TierSplit};

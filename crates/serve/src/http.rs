@@ -43,6 +43,12 @@ use freshen_obs::{duration_us_buckets, prometheus, Recorder, TimeSeries};
 
 /// Upper bound on a request head; anything longer is rejected with 431.
 const MAX_HEAD: usize = 8 * 1024;
+
+/// Upper bound on a declared request body; anything larger is rejected
+/// with 413 before a byte of it is waited on. The control plane's
+/// routes take no payloads, so this only bounds how much a misbehaving
+/// client can make the accept thread read and discard.
+const MAX_BODY: usize = 64 * 1024;
 /// Per-connection socket timeout so a stalled client cannot wedge the
 /// accept loop.
 const IO_TIMEOUT: Duration = Duration::from_secs(2);
@@ -483,19 +489,46 @@ fn handle(stream: &mut TcpStream, router: &Router) -> std::io::Result<()> {
         }
     };
     if !complete {
-        let result = write_response(
+        return reject_and_drain(
             stream,
             &Response::json(431, "{\"error\":\"request head too large or torn\"}"),
         );
-        // Drain whatever the client already sent before closing: a close
-        // with unread bytes in the receive buffer turns into a TCP RST,
-        // which would destroy the 431 response in flight.
-        let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
-        let mut scratch = [0u8; 512];
-        while matches!(stream.read(&mut scratch), Ok(n) if n > 0) {}
-        return result;
     }
-    let head = String::from_utf8_lossy(&head);
+    // Bytes past the head terminator are the start of the body; the
+    // routes take no payloads, but the body still has to be bounded
+    // (413) and consumed, or the close degenerates into a TCP RST.
+    let term = head
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("complete head has a terminator")
+        + 4;
+    let body_prefix = head.len() - term;
+    let head = String::from_utf8_lossy(&head[..term]);
+    let content_length = match parse_content_length(&head) {
+        Ok(len) => len,
+        Err(()) => {
+            return reject_and_drain(
+                stream,
+                &Response::json(400, "{\"error\":\"malformed Content-Length\"}"),
+            );
+        }
+    };
+    if content_length > MAX_BODY {
+        return reject_and_drain(
+            stream,
+            &Response::json(413, "{\"error\":\"request body too large\"}"),
+        );
+    }
+    // Discard the in-bounds body so the connection closes cleanly.
+    let mut remaining = content_length.saturating_sub(body_prefix);
+    let mut scratch = [0u8; 512];
+    while remaining > 0 {
+        let chunk = remaining.min(scratch.len());
+        match stream.read(&mut scratch[..chunk]) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => remaining -= n,
+        }
+    }
     let mut request_line = head.lines().next().unwrap_or("").split_whitespace();
     let method = request_line.next().unwrap_or("");
     let target = request_line.next().unwrap_or("");
@@ -514,6 +547,38 @@ fn handle(stream: &mut TcpStream, router: &Router) -> std::io::Result<()> {
     write_response(stream, &response)
 }
 
+/// Answer with a rejection, then drain whatever the client already sent
+/// before closing: a close with unread bytes in the receive buffer turns
+/// into a TCP RST, which would destroy the rejection response in flight.
+fn reject_and_drain(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let result = write_response(stream, response);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut scratch = [0u8; 512];
+    while matches!(stream.read(&mut scratch), Ok(n) if n > 0) {}
+    result
+}
+
+/// Extract `Content-Length` (case-insensitive) from a request head.
+/// Absent means 0; an unparsable or duplicated-and-conflicting value is
+/// an error (request smuggling guard).
+fn parse_content_length(head: &str) -> std::result::Result<usize, ()> {
+    let mut found: Option<usize> = None;
+    for line in head.lines().skip(1) {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if !name.trim().eq_ignore_ascii_case("content-length") {
+            continue;
+        }
+        let parsed: usize = value.trim().parse().map_err(|_| ())?;
+        match found {
+            Some(prev) if prev != parsed => return Err(()),
+            _ => found = Some(parsed),
+        }
+    }
+    Ok(found.unwrap_or(0))
+}
+
 const JSON: &str = "application/json";
 
 fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
@@ -522,6 +587,7 @@ fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Resul
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        413 => "Payload Too Large",
         431 => "Request Header Fields Too Large",
         503 => "Service Unavailable",
         _ => "Error",
@@ -780,6 +846,69 @@ mod tests {
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();
         assert!(response.starts_with("HTTP/1.1 431"), "{response}");
+        plane.stop();
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_with_413_before_transfer() {
+        let (plane, _shared, _recorder) = start_test_plane();
+        let addr = plane.local_addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        // Declare a body far over the cap but send none of it: the 413
+        // must arrive without the server waiting for the payload.
+        let head = format!(
+            "POST /shutdown HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        stream.write_all(head.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 413"), "{response}");
+        plane.stop();
+    }
+
+    #[test]
+    fn malformed_content_length_is_a_400() {
+        let (plane, _shared, _recorder) = start_test_plane();
+        let addr = plane.local_addr();
+        for bad in [
+            "Content-Length: banana",
+            "Content-Length: -5",
+            "Content-Length: 3\r\nContent-Length: 7",
+        ] {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .unwrap();
+            let head = format!("GET /status HTTP/1.1\r\n{bad}\r\n\r\n");
+            stream.write_all(head.as_bytes()).unwrap();
+            let mut response = String::new();
+            stream.read_to_string(&mut response).unwrap();
+            assert!(response.starts_with("HTTP/1.1 400"), "{bad}: {response}");
+        }
+        plane.stop();
+    }
+
+    #[test]
+    fn in_bounds_body_is_drained_and_request_served() {
+        let (plane, _shared, _recorder) = start_test_plane();
+        let addr = plane.local_addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let body = "x".repeat(2048);
+        let message = format!(
+            "GET /status HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(message.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
         plane.stop();
     }
 

@@ -38,5 +38,7 @@ pub mod events;
 pub mod generators;
 pub mod simulation;
 pub mod state;
+pub mod tiered;
 
 pub use simulation::{SimConfig, SimReport, Simulation};
+pub use tiered::{simulate_tiered, TieredSimConfig, TieredSimReport};

@@ -1138,6 +1138,65 @@ mod tests {
     }
 
     #[test]
+    fn sharded_solve_is_cost_aware_under_levy() {
+        // Differential pin: the sharded path routes through the same
+        // cost-aware allocation as the global solve, so a γ > 0 levy on
+        // a costed problem must give the same optimum — not silently
+        // revert to the cost-blind answer.
+        let n = 4_000;
+        let problem = Problem::builder()
+            .change_rates((0..n).map(|i| 0.1 + (i % 17) as f64 * 0.3).collect())
+            .access_weights((0..n).map(|i| 1.0 / (i + 1) as f64).collect())
+            .sizes((0..n).map(|i| 0.25 + (i % 7) as f64 * 0.5).collect())
+            .costs((0..n).map(|i| 0.5 + (i % 5) as f64).collect())
+            .bandwidth(n as f64 / 4.0)
+            .build()
+            .unwrap();
+        let gamma = 3e-4;
+        let global = LagrangeSolver::default()
+            .with_cost_weight(gamma)
+            .solve(&problem)
+            .unwrap();
+        let blind = LagrangeSolver::default().solve(&problem).unwrap();
+        assert!(
+            problem.cost_used(&global.frequencies) < problem.cost_used(&blind.frequencies),
+            "levy must reshape the costed optimum for the pin to mean anything"
+        );
+        for shards in [1, 4, 32] {
+            let sharded = LagrangeSolver::default()
+                .with_cost_weight(gamma)
+                .solve_sharded(&problem, shards)
+                .unwrap();
+            assert_eq!(sharded.cost_multiplier, Some(gamma));
+            assert!(
+                (sharded.perceived_freshness - global.perceived_freshness).abs() < 1e-9,
+                "shards={shards}: PF {} vs global {}",
+                sharded.perceived_freshness,
+                global.perceived_freshness
+            );
+            let (sc, gc) = (
+                problem.cost_used(&sharded.frequencies),
+                problem.cost_used(&global.frequencies),
+            );
+            assert!(
+                (sc - gc).abs() <= gc * 1e-6,
+                "shards={shards}: cost spend {sc} vs global {gc}"
+            );
+            for (i, (a, b)) in sharded
+                .frequencies
+                .iter()
+                .zip(&global.frequencies)
+                .enumerate()
+            {
+                assert!(
+                    (a - b).abs() <= 1e-6 * (1.0 + b.abs()),
+                    "shards={shards} element {i}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn recorder_tracks_iterations_and_warm_starts() {
         let problem = toy(vec![0.2; 5]);
         let rec = Recorder::enabled();

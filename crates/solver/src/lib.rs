@@ -23,6 +23,11 @@
 //!   reproduce the §3 scalability narrative: a generic NLP iterates many
 //!   times over all `N` variables and falls behind the specialized solver
 //!   and the heuristics as `N` grows.
+//! * [`tiered`] — the **multi-tier relay** solver: block-coordinate
+//!   ascent over a `freshen_core::topology` DAG with per-tier budgets,
+//!   adjoint marginal-value weights, per-tier inner water-filling on the
+//!   flat solver, an outer shared-price budget-split search, and strict
+//!   per-tier KKT certification.
 //! * [`baselines`] — interest-blind comparators from related work:
 //!   uniform allocation, change-proportional ("TTL-ish") allocation, and a
 //!   sampling-based greedy policy in the spirit of Cho & Ntoulas
@@ -39,10 +44,12 @@ pub mod baselines;
 pub mod lagrange;
 pub mod projected_gradient;
 pub mod repair;
+pub mod tiered;
 
 pub use lagrange::LagrangeSolver;
 pub use projected_gradient::ProjectedGradientSolver;
 pub use repair::RepairOutcome;
+pub use tiered::{TieredSolution, TieredSolver};
 
 use freshen_core::error::Result;
 use freshen_core::problem::{Problem, Solution};

@@ -20,6 +20,8 @@
 pub mod dist;
 pub mod scenario;
 pub mod stats;
+pub mod tiers;
 pub mod trace;
 
 pub use scenario::{Alignment, Scenario, SizeDist, StressScenario};
+pub use tiers::{parallel_relay, two_tier_chain, TieredScenario};

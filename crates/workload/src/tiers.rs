@@ -1,0 +1,158 @@
+//! Tiered-deployment scenario generators: canonical relay topologies
+//! paired with a paper-style [`Problem`], deterministic from a seed, so
+//! the tiered solver, simulator, and `exp_tiers` bench all exercise the
+//! same inputs.
+//!
+//! Two shapes cover the multi-tier design space:
+//!
+//! * [`two_tier_chain`] — source → relay → edge, where the relay
+//!   mirrors the full catalog and the edge carries only the hot half
+//!   (the CDN pattern: a regional relay feeding a small edge cache).
+//!   Every element sees a single path, so the composed-freshness
+//!   recursion is exact.
+//! * [`parallel_relay`] — the catalog striped across `relays` sibling
+//!   relays that all feed one edge mirror (the sharded-relay pattern).
+//!   Stripes are disjoint, so per element this is still a chain and the
+//!   recursion stays exact while the *solver* has to coordinate budgets
+//!   across sibling tiers.
+
+use freshen_core::error::Result;
+use freshen_core::problem::Problem;
+use freshen_core::topology::Topology;
+
+use crate::scenario::{Alignment, Scenario};
+
+/// A generated tiered setup: the topology, the element universe, and the
+/// total poll budget the experiment should divide across tiers.
+#[derive(Debug, Clone)]
+pub struct TieredScenario {
+    /// Stable scenario identifier for reports.
+    pub name: &'static str,
+    /// The relay topology, with per-tier budgets already assigned.
+    pub topology: Topology,
+    /// The element universe (rates, interest, bandwidth).
+    pub problem: Problem,
+    /// Sum of the per-tier budgets, for budget-split experiments.
+    pub total_budget: f64,
+}
+
+/// The shared element universe: Table-2-style proportions at any `n`
+/// (updates = 2N with σ = 1, syncs = N/2, Zipf(1.0), shuffled change).
+fn universe(n: usize, seed: u64) -> Result<Problem> {
+    Scenario::builder()
+        .num_objects(n)
+        .updates_per_period(2.0 * n as f64)
+        .syncs_per_period(0.5 * n as f64)
+        .zipf_theta(1.0)
+        .update_std_dev(1.0)
+        .alignment(Alignment::ShuffledChange)
+        .seed(seed)
+        .build()?
+        .problem()
+}
+
+/// Source → relay → edge chain. The relay mirrors everything on a
+/// budget of `N/2` polls per period; the edge re-mirrors the hottest
+/// half (Zipf rank 0..n/2) on a budget of `N/4`.
+pub fn two_tier_chain(n: usize, seed: u64) -> Result<TieredScenario> {
+    let problem = universe(n, seed)?;
+    let relay_budget = 0.5 * n as f64;
+    let edge_budget = 0.25 * n as f64;
+    let topology = Topology::builder()
+        .source("origin")
+        .tier("relay", relay_budget)
+        .tier("edge", edge_budget)
+        .link("origin", "relay")
+        .link_subset("relay", "edge", (0..n.div_ceil(2)).collect())
+        .build(n)?;
+    Ok(TieredScenario {
+        name: "two_tier_chain",
+        topology,
+        problem,
+        total_budget: relay_budget + edge_budget,
+    })
+}
+
+/// The catalog striped round-robin across `relays` sibling relays, all
+/// feeding one full-catalog edge mirror. Each relay gets an equal share
+/// of an `N/2` relay budget; the edge gets `N/4`.
+pub fn parallel_relay(n: usize, relays: usize, seed: u64) -> Result<TieredScenario> {
+    let relays = relays.max(1).min(n);
+    let problem = universe(n, seed)?;
+    let relay_budget = 0.5 * n as f64 / relays as f64;
+    let edge_budget = 0.25 * n as f64;
+    let mut builder = Topology::builder().source("origin");
+    let names: Vec<String> = (0..relays).map(|r| format!("relay{r}")).collect();
+    for name in &names {
+        builder = builder.tier(name, relay_budget);
+    }
+    builder = builder.tier("edge", edge_budget);
+    for (r, name) in names.iter().enumerate() {
+        let stripe: Vec<usize> = (r..n).step_by(relays).collect();
+        builder = builder
+            .link_subset("origin", name, stripe.clone())
+            .link_subset(name, "edge", stripe);
+    }
+    let topology = builder.build(n)?;
+    Ok(TieredScenario {
+        name: "parallel_relay",
+        topology,
+        problem,
+        total_budget: relay_budget * relays as f64 + edge_budget,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_tier_chain_is_deterministic_and_well_formed() {
+        let a = two_tier_chain(64, 9).unwrap();
+        let b = two_tier_chain(64, 9).unwrap();
+        assert_eq!(a.topology.node_count(), 3);
+        assert_eq!(a.problem.len(), 64);
+        assert_eq!(
+            a.problem.change_rates()[0].to_bits(),
+            b.problem.change_rates()[0].to_bits()
+        );
+        // The edge carries exactly the hot half.
+        let edge_link = &a.topology.links()[1];
+        assert_eq!(edge_link.elements.as_ref().unwrap().len(), 32);
+        assert!(edge_link.carries(0) && !edge_link.carries(63));
+        assert!((a.total_budget - 48.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_relay_stripes_cover_the_catalog_disjointly() {
+        let s = parallel_relay(60, 3, 4).unwrap();
+        assert_eq!(s.topology.node_count(), 5);
+        let mut seen = vec![0u32; 60];
+        for link in s.topology.links().iter().filter(|l| l.from == 0) {
+            for &i in link.elements.as_ref().unwrap() {
+                seen[i] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+        // Each element reaches the edge over exactly one relay.
+        for i in 0..60 {
+            let carriers = s
+                .topology
+                .links()
+                .iter()
+                .filter(|l| l.to == s.topology.node_count() - 1 && l.carries(i))
+                .count();
+            assert_eq!(carriers, 1, "element {i}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = two_tier_chain(32, 1).unwrap();
+        let b = two_tier_chain(32, 2).unwrap();
+        assert_ne!(
+            a.problem.change_rates()[0].to_bits(),
+            b.problem.change_rates()[0].to_bits()
+        );
+    }
+}

@@ -77,14 +77,17 @@ pub mod prelude {
     pub use freshen_core::problem::{Element, Problem, Solution};
     pub use freshen_core::profile::{MasterProfile, ProfileEstimator, UserProfile};
     pub use freshen_core::schedule::{FixedOrderSchedule, ScheduleStream, SyncOp};
+    pub use freshen_core::topology::{TieredSchedule, Topology, TopologyBuilder};
     pub use freshen_engine::{Engine, EngineConfig, EngineReport, LedgerAudit, ResolvePolicy};
     pub use freshen_heuristics::allocate::AllocationPolicy;
     pub use freshen_heuristics::partition::PartitionCriterion;
     pub use freshen_heuristics::pipeline::{HeuristicConfig, HeuristicScheduler};
     pub use freshen_obs::Recorder;
     pub use freshen_serve::{ServeConfig, ServeOutcome, ServeWorkload, Server};
-    pub use freshen_sim::{SimConfig, SimReport, Simulation};
+    pub use freshen_sim::{simulate_tiered, SimConfig, SimReport, Simulation, TieredSimConfig};
     pub use freshen_solver::lagrange::LagrangeSolver;
-    pub use freshen_solver::{solve_general_freshness, solve_perceived_freshness};
+    pub use freshen_solver::{
+        solve_general_freshness, solve_perceived_freshness, TieredSolution, TieredSolver,
+    };
     pub use freshen_workload::scenario::{Alignment, Scenario};
 }

@@ -80,6 +80,56 @@ fn sharded_solves_match_global_and_pass_audit() {
 }
 
 #[test]
+fn sharded_solves_stay_cost_aware_under_a_levy() {
+    // Differential pin of the sharded path against the global solve when
+    // a per-poll cost levy γ > 0 is active: the cost column must shape
+    // the sharded allocation exactly as it shapes the global one, and
+    // the cost-adjusted certificate must hold shard-count-independently.
+    let base = table2_problem(1.0, 7);
+    let n = base.len();
+    let costed = Problem::builder()
+        .change_rates(base.change_rates().to_vec())
+        .access_probs(base.access_probs().to_vec())
+        .costs((0..n).map(|i| 0.5 + (i % 5) as f64 * 0.75).collect())
+        .bandwidth(base.bandwidth())
+        .build()
+        .unwrap();
+    let gamma = 2e-3;
+    let solver = LagrangeSolver {
+        cost_weight: gamma,
+        ..Default::default()
+    };
+    let global = solver.solve(&costed).unwrap();
+    let audit = SolutionAudit::default();
+    for shards in [2, 4, 8] {
+        let sharded = solver.solve_sharded(&costed, shards).unwrap();
+        assert_eq!(
+            sharded.cost_multiplier,
+            Some(gamma),
+            "K={shards}: the levy must survive the sharded path"
+        );
+        assert!(
+            (sharded.perceived_freshness - global.perceived_freshness).abs() < 1e-9,
+            "K={shards}: costed PF moved: {} vs {}",
+            sharded.perceived_freshness,
+            global.perceived_freshness
+        );
+        let (global_cost, sharded_cost) = (
+            costed.cost_used(&global.frequencies),
+            costed.cost_used(&sharded.frequencies),
+        );
+        assert!(
+            (sharded_cost - global_cost).abs() < 1e-6 * global_cost.max(1.0),
+            "K={shards}: cost spend diverged: {sharded_cost} vs {global_cost}"
+        );
+        let report = audit
+            .check_with_cost(&costed, &sharded, SyncPolicy::FixedOrder, gamma)
+            .unwrap();
+        assert_clean(&report, &format!("costed sharded K={shards}"));
+    }
+}
+
+#[test]
 fn projected_gradient_passes_the_audit() {
     let problem = table1_problem(vec![0.2; 5]);
     // Audit-grade NLP: a tight convergence tolerance brings the KKT

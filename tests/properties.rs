@@ -1059,3 +1059,91 @@ fn lln_and_sa_converge_where_ewma_plateaus() {
          (ewma {ewma_err:.3}, lln {lln_err:.3}, sa {sa_err:.3})"
     );
 }
+
+// ---- tiered budget-split invariants --------------------------------------
+
+/// Check one tiered solution against the no-overdraw contract: every
+/// tier's spend within its budget, and (for split solves) the spends
+/// covering the requested total.
+fn assert_no_overdraw(name: &str, solution: &freshen::solver::TieredSolution, total: Option<f64>) {
+    for (node, (&spend, &budget)) in solution
+        .node_spend
+        .iter()
+        .zip(&solution.budgets)
+        .enumerate()
+    {
+        assert!(
+            spend <= budget + 1e-6 * budget.max(1.0),
+            "{name}: tier {node} overdraws its budget ({spend} > {budget})"
+        );
+        assert!(spend >= 0.0, "{name}: tier {node} negative spend {spend}");
+    }
+    if let Some(total) = total {
+        let spent: f64 = solution.node_spend.iter().sum();
+        assert!(
+            (spent - total).abs() <= 1e-6 * total,
+            "{name}: split spends {spent} of the requested {total}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn tiered_split_never_overdraws_any_tier_property(
+        n in 4usize..=12,
+        seed in 0u64..1000,
+        scale in 0.2f64..3.0,
+        parallel in proptest::bool::ANY,
+    ) {
+        let scenario = if parallel {
+            freshen::workload::tiers::parallel_relay(n, 2, seed).expect("scenario")
+        } else {
+            freshen::workload::tiers::two_tier_chain(n, seed).expect("scenario")
+        };
+        let total = scale * scenario.total_budget;
+        let solution = TieredSolver::default()
+            .solve_split(&scenario.topology, &scenario.problem, total)
+            .expect("split solve");
+        for (node, (&spend, &budget)) in solution
+            .node_spend
+            .iter()
+            .zip(&solution.budgets)
+            .enumerate()
+        {
+            prop_assert!(
+                spend <= budget + 1e-6 * budget.max(1.0),
+                "tier {} overdraws ({} > {})", node, spend, budget
+            );
+        }
+        let spent: f64 = solution.node_spend.iter().sum();
+        prop_assert!((spent - total).abs() <= 1e-6 * total);
+    }
+}
+
+#[test]
+fn tiered_split_never_overdraws_any_tier() {
+    // Fixed-seed pin of the proptest above (and the variant that runs
+    // where proptest is unavailable): sweep both generated deployments
+    // across sizes, seeds, and budget scales; neither a fixed-budget
+    // tiered solve nor a budget-split solve may overdraw any tier.
+    for (n, seed) in [(5usize, 1u64), (8, 7), (12, 42)] {
+        for scale in [0.25, 1.0, 2.5] {
+            let chain = freshen::workload::tiers::two_tier_chain(n, seed).expect("chain");
+            let striped = freshen::workload::tiers::parallel_relay(n, 2, seed).expect("striped");
+            for scenario in [chain, striped] {
+                let solver = TieredSolver::default();
+                let fixed = solver
+                    .solve(&scenario.topology, &scenario.problem)
+                    .expect("fixed-budget solve");
+                assert_no_overdraw(scenario.name, &fixed, None);
+                let total = scale * scenario.total_budget;
+                let split = solver
+                    .solve_split(&scenario.topology, &scenario.problem, total)
+                    .expect("split solve");
+                assert_no_overdraw(scenario.name, &split, Some(total));
+            }
+        }
+    }
+}
